@@ -1,0 +1,157 @@
+//! Shared harness for the figure/table reproduction binary and the
+//! Criterion benchmarks.
+//!
+//! The central entry point is [`run_suites`]: it executes both simulated
+//! test suites (CrashMonkey and xfstests) against fresh in-memory file
+//! systems, draining and analyzing the shared trace in chunks so that a
+//! full paper-scale run (millions of events) stays within bounded
+//! memory, and returns the merged [`AnalysisReport`] per suite.
+
+use iocov::{AnalysisReport, ArgName, Iocov, InputPartition, StreamingAnalyzer, TraceFilter};
+use iocov_workloads::{CrashMonkeySim, SuiteResult, TestEnv, XfstestsSim, MOUNT};
+
+/// Chunk size (in xfstests tests) between recorder drains.
+const CHUNK: usize = 25;
+
+/// Reports and results for both suites.
+#[derive(Debug, Clone)]
+pub struct SuiteReports {
+    /// CrashMonkey's coverage report.
+    pub crashmonkey: AnalysisReport,
+    /// xfstests' coverage report.
+    pub xfstests: AnalysisReport,
+    /// CrashMonkey run outcome (oracle violations, if bugs are injected).
+    pub crashmonkey_result: SuiteResult,
+    /// xfstests run outcome.
+    pub xfstests_result: SuiteResult,
+}
+
+/// Runs both suites at `scale` and analyzes their traces with the
+/// standard mount-point filter.
+#[must_use]
+pub fn run_suites(seed: u64, scale: f64) -> SuiteReports {
+    let iocov = Iocov::with_mount_point(MOUNT).expect("static mount pattern compiles");
+
+    // CrashMonkey: small; single pass.
+    let cm_env = TestEnv::new();
+    let cm_sim = CrashMonkeySim::new(seed, scale);
+    let crashmonkey_result = cm_sim.run(&cm_env);
+    let crashmonkey = iocov.analyze(&cm_env.take_trace());
+
+    // xfstests: streamed so memory stays bounded at paper scale, with
+    // the filter's descriptor-provenance state preserved across chunks.
+    let xfs_env = TestEnv::new();
+    let xfs_sim = XfstestsSim::new(seed, scale);
+    let mut kernel = xfs_env.fresh_kernel();
+    let mut streaming = StreamingAnalyzer::new(
+        TraceFilter::mount_point(MOUNT).expect("static mount pattern compiles"),
+    );
+    let mut xfstests_result = SuiteResult::new("xfstests");
+    let total = xfs_sim.total_tests();
+    let mut start = 0;
+    while start < total {
+        let end = (start + CHUNK).min(total);
+        let chunk_result = xfs_sim.run_range(&mut kernel, start..end);
+        xfstests_result.merge(chunk_result);
+        streaming.push_all(xfs_env.take_trace().events());
+        start = end;
+    }
+    let xfstests = streaming.finish();
+
+    SuiteReports {
+        crashmonkey,
+        xfstests,
+        crashmonkey_result,
+        xfstests_result,
+    }
+}
+
+/// Convenience: the per-flag frequency of `open.flags` for one suite, in
+/// Figure 2 axis order.
+#[must_use]
+pub fn open_flag_frequencies(report: &AnalysisReport) -> Vec<(&'static str, u64)> {
+    let cov = report.input_coverage(ArgName::OpenFlags);
+    iocov::open_flag_names()
+        .into_iter()
+        .map(|name| (name, cov.count(&InputPartition::Flag(name.to_owned()))))
+        .collect()
+}
+
+/// A small deterministic trace for benchmark inputs: `events` syscalls
+/// with a realistic mix, recorded from real kernel activity.
+#[must_use]
+pub fn sample_trace(events: usize) -> iocov_trace::Trace {
+    use iocov_workloads::emit_noise;
+    let env = TestEnv::new();
+    let mut kernel = env.fresh_kernel();
+    kernel.mkdir(&format!("{MOUNT}/bench"), 0o755);
+    let mut produced = 0usize;
+    let mut i = 0u64;
+    while produced < events {
+        let path = format!("{MOUNT}/bench/f{}", i % 64);
+        let fd = kernel.open(&path, 0o102 | 0o100, 0o644);
+        if fd >= 0 {
+            let fd = fd as i32;
+            kernel.write(fd, &[0u8; 512]);
+            kernel.pread64(fd, 512, 0);
+            kernel.lseek(fd, 0, 2);
+            kernel.close(fd);
+        }
+        if i.is_multiple_of(16) {
+            emit_noise(&mut kernel, i as usize);
+        }
+        produced = env.recorder().len();
+        i += 1;
+    }
+    env.take_trace()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn run_suites_produces_both_reports() {
+        let reports = run_suites(5, 0.01);
+        assert!(reports.crashmonkey.total_calls() > 1000);
+        assert!(reports.xfstests.total_calls() > 1000);
+        assert!(reports.crashmonkey_result.crash_violations.is_empty());
+        assert_eq!(reports.xfstests_result.tests_run, 1014);
+    }
+
+    #[test]
+    fn chunked_xfstests_equals_single_pass() {
+        // The chunked analysis must agree with analyzing one big trace.
+        let iocov = Iocov::with_mount_point(MOUNT).unwrap();
+        let env = TestEnv::new();
+        let sim = XfstestsSim::new(3, 0.01);
+        let mut kernel = env.fresh_kernel();
+        let _ = sim.run_range(&mut kernel, 0..26);
+        let whole = iocov.analyze(&env.take_trace());
+
+        let env2 = TestEnv::new();
+        let mut kernel2 = env2.fresh_kernel();
+        let mut merged = AnalysisReport::default();
+        let _ = sim.run_range(&mut kernel2, 0..13);
+        merged.merge(&iocov.analyze(&env2.take_trace()));
+        let _ = sim.run_range(&mut kernel2, 13..26);
+        merged.merge(&iocov.analyze(&env2.take_trace()));
+
+        assert_eq!(whole.input, merged.input);
+        assert_eq!(whole.output, merged.output);
+    }
+
+    #[test]
+    fn flag_frequencies_cover_axis() {
+        let reports = run_suites(6, 0.01);
+        let freqs = open_flag_frequencies(&reports.xfstests);
+        assert_eq!(freqs.len(), 20);
+        assert!(freqs.iter().any(|(_, c)| *c > 0));
+    }
+
+    #[test]
+    fn sample_trace_has_requested_volume() {
+        let trace = sample_trace(500);
+        assert!(trace.len() >= 500);
+    }
+}

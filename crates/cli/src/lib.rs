@@ -1,0 +1,555 @@
+//! Library behind the `iocov` command-line tool.
+//!
+//! The binary is a thin wrapper over [`run`], which takes parsed
+//! arguments and an output writer — so every code path is testable
+//! without spawning processes.
+//!
+//! ```text
+//! iocov analyze  <trace.jsonl> [--mount PATH] [--json]   coverage report
+//! iocov untested <trace.jsonl> [--mount PATH]            gap summary
+//! iocov combos   <trace.jsonl> [--mount PATH]            flag-combination coverage
+//! iocov tcd      <trace.jsonl> [--mount PATH] --target N TCD of open flags
+//! iocov convert-syz <log.txt>                            syz log → JSONL trace
+//! ```
+
+use std::fmt;
+use std::fs::File;
+use std::io::{BufReader, Write};
+
+use iocov::tcd::{deviation_ranking, tcd_uniform};
+use iocov::{ArgName, BaseSyscall, ComboCoverage, Iocov, IdentifierCoverage};
+use iocov_trace::Trace;
+
+/// A CLI-level error with a user-facing message.
+#[derive(Debug)]
+pub struct CliError(pub String);
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for CliError {}
+
+impl From<std::io::Error> for CliError {
+    fn from(e: std::io::Error) -> Self {
+        CliError(format!("i/o error: {e}"))
+    }
+}
+
+/// Parsed command-line invocation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Command {
+    /// Full coverage report.
+    Analyze {
+        /// Trace file path.
+        trace: String,
+        /// Optional mount-point filter.
+        mount: Option<String>,
+        /// Emit machine-readable JSON instead of text.
+        json: bool,
+    },
+    /// Untested-partition summary.
+    Untested {
+        /// Trace file path.
+        trace: String,
+        /// Optional mount-point filter.
+        mount: Option<String>,
+    },
+    /// Flag-combination coverage.
+    Combos {
+        /// Trace file path.
+        trace: String,
+        /// Optional mount-point filter.
+        mount: Option<String>,
+    },
+    /// TCD of open flags against a uniform target.
+    Tcd {
+        /// Trace file path.
+        trace: String,
+        /// Optional mount-point filter.
+        mount: Option<String>,
+        /// Uniform per-partition target.
+        target: u64,
+    },
+    /// Convert a Syzkaller log to a JSONL trace on stdout.
+    ConvertSyz {
+        /// Log file path.
+        log: String,
+    },
+    /// Compare the coverage of two traces.
+    Diff {
+        /// First trace file.
+        trace_a: String,
+        /// Second trace file.
+        trace_b: String,
+        /// Optional mount-point filter applied to both.
+        mount: Option<String>,
+    },
+    /// Print usage.
+    Help,
+}
+
+/// Parses raw arguments (without the program name).
+///
+/// # Errors
+///
+/// Returns [`CliError`] for unknown commands, missing operands, or
+/// malformed flag values.
+pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
+    let mut iter = args.iter();
+    let Some(command) = iter.next() else {
+        return Ok(Command::Help);
+    };
+    let mut positional: Vec<String> = Vec::new();
+    let mut mount = None;
+    let mut json = false;
+    let mut target: Option<u64> = None;
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--mount" => {
+                mount = Some(
+                    iter.next()
+                        .ok_or_else(|| CliError("--mount needs a path".into()))?
+                        .clone(),
+                );
+            }
+            "--json" => json = true,
+            "--target" => {
+                let value = iter
+                    .next()
+                    .ok_or_else(|| CliError("--target needs a number".into()))?;
+                target = Some(
+                    value
+                        .parse()
+                        .map_err(|_| CliError(format!("bad --target value `{value}`")))?,
+                );
+            }
+            other if other.starts_with("--") => {
+                return Err(CliError(format!("unknown flag `{other}`")));
+            }
+            other => positional.push(other.to_owned()),
+        }
+    }
+    let need_trace = |positional: &[String]| -> Result<String, CliError> {
+        positional
+            .first()
+            .cloned()
+            .ok_or_else(|| CliError("missing trace-file operand".into()))
+    };
+    match command.as_str() {
+        "analyze" => Ok(Command::Analyze {
+            trace: need_trace(&positional)?,
+            mount,
+            json,
+        }),
+        "untested" => Ok(Command::Untested {
+            trace: need_trace(&positional)?,
+            mount,
+        }),
+        "combos" => Ok(Command::Combos {
+            trace: need_trace(&positional)?,
+            mount,
+        }),
+        "tcd" => Ok(Command::Tcd {
+            trace: need_trace(&positional)?,
+            mount,
+            target: target.ok_or_else(|| CliError("tcd requires --target N".into()))?,
+        }),
+        "convert-syz" => Ok(Command::ConvertSyz {
+            log: need_trace(&positional)?,
+        }),
+        "diff" => {
+            let trace_a = need_trace(&positional)?;
+            let trace_b = positional
+                .get(1)
+                .cloned()
+                .ok_or_else(|| CliError("diff needs two trace files".into()))?;
+            Ok(Command::Diff {
+                trace_a,
+                trace_b,
+                mount,
+            })
+        }
+        "help" | "--help" | "-h" => Ok(Command::Help),
+        other => Err(CliError(format!("unknown command `{other}`"))),
+    }
+}
+
+/// Usage text.
+pub const USAGE: &str = "\
+iocov — input/output coverage for file system testing
+
+USAGE:
+  iocov analyze  <trace.jsonl> [--mount PATH] [--json]
+  iocov untested <trace.jsonl> [--mount PATH]
+  iocov combos   <trace.jsonl> [--mount PATH]
+  iocov tcd      <trace.jsonl> [--mount PATH] --target N
+  iocov convert-syz <syz-log.txt>
+  iocov diff     <a.jsonl> <b.jsonl> [--mount PATH]
+
+Traces are JSON Lines of syscall events, as written by
+iocov_trace::write_jsonl (or produced from Syzkaller logs with
+`convert-syz`). --mount filters to the tester's mount point, e.g.
+--mount /mnt/test.";
+
+fn load_trace(path: &str) -> Result<Trace, CliError> {
+    let file = File::open(path).map_err(|e| CliError(format!("cannot open {path}: {e}")))?;
+    iocov_trace::read_jsonl(BufReader::new(file))
+        .map_err(|e| CliError(format!("cannot parse {path}: {e}")))
+}
+
+fn make_iocov(mount: Option<&str>) -> Result<Iocov, CliError> {
+    match mount {
+        Some(mount) => Iocov::with_mount_point(mount)
+            .map_err(|e| CliError(format!("bad mount pattern: {e}"))),
+        None => Ok(Iocov::new()),
+    }
+}
+
+/// Applies the mount filter (if any) to a raw trace, for the analyses
+/// that scan the trace directly.
+fn filtered_trace(trace: &Trace, mount: Option<&str>) -> Result<Trace, CliError> {
+    match mount {
+        Some(mount) => {
+            let filter = iocov::TraceFilter::mount_point(mount)
+                .map_err(|e| CliError(format!("bad mount pattern: {e}")))?;
+            Ok(filter.apply(trace).0)
+        }
+        None => Ok(trace.clone()),
+    }
+}
+
+/// Executes a command, writing human-readable or JSON output to `out`.
+///
+/// # Errors
+///
+/// Propagates file and parse errors as [`CliError`].
+pub fn run<W: Write>(command: &Command, out: &mut W) -> Result<(), CliError> {
+    match command {
+        Command::Help => writeln!(out, "{USAGE}")?,
+        Command::Analyze { trace, mount, json } => {
+            let trace = load_trace(trace)?;
+            let report = make_iocov(mount.as_deref())?.analyze(&trace);
+            if *json {
+                let text = serde_json::to_string_pretty(&report)
+                    .map_err(|e| CliError(format!("serialization failed: {e}")))?;
+                writeln!(out, "{text}")?;
+            } else {
+                writeln!(
+                    out,
+                    "{} events, {} analyzed, {} filtered out\n",
+                    report.filter_stats.total,
+                    report.total_calls(),
+                    report.filter_stats.dropped
+                )?;
+                for arg in ArgName::ALL {
+                    if report.input_coverage(arg).calls > 0 {
+                        write!(out, "{}", iocov::report::render_input(&report, arg))?;
+                        writeln!(out)?;
+                    }
+                }
+                for base in BaseSyscall::ALL {
+                    if report.output_coverage(base).calls > 0 {
+                        write!(out, "{}", iocov::report::render_output(&report, base))?;
+                        writeln!(out)?;
+                    }
+                }
+            }
+        }
+        Command::Untested { trace, mount } => {
+            let trace = load_trace(trace)?;
+            let report = make_iocov(mount.as_deref())?.analyze(&trace);
+            write!(out, "{}", iocov::report::untested_summary(&report))?;
+            // Identifier coverage (future-work metric) rides along.
+            let ids = IdentifierCoverage::from_trace(&filtered_trace(&trace, mount.as_deref())?);
+            let fd_gaps: Vec<String> = ids.untested_fd().iter().map(ToString::to_string).collect();
+            let path_gaps: Vec<String> =
+                ids.untested_path().iter().map(ToString::to_string).collect();
+            writeln!(out, "identifier gaps: fd {{{}}}", fd_gaps.join(", "))?;
+            writeln!(out, "identifier gaps: path {{{}}}", path_gaps.join(", "))?;
+        }
+        Command::Combos { trace, mount } => {
+            let trace = load_trace(trace)?;
+            let filtered = filtered_trace(&trace, mount.as_deref())?;
+            let combos = ComboCoverage::from_trace(&filtered);
+            writeln!(
+                out,
+                "{} open calls, {} distinct flag combinations, pairwise coverage {:.1}%",
+                combos.calls,
+                combos.distinct_combinations(),
+                100.0 * combos.pairwise_fraction()
+            )?;
+            for (combo, count) in combos.top_combinations(10) {
+                writeln!(out, "  {count:>10}  {}", combo.join("|"))?;
+            }
+            let untested = combos.untested_pairs();
+            writeln!(out, "untested pairs: {}", untested.len())?;
+            for (a, b) in untested.iter().take(10) {
+                writeln!(out, "  {a} + {b}")?;
+            }
+        }
+        Command::Tcd {
+            trace,
+            mount,
+            target,
+        } => {
+            let trace = load_trace(trace)?;
+            let report = make_iocov(mount.as_deref())?.analyze(&trace);
+            let freqs = report
+                .input_coverage(ArgName::OpenFlags)
+                .frequency_vector(ArgName::OpenFlags);
+            writeln!(
+                out,
+                "TCD(open.flags, uniform target {target}) = {:.4}",
+                tcd_uniform(&freqs, *target)
+            )?;
+            // The actionable ranking: which partitions deviate most.
+            let partitions = iocov::arg_domain(ArgName::OpenFlags).all_partitions();
+            let ranked = deviation_ranking(&partitions, &freqs, *target);
+            writeln!(out, "worst deviations (− under-tested, + over-tested):")?;
+            for d in ranked.iter().take(5) {
+                writeln!(
+                    out,
+                    "  {:<14} freq {:>10}  {:+.2} decades",
+                    d.partition.to_string(),
+                    d.frequency,
+                    d.deviation
+                )?;
+            }
+        }
+        Command::Diff {
+            trace_a,
+            trace_b,
+            mount,
+        } => {
+            let iocov = make_iocov(mount.as_deref())?;
+            let a = iocov.analyze(&load_trace(trace_a)?);
+            let b = iocov.analyze(&load_trace(trace_b)?);
+            let d = iocov::report::diff(&a, &b);
+            if d.is_empty() {
+                writeln!(out, "identical partition coverage")?;
+            } else {
+                write!(out, "{}", iocov::report::render_diff(&d, trace_a, trace_b))?;
+            }
+        }
+        Command::ConvertSyz { log } => {
+            let text = std::fs::read_to_string(log)
+                .map_err(|e| CliError(format!("cannot read {log}: {e}")))?;
+            let trace = iocov::syzlang::parse_to_trace(&text)
+                .map_err(|e| CliError(format!("cannot parse {log}: {e}")))?;
+            iocov_trace::write_jsonl(out, &trace)
+                .map_err(|e| CliError(format!("cannot write trace: {e}")))?;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| (*s).to_owned()).collect()
+    }
+
+    fn sample_trace_file() -> tempfile::TempTrace {
+        use iocov_syscalls::Kernel;
+        use iocov_trace::Recorder;
+        let recorder = Arc::new(Recorder::new());
+        let mut kernel = Kernel::new();
+        kernel.attach_recorder(Arc::clone(&recorder));
+        kernel.mkdir("/mnt", 0o755);
+        kernel.mkdir("/mnt/test", 0o755);
+        let fd = kernel.open("/mnt/test/f", 0o102 | 0o100, 0o644) as i32;
+        kernel.write(fd, &[0u8; 300]);
+        kernel.close(fd);
+        kernel.open("/mnt/test/missing", 0, 0);
+        kernel.open("/etc/noise", 0, 0);
+        tempfile::TempTrace::new(&recorder.take())
+    }
+
+    /// Minimal temp-file helper (std-only).
+    mod tempfile {
+        pub struct TempTrace {
+            pub path: String,
+        }
+        impl TempTrace {
+            pub fn new(trace: &iocov_trace::Trace) -> Self {
+                let path = std::env::temp_dir().join(format!(
+                    "iocov-cli-test-{}-{:p}.jsonl",
+                    std::process::id(),
+                    trace
+                ));
+                let mut file = std::fs::File::create(&path).unwrap();
+                iocov_trace::write_jsonl(&mut file, trace).unwrap();
+                TempTrace {
+                    path: path.to_string_lossy().into_owned(),
+                }
+            }
+        }
+        impl Drop for TempTrace {
+            fn drop(&mut self) {
+                let _ = std::fs::remove_file(&self.path);
+            }
+        }
+    }
+
+    #[test]
+    fn parse_commands() {
+        assert_eq!(parse_args(&[]).unwrap(), Command::Help);
+        assert_eq!(parse_args(&args(&["help"])).unwrap(), Command::Help);
+        assert_eq!(
+            parse_args(&args(&["analyze", "t.jsonl", "--mount", "/mnt/test", "--json"])).unwrap(),
+            Command::Analyze {
+                trace: "t.jsonl".into(),
+                mount: Some("/mnt/test".into()),
+                json: true
+            }
+        );
+        assert_eq!(
+            parse_args(&args(&["tcd", "t.jsonl", "--target", "1000"])).unwrap(),
+            Command::Tcd {
+                trace: "t.jsonl".into(),
+                mount: None,
+                target: 1000
+            }
+        );
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!(parse_args(&args(&["bogus"])).is_err());
+        assert!(parse_args(&args(&["analyze"])).is_err());
+        assert!(parse_args(&args(&["analyze", "t", "--mount"])).is_err());
+        assert!(parse_args(&args(&["tcd", "t"])).is_err(), "tcd needs --target");
+        assert!(parse_args(&args(&["tcd", "t", "--target", "abc"])).is_err());
+        assert!(parse_args(&args(&["analyze", "t", "--nope"])).is_err());
+    }
+
+    #[test]
+    fn analyze_text_output() {
+        let file = sample_trace_file();
+        let cmd = parse_args(&args(&["analyze", &file.path, "--mount", "/mnt/test"])).unwrap();
+        let mut out = Vec::new();
+        run(&cmd, &mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("filtered out"));
+        assert!(text.contains("open.flags"));
+        assert!(text.contains("ENOENT"));
+    }
+
+    #[test]
+    fn analyze_json_output_roundtrips() {
+        let file = sample_trace_file();
+        let cmd = parse_args(&args(&["analyze", &file.path, "--json"])).unwrap();
+        let mut out = Vec::new();
+        run(&cmd, &mut out).unwrap();
+        let report: iocov::AnalysisReport = serde_json::from_slice(&out).unwrap();
+        assert!(report.total_calls() > 0);
+    }
+
+    #[test]
+    fn untested_and_combos_and_tcd() {
+        let file = sample_trace_file();
+        for cmd_args in [
+            vec!["untested", file.path.as_str()],
+            vec!["combos", file.path.as_str()],
+            vec!["tcd", file.path.as_str(), "--target", "100"],
+        ] {
+            let cmd = parse_args(&args(&cmd_args)).unwrap();
+            let mut out = Vec::new();
+            run(&cmd, &mut out).unwrap();
+            assert!(!out.is_empty(), "{cmd_args:?}");
+        }
+    }
+
+    #[test]
+    fn convert_syz_produces_jsonl() {
+        let log_path = std::env::temp_dir().join(format!("iocov-syz-{}.txt", std::process::id()));
+        std::fs::write(
+            &log_path,
+            "r0 = open(&(0x7f0000000000)='/f\\x00', 0x42, 0x1a4) # 3\nclose(r0) # 0\n",
+        )
+        .unwrap();
+        let cmd = parse_args(&args(&["convert-syz", log_path.to_str().unwrap()])).unwrap();
+        let mut out = Vec::new();
+        run(&cmd, &mut out).unwrap();
+        let trace = iocov_trace::read_jsonl(&out[..]).unwrap();
+        assert_eq!(trace.len(), 2);
+        let _ = std::fs::remove_file(&log_path);
+    }
+
+    #[test]
+    fn missing_file_is_a_clean_error() {
+        let cmd = parse_args(&args(&["analyze", "/definitely/missing.jsonl"])).unwrap();
+        let mut out = Vec::new();
+        let err = run(&cmd, &mut out).unwrap_err();
+        assert!(err.to_string().contains("cannot open"));
+    }
+
+    #[test]
+    fn help_prints_usage() {
+        let mut out = Vec::new();
+        run(&Command::Help, &mut out).unwrap();
+        assert!(String::from_utf8(out).unwrap().contains("USAGE"));
+    }
+}
+
+#[cfg(test)]
+mod diff_tests {
+    use super::*;
+    use std::sync::Arc;
+
+    fn trace_file(flags: u32, path_suffix: &str) -> String {
+        use iocov_syscalls::Kernel;
+        use iocov_trace::Recorder;
+        let recorder = Arc::new(Recorder::new());
+        let mut kernel = Kernel::new();
+        kernel.attach_recorder(Arc::clone(&recorder));
+        kernel.open(&format!("/f-{path_suffix}"), flags | 0o100, 0o644);
+        let path = std::env::temp_dir().join(format!(
+            "iocov-diff-test-{}-{path_suffix}.jsonl",
+            std::process::id()
+        ));
+        let mut file = std::fs::File::create(&path).unwrap();
+        iocov_trace::write_jsonl(&mut file, &recorder.take()).unwrap();
+        path.to_string_lossy().into_owned()
+    }
+
+    #[test]
+    fn diff_command_reports_one_sided_coverage() {
+        let a = trace_file(0o1, "a"); // O_WRONLY|O_CREAT
+        let b = trace_file(0o2002, "b"); // O_RDWR|O_APPEND|O_CREAT
+        let cmd = parse_args(&[
+            "diff".to_owned(),
+            a.clone(),
+            b.clone(),
+        ])
+        .unwrap();
+        let mut out = Vec::new();
+        run(&cmd, &mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("O_WRONLY"), "{text}");
+        assert!(text.contains("O_APPEND"), "{text}");
+        let _ = std::fs::remove_file(&a);
+        let _ = std::fs::remove_file(&b);
+    }
+
+    #[test]
+    fn diff_of_same_file_is_identical() {
+        let a = trace_file(0, "same");
+        let cmd = parse_args(&["diff".to_owned(), a.clone(), a.clone()]).unwrap();
+        let mut out = Vec::new();
+        run(&cmd, &mut out).unwrap();
+        assert!(String::from_utf8(out).unwrap().contains("identical"));
+        let _ = std::fs::remove_file(&a);
+    }
+
+    #[test]
+    fn diff_requires_two_operands() {
+        assert!(parse_args(&["diff".to_owned(), "one.jsonl".to_owned()]).is_err());
+    }
+}

@@ -1,0 +1,24 @@
+//! The `iocov` command-line entry point (logic lives in the library).
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let command = match iocov_cli::parse_args(&args) {
+        Ok(command) => command,
+        Err(e) => {
+            eprintln!("iocov: {e}");
+            eprintln!("{}", iocov_cli::USAGE);
+            return ExitCode::from(2);
+        }
+    };
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+    match iocov_cli::run(&command, &mut out) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("iocov: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

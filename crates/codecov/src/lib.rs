@@ -1,0 +1,126 @@
+//! Gcov-substitute code-coverage instrumentation.
+//!
+//! The IOCov paper's §2 bug study used Gcov to ask, for each bug-fix commit,
+//! "did xfstests *cover* the buggy lines/functions/branches, and did it still
+//! *miss* the bug?". Our reproduction runs against an in-memory file system,
+//! so instead of compiler-inserted counters this crate provides explicit
+//! instrumentation probes that the `iocov-vfs` implementation calls on
+//! every function entry, branch arm, and annotated line.
+//!
+//! The model mirrors Gcov's:
+//!
+//! * a probe universe is **declared** up front (so unexecuted probes are
+//!   visible as *uncovered*, exactly like Gcov's 0-count lines), and
+//! * execution **hits** increment per-probe counters, from which snapshots,
+//!   diffs, and reports (line / function / branch coverage percentages) are
+//!   derived.
+//!
+//! # Examples
+//!
+//! ```
+//! use iocov_codecov::{ProbeKind, Registry};
+//!
+//! let reg = Registry::new();
+//! reg.declare(ProbeKind::Function, "vfs::open");
+//! reg.declare(ProbeKind::Branch, "vfs::open/excl:T");
+//! reg.declare(ProbeKind::Branch, "vfs::open/excl:F");
+//!
+//! reg.hit(ProbeKind::Function, "vfs::open");
+//! reg.hit(ProbeKind::Branch, "vfs::open/excl:F");
+//!
+//! let report = reg.report();
+//! assert_eq!(report.functions.covered, 1);
+//! assert_eq!(report.branches.covered, 1);
+//! assert_eq!(report.branches.total, 2);
+//! ```
+
+mod registry;
+mod report;
+
+pub use registry::{CoverageHandle, ProbeKind, Registry};
+pub use report::{CoverageReport, KindSummary, Snapshot};
+
+use std::sync::OnceLock;
+
+/// Returns the process-wide global registry (created on first use).
+///
+/// The instrumentation macros ([`cov_fn!`], [`cov_branch!`], [`cov_line!`])
+/// record into this registry. Library code that needs isolated measurements
+/// (e.g. one registry per simulated file system) should create its own
+/// [`Registry`] instead.
+pub fn global() -> &'static Registry {
+    static GLOBAL: OnceLock<Registry> = OnceLock::new();
+    GLOBAL.get_or_init(Registry::new)
+}
+
+/// Records a function-entry hit in the [`global`] registry.
+///
+/// ```
+/// fn traced_operation() {
+///     iocov_codecov::cov_fn!("example::traced_operation");
+/// }
+/// traced_operation();
+/// let snap = iocov_codecov::global().snapshot();
+/// assert!(snap.count(iocov_codecov::ProbeKind::Function, "example::traced_operation") >= 1);
+/// ```
+#[macro_export]
+macro_rules! cov_fn {
+    ($name:expr) => {
+        $crate::global().hit($crate::ProbeKind::Function, $name)
+    };
+}
+
+/// Records a branch outcome in the [`global`] registry and returns the
+/// condition value, so it can wrap an `if` condition in place:
+///
+/// ```
+/// let missing = true;
+/// if iocov_codecov::cov_branch!("example::lookup/missing", missing) {
+///     // error path
+/// }
+/// ```
+///
+/// The true arm is recorded as `"<name>:T"` and the false arm as
+/// `"<name>:F"`.
+#[macro_export]
+macro_rules! cov_branch {
+    ($name:expr, $cond:expr) => {{
+        let cond: bool = $cond;
+        $crate::global().hit_branch($name, cond);
+        cond
+    }};
+}
+
+/// Records an annotated-line hit in the [`global`] registry.
+///
+/// ```
+/// iocov_codecov::cov_line!("example.rs:42");
+/// ```
+#[macro_export]
+macro_rules! cov_line {
+    ($name:expr) => {
+        $crate::global().hit($crate::ProbeKind::Line, $name)
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn macros_record_into_global_registry() {
+        cov_fn!("lib_tests::fn_probe");
+        cov_fn!("lib_tests::fn_probe");
+        cov_line!("lib_tests.rs:1");
+        let taken = cov_branch!("lib_tests::br", 1 + 1 == 2);
+        assert!(taken);
+        let not_taken = cov_branch!("lib_tests::br", false);
+        assert!(!not_taken);
+
+        let snap = global().snapshot();
+        assert_eq!(snap.count(ProbeKind::Function, "lib_tests::fn_probe"), 2);
+        assert_eq!(snap.count(ProbeKind::Line, "lib_tests.rs:1"), 1);
+        assert_eq!(snap.count(ProbeKind::Branch, "lib_tests::br:T"), 1);
+        assert_eq!(snap.count(ProbeKind::Branch, "lib_tests::br:F"), 1);
+    }
+}

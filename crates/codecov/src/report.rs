@@ -1,0 +1,282 @@
+//! Coverage snapshots, diffs, and reports.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::registry::ProbeKind;
+
+/// An immutable capture of probe counts at one point in time.
+///
+/// Snapshots support set-difference, which is how callers measure the
+/// coverage of a *single run* against a long-lived registry: snapshot
+/// before, run, snapshot after, diff.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(from = "Vec<SnapshotEntry>", into = "Vec<SnapshotEntry>")]
+pub struct Snapshot {
+    counts: BTreeMap<(ProbeKind, String), u64>,
+}
+
+/// Flat serialization form of one snapshot entry (JSON maps need string
+/// keys, so the `(kind, name)` tuple key is flattened).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct SnapshotEntry {
+    kind: ProbeKind,
+    name: String,
+    count: u64,
+}
+
+impl From<Vec<SnapshotEntry>> for Snapshot {
+    fn from(entries: Vec<SnapshotEntry>) -> Self {
+        Snapshot {
+            counts: entries
+                .into_iter()
+                .map(|e| ((e.kind, e.name), e.count))
+                .collect(),
+        }
+    }
+}
+
+impl From<Snapshot> for Vec<SnapshotEntry> {
+    fn from(snap: Snapshot) -> Self {
+        snap.counts
+            .into_iter()
+            .map(|((kind, name), count)| SnapshotEntry { kind, name, count })
+            .collect()
+    }
+}
+
+impl Snapshot {
+    /// Builds a snapshot from raw `(key, count)` pairs.
+    pub(crate) fn from_counts(
+        iter: impl IntoIterator<Item = ((ProbeKind, String), u64)>,
+    ) -> Self {
+        Snapshot {
+            counts: iter.into_iter().collect(),
+        }
+    }
+
+    /// The count recorded for a probe (0 if unknown).
+    #[must_use]
+    pub fn count(&self, kind: ProbeKind, name: &str) -> u64 {
+        self.counts
+            .get(&(kind, name.to_owned()))
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Number of known probes.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Whether the snapshot is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.counts.is_empty()
+    }
+
+    /// Iterates over `(kind, name, count)` in deterministic order.
+    pub fn iter(&self) -> impl Iterator<Item = (ProbeKind, &str, u64)> {
+        self.counts
+            .iter()
+            .map(|((kind, name), count)| (*kind, name.as_str(), *count))
+    }
+
+    /// Returns a snapshot of `self - earlier` (per-probe saturating
+    /// subtraction), i.e. the activity between two snapshots. Probes only
+    /// present in `earlier` are kept with count 0 so declarations survive.
+    #[must_use]
+    pub fn since(&self, earlier: &Snapshot) -> Snapshot {
+        let mut counts = BTreeMap::new();
+        for (key, &count) in &self.counts {
+            let before = earlier.counts.get(key).copied().unwrap_or(0);
+            counts.insert(key.clone(), count.saturating_sub(before));
+        }
+        for key in earlier.counts.keys() {
+            counts.entry(key.clone()).or_insert(0);
+        }
+        Snapshot { counts }
+    }
+
+    /// Builds a coverage report from this snapshot.
+    #[must_use]
+    pub fn report(&self) -> CoverageReport {
+        let mut report = CoverageReport::default();
+        for ((kind, name), &count) in &self.counts {
+            let summary = match kind {
+                ProbeKind::Function => &mut report.functions,
+                ProbeKind::Branch => &mut report.branches,
+                ProbeKind::Line => &mut report.lines,
+            };
+            summary.total += 1;
+            if count > 0 {
+                summary.covered += 1;
+                summary.hits += count;
+            } else {
+                summary.uncovered.push(name.clone());
+            }
+        }
+        report
+    }
+}
+
+/// Aggregate coverage for one probe kind.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct KindSummary {
+    /// Probes known (declared or hit).
+    pub total: usize,
+    /// Probes with a nonzero count.
+    pub covered: usize,
+    /// Sum of all hit counts.
+    pub hits: u64,
+    /// Names of probes with a zero count, sorted.
+    pub uncovered: Vec<String>,
+}
+
+impl KindSummary {
+    /// Covered fraction in percent (100.0 when no probes are known).
+    #[must_use]
+    pub fn percent(&self) -> f64 {
+        if self.total == 0 {
+            100.0
+        } else {
+            100.0 * self.covered as f64 / self.total as f64
+        }
+    }
+}
+
+/// A Gcov-style coverage report over functions, branches, and lines.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct CoverageReport {
+    /// Function coverage.
+    pub functions: KindSummary,
+    /// Branch coverage.
+    pub branches: KindSummary,
+    /// Line coverage.
+    pub lines: KindSummary,
+}
+
+impl fmt::Display for CoverageReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "functions: {}/{} ({:.1}%)",
+            self.functions.covered,
+            self.functions.total,
+            self.functions.percent()
+        )?;
+        writeln!(
+            f,
+            "branches:  {}/{} ({:.1}%)",
+            self.branches.covered,
+            self.branches.total,
+            self.branches.percent()
+        )?;
+        write!(
+            f,
+            "lines:     {}/{} ({:.1}%)",
+            self.lines.covered,
+            self.lines.total,
+            self.lines.percent()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::Registry;
+
+    #[test]
+    fn snapshot_counts_and_iteration() {
+        let reg = Registry::new();
+        reg.hit(ProbeKind::Function, "a");
+        reg.hit(ProbeKind::Function, "a");
+        reg.declare(ProbeKind::Function, "b");
+        let snap = reg.snapshot();
+        assert_eq!(snap.count(ProbeKind::Function, "a"), 2);
+        assert_eq!(snap.count(ProbeKind::Function, "b"), 0);
+        assert_eq!(snap.count(ProbeKind::Function, "c"), 0);
+        assert_eq!(snap.len(), 2);
+        assert!(!snap.is_empty());
+        let items: Vec<_> = snap.iter().collect();
+        assert_eq!(items[0], (ProbeKind::Function, "a", 2));
+    }
+
+    #[test]
+    fn since_computes_per_run_activity() {
+        let reg = Registry::new();
+        reg.declare(ProbeKind::Function, "never");
+        reg.hit(ProbeKind::Function, "warm");
+        let before = reg.snapshot();
+        reg.hit(ProbeKind::Function, "warm");
+        reg.hit(ProbeKind::Function, "fresh");
+        let after = reg.snapshot();
+        let run = after.since(&before);
+        assert_eq!(run.count(ProbeKind::Function, "warm"), 1);
+        assert_eq!(run.count(ProbeKind::Function, "fresh"), 1);
+        assert_eq!(run.count(ProbeKind::Function, "never"), 0);
+        // Declarations survive the diff.
+        assert_eq!(run.len(), 3);
+    }
+
+    #[test]
+    fn report_classifies_covered_and_uncovered() {
+        let reg = Registry::new();
+        reg.declare(ProbeKind::Function, "cold_fn");
+        reg.hit(ProbeKind::Function, "hot_fn");
+        reg.declare_branch("br");
+        reg.hit_branch("br", true);
+        reg.hit(ProbeKind::Line, "l:1");
+        let report = reg.report();
+        assert_eq!(report.functions.total, 2);
+        assert_eq!(report.functions.covered, 1);
+        assert_eq!(report.functions.uncovered, vec!["cold_fn".to_owned()]);
+        assert_eq!(report.branches.total, 2);
+        assert_eq!(report.branches.covered, 1);
+        assert_eq!(report.branches.uncovered, vec!["br:F".to_owned()]);
+        assert_eq!(report.lines.total, 1);
+        assert_eq!(report.lines.covered, 1);
+        assert!((report.functions.percent() - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn percent_of_empty_summary_is_full() {
+        let summary = KindSummary::default();
+        assert!((summary.percent() - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn display_renders_all_three_kinds() {
+        let reg = Registry::new();
+        reg.hit(ProbeKind::Function, "f");
+        let text = reg.report().to_string();
+        assert!(text.contains("functions: 1/1"));
+        assert!(text.contains("branches:  0/0"));
+        assert!(text.contains("lines:     0/0"));
+    }
+
+    #[test]
+    fn snapshot_serde_roundtrip() {
+        let reg = Registry::new();
+        reg.hit(ProbeKind::Function, "f");
+        reg.declare_branch("b");
+        let snap = reg.snapshot();
+        let json = serde_json::to_string(&snap).unwrap();
+        let back: Snapshot = serde_json::from_str(&json).unwrap();
+        assert_eq!(snap, back);
+    }
+
+    #[test]
+    fn report_serde_roundtrip() {
+        let reg = Registry::new();
+        reg.hit(ProbeKind::Line, "l:9");
+        let report = reg.report();
+        let json = serde_json::to_string(&report).unwrap();
+        let back: CoverageReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(report, back);
+    }
+}

@@ -1,0 +1,540 @@
+//! The coverage analyzer: from filtered traces to input/output coverage.
+
+use std::collections::BTreeMap;
+
+use iocov_syscalls::BaseSyscall;
+use iocov_trace::Trace;
+use serde::{Deserialize, Serialize};
+
+use crate::arg::ArgName;
+use crate::domain::{arg_domain, open_flags_present, output_buckets_bytes, output_errnos};
+use crate::filter::{FilterStats, TraceFilter};
+use crate::partition::{InputPartition, OutputPartition};
+use crate::variants::normalize;
+
+/// Serializes partition-keyed maps as pair lists (JSON object keys must
+/// be strings, and partitions are structured values).
+mod pairs {
+    use serde::de::Deserializer;
+    use serde::ser::Serializer;
+    use serde::{Deserialize, Serialize};
+    use std::collections::BTreeMap;
+
+    pub(super) fn serialize<K, S>(map: &BTreeMap<K, u64>, serializer: S) -> Result<S::Ok, S::Error>
+    where
+        K: Serialize + Ord,
+        S: Serializer,
+    {
+        let entries: Vec<(&K, &u64)> = map.iter().collect();
+        entries.serialize(serializer)
+    }
+
+    pub(super) fn deserialize<'de, K, D>(deserializer: D) -> Result<BTreeMap<K, u64>, D::Error>
+    where
+        K: Deserialize<'de> + Ord,
+        D: Deserializer<'de>,
+    {
+        let entries: Vec<(K, u64)> = Vec::deserialize(deserializer)?;
+        Ok(entries.into_iter().collect())
+    }
+}
+
+/// Input coverage of one tracked argument: hit counts per partition.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct InputCoverage {
+    /// Hit count per partition.
+    #[serde(with = "pairs")]
+    pub counts: BTreeMap<InputPartition, u64>,
+    /// Number of calls that contributed a value for this argument.
+    pub calls: u64,
+}
+
+impl InputCoverage {
+    /// The hit count of one partition (0 if never exercised).
+    #[must_use]
+    pub fn count(&self, partition: &InputPartition) -> u64 {
+        self.counts.get(partition).copied().unwrap_or(0)
+    }
+
+    /// Partitions of `arg`'s displayed domain never exercised — the
+    /// actionable "untested cases" the paper reports.
+    #[must_use]
+    pub fn untested(&self, arg: ArgName) -> Vec<InputPartition> {
+        arg_domain(arg)
+            .all_partitions()
+            .into_iter()
+            .filter(|p| self.count(p) == 0)
+            .collect()
+    }
+
+    /// Covered fraction of the displayed domain, in `[0, 1]`.
+    #[must_use]
+    pub fn coverage_fraction(&self, arg: ArgName) -> f64 {
+        let domain = arg_domain(arg).all_partitions();
+        if domain.is_empty() {
+            return 1.0;
+        }
+        let covered = domain.iter().filter(|p| self.count(p) > 0).count();
+        covered as f64 / domain.len() as f64
+    }
+
+    /// The frequency vector over the displayed domain, in canonical
+    /// order — the input to TCD.
+    #[must_use]
+    pub fn frequency_vector(&self, arg: ArgName) -> Vec<u64> {
+        arg_domain(arg)
+            .all_partitions()
+            .iter()
+            .map(|p| self.count(p))
+            .collect()
+    }
+}
+
+/// Output coverage of one base syscall.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OutputCoverage {
+    /// Hit count per output partition.
+    #[serde(with = "pairs")]
+    pub counts: BTreeMap<OutputPartition, u64>,
+    /// Total calls observed.
+    pub calls: u64,
+}
+
+impl OutputCoverage {
+    /// The hit count of one partition.
+    #[must_use]
+    pub fn count(&self, partition: &OutputPartition) -> u64 {
+        self.counts.get(partition).copied().unwrap_or(0)
+    }
+
+    /// Total successful calls (all `OK` partitions).
+    #[must_use]
+    pub fn successes(&self) -> u64 {
+        self.counts
+            .iter()
+            .filter(|(p, _)| p.is_success())
+            .map(|(_, c)| c)
+            .sum()
+    }
+
+    /// Total failed calls.
+    #[must_use]
+    pub fn errors(&self) -> u64 {
+        self.calls - self.successes()
+    }
+
+    /// Count for a specific errno name.
+    #[must_use]
+    pub fn errno_count(&self, name: &str) -> u64 {
+        self.count(&OutputPartition::Err(name.to_owned()))
+    }
+
+    /// Errnos in the syscall's manual-page domain never elicited.
+    #[must_use]
+    pub fn untested_errnos(&self, base: BaseSyscall) -> Vec<&'static str> {
+        output_errnos(base)
+            .iter()
+            .copied()
+            .filter(|name| self.errno_count(name) == 0)
+            .collect()
+    }
+
+    /// Covered fraction of the output domain (`OK` plus each errno).
+    #[must_use]
+    pub fn coverage_fraction(&self, base: BaseSyscall) -> f64 {
+        let errnos = output_errnos(base);
+        let total = errnos.len() + 1; // + OK
+        let mut covered = usize::from(self.successes() > 0);
+        covered += errnos.iter().filter(|n| self.errno_count(n) > 0).count();
+        covered as f64 / total as f64
+    }
+}
+
+/// Histogram of how many `open` flags were combined per call (Table 1).
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ComboHistogram {
+    /// Combination size → call count, over all `open`-family calls.
+    pub sizes: BTreeMap<usize, u64>,
+    /// Same, restricted to combinations containing `O_RDONLY` (the most
+    /// popular flag, per the paper).
+    pub sizes_with_rdonly: BTreeMap<usize, u64>,
+}
+
+impl ComboHistogram {
+    /// Percentage distribution over combination sizes `1..=max`.
+    #[must_use]
+    pub fn percentages(&self, restricted_to_rdonly: bool) -> Vec<(usize, f64)> {
+        let map = if restricted_to_rdonly {
+            &self.sizes_with_rdonly
+        } else {
+            &self.sizes
+        };
+        let total: u64 = map.values().sum();
+        if total == 0 {
+            return Vec::new();
+        }
+        map.iter()
+            .map(|(&size, &count)| (size, 100.0 * count as f64 / total as f64))
+            .collect()
+    }
+
+    /// The largest combination size observed.
+    #[must_use]
+    pub fn max_size(&self) -> usize {
+        self.sizes.keys().next_back().copied().unwrap_or(0)
+    }
+}
+
+/// The complete result of analyzing one trace.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct AnalysisReport {
+    /// Filtering statistics.
+    pub filter_stats: FilterStats,
+    /// Input coverage per tracked argument.
+    pub input: BTreeMap<ArgName, InputCoverage>,
+    /// Output coverage per base syscall, keyed by base-syscall name.
+    pub output: BTreeMap<String, OutputCoverage>,
+    /// Calls per concrete syscall variant.
+    pub calls_per_variant: BTreeMap<String, u64>,
+    /// The Table 1 histogram of `open` flag combinations.
+    pub open_combos: ComboHistogram,
+}
+
+impl AnalysisReport {
+    /// Input coverage of one argument (empty coverage if never seen).
+    #[must_use]
+    pub fn input_coverage(&self, arg: ArgName) -> InputCoverage {
+        self.input.get(&arg).cloned().unwrap_or_default()
+    }
+
+    /// Output coverage of one base syscall.
+    #[must_use]
+    pub fn output_coverage(&self, base: BaseSyscall) -> OutputCoverage {
+        self.output.get(base.name()).cloned().unwrap_or_default()
+    }
+
+    /// Total analyzed (post-filter, in-domain) calls.
+    #[must_use]
+    pub fn total_calls(&self) -> u64 {
+        self.calls_per_variant.values().sum()
+    }
+
+    /// Merges another report into this one (for aggregating per-test
+    /// traces into a suite total).
+    pub fn merge(&mut self, other: &AnalysisReport) {
+        self.filter_stats.total += other.filter_stats.total;
+        self.filter_stats.kept += other.filter_stats.kept;
+        self.filter_stats.dropped += other.filter_stats.dropped;
+        for (arg, cov) in &other.input {
+            let mine = self.input.entry(*arg).or_default();
+            mine.calls += cov.calls;
+            for (p, c) in &cov.counts {
+                *mine.counts.entry(p.clone()).or_insert(0) += c;
+            }
+        }
+        for (base, cov) in &other.output {
+            let mine = self.output.entry(base.clone()).or_default();
+            mine.calls += cov.calls;
+            for (p, c) in &cov.counts {
+                *mine.counts.entry(p.clone()).or_insert(0) += c;
+            }
+        }
+        for (name, count) in &other.calls_per_variant {
+            *self.calls_per_variant.entry(name.clone()).or_insert(0) += count;
+        }
+        for (&size, &count) in &other.open_combos.sizes {
+            *self.open_combos.sizes.entry(size).or_insert(0) += count;
+        }
+        for (&size, &count) in &other.open_combos.sizes_with_rdonly {
+            *self.open_combos.sizes_with_rdonly.entry(size).or_insert(0) += count;
+        }
+    }
+}
+
+/// The IOCov analyzer: trace filter + variant handler + partitioner.
+#[derive(Debug, Clone, Default)]
+pub struct Analyzer {
+    filter: TraceFilter,
+}
+
+impl Analyzer {
+    /// An analyzer with a mount-point filter.
+    #[must_use]
+    pub fn new(filter: TraceFilter) -> Self {
+        Analyzer { filter }
+    }
+
+    /// An analyzer that analyzes every event (no filtering).
+    #[must_use]
+    pub fn unfiltered() -> Self {
+        Analyzer {
+            filter: TraceFilter::keep_all(),
+        }
+    }
+
+    /// The configured filter.
+    #[must_use]
+    pub fn filter(&self) -> &TraceFilter {
+        &self.filter
+    }
+
+    /// Runs the full pipeline — filter, variant merge, partition, count —
+    /// over one trace.
+    #[must_use]
+    pub fn analyze(&self, trace: &Trace) -> AnalysisReport {
+        let (kept, filter_stats) = self.filter.apply(trace);
+        let mut report = AnalysisReport {
+            filter_stats,
+            ..AnalysisReport::default()
+        };
+        for event in &kept {
+            accumulate(&mut report, event);
+        }
+        report
+    }
+}
+
+/// Accumulates one (already filter-accepted) event into a report — the
+/// shared per-event step of batch and streaming analysis.
+pub(crate) fn accumulate(report: &mut AnalysisReport, event: &iocov_trace::TraceEvent) {
+    let Some(call) = normalize(event) else {
+        return; // tester noise outside the 27-call domain
+    };
+    *report
+        .calls_per_variant
+        .entry(call.sysno.name().to_owned())
+        .or_insert(0) += 1;
+
+    // Input partitions.
+    for (arg, value) in &call.args {
+        let domain = arg_domain(*arg);
+        let cov = report.input.entry(*arg).or_default();
+        cov.calls += 1;
+        for partition in domain.partitions_of(*value) {
+            *cov.counts.entry(partition).or_insert(0) += 1;
+        }
+        // Table 1: flag-combination histogram for open.
+        if *arg == ArgName::OpenFlags {
+            if let crate::arg::TrackedValue::Bits(bits) = value {
+                let present = open_flags_present(*bits);
+                if !present.is_empty() {
+                    let n = present.len();
+                    *report.open_combos.sizes.entry(n).or_insert(0) += 1;
+                    if present.contains(&"O_RDONLY") {
+                        *report.open_combos.sizes_with_rdonly.entry(n).or_insert(0) += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    // Output partition.
+    let bucket_bytes = output_buckets_bytes(call.base);
+    let partition = OutputPartition::of(call.retval, bucket_bytes);
+    let cov = report.output.entry(call.base.name().to_owned()).or_default();
+    cov.calls += 1;
+    *cov.counts.entry(partition).or_insert(0) += 1;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::partition::NumericPartition;
+    use iocov_trace::{ArgValue, TraceEvent};
+
+    fn ev(name: &str, args: Vec<ArgValue>, retval: i64) -> TraceEvent {
+        TraceEvent::build(name, 0, args, retval)
+    }
+
+    fn open_ev(path: &str, flags: u32, retval: i64) -> TraceEvent {
+        ev(
+            "open",
+            vec![ArgValue::Path(path.into()), ArgValue::Flags(flags), ArgValue::Mode(0o644)],
+            retval,
+        )
+    }
+
+    fn write_ev(count: u64, retval: i64) -> TraceEvent {
+        ev(
+            "write",
+            vec![ArgValue::Fd(3), ArgValue::Ptr(1), ArgValue::UInt(count)],
+            retval,
+        )
+    }
+
+    #[test]
+    fn input_coverage_counts_flag_partitions() {
+        let analyzer = Analyzer::unfiltered();
+        let trace = Trace::from_events(vec![
+            open_ev("/f", 0, 3),           // O_RDONLY
+            open_ev("/f", 0o101, 4),       // O_WRONLY|O_CREAT
+            open_ev("/f", 0o101, 5),
+        ]);
+        let report = analyzer.analyze(&trace);
+        let cov = report.input_coverage(ArgName::OpenFlags);
+        assert_eq!(cov.count(&InputPartition::Flag("O_RDONLY".into())), 1);
+        assert_eq!(cov.count(&InputPartition::Flag("O_WRONLY".into())), 2);
+        assert_eq!(cov.count(&InputPartition::Flag("O_CREAT".into())), 2);
+        assert_eq!(cov.count(&InputPartition::Flag("O_EXCL".into())), 0);
+        assert_eq!(cov.calls, 3);
+        assert!(cov.untested(ArgName::OpenFlags).contains(&InputPartition::Flag("O_TMPFILE".into())));
+    }
+
+    #[test]
+    fn write_sizes_bucket_by_log2_with_zero_boundary() {
+        let analyzer = Analyzer::unfiltered();
+        let trace = Trace::from_events(vec![
+            write_ev(0, 0),
+            write_ev(1, 1),
+            write_ev(4096, 4096),
+            write_ev(5000, 5000),
+        ]);
+        let report = analyzer.analyze(&trace);
+        let cov = report.input_coverage(ArgName::WriteCount);
+        assert_eq!(cov.count(&InputPartition::Numeric(NumericPartition::Zero)), 1);
+        assert_eq!(cov.count(&InputPartition::Numeric(NumericPartition::Log2(0))), 1);
+        assert_eq!(cov.count(&InputPartition::Numeric(NumericPartition::Log2(12))), 2);
+        let frac = cov.coverage_fraction(ArgName::WriteCount);
+        assert!(frac > 0.0 && frac < 0.2);
+    }
+
+    #[test]
+    fn output_coverage_separates_ok_buckets_and_errnos() {
+        let analyzer = Analyzer::unfiltered();
+        let trace = Trace::from_events(vec![
+            open_ev("/f", 0, 3),
+            open_ev("/missing", 0, -2),
+            open_ev("/dir", 1, -21),
+            write_ev(4096, 4096),
+            write_ev(10, -28),
+        ]);
+        let report = analyzer.analyze(&trace);
+        let open_cov = report.output_coverage(BaseSyscall::Open);
+        assert_eq!(open_cov.successes(), 1);
+        assert_eq!(open_cov.errors(), 2);
+        assert_eq!(open_cov.errno_count("ENOENT"), 1);
+        assert_eq!(open_cov.errno_count("EISDIR"), 1);
+        assert!(open_cov.untested_errnos(BaseSyscall::Open).contains(&"ENOSPC"));
+
+        let write_cov = report.output_coverage(BaseSyscall::Write);
+        assert_eq!(
+            write_cov.count(&OutputPartition::OkBytes(NumericPartition::Log2(12))),
+            1
+        );
+        assert_eq!(write_cov.errno_count("ENOSPC"), 1);
+    }
+
+    #[test]
+    fn variants_merge_into_one_base() {
+        let analyzer = Analyzer::unfiltered();
+        let trace = Trace::from_events(vec![
+            open_ev("/a", 0, 3),
+            ev(
+                "openat",
+                vec![
+                    ArgValue::Fd(-100),
+                    ArgValue::Path("/b".into()),
+                    ArgValue::Flags(0o100),
+                    ArgValue::Mode(0o600),
+                ],
+                4,
+            ),
+            ev("creat", vec![ArgValue::Path("/c".into()), ArgValue::Mode(0o644)], 5),
+        ]);
+        let report = analyzer.analyze(&trace);
+        assert_eq!(report.output_coverage(BaseSyscall::Open).calls, 3);
+        assert_eq!(report.calls_per_variant["open"], 1);
+        assert_eq!(report.calls_per_variant["openat"], 1);
+        assert_eq!(report.calls_per_variant["creat"], 1);
+        let cov = report.input_coverage(ArgName::OpenFlags);
+        // creat implies O_CREAT|O_WRONLY|O_TRUNC; openat adds O_CREAT.
+        assert_eq!(cov.count(&InputPartition::Flag("O_CREAT".into())), 2);
+        assert_eq!(cov.count(&InputPartition::Flag("O_TRUNC".into())), 1);
+    }
+
+    #[test]
+    fn combo_histogram_matches_table1_semantics() {
+        let analyzer = Analyzer::unfiltered();
+        let trace = Trace::from_events(vec![
+            open_ev("/a", 0, 3),                       // [O_RDONLY] → 1 flag
+            open_ev("/b", 0o100, 4),                   // [O_RDONLY, O_CREAT] → 2
+            open_ev("/c", 0o1101, 5),                  // [O_WRONLY, O_CREAT, O_TRUNC] → 3
+            open_ev("/d", 0o102, 6),                   // [O_RDWR, O_CREAT] → 2
+        ]);
+        let report = analyzer.analyze(&trace);
+        let combos = &report.open_combos;
+        assert_eq!(combos.sizes[&1], 1);
+        assert_eq!(combos.sizes[&2], 2);
+        assert_eq!(combos.sizes[&3], 1);
+        assert_eq!(combos.max_size(), 3);
+        assert_eq!(combos.sizes_with_rdonly.get(&1), Some(&1));
+        assert_eq!(combos.sizes_with_rdonly.get(&2), Some(&1));
+        assert_eq!(combos.sizes_with_rdonly.get(&3), None);
+        let pct = combos.percentages(false);
+        let total: f64 = pct.iter().map(|(_, p)| p).sum();
+        assert!((total - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn filter_is_applied_before_analysis() {
+        let filter = TraceFilter::mount_point("/mnt/test").unwrap();
+        let analyzer = Analyzer::new(filter);
+        let trace = Trace::from_events(vec![
+            open_ev("/mnt/test/f", 0, 3),
+            open_ev("/etc/noise", 0, 4),
+        ]);
+        let report = analyzer.analyze(&trace);
+        assert_eq!(report.total_calls(), 1);
+        assert_eq!(report.filter_stats.dropped, 1);
+    }
+
+    #[test]
+    fn noise_syscalls_do_not_pollute_the_report() {
+        let analyzer = Analyzer::unfiltered();
+        let trace = Trace::from_events(vec![
+            ev("stat", vec![ArgValue::Path("/f".into()), ArgValue::Ptr(1)], 0),
+            ev("fsync", vec![ArgValue::Fd(3)], 0),
+            open_ev("/f", 0, 3),
+        ]);
+        let report = analyzer.analyze(&trace);
+        assert_eq!(report.total_calls(), 1);
+        assert!(!report.calls_per_variant.contains_key("stat"));
+    }
+
+    #[test]
+    fn merge_accumulates_reports() {
+        let analyzer = Analyzer::unfiltered();
+        let a = analyzer.analyze(&Trace::from_events(vec![open_ev("/a", 0, 3), write_ev(8, 8)]));
+        let b = analyzer.analyze(&Trace::from_events(vec![open_ev("/b", 0, -2)]));
+        let mut merged = a.clone();
+        merged.merge(&b);
+        assert_eq!(merged.total_calls(), 3);
+        let cov = merged.input_coverage(ArgName::OpenFlags);
+        assert_eq!(cov.count(&InputPartition::Flag("O_RDONLY".into())), 2);
+        assert_eq!(merged.output_coverage(BaseSyscall::Open).errno_count("ENOENT"), 1);
+        assert_eq!(merged.open_combos.sizes[&1], 2);
+    }
+
+    #[test]
+    fn frequency_vector_has_domain_length() {
+        let analyzer = Analyzer::unfiltered();
+        let report = analyzer.analyze(&Trace::from_events(vec![open_ev("/a", 0, 3)]));
+        let cov = report.input_coverage(ArgName::OpenFlags);
+        let vec = cov.frequency_vector(ArgName::OpenFlags);
+        assert_eq!(vec.len(), 20);
+        assert_eq!(vec.iter().sum::<u64>(), 1);
+    }
+
+    #[test]
+    fn report_serde_roundtrip() {
+        let analyzer = Analyzer::unfiltered();
+        let report = analyzer.analyze(&Trace::from_events(vec![
+            open_ev("/a", 0o101, 3),
+            write_ev(512, 512),
+            write_ev(0, 0),
+        ]));
+        let json = serde_json::to_string(&report).unwrap();
+        let back: AnalysisReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(report, back);
+    }
+}

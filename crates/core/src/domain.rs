@@ -1,0 +1,442 @@
+//! Domain definitions: what partitions *exist* for each argument and
+//! each syscall's output.
+//!
+//! Coverage is "how much of the domain a tester exercised", so the
+//! analyzer needs an explicit universe: the flag tables of bitmap
+//! arguments, the displayed bucket range of numeric arguments (the
+//! x-axis of the paper's Figure 3), the value set of categoricals, and
+//! the per-syscall errno lists from the manual pages (Figure 4's x-axis,
+//! which the paper also takes from the man pages).
+
+use iocov_syscalls::{BaseSyscall, OpenFlags};
+
+use crate::arg::ArgName;
+use crate::partition::{InputPartition, NumericPartition};
+
+/// Named bits of a `mode_t` word.
+pub const MODE_BITS: [(&str, u32); 12] = [
+    ("S_ISUID", 0o4000),
+    ("S_ISGID", 0o2000),
+    ("S_ISVTX", 0o1000),
+    ("S_IRUSR", 0o400),
+    ("S_IWUSR", 0o200),
+    ("S_IXUSR", 0o100),
+    ("S_IRGRP", 0o040),
+    ("S_IWGRP", 0o020),
+    ("S_IXGRP", 0o010),
+    ("S_IROTH", 0o004),
+    ("S_IWOTH", 0o002),
+    ("S_IXOTH", 0o001),
+];
+
+/// Named bits of the `setxattr` flags word.
+pub const XATTR_FLAG_BITS: [(&str, u32); 2] = [("XATTR_CREATE", 0x1), ("XATTR_REPLACE", 0x2)];
+
+/// `lseek` whence values.
+pub const WHENCE_VALUES: [(&str, u32); 5] = [
+    ("SEEK_SET", 0),
+    ("SEEK_CUR", 1),
+    ("SEEK_END", 2),
+    ("SEEK_DATA", 3),
+    ("SEEK_HOLE", 4),
+];
+
+/// Label for categorical values outside the defined set.
+pub const INVALID_CATEGORY: &str = "<invalid>";
+
+/// The kind-specific shape of an argument's domain.
+#[derive(Debug, Clone)]
+pub enum DomainKind {
+    /// A flags word with a table of named bits.
+    Bitmap {
+        /// `(name, bits)` pairs; membership is `value & bits == bits`.
+        flags: &'static [(&'static str, u32)],
+    },
+    /// The `open` flags word, which needs special handling: `O_RDONLY`
+    /// is the all-zero access mode, and composite flags (`O_SYNC`,
+    /// `O_TMPFILE`) subsume their parts.
+    OpenFlags,
+    /// A power-of-two-bucketed number.
+    Numeric {
+        /// Whether negative values are representable at the ABI.
+        signed: bool,
+        /// Largest `Log2` bucket the domain displays/enumerates
+        /// (values above it still count, into their true bucket).
+        display_max_log2: u32,
+    },
+    /// A fixed value set.
+    Categorical {
+        /// `(name, value)` pairs.
+        values: &'static [(&'static str, u32)],
+    },
+}
+
+/// An argument's domain.
+#[derive(Debug, Clone)]
+pub struct ArgDomain {
+    /// Which argument this describes.
+    pub arg: ArgName,
+    /// Its partition structure.
+    pub kind: DomainKind,
+}
+
+/// Open-flag names in Figure 2 order (the `O_ACCMODE` pseudo-entry is
+/// excluded — it is a mask, not a flag).
+#[must_use]
+pub fn open_flag_names() -> Vec<&'static str> {
+    OpenFlags::NAMED_FLAGS
+        .iter()
+        .map(|(name, _)| *name)
+        .filter(|name| *name != "O_ACCMODE")
+        .collect()
+}
+
+/// Decomposes an `open` flags word into the individual named flags it
+/// exercises, handling the access-mode triple and composite flags:
+/// `O_SYNC` subsumes `O_DSYNC`, `O_TMPFILE` subsumes `O_DIRECTORY`.
+#[must_use]
+pub fn open_flags_present(bits: u32) -> Vec<&'static str> {
+    let flags = OpenFlags::from_bits(bits);
+    let mut present = Vec::new();
+    // The access mode is a 2-bit field, not independent bits: exactly one
+    // of the three modes applies, and the invalid value 3 reports none.
+    match bits & 0x3 {
+        0 => present.push("O_RDONLY"),
+        1 => present.push("O_WRONLY"),
+        2 => present.push("O_RDWR"),
+        _ => {}
+    }
+    let has_sync = flags.contains(OpenFlags::O_SYNC);
+    let has_tmpfile = flags.contains(OpenFlags::O_TMPFILE);
+    for (name, flag) in OpenFlags::NAMED_FLAGS {
+        match name {
+            "O_ACCMODE" | "O_RDONLY" | "O_WRONLY" | "O_RDWR" => continue,
+            "O_DSYNC" if has_sync => continue,
+            "O_DIRECTORY" if has_tmpfile => continue,
+            _ => {
+                if flag.bits() != 0 && bits & flag.bits() == flag.bits() {
+                    present.push(name);
+                }
+            }
+        }
+    }
+    present
+}
+
+/// Returns the domain of a tracked argument.
+#[must_use]
+pub fn arg_domain(arg: ArgName) -> ArgDomain {
+    let kind = match arg {
+        ArgName::OpenFlags => DomainKind::OpenFlags,
+        ArgName::OpenMode | ArgName::MkdirMode | ArgName::ChmodMode => DomainKind::Bitmap {
+            flags: &MODE_BITS,
+        },
+        ArgName::SetxattrFlags => DomainKind::Bitmap {
+            flags: &XATTR_FLAG_BITS,
+        },
+        ArgName::ReadCount | ArgName::WriteCount => DomainKind::Numeric {
+            signed: false,
+            // Figure 3's axis runs to 2^32.
+            display_max_log2: 32,
+        },
+        ArgName::ReadOffset | ArgName::WriteOffset | ArgName::LseekOffset => DomainKind::Numeric {
+            signed: true,
+            display_max_log2: 40,
+        },
+        ArgName::TruncateLength => DomainKind::Numeric {
+            signed: true,
+            display_max_log2: 40,
+        },
+        ArgName::SetxattrSize | ArgName::GetxattrSize => DomainKind::Numeric {
+            signed: false,
+            // XATTR_SIZE_MAX is 64 KiB = 2^16; one bucket beyond for
+            // over-limit probes.
+            display_max_log2: 17,
+        },
+        ArgName::LseekWhence => DomainKind::Categorical {
+            values: &WHENCE_VALUES,
+        },
+    };
+    ArgDomain { arg, kind }
+}
+
+impl ArgDomain {
+    /// Enumerates every partition in the displayed domain, in canonical
+    /// order — the denominator of input coverage.
+    #[must_use]
+    pub fn all_partitions(&self) -> Vec<InputPartition> {
+        match &self.kind {
+            DomainKind::OpenFlags => open_flag_names()
+                .into_iter()
+                .map(|n| InputPartition::Flag(n.to_owned()))
+                .collect(),
+            DomainKind::Bitmap { flags } => flags
+                .iter()
+                .map(|(n, _)| InputPartition::Flag((*n).to_owned()))
+                .collect(),
+            DomainKind::Numeric {
+                signed,
+                display_max_log2,
+            } => {
+                let mut parts = Vec::new();
+                if *signed {
+                    parts.push(InputPartition::Numeric(NumericPartition::Negative));
+                }
+                parts.push(InputPartition::Numeric(NumericPartition::Zero));
+                for k in 0..=*display_max_log2 {
+                    parts.push(InputPartition::Numeric(NumericPartition::Log2(k)));
+                }
+                parts
+            }
+            DomainKind::Categorical { values } => {
+                let mut parts: Vec<InputPartition> = values
+                    .iter()
+                    .map(|(n, _)| InputPartition::Categorical((*n).to_owned()))
+                    .collect();
+                parts.push(InputPartition::Categorical(INVALID_CATEGORY.to_owned()));
+                parts
+            }
+        }
+    }
+
+    /// Partitions a concrete value into the (possibly several, for
+    /// bitmaps) partitions it exercises.
+    #[must_use]
+    pub fn partitions_of(&self, value: crate::arg::TrackedValue) -> Vec<InputPartition> {
+        use crate::arg::TrackedValue;
+        match &self.kind {
+            DomainKind::OpenFlags => {
+                let bits = match value {
+                    TrackedValue::Bits(b) => b,
+                    other => other.as_i128() as u32,
+                };
+                open_flags_present(bits)
+                    .into_iter()
+                    .map(|n| InputPartition::Flag(n.to_owned()))
+                    .collect()
+            }
+            DomainKind::Bitmap { flags } => {
+                let bits = match value {
+                    TrackedValue::Bits(b) => b,
+                    other => other.as_i128() as u32,
+                };
+                flags
+                    .iter()
+                    .filter(|(_, f)| bits & f == *f && *f != 0)
+                    .map(|(n, _)| InputPartition::Flag((*n).to_owned()))
+                    .collect()
+            }
+            DomainKind::Numeric { .. } => {
+                vec![InputPartition::Numeric(NumericPartition::of(value.as_i128()))]
+            }
+            DomainKind::Categorical { values } => {
+                let v = value.as_i128();
+                let name = values
+                    .iter()
+                    .find(|(_, n)| i128::from(*n) == v)
+                    .map_or(INVALID_CATEGORY, |(n, _)| *n);
+                vec![InputPartition::Categorical(name.to_owned())]
+            }
+        }
+    }
+}
+
+/// The errnos a base syscall can return per its manual page — the
+/// denominator of output coverage (Figure 4's x-axis).
+#[must_use]
+pub fn output_errnos(base: BaseSyscall) -> &'static [&'static str] {
+    match base {
+        BaseSyscall::Open => &[
+            "EACCES", "EAGAIN", "EBADF", "EBUSY", "EDQUOT", "EEXIST", "EFAULT", "EFBIG",
+            "EINTR", "EINVAL", "EISDIR", "ELOOP", "EMFILE", "ENAMETOOLONG", "ENFILE",
+            "ENODEV", "ENOENT", "ENOMEM", "ENOSPC", "ENOTDIR", "ENXIO", "EOVERFLOW",
+            "EPERM", "EROFS", "ETXTBSY", "EXDEV", "E2BIG",
+        ],
+        BaseSyscall::Read => &[
+            "EAGAIN", "EBADF", "EFAULT", "EINTR", "EINVAL", "EIO", "EISDIR", "ESPIPE",
+        ],
+        BaseSyscall::Write => &[
+            "EAGAIN", "EBADF", "EDQUOT", "EFAULT", "EFBIG", "EINTR", "EINVAL", "EIO",
+            "ENOSPC", "EPERM", "EROFS", "ESPIPE",
+        ],
+        BaseSyscall::Lseek => &["EBADF", "EINVAL", "ENXIO", "EOVERFLOW", "ESPIPE"],
+        BaseSyscall::Truncate => &[
+            "EACCES", "EBADF", "EFAULT", "EFBIG", "EINTR", "EINVAL", "EIO", "EISDIR",
+            "ELOOP", "ENAMETOOLONG", "ENOENT", "ENOTDIR", "EPERM", "EROFS", "ETXTBSY",
+        ],
+        BaseSyscall::Mkdir => &[
+            "EACCES", "EBADF", "EDQUOT", "EEXIST", "EFAULT", "EINVAL", "ELOOP", "EMLINK",
+            "ENAMETOOLONG", "ENOENT", "ENOMEM", "ENOSPC", "ENOTDIR", "EPERM", "EROFS",
+        ],
+        BaseSyscall::Chmod => &[
+            "EACCES", "EBADF", "EFAULT", "EINVAL", "EIO", "ELOOP", "ENAMETOOLONG",
+            "ENOENT", "ENOMEM", "ENOTDIR", "EOPNOTSUPP", "EPERM", "EROFS",
+        ],
+        BaseSyscall::Close => &["EBADF", "EDQUOT", "EINTR", "EIO", "ENOSPC"],
+        BaseSyscall::Chdir => &[
+            "EACCES", "EBADF", "EFAULT", "EIO", "ELOOP", "ENAMETOOLONG", "ENOENT",
+            "ENOTDIR",
+        ],
+        BaseSyscall::Setxattr => &[
+            "EACCES", "EBADF", "EDQUOT", "EEXIST", "EFAULT", "EINVAL", "ELOOP",
+            "ENAMETOOLONG", "ENODATA", "ENOENT", "ENOSPC", "ENOTDIR", "EOPNOTSUPP",
+            "EPERM", "ERANGE", "EROFS", "E2BIG",
+        ],
+        BaseSyscall::Getxattr => &[
+            "EACCES", "EBADF", "EFAULT", "ELOOP", "ENAMETOOLONG", "ENODATA", "ENOENT",
+            "ENOTDIR", "EOPNOTSUPP", "ERANGE",
+        ],
+    }
+}
+
+/// Whether a base syscall's successful returns are byte counts, and thus
+/// sub-bucketed by powers of two.
+#[must_use]
+pub fn output_buckets_bytes(base: BaseSyscall) -> bool {
+    matches!(
+        base,
+        BaseSyscall::Read | BaseSyscall::Write | BaseSyscall::Getxattr
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arg::TrackedValue;
+
+    #[test]
+    fn open_flag_domain_has_20_flags() {
+        let names = open_flag_names();
+        assert_eq!(names.len(), 20);
+        assert!(names.contains(&"O_RDONLY"));
+        assert!(!names.contains(&"O_ACCMODE"));
+    }
+
+    #[test]
+    fn open_flags_present_handles_access_modes() {
+        assert_eq!(open_flags_present(0), vec!["O_RDONLY"]);
+        assert_eq!(open_flags_present(1), vec!["O_WRONLY"]);
+        assert_eq!(open_flags_present(2), vec!["O_RDWR"]);
+        let creat_wronly = 0o101;
+        assert_eq!(open_flags_present(creat_wronly), vec!["O_WRONLY", "O_CREAT"]);
+        let creat_rdonly = 0o100;
+        assert_eq!(open_flags_present(creat_rdonly), vec!["O_RDONLY", "O_CREAT"]);
+    }
+
+    #[test]
+    fn composite_flags_subsume_parts() {
+        let o_sync = 0o4010000;
+        let present = open_flags_present(o_sync);
+        assert!(present.contains(&"O_SYNC"));
+        assert!(!present.contains(&"O_DSYNC"));
+        let o_dsync_only = 0o10000;
+        assert_eq!(open_flags_present(o_dsync_only), vec!["O_RDONLY", "O_DSYNC"]);
+        let o_tmpfile = 0o20200000 | 2;
+        let present = open_flags_present(o_tmpfile);
+        assert!(present.contains(&"O_TMPFILE"));
+        assert!(!present.contains(&"O_DIRECTORY"));
+    }
+
+    #[test]
+    fn mode_domain_partitions_each_bit() {
+        let domain = arg_domain(ArgName::ChmodMode);
+        let parts = domain.partitions_of(TrackedValue::Bits(0o644));
+        let names: Vec<String> = parts.iter().map(|p| p.to_string()).collect();
+        assert_eq!(names, ["S_IRUSR", "S_IWUSR", "S_IRGRP", "S_IROTH"]);
+        assert_eq!(domain.all_partitions().len(), 12);
+    }
+
+    #[test]
+    fn numeric_domain_enumerates_axis() {
+        let domain = arg_domain(ArgName::WriteCount);
+        let parts = domain.all_partitions();
+        // "=0" plus buckets 2^0 .. 2^32.
+        assert_eq!(parts.len(), 34);
+        assert_eq!(parts[0].to_string(), "=0");
+        assert_eq!(parts[33].to_string(), "2^32");
+        // A signed domain adds the negative partition.
+        let signed = arg_domain(ArgName::LseekOffset);
+        assert_eq!(signed.all_partitions()[0].to_string(), "<0");
+    }
+
+    #[test]
+    fn numeric_values_bucket_into_single_partition() {
+        let domain = arg_domain(ArgName::WriteCount);
+        assert_eq!(
+            domain.partitions_of(TrackedValue::Unsigned(1024)),
+            vec![InputPartition::Numeric(NumericPartition::Log2(10))]
+        );
+        let signed = arg_domain(ArgName::LseekOffset);
+        assert_eq!(
+            signed.partitions_of(TrackedValue::Signed(-5)),
+            vec![InputPartition::Numeric(NumericPartition::Negative)]
+        );
+    }
+
+    #[test]
+    fn categorical_domain_maps_values_and_invalid() {
+        let domain = arg_domain(ArgName::LseekWhence);
+        assert_eq!(
+            domain.partitions_of(TrackedValue::Bits(2)),
+            vec![InputPartition::Categorical("SEEK_END".into())]
+        );
+        assert_eq!(
+            domain.partitions_of(TrackedValue::Bits(77)),
+            vec![InputPartition::Categorical(INVALID_CATEGORY.into())]
+        );
+        assert_eq!(domain.all_partitions().len(), 6);
+    }
+
+    #[test]
+    fn xattr_flag_domain() {
+        let domain = arg_domain(ArgName::SetxattrFlags);
+        let parts = domain.partitions_of(TrackedValue::Bits(0x3));
+        assert_eq!(parts.len(), 2);
+        // Zero flags exercise no partition.
+        assert!(domain.partitions_of(TrackedValue::Bits(0)).is_empty());
+    }
+
+    #[test]
+    fn every_arg_has_a_domain_with_partitions() {
+        for arg in ArgName::ALL {
+            let domain = arg_domain(arg);
+            assert!(!domain.all_partitions().is_empty(), "{arg} has partitions");
+        }
+    }
+
+    #[test]
+    fn open_output_domain_matches_figure4_scale() {
+        let errnos = output_errnos(BaseSyscall::Open);
+        assert_eq!(errnos.len(), 27, "27 error codes on Figure 4's axis");
+        assert!(errnos.contains(&"ENOTDIR"));
+        assert!(errnos.contains(&"EOVERFLOW"));
+        // Every listed errno is a real one.
+        for name in errnos {
+            assert!(
+                iocov_syscalls::Errno::ALL.iter().any(|e| e.name() == *name),
+                "{name} must be a known errno"
+            );
+        }
+    }
+
+    #[test]
+    fn byte_bucketing_applies_to_size_returning_calls() {
+        assert!(output_buckets_bytes(BaseSyscall::Read));
+        assert!(output_buckets_bytes(BaseSyscall::Write));
+        assert!(output_buckets_bytes(BaseSyscall::Getxattr));
+        assert!(!output_buckets_bytes(BaseSyscall::Open));
+        assert!(!output_buckets_bytes(BaseSyscall::Close));
+    }
+
+    #[test]
+    fn all_output_domains_are_valid_errnos() {
+        for base in BaseSyscall::ALL {
+            for name in output_errnos(base) {
+                assert!(
+                    iocov_syscalls::Errno::ALL.iter().any(|e| e.name() == *name),
+                    "{base}: {name}"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,390 @@
+//! The trace filter: keeps only syscalls aimed at the tester's mount
+//! point.
+//!
+//! LTTng records *every* syscall the tester makes, including bookkeeping
+//! I/O on its own state files; IOCov filters by mount-point pathname
+//! before analysis (§3). Path-carrying events are matched directly
+//! against the configured patterns. Descriptor-carrying events (`read`,
+//! `write`, `close`, `f*` variants) have no pathname, so the filter
+//! tracks descriptor provenance: an `open` under the mount point makes
+//! its returned descriptor relevant, propagating relevance to later
+//! operations on that descriptor — including relative `openat` through
+//! relevant directory descriptors and `chdir` updates to cwd relevance.
+
+use std::collections::HashMap;
+
+use iocov_pattern::Pattern;
+use iocov_trace::{Trace, TraceEvent};
+use serde::{Deserialize, Serialize};
+
+/// Statistics of one filtering pass.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FilterStats {
+    /// Events inspected.
+    pub total: usize,
+    /// Events kept for analysis.
+    pub kept: usize,
+    /// Events dropped as irrelevant to the mount point.
+    pub dropped: usize,
+}
+
+/// Per-process relevance state while walking a trace.
+#[derive(Debug, Default)]
+struct PidState {
+    /// Descriptor → was it opened under the mount point?
+    fds: HashMap<i32, bool>,
+    /// Whether the process cwd is under the mount point.
+    cwd_relevant: bool,
+}
+
+/// A mount-point trace filter.
+///
+/// ```
+/// use iocov::TraceFilter;
+///
+/// # fn main() -> Result<(), iocov_pattern::PatternError> {
+/// let filter = TraceFilter::mount_point("/mnt/test")?;
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct TraceFilter {
+    include: Vec<Pattern>,
+    exclude: Vec<Pattern>,
+}
+
+impl TraceFilter {
+    /// A filter that keeps everything.
+    #[must_use]
+    pub fn keep_all() -> Self {
+        TraceFilter::default()
+    }
+
+    /// A filter for one mount point: keeps paths equal to or below
+    /// `mount` ("the only setting that needs to be adjusted when applying
+    /// IOCov to a new file system tester", §3).
+    ///
+    /// # Errors
+    ///
+    /// Returns a pattern error if `mount` contains regex
+    /// metacharacters that fail to compile after escaping (practically
+    /// impossible for normal paths).
+    pub fn mount_point(mount: &str) -> Result<Self, iocov_pattern::PatternError> {
+        let trimmed = mount.trim_end_matches('/');
+        let mut escaped = String::new();
+        for c in trimmed.chars() {
+            if "\\^$.|?*+()[]{}".contains(c) {
+                escaped.push('\\');
+            }
+            escaped.push(c);
+        }
+        let pattern = Pattern::regex(&format!("^{escaped}(/|$)"))?;
+        Ok(TraceFilter {
+            include: vec![pattern],
+            exclude: Vec::new(),
+        })
+    }
+
+    /// Adds an include pattern (paths must match at least one).
+    #[must_use]
+    pub fn include(mut self, pattern: Pattern) -> Self {
+        self.include.push(pattern);
+        self
+    }
+
+    /// Adds an exclude pattern (matching paths are dropped even when
+    /// included).
+    #[must_use]
+    pub fn exclude(mut self, pattern: Pattern) -> Self {
+        self.exclude.push(pattern);
+        self
+    }
+
+    /// Whether this filter keeps every event (no patterns configured).
+    #[must_use]
+    pub fn is_keep_all(&self) -> bool {
+        self.include.is_empty() && self.exclude.is_empty()
+    }
+
+    /// Whether an absolute path is relevant.
+    #[must_use]
+    pub fn path_relevant(&self, path: &str) -> bool {
+        let included = self.include.is_empty() || self.include.iter().any(|p| p.is_match(path));
+        included && !self.exclude.iter().any(|p| p.is_match(path))
+    }
+
+    /// Filters a trace, returning the kept events and statistics.
+    #[must_use]
+    pub fn apply(&self, trace: &Trace) -> (Trace, FilterStats) {
+        if self.include.is_empty() && self.exclude.is_empty() {
+            // No patterns: everything is relevant, including descriptor
+            // operations whose open was never observed.
+            let stats = FilterStats {
+                total: trace.len(),
+                kept: trace.len(),
+                dropped: 0,
+            };
+            return (trace.clone(), stats);
+        }
+        let mut states: HashMap<u32, PidState> = HashMap::new();
+        let mut kept = Vec::new();
+        for event in trace {
+            let state = states.entry(event.pid).or_default();
+            let relevant = Self::event_relevant(self, state, event);
+            Self::update_state(state, event, relevant);
+            if relevant {
+                kept.push(event.clone());
+            }
+        }
+        let stats = FilterStats {
+            total: trace.len(),
+            kept: kept.len(),
+            dropped: trace.len() - kept.len(),
+        };
+        (Trace::from_events(kept), stats)
+    }
+
+    /// Decides relevance of one event given per-pid state.
+    fn event_relevant(&self, state: &PidState, event: &TraceEvent) -> bool {
+        if let Some(path) = event.primary_path() {
+            if path.starts_with('/') {
+                return self.path_relevant(path);
+            }
+            // Relative path: relevance flows from the base directory.
+            return match event.args.first() {
+                Some(iocov_trace::ArgValue::Fd(dirfd)) => {
+                    if *dirfd == iocov_vfs_at_fdcwd() {
+                        state.cwd_relevant
+                    } else {
+                        state.fds.get(dirfd).copied().unwrap_or(false)
+                    }
+                }
+                // open/creat/chdir with a relative path resolve via cwd.
+                _ => state.cwd_relevant,
+            };
+        }
+        // No path: relevance flows from the descriptor argument.
+        match event.args.first() {
+            Some(iocov_trace::ArgValue::Fd(fd)) => state.fds.get(fd).copied().unwrap_or(false),
+            _ => false,
+        }
+    }
+
+    /// Propagates descriptor/cwd relevance after the event.
+    fn update_state(state: &mut PidState, event: &TraceEvent, relevant: bool) {
+        match event.name.as_str() {
+            "open" | "openat" | "creat" | "openat2" if event.retval >= 0 => {
+                state.fds.insert(event.retval as i32, relevant);
+            }
+            "close" if event.retval >= 0 => {
+                if let Some(iocov_trace::ArgValue::Fd(fd)) = event.args.first() {
+                    state.fds.remove(fd);
+                }
+            }
+            "chdir" if event.retval >= 0 => {
+                state.cwd_relevant = relevant;
+            }
+            "fchdir" if event.retval >= 0 => {
+                if let Some(iocov_trace::ArgValue::Fd(fd)) = event.args.first() {
+                    state.cwd_relevant = state.fds.get(fd).copied().unwrap_or(false);
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+/// `AT_FDCWD` without depending on the vfs crate directly.
+const fn iocov_vfs_at_fdcwd() -> i32 {
+    -100
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iocov_trace::ArgValue;
+
+    fn ev(name: &str, args: Vec<ArgValue>, retval: i64) -> TraceEvent {
+        TraceEvent::build(name, 0, args, retval)
+    }
+
+    fn open_ev(path: &str, fd: i64) -> TraceEvent {
+        ev(
+            "open",
+            vec![ArgValue::Path(path.into()), ArgValue::Flags(0), ArgValue::Mode(0)],
+            fd,
+        )
+    }
+
+    #[test]
+    fn keep_all_keeps_everything() {
+        let filter = TraceFilter::keep_all();
+        let trace = Trace::from_events(vec![open_ev("/anything", 3)]);
+        let (kept, stats) = filter.apply(&trace);
+        assert_eq!(kept.len(), 1);
+        assert_eq!(stats.kept, 1);
+        assert_eq!(stats.dropped, 0);
+    }
+
+    #[test]
+    fn mount_point_matches_subtree_not_prefix() {
+        let filter = TraceFilter::mount_point("/mnt/test").unwrap();
+        assert!(filter.path_relevant("/mnt/test"));
+        assert!(filter.path_relevant("/mnt/test/a/b"));
+        assert!(!filter.path_relevant("/mnt/testother"));
+        assert!(!filter.path_relevant("/var/log/x"));
+    }
+
+    #[test]
+    fn path_events_filter_directly() {
+        let filter = TraceFilter::mount_point("/mnt/test").unwrap();
+        let trace = Trace::from_events(vec![
+            open_ev("/mnt/test/f", 3),
+            open_ev("/etc/config", 4),
+            ev("mkdir", vec![ArgValue::Path("/mnt/test/d".into()), ArgValue::Mode(0o755)], 0),
+            ev("truncate", vec![ArgValue::Path("/tmp/x".into()), ArgValue::Int(0)], 0),
+        ]);
+        let (kept, stats) = filter.apply(&trace);
+        assert_eq!(stats.kept, 2);
+        assert!(kept.iter().all(|e| e.primary_path().unwrap().starts_with("/mnt/test")));
+    }
+
+    #[test]
+    fn fd_relevance_propagates_from_open_to_io() {
+        let filter = TraceFilter::mount_point("/mnt/test").unwrap();
+        let trace = Trace::from_events(vec![
+            open_ev("/mnt/test/f", 3),
+            open_ev("/etc/hosts", 4),
+            ev("write", vec![ArgValue::Fd(3), ArgValue::Ptr(1), ArgValue::UInt(10)], 10),
+            ev("read", vec![ArgValue::Fd(4), ArgValue::Ptr(1), ArgValue::UInt(10)], 10),
+            ev("close", vec![ArgValue::Fd(3)], 0),
+            ev("close", vec![ArgValue::Fd(4)], 0),
+        ]);
+        let (kept, stats) = filter.apply(&trace);
+        let names: Vec<&str> = kept.iter().map(|e| e.name.as_str()).collect();
+        assert_eq!(names, ["open", "write", "close"]);
+        assert_eq!(stats.dropped, 3);
+    }
+
+    #[test]
+    fn closed_fd_relevance_does_not_leak_to_reused_fd() {
+        let filter = TraceFilter::mount_point("/mnt/test").unwrap();
+        let trace = Trace::from_events(vec![
+            open_ev("/mnt/test/f", 3),
+            ev("close", vec![ArgValue::Fd(3)], 0),
+            open_ev("/etc/hosts", 3), // fd number reused for noise
+            ev("write", vec![ArgValue::Fd(3), ArgValue::Ptr(1), ArgValue::UInt(1)], 1),
+        ]);
+        let (kept, _) = filter.apply(&trace);
+        let names: Vec<&str> = kept.iter().map(|e| e.name.as_str()).collect();
+        assert_eq!(names, ["open", "close"]);
+    }
+
+    #[test]
+    fn relative_openat_follows_dirfd_relevance() {
+        let filter = TraceFilter::mount_point("/mnt/test").unwrap();
+        let trace = Trace::from_events(vec![
+            open_ev("/mnt/test", 5),
+            ev(
+                "openat",
+                vec![
+                    ArgValue::Fd(5),
+                    ArgValue::Path("sub/file".into()),
+                    ArgValue::Flags(0),
+                    ArgValue::Mode(0),
+                ],
+                6,
+            ),
+            ev("write", vec![ArgValue::Fd(6), ArgValue::Ptr(1), ArgValue::UInt(2)], 2),
+            open_ev("/home", 7),
+            ev(
+                "openat",
+                vec![
+                    ArgValue::Fd(7),
+                    ArgValue::Path("noise".into()),
+                    ArgValue::Flags(0),
+                    ArgValue::Mode(0),
+                ],
+                8,
+            ),
+            ev("write", vec![ArgValue::Fd(8), ArgValue::Ptr(1), ArgValue::UInt(2)], 2),
+        ]);
+        let (kept, _) = filter.apply(&trace);
+        assert_eq!(kept.len(), 3, "mount-relative chain kept, /home chain dropped");
+    }
+
+    #[test]
+    fn chdir_updates_cwd_relevance_for_relative_paths() {
+        let filter = TraceFilter::mount_point("/mnt/test").unwrap();
+        let trace = Trace::from_events(vec![
+            ev("chdir", vec![ArgValue::Path("/mnt/test".into())], 0),
+            open_ev("relative_file", 3),
+            ev("chdir", vec![ArgValue::Path("/home".into())], 0),
+            open_ev("other_file", 4),
+        ]);
+        let (kept, _) = filter.apply(&trace);
+        let names: Vec<String> = kept
+            .iter()
+            .map(|e| e.primary_path().unwrap_or("").to_owned())
+            .collect();
+        assert_eq!(names, ["/mnt/test", "relative_file"]);
+    }
+
+    #[test]
+    fn at_fdcwd_uses_cwd_relevance() {
+        let filter = TraceFilter::mount_point("/mnt/test").unwrap();
+        let trace = Trace::from_events(vec![
+            ev("chdir", vec![ArgValue::Path("/mnt/test".into())], 0),
+            ev(
+                "openat",
+                vec![
+                    ArgValue::Fd(-100),
+                    ArgValue::Path("f".into()),
+                    ArgValue::Flags(0),
+                    ArgValue::Mode(0),
+                ],
+                3,
+            ),
+        ]);
+        let (kept, _) = filter.apply(&trace);
+        assert_eq!(kept.len(), 2);
+    }
+
+    #[test]
+    fn failed_chdir_does_not_update_cwd() {
+        let filter = TraceFilter::mount_point("/mnt/test").unwrap();
+        let trace = Trace::from_events(vec![
+            ev("chdir", vec![ArgValue::Path("/mnt/test".into())], 0),
+            ev("chdir", vec![ArgValue::Path("/gone".into())], -2),
+            open_ev("still_relevant", 3),
+        ]);
+        let (kept, _) = filter.apply(&trace);
+        assert_eq!(kept.len(), 2, "failed chdir kept old cwd relevance");
+    }
+
+    #[test]
+    fn exclude_patterns_remove_matching_paths() {
+        let filter = TraceFilter::mount_point("/mnt/test")
+            .unwrap()
+            .exclude(Pattern::glob("/mnt/test/.journal*").unwrap());
+        assert!(filter.path_relevant("/mnt/test/data"));
+        assert!(!filter.path_relevant("/mnt/test/.journal0"));
+    }
+
+    #[test]
+    fn per_pid_state_is_independent() {
+        let filter = TraceFilter::mount_point("/mnt/test").unwrap();
+        let mut noise = open_ev("/etc/hosts", 3);
+        noise.pid = 2;
+        let mut noise_write = ev("write", vec![ArgValue::Fd(3), ArgValue::Ptr(1), ArgValue::UInt(1)], 1);
+        noise_write.pid = 2;
+        let mut good = open_ev("/mnt/test/f", 3);
+        good.pid = 1;
+        let mut good_write = ev("write", vec![ArgValue::Fd(3), ArgValue::Ptr(1), ArgValue::UInt(1)], 1);
+        good_write.pid = 1;
+        let trace = Trace::from_events(vec![noise, good, noise_write, good_write]);
+        let (kept, _) = filter.apply(&trace);
+        assert_eq!(kept.len(), 2);
+        assert!(kept.iter().all(|e| e.pid == 1));
+    }
+}

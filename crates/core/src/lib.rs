@@ -1,0 +1,169 @@
+//! IOCov: input and output coverage for file system testing.
+//!
+//! A reproduction of the framework from *"Input and Output Coverage
+//! Needed in File System Testing"* (HotStorage '23). Code coverage alone
+//! correlates weakly with bug-finding in file systems — many bugs hide in
+//! code a suite already covers, triggered only by specific inputs
+//! (boundary sizes, rare flag combinations) or visible only in outputs
+//! (wrong return values on exit paths). IOCov therefore measures, for a
+//! trace of a test suite's syscalls:
+//!
+//! * **input coverage** — how thoroughly each syscall argument's
+//!   partitioned input space is exercised (per-flag for bitmaps,
+//!   power-of-two buckets for numerics, per-value for categoricals), and
+//! * **output coverage** — how many distinct return values and error
+//!   codes are elicited.
+//!
+//! The pipeline mirrors the paper's §3 architecture:
+//!
+//! ```text
+//! Trace ─▶ TraceFilter ─▶ variant handler ─▶ partitioner ─▶ AnalysisReport
+//!          (mount-point    (openat2/creat     (per-argument    (coverage,
+//!           filtering)      → open, …)         domains)         untested, TCD)
+//! ```
+//!
+//! # Quick start
+//!
+//! ```
+//! use iocov::{ArgName, Iocov};
+//! use iocov_syscalls::Kernel;
+//! use iocov_trace::Recorder;
+//! use std::sync::Arc;
+//!
+//! # fn main() -> Result<(), iocov_pattern::PatternError> {
+//! // Run some "test suite" against the simulated kernel, tracing it.
+//! let recorder = Arc::new(Recorder::new());
+//! let mut kernel = Kernel::new();
+//! kernel.attach_recorder(Arc::clone(&recorder));
+//! kernel.mkdir("/mnt", 0o755);
+//! kernel.mkdir("/mnt/test", 0o755);
+//! let fd = kernel.open("/mnt/test/f", 0o102, 0o644) as i32;
+//! kernel.write(fd, b"hello");
+//! kernel.close(fd);
+//!
+//! // Analyze the trace for coverage under the tester's mount point.
+//! let iocov = Iocov::with_mount_point("/mnt/test")?;
+//! let report = iocov.analyze(&recorder.take());
+//! let flags = report.input_coverage(ArgName::OpenFlags);
+//! assert_eq!(flags.calls, 1);
+//! assert!(!flags.untested(ArgName::OpenFlags).is_empty());
+//! # Ok(())
+//! # }
+//! ```
+
+mod arg;
+mod combos;
+mod coverage;
+mod domain;
+mod filter;
+mod identifier;
+mod partition;
+pub mod report;
+mod streaming;
+pub mod syzlang;
+pub mod tcd;
+mod variants;
+
+pub use arg::{ArgClass, ArgName, TrackedValue};
+pub use combos::ComboCoverage;
+pub use identifier::{FdPartition, IdentifierCoverage, PathPartition};
+pub use coverage::{AnalysisReport, Analyzer, ComboHistogram, InputCoverage, OutputCoverage};
+pub use domain::{
+    arg_domain, open_flag_names, open_flags_present, output_buckets_bytes, output_errnos,
+    ArgDomain, DomainKind, INVALID_CATEGORY, MODE_BITS, WHENCE_VALUES, XATTR_FLAG_BITS,
+};
+pub use filter::{FilterStats, TraceFilter};
+pub use partition::{InputPartition, NumericPartition, OutputPartition};
+pub use streaming::StreamingAnalyzer;
+pub use variants::{normalize, NormalizedCall, CREAT_IMPLIED_FLAGS};
+
+// Re-export the identifiers callers need to interpret reports.
+pub use iocov_syscalls::{BaseSyscall, Sysno};
+
+/// The top-level facade: a configured analyzer.
+///
+/// See the [crate-level documentation](crate) for a full example.
+#[derive(Debug, Clone, Default)]
+pub struct Iocov {
+    analyzer: Analyzer,
+}
+
+impl Iocov {
+    /// An IOCov instance that analyzes every traced syscall (no mount
+    /// filtering).
+    #[must_use]
+    pub fn new() -> Self {
+        Iocov {
+            analyzer: Analyzer::unfiltered(),
+        }
+    }
+
+    /// An IOCov instance filtering to one mount point — "the only
+    /// setting that needs to be adjusted when applying IOCov to a new
+    /// file system tester" (§3).
+    ///
+    /// # Errors
+    ///
+    /// Propagates pattern-compilation errors (practically impossible for
+    /// normal mount paths).
+    pub fn with_mount_point(mount: &str) -> Result<Self, iocov_pattern::PatternError> {
+        Ok(Iocov {
+            analyzer: Analyzer::new(TraceFilter::mount_point(mount)?),
+        })
+    }
+
+    /// An IOCov instance with a custom filter.
+    #[must_use]
+    pub fn with_filter(filter: TraceFilter) -> Self {
+        Iocov {
+            analyzer: Analyzer::new(filter),
+        }
+    }
+
+    /// Analyzes one trace.
+    #[must_use]
+    pub fn analyze(&self, trace: &iocov_trace::Trace) -> AnalysisReport {
+        self.analyzer.analyze(trace)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iocov_trace::{ArgValue, Trace, TraceEvent};
+
+    #[test]
+    fn facade_pipeline_end_to_end() {
+        let trace = Trace::from_events(vec![
+            TraceEvent::build(
+                "open",
+                2,
+                vec![
+                    ArgValue::Path("/mnt/test/a".into()),
+                    ArgValue::Flags(0o101),
+                    ArgValue::Mode(0o644),
+                ],
+                3,
+            ),
+            TraceEvent::build(
+                "open",
+                2,
+                vec![ArgValue::Path("/etc/noise".into()), ArgValue::Flags(0), ArgValue::Mode(0)],
+                4,
+            ),
+        ]);
+        let unfiltered = Iocov::new().analyze(&trace);
+        assert_eq!(unfiltered.total_calls(), 2);
+        let filtered = Iocov::with_mount_point("/mnt/test").unwrap().analyze(&trace);
+        assert_eq!(filtered.total_calls(), 1);
+        assert_eq!(filtered.filter_stats.dropped, 1);
+    }
+
+    #[test]
+    fn custom_filter_construction() {
+        let filter = TraceFilter::keep_all();
+        let iocov = Iocov::with_filter(filter);
+        let report = iocov.analyze(&Trace::new());
+        assert_eq!(report.total_calls(), 0);
+    }
+}

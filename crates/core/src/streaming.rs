@@ -1,0 +1,244 @@
+//! Streaming analysis: bounded-memory coverage over long traces.
+//!
+//! A paper-scale suite produces millions of events; holding the whole
+//! trace before analysis costs gigabytes. [`StreamingAnalyzer`] consumes
+//! events incrementally — crucially keeping the trace filter's
+//! descriptor-provenance state *across* chunks, so a descriptor opened
+//! in one chunk is still attributed correctly when used in the next
+//! (a plain per-chunk [`Analyzer`](crate::Analyzer) run would lose it).
+
+use std::collections::HashMap;
+
+use iocov_trace::{ArgValue, TraceEvent};
+
+use crate::coverage::AnalysisReport;
+use crate::filter::TraceFilter;
+
+/// Per-pid filter state carried across pushes.
+#[derive(Debug, Default)]
+struct PidState {
+    fds: HashMap<i32, bool>,
+    cwd_relevant: bool,
+}
+
+/// An incremental coverage analyzer.
+///
+/// ```
+/// use iocov::{StreamingAnalyzer, TraceFilter};
+/// use iocov_trace::{ArgValue, TraceEvent};
+///
+/// let mut analyzer = StreamingAnalyzer::new(TraceFilter::mount_point("/mnt/test").unwrap());
+/// analyzer.push(&TraceEvent::build(
+///     "open",
+///     2,
+///     vec![ArgValue::Path("/mnt/test/f".into()), ArgValue::Flags(0), ArgValue::Mode(0)],
+///     3,
+/// ));
+/// // …push millions more, then:
+/// let report = analyzer.finish();
+/// assert_eq!(report.total_calls(), 1);
+/// ```
+#[derive(Debug)]
+pub struct StreamingAnalyzer {
+    filter: TraceFilter,
+    states: HashMap<u32, PidState>,
+    report: AnalysisReport,
+}
+
+impl StreamingAnalyzer {
+    /// Creates a streaming analyzer with a filter.
+    #[must_use]
+    pub fn new(filter: TraceFilter) -> Self {
+        StreamingAnalyzer {
+            filter,
+            states: HashMap::new(),
+            report: AnalysisReport::default(),
+        }
+    }
+
+    /// An unfiltered streaming analyzer.
+    #[must_use]
+    pub fn unfiltered() -> Self {
+        StreamingAnalyzer::new(TraceFilter::keep_all())
+    }
+
+    /// Consumes one event; returns whether it was kept.
+    pub fn push(&mut self, event: &TraceEvent) -> bool {
+        self.report.filter_stats.total += 1;
+        let keep_all = self.filter.is_keep_all();
+        let relevant = if keep_all {
+            true
+        } else {
+            let state = self.states.entry(event.pid).or_default();
+            let relevant = Self::event_relevant(&self.filter, state, event);
+            Self::update_state(state, event, relevant);
+            relevant
+        };
+        if relevant {
+            self.report.filter_stats.kept += 1;
+            crate::coverage::accumulate(&mut self.report, event);
+            true
+        } else {
+            self.report.filter_stats.dropped += 1;
+            false
+        }
+    }
+
+    /// Consumes a batch of events.
+    pub fn push_all<'a>(&mut self, events: impl IntoIterator<Item = &'a TraceEvent>) {
+        for event in events {
+            self.push(event);
+        }
+    }
+
+    /// Finishes the stream and returns the report.
+    #[must_use]
+    pub fn finish(self) -> AnalysisReport {
+        self.report
+    }
+
+    /// A snapshot of the report so far (the stream may continue).
+    #[must_use]
+    pub fn report(&self) -> &AnalysisReport {
+        &self.report
+    }
+
+    // The relevance logic mirrors `TraceFilter::apply`; shared privately
+    // through the same helper methods.
+    fn event_relevant(filter: &TraceFilter, state: &PidState, event: &TraceEvent) -> bool {
+        if let Some(path) = event.primary_path() {
+            if path.starts_with('/') {
+                return filter.path_relevant(path);
+            }
+            return match event.args.first() {
+                Some(ArgValue::Fd(dirfd)) => {
+                    if *dirfd == -100 {
+                        state.cwd_relevant
+                    } else {
+                        state.fds.get(dirfd).copied().unwrap_or(false)
+                    }
+                }
+                _ => state.cwd_relevant,
+            };
+        }
+        match event.args.first() {
+            Some(ArgValue::Fd(fd)) => state.fds.get(fd).copied().unwrap_or(false),
+            _ => false,
+        }
+    }
+
+    fn update_state(state: &mut PidState, event: &TraceEvent, relevant: bool) {
+        match event.name.as_str() {
+            "open" | "openat" | "creat" | "openat2" if event.retval >= 0 => {
+                state.fds.insert(event.retval as i32, relevant);
+            }
+            "close" if event.retval >= 0 => {
+                if let Some(ArgValue::Fd(fd)) = event.args.first() {
+                    state.fds.remove(fd);
+                }
+            }
+            "chdir" if event.retval >= 0 => {
+                state.cwd_relevant = relevant;
+            }
+            "fchdir" if event.retval >= 0 => {
+                if let Some(ArgValue::Fd(fd)) = event.args.first() {
+                    state.cwd_relevant = state.fds.get(fd).copied().unwrap_or(false);
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Analyzer, ArgName};
+    use iocov_trace::Trace;
+
+    fn open_ev(path: &str, fd: i64) -> TraceEvent {
+        TraceEvent::build(
+            "open",
+            2,
+            vec![ArgValue::Path(path.into()), ArgValue::Flags(0), ArgValue::Mode(0)],
+            fd,
+        )
+    }
+
+    fn write_ev(fd: i32, count: u64) -> TraceEvent {
+        TraceEvent::build(
+            "write",
+            1,
+            vec![ArgValue::Fd(fd), ArgValue::Ptr(1), ArgValue::UInt(count)],
+            count as i64,
+        )
+    }
+
+    #[test]
+    fn streaming_matches_batch_analysis() {
+        let events = vec![
+            open_ev("/mnt/test/a", 3),
+            write_ev(3, 512),
+            open_ev("/etc/noise", 4),
+            write_ev(4, 100),
+            TraceEvent::build("close", 3, vec![ArgValue::Fd(3)], 0),
+        ];
+        let trace = Trace::from_events(events.clone());
+        let filter = TraceFilter::mount_point("/mnt/test").unwrap();
+        let batch = Analyzer::new(filter.clone()).analyze(&trace);
+        let mut streaming = StreamingAnalyzer::new(filter);
+        streaming.push_all(&events);
+        let report = streaming.finish();
+        assert_eq!(batch, report);
+    }
+
+    #[test]
+    fn fd_state_survives_chunk_boundaries() {
+        // The whole point: a descriptor opened in chunk 1, used in
+        // chunk 2.
+        let chunk1 = vec![open_ev("/mnt/test/a", 3)];
+        let chunk2 = vec![write_ev(3, 4096)];
+        let filter = TraceFilter::mount_point("/mnt/test").unwrap();
+
+        // Per-chunk batch analysis loses the attribution…
+        let mut per_chunk = Analyzer::new(filter.clone()).analyze(&Trace::from_events(chunk1.clone()));
+        per_chunk.merge(&Analyzer::new(filter.clone()).analyze(&Trace::from_events(chunk2.clone())));
+        assert_eq!(per_chunk.input_coverage(ArgName::WriteCount).calls, 0);
+
+        // …the streaming analyzer keeps it.
+        let mut streaming = StreamingAnalyzer::new(filter);
+        streaming.push_all(&chunk1);
+        streaming.push_all(&chunk2);
+        let report = streaming.finish();
+        assert_eq!(report.input_coverage(ArgName::WriteCount).calls, 1);
+    }
+
+    #[test]
+    fn unfiltered_keeps_unattributed_fd_events() {
+        let mut streaming = StreamingAnalyzer::unfiltered();
+        assert!(streaming.push(&write_ev(42, 8)));
+        let report = streaming.finish();
+        assert_eq!(report.input_coverage(ArgName::WriteCount).calls, 1);
+    }
+
+    #[test]
+    fn interim_report_is_available() {
+        let mut streaming = StreamingAnalyzer::unfiltered();
+        streaming.push(&open_ev("/a", 3));
+        assert_eq!(streaming.report().total_calls(), 1);
+        streaming.push(&write_ev(3, 16));
+        assert_eq!(streaming.report().total_calls(), 2);
+    }
+
+    #[test]
+    fn stats_count_kept_and_dropped() {
+        let filter = TraceFilter::mount_point("/mnt/test").unwrap();
+        let mut streaming = StreamingAnalyzer::new(filter);
+        assert!(streaming.push(&open_ev("/mnt/test/x", 3)));
+        assert!(!streaming.push(&open_ev("/var/y", 4)));
+        let report = streaming.finish();
+        assert_eq!(report.filter_stats.total, 2);
+        assert_eq!(report.filter_stats.kept, 1);
+        assert_eq!(report.filter_stats.dropped, 1);
+    }
+}

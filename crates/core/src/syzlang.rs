@@ -1,0 +1,507 @@
+//! Syzkaller-log adapter — the paper's §6 plan to "evaluate fuzzing
+//! systems" with IOCov.
+//!
+//! Syzkaller does not run under a tracer; it *logs* the programs it
+//! executes in its declarative syntax, e.g.
+//!
+//! ```text
+//! r0 = openat$tmp(0xffffffffffffff9c, &(0x7f0000000040)='./file0\x00', 0x42, 0x1ff) # 3
+//! write(r0, &(0x7f0000000080)="68656c6c6f", 0x5) # 5
+//! close(r0) # 0
+//! ```
+//!
+//! This module parses such logs into [`iocov_trace::Trace`] events so the
+//! ordinary IOCov pipeline (variant merging, partitioning, coverage)
+//! applies unchanged:
+//!
+//! * `$variant` suffixes are stripped (`openat$tmp` → `openat`);
+//! * `rN` resource variables are resolved to the descriptor returned by
+//!   the call that defined them;
+//! * pointer expressions `&(0xADDR)=…` contribute their pointed-to value
+//!   (string or byte-blob length) and null pointers stay null;
+//! * the trailing `# RET` comment — written by executors that report
+//!   results — becomes the event's return value (calls without one get
+//!   retval 0, which keeps input coverage exact and leaves output
+//!   coverage to executors that log results).
+
+use std::collections::HashMap;
+use std::fmt;
+
+use iocov_syscalls::Sysno;
+use iocov_trace::{ArgValue, Trace, TraceEvent};
+
+/// An error while parsing a Syzkaller log.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SyzParseError {
+    /// 1-based line number.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for SyzParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "syz parse error on line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for SyzParseError {}
+
+/// One parsed argument of a syz call.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SyzArg {
+    /// A numeric constant (`0x42`, `7`).
+    Const(u64),
+    /// A resource reference (`r0`).
+    Resource(String),
+    /// A pointer expression with a string payload
+    /// (`&(0x7f00...)='./file0\x00'`).
+    StrPtr(String),
+    /// A pointer expression with a hex-blob payload
+    /// (`&(0x7f00...)="6865..."`); carries the decoded byte length.
+    BlobPtr(u64),
+    /// A bare pointer without payload, or an explicit null (`0x0`
+    /// in a pointer position is still parsed as `Const`).
+    Ptr(u64),
+}
+
+/// One parsed call.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SyzCall {
+    /// The variable the result is bound to (`r0`), if any.
+    pub result_var: Option<String>,
+    /// The syscall name with any `$variant` suffix stripped.
+    pub name: String,
+    /// Arguments in order.
+    pub args: Vec<SyzArg>,
+    /// The return value from a trailing `# N` comment, if present.
+    pub retval: Option<i64>,
+}
+
+/// A parsed program: a sequence of calls.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SyzProgram {
+    /// The calls in execution order.
+    pub calls: Vec<SyzCall>,
+}
+
+/// Parses a full Syzkaller log (one call per line; blank lines and `#`
+/// comment lines are skipped).
+///
+/// # Errors
+///
+/// Returns [`SyzParseError`] with the offending line number for
+/// malformed calls.
+pub fn parse_program(text: &str) -> Result<SyzProgram, SyzParseError> {
+    let mut calls = Vec::new();
+    for (idx, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        calls.push(parse_call(line, idx + 1)?);
+    }
+    Ok(SyzProgram { calls })
+}
+
+fn parse_call(line: &str, lineno: usize) -> Result<SyzCall, SyzParseError> {
+    let err = |message: &str| SyzParseError {
+        line: lineno,
+        message: message.to_owned(),
+    };
+
+    // Split a trailing "# ret" comment (not inside quotes — the payload
+    // quoting never contains '#' followed by a number at line end in syz
+    // logs; we take the last '#' outside quotes).
+    let (body, retval) = split_ret_comment(line);
+    let retval = match retval {
+        Some(text) => Some(
+            parse_i64(text.trim()).ok_or_else(|| err("malformed return-value comment"))?,
+        ),
+        None => None,
+    };
+
+    // Optional "rN = " binding.
+    let (result_var, rest) = match body.split_once('=') {
+        Some((lhs, rhs)) if is_resource(lhs.trim()) && !lhs.contains('(') => {
+            (Some(lhs.trim().to_owned()), rhs.trim())
+        }
+        _ => (None, body.trim()),
+    };
+
+    // "name(args)"
+    let open_paren = rest.find('(').ok_or_else(|| err("missing '('"))?;
+    if !rest.ends_with(')') {
+        return Err(err("missing closing ')'"));
+    }
+    let raw_name = &rest[..open_paren];
+    let name = raw_name.split('$').next().unwrap_or(raw_name).trim().to_owned();
+    if name.is_empty() {
+        return Err(err("empty syscall name"));
+    }
+    let args_text = &rest[open_paren + 1..rest.len() - 1];
+    let args = split_args(args_text)
+        .into_iter()
+        .map(|a| parse_arg(a.trim(), lineno))
+        .collect::<Result<Vec<_>, _>>()?;
+
+    Ok(SyzCall {
+        result_var,
+        name,
+        args,
+        retval,
+    })
+}
+
+fn split_ret_comment(line: &str) -> (&str, Option<&str>) {
+    let mut in_squote = false;
+    let mut in_dquote = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '\'' if !in_dquote => in_squote = !in_squote,
+            '"' if !in_squote => in_dquote = !in_dquote,
+            '#' if !in_squote && !in_dquote => {
+                return (&line[..i], Some(&line[i + 1..]));
+            }
+            _ => {}
+        }
+    }
+    (line, None)
+}
+
+fn is_resource(s: &str) -> bool {
+    let mut chars = s.chars();
+    chars.next() == Some('r') && !s[1..].is_empty() && s[1..].chars().all(|c| c.is_ascii_digit())
+}
+
+/// Splits a comma-separated argument list, respecting nesting and
+/// quoting.
+fn split_args(text: &str) -> Vec<&str> {
+    let mut args = Vec::new();
+    let mut depth = 0usize;
+    let mut in_squote = false;
+    let mut in_dquote = false;
+    let mut start = 0usize;
+    let mut saw_any = false;
+    for (i, c) in text.char_indices() {
+        saw_any = true;
+        match c {
+            '\'' if !in_dquote => in_squote = !in_squote,
+            '"' if !in_squote => in_dquote = !in_dquote,
+            '(' | '{' | '[' if !in_squote && !in_dquote => depth += 1,
+            ')' | '}' | ']' if !in_squote && !in_dquote => depth = depth.saturating_sub(1),
+            ',' if depth == 0 && !in_squote && !in_dquote => {
+                args.push(&text[start..i]);
+                start = i + 1;
+            }
+            _ => {}
+        }
+    }
+    if saw_any {
+        args.push(&text[start..]);
+    }
+    args
+}
+
+fn parse_u64(text: &str) -> Option<u64> {
+    let text = text.trim();
+    if let Some(hex) = text.strip_prefix("0x") {
+        u64::from_str_radix(hex, 16).ok()
+    } else if let Some(oct) = text.strip_prefix("0o") {
+        u64::from_str_radix(oct, 8).ok()
+    } else {
+        text.parse().ok()
+    }
+}
+
+fn parse_i64(text: &str) -> Option<i64> {
+    let text = text.trim();
+    if let Some(rest) = text.strip_prefix('-') {
+        parse_u64(rest).map(|v| -(v as i64))
+    } else {
+        parse_u64(text).map(|v| v as i64)
+    }
+}
+
+fn parse_arg(text: &str, lineno: usize) -> Result<SyzArg, SyzParseError> {
+    let err = |message: String| SyzParseError {
+        line: lineno,
+        message,
+    };
+    if is_resource(text) {
+        return Ok(SyzArg::Resource(text.to_owned()));
+    }
+    if let Some(rest) = text.strip_prefix("&(") {
+        // &(0xADDR) or &(0xADDR)='...' or &(0xADDR)="hex"
+        let close = rest.find(')').ok_or_else(|| err("unclosed pointer expression".into()))?;
+        let addr = parse_u64(&rest[..close])
+            .ok_or_else(|| err(format!("bad pointer address `{}`", &rest[..close])))?;
+        let payload = rest[close + 1..].trim();
+        if let Some(payload) = payload.strip_prefix('=') {
+            let payload = payload.trim();
+            if payload.starts_with('\'') && payload.ends_with('\'') && payload.len() >= 2 {
+                let inner = &payload[1..payload.len() - 1];
+                return Ok(SyzArg::StrPtr(decode_syz_string(inner)));
+            }
+            if payload.starts_with('"') && payload.ends_with('"') && payload.len() >= 2 {
+                let hex = &payload[1..payload.len() - 1];
+                return Ok(SyzArg::BlobPtr((hex.len() / 2) as u64));
+            }
+            return Err(err(format!("unsupported pointer payload `{payload}`")));
+        }
+        return Ok(SyzArg::Ptr(addr));
+    }
+    parse_u64(text)
+        .map(SyzArg::Const)
+        .ok_or_else(|| err(format!("unparsable argument `{text}`")))
+}
+
+/// Decodes syz string escapes (`\x00` etc.) and strips a trailing NUL.
+fn decode_syz_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars().peekable();
+    while let Some(c) = chars.next() {
+        if c == '\\' && chars.peek() == Some(&'x') {
+            chars.next();
+            let hi = chars.next().unwrap_or('0');
+            let lo = chars.next().unwrap_or('0');
+            let byte = u8::from_str_radix(&format!("{hi}{lo}"), 16).unwrap_or(0);
+            if byte != 0 {
+                out.push(byte as char);
+            }
+        } else {
+            out.push(c);
+        }
+    }
+    out
+}
+
+/// Converts a parsed program to a trace the IOCov analyzer understands.
+///
+/// Resource variables are resolved through the return values recorded in
+/// the log (`r0` used as an fd becomes `ArgValue::Fd(<retval of the
+/// defining call>)`); unresolved resources become fd −1. Calls without a
+/// recorded return value are given retval 0 — correct for input
+/// coverage, conservative for output coverage.
+#[must_use]
+pub fn program_to_trace(program: &SyzProgram) -> Trace {
+    let mut resources: HashMap<&str, i64> = HashMap::new();
+    let mut trace = Trace::new();
+    for call in &program.calls {
+        let retval = call.retval.unwrap_or(0);
+        if let Some(var) = &call.result_var {
+            resources.insert(var, retval);
+        }
+        let sysno = Sysno::from_name(&call.name);
+        let args: Vec<ArgValue> = call
+            .args
+            .iter()
+            .enumerate()
+            .map(|(pos, arg)| syz_arg_to_value(&call.name, pos, arg, &resources))
+            .collect();
+        let number = sysno.map_or(0, Sysno::number);
+        trace.push(TraceEvent::build(&call.name, number, args, retval));
+    }
+    trace
+}
+
+/// Maps one syz argument to the trace representation, using the syscall
+/// prototype position to pick the semantic kind (the same positions the
+/// variant handler expects).
+fn syz_arg_to_value(
+    name: &str,
+    pos: usize,
+    arg: &SyzArg,
+    resources: &HashMap<&str, i64>,
+) -> ArgValue {
+    match arg {
+        SyzArg::Resource(var) => {
+            let fd = resources.get(var.as_str()).copied().unwrap_or(-1);
+            ArgValue::Fd(i32::try_from(fd).unwrap_or(-1))
+        }
+        SyzArg::StrPtr(s) => {
+            // Path positions hold paths; xattr-name positions hold names.
+            let is_name_pos = matches!(
+                (name, pos),
+                ("setxattr" | "lsetxattr" | "getxattr" | "lgetxattr", 1)
+                    | ("fsetxattr" | "fgetxattr", 1)
+            );
+            if is_name_pos {
+                ArgValue::Str(s.clone())
+            } else {
+                ArgValue::Path(s.clone())
+            }
+        }
+        SyzArg::BlobPtr(len) => {
+            // A data buffer: the pointer is non-null; its length often
+            // duplicates the following count argument.
+            let _ = len;
+            ArgValue::Ptr(1)
+        }
+        SyzArg::Ptr(addr) => ArgValue::Ptr(u64::from(*addr != 0)),
+        SyzArg::Const(v) => const_to_value(name, pos, *v),
+    }
+}
+
+/// Chooses the semantic wrapper for a constant by prototype position.
+fn const_to_value(name: &str, pos: usize, v: u64) -> ArgValue {
+    let as_fd = || ArgValue::Fd(v as i64 as i32);
+    match (name, pos) {
+        ("open", 1) | ("openat" | "openat2", 2) => ArgValue::Flags(v as u32),
+        ("open", 2) | ("openat" | "openat2", 3) | ("creat" | "mkdir" | "chmod", 1)
+        | ("fchmod", 1) | ("mkdirat" | "fchmodat", 2) => ArgValue::Mode(v as u32),
+        ("openat2", 4) | ("fchmodat", 3) => ArgValue::Flags(v as u32),
+        ("openat" | "openat2" | "mkdirat" | "fchmodat", 0) => as_fd(),
+        ("read" | "write" | "readv" | "writev" | "pread64" | "pwrite64", 0) => as_fd(),
+        ("close" | "ftruncate" | "fchdir" | "fchmod" | "fsetxattr" | "fgetxattr", 0) => as_fd(),
+        ("lseek", 0) => as_fd(),
+        ("lseek", 1) => ArgValue::Int(v as i64),
+        ("lseek", 2) => ArgValue::Whence(v as u32),
+        ("truncate" | "ftruncate", 1) => ArgValue::Int(v as i64),
+        ("pread64" | "pwrite64", 3) => ArgValue::Int(v as i64),
+        ("setxattr" | "lsetxattr" | "fsetxattr", 4) => ArgValue::Flags(v as u32),
+        _ => ArgValue::UInt(v),
+    }
+}
+
+/// Convenience: parse a log and convert it in one step.
+///
+/// # Errors
+///
+/// Propagates [`SyzParseError`].
+pub fn parse_to_trace(text: &str) -> Result<Trace, SyzParseError> {
+    Ok(program_to_trace(&parse_program(text)?))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ArgName, Iocov, InputPartition};
+
+    const SAMPLE: &str = r#"
+# a syzkaller-style program with executor-reported results
+r0 = openat$tmp(0xffffffffffffff9c, &(0x7f0000000040)='./file0\x00', 0x42, 0x1ff) # 3
+write(r0, &(0x7f0000000080)="68656c6c6f", 0x5) # 5
+lseek(r0, 0x0, 0x0) # 0
+read(r0, &(0x7f0000000100)="00", 0x400) # 5
+close(r0) # 0
+open(&(0x7f0000000140)='/etc/passwd\x00', 0x0, 0x0) # -13
+"#;
+
+    #[test]
+    fn parses_sample_program() {
+        let prog = parse_program(SAMPLE).unwrap();
+        assert_eq!(prog.calls.len(), 6);
+        let first = &prog.calls[0];
+        assert_eq!(first.result_var.as_deref(), Some("r0"));
+        assert_eq!(first.name, "openat", "variant suffix stripped");
+        assert_eq!(first.retval, Some(3));
+        assert_eq!(first.args.len(), 4);
+        assert_eq!(first.args[0], SyzArg::Const(0xffffffffffffff9c));
+        assert_eq!(first.args[1], SyzArg::StrPtr("./file0".into()));
+        assert_eq!(first.args[2], SyzArg::Const(0x42));
+    }
+
+    #[test]
+    fn resources_resolve_to_defining_retval() {
+        let trace = parse_to_trace(SAMPLE).unwrap();
+        let write = trace.iter().find(|e| e.name == "write").unwrap();
+        assert_eq!(write.args[0], ArgValue::Fd(3));
+        assert_eq!(write.retval, 5);
+        let close = trace.iter().find(|e| e.name == "close").unwrap();
+        assert_eq!(close.args[0], ArgValue::Fd(3));
+    }
+
+    #[test]
+    fn positions_map_to_semantic_kinds() {
+        let trace = parse_to_trace(SAMPLE).unwrap();
+        let openat = &trace.events()[0];
+        assert_eq!(openat.args[2], ArgValue::Flags(0x42));
+        assert_eq!(openat.args[3], ArgValue::Mode(0x1ff));
+        assert_eq!(openat.primary_path(), Some("./file0"));
+        let lseek = trace.iter().find(|e| e.name == "lseek").unwrap();
+        assert_eq!(lseek.args[2], ArgValue::Whence(0));
+    }
+
+    #[test]
+    fn analyzer_consumes_syz_traces() {
+        let trace = parse_to_trace(SAMPLE).unwrap();
+        let report = Iocov::new().analyze(&trace);
+        let flags = report.input_coverage(ArgName::OpenFlags);
+        // 0x42 = O_CREAT|O_RDWR; plus the plain O_RDONLY open.
+        assert_eq!(flags.count(&InputPartition::Flag("O_CREAT".into())), 1);
+        assert_eq!(flags.count(&InputPartition::Flag("O_RDWR".into())), 1);
+        assert_eq!(flags.count(&InputPartition::Flag("O_RDONLY".into())), 1);
+        let open_out = report.output_coverage(iocov_syscalls::BaseSyscall::Open);
+        assert_eq!(open_out.errno_count("EACCES"), 1, "-13 from the log");
+        let wc = report.input_coverage(ArgName::WriteCount);
+        assert_eq!(wc.calls, 1);
+    }
+
+    #[test]
+    fn calls_without_results_default_retval_zero() {
+        let trace = parse_to_trace("close(0x3)").unwrap();
+        assert_eq!(trace.events()[0].retval, 0);
+        assert_eq!(trace.events()[0].args[0], ArgValue::Fd(3));
+    }
+
+    #[test]
+    fn unknown_resources_become_invalid_fds() {
+        let trace = parse_to_trace("write(r9, &(0x7f0000000000)=\"00\", 0x1)").unwrap();
+        assert_eq!(trace.events()[0].args[0], ArgValue::Fd(-1));
+    }
+
+    #[test]
+    fn nested_and_quoted_arguments_split_correctly() {
+        let prog = parse_program(
+            "r1 = openat2(0xffffffffffffff9c, &(0x7f0000000000)='./a,b\\x00', 0x0, 0x0, 0x8)",
+        )
+        .unwrap();
+        assert_eq!(prog.calls[0].args.len(), 5);
+        assert_eq!(prog.calls[0].args[1], SyzArg::StrPtr("./a,b".into()));
+    }
+
+    #[test]
+    fn negative_and_decimal_retvals() {
+        let prog = parse_program("open(&(0x7f0000000000)='/x\\x00', 0x0, 0x0) # -2").unwrap();
+        assert_eq!(prog.calls[0].retval, Some(-2));
+        let prog = parse_program("write(0x3, 0x0, 0x10) # 16").unwrap();
+        assert_eq!(prog.calls[0].retval, Some(16));
+    }
+
+    #[test]
+    fn hash_inside_quotes_is_not_a_comment() {
+        let prog = parse_program("open(&(0x7f0000000000)='/dir#1\\x00', 0x0, 0x0) # 4").unwrap();
+        assert_eq!(prog.calls[0].retval, Some(4));
+        assert_eq!(prog.calls[0].args[0], SyzArg::StrPtr("/dir#1".into()));
+    }
+
+    #[test]
+    fn parse_errors_carry_line_numbers() {
+        let err = parse_program("open(&(0x7f0000000000='/x', 0x0)").unwrap_err();
+        assert_eq!(err.line, 1);
+        let err = parse_program("\n\nnot_a_call").unwrap_err();
+        assert_eq!(err.line, 3);
+        assert!(err.to_string().contains("line 3"));
+    }
+
+    #[test]
+    fn non_fs_syscalls_pass_through_as_noise() {
+        // The analyzer's variant handler drops them, like trace noise.
+        let trace = parse_to_trace("socket(0x2, 0x1, 0x0) # 5").unwrap();
+        let report = Iocov::new().analyze(&trace);
+        assert_eq!(report.total_calls(), 0);
+    }
+
+    #[test]
+    fn null_pointer_payloads() {
+        let trace = parse_to_trace("read(0x3, 0x0, 0x100) # -14").unwrap();
+        let report = Iocov::new().analyze(&trace);
+        assert_eq!(
+            report
+                .output_coverage(iocov_syscalls::BaseSyscall::Read)
+                .errno_count("EFAULT"),
+            1
+        );
+    }
+}

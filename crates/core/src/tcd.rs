@@ -1,0 +1,264 @@
+//! Test Coverage Deviation (TCD): the paper's §4 adequacy metric.
+//!
+//! Given the frequency `F_i` of each partition and a target frequency
+//! `T_i`, TCD is the root-mean-square deviation of the log-frequencies:
+//!
+//! ```text
+//! TCD_T = sqrt( (1/N) * Σ (log10 F_i − log10 T_i)² )
+//! ```
+//!
+//! Logarithms downplay over-testing relative to under-testing (a
+//! partition tested 10× too often deviates as much as one tested 10× too
+//! rarely, instead of linearly more). Zero frequencies are handled with
+//! `log10(x + 1)` smoothing, so an untested partition against target `T`
+//! contributes `log10(T + 1)` of deviation. Lower is better.
+
+/// Computes TCD for per-partition frequencies against per-partition
+/// targets.
+///
+/// # Panics
+///
+/// Panics when the slices differ in length or are empty — the target
+/// array is defined to have one entry per partition (§4).
+#[must_use]
+pub fn tcd(freqs: &[u64], targets: &[u64]) -> f64 {
+    assert_eq!(
+        freqs.len(),
+        targets.len(),
+        "one target per partition is required"
+    );
+    assert!(!freqs.is_empty(), "TCD over zero partitions is undefined");
+    let sum_sq: f64 = freqs
+        .iter()
+        .zip(targets)
+        .map(|(&f, &t)| {
+            let d = log10p1(f) - log10p1(t);
+            d * d
+        })
+        .sum();
+    (sum_sq / freqs.len() as f64).sqrt()
+}
+
+/// TCD against a uniform target (every partition should be tested
+/// `target` times) — the configuration of the paper's Figure 5.
+///
+/// # Panics
+///
+/// Panics when `freqs` is empty.
+#[must_use]
+pub fn tcd_uniform(freqs: &[u64], target: u64) -> f64 {
+    let targets = vec![target; freqs.len()];
+    tcd(freqs, &targets)
+}
+
+fn log10p1(x: u64) -> f64 {
+    (x as f64 + 1.0).log10()
+}
+
+/// Finds the uniform-target crossover between two suites: the smallest
+/// target `T` in `[lo, hi]` where suite A stops having the lower (better)
+/// TCD and suite B takes over, mirroring Figure 5's crossover at
+/// T ≈ 5,237. Returns `None` when no sign change occurs in the range.
+#[must_use]
+pub fn crossover(freqs_a: &[u64], freqs_b: &[u64], lo: u64, hi: u64) -> Option<u64> {
+    let diff = |t: u64| tcd_uniform(freqs_a, t) - tcd_uniform(freqs_b, t);
+    if lo >= hi {
+        return None;
+    }
+    let (d_lo, d_hi) = (diff(lo), diff(hi));
+    if d_lo.signum() == d_hi.signum() {
+        return None;
+    }
+    let (mut lo, mut hi) = (lo, hi);
+    while hi - lo > 1 {
+        let mid = lo + (hi - lo) / 2;
+        if diff(mid).signum() == d_lo.signum() {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    Some(hi)
+}
+
+/// Samples TCD for both suites over log-spaced uniform targets — the
+/// data series of Figure 5.
+#[must_use]
+pub fn tcd_series(freqs: &[u64], targets: &[u64]) -> Vec<(u64, f64)> {
+    targets.iter().map(|&t| (t, tcd_uniform(freqs, t))).collect()
+}
+
+/// One partition's signed deviation from the target: positive =
+/// over-tested, negative = under-tested (in log10 decades).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Deviation<P> {
+    /// The partition.
+    pub partition: P,
+    /// Observed frequency.
+    pub frequency: u64,
+    /// Target frequency.
+    pub target: u64,
+    /// `log10(freq+1) − log10(target+1)`.
+    pub deviation: f64,
+}
+
+/// Ranks partitions by |deviation| from a uniform target, worst first —
+/// the §4 "application" turned into an actionable work list: the head of
+/// the list is what a developer should fix (add tests for under-tested
+/// partitions, trim redundant ones for over-tested).
+pub fn deviation_ranking<P: Clone>(
+    partitions: &[P],
+    freqs: &[u64],
+    target: u64,
+) -> Vec<Deviation<P>> {
+    assert_eq!(partitions.len(), freqs.len(), "one frequency per partition");
+    let mut ranked: Vec<Deviation<P>> = partitions
+        .iter()
+        .zip(freqs)
+        .map(|(p, &f)| Deviation {
+            partition: p.clone(),
+            frequency: f,
+            target,
+            deviation: log10p1(f) - log10p1(target),
+        })
+        .collect();
+    ranked.sort_by(|a, b| b.deviation.abs().total_cmp(&a.deviation.abs()));
+    ranked
+}
+
+/// Log-spaced targets `10^0 .. 10^max_exp` with `per_decade` points per
+/// decade (Figure 5's x-axis).
+#[must_use]
+pub fn log_targets(max_exp: u32, per_decade: u32) -> Vec<u64> {
+    let mut targets = Vec::new();
+    for exp in 0..max_exp {
+        for step in 0..per_decade {
+            let t = 10f64.powf(f64::from(exp) + f64::from(step) / f64::from(per_decade));
+            targets.push(t.round() as u64);
+        }
+    }
+    targets.push(10u64.pow(max_exp));
+    targets.dedup();
+    targets
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tcd_is_zero_iff_frequencies_hit_target() {
+        assert_eq!(tcd(&[10, 10, 10], &[10, 10, 10]), 0.0);
+        assert!(tcd(&[10, 10, 11], &[10, 10, 10]) > 0.0);
+    }
+
+    #[test]
+    fn tcd_penalizes_under_testing() {
+        // All partitions untested against target 1000.
+        let untested = tcd_uniform(&[0, 0, 0], 1000);
+        let expected = (1001f64).log10();
+        assert!((untested - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn log_scale_downplays_over_testing() {
+        // 10x over-testing and 10x under-testing deviate equally (the
+        // log makes the penalty multiplicative, not additive)...
+        let over = tcd_uniform(&[10_000], 1_000);
+        let under = tcd_uniform(&[100], 1_000);
+        assert!((over - under).abs() < 0.02);
+        // ...whereas linear deviation would differ by 10x.
+        assert!((10_000f64 - 1_000.0).abs() > 10.0 * (1_000f64 - 100.0).abs() - 1.0);
+    }
+
+    #[test]
+    fn lower_tcd_for_closer_distribution() {
+        let close = tcd_uniform(&[90, 110, 95], 100);
+        let far = tcd_uniform(&[1, 10_000, 3], 100);
+        assert!(close < far);
+    }
+
+    #[test]
+    #[should_panic(expected = "one target per partition")]
+    fn mismatched_lengths_panic() {
+        let _ = tcd(&[1, 2], &[1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero partitions")]
+    fn empty_input_panics() {
+        let _ = tcd(&[], &[]);
+    }
+
+    #[test]
+    fn crossover_finds_figure5_style_flip() {
+        // Suite A: uniformly low frequencies (CrashMonkey-like).
+        // Suite B: high but uneven frequencies (xfstests-like).
+        let a = vec![50u64; 10];
+        let b: Vec<u64> = (0..10).map(|i| if i < 8 { 100_000 } else { 500 }).collect();
+        // At tiny targets A is closer; at huge targets B is closer.
+        assert!(tcd_uniform(&a, 10) < tcd_uniform(&b, 10));
+        assert!(tcd_uniform(&a, 1_000_000) > tcd_uniform(&b, 1_000_000));
+        let t = crossover(&a, &b, 1, 10_000_000).expect("a crossover exists");
+        assert!(tcd_uniform(&a, t - 1) <= tcd_uniform(&b, t - 1));
+        assert!(tcd_uniform(&a, t) >= tcd_uniform(&b, t));
+    }
+
+    #[test]
+    fn crossover_none_when_one_suite_dominates() {
+        let a = vec![10u64; 4];
+        let b = vec![10u64; 4];
+        assert_eq!(crossover(&a, &b, 1, 1_000_000), None);
+    }
+
+    #[test]
+    fn log_targets_are_increasing_and_span_decades() {
+        let targets = log_targets(7, 4);
+        assert_eq!(*targets.first().unwrap(), 1);
+        assert_eq!(*targets.last().unwrap(), 10_000_000);
+        assert!(targets.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn tcd_series_matches_pointwise_evaluation() {
+        let freqs = vec![5, 50, 500];
+        let targets = vec![1, 10, 100];
+        let series = tcd_series(&freqs, &targets);
+        assert_eq!(series.len(), 3);
+        for (t, v) in series {
+            assert!((v - tcd_uniform(&freqs, t)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn deviation_ranking_orders_worst_first() {
+        let partitions = ["a", "b", "c", "d"];
+        let freqs = [1_000u64, 0, 10, 1_000_000];
+        let ranked = deviation_ranking(&partitions, &freqs, 1_000);
+        // d is 3 decades over; b is 3 decades under; both beat c (2
+        // under) and a (exact).
+        assert_eq!(ranked[3].partition, "a");
+        assert!(ranked[3].deviation.abs() < 1e-9);
+        assert!(ranked[0].deviation.abs() >= ranked[1].deviation.abs());
+        let b = ranked.iter().find(|d| d.partition == "b").unwrap();
+        assert!(b.deviation < 0.0, "under-tested is negative");
+        let d = ranked.iter().find(|d| d.partition == "d").unwrap();
+        assert!(d.deviation > 0.0, "over-tested is positive");
+    }
+
+    #[test]
+    #[should_panic(expected = "one frequency per partition")]
+    fn deviation_ranking_length_mismatch_panics() {
+        let _ = deviation_ranking(&["a"], &[1, 2], 10);
+    }
+
+    #[test]
+    fn non_uniform_targets_support_developer_priorities() {
+        // Developers may want persistence-related partitions tested more
+        // (§4): a higher target there penalizes their absence more.
+        let freqs = vec![100, 0];
+        let flat = tcd(&freqs, &[100, 100]);
+        let sync_heavy = tcd(&freqs, &[100, 100_000]);
+        assert!(sync_heavy > flat);
+    }
+}

@@ -1,0 +1,336 @@
+//! The syscall-variant handler.
+//!
+//! Variants "share almost the same kernel implementation" (§3), so IOCov
+//! merges their input and output spaces: `openat2` and `creat` both count
+//! toward `open` coverage, with their arguments mapped to the base
+//! syscall's argument slots (e.g. `creat` implies
+//! `O_CREAT|O_WRONLY|O_TRUNC`).
+
+use iocov_syscalls::{BaseSyscall, Sysno};
+use iocov_trace::{ArgValue, TraceEvent};
+
+use crate::arg::{ArgName, TrackedValue};
+
+/// A trace event normalized to its base syscall with unified argument
+/// slots.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NormalizedCall {
+    /// The concrete variant that was invoked.
+    pub sysno: Sysno,
+    /// The logical syscall it merges into.
+    pub base: BaseSyscall,
+    /// Raw return value.
+    pub retval: i64,
+    /// Tracked arguments with decoded values.
+    pub args: Vec<(ArgName, TrackedValue)>,
+}
+
+/// The flags word `creat(2)` implies.
+pub const CREAT_IMPLIED_FLAGS: u32 = 0o1101; // O_CREAT | O_WRONLY | O_TRUNC
+
+fn bits(event: &TraceEvent, idx: usize) -> Option<TrackedValue> {
+    match event.args.get(idx)? {
+        ArgValue::Flags(v) | ArgValue::Mode(v) | ArgValue::Whence(v) => {
+            Some(TrackedValue::Bits(*v))
+        }
+        ArgValue::UInt(v) => u32::try_from(*v).ok().map(TrackedValue::Bits),
+        _ => None,
+    }
+}
+
+fn unsigned(event: &TraceEvent, idx: usize) -> Option<TrackedValue> {
+    match event.args.get(idx)? {
+        ArgValue::UInt(v) => Some(TrackedValue::Unsigned(*v)),
+        ArgValue::Int(v) if *v >= 0 => Some(TrackedValue::Unsigned(*v as u64)),
+        _ => None,
+    }
+}
+
+fn signed(event: &TraceEvent, idx: usize) -> Option<TrackedValue> {
+    match event.args.get(idx)? {
+        ArgValue::Int(v) => Some(TrackedValue::Signed(*v)),
+        ArgValue::UInt(v) => i64::try_from(*v).ok().map(TrackedValue::Signed),
+        _ => None,
+    }
+}
+
+/// Normalizes one trace event; returns `None` for syscalls outside the
+/// 27-call domain (tester noise like `stat` or `unlink`).
+#[must_use]
+pub fn normalize(event: &TraceEvent) -> Option<NormalizedCall> {
+    let sysno = Sysno::from_name(&event.name)?;
+    let mut args: Vec<(ArgName, TrackedValue)> = Vec::with_capacity(2);
+    let mut push = |name: ArgName, value: Option<TrackedValue>| {
+        if let Some(v) = value {
+            args.push((name, v));
+        }
+    };
+
+    match sysno {
+        Sysno::Open => {
+            push(ArgName::OpenFlags, bits(event, 1));
+            push(ArgName::OpenMode, bits(event, 2));
+        }
+        Sysno::Openat => {
+            push(ArgName::OpenFlags, bits(event, 2));
+            push(ArgName::OpenMode, bits(event, 3));
+        }
+        Sysno::Creat => {
+            push(
+                ArgName::OpenFlags,
+                Some(TrackedValue::Bits(CREAT_IMPLIED_FLAGS)),
+            );
+            push(ArgName::OpenMode, bits(event, 1));
+        }
+        Sysno::Openat2 => {
+            push(ArgName::OpenFlags, bits(event, 2));
+            push(ArgName::OpenMode, bits(event, 3));
+        }
+        Sysno::Read | Sysno::Readv => {
+            push(ArgName::ReadCount, unsigned(event, 2));
+        }
+        Sysno::Pread64 => {
+            push(ArgName::ReadCount, unsigned(event, 2));
+            push(ArgName::ReadOffset, signed(event, 3));
+        }
+        Sysno::Write | Sysno::Writev => {
+            push(ArgName::WriteCount, unsigned(event, 2));
+        }
+        Sysno::Pwrite64 => {
+            push(ArgName::WriteCount, unsigned(event, 2));
+            push(ArgName::WriteOffset, signed(event, 3));
+        }
+        Sysno::Lseek => {
+            push(ArgName::LseekOffset, signed(event, 1));
+            push(ArgName::LseekWhence, bits(event, 2));
+        }
+        Sysno::Truncate | Sysno::Ftruncate => {
+            push(ArgName::TruncateLength, signed(event, 1));
+        }
+        Sysno::Mkdir => {
+            push(ArgName::MkdirMode, bits(event, 1));
+        }
+        Sysno::Mkdirat => {
+            push(ArgName::MkdirMode, bits(event, 2));
+        }
+        Sysno::Chmod | Sysno::Fchmod => {
+            push(ArgName::ChmodMode, bits(event, 1));
+        }
+        Sysno::Fchmodat => {
+            push(ArgName::ChmodMode, bits(event, 2));
+        }
+        Sysno::Setxattr | Sysno::Lsetxattr | Sysno::Fsetxattr => {
+            push(ArgName::SetxattrSize, unsigned(event, 3));
+            push(ArgName::SetxattrFlags, bits(event, 4));
+        }
+        Sysno::Getxattr | Sysno::Lgetxattr | Sysno::Fgetxattr => {
+            push(ArgName::GetxattrSize, unsigned(event, 3));
+        }
+        Sysno::Close | Sysno::Chdir | Sysno::Fchdir => {}
+    }
+
+    Some(NormalizedCall {
+        sysno,
+        base: sysno.base(),
+        retval: event.retval,
+        args,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn event(name: &str, args: Vec<ArgValue>, retval: i64) -> TraceEvent {
+        let sysno = Sysno::from_name(name).map_or(999, Sysno::number);
+        TraceEvent::build(name, sysno, args, retval)
+    }
+
+    #[test]
+    fn open_variants_merge_to_open() {
+        let open = normalize(&event(
+            "open",
+            vec![ArgValue::Path("/f".into()), ArgValue::Flags(0o101), ArgValue::Mode(0o644)],
+            3,
+        ))
+        .unwrap();
+        assert_eq!(open.base, BaseSyscall::Open);
+        assert_eq!(
+            open.args,
+            vec![
+                (ArgName::OpenFlags, TrackedValue::Bits(0o101)),
+                (ArgName::OpenMode, TrackedValue::Bits(0o644)),
+            ]
+        );
+
+        let openat = normalize(&event(
+            "openat",
+            vec![
+                ArgValue::Fd(-100),
+                ArgValue::Path("f".into()),
+                ArgValue::Flags(0o2),
+                ArgValue::Mode(0),
+            ],
+            4,
+        ))
+        .unwrap();
+        assert_eq!(openat.base, BaseSyscall::Open);
+        assert_eq!(openat.args[0], (ArgName::OpenFlags, TrackedValue::Bits(0o2)));
+
+        let openat2 = normalize(&event(
+            "openat2",
+            vec![
+                ArgValue::Fd(5),
+                ArgValue::Path("f".into()),
+                ArgValue::Flags(0),
+                ArgValue::Mode(0o600),
+                ArgValue::Flags(0x08),
+            ],
+            -2,
+        ))
+        .unwrap();
+        assert_eq!(openat2.base, BaseSyscall::Open);
+        assert_eq!(openat2.retval, -2);
+    }
+
+    #[test]
+    fn creat_synthesizes_implied_flags() {
+        let creat = normalize(&event(
+            "creat",
+            vec![ArgValue::Path("/f".into()), ArgValue::Mode(0o644)],
+            3,
+        ))
+        .unwrap();
+        assert_eq!(creat.base, BaseSyscall::Open);
+        assert_eq!(
+            creat.args[0],
+            (ArgName::OpenFlags, TrackedValue::Bits(CREAT_IMPLIED_FLAGS))
+        );
+        assert_eq!(creat.args[1], (ArgName::OpenMode, TrackedValue::Bits(0o644)));
+        // The implied word decomposes to the documented flags.
+        let present = crate::domain::open_flags_present(CREAT_IMPLIED_FLAGS);
+        assert_eq!(present, vec!["O_WRONLY", "O_CREAT", "O_TRUNC"]);
+    }
+
+    #[test]
+    fn read_write_variants_unify_count_slot() {
+        for (name, arg) in [
+            ("read", ArgName::ReadCount),
+            ("readv", ArgName::ReadCount),
+            ("write", ArgName::WriteCount),
+            ("writev", ArgName::WriteCount),
+        ] {
+            let call = normalize(&event(
+                name,
+                vec![ArgValue::Fd(3), ArgValue::Ptr(1), ArgValue::UInt(4096)],
+                4096,
+            ))
+            .unwrap();
+            assert_eq!(call.args, vec![(arg, TrackedValue::Unsigned(4096))], "{name}");
+        }
+        let pwrite = normalize(&event(
+            "pwrite64",
+            vec![ArgValue::Fd(3), ArgValue::Ptr(1), ArgValue::UInt(10), ArgValue::Int(-1)],
+            -22,
+        ))
+        .unwrap();
+        assert_eq!(pwrite.args[0], (ArgName::WriteCount, TrackedValue::Unsigned(10)));
+        assert_eq!(pwrite.args[1], (ArgName::WriteOffset, TrackedValue::Signed(-1)));
+    }
+
+    #[test]
+    fn lseek_tracks_offset_and_whence() {
+        let call = normalize(&event(
+            "lseek",
+            vec![ArgValue::Fd(3), ArgValue::Int(-10), ArgValue::Whence(2)],
+            90,
+        ))
+        .unwrap();
+        assert_eq!(call.args[0], (ArgName::LseekOffset, TrackedValue::Signed(-10)));
+        assert_eq!(call.args[1], (ArgName::LseekWhence, TrackedValue::Bits(2)));
+    }
+
+    #[test]
+    fn chmod_variants_unify_mode_slot() {
+        let fchmodat = normalize(&event(
+            "fchmodat",
+            vec![
+                ArgValue::Fd(-100),
+                ArgValue::Path("/f".into()),
+                ArgValue::Mode(0o755),
+                ArgValue::Flags(0),
+            ],
+            0,
+        ))
+        .unwrap();
+        assert_eq!(fchmodat.base, BaseSyscall::Chmod);
+        assert_eq!(fchmodat.args, vec![(ArgName::ChmodMode, TrackedValue::Bits(0o755))]);
+        let fchmod = normalize(&event(
+            "fchmod",
+            vec![ArgValue::Fd(4), ArgValue::Mode(0o600)],
+            0,
+        ))
+        .unwrap();
+        assert_eq!(fchmod.args, vec![(ArgName::ChmodMode, TrackedValue::Bits(0o600))]);
+    }
+
+    #[test]
+    fn xattr_variants_unify_size_and_flags() {
+        let fset = normalize(&event(
+            "fsetxattr",
+            vec![
+                ArgValue::Fd(4),
+                ArgValue::Str("user.k".into()),
+                ArgValue::Ptr(1),
+                ArgValue::UInt(100),
+                ArgValue::Flags(0x1),
+            ],
+            0,
+        ))
+        .unwrap();
+        assert_eq!(fset.base, BaseSyscall::Setxattr);
+        assert_eq!(
+            fset.args,
+            vec![
+                (ArgName::SetxattrSize, TrackedValue::Unsigned(100)),
+                (ArgName::SetxattrFlags, TrackedValue::Bits(0x1)),
+            ]
+        );
+        let lget = normalize(&event(
+            "lgetxattr",
+            vec![
+                ArgValue::Path("/f".into()),
+                ArgValue::Str("user.k".into()),
+                ArgValue::Ptr(1),
+                ArgValue::UInt(0),
+            ],
+            5,
+        ))
+        .unwrap();
+        assert_eq!(lget.base, BaseSyscall::Getxattr);
+        assert_eq!(lget.args, vec![(ArgName::GetxattrSize, TrackedValue::Unsigned(0))]);
+    }
+
+    #[test]
+    fn fd_only_syscalls_have_no_tracked_args() {
+        for name in ["close", "chdir", "fchdir"] {
+            let call = normalize(&event(name, vec![ArgValue::Fd(3)], 0)).unwrap();
+            assert!(call.args.is_empty(), "{name}");
+        }
+    }
+
+    #[test]
+    fn noise_syscalls_are_rejected() {
+        assert!(normalize(&event("stat", vec![], 0)).is_none());
+        assert!(normalize(&event("unlink", vec![], 0)).is_none());
+        assert!(normalize(&event("fsync", vec![], 0)).is_none());
+    }
+
+    #[test]
+    fn malformed_events_degrade_gracefully() {
+        // Missing argument positions simply yield fewer tracked args.
+        let call = normalize(&event("open", vec![ArgValue::Path("/f".into())], -2)).unwrap();
+        assert!(call.args.is_empty());
+        assert_eq!(call.retval, -2);
+    }
+}

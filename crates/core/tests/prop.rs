@@ -1,0 +1,175 @@
+//! Property-based tests for the IOCov analyzer.
+
+use iocov::tcd::tcd;
+use iocov::{
+    arg_domain, normalize, open_flags_present, ArgName, Analyzer, InputPartition,
+    NumericPartition, OutputPartition, TraceFilter, TrackedValue,
+};
+use iocov_trace::{ArgValue, Trace, TraceEvent};
+use proptest::prelude::*;
+
+fn open_event(path: String, flags: u32, retval: i64) -> TraceEvent {
+    TraceEvent::build(
+        "open",
+        2,
+        vec![ArgValue::Path(path), ArgValue::Flags(flags), ArgValue::Mode(0o644)],
+        retval,
+    )
+}
+
+proptest! {
+    /// Numeric partitioning is total and monotone: every value lands in
+    /// exactly one bucket, and buckets respect ordering.
+    #[test]
+    fn numeric_partition_total_and_monotone(a in any::<i64>(), b in any::<i64>()) {
+        let pa = NumericPartition::of(i128::from(a));
+        let pb = NumericPartition::of(i128::from(b));
+        if a == b {
+            prop_assert_eq!(pa, pb);
+        }
+        // Lower bounds are consistent with membership.
+        if let Some(lo) = pa.lower_bound() {
+            prop_assert!(a >= 0);
+            prop_assert!(u128::try_from(a).unwrap() >= lo || a == 0);
+        } else {
+            prop_assert!(a < 0);
+        }
+    }
+
+    /// Bucket index grows monotonically with the value.
+    #[test]
+    fn numeric_buckets_monotone_in_value(a in 1u64..u64::MAX / 2) {
+        let b = a * 2;
+        let pa = NumericPartition::of(i128::from(a));
+        let pb = NumericPartition::of(i128::from(b));
+        match (pa, pb) {
+            (NumericPartition::Log2(ka), NumericPartition::Log2(kb)) => {
+                prop_assert_eq!(kb, ka + 1, "doubling advances exactly one bucket");
+            }
+            other => prop_assert!(false, "unexpected partitions {:?}", other),
+        }
+    }
+
+    /// Flag decomposition never invents flags: every reported flag's bits
+    /// are present in the word, and exactly one access mode is reported.
+    #[test]
+    fn open_flag_decomposition_is_sound(bits in any::<u32>()) {
+        let present = open_flags_present(bits);
+        let modes = ["O_RDONLY", "O_WRONLY", "O_RDWR"];
+        let mode_count = present.iter().filter(|f| modes.contains(f)).count();
+        // Access mode 3 is invalid and reports no mode; otherwise one.
+        if bits & 3 == 3 {
+            prop_assert_eq!(mode_count, 0);
+        } else {
+            prop_assert_eq!(mode_count, 1);
+        }
+        for flag in &present {
+            if let Some((_, f)) = iocov_syscalls::OpenFlags::NAMED_FLAGS
+                .iter()
+                .find(|(n, _)| n == flag)
+            {
+                if f.bits() != 0 {
+                    prop_assert_eq!(bits & f.bits(), f.bits(), "{} bits present", flag);
+                }
+            }
+        }
+    }
+
+    /// Partitioning a value always produces partitions inside the
+    /// argument's enumerable domain (for bitmap/categorical kinds) or a
+    /// single numeric bucket.
+    #[test]
+    fn partitions_of_stay_in_domain(arg_idx in 0usize..14, value in any::<u32>()) {
+        let arg = ArgName::ALL[arg_idx];
+        let domain = arg_domain(arg);
+        let parts = domain.partitions_of(TrackedValue::Bits(value));
+        for p in &parts {
+            match p {
+                InputPartition::Numeric(_) => {} // numeric buckets may exceed display range
+                other => {
+                    prop_assert!(
+                        domain.all_partitions().contains(other),
+                        "{:?} outside domain of {}",
+                        other,
+                        arg
+                    );
+                }
+            }
+        }
+    }
+
+    /// Output partitioning is total: any retval maps to OK or an errno.
+    #[test]
+    fn output_partition_total(retval in any::<i64>(), buckets in any::<bool>()) {
+        let p = OutputPartition::of(retval, buckets);
+        prop_assert_eq!(p.is_success(), retval >= 0);
+    }
+
+    /// TCD is non-negative, zero only at the target, and symmetric under
+    /// common scaling direction (log property).
+    #[test]
+    fn tcd_basic_properties(freqs in proptest::collection::vec(0u64..1_000_000, 1..20), target in 0u64..1_000_000) {
+        let targets = vec![target; freqs.len()];
+        let value = tcd(&freqs, &targets);
+        prop_assert!(value >= 0.0);
+        let exact = tcd(&targets, &targets);
+        prop_assert!(exact.abs() < 1e-12);
+        if freqs == targets {
+            prop_assert!(value.abs() < 1e-12);
+        }
+    }
+
+    /// Analyzing a concatenated trace equals merging the two reports.
+    #[test]
+    fn analysis_merge_is_homomorphic(
+        flags_a in proptest::collection::vec(0u32..0x4000, 0..20),
+        flags_b in proptest::collection::vec(0u32..0x4000, 0..20),
+    ) {
+        let analyzer = Analyzer::unfiltered();
+        let trace_a: Trace = flags_a.iter().map(|&f| open_event("/a".into(), f, 3)).collect();
+        let trace_b: Trace = flags_b.iter().map(|&f| open_event("/b".into(), f, -2)).collect();
+        let mut combined_events = trace_a.clone().into_events();
+        combined_events.extend(trace_b.clone().into_events());
+        let whole = analyzer.analyze(&Trace::from_events(combined_events));
+        let mut merged = analyzer.analyze(&trace_a);
+        merged.merge(&analyzer.analyze(&trace_b));
+        prop_assert_eq!(whole.input, merged.input);
+        prop_assert_eq!(whole.output, merged.output);
+        prop_assert_eq!(whole.open_combos, merged.open_combos);
+    }
+
+    /// Filtering is idempotent: applying the same filter twice keeps the
+    /// same events.
+    #[test]
+    fn filter_is_idempotent(paths in proptest::collection::vec("[a-z]{1,6}", 1..20)) {
+        let filter = TraceFilter::mount_point("/mnt/test").unwrap();
+        let events: Vec<TraceEvent> = paths
+            .iter()
+            .enumerate()
+            .map(|(i, p)| {
+                let path = if i % 2 == 0 {
+                    format!("/mnt/test/{p}")
+                } else {
+                    format!("/other/{p}")
+                };
+                open_event(path, 0, 3 + i as i64)
+            })
+            .collect();
+        let trace = Trace::from_events(events);
+        let (once, stats1) = filter.apply(&trace);
+        let (twice, stats2) = filter.apply(&once);
+        prop_assert_eq!(&once, &twice);
+        prop_assert_eq!(stats1.kept, stats2.kept);
+        prop_assert_eq!(stats2.dropped, 0);
+    }
+
+    /// Normalization preserves the return value and maps every event of a
+    /// known syscall to its variant's base.
+    #[test]
+    fn normalize_preserves_retval(retval in any::<i64>(), flags in any::<u32>()) {
+        let event = open_event("/x".into(), flags, retval);
+        let call = normalize(&event).unwrap();
+        prop_assert_eq!(call.retval, retval);
+        prop_assert_eq!(call.base, iocov::BaseSyscall::Open);
+    }
+}

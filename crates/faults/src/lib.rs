@@ -1,0 +1,31 @@
+//! The bug-study dataset and injectable file-system bugs.
+//!
+//! Two halves, mirroring §2 of the IOCov paper:
+//!
+//! * [`dataset`]/[`StudyStats`] — the 70-bug study (51 Ext4 + 19 BtrFS
+//!   fixes from 2022) with the paper's exact aggregates: 53% of bugs sat
+//!   in code xfstests covered yet missed; 71% were input bugs; 59%
+//!   output bugs; 65% of the covered-but-missed bugs needed specific
+//!   syscall arguments.
+//! * [`BugSet`]/[`demo_bugs`] — synthetic bugs injectable into the
+//!   in-memory VFS through its fault-hook interface, letting experiments
+//!   *reproduce* the study's phenomenon: code coverage reaches the buggy
+//!   function on every call, but only a boundary input trips the bug.
+//!
+//! # Examples
+//!
+//! ```
+//! use iocov_faults::{dataset, StudyStats};
+//!
+//! let stats = StudyStats::compute(&dataset());
+//! assert_eq!(stats.total, 70);
+//! assert_eq!(stats.line_covered_missed, 37); // the 53% headline
+//! ```
+
+mod dataset;
+mod inject;
+mod study;
+
+pub use dataset::{dataset, BugKind, BugRecord, Filesystem};
+pub use inject::{demo_bugs, BugSet, BugTrigger, InjectedBug};
+pub use study::StudyStats;

@@ -1,0 +1,172 @@
+//! Aggregate statistics over the bug dataset — the numbers of §2.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::dataset::{BugKind, BugRecord, Filesystem};
+
+/// The §2 bug-study aggregates.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StudyStats {
+    /// Total bug-fix commits analyzed.
+    pub total: usize,
+    /// Ext4 bugs.
+    pub ext4: usize,
+    /// BtrFS bugs.
+    pub btrfs: usize,
+    /// Bugs whose lines xfstests covered yet missed.
+    pub line_covered_missed: usize,
+    /// Bugs whose functions xfstests covered yet missed.
+    pub func_covered_missed: usize,
+    /// Bugs whose branches xfstests covered yet missed.
+    pub branch_covered_missed: usize,
+    /// Input bugs (input or both).
+    pub input_bugs: usize,
+    /// Output bugs (output or both).
+    pub output_bugs: usize,
+    /// Bugs that are input, output, or both.
+    pub input_or_output: usize,
+    /// Both-input-and-output bugs.
+    pub both: usize,
+    /// Neither-classified bugs.
+    pub neither: usize,
+    /// Of the line-covered-missed bugs, how many are triggered by
+    /// specific syscall arguments.
+    pub covered_missed_arg_triggered: usize,
+    /// Bugs xfstests detected.
+    pub detected: usize,
+}
+
+impl StudyStats {
+    /// Computes the aggregates from a dataset.
+    #[must_use]
+    pub fn compute(records: &[BugRecord]) -> Self {
+        let total = records.len();
+        let count = |f: &dyn Fn(&BugRecord) -> bool| records.iter().filter(|b| f(b)).count();
+        StudyStats {
+            total,
+            ext4: count(&|b| b.fs == Filesystem::Ext4),
+            btrfs: count(&|b| b.fs == Filesystem::Btrfs),
+            line_covered_missed: count(&|b| b.line_covered && !b.detected),
+            func_covered_missed: count(&|b| b.func_covered && !b.detected),
+            branch_covered_missed: count(&|b| b.branch_covered && !b.detected),
+            input_bugs: count(&|b| b.kind.is_input()),
+            output_bugs: count(&|b| b.kind.is_output()),
+            input_or_output: count(&|b| b.kind.is_input() || b.kind.is_output()),
+            both: count(&|b| b.kind == BugKind::Both),
+            neither: count(&|b| b.kind == BugKind::Neither),
+            covered_missed_arg_triggered: count(&|b| {
+                b.line_covered && !b.detected && b.arg_triggered
+            }),
+            detected: count(&|b| b.detected),
+        }
+    }
+
+    /// A percentage out of the study total.
+    #[must_use]
+    pub fn pct(&self, n: usize) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            100.0 * n as f64 / self.total as f64
+        }
+    }
+}
+
+impl fmt::Display for StudyStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{} bug fixes analyzed ({} Ext4 + {} BtrFS)",
+            self.total, self.ext4, self.btrfs
+        )?;
+        writeln!(
+            f,
+            "covered-but-missed:  lines {}/{} ({:.0}%)  functions {}/{} ({:.0}%)  branches {}/{} ({:.0}%)",
+            self.line_covered_missed,
+            self.total,
+            self.pct(self.line_covered_missed),
+            self.func_covered_missed,
+            self.total,
+            self.pct(self.func_covered_missed),
+            self.branch_covered_missed,
+            self.total,
+            self.pct(self.branch_covered_missed),
+        )?;
+        writeln!(
+            f,
+            "input bugs {}/{} ({:.0}%)   output bugs {}/{} ({:.0}%)   either {}/{} ({:.0}%)",
+            self.input_bugs,
+            self.total,
+            self.pct(self.input_bugs),
+            self.output_bugs,
+            self.total,
+            self.pct(self.output_bugs),
+            self.input_or_output,
+            self.total,
+            self.pct(self.input_or_output),
+        )?;
+        write!(
+            f,
+            "argument-triggered among covered-missed: {}/{} ({:.0}%)",
+            self.covered_missed_arg_triggered,
+            self.line_covered_missed,
+            if self.line_covered_missed == 0 {
+                0.0
+            } else {
+                100.0 * self.covered_missed_arg_triggered as f64
+                    / self.line_covered_missed as f64
+            },
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::dataset;
+
+    #[test]
+    fn stats_reproduce_every_section2_number() {
+        let stats = StudyStats::compute(&dataset());
+        assert_eq!(stats.total, 70);
+        assert_eq!(stats.ext4, 51);
+        assert_eq!(stats.btrfs, 19);
+        assert_eq!(stats.line_covered_missed, 37);
+        assert_eq!(stats.func_covered_missed, 43);
+        assert_eq!(stats.branch_covered_missed, 20);
+        assert_eq!(stats.input_bugs, 50);
+        assert_eq!(stats.output_bugs, 41);
+        assert_eq!(stats.input_or_output, 57);
+        assert_eq!(stats.covered_missed_arg_triggered, 24);
+        // Percentages as stated in the paper.
+        assert_eq!(stats.pct(stats.line_covered_missed).round() as i64, 53);
+        assert_eq!(stats.pct(stats.func_covered_missed).round() as i64, 61);
+        assert_eq!(stats.pct(stats.branch_covered_missed).round() as i64, 29);
+        assert_eq!(stats.pct(stats.input_bugs).round() as i64, 71);
+        assert_eq!(stats.pct(stats.output_bugs).round() as i64, 59);
+        assert_eq!(stats.pct(stats.input_or_output).round() as i64, 81);
+    }
+
+    #[test]
+    fn display_contains_headline_numbers() {
+        let text = StudyStats::compute(&dataset()).to_string();
+        assert!(text.contains("70 bug fixes"));
+        assert!(text.contains("37/70 (53%)"));
+        assert!(text.contains("43/70 (61%)"));
+        assert!(text.contains("20/70 (29%)"));
+        assert!(text.contains("50/70 (71%)"));
+        assert!(text.contains("41/70 (59%)"));
+        assert!(text.contains("57/70 (81%)"));
+        assert!(text.contains("24/37 (65%)"));
+    }
+
+    #[test]
+    fn empty_dataset_is_safe() {
+        let stats = StudyStats::compute(&[]);
+        assert_eq!(stats.total, 0);
+        assert_eq!(stats.pct(0), 0.0);
+        let _ = stats.to_string();
+    }
+}

@@ -1,0 +1,79 @@
+//! Pattern compilation errors.
+
+use std::error::Error;
+use std::fmt;
+
+/// An error produced while compiling a glob or regular expression.
+///
+/// The error carries the original pattern, the byte offset of the offending
+/// construct, and a human-readable message.
+///
+/// ```
+/// use iocov_pattern::Regex;
+///
+/// let err = Regex::new("a{3,1}").unwrap_err();
+/// assert!(err.to_string().contains("repetition"));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PatternError {
+    pattern: String,
+    offset: usize,
+    message: String,
+}
+
+impl PatternError {
+    pub(crate) fn new(pattern: &str, offset: usize, message: impl Into<String>) -> Self {
+        PatternError {
+            pattern: pattern.to_owned(),
+            offset,
+            message: message.into(),
+        }
+    }
+
+    /// The pattern that failed to compile.
+    #[must_use]
+    pub fn pattern(&self) -> &str {
+        &self.pattern
+    }
+
+    /// Byte offset in [`Self::pattern`] where the error was detected.
+    #[must_use]
+    pub fn offset(&self) -> usize {
+        self.offset
+    }
+
+    /// Human-readable description of the problem.
+    #[must_use]
+    pub fn message(&self) -> &str {
+        &self.message
+    }
+}
+
+impl fmt::Display for PatternError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "invalid pattern `{}` at offset {}: {}",
+            self.pattern, self.offset, self.message
+        )
+    }
+}
+
+impl Error for PatternError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_pattern_offset_and_message() {
+        let e = PatternError::new("a[b", 1, "unclosed character class");
+        let s = e.to_string();
+        assert!(s.contains("a[b"));
+        assert!(s.contains("offset 1"));
+        assert!(s.contains("unclosed character class"));
+        assert_eq!(e.pattern(), "a[b");
+        assert_eq!(e.offset(), 1);
+        assert_eq!(e.message(), "unclosed character class");
+    }
+}

@@ -1,0 +1,347 @@
+//! Shell-style glob matching for filesystem paths.
+
+use crate::PatternError;
+
+/// One compiled glob token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Token {
+    /// A literal character.
+    Literal(char),
+    /// `?` — any single character except `/`.
+    AnyChar,
+    /// `*` — any run of characters (possibly empty) not containing `/`.
+    Star,
+    /// `**` — any run of characters (possibly empty), including `/`.
+    GlobStar,
+    /// `[...]` — a character class; never matches `/`.
+    Class { negated: bool, ranges: Vec<(char, char)> },
+}
+
+/// A compiled shell-style glob.
+///
+/// Supported syntax:
+///
+/// * `?` matches any single character except `/`
+/// * `*` matches any (possibly empty) run of characters except `/`
+/// * `**` matches any (possibly empty) run of characters *including* `/`
+/// * `[a-z]`, `[abc]`, `[!0-9]` / `[^0-9]` character classes (never match `/`)
+/// * `\x` escapes the metacharacter `x`
+///
+/// A glob always matches the **entire** input.
+///
+/// ```
+/// use iocov_pattern::Glob;
+///
+/// # fn main() -> Result<(), iocov_pattern::PatternError> {
+/// let g = Glob::new("/mnt/test/**/file-[0-9]")?;
+/// assert!(g.is_match("/mnt/test/a/b/file-3"));
+/// assert!(!g.is_match("/mnt/test/a/b/file-x"));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Glob {
+    source: String,
+    tokens: Vec<Token>,
+}
+
+impl Glob {
+    /// Compiles a glob pattern.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PatternError`] for unclosed character classes, reversed
+    /// ranges (`[z-a]`), or a trailing escape character.
+    pub fn new(pattern: &str) -> Result<Self, PatternError> {
+        let chars: Vec<char> = pattern.chars().collect();
+        let mut tokens = Vec::with_capacity(chars.len());
+        let mut i = 0;
+        while i < chars.len() {
+            match chars[i] {
+                '\\' => {
+                    let Some(&c) = chars.get(i + 1) else {
+                        return Err(PatternError::new(pattern, i, "trailing escape character"));
+                    };
+                    tokens.push(Token::Literal(c));
+                    i += 2;
+                }
+                '?' => {
+                    tokens.push(Token::AnyChar);
+                    i += 1;
+                }
+                '*' => {
+                    if chars.get(i + 1) == Some(&'*') {
+                        tokens.push(Token::GlobStar);
+                        i += 2;
+                    } else {
+                        tokens.push(Token::Star);
+                        i += 1;
+                    }
+                }
+                '[' => {
+                    let (token, next) = parse_class(pattern, &chars, i)?;
+                    tokens.push(token);
+                    i = next;
+                }
+                c => {
+                    tokens.push(Token::Literal(c));
+                    i += 1;
+                }
+            }
+        }
+        Ok(Glob {
+            source: pattern.to_owned(),
+            tokens,
+        })
+    }
+
+    /// Returns the original glob source text.
+    #[must_use]
+    pub fn source(&self) -> &str {
+        &self.source
+    }
+
+    /// Tests whether `text` matches the entire glob.
+    #[must_use]
+    pub fn is_match(&self, text: &str) -> bool {
+        let chars: Vec<char> = text.chars().collect();
+        match_tokens(&self.tokens, &chars)
+    }
+}
+
+impl std::fmt::Display for Glob {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.source)
+    }
+}
+
+/// Parses a `[...]` class starting at `chars[start] == '['`.
+///
+/// Returns the parsed token and the index just past the closing `]`.
+fn parse_class(
+    pattern: &str,
+    chars: &[char],
+    start: usize,
+) -> Result<(Token, usize), PatternError> {
+    let mut i = start + 1;
+    let negated = matches!(chars.get(i), Some('!') | Some('^'));
+    if negated {
+        i += 1;
+    }
+    let mut ranges = Vec::new();
+    let mut first = true;
+    loop {
+        match chars.get(i) {
+            None => {
+                return Err(PatternError::new(pattern, start, "unclosed character class"));
+            }
+            Some(']') if !first => {
+                return Ok((Token::Class { negated, ranges }, i + 1));
+            }
+            Some(&lo) => {
+                first = false;
+                let lo = if lo == '\\' {
+                    i += 1;
+                    *chars.get(i).ok_or_else(|| {
+                        PatternError::new(pattern, start, "unclosed character class")
+                    })?
+                } else {
+                    lo
+                };
+                // Range `lo-hi` (a trailing `-` is a literal).
+                if chars.get(i + 1) == Some(&'-') && chars.get(i + 2).is_some_and(|&c| c != ']') {
+                    let mut hi_idx = i + 2;
+                    let hi = if chars[hi_idx] == '\\' {
+                        hi_idx += 1;
+                        *chars.get(hi_idx).ok_or_else(|| {
+                            PatternError::new(pattern, start, "unclosed character class")
+                        })?
+                    } else {
+                        chars[hi_idx]
+                    };
+                    if hi < lo {
+                        return Err(PatternError::new(
+                            pattern,
+                            i,
+                            format!("reversed character range `{lo}-{hi}`"),
+                        ));
+                    }
+                    ranges.push((lo, hi));
+                    i = hi_idx + 1;
+                } else {
+                    ranges.push((lo, lo));
+                    i += 1;
+                }
+            }
+        }
+    }
+}
+
+/// Whether character class membership holds.
+fn class_matches(negated: bool, ranges: &[(char, char)], c: char) -> bool {
+    if c == '/' {
+        return false;
+    }
+    let inside = ranges.iter().any(|&(lo, hi)| lo <= c && c <= hi);
+    inside != negated
+}
+
+/// Recursive glob matcher with star backtracking.
+fn match_tokens(tokens: &[Token], text: &[char]) -> bool {
+    match tokens.first() {
+        None => text.is_empty(),
+        Some(Token::Literal(c)) => {
+            text.first() == Some(c) && match_tokens(&tokens[1..], &text[1..])
+        }
+        Some(Token::AnyChar) => {
+            matches!(text.first(), Some(&c) if c != '/') && match_tokens(&tokens[1..], &text[1..])
+        }
+        Some(Token::Class { negated, ranges }) => {
+            matches!(text.first(), Some(&c) if class_matches(*negated, ranges, c))
+                && match_tokens(&tokens[1..], &text[1..])
+        }
+        Some(Token::Star) => {
+            // Try consuming 0..n non-'/' characters.
+            for take in 0..=text.len() {
+                if match_tokens(&tokens[1..], &text[take..]) {
+                    return true;
+                }
+                if text.get(take) == Some(&'/') {
+                    // `*` cannot cross a separator; stop extending.
+                    return false;
+                }
+            }
+            false
+        }
+        Some(Token::GlobStar) => {
+            for take in 0..=text.len() {
+                if match_tokens(&tokens[1..], &text[take..]) {
+                    return true;
+                }
+            }
+            false
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m(pattern: &str, text: &str) -> bool {
+        Glob::new(pattern).unwrap().is_match(text)
+    }
+
+    #[test]
+    fn literal_match_is_exact() {
+        assert!(m("/mnt/test", "/mnt/test"));
+        assert!(!m("/mnt/test", "/mnt/test2"));
+        assert!(!m("/mnt/test", "/mnt/tes"));
+    }
+
+    #[test]
+    fn question_mark_matches_single_non_separator() {
+        assert!(m("file-?", "file-a"));
+        assert!(!m("file-?", "file-"));
+        assert!(!m("file-?", "file-ab"));
+        assert!(!m("a?b", "a/b"));
+    }
+
+    #[test]
+    fn star_stays_within_a_segment() {
+        assert!(m("/mnt/*", "/mnt/test"));
+        assert!(m("/mnt/*", "/mnt/"));
+        assert!(!m("/mnt/*", "/mnt/test/sub"));
+        assert!(m("/mnt/*/file", "/mnt/dir/file"));
+    }
+
+    #[test]
+    fn globstar_crosses_segments() {
+        assert!(m("/mnt/test/**", "/mnt/test/a/b/c"));
+        assert!(m("/mnt/**/c", "/mnt/a/b/c"));
+        assert!(m("/mnt/test/**", "/mnt/test/"));
+        assert!(!m("/mnt/test/**", "/mnt/other/a"));
+    }
+
+    #[test]
+    fn classes_match_ranges_and_negation() {
+        assert!(m("f[0-9]", "f7"));
+        assert!(!m("f[0-9]", "fa"));
+        assert!(m("f[!0-9]", "fa"));
+        assert!(!m("f[!0-9]", "f7"));
+        assert!(m("f[^0-9]", "fa"));
+        assert!(m("f[abc]", "fb"));
+        assert!(!m("f[abc]", "fd"));
+    }
+
+    #[test]
+    fn class_never_matches_separator() {
+        // Even a negated class must not match '/'.
+        assert!(!m("a[!x]b", "a/b"));
+    }
+
+    #[test]
+    fn leading_close_bracket_is_literal_member() {
+        assert!(m("f[]]", "f]"));
+        assert!(!m("f[]]", "fx"));
+    }
+
+    #[test]
+    fn trailing_dash_is_literal_member() {
+        assert!(m("f[a-]", "f-"));
+        assert!(m("f[a-]", "fa"));
+        assert!(!m("f[a-]", "fb"));
+    }
+
+    #[test]
+    fn escapes_make_metacharacters_literal() {
+        assert!(m(r"a\*b", "a*b"));
+        assert!(!m(r"a\*b", "axb"));
+        assert!(m(r"a\?b", "a?b"));
+        assert!(m(r"a\[b", "a[b"));
+    }
+
+    #[test]
+    fn escaped_chars_inside_class() {
+        assert!(m(r"f[\]x]", "f]"));
+        assert!(m(r"f[\]x]", "fx"));
+    }
+
+    #[test]
+    fn errors_on_malformed_patterns() {
+        assert!(Glob::new("[abc").is_err());
+        assert!(Glob::new(r"abc\").is_err());
+        assert!(Glob::new("[z-a]").is_err());
+    }
+
+    #[test]
+    fn empty_pattern_matches_only_empty_text() {
+        assert!(m("", ""));
+        assert!(!m("", "x"));
+    }
+
+    #[test]
+    fn star_at_end_matches_empty_tail() {
+        assert!(m("/mnt/test*", "/mnt/test"));
+        assert!(m("/mnt/test*", "/mnt/test42"));
+    }
+
+    #[test]
+    fn multiple_stars_backtrack_correctly() {
+        assert!(m("*a*b*", "xxaxxbxx"));
+        assert!(!m("*a*b*", "xxcxxaxxcc"));
+        assert!(m("**/a/**", "x/y/a/z"));
+    }
+
+    #[test]
+    fn unicode_literals_match() {
+        assert!(m("caf\u{e9}-*", "caf\u{e9}-1"));
+    }
+
+    #[test]
+    fn display_roundtrips_source() {
+        let g = Glob::new("/mnt/*/x").unwrap();
+        assert_eq!(g.to_string(), "/mnt/*/x");
+        assert_eq!(g.source(), "/mnt/*/x");
+    }
+}

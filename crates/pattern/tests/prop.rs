@@ -1,0 +1,105 @@
+//! Property-based tests for the pattern engine.
+
+use iocov_pattern::{Glob, Pattern, Regex};
+use proptest::prelude::*;
+
+/// Reference glob matcher: naive recursive implementation over the raw
+/// pattern string, supporting only `*`, `?`, `**` and literals (no classes
+/// or escapes). Used to cross-check the compiled engine.
+fn reference_glob(pattern: &[char], text: &[char]) -> bool {
+    match pattern.first() {
+        None => text.is_empty(),
+        Some('*') => {
+            if pattern.get(1) == Some(&'*') {
+                (0..=text.len()).any(|i| reference_glob(&pattern[2..], &text[i..]))
+            } else {
+                for i in 0..=text.len() {
+                    if reference_glob(&pattern[1..], &text[i..]) {
+                        return true;
+                    }
+                    if text.get(i) == Some(&'/') {
+                        return false;
+                    }
+                }
+                false
+            }
+        }
+        Some('?') => {
+            matches!(text.first(), Some(&c) if c != '/')
+                && reference_glob(&pattern[1..], &text[1..])
+        }
+        Some(c) => text.first() == Some(c) && reference_glob(&pattern[1..], &text[1..]),
+    }
+}
+
+/// Escapes every regex metacharacter in `s`.
+fn regex_escape(s: &str) -> String {
+    let mut out = String::new();
+    for c in s.chars() {
+        if "\\^$.|?*+()[]{}".contains(c) {
+            out.push('\\');
+        }
+        out.push(c);
+    }
+    out
+}
+
+proptest! {
+    #[test]
+    fn glob_agrees_with_reference(
+        pattern in "[ab/?*]{0,8}",
+        text in "[ab/]{0,10}",
+    ) {
+        let compiled = Glob::new(&pattern).unwrap();
+        let pat: Vec<char> = pattern.chars().collect();
+        let txt: Vec<char> = text.chars().collect();
+        prop_assert_eq!(compiled.is_match(&text), reference_glob(&pat, &txt));
+    }
+
+    #[test]
+    fn literal_glob_matches_itself(text in "[a-zA-Z0-9/_.-]{0,24}") {
+        // Free of metacharacters, so the glob must match exactly itself.
+        let g = Glob::new(&text).unwrap();
+        prop_assert!(g.is_match(&text));
+        let extended = format!("{text}!");
+        prop_assert!(!g.is_match(&extended));
+    }
+
+    #[test]
+    fn escaped_literal_regex_matches_itself(text in "[ -~]{0,16}") {
+        let re = Regex::new(&format!("^{}$", regex_escape(&text))).unwrap();
+        prop_assert!(re.is_match(&text));
+    }
+
+    #[test]
+    fn regex_substring_search_agrees_with_str_contains(
+        needle in "[abc]{1,4}",
+        hay in "[abcd]{0,16}",
+    ) {
+        let re = Regex::new(&needle).unwrap();
+        prop_assert_eq!(re.is_match(&hay), hay.contains(&needle));
+    }
+
+    #[test]
+    fn regex_find_offsets_are_within_bounds(
+        needle in "[ab]{1,3}",
+        hay in "[abc]{0,12}",
+    ) {
+        let re = Regex::new(&needle).unwrap();
+        if let Some(m) = re.find(&hay) {
+            prop_assert!(m.start() <= m.end());
+            prop_assert!(m.end() <= hay.chars().count());
+            let found: String = hay.chars().skip(m.start()).take(m.len()).collect();
+            prop_assert_eq!(found, needle);
+        } else {
+            prop_assert!(!hay.contains(&needle));
+        }
+    }
+
+    #[test]
+    fn pattern_enum_is_consistent_with_inner(text in "[a-z/]{0,12}") {
+        let g = Pattern::glob("/mnt/**").unwrap();
+        let inner = Glob::new("/mnt/**").unwrap();
+        prop_assert_eq!(g.is_match(&text), inner.is_match(&text));
+    }
+}

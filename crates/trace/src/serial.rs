@@ -1,0 +1,175 @@
+//! Trace serialization: JSON Lines reading and writing.
+
+use std::error::Error;
+use std::fmt;
+use std::io::{BufRead, BufReader, Read, Write};
+
+use crate::event::TraceEvent;
+use crate::Trace;
+
+/// An error reading or writing a serialized trace.
+#[derive(Debug)]
+pub enum TraceIoError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// A line failed to parse; carries the 1-based line number.
+    Parse { line: usize, source: serde_json::Error },
+}
+
+impl fmt::Display for TraceIoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceIoError::Io(e) => write!(f, "trace i/o error: {e}"),
+            TraceIoError::Parse { line, source } => {
+                write!(f, "trace parse error on line {line}: {source}")
+            }
+        }
+    }
+}
+
+impl Error for TraceIoError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            TraceIoError::Io(e) => Some(e),
+            TraceIoError::Parse { source, .. } => Some(source),
+        }
+    }
+}
+
+impl From<std::io::Error> for TraceIoError {
+    fn from(e: std::io::Error) -> Self {
+        TraceIoError::Io(e)
+    }
+}
+
+/// Writes a trace as JSON Lines (one event per line). Writers can be
+/// passed by `&mut` reference.
+///
+/// # Errors
+///
+/// Returns [`TraceIoError::Io`] if the writer fails.
+///
+/// ```
+/// use iocov_trace::{read_jsonl, write_jsonl, Trace, TraceEvent};
+///
+/// # fn main() -> Result<(), iocov_trace::TraceIoError> {
+/// let trace = Trace::from_events(vec![TraceEvent::build("close", 3, vec![], 0)]);
+/// let mut buf = Vec::new();
+/// write_jsonl(&mut buf, &trace)?;
+/// let back = read_jsonl(&buf[..])?;
+/// assert_eq!(trace, back);
+/// # Ok(())
+/// # }
+/// ```
+pub fn write_jsonl<W: Write>(mut writer: W, trace: &Trace) -> Result<(), TraceIoError> {
+    for event in trace {
+        let line = serde_json::to_string(event).map_err(|e| TraceIoError::Parse {
+            line: 0,
+            source: e,
+        })?;
+        writer.write_all(line.as_bytes())?;
+        writer.write_all(b"\n")?;
+    }
+    writer.flush()?;
+    Ok(())
+}
+
+/// Reads a JSON Lines trace. Blank lines are skipped. Readers can be
+/// passed by `&mut` reference.
+///
+/// # Errors
+///
+/// Returns [`TraceIoError::Io`] on read failure or
+/// [`TraceIoError::Parse`] (with the offending line number) on malformed
+/// JSON.
+pub fn read_jsonl<R: Read>(reader: R) -> Result<Trace, TraceIoError> {
+    let reader = BufReader::new(reader);
+    let mut events = Vec::new();
+    for (idx, line) in reader.lines().enumerate() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let event: TraceEvent =
+            serde_json::from_str(&line).map_err(|e| TraceIoError::Parse {
+                line: idx + 1,
+                source: e,
+            })?;
+        events.push(event);
+    }
+    Ok(Trace::from_events(events))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::ArgValue;
+
+    fn sample_trace() -> Trace {
+        Trace::from_events(vec![
+            TraceEvent::build(
+                "open",
+                2,
+                vec![ArgValue::Path("/mnt/test/a".into()), ArgValue::Flags(0o101)],
+                3,
+            ),
+            TraceEvent::build("write", 1, vec![ArgValue::Fd(3), ArgValue::UInt(4096)], 4096),
+            TraceEvent::build("close", 3, vec![ArgValue::Fd(3)], 0),
+        ])
+    }
+
+    #[test]
+    fn jsonl_roundtrip_preserves_trace() {
+        let trace = sample_trace();
+        let mut buf = Vec::new();
+        write_jsonl(&mut buf, &trace).unwrap();
+        let back = read_jsonl(&buf[..]).unwrap();
+        assert_eq!(trace, back);
+    }
+
+    #[test]
+    fn output_is_one_line_per_event() {
+        let trace = sample_trace();
+        let mut buf = Vec::new();
+        write_jsonl(&mut buf, &trace).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert_eq!(text.lines().count(), 3);
+    }
+
+    #[test]
+    fn blank_lines_are_skipped() {
+        let trace = sample_trace();
+        let mut buf = Vec::new();
+        write_jsonl(&mut buf, &trace).unwrap();
+        let mut text = String::from_utf8(buf).unwrap();
+        text.push('\n');
+        text.insert(0, '\n');
+        let back = read_jsonl(text.as_bytes()).unwrap();
+        assert_eq!(back.len(), 3);
+    }
+
+    #[test]
+    fn parse_error_reports_line_number() {
+        let text = "{\"bad\": true}\n";
+        let err = read_jsonl(text.as_bytes()).unwrap_err();
+        match err {
+            TraceIoError::Parse { line, .. } => assert_eq!(line, 1),
+            other => panic!("expected parse error, got {other}"),
+        }
+        assert!(err.to_string().contains("line 1"));
+        assert!(err.source().is_some());
+    }
+
+    #[test]
+    fn empty_input_gives_empty_trace() {
+        let back = read_jsonl(&b""[..]).unwrap();
+        assert!(back.is_empty());
+    }
+
+    #[test]
+    fn io_error_variant_displays() {
+        let e = TraceIoError::from(std::io::Error::other("boom"));
+        assert!(e.to_string().contains("boom"));
+        assert!(e.source().is_some());
+    }
+}

@@ -1,0 +1,159 @@
+//! File-system configuration and resource limits.
+
+use crate::flags::Mode;
+use crate::inode::{Gid, Uid};
+
+/// Tunable limits of a [`Vfs`](crate::Vfs) instance.
+///
+/// Every limit corresponds to an error path the paper's output-coverage
+/// metric wants exercised: capacity (`ENOSPC`), per-user quota (`EDQUOT`),
+/// inode count (`ENOSPC`), per-process and global descriptor limits
+/// (`EMFILE`/`ENFILE`), and maximum file size (`EFBIG`).
+///
+/// ```
+/// use iocov_vfs::VfsConfig;
+///
+/// let config = VfsConfig::builder()
+///     .capacity_bytes(1 << 20)
+///     .max_fds_per_process(16)
+///     .build();
+/// assert_eq!(config.capacity_bytes, 1 << 20);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VfsConfig {
+    /// Total data capacity in bytes; exceeded writes fail `ENOSPC`.
+    pub capacity_bytes: u64,
+    /// Maximum number of inodes; exceeded creates fail `ENOSPC`.
+    pub max_inodes: u64,
+    /// Optional per-uid data quota; exceeded writes fail `EDQUOT`.
+    pub quota_bytes_per_uid: Option<u64>,
+    /// Per-process open-descriptor limit (`EMFILE`).
+    pub max_fds_per_process: usize,
+    /// System-wide open-descriptor limit (`ENFILE`).
+    pub max_open_files: usize,
+    /// Maximum file size (`EFBIG`); models `RLIMIT_FSIZE` plus the
+    /// filesystem's own limit (16 TiB for Ext4 with 4 KiB blocks).
+    pub max_file_size: u64,
+    /// Default owner of the root directory.
+    pub root_uid: Uid,
+    /// Default group of the root directory.
+    pub root_gid: Gid,
+    /// Mode of the root directory.
+    pub root_mode: Mode,
+}
+
+impl Default for VfsConfig {
+    fn default() -> Self {
+        VfsConfig {
+            capacity_bytes: 16 << 40,       // 16 TiB
+            max_inodes: 1 << 20,
+            quota_bytes_per_uid: None,
+            max_fds_per_process: 1024,
+            max_open_files: 65536,
+            max_file_size: 16 << 40,        // Ext4 max file size
+            root_uid: Uid(0),
+            root_gid: Gid(0),
+            root_mode: Mode::from_bits(0o755),
+        }
+    }
+}
+
+impl VfsConfig {
+    /// Starts a builder with default values.
+    #[must_use]
+    pub fn builder() -> VfsConfigBuilder {
+        VfsConfigBuilder {
+            config: VfsConfig::default(),
+        }
+    }
+}
+
+/// Builder for [`VfsConfig`].
+#[derive(Debug, Clone)]
+pub struct VfsConfigBuilder {
+    config: VfsConfig,
+}
+
+impl VfsConfigBuilder {
+    /// Sets the total data capacity (`ENOSPC` threshold).
+    #[must_use]
+    pub fn capacity_bytes(mut self, bytes: u64) -> Self {
+        self.config.capacity_bytes = bytes;
+        self
+    }
+
+    /// Sets the maximum inode count.
+    #[must_use]
+    pub fn max_inodes(mut self, count: u64) -> Self {
+        self.config.max_inodes = count;
+        self
+    }
+
+    /// Sets the per-uid quota (`EDQUOT` threshold).
+    #[must_use]
+    pub fn quota_bytes_per_uid(mut self, bytes: u64) -> Self {
+        self.config.quota_bytes_per_uid = Some(bytes);
+        self
+    }
+
+    /// Sets the per-process descriptor limit (`EMFILE` threshold).
+    #[must_use]
+    pub fn max_fds_per_process(mut self, count: usize) -> Self {
+        self.config.max_fds_per_process = count;
+        self
+    }
+
+    /// Sets the system-wide descriptor limit (`ENFILE` threshold).
+    #[must_use]
+    pub fn max_open_files(mut self, count: usize) -> Self {
+        self.config.max_open_files = count;
+        self
+    }
+
+    /// Sets the maximum file size (`EFBIG` threshold).
+    #[must_use]
+    pub fn max_file_size(mut self, bytes: u64) -> Self {
+        self.config.max_file_size = bytes;
+        self
+    }
+
+    /// Finishes the builder.
+    #[must_use]
+    pub fn build(self) -> VfsConfig {
+        self.config
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_ext4_scaled() {
+        let c = VfsConfig::default();
+        assert_eq!(c.capacity_bytes, 16 << 40);
+        assert_eq!(c.max_file_size, 16 << 40);
+        assert_eq!(c.max_fds_per_process, 1024);
+        assert!(c.quota_bytes_per_uid.is_none());
+    }
+
+    #[test]
+    fn builder_overrides_chosen_fields() {
+        let c = VfsConfig::builder()
+            .capacity_bytes(4096)
+            .max_inodes(8)
+            .quota_bytes_per_uid(1024)
+            .max_fds_per_process(4)
+            .max_open_files(8)
+            .max_file_size(2048)
+            .build();
+        assert_eq!(c.capacity_bytes, 4096);
+        assert_eq!(c.max_inodes, 8);
+        assert_eq!(c.quota_bytes_per_uid, Some(1024));
+        assert_eq!(c.max_fds_per_process, 4);
+        assert_eq!(c.max_open_files, 8);
+        assert_eq!(c.max_file_size, 2048);
+        // Untouched fields keep defaults.
+        assert_eq!(c.root_mode, Mode::from_bits(0o755));
+    }
+}

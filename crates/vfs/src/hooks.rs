@@ -1,0 +1,136 @@
+//! Fault-injection hook points.
+//!
+//! The `iocov-faults` crate installs synthetic bugs through this interface
+//! to reproduce the paper's §2 finding: most real file-system bugs trigger
+//! only on *specific inputs* (boundary sizes, particular flag
+//! combinations) or corrupt *outputs* (wrong return values, wrong error
+//! codes), even when the buggy code is "covered".
+
+use std::fmt;
+use std::sync::Arc;
+
+use crate::errno::Errno;
+use crate::inode::Ino;
+use crate::process::Pid;
+
+/// Context describing one in-flight operation, passed to fault hooks.
+#[derive(Debug, Clone, Default)]
+pub struct OpCtx<'a> {
+    /// Operation name, e.g. `"open"`, `"write"`, `"fsync"`.
+    pub op: &'a str,
+    /// Issuing process.
+    pub pid: Option<Pid>,
+    /// Primary path argument, if any.
+    pub path: Option<&'a str>,
+    /// Resolved inode, when known at the hook point.
+    pub ino: Option<Ino>,
+    /// Size/count argument (write size, truncate length, xattr size …).
+    pub size: Option<u64>,
+    /// Offset argument (lseek, pread/pwrite).
+    pub offset: Option<i64>,
+    /// Raw flags word (open flags, xattr flags …).
+    pub flags: Option<u32>,
+    /// Raw mode word.
+    pub mode: Option<u32>,
+}
+
+/// What an intercepted operation should do instead of (or in addition to)
+/// its normal behaviour.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultAction {
+    /// Fail immediately with this errno (an *output bug* when the errno is
+    /// wrong for the situation, an availability bug otherwise).
+    FailWith(Errno),
+    /// Execute normally, but the ABI layer replaces the return value with
+    /// this raw value (a classic exit-path *output bug*).
+    OverrideReturn(i64),
+    /// Execute normally but skip durability bookkeeping, so the effect is
+    /// lost on crash (a crash-consistency bug).
+    SkipDurability,
+    /// Execute normally but corrupt the returned data (flip the first
+    /// byte) — a silent data-integrity bug visible to differential
+    /// testing.
+    CorruptData,
+}
+
+impl fmt::Display for FaultAction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FaultAction::FailWith(e) => write!(f, "fail with {}", e.name()),
+            FaultAction::OverrideReturn(v) => write!(f, "override return to {v}"),
+            FaultAction::SkipDurability => f.write_str("skip durability"),
+            FaultAction::CorruptData => f.write_str("corrupt data"),
+        }
+    }
+}
+
+/// A fault hook: inspects each operation and may inject a fault.
+///
+/// Implementations must be cheap — the hook runs on every VFS operation.
+pub trait FaultHook: Send + Sync {
+    /// Returns the fault to inject for this operation, or `None` to let it
+    /// proceed normally.
+    fn intercept(&self, ctx: &OpCtx<'_>) -> Option<FaultAction>;
+}
+
+/// A hook that never fires; useful as a default.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoFaults;
+
+impl FaultHook for NoFaults {
+    fn intercept(&self, _ctx: &OpCtx<'_>) -> Option<FaultAction> {
+        None
+    }
+}
+
+/// Shared handle to an installed hook.
+pub type SharedHook = Arc<dyn FaultHook>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct FailWrites;
+
+    impl FaultHook for FailWrites {
+        fn intercept(&self, ctx: &OpCtx<'_>) -> Option<FaultAction> {
+            (ctx.op == "write").then_some(FaultAction::FailWith(Errno::EIO))
+        }
+    }
+
+    #[test]
+    fn hook_sees_context_fields() {
+        let hook = FailWrites;
+        let write_ctx = OpCtx {
+            op: "write",
+            size: Some(4096),
+            ..OpCtx::default()
+        };
+        assert_eq!(
+            hook.intercept(&write_ctx),
+            Some(FaultAction::FailWith(Errno::EIO))
+        );
+        let read_ctx = OpCtx {
+            op: "read",
+            ..OpCtx::default()
+        };
+        assert_eq!(hook.intercept(&read_ctx), None);
+    }
+
+    #[test]
+    fn no_faults_never_fires() {
+        let hook = NoFaults;
+        assert_eq!(hook.intercept(&OpCtx::default()), None);
+    }
+
+    #[test]
+    fn action_display() {
+        assert_eq!(
+            FaultAction::FailWith(Errno::ENOSPC).to_string(),
+            "fail with ENOSPC"
+        );
+        assert_eq!(FaultAction::OverrideReturn(-22).to_string(), "override return to -22");
+        assert_eq!(FaultAction::SkipDurability.to_string(), "skip durability");
+        assert_eq!(FaultAction::CorruptData.to_string(), "corrupt data");
+    }
+}

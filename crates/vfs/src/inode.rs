@@ -1,0 +1,373 @@
+//! Inodes: the on-"disk" objects of the in-memory file system.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::extent::ExtentStore;
+use crate::flags::Mode;
+
+/// An inode number.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Ino(pub u64);
+
+impl fmt::Display for Ino {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ino:{}", self.0)
+    }
+}
+
+/// A user id. Uid 0 is root and bypasses permission checks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Uid(pub u32);
+
+/// A group id.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Gid(pub u32);
+
+/// The type-specific payload of an inode.
+#[derive(Debug, Clone)]
+pub enum InodeKind {
+    /// Regular file with sparse contents.
+    File(ExtentStore),
+    /// Directory: name → child inode.
+    Dir(BTreeMap<String, Ino>),
+    /// Symbolic link with its target path.
+    Symlink(String),
+    /// Named pipe.
+    Fifo,
+    /// Character device with a device number.
+    CharDev(u64),
+    /// Block device with a device number.
+    BlockDev(u64),
+}
+
+/// The file type, as `stat.st_mode` would report it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FileType {
+    /// Regular file.
+    Regular,
+    /// Directory.
+    Directory,
+    /// Symbolic link.
+    Symlink,
+    /// Named pipe (FIFO).
+    Fifo,
+    /// Character device.
+    CharDevice,
+    /// Block device.
+    BlockDevice,
+}
+
+impl fmt::Display for FileType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            FileType::Regular => "regular file",
+            FileType::Directory => "directory",
+            FileType::Symlink => "symbolic link",
+            FileType::Fifo => "fifo",
+            FileType::CharDevice => "character device",
+            FileType::BlockDevice => "block device",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Logical timestamps (a per-filesystem operation counter, not wall time,
+/// so runs are deterministic).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Timestamps {
+    /// Last access.
+    pub atime: u64,
+    /// Last data modification.
+    pub mtime: u64,
+    /// Last status change.
+    pub ctime: u64,
+}
+
+/// One inode.
+#[derive(Debug, Clone)]
+pub struct Inode {
+    /// Inode number.
+    pub ino: Ino,
+    /// Type-specific payload.
+    pub kind: InodeKind,
+    /// Permission bits.
+    pub mode: Mode,
+    /// Owner.
+    pub uid: Uid,
+    /// Group.
+    pub gid: Gid,
+    /// Hard-link count.
+    pub nlink: u32,
+    /// Extended attributes.
+    pub xattrs: BTreeMap<String, Vec<u8>>,
+    /// Logical timestamps.
+    pub times: Timestamps,
+    /// Whether the file is currently being "executed" (open-for-write
+    /// then fails with `ETXTBSY`, as for a running binary).
+    pub executing: bool,
+}
+
+impl Inode {
+    /// Creates an inode of the given kind with default ownership.
+    #[must_use]
+    pub fn new(ino: Ino, kind: InodeKind, mode: Mode, uid: Uid, gid: Gid) -> Self {
+        let nlink = match kind {
+            InodeKind::Dir(_) => 2, // "." and the parent entry
+            _ => 1,
+        };
+        Inode {
+            ino,
+            kind,
+            mode,
+            uid,
+            gid,
+            nlink,
+            xattrs: BTreeMap::new(),
+            times: Timestamps::default(),
+            executing: false,
+        }
+    }
+
+    /// The file type of this inode.
+    #[must_use]
+    pub fn file_type(&self) -> FileType {
+        match &self.kind {
+            InodeKind::File(_) => FileType::Regular,
+            InodeKind::Dir(_) => FileType::Directory,
+            InodeKind::Symlink(_) => FileType::Symlink,
+            InodeKind::Fifo => FileType::Fifo,
+            InodeKind::CharDev(_) => FileType::CharDevice,
+            InodeKind::BlockDev(_) => FileType::BlockDevice,
+        }
+    }
+
+    /// Whether this is a directory.
+    #[must_use]
+    pub fn is_dir(&self) -> bool {
+        matches!(self.kind, InodeKind::Dir(_))
+    }
+
+    /// Whether this is a regular file.
+    #[must_use]
+    pub fn is_file(&self) -> bool {
+        matches!(self.kind, InodeKind::File(_))
+    }
+
+    /// Whether this is a symlink.
+    #[must_use]
+    pub fn is_symlink(&self) -> bool {
+        matches!(self.kind, InodeKind::Symlink(_))
+    }
+
+    /// The logical size: file length, symlink target length, or 0.
+    #[must_use]
+    pub fn size(&self) -> u64 {
+        match &self.kind {
+            InodeKind::File(content) => content.len(),
+            InodeKind::Symlink(target) => target.len() as u64,
+            _ => 0,
+        }
+    }
+
+    /// Shared access to file contents.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the inode is not a regular file; callers must check
+    /// [`is_file`](Self::is_file) (the VFS layer always does).
+    #[must_use]
+    pub fn content(&self) -> &ExtentStore {
+        match &self.kind {
+            InodeKind::File(c) => c,
+            other => panic!("content() on non-file inode ({:?})", other),
+        }
+    }
+
+    /// Mutable access to file contents.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the inode is not a regular file.
+    pub fn content_mut(&mut self) -> &mut ExtentStore {
+        match &mut self.kind {
+            InodeKind::File(c) => c,
+            other => panic!("content_mut() on non-file inode ({:?})", other),
+        }
+    }
+
+    /// Shared access to directory entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the inode is not a directory.
+    #[must_use]
+    pub fn entries(&self) -> &BTreeMap<String, Ino> {
+        match &self.kind {
+            InodeKind::Dir(e) => e,
+            other => panic!("entries() on non-directory inode ({:?})", other),
+        }
+    }
+
+    /// Mutable access to directory entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the inode is not a directory.
+    pub fn entries_mut(&mut self) -> &mut BTreeMap<String, Ino> {
+        match &mut self.kind {
+            InodeKind::Dir(e) => e,
+            other => panic!("entries_mut() on non-directory inode ({:?})", other),
+        }
+    }
+}
+
+/// `stat(2)`-style metadata snapshot, as returned by the VFS.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Metadata {
+    /// Inode number.
+    pub ino: Ino,
+    /// File type.
+    pub file_type: FileType,
+    /// Permission bits.
+    pub mode: Mode,
+    /// Owner.
+    pub uid: Uid,
+    /// Group.
+    pub gid: Gid,
+    /// Hard-link count.
+    pub nlink: u32,
+    /// Logical size.
+    pub size: u64,
+    /// Timestamps.
+    pub times: Timestamps,
+}
+
+impl Metadata {
+    /// Builds the metadata view of an inode.
+    #[must_use]
+    pub fn of(inode: &Inode) -> Self {
+        Metadata {
+            ino: inode.ino,
+            file_type: inode.file_type(),
+            mode: inode.mode,
+            uid: inode.uid,
+            gid: inode.gid,
+            nlink: inode.nlink,
+            size: inode.size(),
+            times: inode.times,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn file(ino: u64) -> Inode {
+        Inode::new(
+            Ino(ino),
+            InodeKind::File(ExtentStore::new()),
+            Mode::from_bits(0o644),
+            Uid(1000),
+            Gid(1000),
+        )
+    }
+
+    #[test]
+    fn new_file_has_single_link() {
+        let f = file(5);
+        assert_eq!(f.nlink, 1);
+        assert!(f.is_file());
+        assert!(!f.is_dir());
+        assert!(!f.is_symlink());
+        assert_eq!(f.file_type(), FileType::Regular);
+        assert_eq!(f.size(), 0);
+    }
+
+    #[test]
+    fn new_dir_has_two_links() {
+        let d = Inode::new(
+            Ino(2),
+            InodeKind::Dir(BTreeMap::new()),
+            Mode::from_bits(0o755),
+            Uid(0),
+            Gid(0),
+        );
+        assert_eq!(d.nlink, 2);
+        assert!(d.is_dir());
+        assert_eq!(d.file_type(), FileType::Directory);
+        assert!(d.entries().is_empty());
+    }
+
+    #[test]
+    fn symlink_size_is_target_length() {
+        let s = Inode::new(
+            Ino(3),
+            InodeKind::Symlink("/mnt/test/target".into()),
+            Mode::from_bits(0o777),
+            Uid(1000),
+            Gid(1000),
+        );
+        assert!(s.is_symlink());
+        assert_eq!(s.size(), 16);
+    }
+
+    #[test]
+    fn content_access_roundtrip() {
+        let mut f = file(7);
+        f.content_mut().write(0, b"data");
+        assert_eq!(f.content().read(0, 4), b"data");
+        assert_eq!(f.size(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "content() on non-file")]
+    fn content_on_dir_panics() {
+        let d = Inode::new(
+            Ino(2),
+            InodeKind::Dir(BTreeMap::new()),
+            Mode::from_bits(0o755),
+            Uid(0),
+            Gid(0),
+        );
+        let _ = d.content();
+    }
+
+    #[test]
+    #[should_panic(expected = "entries_mut() on non-directory")]
+    fn entries_on_file_panics() {
+        let mut f = file(9);
+        let _ = f.entries_mut();
+    }
+
+    #[test]
+    fn metadata_reflects_inode() {
+        let mut f = file(11);
+        f.content_mut().write(0, b"xyz");
+        f.times.mtime = 42;
+        let md = Metadata::of(&f);
+        assert_eq!(md.ino, Ino(11));
+        assert_eq!(md.size, 3);
+        assert_eq!(md.file_type, FileType::Regular);
+        assert_eq!(md.times.mtime, 42);
+        assert_eq!(md.nlink, 1);
+    }
+
+    #[test]
+    fn device_kinds_report_types() {
+        let c = Inode::new(Ino(4), InodeKind::CharDev(0x0101), Mode::from_bits(0o666), Uid(0), Gid(0));
+        let b = Inode::new(Ino(5), InodeKind::BlockDev(0x0800), Mode::from_bits(0o660), Uid(0), Gid(0));
+        let p = Inode::new(Ino(6), InodeKind::Fifo, Mode::from_bits(0o644), Uid(0), Gid(0));
+        assert_eq!(c.file_type(), FileType::CharDevice);
+        assert_eq!(b.file_type(), FileType::BlockDevice);
+        assert_eq!(p.file_type(), FileType::Fifo);
+        assert_eq!(c.size(), 0);
+    }
+
+    #[test]
+    fn display_impls() {
+        assert_eq!(Ino(7).to_string(), "ino:7");
+        assert_eq!(FileType::Symlink.to_string(), "symbolic link");
+    }
+}

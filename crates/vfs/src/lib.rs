@@ -1,0 +1,81 @@
+//! An in-memory POSIX file system — the kernel/Ext4 substitute for the
+//! IOCov reproduction.
+//!
+//! The IOCov paper measures the input and output coverage of file-system
+//! test suites running against real Linux file systems. This crate stands
+//! in for that substrate: a complete, deterministic, in-memory file system
+//! whose syscall-visible behaviour (argument validation order, errno
+//! selection, permission checks, resource limits, durability) follows the
+//! Linux manual pages closely enough that traces taken against it have
+//! the same shape as traces taken against Ext4.
+//!
+//! # What is modelled
+//!
+//! * **Namespace** — directories with `.`/`..`, hard links, symlinks
+//!   (with `ELOOP` limits and `openat2`-style `RESOLVE_*` restrictions),
+//!   FIFOs, and device nodes.
+//! * **Regular files** — sparse extent-based contents supporting holes,
+//!   `SEEK_DATA`/`SEEK_HOLE`, and constant-fill fast paths so the 258 MiB
+//!   writes of the paper's Figure 3 cost O(1) memory.
+//! * **Permissions** — per-class rwx bits, umask, owner/root rules
+//!   (`EACCES`/`EPERM`), 32-bit compat mode (`EOVERFLOW`).
+//! * **Resource limits** — capacity (`ENOSPC`), per-uid quota
+//!   (`EDQUOT`), inode budget, descriptor limits (`EMFILE`/`ENFILE`),
+//!   max file size (`EFBIG`), per-inode xattr space (`ENOSPC`, the bug
+//!   surface of the paper's Figure 1).
+//! * **Durability** — a crash model with `sync`/`fsync`/`O_SYNC`
+//!   semantics: [`Vfs::crash`] rolls back to the durable image and runs
+//!   orphan collection, reproducing classic "forgot to fsync the parent
+//!   directory" bugs.
+//! * **Instrumentation** — every operation reports function and
+//!   error-branch probes to an [`iocov_codecov`] registry, and a
+//!   [`FaultHook`] can inject input-triggered, output-corrupting, or
+//!   durability-eating bugs (used by the bug-study reproduction).
+//!
+//! # Example
+//!
+//! ```
+//! use iocov_vfs::{Mode, OpenFlags, Vfs, Whence};
+//!
+//! # fn main() -> Result<(), iocov_vfs::Errno> {
+//! let mut fs = Vfs::new();
+//! let pid = fs.default_pid();
+//! fs.mkdir(pid, "/mnt", Mode::from_bits(0o755))?;
+//! let fd = fs.open(pid, "/mnt/file",
+//!     OpenFlags::O_CREAT | OpenFlags::O_RDWR, Mode::from_bits(0o644))?;
+//! fs.write(pid, fd, b"hello")?;
+//! fs.lseek(pid, fd, 0, Whence::Set)?;
+//! assert_eq!(fs.read(pid, fd, 5)?, b"hello");
+//! fs.fsync(pid, fd)?;
+//! fs.close(pid, fd)?;
+//! # Ok(())
+//! # }
+//! ```
+
+mod config;
+mod errno;
+mod extent;
+mod flags;
+mod fs;
+mod hooks;
+mod inode;
+mod ops_dir;
+mod ops_file;
+mod ops_meta;
+pub mod probes;
+mod process;
+mod resolve;
+
+pub use config::{VfsConfig, VfsConfigBuilder};
+pub use errno::{Errno, VfsResult};
+pub use extent::ExtentStore;
+pub use flags::{
+    Mode, OpenFlags, ResolveFlags, Whence, XattrFlags, AT_FDCWD, AT_SYMLINK_NOFOLLOW, NAME_MAX,
+    PATH_MAX, SYMLOOP_MAX, XATTR_NAME_MAX, XATTR_SIZE_MAX,
+};
+pub use fs::{Vfs, VfsStats};
+pub use hooks::{FaultAction, FaultHook, NoFaults, OpCtx, SharedHook};
+pub use inode::{FileType, Gid, Ino, Metadata, Timestamps, Uid};
+pub use ops_file::WriteSource;
+pub use ops_meta::XattrValue;
+pub use process::{OpenFile, Pid, Process};

@@ -1,0 +1,152 @@
+//! The VFS's coverage-probe universe.
+//!
+//! Declaring every probe up front lets a [`Registry`] report zero-count
+//! probes as *uncovered*, exactly like Gcov reports unexecuted lines —
+//! which is what the paper's §2 "covered but missed" analysis needs.
+
+use iocov_codecov::{ProbeKind, Registry};
+
+/// Function-entry probes the VFS emits.
+pub const FUNCTIONS: [&str; 19] = [
+    "vfs::fallocate",
+    "vfs::open",
+    "vfs::close",
+    "vfs::read",
+    "vfs::write",
+    "vfs::lseek",
+    "vfs::truncate",
+    "vfs::fsync",
+    "vfs::sync",
+    "vfs::mkdir",
+    "vfs::chdir",
+    "vfs::chmod",
+    "vfs::setxattr",
+    "vfs::getxattr",
+    "vfs::unlink",
+    "vfs::rmdir",
+    "vfs::link",
+    "vfs::symlink",
+    "vfs::rename",
+];
+
+/// Branch probes (each declares a `:T` and `:F` arm).
+pub const BRANCHES: [&str; 86] = [
+    "vfs::fallocate/einval_range",
+    "vfs::fallocate/eopnotsupp",
+    "vfs::fallocate/einval_punch",
+    "vfs::fallocate/ebadf_mode",
+    "vfs::fallocate/erofs",
+    "vfs::fallocate/efbig",
+    "vfs::rename2/einval_flags",
+    "vfs::rename2/eexist",
+    "vfs::rename2/erofs",
+    "vfs::charge/enospc",
+    "vfs::charge/edquot",
+    "vfs::create/inode_limit",
+    "vfs::remount/ebusy",
+    "vfs::resolve/empty",
+    "vfs::resolve/path_max",
+    "vfs::resolve/beneath_abs",
+    "vfs::resolve/walk_cap",
+    "vfs::resolve/notdir",
+    "vfs::resolve/search_eacces",
+    "vfs::resolve/name_max",
+    "vfs::resolve/no_symlinks",
+    "vfs::resolve/eloop",
+    "vfs::resolve/trailing_slash_nondir",
+    "vfs::openat2/bad_resolve",
+    "vfs::open/einval_accmode",
+    "vfs::open/einval_tmpfile",
+    "vfs::open/emfile",
+    "vfs::open/enfile",
+    "vfs::open/eexist",
+    "vfs::open/enoent",
+    "vfs::open/eisdir_slash",
+    "vfs::open/erofs_create",
+    "vfs::open/eacces_parent",
+    "vfs::open/eloop_nofollow",
+    "vfs::open/enotdir_directory",
+    "vfs::open/erofs_tmpfile",
+    "vfs::open/eacces_tmpfile",
+    "vfs::open/eisdir",
+    "vfs::open/erofs",
+    "vfs::open/eacces",
+    "vfs::open/eacces_trunc",
+    "vfs::open/eperm_noatime",
+    "vfs::open/etxtbsy",
+    "vfs::open/eoverflow",
+    "vfs::open/enxio_fifo",
+    "vfs::open/enxio_chardev",
+    "vfs::open/enodev",
+    "vfs::open/ebusy",
+    "vfs::read/einval_offset",
+    "vfs::read/einval_iov",
+    "vfs::read/ebadf_mode",
+    "vfs::read/eisdir",
+    "vfs::read/eagain_fifo",
+    "vfs::write/einval_offset",
+    "vfs::write/einval_iov",
+    "vfs::write/ebadf_mode",
+    "vfs::write/erofs",
+    "vfs::write/zero",
+    "vfs::write/efbig",
+    "vfs::lseek/ebadf_path",
+    "vfs::lseek/espipe",
+    "vfs::lseek/einval_set",
+    "vfs::lseek/einval_cur",
+    "vfs::lseek/einval_end",
+    "vfs::lseek/enxio_data",
+    "vfs::lseek/enxio_hole",
+    "vfs::truncate/einval_neg",
+    "vfs::truncate/eisdir",
+    "vfs::truncate/einval_kind",
+    "vfs::truncate/eacces",
+    "vfs::truncate/etxtbsy",
+    "vfs::truncate/erofs",
+    "vfs::truncate/efbig",
+    "vfs::ftruncate/einval_neg",
+    "vfs::ftruncate/einval_mode",
+    "vfs::ftruncate/einval_kind",
+    "vfs::fsync/ebadf_path",
+    "vfs::fsync/einval_kind",
+    "vfs::mkdir/eexist",
+    "vfs::mkdir/erofs",
+    "vfs::mkdir/eacces",
+    "vfs::mkdir/emlink",
+    "vfs::setxattr/enospc",
+    "vfs::setxattr/e2big",
+    "vfs::getxattr/erange",
+    "vfs::getxattr/size_probe",
+];
+
+/// Declares the whole probe universe into `registry`.
+pub fn declare_probes(registry: &Registry) {
+    registry.declare_all(ProbeKind::Function, FUNCTIONS);
+    for branch in BRANCHES {
+        registry.declare_branch(branch);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn declaration_creates_zeroed_universe() {
+        let reg = Registry::new();
+        declare_probes(&reg);
+        assert_eq!(reg.len(), FUNCTIONS.len() + 2 * BRANCHES.len());
+        let report = reg.report();
+        assert_eq!(report.functions.covered, 0);
+        assert_eq!(report.branches.covered, 0);
+    }
+
+    #[test]
+    fn probe_names_are_unique() {
+        let mut all: Vec<&str> = FUNCTIONS.iter().chain(BRANCHES.iter()).copied().collect();
+        let before = all.len();
+        all.sort_unstable();
+        all.dedup();
+        assert_eq!(all.len(), before);
+    }
+}

@@ -1,0 +1,190 @@
+//! Tests for the extended operations: `fallocate` and `renameat2`.
+
+use iocov_vfs::{Errno, Mode, OpenFlags, Pid, Vfs, Whence};
+
+const KEEP_SIZE: u32 = 0x1;
+const PUNCH_HOLE: u32 = 0x2;
+const ZERO_RANGE: u32 = 0x10;
+
+fn fs_with_file(content: &[u8]) -> (Vfs, Pid, i32) {
+    let mut fs = Vfs::new();
+    let pid = fs.default_pid();
+    let fd = fs
+        .open(pid, "/f", OpenFlags::O_CREAT | OpenFlags::O_RDWR, Mode::from_bits(0o644))
+        .unwrap();
+    if !content.is_empty() {
+        fs.write(pid, fd, content).unwrap();
+    }
+    (fs, pid, fd)
+}
+
+#[test]
+fn fallocate_mode0_allocates_and_extends() {
+    let (mut fs, pid, fd) = fs_with_file(b"");
+    fs.fallocate(pid, fd, 0, 0, 4096).unwrap();
+    assert_eq!(fs.fstat(pid, fd).unwrap().size, 4096);
+    // The range is allocated (SEEK_DATA at 0 finds data immediately).
+    assert_eq!(fs.lseek(pid, fd, 0, Whence::Data).unwrap(), 0);
+    // Reads as zeros.
+    assert_eq!(fs.pread(pid, fd, 4, 0).unwrap(), [0, 0, 0, 0]);
+}
+
+#[test]
+fn fallocate_keep_size_does_not_extend() {
+    let (mut fs, pid, fd) = fs_with_file(b"abcd");
+    fs.fallocate(pid, fd, KEEP_SIZE, 0, 4096).unwrap();
+    assert_eq!(fs.fstat(pid, fd).unwrap().size, 4, "size unchanged");
+    assert_eq!(fs.pread(pid, fd, 4, 0).unwrap(), b"abcd", "data intact");
+}
+
+#[test]
+fn fallocate_preserves_existing_data() {
+    let (mut fs, pid, fd) = fs_with_file(b"precious!");
+    fs.fallocate(pid, fd, 0, 0, 1 << 16).unwrap();
+    assert_eq!(fs.pread(pid, fd, 9, 0).unwrap(), b"precious!");
+    assert_eq!(fs.fstat(pid, fd).unwrap().size, 1 << 16);
+}
+
+#[test]
+fn punch_hole_zeroes_without_resizing() {
+    let (mut fs, pid, fd) = fs_with_file(b"0123456789");
+    fs.fallocate(pid, fd, PUNCH_HOLE | KEEP_SIZE, 2, 5).unwrap();
+    assert_eq!(fs.fstat(pid, fd).unwrap().size, 10);
+    assert_eq!(
+        fs.pread(pid, fd, 10, 0).unwrap(),
+        [b'0', b'1', 0, 0, 0, 0, 0, b'7', b'8', b'9']
+    );
+    // The hole is visible to SEEK_HOLE and releases space.
+    assert_eq!(fs.lseek(pid, fd, 0, Whence::Hole).unwrap(), 2);
+    assert_eq!(fs.stats().used_bytes, 5);
+}
+
+#[test]
+fn punch_hole_requires_keep_size() {
+    let (mut fs, pid, fd) = fs_with_file(b"abc");
+    assert_eq!(fs.fallocate(pid, fd, PUNCH_HOLE, 0, 2), Err(Errno::EINVAL));
+}
+
+#[test]
+fn zero_range_overwrites_data() {
+    let (mut fs, pid, fd) = fs_with_file(b"0123456789");
+    fs.fallocate(pid, fd, ZERO_RANGE, 3, 4).unwrap();
+    assert_eq!(
+        fs.pread(pid, fd, 10, 0).unwrap(),
+        [b'0', b'1', b'2', 0, 0, 0, 0, b'7', b'8', b'9']
+    );
+}
+
+#[test]
+fn fallocate_argument_validation() {
+    let (mut fs, pid, fd) = fs_with_file(b"x");
+    assert_eq!(fs.fallocate(pid, fd, 0, -1, 10), Err(Errno::EINVAL));
+    assert_eq!(fs.fallocate(pid, fd, 0, 0, 0), Err(Errno::EINVAL));
+    assert_eq!(fs.fallocate(pid, fd, 0, 0, -5), Err(Errno::EINVAL));
+    assert_eq!(fs.fallocate(pid, fd, 0x8000, 0, 10), Err(Errno::EOPNOTSUPP));
+    assert_eq!(
+        fs.fallocate(pid, fd, PUNCH_HOLE | ZERO_RANGE | KEEP_SIZE, 0, 10),
+        Err(Errno::EOPNOTSUPP)
+    );
+    assert_eq!(fs.fallocate(pid, 99, 0, 0, 10), Err(Errno::EBADF));
+    // Read-only descriptor.
+    let rd = fs.open(pid, "/f", OpenFlags::O_RDONLY, Mode::from_bits(0)).unwrap();
+    assert_eq!(fs.fallocate(pid, rd, 0, 0, 10), Err(Errno::EBADF));
+}
+
+#[test]
+fn fallocate_special_files_and_limits() {
+    let (mut fs, pid, _fd) = fs_with_file(b"");
+    fs.mkfifo(pid, "/pipe", Mode::from_bits(0o644)).unwrap();
+    let pfd = fs
+        .open(pid, "/pipe", OpenFlags::O_RDWR | OpenFlags::O_NONBLOCK, Mode::from_bits(0))
+        .unwrap();
+    assert_eq!(fs.fallocate(pid, pfd, 0, 0, 10), Err(Errno::ESPIPE));
+    // EFBIG past the maximum file size.
+    let fd = fs.open(pid, "/f", OpenFlags::O_WRONLY, Mode::from_bits(0)).unwrap();
+    assert_eq!(fs.fallocate(pid, fd, 0, i64::MAX / 2, i64::MAX / 2), Err(Errno::EFBIG));
+    // But KEEP_SIZE reservations beyond max size are also rejected only
+    // without KEEP_SIZE; with it the request is a pure reservation.
+    fs.remount(false).unwrap();
+}
+
+#[test]
+fn fallocate_charges_capacity() {
+    use iocov_vfs::VfsConfig;
+    let mut fs = Vfs::with_config(VfsConfig::builder().capacity_bytes(100).build());
+    let pid = fs.default_pid();
+    let fd = fs
+        .open(pid, "/f", OpenFlags::O_CREAT | OpenFlags::O_RDWR, Mode::from_bits(0o644))
+        .unwrap();
+    assert_eq!(fs.fallocate(pid, fd, 0, 0, 200), Err(Errno::ENOSPC));
+    fs.fallocate(pid, fd, 0, 0, 80).unwrap();
+    assert_eq!(fs.stats().used_bytes, 80);
+    // Punching the hole releases the space again.
+    fs.fallocate(pid, fd, PUNCH_HOLE | KEEP_SIZE, 0, 80).unwrap();
+    assert_eq!(fs.stats().used_bytes, 0);
+}
+
+#[test]
+fn rename2_noreplace_refuses_existing_target() {
+    let (mut fs, pid, fd) = fs_with_file(b"src");
+    fs.close(pid, fd).unwrap();
+    let g = fs
+        .open(pid, "/g", OpenFlags::O_CREAT | OpenFlags::O_WRONLY, Mode::from_bits(0o644))
+        .unwrap();
+    fs.close(pid, g).unwrap();
+    assert_eq!(fs.rename2(pid, "/f", "/g", 0x1), Err(Errno::EEXIST));
+    // Plain rename2 without flags behaves like rename.
+    fs.rename2(pid, "/f", "/h", 0).unwrap();
+    assert!(fs.stat(pid, "/h").is_ok());
+    // NOREPLACE to a fresh name succeeds.
+    fs.rename2(pid, "/h", "/i", 0x1).unwrap();
+    assert!(fs.stat(pid, "/i").is_ok());
+}
+
+#[test]
+fn rename2_exchange_swaps_entries() {
+    let mut fs = Vfs::new();
+    let pid = fs.default_pid();
+    for (path, data) in [("/a", b"AAA".as_slice()), ("/b", b"B".as_slice())] {
+        let fd = fs
+            .open(pid, path, OpenFlags::O_CREAT | OpenFlags::O_WRONLY, Mode::from_bits(0o644))
+            .unwrap();
+        fs.write(pid, fd, data).unwrap();
+        fs.close(pid, fd).unwrap();
+    }
+    fs.rename2(pid, "/a", "/b", 0x2).unwrap();
+    let fd = fs.open(pid, "/a", OpenFlags::O_RDONLY, Mode::from_bits(0)).unwrap();
+    assert_eq!(fs.read(pid, fd, 8).unwrap(), b"B");
+    let fd = fs.open(pid, "/b", OpenFlags::O_RDONLY, Mode::from_bits(0)).unwrap();
+    assert_eq!(fs.read(pid, fd, 8).unwrap(), b"AAA");
+}
+
+#[test]
+fn rename2_exchange_swaps_file_and_directory() {
+    let mut fs = Vfs::new();
+    let pid = fs.default_pid();
+    fs.mkdir(pid, "/d", Mode::from_bits(0o755)).unwrap();
+    fs.mkdir(pid, "/d/inner", Mode::from_bits(0o755)).unwrap();
+    let fd = fs
+        .open(pid, "/f", OpenFlags::O_CREAT | OpenFlags::O_WRONLY, Mode::from_bits(0o644))
+        .unwrap();
+    fs.close(pid, fd).unwrap();
+    fs.rename2(pid, "/d", "/f", 0x2).unwrap();
+    // "/f" is now the directory (with its contents) and "/d" the file.
+    assert!(fs.stat(pid, "/f/inner").is_ok());
+    assert!(fs.stat(pid, "/d").unwrap().file_type == iocov_vfs::FileType::Regular);
+}
+
+#[test]
+fn rename2_exchange_requires_both_ends() {
+    let (mut fs, pid, _fd) = fs_with_file(b"x");
+    assert_eq!(fs.rename2(pid, "/f", "/missing", 0x2), Err(Errno::ENOENT));
+    assert_eq!(fs.rename2(pid, "/missing", "/f", 0x2), Err(Errno::ENOENT));
+}
+
+#[test]
+fn rename2_flag_validation() {
+    let (mut fs, pid, _fd) = fs_with_file(b"x");
+    assert_eq!(fs.rename2(pid, "/f", "/g", 0x4), Err(Errno::EINVAL));
+    assert_eq!(fs.rename2(pid, "/f", "/g", 0x3), Err(Errno::EINVAL), "NOREPLACE|EXCHANGE");
+}

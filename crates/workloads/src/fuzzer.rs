@@ -1,0 +1,307 @@
+//! A Syzkaller-style fuzzer simulator.
+//!
+//! The paper's §6 plans to evaluate fuzzers with IOCov, noting that
+//! "Syzkaller logs syscalls with declarative descriptions, which need to
+//! be parsed by IOCov" rather than traced with LTTng. This simulator
+//! plays the Syzkaller role: it generates random programs over the
+//! file-system syscalls, executes them against the simulated kernel, and
+//! emits the program **log** in Syzkaller syntax with executor-reported
+//! results (`# ret` comments) — the input the `iocov::syzlang` adapter
+//! consumes.
+
+use std::fmt::Write as _;
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use iocov_syscalls::Kernel;
+
+use crate::env::{TestEnv, MOUNT};
+
+/// The fuzzer simulator.
+#[derive(Debug, Clone)]
+pub struct SyzFuzzerSim {
+    seed: u64,
+    programs: usize,
+    calls_per_program: usize,
+}
+
+impl SyzFuzzerSim {
+    /// A fuzzer generating `programs` programs of up to
+    /// `calls_per_program` calls each.
+    #[must_use]
+    pub fn new(seed: u64, programs: usize, calls_per_program: usize) -> Self {
+        SyzFuzzerSim {
+            seed,
+            programs,
+            calls_per_program,
+        }
+    }
+
+    /// Runs the fuzzing session against a kernel from `env` and returns
+    /// the Syzkaller-style execution log.
+    #[must_use]
+    pub fn run(&self, env: &TestEnv) -> String {
+        let mut kernel = env.fresh_kernel();
+        let mut log = String::new();
+        for p in 0..self.programs {
+            let mut rng = StdRng::seed_from_u64(self.seed ^ (p as u64).wrapping_mul(0x9e3779b9));
+            let _ = writeln!(log, "# program {p}");
+            self.run_program(&mut kernel, &mut rng, &mut log);
+        }
+        log
+    }
+
+    /// Generates, executes, and logs one program.
+    fn run_program(&self, kernel: &mut Kernel, rng: &mut StdRng, log: &mut String) {
+        // Live resources: (variable index, fd value).
+        let mut resources: Vec<(usize, i32)> = Vec::new();
+        let mut next_var = 0usize;
+        // Every program starts from a working descriptor, as syz corpus
+        // programs typically do.
+        let seed_path = format!("{MOUNT}/fuzz{}", rng.random_range(0..8u32));
+        let seed_fd = kernel.open(&seed_path, 0o102 | 0o100, 0o644);
+        if seed_fd >= 0 {
+            let var = next_var;
+            next_var += 1;
+            resources.push((var, seed_fd as i32));
+            let _ = writeln!(
+                log,
+                "r{var} = open(&(0x7f0000000000)='{seed_path}\x00', 0x42, 0x1a4) # {seed_fd}"
+            );
+        }
+        let calls = rng.random_range(3..=self.calls_per_program.max(4));
+        for _ in 0..calls {
+            match rng.random_range(0..10u32) {
+                0..=2 => {
+                    // open / openat with fuzzed flags and mode.
+                    let path = self.fuzz_path(rng);
+                    let flags = self.fuzz_flags(rng);
+                    let mode = rng.random_range(0..0o7777u32);
+                    let ret = kernel.open(&path, flags, mode);
+                    if ret >= 0 {
+                        let var = next_var;
+                        next_var += 1;
+                        resources.push((var, ret as i32));
+                        let _ = writeln!(
+                            log,
+                            "r{var} = open(&(0x7f0000000000)='{}\\x00', {:#x}, {:#x}) # {ret}",
+                            path, flags, mode
+                        );
+                    } else {
+                        let _ = writeln!(
+                            log,
+                            "open(&(0x7f0000000000)='{}\\x00', {:#x}, {:#x}) # {ret}",
+                            path, flags, mode
+                        );
+                    }
+                }
+                3 | 4 => {
+                    // write with a fuzzed (often boundary) size.
+                    if let Some(&(var, fd)) = pick(rng, &resources) {
+                        let size = self.fuzz_size(rng);
+                        let ret = kernel.write_fill(fd, 0x61, size);
+                        let _ = writeln!(
+                            log,
+                            "write(r{var}, &(0x7f0000001000)=\"6161\", {size:#x}) # {ret}"
+                        );
+                    }
+                }
+                5 => {
+                    if let Some(&(var, fd)) = pick(rng, &resources) {
+                        let size = self.fuzz_size(rng);
+                        let ret = kernel.read_discard(fd, size);
+                        let _ = writeln!(
+                            log,
+                            "read(r{var}, &(0x7f0000002000)=\"00\", {size:#x}) # {ret}"
+                        );
+                    }
+                }
+                6 => {
+                    if let Some(&(var, fd)) = pick(rng, &resources) {
+                        let offset = rng.random_range(-16i64..1 << 20);
+                        let whence = rng.random_range(0..6u32); // incl. invalid 5
+                        let ret = kernel.lseek(fd, offset, whence);
+                        let _ = writeln!(log, "lseek(r{var}, {offset:#x}, {whence:#x}) # {ret}");
+                    }
+                }
+                7 => {
+                    let path = self.fuzz_path(rng);
+                    let len = rng.random_range(-4i64..1 << 22);
+                    let ret = kernel.truncate(&path, len);
+                    let _ = writeln!(
+                        log,
+                        "truncate(&(0x7f0000000000)='{path}\\x00', {len:#x}) # {ret}"
+                    );
+                }
+                8 => {
+                    let path = self.fuzz_path(rng);
+                    let mode = rng.random_range(0..0o7777u32);
+                    let ret = if rng.random_bool(0.5) {
+                        let r = kernel.mkdir(&path, mode);
+                        let _ = writeln!(
+                            log,
+                            "mkdir(&(0x7f0000000000)='{path}\\x00', {mode:#x}) # {r}"
+                        );
+                        r
+                    } else {
+                        let r = kernel.chmod(&path, mode);
+                        let _ = writeln!(
+                            log,
+                            "chmod(&(0x7f0000000000)='{path}\\x00', {mode:#x}) # {r}"
+                        );
+                        r
+                    };
+                    let _ = ret;
+                }
+                _ => {
+                    if let Some(idx) = pick_index(rng, &resources) {
+                        let (var, fd) = resources.swap_remove(idx);
+                        let ret = kernel.close(fd);
+                        let _ = writeln!(log, "close(r{var}) # {ret}");
+                    }
+                }
+            }
+        }
+        // Programs close their leftover descriptors (as syz executors do
+        // between programs).
+        for (var, fd) in resources.drain(..) {
+            let ret = kernel.close(fd);
+            let _ = writeln!(log, "close(r{var}) # {ret}");
+        }
+    }
+
+    /// Paths mix valid mount-point targets with fuzz garbage.
+    fn fuzz_path(&self, rng: &mut StdRng) -> String {
+        match rng.random_range(0..6u32) {
+            0 => format!("{MOUNT}/fuzz{}", rng.random_range(0..8u32)),
+            1 => format!("{MOUNT}/dir{}/nested", rng.random_range(0..4u32)),
+            2 => format!("{MOUNT}/fuzz{}/not-a-dir", rng.random_range(0..8u32)),
+            3 => "./file0".to_owned(),
+            4 => format!("{MOUNT}/{}", "x".repeat(rng.random_range(1..400usize))),
+            _ => format!("{MOUNT}/missing-{}", rng.random_range(0..1000u32)),
+        }
+    }
+
+    /// Flags are fuzzed bit-soup: real flag bits OR-ed with random noise
+    /// sometimes, which is exactly how fuzzers reach odd combinations.
+    fn fuzz_flags(&self, rng: &mut StdRng) -> u32 {
+        let named = [
+            0u32, 1, 2, 0o100, 0o200, 0o1000, 0o2000, 0o4000, 0o40000, 0o100000, 0o200000,
+            0o400000, 0o1000000, 0o2000000, 0o4010000, 0o20200000,
+        ];
+        let mut flags = named[rng.random_range(0..named.len())];
+        for _ in 0..rng.random_range(0..4u32) {
+            flags |= named[rng.random_range(0..named.len())];
+        }
+        if rng.random_bool(0.05) {
+            flags |= 1 << rng.random_range(3..26u32); // raw bit noise
+        }
+        flags
+    }
+
+    /// Sizes concentrate on power-of-two boundaries ±1 — fuzzer mutation
+    /// heuristics love boundaries, which is why the paper expects
+    /// fuzzers to score differently on input coverage.
+    fn fuzz_size(&self, rng: &mut StdRng) -> u64 {
+        let k = rng.random_range(0..24u32);
+        let base = 1u64 << k;
+        match rng.random_range(0..5u32) {
+            0 => base - 1,
+            1 => base,
+            2 => base + 1,
+            3 => 0, // the POSIX-legal boundary testing tends to skip
+            _ => rng.random_range(0..=base),
+        }
+    }
+}
+
+fn pick<'a>(rng: &mut StdRng, resources: &'a [(usize, i32)]) -> Option<&'a (usize, i32)> {
+    if resources.is_empty() {
+        None
+    } else {
+        Some(&resources[rng.random_range(0..resources.len())])
+    }
+}
+
+fn pick_index(rng: &mut StdRng, resources: &[(usize, i32)]) -> Option<usize> {
+    if resources.is_empty() {
+        None
+    } else {
+        Some(rng.random_range(0..resources.len()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iocov::syzlang::parse_to_trace;
+    use iocov::{ArgName, Iocov, InputPartition, NumericPartition};
+
+    #[test]
+    fn fuzzer_log_parses_cleanly() {
+        let env = TestEnv::new();
+        let log = SyzFuzzerSim::new(1, 20, 12).run(&env);
+        let trace = parse_to_trace(&log).expect("every generated line parses");
+        assert!(trace.len() > 50);
+    }
+
+    #[test]
+    fn parsed_log_agrees_with_the_recorded_trace() {
+        // The same session seen two ways: the in-process recorder (LTTng
+        // path) and the parsed syz log (fuzzer path) must yield identical
+        // input coverage for the tracked arguments.
+        let env = TestEnv::new();
+        let log = SyzFuzzerSim::new(2, 15, 10).run(&env);
+        let recorded = env.take_trace();
+        let parsed = parse_to_trace(&log).unwrap();
+        let iocov = Iocov::new();
+        let from_recorder = iocov.analyze(&recorded);
+        let from_log = iocov.analyze(&parsed);
+        for arg in [
+            ArgName::OpenFlags,
+            ArgName::OpenMode,
+            ArgName::WriteCount,
+            ArgName::ReadCount,
+            ArgName::LseekWhence,
+            ArgName::TruncateLength,
+            ArgName::MkdirMode,
+            ArgName::ChmodMode,
+        ] {
+            assert_eq!(
+                from_recorder.input_coverage(arg).counts,
+                from_log.input_coverage(arg).counts,
+                "{arg} coverage must match between tracing and log parsing"
+            );
+        }
+        // Output coverage matches too (the log carries retvals).
+        assert_eq!(from_recorder.output, from_log.output);
+    }
+
+    #[test]
+    fn fuzzer_reaches_boundary_partitions_suites_miss() {
+        let env = TestEnv::new();
+        let log = SyzFuzzerSim::new(3, 120, 14).run(&env);
+        let report = Iocov::new().analyze(&parse_to_trace(&log).unwrap());
+        let wc = report.input_coverage(ArgName::WriteCount);
+        // Boundary-loving mutation hits the "=0" partition and a wide
+        // bucket range.
+        assert!(wc.count(&InputPartition::Numeric(NumericPartition::Zero)) > 0);
+        let covered_buckets = (0..24u32)
+            .filter(|&k| wc.count(&InputPartition::Numeric(NumericPartition::Log2(k))) > 0)
+            .count();
+        assert!(covered_buckets >= 20, "{covered_buckets} buckets");
+        // Invalid whence (categorical fuzzing).
+        let whence = report.input_coverage(ArgName::LseekWhence);
+        assert!(whence.count(&InputPartition::Categorical("<invalid>".into())) > 0);
+    }
+
+    #[test]
+    fn fuzzer_is_deterministic_per_seed() {
+        let log_a = SyzFuzzerSim::new(7, 5, 8).run(&TestEnv::new());
+        let log_b = SyzFuzzerSim::new(7, 5, 8).run(&TestEnv::new());
+        assert_eq!(log_a, log_b);
+        let log_c = SyzFuzzerSim::new(8, 5, 8).run(&TestEnv::new());
+        assert_ne!(log_a, log_c);
+    }
+}

@@ -1,0 +1,169 @@
+//! Weighted sampling of syscall arguments from suite profiles.
+
+use rand::RngExt;
+
+use crate::profile::{OpenProfile, SizeProfile};
+
+/// Samples an index from relative weights (all-zero weights yield 0).
+pub fn weighted_index<R: rand::Rng>(rng: &mut R, weights: &[f64]) -> usize {
+    let total: f64 = weights.iter().sum();
+    if total <= 0.0 {
+        return 0;
+    }
+    let mut target = rng.random_range(0.0..total);
+    for (i, w) in weights.iter().enumerate() {
+        if target < *w {
+            return i;
+        }
+        target -= w;
+    }
+    weights.len() - 1
+}
+
+/// Samples an `open(2)` flags word from a profile: an access mode plus
+/// `combo_size − 1` distinct optional flags.
+pub fn sample_open_flags<R: rand::Rng>(rng: &mut R, profile: &OpenProfile) -> u32 {
+    let accmode = match weighted_index(rng, &profile.accmode_weights) {
+        0 => 0u32, // O_RDONLY
+        1 => 1,    // O_WRONLY
+        _ => 2,    // O_RDWR
+    };
+    let combo_size = weighted_index(rng, &profile.combo_size_pct) + 1;
+    let mut flags = accmode;
+    let mut weights: Vec<f64> = profile.flag_weights.iter().map(|(_, w)| *w).collect();
+    let bits_of = |name: &str| -> u32 {
+        iocov_syscalls::OpenFlags::NAMED_FLAGS
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, f)| f.bits())
+            .unwrap_or(0)
+    };
+    for _ in 1..combo_size {
+        if weights.iter().all(|w| *w <= 0.0) {
+            break;
+        }
+        let idx = weighted_index(rng, &weights);
+        let (name, _) = profile.flag_weights[idx];
+        flags |= bits_of(name);
+        weights[idx] = 0.0; // distinct flags per combo
+    }
+    flags
+}
+
+/// Samples a byte count from a size profile: picks a bucket by weight,
+/// then a value uniformly inside `[2^k, 2^(k+1))`.
+pub fn sample_size<R: rand::Rng>(rng: &mut R, profile: &SizeProfile) -> u64 {
+    let mut weights = Vec::with_capacity(profile.bucket_weights.len() + 1);
+    weights.push(profile.zero_weight);
+    weights.extend(profile.bucket_weights.iter().map(|(_, w)| *w));
+    let idx = weighted_index(rng, &weights);
+    if idx == 0 && profile.zero_weight > 0.0 {
+        return 0;
+    }
+    let idx = if idx == 0 { 1 } else { idx };
+    let (bucket, _) = profile.bucket_weights[idx - 1];
+    let lo = 1u64 << bucket;
+    let hi = lo << 1;
+    rng.random_range(lo..hi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::{crashmonkey_profile, xfstests_profile};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn weighted_index_respects_weights() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let weights = [0.0, 10.0, 0.0];
+        for _ in 0..100 {
+            assert_eq!(weighted_index(&mut rng, &weights), 1);
+        }
+        // All-zero weights degrade to index 0.
+        assert_eq!(weighted_index(&mut rng, &[0.0, 0.0]), 0);
+    }
+
+    #[test]
+    fn weighted_index_distribution_roughly_matches() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let weights = [75.0, 25.0];
+        let mut counts = [0u32; 2];
+        for _ in 0..10_000 {
+            counts[weighted_index(&mut rng, &weights)] += 1;
+        }
+        let frac = f64::from(counts[0]) / 10_000.0;
+        assert!((frac - 0.75).abs() < 0.03, "{frac}");
+    }
+
+    #[test]
+    fn open_flags_follow_combo_distribution() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let profile = xfstests_profile();
+        let mut sizes = std::collections::BTreeMap::new();
+        for _ in 0..20_000 {
+            let flags = sample_open_flags(&mut rng, &profile.open);
+            let n = iocov::open_flags_present(flags).len();
+            *sizes.entry(n).or_insert(0u32) += 1;
+        }
+        // Modal combination size is 4, as in Table 1.
+        let modal = sizes.iter().max_by_key(|(_, c)| **c).map(|(s, _)| *s).unwrap();
+        assert_eq!(modal, 4);
+        // Never more than 6 flags.
+        assert!(sizes.keys().all(|&s| (1..=6).contains(&s)));
+    }
+
+    #[test]
+    fn cm_flags_never_include_untested_ones() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let profile = crashmonkey_profile();
+        for _ in 0..5_000 {
+            let flags = sample_open_flags(&mut rng, &profile.open);
+            let present = iocov::open_flags_present(flags);
+            assert!(!present.contains(&"O_TMPFILE"));
+            assert!(!present.contains(&"O_LARGEFILE"));
+            assert!(!present.contains(&"O_DIRECT"));
+        }
+    }
+
+    #[test]
+    fn sampled_sizes_stay_in_profile_buckets() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let profile = crashmonkey_profile();
+        for _ in 0..5_000 {
+            let size = sample_size(&mut rng, &profile.write_size);
+            assert!(size > 0, "CM never writes zero bytes");
+            let bucket = 63 - size.leading_zeros();
+            assert!(
+                profile
+                    .write_size
+                    .bucket_weights
+                    .iter()
+                    .any(|(k, w)| *k == bucket && *w > 0.0),
+                "size {size} bucket {bucket}"
+            );
+        }
+    }
+
+    #[test]
+    fn xfstests_samples_include_zero_sizes() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let profile = xfstests_profile();
+        let zeros = (0..20_000)
+            .filter(|_| sample_size(&mut rng, &profile.write_size) == 0)
+            .count();
+        assert!(zeros > 0, "the '=0' boundary partition is exercised");
+    }
+
+    #[test]
+    fn sampling_is_deterministic_per_seed() {
+        let profile = xfstests_profile();
+        let run = |seed: u64| -> Vec<u64> {
+            let mut rng = StdRng::seed_from_u64(seed);
+            (0..50).map(|_| sample_size(&mut rng, &profile.write_size)).collect()
+        };
+        assert_eq!(run(7), run(7));
+        assert_ne!(run(7), run(8));
+    }
+}

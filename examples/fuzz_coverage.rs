@@ -1,0 +1,79 @@
+//! Evaluate a fuzzer with IOCov via the Syzkaller-log adapter (the
+//! paper's §6 future-work workflow), and compare its coverage profile
+//! against a hand-written-style suite.
+//!
+//! ```text
+//! cargo run --release --example fuzz_coverage
+//! ```
+
+use iocov::syzlang::parse_to_trace;
+use iocov::{ArgName, BaseSyscall, Iocov, InputPartition, NumericPartition};
+use iocov_workloads::{SyzFuzzerSim, TestEnv, XfstestsSim};
+
+fn bucket_breadth(report: &iocov::AnalysisReport, arg: ArgName) -> usize {
+    let cov = report.input_coverage(arg);
+    (0..=32u32)
+        .filter(|&k| cov.count(&InputPartition::Numeric(NumericPartition::Log2(k))) > 0)
+        .count()
+}
+
+fn main() {
+    // 1. The fuzzer: generates syz programs, executes them, and logs
+    //    them in Syzkaller syntax with executor-reported results.
+    let env = TestEnv::new();
+    let fuzzer = SyzFuzzerSim::new(99, 400, 14);
+    eprintln!("fuzzing …");
+    let log = fuzzer.run(&env);
+    println!("fuzzer log: {} lines", log.lines().count());
+    println!("first program:");
+    for line in log.lines().skip(1).take(6) {
+        println!("  {line}");
+    }
+
+    // 2. IOCov parses the log (no tracer involved!) and analyzes it.
+    let trace = parse_to_trace(&log).expect("syz logs parse");
+    let fuzz_report = Iocov::new().analyze(&trace);
+
+    // 3. A scaled-down hand-written suite for comparison.
+    let env = TestEnv::new();
+    let sim = XfstestsSim::new(99, 0.01);
+    let mut kernel = env.fresh_kernel();
+    let _ = sim.run_range(&mut kernel, 0..130);
+    let suite_report = Iocov::with_mount_point(iocov_workloads::MOUNT)
+        .expect("valid mount pattern")
+        .analyze(&env.take_trace());
+
+    println!("\n== coverage comparison ==");
+    println!(
+        "write-size buckets:   fuzzer {:>3}   hand-written {:>3}",
+        bucket_breadth(&fuzz_report, ArgName::WriteCount),
+        bucket_breadth(&suite_report, ArgName::WriteCount),
+    );
+    let fuzz_whence = fuzz_report.input_coverage(ArgName::LseekWhence);
+    let suite_whence = suite_report.input_coverage(ArgName::LseekWhence);
+    println!(
+        "invalid lseek whence: fuzzer {:>3}   hand-written {:>3}",
+        fuzz_whence.count(&InputPartition::Categorical("<invalid>".into())),
+        suite_whence.count(&InputPartition::Categorical("<invalid>".into())),
+    );
+    let fuzz_open = fuzz_report.output_coverage(BaseSyscall::Open);
+    let suite_open = suite_report.output_coverage(BaseSyscall::Open);
+    let count_codes = |cov: &iocov::OutputCoverage| {
+        iocov::output_errnos(BaseSyscall::Open)
+            .iter()
+            .filter(|e| cov.errno_count(e) > 0)
+            .count()
+    };
+    println!(
+        "open error codes:     fuzzer {:>3}   hand-written {:>3}",
+        count_codes(&fuzz_open),
+        count_codes(&suite_open),
+    );
+    println!(
+        "\nThe fuzzer's boundary-loving mutation covers numeric partitions\n\
+         broadly (including '=0' and invalid categorical values) but elicits\n\
+         a narrower, shallower error surface than the hand-written suite —\n\
+         the complementary profile the paper expects input/output coverage\n\
+         to make visible."
+    );
+}

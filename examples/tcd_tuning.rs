@@ -1,0 +1,63 @@
+//! Tune a Test Coverage Deviation target array — the paper's §4
+//! suggestion that crash-consistency developers weight persistence-
+//! related partitions more heavily.
+//!
+//! ```text
+//! cargo run --release --example tcd_tuning
+//! ```
+
+use iocov::tcd::tcd;
+use iocov::{ArgName, Iocov, InputPartition};
+use iocov_workloads::{CrashMonkeySim, TestEnv, MOUNT};
+
+fn main() {
+    // Trace a CrashMonkey run.
+    eprintln!("running CrashMonkey …");
+    let env = TestEnv::new();
+    let _ = CrashMonkeySim::new(7, 0.05).run(&env);
+    let report = Iocov::with_mount_point(MOUNT)
+        .expect("valid mount pattern")
+        .analyze(&env.take_trace());
+    let cov = report.input_coverage(ArgName::OpenFlags);
+    let flags = iocov::open_flag_names();
+    let freqs: Vec<u64> = flags
+        .iter()
+        .map(|f| cov.count(&InputPartition::Flag((*f).to_string())))
+        .collect();
+
+    println!("open-flag frequencies:");
+    for (flag, freq) in flags.iter().zip(&freqs) {
+        println!("  {flag:<14} {freq}");
+    }
+
+    // A uniform target treats O_SYNC like O_NOCTTY.
+    let uniform = vec![1_000u64; flags.len()];
+    println!("\nTCD against a uniform target of 1,000: {:.3}", tcd(&freqs, &uniform));
+
+    // A persistence-weighted target: crash-consistency testing "heavily
+    // exploits persistence operations", so demand far more coverage of
+    // O_SYNC/O_DSYNC and de-emphasize terminal-control flags.
+    let weighted: Vec<u64> = flags
+        .iter()
+        .map(|flag| match *flag {
+            "O_SYNC" | "O_DSYNC" => 100_000,
+            "O_CREAT" | "O_TRUNC" | "O_APPEND" => 10_000,
+            _ => 1_000,
+        })
+        .collect();
+    let uniform_tcd = tcd(&freqs, &uniform);
+    let weighted_tcd = tcd(&freqs, &weighted);
+    println!("TCD against the persistence-weighted target: {weighted_tcd:.3}");
+    if weighted_tcd > uniform_tcd {
+        println!(
+            "\nThe weighted TCD is higher: CrashMonkey under-tests O_SYNC/O_DSYNC\n\
+             relative to what a crash-consistency developer would demand —\n\
+             exactly the kind of gap a non-uniform target array exposes."
+        );
+    } else {
+        println!(
+            "\nThe weighted TCD is not higher here: at this scale CrashMonkey's\n\
+             persistence-flag frequencies already sit near the raised targets."
+        );
+    }
+}

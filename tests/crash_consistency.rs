@@ -1,0 +1,152 @@
+//! Cross-crate crash-consistency semantics through the full syscall
+//! stack (Kernel → VFS durability model), traced and analyzed.
+
+use std::sync::Arc;
+
+use iocov::{BaseSyscall, Iocov};
+use iocov_syscalls::Kernel;
+use iocov_trace::Recorder;
+
+const O_CREAT_RDWR: u32 = 0o102 | 0o100;
+const O_SYNC: u32 = 0o4010000;
+const O_DIRECTORY: u32 = 0o200000;
+
+#[test]
+fn sync_then_crash_preserves_everything() {
+    let mut kernel = Kernel::new();
+    kernel.mkdir("/a", 0o755);
+    kernel.mkdir("/a/b", 0o755);
+    let fd = kernel.open("/a/b/f", O_CREAT_RDWR, 0o644) as i32;
+    kernel.write(fd, b"deep file");
+    kernel.close(fd);
+    kernel.sync();
+    kernel.vfs_mut().crash();
+    let fd = kernel.open("/a/b/f", 0, 0);
+    assert!(fd >= 0, "synced tree survives");
+    let mut buf = [0u8; 16];
+    assert_eq!(kernel.read(fd as i32, &mut buf), 9);
+    assert_eq!(&buf[..9], b"deep file");
+}
+
+#[test]
+fn unsynced_changes_roll_back_to_last_sync_point() {
+    let mut kernel = Kernel::new();
+    let fd = kernel.open("/f", O_CREAT_RDWR, 0o644) as i32;
+    kernel.write(fd, b"v1");
+    kernel.close(fd);
+    kernel.sync();
+    // Overwrite without persisting.
+    let fd = kernel.open("/f", 0o1001 /* O_WRONLY|O_TRUNC */, 0) as i32;
+    kernel.write(fd, b"v2-much-longer");
+    kernel.close(fd);
+    kernel.vfs_mut().crash();
+    let fd = kernel.open("/f", 0, 0) as i32;
+    let mut buf = [0u8; 32];
+    let n = kernel.read(fd, &mut buf);
+    assert_eq!(&buf[..n as usize], b"v1", "rolled back to the sync point");
+}
+
+#[test]
+fn o_sync_writes_are_immediately_durable() {
+    let mut kernel = Kernel::new();
+    // Persist the root so the file entry itself survives.
+    let fd = kernel.open("/f", O_CREAT_RDWR, 0o644) as i32;
+    kernel.close(fd);
+    kernel.sync();
+    let fd = kernel.open("/f", 0o2 | O_SYNC, 0) as i32;
+    kernel.write(fd, b"synchronous");
+    // No fsync, no sync — O_SYNC already persisted the write.
+    kernel.vfs_mut().crash();
+    let fd = kernel.open("/f", 0, 0) as i32;
+    let mut buf = [0u8; 16];
+    assert_eq!(kernel.read(fd, &mut buf), 11);
+    assert_eq!(&buf[..11], b"synchronous");
+}
+
+#[test]
+fn fsync_file_plus_dir_makes_new_file_durable() {
+    let mut kernel = Kernel::new();
+    kernel.mkdir("/dir", 0o755);
+    kernel.sync();
+    let fd = kernel.open("/dir/new", O_CREAT_RDWR, 0o644) as i32;
+    kernel.write(fd, b"payload");
+    assert_eq!(kernel.fsync(fd), 0);
+    kernel.close(fd);
+    let dirfd = kernel.open("/dir", O_DIRECTORY, 0) as i32;
+    assert_eq!(kernel.fsync(dirfd), 0);
+    kernel.close(dirfd);
+    kernel.vfs_mut().crash();
+    assert!(kernel.open("/dir/new", 0, 0) >= 0);
+}
+
+#[test]
+fn fsync_file_without_dir_fsync_loses_new_file() {
+    let mut kernel = Kernel::new();
+    kernel.mkdir("/dir", 0o755);
+    kernel.sync();
+    let fd = kernel.open("/dir/orphan", O_CREAT_RDWR, 0o644) as i32;
+    kernel.write(fd, b"payload");
+    assert_eq!(kernel.fsync(fd), 0);
+    kernel.close(fd);
+    kernel.vfs_mut().crash();
+    assert_eq!(
+        kernel.open("/dir/orphan", 0, 0),
+        -2,
+        "the classic fsync-without-dir-fsync pitfall"
+    );
+}
+
+#[test]
+fn descriptors_do_not_survive_a_crash() {
+    let mut kernel = Kernel::new();
+    let fd = kernel.open("/f", O_CREAT_RDWR, 0o644) as i32;
+    kernel.sync();
+    kernel.vfs_mut().crash();
+    assert_eq!(kernel.write(fd, b"x"), -9, "EBADF after remount");
+    assert_eq!(kernel.close(fd), -9);
+}
+
+#[test]
+fn crash_cycles_are_traced_and_analyzable() {
+    let recorder = Arc::new(Recorder::new());
+    let mut kernel = Kernel::new();
+    kernel.attach_recorder(Arc::clone(&recorder));
+    for round in 0..5 {
+        let path = format!("/file-{round}");
+        let fd = kernel.open(&path, O_CREAT_RDWR, 0o644) as i32;
+        kernel.write(fd, &[round as u8; 64]);
+        kernel.fsync(fd);
+        kernel.close(fd);
+        kernel.sync();
+        kernel.vfs_mut().crash();
+        // Post-crash verification read.
+        let fd = kernel.open(&path, 0, 0) as i32;
+        kernel.read_discard(fd, 64);
+        kernel.close(fd);
+    }
+    let report = Iocov::new().analyze(&recorder.take());
+    let open_cov = report.output_coverage(BaseSyscall::Open);
+    assert_eq!(open_cov.calls, 10, "5 creates + 5 verification opens");
+    assert_eq!(open_cov.errors(), 0);
+    assert_eq!(kernel.vfs().stats().crashes, 5);
+}
+
+#[test]
+fn quota_and_capacity_survive_crash_recovery_accounting() {
+    use iocov_vfs::VfsConfig;
+    let config = VfsConfig::builder().capacity_bytes(1000).build();
+    let mut kernel = Kernel::with_vfs(iocov_vfs::Vfs::with_config(config));
+    let fd = kernel.open("/f", O_CREAT_RDWR, 0o644) as i32;
+    assert_eq!(kernel.write(fd, &[1u8; 600]), 600);
+    kernel.close(fd);
+    kernel.sync();
+    // Unsynced second file pushes toward the limit, then the crash
+    // releases it.
+    let fd = kernel.open("/g", O_CREAT_RDWR, 0o644) as i32;
+    assert_eq!(kernel.write(fd, &[2u8; 300]), 300);
+    assert_eq!(kernel.write(fd, &[3u8; 200]), -28, "ENOSPC at capacity");
+    kernel.vfs_mut().crash();
+    assert_eq!(kernel.vfs().stats().used_bytes, 600, "recomputed after recovery");
+    let fd = kernel.open("/h", O_CREAT_RDWR, 0o644) as i32;
+    assert_eq!(kernel.write(fd, &[4u8; 300]), 300, "space is available again");
+}

@@ -1,0 +1,106 @@
+//! Three test suites, three characteristic coverage profiles.
+//!
+//! The paper's premise is that different testing strategies leave
+//! different, *measurable* gaps. These tests pin the signature of each
+//! simulated suite: CrashMonkey (black-box crash testing) is narrow and
+//! persistence-heavy; xfstests (broad regression suite) is wide on
+//! inputs; LTP (per-syscall testcases) is systematic on outputs but
+//! narrow on inputs.
+
+use iocov::{ArgName, BaseSyscall, InputPartition, Iocov, NumericPartition};
+use iocov_workloads::{CrashMonkeySim, LtpSim, TestEnv, XfstestsSim, MOUNT};
+
+fn analyze<F: FnOnce(&TestEnv)>(run: F) -> iocov::AnalysisReport {
+    let env = TestEnv::new();
+    run(&env);
+    Iocov::with_mount_point(MOUNT)
+        .expect("valid mount pattern")
+        .analyze(&env.take_trace())
+}
+
+fn write_bucket_breadth(report: &iocov::AnalysisReport) -> usize {
+    let cov = report.input_coverage(ArgName::WriteCount);
+    (0..=32u32)
+        .filter(|&k| cov.count(&InputPartition::Numeric(NumericPartition::Log2(k))) > 0)
+        .count()
+}
+
+#[test]
+fn xfstests_has_the_widest_input_profile() {
+    let xfs = analyze(|env| {
+        let mut kernel = env.fresh_kernel();
+        let _ = XfstestsSim::new(3, 0.02).run_range(&mut kernel, 0..60);
+    });
+    let ltp = analyze(|env| {
+        let _ = LtpSim::new(3, 1.0).run(env);
+    });
+    assert!(
+        write_bucket_breadth(&xfs) > write_bucket_breadth(&ltp),
+        "xfstests {} vs LTP {}",
+        write_bucket_breadth(&xfs),
+        write_bucket_breadth(&ltp)
+    );
+    // LTP's writes stay at small regular sizes.
+    assert!(write_bucket_breadth(&ltp) <= 14);
+}
+
+#[test]
+fn ltp_exercises_every_base_syscall_cm_does_not() {
+    let ltp = analyze(|env| {
+        let _ = LtpSim::new(4, 0.5).run(env);
+    });
+    let cm = analyze(|env| {
+        let _ = CrashMonkeySim::new(4, 0.02).run(env);
+    });
+    for base in BaseSyscall::ALL {
+        assert!(
+            ltp.output_coverage(base).calls > 0,
+            "LTP systematically covers {base}"
+        );
+    }
+    // CrashMonkey never touches the xattr syscalls — a whole-syscall gap
+    // input/output coverage makes immediately visible.
+    assert_eq!(cm.output_coverage(BaseSyscall::Setxattr).calls, 0);
+    assert_eq!(cm.output_coverage(BaseSyscall::Getxattr).calls, 0);
+}
+
+#[test]
+fn crashmonkey_is_the_most_error_dense() {
+    // Black-box probing produces a far higher error ratio than
+    // hand-written suites.
+    let ratio = |report: &iocov::AnalysisReport| {
+        let cov = report.output_coverage(BaseSyscall::Open);
+        cov.errors() as f64 / cov.calls.max(1) as f64
+    };
+    let cm = analyze(|env| {
+        let _ = CrashMonkeySim::new(5, 0.02).run(env);
+    });
+    let ltp = analyze(|env| {
+        let _ = LtpSim::new(5, 0.5).run(env);
+    });
+    assert!(
+        ratio(&cm) > ratio(&ltp),
+        "CrashMonkey {:.2} vs LTP {:.2}",
+        ratio(&cm),
+        ratio(&ltp)
+    );
+}
+
+#[test]
+fn each_suite_leaves_distinct_untested_flags() {
+    let ltp = analyze(|env| {
+        let _ = LtpSim::new(6, 0.5).run(env);
+    });
+    let cov = ltp.input_coverage(ArgName::OpenFlags);
+    // LTP's flag usage is minimal: the long tail stays untested.
+    for flag in ["O_DIRECT", "O_NOATIME", "O_PATH", "O_TMPFILE", "O_SYNC"] {
+        assert_eq!(
+            cov.count(&InputPartition::Flag(flag.to_owned())),
+            0,
+            "{flag} untested by LTP"
+        );
+    }
+    // But its basics are solid.
+    assert!(cov.count(&InputPartition::Flag("O_RDONLY".into())) > 0);
+    assert!(cov.count(&InputPartition::Flag("O_TRUNC".into())) > 0);
+}
