@@ -83,13 +83,17 @@ fn bench_tcd_scale_ablation(c: &mut Criterion) {
 fn bench_partitioning_ablation(c: &mut Criterion) {
     // Powers-of-two (the paper's choice: boundaries common in file
     // systems) vs fixed-width 4 KiB bins.
-    let sizes: Vec<u64> = (0..100_000u64).map(|i| (i * 2654435761) % (1 << 28)).collect();
+    let sizes: Vec<u64> = (0..100_000u64)
+        .map(|i| (i * 2654435761) % (1 << 28))
+        .collect();
     let mut group = c.benchmark_group("ablation_partitioning");
     group.bench_function("pow2_buckets", |b| {
         b.iter(|| {
             let mut counts = std::collections::BTreeMap::new();
             for &s in &sizes {
-                *counts.entry(NumericPartition::of(i128::from(s))).or_insert(0u64) += 1;
+                *counts
+                    .entry(NumericPartition::of(i128::from(s)))
+                    .or_insert(0u64) += 1;
             }
             counts
         });
@@ -111,7 +115,11 @@ fn bench_partitioning_ablation(c: &mut Criterion) {
         .map(|&s| NumericPartition::of(i128::from(s)))
         .collect::<std::collections::BTreeSet<_>>()
         .len();
-    let fixed_bins = sizes.iter().map(|&s| s / 4096).collect::<std::collections::BTreeSet<_>>().len();
+    let fixed_bins = sizes
+        .iter()
+        .map(|&s| s / 4096)
+        .collect::<std::collections::BTreeSet<_>>()
+        .len();
     assert!(pow2_bins < 32);
     assert!(fixed_bins > 10_000);
     let _ = ArgName::WriteCount;

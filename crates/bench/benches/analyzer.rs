@@ -11,11 +11,9 @@ fn bench_analyzer(c: &mut Criterion) {
         let trace = sample_trace(events);
         group.throughput(Throughput::Elements(trace.len() as u64));
         let filtered = Iocov::with_mount_point("/mnt/test").unwrap();
-        group.bench_with_input(
-            BenchmarkId::new("filtered", events),
-            &trace,
-            |b, trace| b.iter(|| filtered.analyze(std::hint::black_box(trace))),
-        );
+        group.bench_with_input(BenchmarkId::new("filtered", events), &trace, |b, trace| {
+            b.iter(|| filtered.analyze(std::hint::black_box(trace)))
+        });
         let unfiltered = Iocov::new();
         group.bench_with_input(
             BenchmarkId::new("unfiltered", events),

@@ -1,0 +1,33 @@
+//! Serial vs pid-sharded parallel analysis on a multi-process trace.
+//!
+//! The trace mimics a paper-scale suite driven by several concurrent
+//! tester processes ([`multi_pid_trace`]); the sharded analyzer should
+//! approach a `workers`-fold speedup because all filter state is per-pid
+//! and the shards never synchronize until the final merge.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use iocov::{Analyzer, ParallelAnalyzer, TraceFilter};
+use iocov_bench::multi_pid_trace;
+use iocov_workloads::MOUNT;
+
+fn bench_parallel(c: &mut Criterion) {
+    let trace = multi_pid_trace(200_000, 8);
+    let filter = TraceFilter::mount_point(MOUNT).expect("static mount pattern compiles");
+    let mut group = c.benchmark_group("parallel_analysis");
+    group.throughput(Throughput::Elements(trace.len() as u64));
+    group.sample_size(10);
+    group.bench_function("serial", |b| {
+        let analyzer = Analyzer::new(filter.clone());
+        b.iter(|| analyzer.analyze(&trace));
+    });
+    for workers in [1usize, 2, 4, 8] {
+        let analyzer = ParallelAnalyzer::new(filter.clone(), workers);
+        group.bench_with_input(BenchmarkId::new("sharded", workers), &workers, |b, _| {
+            b.iter(|| analyzer.analyze(&trace));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_parallel);
+criterion_main!(benches);

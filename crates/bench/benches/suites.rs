@@ -52,8 +52,7 @@ fn bench_pipeline_end_to_end(c: &mut Criterion) {
             let env = TestEnv::new();
             let sim = XfstestsSim::new(2, 0.01);
             let mut kernel = env.fresh_kernel();
-            let mut streaming =
-                StreamingAnalyzer::new(TraceFilter::mount_point(MOUNT).unwrap());
+            let mut streaming = StreamingAnalyzer::new(TraceFilter::mount_point(MOUNT).unwrap());
             let _ = sim.run_range(&mut kernel, 0..13);
             streaming.push_all(env.take_trace().events());
             streaming.finish()
@@ -73,5 +72,10 @@ fn bench_syz_adapter(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_xfstests_chunk, bench_pipeline_end_to_end, bench_syz_adapter);
+criterion_group!(
+    benches,
+    bench_xfstests_chunk,
+    bench_pipeline_end_to_end,
+    bench_syz_adapter
+);
 criterion_main!(benches);

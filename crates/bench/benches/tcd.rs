@@ -5,7 +5,9 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use iocov::tcd::{crossover, log_targets, tcd_series, tcd_uniform};
 
 fn frequencies(n: usize) -> Vec<u64> {
-    (0..n).map(|i| ((i * 7919 + 13) % 1_000_000) as u64).collect()
+    (0..n)
+        .map(|i| ((i * 7919 + 13) % 1_000_000) as u64)
+        .collect()
 }
 
 fn bench_tcd(c: &mut Criterion) {
@@ -21,7 +23,9 @@ fn bench_tcd(c: &mut Criterion) {
 
 fn bench_series_and_crossover(c: &mut Criterion) {
     let freqs_a = vec![50u64; 20];
-    let freqs_b: Vec<u64> = (0..20).map(|i| if i < 16 { 200_000 } else { 100 }).collect();
+    let freqs_b: Vec<u64> = (0..20)
+        .map(|i| if i < 16 { 200_000 } else { 100 })
+        .collect();
     let targets = log_targets(7, 10);
     let mut group = c.benchmark_group("tcd_figure5");
     group.bench_function("series_70_points", |b| {

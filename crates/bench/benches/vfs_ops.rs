@@ -10,12 +10,19 @@ fn bench_open_close(c: &mut Criterion) {
     let mut fs = Vfs::new();
     let pid = fs.default_pid();
     let fd = fs
-        .open(pid, "/seed", OpenFlags::O_CREAT | OpenFlags::O_WRONLY, Mode::from_bits(0o644))
+        .open(
+            pid,
+            "/seed",
+            OpenFlags::O_CREAT | OpenFlags::O_WRONLY,
+            Mode::from_bits(0o644),
+        )
         .unwrap();
     fs.close(pid, fd).unwrap();
     group.bench_function("open_close_existing", |b| {
         b.iter(|| {
-            let fd = fs.open(pid, "/seed", OpenFlags::O_RDONLY, Mode::from_bits(0)).unwrap();
+            let fd = fs
+                .open(pid, "/seed", OpenFlags::O_RDONLY, Mode::from_bits(0))
+                .unwrap();
             fs.close(pid, fd).unwrap();
         });
     });
@@ -30,12 +37,18 @@ fn bench_write_sizes(c: &mut Criterion) {
             let mut fs = Vfs::new();
             let pid = fs.default_pid();
             let fd = fs
-                .open(pid, "/f", OpenFlags::O_CREAT | OpenFlags::O_WRONLY, Mode::from_bits(0o644))
+                .open(
+                    pid,
+                    "/f",
+                    OpenFlags::O_CREAT | OpenFlags::O_WRONLY,
+                    Mode::from_bits(0o644),
+                )
                 .unwrap();
             let buf = vec![7u8; size as usize];
             let mut offset = 0i64;
             b.iter(|| {
-                fs.pwrite(pid, fd, WriteSource::Bytes(&buf), offset % (1 << 20)).unwrap();
+                fs.pwrite(pid, fd, WriteSource::Bytes(&buf), offset % (1 << 20))
+                    .unwrap();
                 offset += 4096;
             });
         });
@@ -46,13 +59,21 @@ fn bench_write_sizes(c: &mut Criterion) {
         let mut fs = Vfs::new();
         let pid = fs.default_pid();
         let fd = fs
-            .open(pid, "/big", OpenFlags::O_CREAT | OpenFlags::O_WRONLY, Mode::from_bits(0o644))
+            .open(
+                pid,
+                "/big",
+                OpenFlags::O_CREAT | OpenFlags::O_WRONLY,
+                Mode::from_bits(0o644),
+            )
             .unwrap();
         b.iter(|| {
             fs.pwrite(
                 pid,
                 fd,
-                WriteSource::Fill { byte: 1, len: 258 * 1024 * 1024 },
+                WriteSource::Fill {
+                    byte: 1,
+                    len: 258 * 1024 * 1024,
+                },
                 0,
             )
             .unwrap()
@@ -73,7 +94,12 @@ fn bench_path_resolution(c: &mut Criterion) {
         }
         let file = format!("{path}/leaf");
         let fd = fs
-            .open(pid, &file, OpenFlags::O_CREAT | OpenFlags::O_WRONLY, Mode::from_bits(0o644))
+            .open(
+                pid,
+                &file,
+                OpenFlags::O_CREAT | OpenFlags::O_WRONLY,
+                Mode::from_bits(0o644),
+            )
             .unwrap();
         fs.close(pid, fd).unwrap();
         group.bench_with_input(BenchmarkId::new("stat_depth", depth), &file, |b, file| {

@@ -1,12 +1,14 @@
 //! Reproduces every table and figure of the IOCov paper's evaluation.
 //!
 //! ```text
-//! repro [--scale X] [--seed N] [--full] [fig2 table1 fig3 fig4 fig5 untested bugstudy difftest fuzzer dataset]
+//! repro [--scale X] [--seed N] [--full] [--jobs N] [fig2 table1 fig3 fig4 fig5 untested bugstudy difftest fuzzer dataset]
 //! ```
 //!
 //! With no exhibit arguments, everything is generated. `--full` runs the
 //! workload simulators at paper scale (≈5M syscalls; tens of seconds);
 //! the default `--scale 0.05` keeps the shapes while finishing quickly.
+//! `--jobs N` shards trace analysis by pid across N worker threads; the
+//! reports (and every exhibit) are identical to a serial run.
 //! Each exhibit ends with `shape-check` lines asserting the qualitative
 //! claims the paper makes about it.
 
@@ -14,18 +16,20 @@ use std::collections::BTreeSet;
 
 use iocov::tcd::{crossover, log_targets, tcd_uniform};
 use iocov::{ArgName, BaseSyscall, InputPartition, NumericPartition};
-use iocov_bench::{open_flag_frequencies, run_suites, SuiteReports};
+use iocov_bench::{open_flag_frequencies, run_suites_parallel, SuiteReports};
 use iocov_faults::{dataset, demo_bugs, StudyStats};
 
 struct Options {
     scale: f64,
     seed: u64,
+    jobs: usize,
     exhibits: BTreeSet<String>,
 }
 
 fn parse_args() -> Options {
     let mut scale = 0.05;
     let mut seed = 42;
+    let mut jobs = 1;
     let mut exhibits = BTreeSet::new();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -42,6 +46,13 @@ fn parse_args() -> Options {
                     .and_then(|v| v.parse().ok())
                     .expect("--seed takes an integer");
             }
+            "--jobs" => {
+                jobs = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&n| n >= 1)
+                    .expect("--jobs takes a positive integer");
+            }
             "--full" => scale = 1.0,
             other => {
                 exhibits.insert(other.to_owned());
@@ -49,19 +60,27 @@ fn parse_args() -> Options {
         }
     }
     if exhibits.is_empty() {
-        for e in ["fig2", "table1", "fig3", "fig4", "fig5", "untested", "bugstudy", "difftest", "fuzzer", "dataset"] {
+        for e in [
+            "fig2", "table1", "fig3", "fig4", "fig5", "untested", "bugstudy", "difftest", "fuzzer",
+            "dataset",
+        ] {
             exhibits.insert(e.to_owned());
         }
     }
     Options {
         scale,
         seed,
+        jobs,
         exhibits,
     }
 }
 
 fn check(name: &str, ok: bool) {
-    println!("  shape-check {}: {}", name, if ok { "PASS" } else { "FAIL" });
+    println!(
+        "  shape-check {}: {}",
+        name,
+        if ok { "PASS" } else { "FAIL" }
+    );
 }
 
 fn main() {
@@ -74,8 +93,22 @@ fn main() {
         .iter()
         .any(|e| opts.exhibits.contains(*e));
     let reports = needs_suites.then(|| {
-        eprintln!("[running CrashMonkey and xfstests simulations …]");
-        run_suites(opts.seed, opts.scale)
+        eprintln!(
+            "[running CrashMonkey and xfstests simulations ({} analysis job{}) …]",
+            opts.jobs,
+            if opts.jobs == 1 { "" } else { "s" }
+        );
+        let start = std::time::Instant::now();
+        let reports = run_suites_parallel(opts.seed, opts.scale, opts.jobs);
+        let elapsed = start.elapsed().as_secs_f64();
+        let events = reports.crashmonkey.filter_stats.total + reports.xfstests.filter_stats.total;
+        eprintln!(
+            "[simulated + analyzed {events} events in {elapsed:.2} s — {:.0} events/s with {} job{}]",
+            events as f64 / elapsed,
+            opts.jobs,
+            if opts.jobs == 1 { "" } else { "s" }
+        );
+        reports
     });
 
     if let Some(reports) = &reports {
@@ -123,7 +156,10 @@ fn dataset_artifact() {
         Ok(()) => println!("wrote {} records to {path}", records.len()),
         Err(e) => println!("could not write {path}: {e}"),
     }
-    println!("{:<14} {:<7} {:<8} {:<9} {:<9} trigger", "id", "kind", "detected", "line-cov", "arg-trig");
+    println!(
+        "{:<14} {:<7} {:<8} {:<9} {:<9} trigger",
+        "id", "kind", "detected", "line-cov", "arg-trig"
+    );
     for bug in records.iter().take(8) {
         println!(
             "{:<14} {:<7} {:<8} {:<9} {:<9} {}",
@@ -147,7 +183,10 @@ fn fuzzer(seed: u64, scale: f64) {
     let programs = ((600.0 * scale) as usize).max(40);
     let env = TestEnv::new();
     let log = SyzFuzzerSim::new(seed, programs, 14).run(&env);
-    println!("fuzzer emitted {} log lines over {programs} programs", log.lines().count());
+    println!(
+        "fuzzer emitted {} log lines over {programs} programs",
+        log.lines().count()
+    );
     let trace = parse_to_trace(&log).expect("fuzzer logs parse");
     let report = iocov::Iocov::new().analyze(&trace);
     let wc = report.input_coverage(ArgName::WriteCount);
@@ -164,7 +203,10 @@ fn fuzzer(seed: u64, scale: f64) {
         .filter(|e| open_out.errno_count(e) > 0)
         .count();
     println!("open output coverage: {codes} error codes");
-    check("fuzzer logs parse into the standard pipeline", report.total_calls() > 0);
+    check(
+        "fuzzer logs parse into the standard pipeline",
+        report.total_calls() > 0,
+    );
     check(
         "boundary-driven mutation exercises the '=0' write partition",
         wc.count(&InputPartition::Numeric(NumericPartition::Zero)) > 0,
@@ -192,8 +234,14 @@ fn fig2(reports: &SuiteReports) {
             xfs_beats_cm = false;
         }
     }
-    let cm_rdonly = cm.iter().find(|(f, _)| *f == "O_RDONLY").map_or(0, |(_, c)| *c);
-    let xfs_rdonly = xfs.iter().find(|(f, _)| *f == "O_RDONLY").map_or(0, |(_, c)| *c);
+    let cm_rdonly = cm
+        .iter()
+        .find(|(f, _)| *f == "O_RDONLY")
+        .map_or(0, |(_, c)| *c);
+    let xfs_rdonly = xfs
+        .iter()
+        .find(|(f, _)| *f == "O_RDONLY")
+        .map_or(0, |(_, c)| *c);
     println!("(paper anchors: O_RDONLY 7,924 CrashMonkey / 4,099,770 xfstests at full scale)");
     check("xfstests >= CrashMonkey on every flag", xfs_beats_cm);
     check(
@@ -202,7 +250,9 @@ fn fig2(reports: &SuiteReports) {
     );
     check(
         "some flags untested by both suites",
-        cm.iter().zip(&xfs).any(|((_, c), (_, x))| *c == 0 && *x == 0),
+        cm.iter()
+            .zip(&xfs)
+            .any(|((_, c), (_, x))| *c == 0 && *x == 0),
     );
     println!();
 }
@@ -210,7 +260,10 @@ fn fig2(reports: &SuiteReports) {
 /// Table 1: percentage of opens combining 1–6 flags.
 fn table1(reports: &SuiteReports) {
     println!("== Table 1: open flag combination sizes (% of opens) ==");
-    println!("{:<28} {:>6} {:>6} {:>6} {:>6} {:>6} {:>6}", "suite / #flags", 1, 2, 3, 4, 5, 6);
+    println!(
+        "{:<28} {:>6} {:>6} {:>6} {:>6} {:>6} {:>6}",
+        "suite / #flags", 1, 2, 3, 4, 5, 6
+    );
     let rows = [
         ("CrashMonkey: all flags", &reports.crashmonkey, false),
         ("CrashMonkey: O_RDONLY", &reports.crashmonkey, true),
@@ -221,7 +274,10 @@ fn table1(reports: &SuiteReports) {
         let pct = report.open_combos.percentages(restricted);
         print!("{label:<28}");
         for size in 1..=6 {
-            let value = pct.iter().find(|(s, _)| *s == size).map_or(0.0, |(_, p)| *p);
+            let value = pct
+                .iter()
+                .find(|(s, _)| *s == size)
+                .map_or(0.0, |(_, p)| *p);
             print!(" {value:>6.1}");
         }
         println!();
@@ -238,8 +294,10 @@ fn table1(reports: &SuiteReports) {
         pct.sort_by(|a, b| b.1.total_cmp(&a.1));
         pct.get(1).map_or(0, |(s, _)| *s)
     };
-    check("modal combination size is 4 for both suites",
-        modal(&reports.crashmonkey) == 4 && modal(&reports.xfstests) == 4);
+    check(
+        "modal combination size is 4 for both suites",
+        modal(&reports.crashmonkey) == 4 && modal(&reports.xfstests) == 4,
+    );
     check(
         "second-most frequent: 3 flags for CrashMonkey, 2 for xfstests",
         second(&reports.crashmonkey) == 3 && second(&reports.xfstests) == 2,
@@ -261,7 +319,12 @@ fn fig3(reports: &SuiteReports) {
     let mut xfs_beats_cm = true;
     let mut beyond_28 = false;
     let zero = InputPartition::Numeric(NumericPartition::Zero);
-    println!("{:<10} {:>14} {:>14}", "=0", cm.count(&zero), xfs.count(&zero));
+    println!(
+        "{:<10} {:>14} {:>14}",
+        "=0",
+        cm.count(&zero),
+        xfs.count(&zero)
+    );
     for k in 0..=32u32 {
         let p = InputPartition::Numeric(NumericPartition::Log2(k));
         let (c, x) = (cm.count(&p), xfs.count(&p));
@@ -276,8 +339,10 @@ fn fig3(reports: &SuiteReports) {
     println!("(paper: max observed write is 258 MiB, in the 2^28 bucket)");
     check("xfstests >= CrashMonkey in every bucket", xfs_beats_cm);
     check("nothing above the 2^28 bucket", !beyond_28);
-    check("xfstests exercises the '=0' boundary, CrashMonkey does not",
-        xfs.count(&zero) > 0 && cm.count(&zero) == 0);
+    check(
+        "xfstests exercises the '=0' boundary, CrashMonkey does not",
+        xfs.count(&zero) > 0 && cm.count(&zero) == 0,
+    );
     println!();
 }
 
@@ -287,7 +352,12 @@ fn fig4(reports: &SuiteReports) {
     println!("{:<16} {:>12} {:>12}", "output", "CrashMonkey", "xfstests");
     let cm = reports.crashmonkey.output_coverage(BaseSyscall::Open);
     let xfs = reports.xfstests.output_coverage(BaseSyscall::Open);
-    println!("{:<16} {:>12} {:>12}", "OK", cm.successes(), xfs.successes());
+    println!(
+        "{:<16} {:>12} {:>12}",
+        "OK",
+        cm.successes(),
+        xfs.successes()
+    );
     let mut cm_covered = 0usize;
     let mut xfs_covered = 0usize;
     let mut untested_by_both = 0usize;
@@ -298,12 +368,18 @@ fn fig4(reports: &SuiteReports) {
         xfs_covered += usize::from(x > 0);
         untested_by_both += usize::from(c == 0 && x == 0);
     }
-    check("xfstests covers more error codes than CrashMonkey", xfs_covered > cm_covered);
+    check(
+        "xfstests covers more error codes than CrashMonkey",
+        xfs_covered > cm_covered,
+    );
     check(
         "ENOTDIR is the one errno CrashMonkey beats xfstests on",
         cm.errno_count("ENOTDIR") > xfs.errno_count("ENOTDIR"),
     );
-    check("many error codes remain untested by both", untested_by_both >= 3);
+    check(
+        "many error codes remain untested by both",
+        untested_by_both >= 3,
+    );
     println!();
 }
 
@@ -364,14 +440,25 @@ fn bugstudy() {
     println!("== Section 2: real-world bug study ==");
     let stats = StudyStats::compute(&dataset());
     println!("{stats}");
-    check("53% covered-but-missed (37/70)", stats.line_covered_missed == 37);
-    check("61% function-covered-but-missed (43/70)", stats.func_covered_missed == 43);
-    check("29% branch-covered-but-missed (20/70)", stats.branch_covered_missed == 20);
+    check(
+        "53% covered-but-missed (37/70)",
+        stats.line_covered_missed == 37,
+    );
+    check(
+        "61% function-covered-but-missed (43/70)",
+        stats.func_covered_missed == 43,
+    );
+    check(
+        "29% branch-covered-but-missed (20/70)",
+        stats.branch_covered_missed == 20,
+    );
     check("71% input bugs (50/70)", stats.input_bugs == 50);
     check("59% output bugs (41/70)", stats.output_bugs == 41);
     check("81% input-or-output (57/70)", stats.input_or_output == 57);
-    check("65% of covered-missed are argument-triggered (24/37)",
-        stats.covered_missed_arg_triggered == 24);
+    check(
+        "65% of covered-missed are argument-triggered (24/37)",
+        stats.covered_missed_arg_triggered == 24,
+    );
 
     // Live demonstration: a suite covers the buggy function on every call
     // yet only the boundary input trips the injected bug.
@@ -384,9 +471,13 @@ fn bugstudy() {
     let mut kernel = Kernel::new();
     kernel
         .vfs_mut()
-        .set_coverage(iocov_codecov::CoverageHandle::enabled(Arc::clone(&registry)));
+        .set_coverage(iocov_codecov::CoverageHandle::enabled(Arc::clone(
+            &registry,
+        )));
     let bugs = demo_bugs().into_hook();
-    kernel.vfs_mut().set_fault_hook(Arc::clone(&bugs) as iocov_vfs::SharedHook);
+    kernel
+        .vfs_mut()
+        .set_fault_hook(Arc::clone(&bugs) as iocov_vfs::SharedHook);
     let fd = kernel.open("/f", 0o101, 0o644);
     assert!(fd >= 0, "create works");
     let fd = fd as i32;
@@ -405,7 +496,10 @@ fn bugstudy() {
     let ret = kernel.write_fill(fd, 0, 128 * 1024);
     println!("write of exactly 128 KiB returned {ret} (truth: 131072 bytes were written)");
     check("code was covered before the bug fired", write_hits >= 4);
-    check("boundary input produces a wrong output", ret == 128 * 1024 - 1);
+    check(
+        "boundary input produces a wrong output",
+        ret == 128 * 1024 - 1,
+    );
     println!();
 }
 
@@ -420,7 +514,10 @@ fn difftest() {
         clean.mismatches.len(),
         clean.untested_write_buckets
     );
-    check("clean VFS agrees with the specification", clean.mismatches.is_empty());
+    check(
+        "clean VFS agrees with the specification",
+        clean.mismatches.is_empty(),
+    );
 
     // Bugs whose triggers lie inside the generator's op space: a
     // boundary-size output bug and an errno-corrupting truncate bug.
@@ -430,13 +527,19 @@ fn difftest() {
         InjectedBug::new(
             "short-write-32k",
             "writes of >= 32 KiB report one byte fewer",
-            BugTrigger::SizeAtLeast { op: "write", size: 32 * 1024 },
+            BugTrigger::SizeAtLeast {
+                op: "write",
+                size: 32 * 1024,
+            },
             FaultAction::OverrideReturn(32 * 1024 - 1),
         ),
         InjectedBug::new(
             "truncate-eio",
             "truncate past 8 KiB fails EIO",
-            BugTrigger::SizeAtLeast { op: "truncate", size: 8192 },
+            BugTrigger::SizeAtLeast {
+                op: "truncate",
+                size: 8192,
+            },
             FaultAction::FailWith(Errno::EIO),
         ),
     ]);
@@ -451,8 +554,14 @@ fn difftest() {
         mismatch_summary(&buggy)
     );
     for m in buggy.mismatches.iter().take(3) {
-        println!("  e.g. {} → vfs {} vs model {}", m.op, m.vfs_ret, m.model_ret);
+        println!(
+            "  e.g. {} → vfs {} vs model {}",
+            m.op, m.vfs_ret, m.model_ret
+        );
     }
-    check("differential testing finds the injected bugs", buggy.found_bugs());
+    check(
+        "differential testing finds the injected bugs",
+        buggy.found_bugs(),
+    );
     println!();
 }

@@ -7,7 +7,10 @@
 //! full paper-scale run (millions of events) stays within bounded
 //! memory, and returns the merged [`AnalysisReport`] per suite.
 
-use iocov::{AnalysisReport, ArgName, Iocov, InputPartition, StreamingAnalyzer, TraceFilter};
+use iocov::{
+    AnalysisReport, ArgName, InputPartition, ParallelAnalyzer, ParallelStreamingAnalyzer,
+    TraceFilter,
+};
 use iocov_workloads::{CrashMonkeySim, SuiteResult, TestEnv, XfstestsSim, MOUNT};
 
 /// Chunk size (in xfstests tests) between recorder drains.
@@ -30,22 +33,29 @@ pub struct SuiteReports {
 /// standard mount-point filter.
 #[must_use]
 pub fn run_suites(seed: u64, scale: f64) -> SuiteReports {
-    let iocov = Iocov::with_mount_point(MOUNT).expect("static mount pattern compiles");
+    run_suites_parallel(seed, scale, 1)
+}
+
+/// Runs both suites at `scale`, analyzing their traces with `jobs`
+/// pid-sharded worker threads. The reports are identical to
+/// [`run_suites`] for any `jobs` — sharding is by pid, and all filter
+/// state is per-pid.
+#[must_use]
+pub fn run_suites_parallel(seed: u64, scale: f64, jobs: usize) -> SuiteReports {
+    let filter = TraceFilter::mount_point(MOUNT).expect("static mount pattern compiles");
 
     // CrashMonkey: small; single pass.
     let cm_env = TestEnv::new();
     let cm_sim = CrashMonkeySim::new(seed, scale);
     let crashmonkey_result = cm_sim.run(&cm_env);
-    let crashmonkey = iocov.analyze(&cm_env.take_trace());
+    let crashmonkey = ParallelAnalyzer::new(filter.clone(), jobs).analyze(&cm_env.take_trace());
 
     // xfstests: streamed so memory stays bounded at paper scale, with
-    // the filter's descriptor-provenance state preserved across chunks.
+    // each shard's descriptor-provenance state preserved across chunks.
     let xfs_env = TestEnv::new();
     let xfs_sim = XfstestsSim::new(seed, scale);
     let mut kernel = xfs_env.fresh_kernel();
-    let mut streaming = StreamingAnalyzer::new(
-        TraceFilter::mount_point(MOUNT).expect("static mount pattern compiles"),
-    );
+    let mut sharded = ParallelStreamingAnalyzer::new(filter, jobs);
     let mut xfstests_result = SuiteResult::new("xfstests");
     let total = xfs_sim.total_tests();
     let mut start = 0;
@@ -53,10 +63,10 @@ pub fn run_suites(seed: u64, scale: f64) -> SuiteReports {
         let end = (start + CHUNK).min(total);
         let chunk_result = xfs_sim.run_range(&mut kernel, start..end);
         xfstests_result.merge(chunk_result);
-        streaming.push_all(xfs_env.take_trace().events());
+        sharded.push_all(xfs_env.take_trace().events());
         start = end;
     }
-    let xfstests = streaming.finish();
+    let xfstests = sharded.finish();
 
     SuiteReports {
         crashmonkey,
@@ -106,9 +116,58 @@ pub fn sample_trace(events: usize) -> iocov_trace::Trace {
     env.take_trace()
 }
 
+/// A deterministic multi-process trace for the parallel-analysis
+/// benchmarks: `pids` independent tester processes (as a parallel
+/// `check`-style harness would spawn), interleaved round-robin, at least
+/// `events` syscalls in total.
+#[must_use]
+pub fn multi_pid_trace(events: usize, pids: u32) -> iocov_trace::Trace {
+    let pids = pids.max(1);
+    let per_pid = events / pids as usize + 1;
+    let streams: Vec<Vec<iocov_trace::TraceEvent>> = (0..pids)
+        .map(|p| {
+            let mut stream = sample_trace(per_pid).into_events();
+            for event in &mut stream {
+                event.pid = p + 1;
+            }
+            stream
+        })
+        .collect();
+    let mut merged = Vec::with_capacity(streams.iter().map(Vec::len).sum());
+    let longest = streams.iter().map(Vec::len).max().unwrap_or(0);
+    for i in 0..longest {
+        for stream in &streams {
+            if let Some(event) = stream.get(i) {
+                merged.push(event.clone());
+            }
+        }
+    }
+    iocov_trace::Trace::from_events(merged)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use iocov::Iocov;
+
+    #[test]
+    fn parallel_run_matches_serial_run() {
+        let serial = run_suites(9, 0.01);
+        let parallel = run_suites_parallel(9, 0.01, 4);
+        assert_eq!(serial.crashmonkey, parallel.crashmonkey);
+        assert_eq!(serial.xfstests, parallel.xfstests);
+    }
+
+    #[test]
+    fn multi_pid_trace_interleaves_processes() {
+        let trace = multi_pid_trace(400, 4);
+        assert!(trace.len() >= 400);
+        let pids: std::collections::BTreeSet<u32> = trace.iter().map(|e| e.pid).collect();
+        assert_eq!(pids.len(), 4);
+        // Round-robin interleave: the first events cycle through pids.
+        let head: Vec<u32> = trace.iter().take(4).map(|e| e.pid).collect();
+        assert_eq!(head, [1, 2, 3, 4]);
+    }
 
     #[test]
     fn run_suites_produces_both_reports() {

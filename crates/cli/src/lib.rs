@@ -5,7 +5,7 @@
 //! without spawning processes.
 //!
 //! ```text
-//! iocov analyze  <trace.jsonl> [--mount PATH] [--json]   coverage report
+//! iocov analyze  <trace.jsonl> [--mount PATH] [--json] [--jobs N]   coverage report
 //! iocov untested <trace.jsonl> [--mount PATH]            gap summary
 //! iocov combos   <trace.jsonl> [--mount PATH]            flag-combination coverage
 //! iocov tcd      <trace.jsonl> [--mount PATH] --target N TCD of open flags
@@ -17,7 +17,7 @@ use std::fs::File;
 use std::io::{BufReader, Write};
 
 use iocov::tcd::{deviation_ranking, tcd_uniform};
-use iocov::{ArgName, BaseSyscall, ComboCoverage, Iocov, IdentifierCoverage};
+use iocov::{ArgName, BaseSyscall, ComboCoverage, IdentifierCoverage, Iocov};
 use iocov_trace::Trace;
 
 /// A CLI-level error with a user-facing message.
@@ -49,6 +49,8 @@ pub enum Command {
         mount: Option<String>,
         /// Emit machine-readable JSON instead of text.
         json: bool,
+        /// Analysis worker threads (pid-sharded; 1 = serial).
+        jobs: usize,
     },
     /// Untested-partition summary.
     Untested {
@@ -106,6 +108,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
     let mut mount = None;
     let mut json = false;
     let mut target: Option<u64> = None;
+    let mut jobs: usize = 1;
     while let Some(arg) = iter.next() {
         match arg.as_str() {
             "--mount" => {
@@ -126,6 +129,16 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                         .map_err(|_| CliError(format!("bad --target value `{value}`")))?,
                 );
             }
+            "--jobs" => {
+                let value = iter
+                    .next()
+                    .ok_or_else(|| CliError("--jobs needs a worker count".into()))?;
+                jobs = value
+                    .parse()
+                    .ok()
+                    .filter(|&n| n >= 1)
+                    .ok_or_else(|| CliError(format!("bad --jobs value `{value}`")))?;
+            }
             other if other.starts_with("--") => {
                 return Err(CliError(format!("unknown flag `{other}`")));
             }
@@ -143,6 +156,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
             trace: need_trace(&positional)?,
             mount,
             json,
+            jobs,
         }),
         "untested" => Ok(Command::Untested {
             trace: need_trace(&positional)?,
@@ -182,7 +196,7 @@ pub const USAGE: &str = "\
 iocov — input/output coverage for file system testing
 
 USAGE:
-  iocov analyze  <trace.jsonl> [--mount PATH] [--json]
+  iocov analyze  <trace.jsonl> [--mount PATH] [--json] [--jobs N]
   iocov untested <trace.jsonl> [--mount PATH]
   iocov combos   <trace.jsonl> [--mount PATH]
   iocov tcd      <trace.jsonl> [--mount PATH] --target N
@@ -192,7 +206,8 @@ USAGE:
 Traces are JSON Lines of syscall events, as written by
 iocov_trace::write_jsonl (or produced from Syzkaller logs with
 `convert-syz`). --mount filters to the tester's mount point, e.g.
---mount /mnt/test.";
+--mount /mnt/test. --jobs shards analysis by pid across N worker
+threads; the report is identical to a serial run.";
 
 fn load_trace(path: &str) -> Result<Trace, CliError> {
     let file = File::open(path).map_err(|e| CliError(format!("cannot open {path}: {e}")))?;
@@ -202,8 +217,9 @@ fn load_trace(path: &str) -> Result<Trace, CliError> {
 
 fn make_iocov(mount: Option<&str>) -> Result<Iocov, CliError> {
     match mount {
-        Some(mount) => Iocov::with_mount_point(mount)
-            .map_err(|e| CliError(format!("bad mount pattern: {e}"))),
+        Some(mount) => {
+            Iocov::with_mount_point(mount).map_err(|e| CliError(format!("bad mount pattern: {e}")))
+        }
         None => Ok(Iocov::new()),
     }
 }
@@ -229,9 +245,23 @@ fn filtered_trace(trace: &Trace, mount: Option<&str>) -> Result<Trace, CliError>
 pub fn run<W: Write>(command: &Command, out: &mut W) -> Result<(), CliError> {
     match command {
         Command::Help => writeln!(out, "{USAGE}")?,
-        Command::Analyze { trace, mount, json } => {
+        Command::Analyze {
+            trace,
+            mount,
+            json,
+            jobs,
+        } => {
             let trace = load_trace(trace)?;
-            let report = make_iocov(mount.as_deref())?.analyze(&trace);
+            let report = if *jobs > 1 {
+                let filter = match mount.as_deref() {
+                    Some(mount) => iocov::TraceFilter::mount_point(mount)
+                        .map_err(|e| CliError(format!("bad mount pattern: {e}")))?,
+                    None => iocov::TraceFilter::keep_all(),
+                };
+                iocov::ParallelAnalyzer::new(filter, *jobs).analyze(&trace)
+            } else {
+                make_iocov(mount.as_deref())?.analyze(&trace)
+            };
             if *json {
                 let text = serde_json::to_string_pretty(&report)
                     .map_err(|e| CliError(format!("serialization failed: {e}")))?;
@@ -265,8 +295,11 @@ pub fn run<W: Write>(command: &Command, out: &mut W) -> Result<(), CliError> {
             // Identifier coverage (future-work metric) rides along.
             let ids = IdentifierCoverage::from_trace(&filtered_trace(&trace, mount.as_deref())?);
             let fd_gaps: Vec<String> = ids.untested_fd().iter().map(ToString::to_string).collect();
-            let path_gaps: Vec<String> =
-                ids.untested_path().iter().map(ToString::to_string).collect();
+            let path_gaps: Vec<String> = ids
+                .untested_path()
+                .iter()
+                .map(ToString::to_string)
+                .collect();
             writeln!(out, "identifier gaps: fd {{{}}}", fd_gaps.join(", "))?;
             writeln!(out, "identifier gaps: path {{{}}}", path_gaps.join(", "))?;
         }
@@ -402,11 +435,28 @@ mod tests {
         assert_eq!(parse_args(&[]).unwrap(), Command::Help);
         assert_eq!(parse_args(&args(&["help"])).unwrap(), Command::Help);
         assert_eq!(
-            parse_args(&args(&["analyze", "t.jsonl", "--mount", "/mnt/test", "--json"])).unwrap(),
+            parse_args(&args(&[
+                "analyze",
+                "t.jsonl",
+                "--mount",
+                "/mnt/test",
+                "--json"
+            ]))
+            .unwrap(),
             Command::Analyze {
                 trace: "t.jsonl".into(),
                 mount: Some("/mnt/test".into()),
-                json: true
+                json: true,
+                jobs: 1
+            }
+        );
+        assert_eq!(
+            parse_args(&args(&["analyze", "t.jsonl", "--jobs", "4"])).unwrap(),
+            Command::Analyze {
+                trace: "t.jsonl".into(),
+                mount: None,
+                json: false,
+                jobs: 4
             }
         );
         assert_eq!(
@@ -424,9 +474,15 @@ mod tests {
         assert!(parse_args(&args(&["bogus"])).is_err());
         assert!(parse_args(&args(&["analyze"])).is_err());
         assert!(parse_args(&args(&["analyze", "t", "--mount"])).is_err());
-        assert!(parse_args(&args(&["tcd", "t"])).is_err(), "tcd needs --target");
+        assert!(
+            parse_args(&args(&["tcd", "t"])).is_err(),
+            "tcd needs --target"
+        );
         assert!(parse_args(&args(&["tcd", "t", "--target", "abc"])).is_err());
         assert!(parse_args(&args(&["analyze", "t", "--nope"])).is_err());
+        assert!(parse_args(&args(&["analyze", "t", "--jobs"])).is_err());
+        assert!(parse_args(&args(&["analyze", "t", "--jobs", "0"])).is_err());
+        assert!(parse_args(&args(&["analyze", "t", "--jobs", "x"])).is_err());
     }
 
     #[test]
@@ -449,6 +505,40 @@ mod tests {
         run(&cmd, &mut out).unwrap();
         let report: iocov::AnalysisReport = serde_json::from_slice(&out).unwrap();
         assert!(report.total_calls() > 0);
+    }
+
+    #[test]
+    fn analyze_with_jobs_matches_serial_byte_for_byte() {
+        let file = sample_trace_file();
+        let mut serial = Vec::new();
+        run(
+            &parse_args(&args(&[
+                "analyze",
+                &file.path,
+                "--mount",
+                "/mnt/test",
+                "--json",
+            ]))
+            .unwrap(),
+            &mut serial,
+        )
+        .unwrap();
+        let mut parallel = Vec::new();
+        run(
+            &parse_args(&args(&[
+                "analyze",
+                &file.path,
+                "--mount",
+                "/mnt/test",
+                "--json",
+                "--jobs",
+                "4",
+            ]))
+            .unwrap(),
+            &mut parallel,
+        )
+        .unwrap();
+        assert_eq!(serial, parallel);
     }
 
     #[test]
@@ -523,12 +613,7 @@ mod diff_tests {
     fn diff_command_reports_one_sided_coverage() {
         let a = trace_file(0o1, "a"); // O_WRONLY|O_CREAT
         let b = trace_file(0o2002, "b"); // O_RDWR|O_APPEND|O_CREAT
-        let cmd = parse_args(&[
-            "diff".to_owned(),
-            a.clone(),
-            b.clone(),
-        ])
-        .unwrap();
+        let cmd = parse_args(&["diff".to_owned(), a.clone(), b.clone()]).unwrap();
         let mut out = Vec::new();
         run(&cmd, &mut out).unwrap();
         let text = String::from_utf8(out).unwrap();

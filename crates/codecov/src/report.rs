@@ -49,9 +49,7 @@ impl From<Snapshot> for Vec<SnapshotEntry> {
 
 impl Snapshot {
     /// Builds a snapshot from raw `(key, count)` pairs.
-    pub(crate) fn from_counts(
-        iter: impl IntoIterator<Item = ((ProbeKind, String), u64)>,
-    ) -> Self {
+    pub(crate) fn from_counts(iter: impl IntoIterator<Item = ((ProbeKind, String), u64)>) -> Self {
         Snapshot {
             counts: iter.into_iter().collect(),
         }

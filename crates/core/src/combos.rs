@@ -41,7 +41,9 @@ mod entries {
         K: Deserialize<'de> + Ord,
         D: Deserializer<'de>,
     {
-        Ok(Vec::<(K, u64)>::deserialize(deserializer)?.into_iter().collect())
+        Ok(Vec::<(K, u64)>::deserialize(deserializer)?
+            .into_iter()
+            .collect())
     }
 }
 
@@ -152,7 +154,10 @@ impl ComboCoverage {
         if domain.is_empty() {
             return 1.0;
         }
-        let tested = domain.iter().filter(|p| self.pairs.contains_key(*p)).count();
+        let tested = domain
+            .iter()
+            .filter(|p| self.pairs.contains_key(*p))
+            .count();
         tested as f64 / domain.len() as f64
     }
 
@@ -185,7 +190,11 @@ mod tests {
         TraceEvent::build(
             "open",
             2,
-            vec![ArgValue::Path("/f".into()), ArgValue::Flags(flags), ArgValue::Mode(0)],
+            vec![
+                ArgValue::Path("/f".into()),
+                ArgValue::Flags(flags),
+                ArgValue::Mode(0),
+            ],
             3,
         )
     }
@@ -254,7 +263,9 @@ mod tests {
         let cov = ComboCoverage::from_trace(&trace);
         assert_eq!(cov.calls, 2, "open + creat, not write");
         // creat implies O_WRONLY|O_CREAT|O_TRUNC.
-        assert!(cov.pairs.contains_key(&("O_CREAT".into(), "O_TRUNC".into())));
+        assert!(cov
+            .pairs
+            .contains_key(&("O_CREAT".into(), "O_TRUNC".into())));
     }
 
     #[test]

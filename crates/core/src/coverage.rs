@@ -331,7 +331,10 @@ pub(crate) fn accumulate(report: &mut AnalysisReport, event: &iocov_trace::Trace
     // Output partition.
     let bucket_bytes = output_buckets_bytes(call.base);
     let partition = OutputPartition::of(call.retval, bucket_bytes);
-    let cov = report.output.entry(call.base.name().to_owned()).or_default();
+    let cov = report
+        .output
+        .entry(call.base.name().to_owned())
+        .or_default();
     cov.calls += 1;
     *cov.counts.entry(partition).or_insert(0) += 1;
 }
@@ -349,7 +352,11 @@ mod tests {
     fn open_ev(path: &str, flags: u32, retval: i64) -> TraceEvent {
         ev(
             "open",
-            vec![ArgValue::Path(path.into()), ArgValue::Flags(flags), ArgValue::Mode(0o644)],
+            vec![
+                ArgValue::Path(path.into()),
+                ArgValue::Flags(flags),
+                ArgValue::Mode(0o644),
+            ],
             retval,
         )
     }
@@ -366,8 +373,8 @@ mod tests {
     fn input_coverage_counts_flag_partitions() {
         let analyzer = Analyzer::unfiltered();
         let trace = Trace::from_events(vec![
-            open_ev("/f", 0, 3),           // O_RDONLY
-            open_ev("/f", 0o101, 4),       // O_WRONLY|O_CREAT
+            open_ev("/f", 0, 3),     // O_RDONLY
+            open_ev("/f", 0o101, 4), // O_WRONLY|O_CREAT
             open_ev("/f", 0o101, 5),
         ]);
         let report = analyzer.analyze(&trace);
@@ -377,7 +384,9 @@ mod tests {
         assert_eq!(cov.count(&InputPartition::Flag("O_CREAT".into())), 2);
         assert_eq!(cov.count(&InputPartition::Flag("O_EXCL".into())), 0);
         assert_eq!(cov.calls, 3);
-        assert!(cov.untested(ArgName::OpenFlags).contains(&InputPartition::Flag("O_TMPFILE".into())));
+        assert!(cov
+            .untested(ArgName::OpenFlags)
+            .contains(&InputPartition::Flag("O_TMPFILE".into())));
     }
 
     #[test]
@@ -391,9 +400,18 @@ mod tests {
         ]);
         let report = analyzer.analyze(&trace);
         let cov = report.input_coverage(ArgName::WriteCount);
-        assert_eq!(cov.count(&InputPartition::Numeric(NumericPartition::Zero)), 1);
-        assert_eq!(cov.count(&InputPartition::Numeric(NumericPartition::Log2(0))), 1);
-        assert_eq!(cov.count(&InputPartition::Numeric(NumericPartition::Log2(12))), 2);
+        assert_eq!(
+            cov.count(&InputPartition::Numeric(NumericPartition::Zero)),
+            1
+        );
+        assert_eq!(
+            cov.count(&InputPartition::Numeric(NumericPartition::Log2(0))),
+            1
+        );
+        assert_eq!(
+            cov.count(&InputPartition::Numeric(NumericPartition::Log2(12))),
+            2
+        );
         let frac = cov.coverage_fraction(ArgName::WriteCount);
         assert!(frac > 0.0 && frac < 0.2);
     }
@@ -414,7 +432,9 @@ mod tests {
         assert_eq!(open_cov.errors(), 2);
         assert_eq!(open_cov.errno_count("ENOENT"), 1);
         assert_eq!(open_cov.errno_count("EISDIR"), 1);
-        assert!(open_cov.untested_errnos(BaseSyscall::Open).contains(&"ENOSPC"));
+        assert!(open_cov
+            .untested_errnos(BaseSyscall::Open)
+            .contains(&"ENOSPC"));
 
         let write_cov = report.output_coverage(BaseSyscall::Write);
         assert_eq!(
@@ -439,7 +459,11 @@ mod tests {
                 ],
                 4,
             ),
-            ev("creat", vec![ArgValue::Path("/c".into()), ArgValue::Mode(0o644)], 5),
+            ev(
+                "creat",
+                vec![ArgValue::Path("/c".into()), ArgValue::Mode(0o644)],
+                5,
+            ),
         ]);
         let report = analyzer.analyze(&trace);
         assert_eq!(report.output_coverage(BaseSyscall::Open).calls, 3);
@@ -456,10 +480,10 @@ mod tests {
     fn combo_histogram_matches_table1_semantics() {
         let analyzer = Analyzer::unfiltered();
         let trace = Trace::from_events(vec![
-            open_ev("/a", 0, 3),                       // [O_RDONLY] → 1 flag
-            open_ev("/b", 0o100, 4),                   // [O_RDONLY, O_CREAT] → 2
-            open_ev("/c", 0o1101, 5),                  // [O_WRONLY, O_CREAT, O_TRUNC] → 3
-            open_ev("/d", 0o102, 6),                   // [O_RDWR, O_CREAT] → 2
+            open_ev("/a", 0, 3),      // [O_RDONLY] → 1 flag
+            open_ev("/b", 0o100, 4),  // [O_RDONLY, O_CREAT] → 2
+            open_ev("/c", 0o1101, 5), // [O_WRONLY, O_CREAT, O_TRUNC] → 3
+            open_ev("/d", 0o102, 6),  // [O_RDWR, O_CREAT] → 2
         ]);
         let report = analyzer.analyze(&trace);
         let combos = &report.open_combos;
@@ -492,7 +516,11 @@ mod tests {
     fn noise_syscalls_do_not_pollute_the_report() {
         let analyzer = Analyzer::unfiltered();
         let trace = Trace::from_events(vec![
-            ev("stat", vec![ArgValue::Path("/f".into()), ArgValue::Ptr(1)], 0),
+            ev(
+                "stat",
+                vec![ArgValue::Path("/f".into()), ArgValue::Ptr(1)],
+                0,
+            ),
             ev("fsync", vec![ArgValue::Fd(3)], 0),
             open_ev("/f", 0, 3),
         ]);
@@ -504,14 +532,22 @@ mod tests {
     #[test]
     fn merge_accumulates_reports() {
         let analyzer = Analyzer::unfiltered();
-        let a = analyzer.analyze(&Trace::from_events(vec![open_ev("/a", 0, 3), write_ev(8, 8)]));
+        let a = analyzer.analyze(&Trace::from_events(vec![
+            open_ev("/a", 0, 3),
+            write_ev(8, 8),
+        ]));
         let b = analyzer.analyze(&Trace::from_events(vec![open_ev("/b", 0, -2)]));
         let mut merged = a.clone();
         merged.merge(&b);
         assert_eq!(merged.total_calls(), 3);
         let cov = merged.input_coverage(ArgName::OpenFlags);
         assert_eq!(cov.count(&InputPartition::Flag("O_RDONLY".into())), 2);
-        assert_eq!(merged.output_coverage(BaseSyscall::Open).errno_count("ENOENT"), 1);
+        assert_eq!(
+            merged
+                .output_coverage(BaseSyscall::Open)
+                .errno_count("ENOENT"),
+            1
+        );
         assert_eq!(merged.open_combos.sizes[&1], 2);
     }
 

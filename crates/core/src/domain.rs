@@ -128,9 +128,9 @@ pub fn open_flags_present(bits: u32) -> Vec<&'static str> {
 pub fn arg_domain(arg: ArgName) -> ArgDomain {
     let kind = match arg {
         ArgName::OpenFlags => DomainKind::OpenFlags,
-        ArgName::OpenMode | ArgName::MkdirMode | ArgName::ChmodMode => DomainKind::Bitmap {
-            flags: &MODE_BITS,
-        },
+        ArgName::OpenMode | ArgName::MkdirMode | ArgName::ChmodMode => {
+            DomainKind::Bitmap { flags: &MODE_BITS }
+        }
         ArgName::SetxattrFlags => DomainKind::Bitmap {
             flags: &XATTR_FLAG_BITS,
         },
@@ -227,7 +227,9 @@ impl ArgDomain {
                     .collect()
             }
             DomainKind::Numeric { .. } => {
-                vec![InputPartition::Numeric(NumericPartition::of(value.as_i128()))]
+                vec![InputPartition::Numeric(NumericPartition::of(
+                    value.as_i128(),
+                ))]
             }
             DomainKind::Categorical { values } => {
                 let v = value.as_i128();
@@ -247,44 +249,132 @@ impl ArgDomain {
 pub fn output_errnos(base: BaseSyscall) -> &'static [&'static str] {
     match base {
         BaseSyscall::Open => &[
-            "EACCES", "EAGAIN", "EBADF", "EBUSY", "EDQUOT", "EEXIST", "EFAULT", "EFBIG",
-            "EINTR", "EINVAL", "EISDIR", "ELOOP", "EMFILE", "ENAMETOOLONG", "ENFILE",
-            "ENODEV", "ENOENT", "ENOMEM", "ENOSPC", "ENOTDIR", "ENXIO", "EOVERFLOW",
-            "EPERM", "EROFS", "ETXTBSY", "EXDEV", "E2BIG",
+            "EACCES",
+            "EAGAIN",
+            "EBADF",
+            "EBUSY",
+            "EDQUOT",
+            "EEXIST",
+            "EFAULT",
+            "EFBIG",
+            "EINTR",
+            "EINVAL",
+            "EISDIR",
+            "ELOOP",
+            "EMFILE",
+            "ENAMETOOLONG",
+            "ENFILE",
+            "ENODEV",
+            "ENOENT",
+            "ENOMEM",
+            "ENOSPC",
+            "ENOTDIR",
+            "ENXIO",
+            "EOVERFLOW",
+            "EPERM",
+            "EROFS",
+            "ETXTBSY",
+            "EXDEV",
+            "E2BIG",
         ],
         BaseSyscall::Read => &[
             "EAGAIN", "EBADF", "EFAULT", "EINTR", "EINVAL", "EIO", "EISDIR", "ESPIPE",
         ],
         BaseSyscall::Write => &[
-            "EAGAIN", "EBADF", "EDQUOT", "EFAULT", "EFBIG", "EINTR", "EINVAL", "EIO",
-            "ENOSPC", "EPERM", "EROFS", "ESPIPE",
+            "EAGAIN", "EBADF", "EDQUOT", "EFAULT", "EFBIG", "EINTR", "EINVAL", "EIO", "ENOSPC",
+            "EPERM", "EROFS", "ESPIPE",
         ],
         BaseSyscall::Lseek => &["EBADF", "EINVAL", "ENXIO", "EOVERFLOW", "ESPIPE"],
         BaseSyscall::Truncate => &[
-            "EACCES", "EBADF", "EFAULT", "EFBIG", "EINTR", "EINVAL", "EIO", "EISDIR",
-            "ELOOP", "ENAMETOOLONG", "ENOENT", "ENOTDIR", "EPERM", "EROFS", "ETXTBSY",
+            "EACCES",
+            "EBADF",
+            "EFAULT",
+            "EFBIG",
+            "EINTR",
+            "EINVAL",
+            "EIO",
+            "EISDIR",
+            "ELOOP",
+            "ENAMETOOLONG",
+            "ENOENT",
+            "ENOTDIR",
+            "EPERM",
+            "EROFS",
+            "ETXTBSY",
         ],
         BaseSyscall::Mkdir => &[
-            "EACCES", "EBADF", "EDQUOT", "EEXIST", "EFAULT", "EINVAL", "ELOOP", "EMLINK",
-            "ENAMETOOLONG", "ENOENT", "ENOMEM", "ENOSPC", "ENOTDIR", "EPERM", "EROFS",
+            "EACCES",
+            "EBADF",
+            "EDQUOT",
+            "EEXIST",
+            "EFAULT",
+            "EINVAL",
+            "ELOOP",
+            "EMLINK",
+            "ENAMETOOLONG",
+            "ENOENT",
+            "ENOMEM",
+            "ENOSPC",
+            "ENOTDIR",
+            "EPERM",
+            "EROFS",
         ],
         BaseSyscall::Chmod => &[
-            "EACCES", "EBADF", "EFAULT", "EINVAL", "EIO", "ELOOP", "ENAMETOOLONG",
-            "ENOENT", "ENOMEM", "ENOTDIR", "EOPNOTSUPP", "EPERM", "EROFS",
+            "EACCES",
+            "EBADF",
+            "EFAULT",
+            "EINVAL",
+            "EIO",
+            "ELOOP",
+            "ENAMETOOLONG",
+            "ENOENT",
+            "ENOMEM",
+            "ENOTDIR",
+            "EOPNOTSUPP",
+            "EPERM",
+            "EROFS",
         ],
         BaseSyscall::Close => &["EBADF", "EDQUOT", "EINTR", "EIO", "ENOSPC"],
         BaseSyscall::Chdir => &[
-            "EACCES", "EBADF", "EFAULT", "EIO", "ELOOP", "ENAMETOOLONG", "ENOENT",
+            "EACCES",
+            "EBADF",
+            "EFAULT",
+            "EIO",
+            "ELOOP",
+            "ENAMETOOLONG",
+            "ENOENT",
             "ENOTDIR",
         ],
         BaseSyscall::Setxattr => &[
-            "EACCES", "EBADF", "EDQUOT", "EEXIST", "EFAULT", "EINVAL", "ELOOP",
-            "ENAMETOOLONG", "ENODATA", "ENOENT", "ENOSPC", "ENOTDIR", "EOPNOTSUPP",
-            "EPERM", "ERANGE", "EROFS", "E2BIG",
+            "EACCES",
+            "EBADF",
+            "EDQUOT",
+            "EEXIST",
+            "EFAULT",
+            "EINVAL",
+            "ELOOP",
+            "ENAMETOOLONG",
+            "ENODATA",
+            "ENOENT",
+            "ENOSPC",
+            "ENOTDIR",
+            "EOPNOTSUPP",
+            "EPERM",
+            "ERANGE",
+            "EROFS",
+            "E2BIG",
         ],
         BaseSyscall::Getxattr => &[
-            "EACCES", "EBADF", "EFAULT", "ELOOP", "ENAMETOOLONG", "ENODATA", "ENOENT",
-            "ENOTDIR", "EOPNOTSUPP", "ERANGE",
+            "EACCES",
+            "EBADF",
+            "EFAULT",
+            "ELOOP",
+            "ENAMETOOLONG",
+            "ENODATA",
+            "ENOENT",
+            "ENOTDIR",
+            "EOPNOTSUPP",
+            "ERANGE",
         ],
     }
 }
@@ -318,9 +408,15 @@ mod tests {
         assert_eq!(open_flags_present(1), vec!["O_WRONLY"]);
         assert_eq!(open_flags_present(2), vec!["O_RDWR"]);
         let creat_wronly = 0o101;
-        assert_eq!(open_flags_present(creat_wronly), vec!["O_WRONLY", "O_CREAT"]);
+        assert_eq!(
+            open_flags_present(creat_wronly),
+            vec!["O_WRONLY", "O_CREAT"]
+        );
         let creat_rdonly = 0o100;
-        assert_eq!(open_flags_present(creat_rdonly), vec!["O_RDONLY", "O_CREAT"]);
+        assert_eq!(
+            open_flags_present(creat_rdonly),
+            vec!["O_RDONLY", "O_CREAT"]
+        );
     }
 
     #[test]
@@ -330,7 +426,10 @@ mod tests {
         assert!(present.contains(&"O_SYNC"));
         assert!(!present.contains(&"O_DSYNC"));
         let o_dsync_only = 0o10000;
-        assert_eq!(open_flags_present(o_dsync_only), vec!["O_RDONLY", "O_DSYNC"]);
+        assert_eq!(
+            open_flags_present(o_dsync_only),
+            vec!["O_RDONLY", "O_DSYNC"]
+        );
         let o_tmpfile = 0o20200000 | 2;
         let present = open_flags_present(o_tmpfile);
         assert!(present.contains(&"O_TMPFILE"));

@@ -8,14 +8,21 @@
 //! `write`, `close`, `f*` variants) have no pathname, so the filter
 //! tracks descriptor provenance: an `open` under the mount point makes
 //! its returned descriptor relevant, propagating relevance to later
-//! operations on that descriptor — including relative `openat` through
-//! relevant directory descriptors and `chdir` updates to cwd relevance.
+//! operations on that descriptor — including duplicates made by
+//! `dup`/`dup2`/`dup3`, relative `openat` through relevant directory
+//! descriptors, and `chdir` updates to cwd relevance. Two-path syscalls
+//! (`rename`, `link`, `symlink`, and their `*at` variants) are kept when
+//! *either* pathname is relevant, so renames into or out of the mount
+//! point are never dropped. The decision logic lives in the private
+//! `relevance` module, shared verbatim with the streaming analyzer.
 
 use std::collections::HashMap;
 
 use iocov_pattern::Pattern;
-use iocov_trace::{Trace, TraceEvent};
+use iocov_trace::Trace;
 use serde::{Deserialize, Serialize};
+
+use crate::relevance::{self, PidState};
 
 /// Statistics of one filtering pass.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
@@ -26,15 +33,6 @@ pub struct FilterStats {
     pub kept: usize,
     /// Events dropped as irrelevant to the mount point.
     pub dropped: usize,
-}
-
-/// Per-process relevance state while walking a trace.
-#[derive(Debug, Default)]
-struct PidState {
-    /// Descriptor → was it opened under the mount point?
-    fds: HashMap<i32, bool>,
-    /// Whether the process cwd is under the mount point.
-    cwd_relevant: bool,
 }
 
 /// A mount-point trace filter.
@@ -130,8 +128,8 @@ impl TraceFilter {
         let mut kept = Vec::new();
         for event in trace {
             let state = states.entry(event.pid).or_default();
-            let relevant = Self::event_relevant(self, state, event);
-            Self::update_state(state, event, relevant);
+            let relevant = relevance::event_relevant(self, state, event);
+            relevance::update_state(state, event, relevant);
             if relevant {
                 kept.push(event.clone());
             }
@@ -143,66 +141,12 @@ impl TraceFilter {
         };
         (Trace::from_events(kept), stats)
     }
-
-    /// Decides relevance of one event given per-pid state.
-    fn event_relevant(&self, state: &PidState, event: &TraceEvent) -> bool {
-        if let Some(path) = event.primary_path() {
-            if path.starts_with('/') {
-                return self.path_relevant(path);
-            }
-            // Relative path: relevance flows from the base directory.
-            return match event.args.first() {
-                Some(iocov_trace::ArgValue::Fd(dirfd)) => {
-                    if *dirfd == iocov_vfs_at_fdcwd() {
-                        state.cwd_relevant
-                    } else {
-                        state.fds.get(dirfd).copied().unwrap_or(false)
-                    }
-                }
-                // open/creat/chdir with a relative path resolve via cwd.
-                _ => state.cwd_relevant,
-            };
-        }
-        // No path: relevance flows from the descriptor argument.
-        match event.args.first() {
-            Some(iocov_trace::ArgValue::Fd(fd)) => state.fds.get(fd).copied().unwrap_or(false),
-            _ => false,
-        }
-    }
-
-    /// Propagates descriptor/cwd relevance after the event.
-    fn update_state(state: &mut PidState, event: &TraceEvent, relevant: bool) {
-        match event.name.as_str() {
-            "open" | "openat" | "creat" | "openat2" if event.retval >= 0 => {
-                state.fds.insert(event.retval as i32, relevant);
-            }
-            "close" if event.retval >= 0 => {
-                if let Some(iocov_trace::ArgValue::Fd(fd)) = event.args.first() {
-                    state.fds.remove(fd);
-                }
-            }
-            "chdir" if event.retval >= 0 => {
-                state.cwd_relevant = relevant;
-            }
-            "fchdir" if event.retval >= 0 => {
-                if let Some(iocov_trace::ArgValue::Fd(fd)) = event.args.first() {
-                    state.cwd_relevant = state.fds.get(fd).copied().unwrap_or(false);
-                }
-            }
-            _ => {}
-        }
-    }
-}
-
-/// `AT_FDCWD` without depending on the vfs crate directly.
-const fn iocov_vfs_at_fdcwd() -> i32 {
-    -100
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use iocov_trace::ArgValue;
+    use iocov_trace::{ArgValue, TraceEvent};
 
     fn ev(name: &str, args: Vec<ArgValue>, retval: i64) -> TraceEvent {
         TraceEvent::build(name, 0, args, retval)
@@ -211,7 +155,11 @@ mod tests {
     fn open_ev(path: &str, fd: i64) -> TraceEvent {
         ev(
             "open",
-            vec![ArgValue::Path(path.into()), ArgValue::Flags(0), ArgValue::Mode(0)],
+            vec![
+                ArgValue::Path(path.into()),
+                ArgValue::Flags(0),
+                ArgValue::Mode(0),
+            ],
             fd,
         )
     }
@@ -241,12 +189,22 @@ mod tests {
         let trace = Trace::from_events(vec![
             open_ev("/mnt/test/f", 3),
             open_ev("/etc/config", 4),
-            ev("mkdir", vec![ArgValue::Path("/mnt/test/d".into()), ArgValue::Mode(0o755)], 0),
-            ev("truncate", vec![ArgValue::Path("/tmp/x".into()), ArgValue::Int(0)], 0),
+            ev(
+                "mkdir",
+                vec![ArgValue::Path("/mnt/test/d".into()), ArgValue::Mode(0o755)],
+                0,
+            ),
+            ev(
+                "truncate",
+                vec![ArgValue::Path("/tmp/x".into()), ArgValue::Int(0)],
+                0,
+            ),
         ]);
         let (kept, stats) = filter.apply(&trace);
         assert_eq!(stats.kept, 2);
-        assert!(kept.iter().all(|e| e.primary_path().unwrap().starts_with("/mnt/test")));
+        assert!(kept
+            .iter()
+            .all(|e| e.primary_path().unwrap().starts_with("/mnt/test")));
     }
 
     #[test]
@@ -255,8 +213,16 @@ mod tests {
         let trace = Trace::from_events(vec![
             open_ev("/mnt/test/f", 3),
             open_ev("/etc/hosts", 4),
-            ev("write", vec![ArgValue::Fd(3), ArgValue::Ptr(1), ArgValue::UInt(10)], 10),
-            ev("read", vec![ArgValue::Fd(4), ArgValue::Ptr(1), ArgValue::UInt(10)], 10),
+            ev(
+                "write",
+                vec![ArgValue::Fd(3), ArgValue::Ptr(1), ArgValue::UInt(10)],
+                10,
+            ),
+            ev(
+                "read",
+                vec![ArgValue::Fd(4), ArgValue::Ptr(1), ArgValue::UInt(10)],
+                10,
+            ),
             ev("close", vec![ArgValue::Fd(3)], 0),
             ev("close", vec![ArgValue::Fd(4)], 0),
         ]);
@@ -273,7 +239,11 @@ mod tests {
             open_ev("/mnt/test/f", 3),
             ev("close", vec![ArgValue::Fd(3)], 0),
             open_ev("/etc/hosts", 3), // fd number reused for noise
-            ev("write", vec![ArgValue::Fd(3), ArgValue::Ptr(1), ArgValue::UInt(1)], 1),
+            ev(
+                "write",
+                vec![ArgValue::Fd(3), ArgValue::Ptr(1), ArgValue::UInt(1)],
+                1,
+            ),
         ]);
         let (kept, _) = filter.apply(&trace);
         let names: Vec<&str> = kept.iter().map(|e| e.name.as_str()).collect();
@@ -295,7 +265,11 @@ mod tests {
                 ],
                 6,
             ),
-            ev("write", vec![ArgValue::Fd(6), ArgValue::Ptr(1), ArgValue::UInt(2)], 2),
+            ev(
+                "write",
+                vec![ArgValue::Fd(6), ArgValue::Ptr(1), ArgValue::UInt(2)],
+                2,
+            ),
             open_ev("/home", 7),
             ev(
                 "openat",
@@ -307,10 +281,18 @@ mod tests {
                 ],
                 8,
             ),
-            ev("write", vec![ArgValue::Fd(8), ArgValue::Ptr(1), ArgValue::UInt(2)], 2),
+            ev(
+                "write",
+                vec![ArgValue::Fd(8), ArgValue::Ptr(1), ArgValue::UInt(2)],
+                2,
+            ),
         ]);
         let (kept, _) = filter.apply(&trace);
-        assert_eq!(kept.len(), 3, "mount-relative chain kept, /home chain dropped");
+        assert_eq!(
+            kept.len(),
+            3,
+            "mount-relative chain kept, /home chain dropped"
+        );
     }
 
     #[test]
@@ -372,15 +354,214 @@ mod tests {
     }
 
     #[test]
+    fn dup_inherits_fd_provenance() {
+        let filter = TraceFilter::mount_point("/mnt/test").unwrap();
+        let trace = Trace::from_events(vec![
+            open_ev("/mnt/test/f", 3),
+            ev("dup", vec![ArgValue::Fd(3)], 7),
+            ev(
+                "write",
+                vec![ArgValue::Fd(7), ArgValue::Ptr(1), ArgValue::UInt(4)],
+                4,
+            ),
+            open_ev("/etc/hosts", 8),
+            ev("dup", vec![ArgValue::Fd(8)], 9),
+            ev(
+                "write",
+                vec![ArgValue::Fd(9), ArgValue::Ptr(1), ArgValue::UInt(4)],
+                4,
+            ),
+        ]);
+        let (kept, stats) = filter.apply(&trace);
+        let names: Vec<&str> = kept.iter().map(|e| e.name.as_str()).collect();
+        assert_eq!(names, ["open", "dup", "write"]);
+        assert_eq!(stats.dropped, 3);
+    }
+
+    #[test]
+    fn dup2_write_via_duped_fd_is_attributed() {
+        // The acceptance scenario: open → dup2 → write via the duplicate.
+        let filter = TraceFilter::mount_point("/mnt/test").unwrap();
+        let trace = Trace::from_events(vec![
+            open_ev("/mnt/test/f", 3),
+            ev("dup2", vec![ArgValue::Fd(3), ArgValue::Fd(10)], 10),
+            ev(
+                "write",
+                vec![ArgValue::Fd(10), ArgValue::Ptr(1), ArgValue::UInt(8)],
+                8,
+            ),
+            ev("close", vec![ArgValue::Fd(3)], 0),
+            // The duplicate outlives the original's close.
+            ev(
+                "write",
+                vec![ArgValue::Fd(10), ArgValue::Ptr(1), ArgValue::UInt(8)],
+                8,
+            ),
+        ]);
+        let (kept, stats) = filter.apply(&trace);
+        assert_eq!(kept.len(), 5, "every event rides the duped provenance");
+        assert_eq!(stats.dropped, 0);
+    }
+
+    #[test]
+    fn dup2_overwrites_target_fd_provenance() {
+        let filter = TraceFilter::mount_point("/mnt/test").unwrap();
+        let trace = Trace::from_events(vec![
+            open_ev("/mnt/test/f", 3),
+            open_ev("/etc/hosts", 4),
+            // dup2 noise over the relevant number: 3 now aliases /etc/hosts.
+            ev("dup2", vec![ArgValue::Fd(4), ArgValue::Fd(3)], 3),
+            ev(
+                "write",
+                vec![ArgValue::Fd(3), ArgValue::Ptr(1), ArgValue::UInt(1)],
+                1,
+            ),
+        ]);
+        let (kept, _) = filter.apply(&trace);
+        let names: Vec<&str> = kept.iter().map(|e| e.name.as_str()).collect();
+        assert_eq!(names, ["open"], "write through the redirected fd is noise");
+    }
+
+    #[test]
+    fn failed_dup_tracks_nothing() {
+        let filter = TraceFilter::mount_point("/mnt/test").unwrap();
+        let trace = Trace::from_events(vec![
+            open_ev("/mnt/test/f", 3),
+            ev("dup", vec![ArgValue::Fd(3)], -24), // EMFILE
+            ev(
+                "write",
+                vec![ArgValue::Fd(22), ArgValue::Ptr(1), ArgValue::UInt(1)],
+                1,
+            ),
+        ]);
+        let (kept, _) = filter.apply(&trace);
+        assert_eq!(
+            kept.len(),
+            2,
+            "failed dup is itself relevant but tracks no fd"
+        );
+    }
+
+    #[test]
+    fn rename_into_mount_point_is_kept() {
+        // The acceptance scenario: a rename whose *destination* is under
+        // the mount point must be kept even though the source is not.
+        let filter = TraceFilter::mount_point("/mnt/test").unwrap();
+        let trace = Trace::from_events(vec![
+            ev(
+                "rename",
+                vec![
+                    ArgValue::Path("/tmp/staging".into()),
+                    ArgValue::Path("/mnt/test/final".into()),
+                ],
+                0,
+            ),
+            ev(
+                "rename",
+                vec![
+                    ArgValue::Path("/mnt/test/old".into()),
+                    ArgValue::Path("/tmp/outside".into()),
+                ],
+                0,
+            ),
+            ev(
+                "rename",
+                vec![
+                    ArgValue::Path("/tmp/a".into()),
+                    ArgValue::Path("/tmp/b".into()),
+                ],
+                0,
+            ),
+        ]);
+        let (kept, stats) = filter.apply(&trace);
+        assert_eq!(
+            kept.len(),
+            2,
+            "either-side relevance keeps both mount renames"
+        );
+        assert_eq!(stats.dropped, 1);
+    }
+
+    #[test]
+    fn link_and_symlink_count_every_path() {
+        let filter = TraceFilter::mount_point("/mnt/test").unwrap();
+        let trace = Trace::from_events(vec![
+            ev(
+                "link",
+                vec![
+                    ArgValue::Path("/etc/hosts".into()),
+                    ArgValue::Path("/mnt/test/hosts_link".into()),
+                ],
+                0,
+            ),
+            // symlink's first argument is the target *string*, not a
+            // pathname; only the link path decides relevance.
+            ev(
+                "symlink",
+                vec![
+                    ArgValue::Str("/mnt/test/target".into()),
+                    ArgValue::Path("/tmp/outside_link".into()),
+                ],
+                0,
+            ),
+        ]);
+        let (kept, _) = filter.apply(&trace);
+        let names: Vec<&str> = kept.iter().map(|e| e.name.as_str()).collect();
+        assert_eq!(names, ["link"]);
+    }
+
+    #[test]
+    fn renameat_resolves_each_path_through_its_own_dirfd() {
+        let filter = TraceFilter::mount_point("/mnt/test").unwrap();
+        let trace = Trace::from_events(vec![
+            open_ev("/mnt/test", 5),
+            open_ev("/tmp", 6),
+            // Source under /tmp, destination under the mount point.
+            ev(
+                "renameat",
+                vec![
+                    ArgValue::Fd(6),
+                    ArgValue::Path("staging".into()),
+                    ArgValue::Fd(5),
+                    ArgValue::Path("final".into()),
+                ],
+                0,
+            ),
+            // Both sides under /tmp: noise.
+            ev(
+                "renameat",
+                vec![
+                    ArgValue::Fd(6),
+                    ArgValue::Path("a".into()),
+                    ArgValue::Fd(6),
+                    ArgValue::Path("b".into()),
+                ],
+                0,
+            ),
+        ]);
+        let (kept, _) = filter.apply(&trace);
+        let names: Vec<&str> = kept.iter().map(|e| e.name.as_str()).collect();
+        assert_eq!(names, ["open", "renameat"]);
+    }
+
+    #[test]
     fn per_pid_state_is_independent() {
         let filter = TraceFilter::mount_point("/mnt/test").unwrap();
         let mut noise = open_ev("/etc/hosts", 3);
         noise.pid = 2;
-        let mut noise_write = ev("write", vec![ArgValue::Fd(3), ArgValue::Ptr(1), ArgValue::UInt(1)], 1);
+        let mut noise_write = ev(
+            "write",
+            vec![ArgValue::Fd(3), ArgValue::Ptr(1), ArgValue::UInt(1)],
+            1,
+        );
         noise_write.pid = 2;
         let mut good = open_ev("/mnt/test/f", 3);
         good.pid = 1;
-        let mut good_write = ev("write", vec![ArgValue::Fd(3), ArgValue::Ptr(1), ArgValue::UInt(1)], 1);
+        let mut good_write = ev(
+            "write",
+            vec![ArgValue::Fd(3), ArgValue::Ptr(1), ArgValue::UInt(1)],
+            1,
+        );
         good_write.pid = 1;
         let trace = Trace::from_events(vec![noise, good, noise_write, good_write]);
         let (kept, _) = filter.apply(&trace);

@@ -294,12 +294,9 @@ mod tests {
         let name254 = "x".repeat(254);
         let name255 = "x".repeat(255);
         let name256 = "x".repeat(256);
-        assert!(PathPartition::of(&format!("/{name254}"))
-            .contains(&PathPartition::MediumName));
-        assert!(PathPartition::of(&format!("/{name255}"))
-            .contains(&PathPartition::NameMaxBoundary));
-        assert!(PathPartition::of(&format!("/{name256}"))
-            .contains(&PathPartition::OverNameMax));
+        assert!(PathPartition::of(&format!("/{name254}")).contains(&PathPartition::MediumName));
+        assert!(PathPartition::of(&format!("/{name255}")).contains(&PathPartition::NameMaxBoundary));
+        assert!(PathPartition::of(&format!("/{name256}")).contains(&PathPartition::OverNameMax));
     }
 
     #[test]
@@ -328,8 +325,13 @@ mod tests {
         assert_eq!(cov.fd_count(FdPartition::MinusOne), 1);
         assert_eq!(cov.path_count(PathPartition::Relative), 1);
         assert_eq!(cov.path_count(PathPartition::Absolute), 0, "stat is noise");
-        assert_eq!(cov.untested_fd(), vec![FdPartition::Stdio, FdPartition::OtherNegative]);
-        assert!(cov.untested_path().contains(&PathPartition::NameMaxBoundary));
+        assert_eq!(
+            cov.untested_fd(),
+            vec![FdPartition::Stdio, FdPartition::OtherNegative]
+        );
+        assert!(cov
+            .untested_path()
+            .contains(&PathPartition::NameMaxBoundary));
     }
 
     #[test]

@@ -57,7 +57,9 @@ mod coverage;
 mod domain;
 mod filter;
 mod identifier;
+mod parallel;
 mod partition;
+mod relevance;
 pub mod report;
 mod streaming;
 pub mod syzlang;
@@ -66,13 +68,14 @@ mod variants;
 
 pub use arg::{ArgClass, ArgName, TrackedValue};
 pub use combos::ComboCoverage;
-pub use identifier::{FdPartition, IdentifierCoverage, PathPartition};
 pub use coverage::{AnalysisReport, Analyzer, ComboHistogram, InputCoverage, OutputCoverage};
 pub use domain::{
     arg_domain, open_flag_names, open_flags_present, output_buckets_bytes, output_errnos,
     ArgDomain, DomainKind, INVALID_CATEGORY, MODE_BITS, WHENCE_VALUES, XATTR_FLAG_BITS,
 };
 pub use filter::{FilterStats, TraceFilter};
+pub use identifier::{FdPartition, IdentifierCoverage, PathPartition};
+pub use parallel::{ParallelAnalyzer, ParallelStreamingAnalyzer};
 pub use partition::{InputPartition, NumericPartition, OutputPartition};
 pub use streaming::StreamingAnalyzer;
 pub use variants::{normalize, NormalizedCall, CREAT_IMPLIED_FLAGS};
@@ -148,13 +151,19 @@ mod tests {
             TraceEvent::build(
                 "open",
                 2,
-                vec![ArgValue::Path("/etc/noise".into()), ArgValue::Flags(0), ArgValue::Mode(0)],
+                vec![
+                    ArgValue::Path("/etc/noise".into()),
+                    ArgValue::Flags(0),
+                    ArgValue::Mode(0),
+                ],
                 4,
             ),
         ]);
         let unfiltered = Iocov::new().analyze(&trace);
         assert_eq!(unfiltered.total_calls(), 2);
-        let filtered = Iocov::with_mount_point("/mnt/test").unwrap().analyze(&trace);
+        let filtered = Iocov::with_mount_point("/mnt/test")
+            .unwrap()
+            .analyze(&trace);
         assert_eq!(filtered.total_calls(), 1);
         assert_eq!(filtered.filter_stats.dropped, 1);
     }

@@ -1,0 +1,355 @@
+//! Pid-sharded parallel analysis.
+//!
+//! Every piece of state the analysis pipeline carries between events is
+//! per-process: the trace filter's descriptor-provenance map and cwd
+//! relevance live in a per-pid entry, and coverage accumulation is a sum
+//! of per-event contributions. A trace can therefore be sharded *by pid*
+//! across worker threads with no cross-shard communication: each worker
+//! runs an ordinary [`StreamingAnalyzer`] over its pids' events in trace
+//! order, and the per-worker reports are combined with
+//! [`AnalysisReport::merge`]. Because every aggregate in a report is an
+//! order-independent sum over `BTreeMap`s, the merged report is
+//! **identical** to a serial run — same keys, same counts, same
+//! serialized bytes — regardless of the worker count.
+//!
+//! [`ParallelAnalyzer`] is the one-shot interface mirroring
+//! [`Analyzer`](crate::Analyzer); [`ParallelStreamingAnalyzer`] is the
+//! chunked interface mirroring [`StreamingAnalyzer`], keeping each
+//! shard's filter state alive *across* chunks so a descriptor opened (or
+//! duplicated) in one chunk is still attributed correctly in the next.
+//!
+//! ```
+//! use iocov::{Analyzer, ParallelAnalyzer, TraceFilter};
+//! use iocov_trace::{ArgValue, Trace, TraceEvent};
+//!
+//! let mut open = TraceEvent::build(
+//!     "open",
+//!     2,
+//!     vec![ArgValue::Path("/mnt/test/f".into()), ArgValue::Flags(0), ArgValue::Mode(0)],
+//!     3,
+//! );
+//! open.pid = 7;
+//! let trace = Trace::from_events(vec![open]);
+//! let filter = TraceFilter::mount_point("/mnt/test").unwrap();
+//! let serial = Analyzer::new(filter.clone()).analyze(&trace);
+//! let parallel = ParallelAnalyzer::new(filter, 4).analyze(&trace);
+//! assert_eq!(serial, parallel);
+//! ```
+
+use iocov_trace::{Trace, TraceEvent};
+
+use crate::coverage::AnalysisReport;
+use crate::filter::TraceFilter;
+use crate::streaming::StreamingAnalyzer;
+
+/// A one-shot parallel analyzer: shards a trace by pid across `workers`
+/// threads and merges the per-worker reports.
+#[derive(Debug, Clone)]
+pub struct ParallelAnalyzer {
+    filter: TraceFilter,
+    workers: usize,
+}
+
+impl ParallelAnalyzer {
+    /// A parallel analyzer with a filter; `workers` is clamped to at
+    /// least 1.
+    #[must_use]
+    pub fn new(filter: TraceFilter, workers: usize) -> Self {
+        ParallelAnalyzer {
+            filter,
+            workers: workers.max(1),
+        }
+    }
+
+    /// An unfiltered parallel analyzer.
+    #[must_use]
+    pub fn unfiltered(workers: usize) -> Self {
+        ParallelAnalyzer::new(TraceFilter::keep_all(), workers)
+    }
+
+    /// The worker count.
+    #[must_use]
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// The configured filter.
+    #[must_use]
+    pub fn filter(&self) -> &TraceFilter {
+        &self.filter
+    }
+
+    /// Runs the full pipeline over one trace.
+    #[must_use]
+    pub fn analyze(&self, trace: &Trace) -> AnalysisReport {
+        self.analyze_events(trace.events())
+    }
+
+    /// Runs the full pipeline over a slice of events.
+    #[must_use]
+    pub fn analyze_events(&self, events: &[TraceEvent]) -> AnalysisReport {
+        let mut sharded = ParallelStreamingAnalyzer::new(self.filter.clone(), self.workers);
+        sharded.push_all(events);
+        sharded.finish()
+    }
+}
+
+/// A chunked parallel analyzer: N persistent [`StreamingAnalyzer`]
+/// shards, each owning the pids with `pid % N == shard index`.
+///
+/// Shard state survives across [`push_all`](Self::push_all) calls, so
+/// feeding a long trace chunk-by-chunk preserves descriptor provenance
+/// exactly like a single serial [`StreamingAnalyzer`] would.
+#[derive(Debug)]
+pub struct ParallelStreamingAnalyzer {
+    shards: Vec<StreamingAnalyzer>,
+}
+
+impl ParallelStreamingAnalyzer {
+    /// Creates `workers` persistent shards (clamped to at least 1) over
+    /// clones of `filter`.
+    #[must_use]
+    pub fn new(filter: TraceFilter, workers: usize) -> Self {
+        let workers = workers.max(1);
+        ParallelStreamingAnalyzer {
+            shards: (0..workers)
+                .map(|_| StreamingAnalyzer::new(filter.clone()))
+                .collect(),
+        }
+    }
+
+    /// The worker count.
+    #[must_use]
+    pub fn workers(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Consumes one chunk of events, sharding them by pid across the
+    /// worker threads. Each worker scans the whole chunk and keeps only
+    /// its own pids — the predicate is a modulo, far cheaper than
+    /// partitioning the chunk into per-shard buffers first.
+    pub fn push_all(&mut self, events: &[TraceEvent]) {
+        let n = self.shards.len();
+        if n == 1 || events.len() < PARALLEL_THRESHOLD {
+            // Below the threshold thread spawn dominates; a serial pass
+            // over all shards costs the same modulo test per event.
+            for (w, shard) in self.shards.iter_mut().enumerate() {
+                for event in events {
+                    if event.pid as usize % n == w {
+                        shard.push(event);
+                    }
+                }
+            }
+            return;
+        }
+        std::thread::scope(|scope| {
+            for (w, shard) in self.shards.iter_mut().enumerate() {
+                scope.spawn(move || {
+                    for event in events {
+                        if event.pid as usize % n == w {
+                            shard.push(event);
+                        }
+                    }
+                });
+            }
+        });
+    }
+
+    /// Merges the shard reports in shard order and returns the combined
+    /// report.
+    #[must_use]
+    pub fn finish(self) -> AnalysisReport {
+        let mut merged = AnalysisReport::default();
+        for shard in self.shards {
+            merged.merge(&shard.finish());
+        }
+        merged
+    }
+
+    /// A merged snapshot of the report so far (the stream may continue).
+    #[must_use]
+    pub fn report(&self) -> AnalysisReport {
+        let mut merged = AnalysisReport::default();
+        for shard in &self.shards {
+            merged.merge(shard.report());
+        }
+        merged
+    }
+}
+
+/// Chunks smaller than this are analyzed on the calling thread; spawning
+/// scoped threads costs more than the analysis itself.
+const PARALLEL_THRESHOLD: usize = 1024;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Analyzer, ArgName};
+    use iocov_trace::ArgValue;
+
+    /// A multi-pid trace exercising every provenance rule: opens, dups,
+    /// renames, chdir, interleaved across `pids` processes.
+    fn multi_pid_trace(pids: u32, per_pid: usize) -> Vec<TraceEvent> {
+        let mut events = Vec::new();
+        for round in 0..per_pid {
+            for pid in 0..pids {
+                let fd = 3 + round as i32;
+                let mount = pid % 2 == 0; // odd pids are pure noise
+                let root = if mount { "/mnt/test" } else { "/somewhere" };
+                let mut step = vec![
+                    TraceEvent::build(
+                        "open",
+                        2,
+                        vec![
+                            ArgValue::Path(format!("{root}/f{round}")),
+                            ArgValue::Flags(0o101),
+                            ArgValue::Mode(0o644),
+                        ],
+                        i64::from(fd),
+                    ),
+                    TraceEvent::build(
+                        "dup2",
+                        33,
+                        vec![ArgValue::Fd(fd), ArgValue::Fd(fd + 64)],
+                        i64::from(fd + 64),
+                    ),
+                    TraceEvent::build(
+                        "write",
+                        1,
+                        vec![
+                            ArgValue::Fd(fd + 64),
+                            ArgValue::Ptr(1),
+                            ArgValue::UInt(1 << (round % 20)),
+                        ],
+                        1 << (round % 20),
+                    ),
+                    TraceEvent::build(
+                        "rename",
+                        82,
+                        vec![
+                            ArgValue::Path(format!("/tmp/stage{round}")),
+                            ArgValue::Path(format!("{root}/dst{round}")),
+                        ],
+                        0,
+                    ),
+                    TraceEvent::build("chdir", 80, vec![ArgValue::Path(root.to_owned())], 0),
+                    TraceEvent::build(
+                        "open",
+                        2,
+                        vec![
+                            ArgValue::Path("relative".into()),
+                            ArgValue::Flags(0),
+                            ArgValue::Mode(0),
+                        ],
+                        i64::from(fd + 100),
+                    ),
+                    TraceEvent::build("close", 3, vec![ArgValue::Fd(fd)], 0),
+                ];
+                for event in &mut step {
+                    event.pid = pid;
+                }
+                events.extend(step);
+            }
+        }
+        events
+    }
+
+    #[test]
+    fn parallel_matches_serial_at_every_worker_count() {
+        let events = multi_pid_trace(5, 4);
+        let trace = Trace::from_events(events);
+        let filter = TraceFilter::mount_point("/mnt/test").unwrap();
+        let serial = Analyzer::new(filter.clone()).analyze(&trace);
+        for workers in 1..=8 {
+            let parallel = ParallelAnalyzer::new(filter.clone(), workers).analyze(&trace);
+            assert_eq!(serial, parallel, "diverged at {workers} workers");
+        }
+    }
+
+    #[test]
+    fn parallel_serializes_identically_to_serial() {
+        let trace = Trace::from_events(multi_pid_trace(3, 3));
+        let filter = TraceFilter::mount_point("/mnt/test").unwrap();
+        let serial = serde_json::to_string(&Analyzer::new(filter.clone()).analyze(&trace)).unwrap();
+        let parallel =
+            serde_json::to_string(&ParallelAnalyzer::new(filter, 4).analyze(&trace)).unwrap();
+        assert_eq!(serial, parallel, "reports must be byte-identical");
+    }
+
+    #[test]
+    fn more_workers_than_pids_is_fine() {
+        let trace = Trace::from_events(multi_pid_trace(2, 2));
+        let filter = TraceFilter::mount_point("/mnt/test").unwrap();
+        let serial = Analyzer::new(filter.clone()).analyze(&trace);
+        let parallel = ParallelAnalyzer::new(filter, 8).analyze(&trace);
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn zero_workers_clamps_to_one() {
+        let analyzer = ParallelAnalyzer::unfiltered(0);
+        assert_eq!(analyzer.workers(), 1);
+        assert_eq!(
+            ParallelStreamingAnalyzer::new(TraceFilter::keep_all(), 0).workers(),
+            1
+        );
+    }
+
+    #[test]
+    fn chunked_parallel_keeps_provenance_across_chunks() {
+        // fd opened in chunk 1, duplicated in chunk 2, written via the
+        // duplicate in chunk 3: per-chunk batch analysis would lose the
+        // attribution, the sharded streaming analyzer must not.
+        let filter = TraceFilter::mount_point("/mnt/test").unwrap();
+        let mut open = TraceEvent::build(
+            "open",
+            2,
+            vec![
+                ArgValue::Path("/mnt/test/a".into()),
+                ArgValue::Flags(0),
+                ArgValue::Mode(0),
+            ],
+            3,
+        );
+        open.pid = 6;
+        let mut dup = TraceEvent::build("dup", 32, vec![ArgValue::Fd(3)], 9);
+        dup.pid = 6;
+        let mut write = TraceEvent::build(
+            "write",
+            1,
+            vec![ArgValue::Fd(9), ArgValue::Ptr(1), ArgValue::UInt(128)],
+            128,
+        );
+        write.pid = 6;
+
+        let mut sharded = ParallelStreamingAnalyzer::new(filter, 4);
+        sharded.push_all(&[open]);
+        sharded.push_all(&[dup]);
+        sharded.push_all(&[write]);
+        let report = sharded.finish();
+        assert_eq!(report.input_coverage(ArgName::WriteCount).calls, 1);
+        assert_eq!(report.filter_stats.kept, 3);
+    }
+
+    #[test]
+    fn interim_report_merges_all_shards() {
+        let mut sharded = ParallelStreamingAnalyzer::new(TraceFilter::keep_all(), 3);
+        let events = multi_pid_trace(3, 1);
+        let total = events.len();
+        sharded.push_all(&events);
+        assert_eq!(sharded.report().filter_stats.total, total);
+    }
+
+    #[test]
+    fn large_chunk_takes_threaded_path() {
+        // Enough events to clear PARALLEL_THRESHOLD, so the scoped-thread
+        // branch actually runs and must still match serial.
+        let events = multi_pid_trace(7, 40);
+        assert!(events.len() >= PARALLEL_THRESHOLD);
+        let trace = Trace::from_events(events);
+        let filter = TraceFilter::mount_point("/mnt/test").unwrap();
+        let serial = Analyzer::new(filter.clone()).analyze(&trace);
+        let parallel = ParallelAnalyzer::new(filter, 4).analyze(&trace);
+        assert_eq!(serial, parallel);
+    }
+}

@@ -169,9 +169,18 @@ mod tests {
             OutputPartition::of(4096, true),
             OutputPartition::OkBytes(NumericPartition::Log2(12))
         );
-        assert_eq!(OutputPartition::of(-2, false), OutputPartition::Err("ENOENT".into()));
-        assert_eq!(OutputPartition::of(-28, true), OutputPartition::Err("ENOSPC".into()));
-        assert_eq!(OutputPartition::of(-9999, false), OutputPartition::Err("E?9999".into()));
+        assert_eq!(
+            OutputPartition::of(-2, false),
+            OutputPartition::Err("ENOENT".into())
+        );
+        assert_eq!(
+            OutputPartition::of(-28, true),
+            OutputPartition::Err("ENOSPC".into())
+        );
+        assert_eq!(
+            OutputPartition::of(-9999, false),
+            OutputPartition::Err("E?9999".into())
+        );
     }
 
     #[test]
@@ -186,7 +195,10 @@ mod tests {
         assert_eq!(NumericPartition::Zero.to_string(), "=0");
         assert_eq!(NumericPartition::Negative.to_string(), "<0");
         assert_eq!(NumericPartition::Log2(28).to_string(), "2^28");
-        assert_eq!(InputPartition::Flag("O_CREAT".into()).to_string(), "O_CREAT");
+        assert_eq!(
+            InputPartition::Flag("O_CREAT".into()).to_string(),
+            "O_CREAT"
+        );
         assert_eq!(
             InputPartition::Numeric(NumericPartition::Log2(3)).to_string(),
             "2^3"
@@ -201,9 +213,11 @@ mod tests {
 
     #[test]
     fn partitions_order_deterministically() {
-        let mut parts = [InputPartition::Numeric(NumericPartition::Log2(3)),
+        let mut parts = [
+            InputPartition::Numeric(NumericPartition::Log2(3)),
             InputPartition::Flag("O_APPEND".into()),
-            InputPartition::Numeric(NumericPartition::Zero)];
+            InputPartition::Numeric(NumericPartition::Zero),
+        ];
         parts.sort();
         // Flags before numerics (enum order), zero before log2 buckets.
         assert_eq!(parts[0], InputPartition::Flag("O_APPEND".into()));

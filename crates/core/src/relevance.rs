@@ -1,0 +1,130 @@
+//! Per-process relevance state, shared by the batch filter and the
+//! streaming analyzer.
+//!
+//! [`TraceFilter::apply`](crate::TraceFilter::apply) and
+//! [`StreamingAnalyzer::push`](crate::StreamingAnalyzer::push) must make
+//! the same keep/drop decision for every event, or chunked analysis
+//! diverges from batch analysis. Both therefore call into this module:
+//! [`event_relevant`] decides whether one event touches the mount point,
+//! and [`update_state`] propagates descriptor and cwd provenance after
+//! the decision.
+//!
+//! Provenance rules:
+//!
+//! * `open`/`openat`/`openat2`/`creat` — the returned descriptor
+//!   inherits the relevance of the opened path.
+//! * `dup`/`dup2`/`dup3` — the new descriptor inherits the *source*
+//!   descriptor's provenance, so I/O through a duplicated descriptor is
+//!   attributed exactly like I/O through the original.
+//! * `close` — forgets the descriptor (a later reuse of the number by an
+//!   unrelated `open` must not inherit stale provenance).
+//! * `chdir`/`fchdir` — update whether the cwd is under the mount point,
+//!   which decides relative-path relevance.
+//!
+//! Relevance rules:
+//!
+//! * An event with pathname arguments is relevant when **any** of them
+//!   resolves under the mount point — two-path syscalls (`rename`,
+//!   `link`, `symlink` and their `*at` variants) count either side, so a
+//!   rename *into* the mount point is kept even though its source is
+//!   outside. A relative pathname resolves through the immediately
+//!   preceding descriptor argument when there is one (the `*at` dirfd
+//!   convention), and through the cwd otherwise.
+//! * An event with no pathname argument is relevant when its leading
+//!   descriptor argument is.
+
+use std::collections::HashMap;
+
+use iocov_trace::{ArgValue, TraceEvent};
+
+use crate::filter::TraceFilter;
+
+/// `AT_FDCWD` without depending on the vfs crate directly.
+pub(crate) const AT_FDCWD: i32 = -100;
+
+/// Per-process relevance state while walking a trace.
+#[derive(Debug, Default, Clone)]
+pub(crate) struct PidState {
+    /// Descriptor → does it originate under the mount point?
+    fds: HashMap<i32, bool>,
+    /// Whether the process cwd is under the mount point.
+    cwd_relevant: bool,
+}
+
+impl PidState {
+    /// Relevance of a descriptor, treating `AT_FDCWD` as the cwd.
+    fn fd_relevant(&self, fd: i32) -> bool {
+        if fd == AT_FDCWD {
+            self.cwd_relevant
+        } else {
+            self.fds.get(&fd).copied().unwrap_or(false)
+        }
+    }
+}
+
+/// Decides relevance of one event given per-pid state.
+pub(crate) fn event_relevant(filter: &TraceFilter, state: &PidState, event: &TraceEvent) -> bool {
+    let mut saw_path = false;
+    for (i, arg) in event.args.iter().enumerate() {
+        let ArgValue::Path(path) = arg else { continue };
+        saw_path = true;
+        let relevant = if path.starts_with('/') {
+            filter.path_relevant(path)
+        } else {
+            // Relative path: relevance flows from the base directory —
+            // the dirfd argument directly before the path for `*at`
+            // calls, the cwd for plain calls.
+            match i.checked_sub(1).map(|j| &event.args[j]) {
+                Some(ArgValue::Fd(dirfd)) => state.fd_relevant(*dirfd),
+                _ => state.cwd_relevant,
+            }
+        };
+        if relevant {
+            return true;
+        }
+    }
+    if saw_path {
+        return false;
+    }
+    // No path: relevance flows from the descriptor argument.
+    match event.args.first() {
+        Some(ArgValue::Fd(fd)) => state.fd_relevant(*fd),
+        _ => false,
+    }
+}
+
+/// Propagates descriptor/cwd provenance after the event.
+pub(crate) fn update_state(state: &mut PidState, event: &TraceEvent, relevant: bool) {
+    if event.retval < 0 {
+        return; // failed calls change no kernel state
+    }
+    match event.name.as_str() {
+        "open" | "openat" | "creat" | "openat2" => {
+            state.fds.insert(event.retval as i32, relevant);
+        }
+        "dup" | "dup2" | "dup3" => {
+            // The duplicate aliases the source's open file description,
+            // so it inherits the source's provenance (dup2/dup3 also
+            // implicitly close the target number; the insert overwrites
+            // whatever the number previously tracked).
+            if let Some(ArgValue::Fd(oldfd)) = event.args.first() {
+                let provenance = state.fd_relevant(*oldfd);
+                state.fds.insert(event.retval as i32, provenance);
+            }
+        }
+        "close" => {
+            if let Some(ArgValue::Fd(fd)) = event.args.first() {
+                state.fds.remove(fd);
+            }
+        }
+        "chdir" => {
+            state.cwd_relevant = relevant;
+        }
+        "fchdir" => {
+            if let Some(ArgValue::Fd(fd)) = event.args.first() {
+                state.cwd_relevant = state.fd_relevant(*fd);
+            }
+        }
+        _ => {}
+    }
+}

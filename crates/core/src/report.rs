@@ -169,8 +169,12 @@ pub fn diff(a: &AnalysisReport, b: &AnalysisReport) -> CoverageDiff {
         let cov_b = b.output_coverage(base);
         for errno in output_errnos(base) {
             match (cov_a.errno_count(errno) > 0, cov_b.errno_count(errno) > 0) {
-                (true, false) => out.errnos_only_a.push((base.name().to_owned(), (*errno).to_owned())),
-                (false, true) => out.errnos_only_b.push((base.name().to_owned(), (*errno).to_owned())),
+                (true, false) => out
+                    .errnos_only_a
+                    .push((base.name().to_owned(), (*errno).to_owned())),
+                (false, true) => out
+                    .errnos_only_b
+                    .push((base.name().to_owned(), (*errno).to_owned())),
                 _ => {}
             }
         }
@@ -229,13 +233,21 @@ mod tests {
             TraceEvent::build(
                 "open",
                 2,
-                vec![ArgValue::Path("/f".into()), ArgValue::Flags(0o101), ArgValue::Mode(0o644)],
+                vec![
+                    ArgValue::Path("/f".into()),
+                    ArgValue::Flags(0o101),
+                    ArgValue::Mode(0o644),
+                ],
                 3,
             ),
             TraceEvent::build(
                 "open",
                 2,
-                vec![ArgValue::Path("/g".into()), ArgValue::Flags(0), ArgValue::Mode(0)],
+                vec![
+                    ArgValue::Path("/g".into()),
+                    ArgValue::Flags(0),
+                    ArgValue::Mode(0),
+                ],
                 -2,
             ),
             TraceEvent::build(
@@ -289,13 +301,21 @@ mod tests {
         let a = analyzer.analyze(&Trace::from_events(vec![TraceEvent::build(
             "open",
             2,
-            vec![ArgValue::Path("/a".into()), ArgValue::Flags(0o101), ArgValue::Mode(0o644)],
+            vec![
+                ArgValue::Path("/a".into()),
+                ArgValue::Flags(0o101),
+                ArgValue::Mode(0o644),
+            ],
             3,
         )]));
         let b = analyzer.analyze(&Trace::from_events(vec![TraceEvent::build(
             "open",
             2,
-            vec![ArgValue::Path("/missing".into()), ArgValue::Flags(0), ArgValue::Mode(0)],
+            vec![
+                ArgValue::Path("/missing".into()),
+                ArgValue::Flags(0),
+                ArgValue::Mode(0),
+            ],
             -2,
         )]));
         let d = diff(&a, &b);

@@ -9,17 +9,11 @@
 
 use std::collections::HashMap;
 
-use iocov_trace::{ArgValue, TraceEvent};
+use iocov_trace::TraceEvent;
 
 use crate::coverage::AnalysisReport;
 use crate::filter::TraceFilter;
-
-/// Per-pid filter state carried across pushes.
-#[derive(Debug, Default)]
-struct PidState {
-    fds: HashMap<i32, bool>,
-    cwd_relevant: bool,
-}
+use crate::relevance::{self, PidState};
 
 /// An incremental coverage analyzer.
 ///
@@ -70,8 +64,8 @@ impl StreamingAnalyzer {
             true
         } else {
             let state = self.states.entry(event.pid).or_default();
-            let relevant = Self::event_relevant(&self.filter, state, event);
-            Self::update_state(state, event, relevant);
+            let relevant = relevance::event_relevant(&self.filter, state, event);
+            relevance::update_state(state, event, relevant);
             relevant
         };
         if relevant {
@@ -102,65 +96,23 @@ impl StreamingAnalyzer {
     pub fn report(&self) -> &AnalysisReport {
         &self.report
     }
-
-    // The relevance logic mirrors `TraceFilter::apply`; shared privately
-    // through the same helper methods.
-    fn event_relevant(filter: &TraceFilter, state: &PidState, event: &TraceEvent) -> bool {
-        if let Some(path) = event.primary_path() {
-            if path.starts_with('/') {
-                return filter.path_relevant(path);
-            }
-            return match event.args.first() {
-                Some(ArgValue::Fd(dirfd)) => {
-                    if *dirfd == -100 {
-                        state.cwd_relevant
-                    } else {
-                        state.fds.get(dirfd).copied().unwrap_or(false)
-                    }
-                }
-                _ => state.cwd_relevant,
-            };
-        }
-        match event.args.first() {
-            Some(ArgValue::Fd(fd)) => state.fds.get(fd).copied().unwrap_or(false),
-            _ => false,
-        }
-    }
-
-    fn update_state(state: &mut PidState, event: &TraceEvent, relevant: bool) {
-        match event.name.as_str() {
-            "open" | "openat" | "creat" | "openat2" if event.retval >= 0 => {
-                state.fds.insert(event.retval as i32, relevant);
-            }
-            "close" if event.retval >= 0 => {
-                if let Some(ArgValue::Fd(fd)) = event.args.first() {
-                    state.fds.remove(fd);
-                }
-            }
-            "chdir" if event.retval >= 0 => {
-                state.cwd_relevant = relevant;
-            }
-            "fchdir" if event.retval >= 0 => {
-                if let Some(ArgValue::Fd(fd)) = event.args.first() {
-                    state.cwd_relevant = state.fds.get(fd).copied().unwrap_or(false);
-                }
-            }
-            _ => {}
-        }
-    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::{Analyzer, ArgName};
-    use iocov_trace::Trace;
+    use iocov_trace::{ArgValue, Trace};
 
     fn open_ev(path: &str, fd: i64) -> TraceEvent {
         TraceEvent::build(
             "open",
             2,
-            vec![ArgValue::Path(path.into()), ArgValue::Flags(0), ArgValue::Mode(0)],
+            vec![
+                ArgValue::Path(path.into()),
+                ArgValue::Flags(0),
+                ArgValue::Mode(0),
+            ],
             fd,
         )
     }
@@ -201,14 +153,32 @@ mod tests {
         let filter = TraceFilter::mount_point("/mnt/test").unwrap();
 
         // Per-chunk batch analysis loses the attribution…
-        let mut per_chunk = Analyzer::new(filter.clone()).analyze(&Trace::from_events(chunk1.clone()));
-        per_chunk.merge(&Analyzer::new(filter.clone()).analyze(&Trace::from_events(chunk2.clone())));
+        let mut per_chunk =
+            Analyzer::new(filter.clone()).analyze(&Trace::from_events(chunk1.clone()));
+        per_chunk
+            .merge(&Analyzer::new(filter.clone()).analyze(&Trace::from_events(chunk2.clone())));
         assert_eq!(per_chunk.input_coverage(ArgName::WriteCount).calls, 0);
 
         // …the streaming analyzer keeps it.
         let mut streaming = StreamingAnalyzer::new(filter);
         streaming.push_all(&chunk1);
         streaming.push_all(&chunk2);
+        let report = streaming.finish();
+        assert_eq!(report.input_coverage(ArgName::WriteCount).calls, 1);
+    }
+
+    #[test]
+    fn dup_provenance_survives_chunk_boundaries() {
+        let filter = TraceFilter::mount_point("/mnt/test").unwrap();
+        let mut streaming = StreamingAnalyzer::new(filter);
+        streaming.push_all(&[open_ev("/mnt/test/a", 3)]);
+        streaming.push_all(&[TraceEvent::build(
+            "dup2",
+            33,
+            vec![ArgValue::Fd(3), ArgValue::Fd(9)],
+            9,
+        )]);
+        streaming.push_all(&[write_ev(9, 64)]);
         let report = streaming.finish();
         assert_eq!(report.input_coverage(ArgName::WriteCount).calls, 1);
     }

@@ -115,9 +115,9 @@ fn parse_call(line: &str, lineno: usize) -> Result<SyzCall, SyzParseError> {
     // logs; we take the last '#' outside quotes).
     let (body, retval) = split_ret_comment(line);
     let retval = match retval {
-        Some(text) => Some(
-            parse_i64(text.trim()).ok_or_else(|| err("malformed return-value comment"))?,
-        ),
+        Some(text) => {
+            Some(parse_i64(text.trim()).ok_or_else(|| err("malformed return-value comment"))?)
+        }
         None => None,
     };
 
@@ -135,7 +135,12 @@ fn parse_call(line: &str, lineno: usize) -> Result<SyzCall, SyzParseError> {
         return Err(err("missing closing ')'"));
     }
     let raw_name = &rest[..open_paren];
-    let name = raw_name.split('$').next().unwrap_or(raw_name).trim().to_owned();
+    let name = raw_name
+        .split('$')
+        .next()
+        .unwrap_or(raw_name)
+        .trim()
+        .to_owned();
     if name.is_empty() {
         return Err(err("empty syscall name"));
     }
@@ -233,7 +238,9 @@ fn parse_arg(text: &str, lineno: usize) -> Result<SyzArg, SyzParseError> {
     }
     if let Some(rest) = text.strip_prefix("&(") {
         // &(0xADDR) or &(0xADDR)='...' or &(0xADDR)="hex"
-        let close = rest.find(')').ok_or_else(|| err("unclosed pointer expression".into()))?;
+        let close = rest
+            .find(')')
+            .ok_or_else(|| err("unclosed pointer expression".into()))?;
         let addr = parse_u64(&rest[..close])
             .ok_or_else(|| err(format!("bad pointer address `{}`", &rest[..close])))?;
         let payload = rest[close + 1..].trim();
@@ -348,8 +355,11 @@ fn const_to_value(name: &str, pos: usize, v: u64) -> ArgValue {
     let as_fd = || ArgValue::Fd(v as i64 as i32);
     match (name, pos) {
         ("open", 1) | ("openat" | "openat2", 2) => ArgValue::Flags(v as u32),
-        ("open", 2) | ("openat" | "openat2", 3) | ("creat" | "mkdir" | "chmod", 1)
-        | ("fchmod", 1) | ("mkdirat" | "fchmodat", 2) => ArgValue::Mode(v as u32),
+        ("open", 2)
+        | ("openat" | "openat2", 3)
+        | ("creat" | "mkdir" | "chmod", 1)
+        | ("fchmod", 1)
+        | ("mkdirat" | "fchmodat", 2) => ArgValue::Mode(v as u32),
         ("openat2", 4) | ("fchmodat", 3) => ArgValue::Flags(v as u32),
         ("openat" | "openat2" | "mkdirat" | "fchmodat", 0) => as_fd(),
         ("read" | "write" | "readv" | "writev" | "pread64" | "pwrite64", 0) => as_fd(),
@@ -376,7 +386,7 @@ pub fn parse_to_trace(text: &str) -> Result<Trace, SyzParseError> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{ArgName, Iocov, InputPartition};
+    use crate::{ArgName, InputPartition, Iocov};
 
     const SAMPLE: &str = r#"
 # a syzkaller-style program with executor-reported results

@@ -58,21 +58,37 @@ fn log10p1(x: u64) -> f64 {
 /// Finds the uniform-target crossover between two suites: the smallest
 /// target `T` in `[lo, hi]` where suite A stops having the lower (better)
 /// TCD and suite B takes over, mirroring Figure 5's crossover at
-/// T ≈ 5,237. Returns `None` when no sign change occurs in the range.
+/// T ≈ 5,237. An exact tie (`TCD_A == TCD_B`) *is* the crossover — this
+/// must not be decided via `f64::signum`, which maps `+0.0` to `1.0` and
+/// `-0.0` to `-1.0` and so misclassifies an exact-zero difference as a
+/// side of the sign change. Returns `None` when the two suites never
+/// trade places in the range.
 #[must_use]
 pub fn crossover(freqs_a: &[u64], freqs_b: &[u64], lo: u64, hi: u64) -> Option<u64> {
     let diff = |t: u64| tcd_uniform(freqs_a, t) - tcd_uniform(freqs_b, t);
     if lo >= hi {
         return None;
     }
-    let (d_lo, d_hi) = (diff(lo), diff(hi));
-    if d_lo.signum() == d_hi.signum() {
+    let d_lo = diff(lo);
+    if d_lo == 0.0 {
+        return Some(lo);
+    }
+    let d_hi = diff(hi);
+    if d_hi == 0.0 {
+        return Some(hi);
+    }
+    if (d_lo > 0.0) == (d_hi > 0.0) {
         return None;
     }
+    let lo_positive = d_lo > 0.0;
     let (mut lo, mut hi) = (lo, hi);
     while hi - lo > 1 {
         let mid = lo + (hi - lo) / 2;
-        if diff(mid).signum() == d_lo.signum() {
+        let d_mid = diff(mid);
+        if d_mid == 0.0 {
+            return Some(mid);
+        }
+        if (d_mid > 0.0) == lo_positive {
             lo = mid;
         } else {
             hi = mid;
@@ -85,7 +101,10 @@ pub fn crossover(freqs_a: &[u64], freqs_b: &[u64], lo: u64, hi: u64) -> Option<u
 /// data series of Figure 5.
 #[must_use]
 pub fn tcd_series(freqs: &[u64], targets: &[u64]) -> Vec<(u64, f64)> {
-    targets.iter().map(|&t| (t, tcd_uniform(freqs, t))).collect()
+    targets
+        .iter()
+        .map(|&t| (t, tcd_uniform(freqs, t)))
+        .collect()
 }
 
 /// One partition's signed deviation from the target: positive =
@@ -205,10 +224,37 @@ mod tests {
     }
 
     #[test]
+    fn crossover_exact_zero_diff_is_the_crossover() {
+        // At T = 9: TCD_A = log10(10) = 1 exactly, TCD_B = |log10(100) −
+        // log10(10)| = 1 exactly, so diff(9) is exactly ±0.0. signum()
+        // maps ±0.0 to ±1.0, so sign-based bisection misreads the tie as
+        // "no sign change" and reports no crossover.
+        assert_eq!(crossover(&[0], &[99], 9, 100), Some(9));
+        // The tie can also sit at the high end or inside the range.
+        assert_eq!(crossover(&[0], &[99], 1, 9), Some(9));
+        assert_eq!(crossover(&[0], &[99], 1, 100), Some(9));
+    }
+
+    #[test]
     fn crossover_none_when_one_suite_dominates() {
-        let a = vec![10u64; 4];
-        let b = vec![10u64; 4];
+        // A hits its mean exactly; B is spread a decade either side, so
+        // B's RMS deviation exceeds A's at every target in range — the
+        // suites never trade places.
+        let a = vec![100u64, 100];
+        let b = vec![10u64, 1000];
+        for &t in &[1u64, 100, 10_000, 1_000_000] {
+            assert!(tcd_uniform(&a, t) < tcd_uniform(&b, t));
+        }
         assert_eq!(crossover(&a, &b, 1, 1_000_000), None);
+    }
+
+    #[test]
+    fn crossover_identical_suites_tie_immediately() {
+        // Identical suites tie at every target; the smallest target in
+        // range is reported as the crossover rather than pretending the
+        // (everywhere-zero) difference never changes sign.
+        let a = vec![10u64; 4];
+        assert_eq!(crossover(&a, &a, 1, 1_000_000), Some(1));
     }
 
     #[test]

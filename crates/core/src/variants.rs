@@ -150,7 +150,11 @@ mod tests {
     fn open_variants_merge_to_open() {
         let open = normalize(&event(
             "open",
-            vec![ArgValue::Path("/f".into()), ArgValue::Flags(0o101), ArgValue::Mode(0o644)],
+            vec![
+                ArgValue::Path("/f".into()),
+                ArgValue::Flags(0o101),
+                ArgValue::Mode(0o644),
+            ],
             3,
         ))
         .unwrap();
@@ -175,7 +179,10 @@ mod tests {
         ))
         .unwrap();
         assert_eq!(openat.base, BaseSyscall::Open);
-        assert_eq!(openat.args[0], (ArgName::OpenFlags, TrackedValue::Bits(0o2)));
+        assert_eq!(
+            openat.args[0],
+            (ArgName::OpenFlags, TrackedValue::Bits(0o2))
+        );
 
         let openat2 = normalize(&event(
             "openat2",
@@ -206,7 +213,10 @@ mod tests {
             creat.args[0],
             (ArgName::OpenFlags, TrackedValue::Bits(CREAT_IMPLIED_FLAGS))
         );
-        assert_eq!(creat.args[1], (ArgName::OpenMode, TrackedValue::Bits(0o644)));
+        assert_eq!(
+            creat.args[1],
+            (ArgName::OpenMode, TrackedValue::Bits(0o644))
+        );
         // The implied word decomposes to the documented flags.
         let present = crate::domain::open_flags_present(CREAT_IMPLIED_FLAGS);
         assert_eq!(present, vec!["O_WRONLY", "O_CREAT", "O_TRUNC"]);
@@ -226,16 +236,31 @@ mod tests {
                 4096,
             ))
             .unwrap();
-            assert_eq!(call.args, vec![(arg, TrackedValue::Unsigned(4096))], "{name}");
+            assert_eq!(
+                call.args,
+                vec![(arg, TrackedValue::Unsigned(4096))],
+                "{name}"
+            );
         }
         let pwrite = normalize(&event(
             "pwrite64",
-            vec![ArgValue::Fd(3), ArgValue::Ptr(1), ArgValue::UInt(10), ArgValue::Int(-1)],
+            vec![
+                ArgValue::Fd(3),
+                ArgValue::Ptr(1),
+                ArgValue::UInt(10),
+                ArgValue::Int(-1),
+            ],
             -22,
         ))
         .unwrap();
-        assert_eq!(pwrite.args[0], (ArgName::WriteCount, TrackedValue::Unsigned(10)));
-        assert_eq!(pwrite.args[1], (ArgName::WriteOffset, TrackedValue::Signed(-1)));
+        assert_eq!(
+            pwrite.args[0],
+            (ArgName::WriteCount, TrackedValue::Unsigned(10))
+        );
+        assert_eq!(
+            pwrite.args[1],
+            (ArgName::WriteOffset, TrackedValue::Signed(-1))
+        );
     }
 
     #[test]
@@ -246,7 +271,10 @@ mod tests {
             90,
         ))
         .unwrap();
-        assert_eq!(call.args[0], (ArgName::LseekOffset, TrackedValue::Signed(-10)));
+        assert_eq!(
+            call.args[0],
+            (ArgName::LseekOffset, TrackedValue::Signed(-10))
+        );
         assert_eq!(call.args[1], (ArgName::LseekWhence, TrackedValue::Bits(2)));
     }
 
@@ -264,14 +292,20 @@ mod tests {
         ))
         .unwrap();
         assert_eq!(fchmodat.base, BaseSyscall::Chmod);
-        assert_eq!(fchmodat.args, vec![(ArgName::ChmodMode, TrackedValue::Bits(0o755))]);
+        assert_eq!(
+            fchmodat.args,
+            vec![(ArgName::ChmodMode, TrackedValue::Bits(0o755))]
+        );
         let fchmod = normalize(&event(
             "fchmod",
             vec![ArgValue::Fd(4), ArgValue::Mode(0o600)],
             0,
         ))
         .unwrap();
-        assert_eq!(fchmod.args, vec![(ArgName::ChmodMode, TrackedValue::Bits(0o600))]);
+        assert_eq!(
+            fchmod.args,
+            vec![(ArgName::ChmodMode, TrackedValue::Bits(0o600))]
+        );
     }
 
     #[test]
@@ -308,7 +342,10 @@ mod tests {
         ))
         .unwrap();
         assert_eq!(lget.base, BaseSyscall::Getxattr);
-        assert_eq!(lget.args, vec![(ArgName::GetxattrSize, TrackedValue::Unsigned(0))]);
+        assert_eq!(
+            lget.args,
+            vec![(ArgName::GetxattrSize, TrackedValue::Unsigned(0))]
+        );
     }
 
     #[test]

@@ -2,17 +2,100 @@
 
 use iocov::tcd::tcd;
 use iocov::{
-    arg_domain, normalize, open_flags_present, ArgName, Analyzer, InputPartition,
-    NumericPartition, OutputPartition, TraceFilter, TrackedValue,
+    arg_domain, normalize, open_flags_present, Analyzer, ArgName, InputPartition, NumericPartition,
+    OutputPartition, ParallelAnalyzer, ParallelStreamingAnalyzer, StreamingAnalyzer, TraceFilter,
+    TrackedValue,
 };
 use iocov_trace::{ArgValue, Trace, TraceEvent};
 use proptest::prelude::*;
+
+/// One synthetic syscall for the concurrency-equivalence property:
+/// opens (absolute inside/outside the mount, or relative), `dup`/`dup2`,
+/// writes, two-path renames crossing the mount boundary, `chdir`, and
+/// `close` — everything the provenance tracker handles — attributed to
+/// one of five pids.
+fn arb_provenance_event() -> impl Strategy<Value = TraceEvent> {
+    let op = prop_oneof![
+        (0u8..4, "[a-z]{1,4}", 3i64..10).prop_map(|(root, name, fd)| {
+            let path = match root {
+                0 => format!("/mnt/test/{name}"),
+                1 => format!("/etc/{name}"),
+                2 => name, // relative: resolves through the pid's cwd
+                _ => format!("/mnt/test/sub/{name}"),
+            };
+            TraceEvent::build(
+                "open",
+                2,
+                vec![
+                    ArgValue::Path(path),
+                    ArgValue::Flags(0o101),
+                    ArgValue::Mode(0o644),
+                ],
+                fd,
+            )
+        }),
+        (3i32..10, 3i32..12).prop_map(|(old, new)| TraceEvent::build(
+            "dup2",
+            33,
+            vec![ArgValue::Fd(old), ArgValue::Fd(new)],
+            i64::from(new),
+        )),
+        (3i32..10, 3i32..12).prop_map(|(old, new)| TraceEvent::build(
+            "dup",
+            32,
+            vec![ArgValue::Fd(old)],
+            i64::from(new),
+        )),
+        (3i32..12, 0u32..20).prop_map(|(fd, shift)| TraceEvent::build(
+            "write",
+            1,
+            vec![
+                ArgValue::Fd(fd),
+                ArgValue::Ptr(1),
+                ArgValue::UInt(1u64 << shift)
+            ],
+            1i64 << shift,
+        )),
+        ("[a-z]{1,4}", "[a-z]{1,4}", 0u8..2).prop_map(|(a, b, into)| {
+            let (src, dst) = if into == 0 {
+                (format!("/tmp/{a}"), format!("/mnt/test/{b}"))
+            } else {
+                (format!("/mnt/test/{a}"), format!("/tmp/{b}"))
+            };
+            TraceEvent::build(
+                "rename",
+                82,
+                vec![ArgValue::Path(src), ArgValue::Path(dst)],
+                0,
+            )
+        }),
+        (0u8..2).prop_map(|inside| TraceEvent::build(
+            "chdir",
+            80,
+            vec![ArgValue::Path(if inside == 0 {
+                "/mnt/test".into()
+            } else {
+                "/home".into()
+            })],
+            0,
+        )),
+        (3i32..12).prop_map(|fd| TraceEvent::build("close", 3, vec![ArgValue::Fd(fd)], 0)),
+    ];
+    (0u32..5, op).prop_map(|(pid, mut event)| {
+        event.pid = pid;
+        event
+    })
+}
 
 fn open_event(path: String, flags: u32, retval: i64) -> TraceEvent {
     TraceEvent::build(
         "open",
         2,
-        vec![ArgValue::Path(path), ArgValue::Flags(flags), ArgValue::Mode(0o644)],
+        vec![
+            ArgValue::Path(path),
+            ArgValue::Flags(flags),
+            ArgValue::Mode(0o644),
+        ],
         retval,
     )
 }
@@ -161,6 +244,35 @@ proptest! {
         prop_assert_eq!(&once, &twice);
         prop_assert_eq!(stats1.kept, stats2.kept);
         prop_assert_eq!(stats2.dropped, 0);
+    }
+
+    /// Serial batch, streaming under arbitrary chunking, and pid-sharded
+    /// parallel analysis at 1–8 workers produce the identical report on
+    /// multi-pid traces full of dup/rename/chdir interleavings.
+    #[test]
+    fn serial_streaming_parallel_reports_agree(
+        events in proptest::collection::vec(arb_provenance_event(), 0..120),
+        chunk in 1usize..17,
+        workers in 1usize..9,
+    ) {
+        let filter = TraceFilter::mount_point("/mnt/test").unwrap();
+        let trace = Trace::from_events(events.clone());
+        let serial = Analyzer::new(filter.clone()).analyze(&trace);
+
+        let mut streaming = StreamingAnalyzer::new(filter.clone());
+        for part in events.chunks(chunk) {
+            streaming.push_all(part);
+        }
+        prop_assert_eq!(&serial, &streaming.finish());
+
+        let parallel = ParallelAnalyzer::new(filter.clone(), workers).analyze(&trace);
+        prop_assert_eq!(&serial, &parallel);
+
+        let mut sharded = ParallelStreamingAnalyzer::new(filter, workers);
+        for part in events.chunks(chunk) {
+            sharded.push_all(part);
+        }
+        prop_assert_eq!(serial, sharded.finish());
     }
 
     /// Normalization preserves the return value and maps every event of a

@@ -31,7 +31,7 @@ use std::sync::Arc;
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 
-use iocov::{ArgName, Iocov, InputPartition, NumericPartition};
+use iocov::{ArgName, InputPartition, Iocov, NumericPartition};
 use iocov_model::ModelFs;
 use iocov_syscalls::Kernel;
 use iocov_trace::Recorder;
@@ -499,7 +499,10 @@ mod tests {
         let bugs = BugSet::new(vec![InjectedBug::new(
             "short-write",
             "writes of 4 KiB or more return len - 1",
-            BugTrigger::SizeAtLeast { op: "write", size: 4096 },
+            BugTrigger::SizeAtLeast {
+                op: "write",
+                size: 4096,
+            },
             FaultAction::OverrideReturn(4095),
         )]);
         let report = DiffTester::new(3)
@@ -524,7 +527,10 @@ mod tests {
         let bugs = BugSet::new(vec![InjectedBug::new(
             "truncate-eio",
             "truncate to length >= 512 fails EIO",
-            BugTrigger::SizeAtLeast { op: "truncate", size: 512 },
+            BugTrigger::SizeAtLeast {
+                op: "truncate",
+                size: 512,
+            },
             FaultAction::FailWith(Errno::EIO),
         )]);
         let report = DiffTester::new(4)

@@ -231,7 +231,10 @@ mod tests {
         let data = dataset();
         assert_eq!(data.len(), 70);
         assert_eq!(data.iter().filter(|b| b.fs == Filesystem::Ext4).count(), 51);
-        assert_eq!(data.iter().filter(|b| b.fs == Filesystem::Btrfs).count(), 19);
+        assert_eq!(
+            data.iter().filter(|b| b.fs == Filesystem::Btrfs).count(),
+            19
+        );
     }
 
     #[test]
@@ -246,15 +249,27 @@ mod tests {
             57
         );
         assert_eq!(data.iter().filter(|b| b.kind == BugKind::Both).count(), 34);
-        assert_eq!(data.iter().filter(|b| b.kind == BugKind::Neither).count(), 13);
+        assert_eq!(
+            data.iter().filter(|b| b.kind == BugKind::Neither).count(),
+            13
+        );
     }
 
     #[test]
     fn covered_but_missed_marginals() {
         let data = dataset();
-        let line = data.iter().filter(|b| b.line_covered && !b.detected).count();
-        let func = data.iter().filter(|b| b.func_covered && !b.detected).count();
-        let branch = data.iter().filter(|b| b.branch_covered && !b.detected).count();
+        let line = data
+            .iter()
+            .filter(|b| b.line_covered && !b.detected)
+            .count();
+        let func = data
+            .iter()
+            .filter(|b| b.func_covered && !b.detected)
+            .count();
+        let branch = data
+            .iter()
+            .filter(|b| b.branch_covered && !b.detected)
+            .count();
         assert_eq!(line, 37, "53% of 70");
         assert_eq!(func, 43, "61% of 70");
         assert_eq!(branch, 20, "29% of 70");
@@ -269,7 +284,10 @@ mod tests {
             .count();
         assert_eq!(arg, 24, "24 of the 37 covered-missed bugs");
         // arg_triggered implies input bug.
-        assert!(data.iter().filter(|b| b.arg_triggered).all(|b| b.kind.is_input()));
+        assert!(data
+            .iter()
+            .filter(|b| b.arg_triggered)
+            .all(|b| b.kind.is_input()));
     }
 
     #[test]

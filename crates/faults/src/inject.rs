@@ -260,28 +260,67 @@ mod tests {
 
     #[test]
     fn size_equals_fires_only_on_boundary() {
-        let t = BugTrigger::SizeEquals { op: "write", size: 100 };
-        assert!(t.matches(&OpCtx { size: Some(100), ..ctx("write") }));
-        assert!(!t.matches(&OpCtx { size: Some(99), ..ctx("write") }));
-        assert!(!t.matches(&OpCtx { size: Some(100), ..ctx("read") }));
+        let t = BugTrigger::SizeEquals {
+            op: "write",
+            size: 100,
+        };
+        assert!(t.matches(&OpCtx {
+            size: Some(100),
+            ..ctx("write")
+        }));
+        assert!(!t.matches(&OpCtx {
+            size: Some(99),
+            ..ctx("write")
+        }));
+        assert!(!t.matches(&OpCtx {
+            size: Some(100),
+            ..ctx("read")
+        }));
         assert!(!t.matches(&ctx("write")));
     }
 
     #[test]
     fn flags_contain_requires_all_bits() {
-        let t = BugTrigger::FlagsContain { op: "open", bits: 0o3000 };
-        assert!(t.matches(&OpCtx { flags: Some(0o7000), ..ctx("open") }));
-        assert!(!t.matches(&OpCtx { flags: Some(0o1000), ..ctx("open") }));
+        let t = BugTrigger::FlagsContain {
+            op: "open",
+            bits: 0o3000,
+        };
+        assert!(t.matches(&OpCtx {
+            flags: Some(0o7000),
+            ..ctx("open")
+        }));
+        assert!(!t.matches(&OpCtx {
+            flags: Some(0o1000),
+            ..ctx("open")
+        }));
     }
 
     #[test]
     fn path_and_offset_triggers() {
-        let p = BugTrigger::PathContains { op: "fsync", fragment: ".log" };
-        assert!(p.matches(&OpCtx { path: Some("/mnt/test/app.log"), ..ctx("fsync") }));
-        assert!(!p.matches(&OpCtx { path: Some("/mnt/test/app.dat"), ..ctx("fsync") }));
-        let o = BugTrigger::OffsetBeyond { op: "pread64", beyond: 100 };
-        assert!(o.matches(&OpCtx { offset: Some(101), ..ctx("pread64") }));
-        assert!(!o.matches(&OpCtx { offset: Some(100), ..ctx("pread64") }));
+        let p = BugTrigger::PathContains {
+            op: "fsync",
+            fragment: ".log",
+        };
+        assert!(p.matches(&OpCtx {
+            path: Some("/mnt/test/app.log"),
+            ..ctx("fsync")
+        }));
+        assert!(!p.matches(&OpCtx {
+            path: Some("/mnt/test/app.dat"),
+            ..ctx("fsync")
+        }));
+        let o = BugTrigger::OffsetBeyond {
+            op: "pread64",
+            beyond: 100,
+        };
+        assert!(o.matches(&OpCtx {
+            offset: Some(101),
+            ..ctx("pread64")
+        }));
+        assert!(!o.matches(&OpCtx {
+            offset: Some(100),
+            ..ctx("pread64")
+        }));
     }
 
     #[test]
@@ -290,19 +329,31 @@ mod tests {
             InjectedBug::new(
                 "a",
                 "a",
-                BugTrigger::SizeAtLeast { op: "write", size: 10 },
+                BugTrigger::SizeAtLeast {
+                    op: "write",
+                    size: 10,
+                },
                 FaultAction::FailWith(Errno::EIO),
             ),
             InjectedBug::new(
                 "b",
                 "b",
-                BugTrigger::SizeAtLeast { op: "write", size: 5 },
+                BugTrigger::SizeAtLeast {
+                    op: "write",
+                    size: 5,
+                },
                 FaultAction::FailWith(Errno::ENOSPC),
             ),
         ]);
-        let action = set.intercept(&OpCtx { size: Some(20), ..ctx("write") });
+        let action = set.intercept(&OpCtx {
+            size: Some(20),
+            ..ctx("write")
+        });
         assert_eq!(action, Some(FaultAction::FailWith(Errno::EIO)));
-        let action = set.intercept(&OpCtx { size: Some(7), ..ctx("write") });
+        let action = set.intercept(&OpCtx {
+            size: Some(7),
+            ..ctx("write")
+        });
         assert_eq!(action, Some(FaultAction::FailWith(Errno::ENOSPC)));
         assert_eq!(set.bugs()[0].hits(), 1);
         assert_eq!(set.bugs()[1].hits(), 1);
@@ -315,7 +366,12 @@ mod tests {
     fn demo_bugs_are_dormant_without_triggers() {
         let set = demo_bugs();
         assert_eq!(set.bugs().len(), 5);
-        assert!(set.intercept(&OpCtx { size: Some(4096), ..ctx("write") }).is_none());
+        assert!(set
+            .intercept(&OpCtx {
+                size: Some(4096),
+                ..ctx("write")
+            })
+            .is_none());
         assert!(set.triggered().is_empty());
     }
 
@@ -329,13 +385,19 @@ mod tests {
         fs.sync();
         // A .log file whose fsync is silently broken.
         let fd = fs
-            .open(pid, "/app.log", OpenFlags::O_CREAT | OpenFlags::O_WRONLY, Mode::from_bits(0o644))
+            .open(
+                pid,
+                "/app.log",
+                OpenFlags::O_CREAT | OpenFlags::O_WRONLY,
+                Mode::from_bits(0o644),
+            )
             .unwrap();
         fs.write(pid, fd, b"precious").unwrap();
         assert_eq!(fs.fsync(pid, fd), Ok(()), "bug reports success");
         fs.crash();
         assert!(
-            fs.open(pid, "/app.log", OpenFlags::O_RDONLY, Mode::from_bits(0)).is_err(),
+            fs.open(pid, "/app.log", OpenFlags::O_RDONLY, Mode::from_bits(0))
+                .is_err(),
             "data lost despite successful fsync"
         );
         assert_eq!(set.bugs()[3].hits(), 1);

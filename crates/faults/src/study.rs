@@ -115,8 +115,7 @@ impl fmt::Display for StudyStats {
             if self.line_covered_missed == 0 {
                 0.0
             } else {
-                100.0 * self.covered_missed_arg_triggered as f64
-                    / self.line_covered_missed as f64
+                100.0 * self.covered_missed_arg_triggered as f64 / self.line_covered_missed as f64
             },
         )
     }

@@ -192,7 +192,8 @@ impl ModelFs {
                 return err(Errno::ENOENT);
             }
             let handle: FileHandle = Rc::new(RefCell::new(FileData::default()));
-            self.nodes.insert(path.clone(), Node::File(Rc::clone(&handle)));
+            self.nodes
+                .insert(path.clone(), Node::File(Rc::clone(&handle)));
             FdTarget::File(handle)
         };
         let fd = self.next_fd;
@@ -411,7 +412,10 @@ impl ModelFs {
         }
         match self.nodes.get_mut(&path) {
             Some(Node::File(handle)) => {
-                handle.borrow_mut().xattrs.insert(name.to_owned(), value.to_vec());
+                handle
+                    .borrow_mut()
+                    .xattrs
+                    .insert(name.to_owned(), value.to_vec());
                 0
             }
             Some(Node::Dir { xattrs }) => {
@@ -592,7 +596,11 @@ mod tests {
         assert_eq!(fs.getxattr("/f", "user.miss"), -61);
         assert_eq!(fs.setxattr("/missing", "user.k", b"v"), -2);
         fs.mkdir("/d", 0o755);
-        assert_eq!(fs.setxattr("/d", "user.k", b"dv"), 0, "dirs hold user xattrs");
+        assert_eq!(
+            fs.setxattr("/d", "user.k", b"dv"),
+            0,
+            "dirs hold user xattrs"
+        );
         assert_eq!(fs.getxattr("/d", "user.k"), 2);
     }
 
@@ -602,6 +610,9 @@ mod tests {
         fs.mkdir("/b", 0o755);
         fs.mkdir("/a", 0o755);
         fs.open("/a/f", 0o101, 0o644);
-        assert_eq!(fs.paths(), vec!["/a".to_owned(), "/a/f".to_owned(), "/b".to_owned()]);
+        assert_eq!(
+            fs.paths(),
+            vec!["/a".to_owned(), "/a/f".to_owned(), "/b".to_owned()]
+        );
     }
 }

@@ -14,7 +14,10 @@ enum Token {
     /// `**` — any run of characters (possibly empty), including `/`.
     GlobStar,
     /// `[...]` — a character class; never matches `/`.
-    Class { negated: bool, ranges: Vec<(char, char)> },
+    Class {
+        negated: bool,
+        ranges: Vec<(char, char)>,
+    },
 }
 
 /// A compiled shell-style glob.
@@ -133,7 +136,11 @@ fn parse_class(
     loop {
         match chars.get(i) {
             None => {
-                return Err(PatternError::new(pattern, start, "unclosed character class"));
+                return Err(PatternError::new(
+                    pattern,
+                    start,
+                    "unclosed character class",
+                ));
             }
             Some(']') if !first => {
                 return Ok((Token::Class { negated, ranges }, i + 1));

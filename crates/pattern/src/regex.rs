@@ -46,7 +46,10 @@ impl Match {
 enum CharPred {
     Any,
     Lit(char),
-    Class { negated: bool, ranges: Vec<(char, char)> },
+    Class {
+        negated: bool,
+        ranges: Vec<(char, char)>,
+    },
 }
 
 impl CharPred {
@@ -69,7 +72,11 @@ enum Ast {
     Char(CharPred),
     Concat(Vec<Ast>),
     Alt(Vec<Ast>),
-    Repeat { node: Box<Ast>, min: u32, max: Option<u32> },
+    Repeat {
+        node: Box<Ast>,
+        min: u32,
+        max: Option<u32>,
+    },
     AnchorStart,
     AnchorEnd,
 }
@@ -179,7 +186,10 @@ impl Regex {
         let mut pos = start;
         loop {
             // Record any accepting thread at the current position.
-            if current.iter().any(|&pc| matches!(self.prog[pc], Inst::Match)) {
+            if current
+                .iter()
+                .any(|&pc| matches!(self.prog[pc], Inst::Match))
+            {
                 best = Some(pos);
             }
             if pos >= chars.len() || current.is_empty() {
@@ -191,7 +201,14 @@ impl Regex {
             for &pc in &current {
                 if let Inst::Char(pred) = &self.prog[pc] {
                     if pred.matches(c) {
-                        add_thread(&self.prog, pc + 1, pos + 1, chars.len(), &mut next, &mut on_next);
+                        add_thread(
+                            &self.prog,
+                            pc + 1,
+                            pos + 1,
+                            chars.len(),
+                            &mut next,
+                            &mut on_next,
+                        );
                     }
                 }
             }
@@ -500,7 +517,10 @@ impl Parser<'_> {
                         let e = self.bump().ok_or_else(|| self.err("trailing escape"))?;
                         match escape_pred(e) {
                             CharPred::Lit(l) => l,
-                            CharPred::Class { ranges: rs, negated: false } => {
+                            CharPred::Class {
+                                ranges: rs,
+                                negated: false,
+                            } => {
                                 // `[\d...]`: splice in the shorthand's ranges.
                                 ranges.extend(rs);
                                 continue;
@@ -511,9 +531,13 @@ impl Parser<'_> {
                         self.bump();
                         c
                     };
-                    if self.peek() == Some('-') && self.chars.get(self.pos + 1).is_some_and(|&c| c != ']') {
+                    if self.peek() == Some('-')
+                        && self.chars.get(self.pos + 1).is_some_and(|&c| c != ']')
+                    {
                         self.bump(); // '-'
-                        let hi = self.bump().ok_or_else(|| self.err("unclosed character class"))?;
+                        let hi = self
+                            .bump()
+                            .ok_or_else(|| self.err("unclosed character class"))?;
                         let hi = if hi == '\\' {
                             let e = self.bump().ok_or_else(|| self.err("trailing escape"))?;
                             match escape_pred(e) {

@@ -170,7 +170,12 @@ impl Kernel {
         let pid = self.current;
         let result = self
             .vfs
-            .open(pid, path, OpenFlags::from_bits(flags), Mode::from_bits(mode))
+            .open(
+                pid,
+                path,
+                OpenFlags::from_bits(flags),
+                Mode::from_bits(mode),
+            )
             .map(i64::from);
         let ret = self.override_ret("open", Some(path), raw(result));
         self.trace(
@@ -190,7 +195,11 @@ impl Kernel {
         let ret = Errno::EFAULT.as_retval();
         self.trace(
             Sysno::Open,
-            vec![ArgValue::Ptr(0), ArgValue::Flags(flags), ArgValue::Mode(mode)],
+            vec![
+                ArgValue::Ptr(0),
+                ArgValue::Flags(flags),
+                ArgValue::Mode(mode),
+            ],
             ret,
         );
         ret
@@ -201,7 +210,13 @@ impl Kernel {
         let pid = self.current;
         let result = self
             .vfs
-            .openat(pid, dirfd, path, OpenFlags::from_bits(flags), Mode::from_bits(mode))
+            .openat(
+                pid,
+                dirfd,
+                path,
+                OpenFlags::from_bits(flags),
+                Mode::from_bits(mode),
+            )
             .map(i64::from);
         let ret = self.override_ret("openat", Some(path), raw(result));
         self.trace(
@@ -220,7 +235,10 @@ impl Kernel {
     /// `creat(2)`.
     pub fn creat(&mut self, path: &str, mode: u32) -> RawRet {
         let pid = self.current;
-        let result = self.vfs.creat(pid, path, Mode::from_bits(mode)).map(i64::from);
+        let result = self
+            .vfs
+            .creat(pid, path, Mode::from_bits(mode))
+            .map(i64::from);
         let ret = self.override_ret("creat", Some(path), raw(result));
         self.trace(
             Sysno::Creat,
@@ -312,7 +330,11 @@ impl Kernel {
 
     /// `read(2)` with a NULL buffer (`EFAULT` unless `count == 0`).
     pub fn read_null(&mut self, fd: i32, count: u64) -> RawRet {
-        let ret = if count == 0 { 0 } else { Errno::EFAULT.as_retval() };
+        let ret = if count == 0 {
+            0
+        } else {
+            Errno::EFAULT.as_retval()
+        };
         self.trace(
             Sysno::Read,
             vec![ArgValue::Fd(fd), ArgValue::Ptr(0), ArgValue::UInt(count)],
@@ -324,7 +346,10 @@ impl Kernel {
     /// `pread64(2)`.
     pub fn pread64(&mut self, fd: i32, count: u64, offset: i64) -> RawRet {
         let pid = self.current;
-        let result = self.vfs.pread(pid, fd, count, offset).map(|d| d.len() as i64);
+        let result = self
+            .vfs
+            .pread(pid, fd, count, offset)
+            .map(|d| d.len() as i64);
         let ret = self.override_ret_sized("pread64", None, Some(count), raw(result));
         self.trace(
             Sysno::Pread64,
@@ -391,7 +416,11 @@ impl Kernel {
 
     /// `write(2)` with a NULL buffer (`EFAULT` unless `count == 0`).
     pub fn write_null(&mut self, fd: i32, count: u64) -> RawRet {
-        let ret = if count == 0 { 0 } else { Errno::EFAULT.as_retval() };
+        let ret = if count == 0 {
+            0
+        } else {
+            Errno::EFAULT.as_retval()
+        };
         self.trace(
             Sysno::Write,
             vec![ArgValue::Fd(fd), ArgValue::Ptr(0), ArgValue::UInt(count)],
@@ -472,7 +501,11 @@ impl Kernel {
         let ret = self.override_ret("lseek", None, raw(result));
         self.trace(
             Sysno::Lseek,
-            vec![ArgValue::Fd(fd), ArgValue::Int(offset), ArgValue::Whence(whence)],
+            vec![
+                ArgValue::Fd(fd),
+                ArgValue::Int(offset),
+                ArgValue::Whence(whence),
+            ],
             ret,
         );
         ret
@@ -482,7 +515,12 @@ impl Kernel {
     pub fn truncate(&mut self, path: &str, length: i64) -> RawRet {
         let pid = self.current;
         let result = self.vfs.truncate(pid, path, length).map(|()| 0i64);
-        let ret = self.override_ret_sized("truncate", Some(path), Some(length.max(0) as u64), raw(result));
+        let ret = self.override_ret_sized(
+            "truncate",
+            Some(path),
+            Some(length.max(0) as u64),
+            raw(result),
+        );
         self.trace(
             Sysno::Truncate,
             vec![ArgValue::Path(path.to_owned()), ArgValue::Int(length)],
@@ -495,7 +533,8 @@ impl Kernel {
     pub fn ftruncate(&mut self, fd: i32, length: i64) -> RawRet {
         let pid = self.current;
         let result = self.vfs.ftruncate(pid, fd, length).map(|()| 0i64);
-        let ret = self.override_ret_sized("ftruncate", None, Some(length.max(0) as u64), raw(result));
+        let ret =
+            self.override_ret_sized("ftruncate", None, Some(length.max(0) as u64), raw(result));
         self.trace(
             Sysno::Ftruncate,
             vec![ArgValue::Fd(fd), ArgValue::Int(length)],
@@ -511,7 +550,10 @@ impl Kernel {
     /// `mkdir(2)`.
     pub fn mkdir(&mut self, path: &str, mode: u32) -> RawRet {
         let pid = self.current;
-        let result = self.vfs.mkdir(pid, path, Mode::from_bits(mode)).map(|()| 0i64);
+        let result = self
+            .vfs
+            .mkdir(pid, path, Mode::from_bits(mode))
+            .map(|()| 0i64);
         let ret = self.override_ret("mkdir", Some(path), raw(result));
         self.trace(
             Sysno::Mkdir,
@@ -562,7 +604,10 @@ impl Kernel {
     /// `chmod(2)`.
     pub fn chmod(&mut self, path: &str, mode: u32) -> RawRet {
         let pid = self.current;
-        let result = self.vfs.chmod(pid, path, Mode::from_bits(mode)).map(|()| 0i64);
+        let result = self
+            .vfs
+            .chmod(pid, path, Mode::from_bits(mode))
+            .map(|()| 0i64);
         let ret = self.override_ret("chmod", Some(path), raw(result));
         self.trace(
             Sysno::Chmod,
@@ -575,9 +620,16 @@ impl Kernel {
     /// `fchmod(2)`.
     pub fn fchmod(&mut self, fd: i32, mode: u32) -> RawRet {
         let pid = self.current;
-        let result = self.vfs.fchmod(pid, fd, Mode::from_bits(mode)).map(|()| 0i64);
+        let result = self
+            .vfs
+            .fchmod(pid, fd, Mode::from_bits(mode))
+            .map(|()| 0i64);
         let ret = self.override_ret("fchmod", None, raw(result));
-        self.trace(Sysno::Fchmod, vec![ArgValue::Fd(fd), ArgValue::Mode(mode)], ret);
+        self.trace(
+            Sysno::Fchmod,
+            vec![ArgValue::Fd(fd), ArgValue::Mode(mode)],
+            ret,
+        );
         ret
     }
 
@@ -763,7 +815,10 @@ impl Kernel {
         self.trace_aux(
             "rename",
             82,
-            vec![ArgValue::Path(old.to_owned()), ArgValue::Path(new.to_owned())],
+            vec![
+                ArgValue::Path(old.to_owned()),
+                ArgValue::Path(new.to_owned()),
+            ],
             ret,
         );
         ret
@@ -776,7 +831,10 @@ impl Kernel {
         self.trace_aux(
             "link",
             86,
-            vec![ArgValue::Path(existing.to_owned()), ArgValue::Path(new.to_owned())],
+            vec![
+                ArgValue::Path(existing.to_owned()),
+                ArgValue::Path(new.to_owned()),
+            ],
             ret,
         );
         ret
@@ -789,7 +847,10 @@ impl Kernel {
         self.trace_aux(
             "symlink",
             88,
-            vec![ArgValue::Str(target.to_owned()), ArgValue::Path(link_path.to_owned())],
+            vec![
+                ArgValue::Str(target.to_owned()),
+                ArgValue::Path(link_path.to_owned()),
+            ],
             ret,
         );
         ret
@@ -821,7 +882,10 @@ impl Kernel {
     /// `fallocate(2)`.
     pub fn fallocate(&mut self, fd: i32, mode: u32, offset: i64, length: i64) -> RawRet {
         let pid = self.current;
-        let ret = raw(self.vfs.fallocate(pid, fd, mode, offset, length).map(|()| 0i64));
+        let ret = raw(self
+            .vfs
+            .fallocate(pid, fd, mode, offset, length)
+            .map(|()| 0i64));
         self.trace_aux(
             "fallocate",
             285,
@@ -1042,7 +1106,8 @@ mod tests {
     #[test]
     fn process_switching() {
         let (mut k, _rec) = kernel_with_recorder();
-        k.vfs_mut().spawn_process(Pid(7), iocov_vfs::Uid(1000), iocov_vfs::Gid(1000));
+        k.vfs_mut()
+            .spawn_process(Pid(7), iocov_vfs::Uid(1000), iocov_vfs::Gid(1000));
         k.creat("/rootfile", 0o600);
         k.set_current(Pid(7));
         assert_eq!(k.current(), Pid(7));

@@ -259,7 +259,11 @@ impl BaseSyscall {
     /// The variants belonging to this base syscall.
     #[must_use]
     pub fn variants(self) -> Vec<Sysno> {
-        Sysno::ALL.iter().copied().filter(|s| s.base() == self).collect()
+        Sysno::ALL
+            .iter()
+            .copied()
+            .filter(|s| s.base() == self)
+            .collect()
     }
 }
 

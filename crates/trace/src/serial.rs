@@ -13,7 +13,10 @@ pub enum TraceIoError {
     /// Underlying I/O failure.
     Io(std::io::Error),
     /// A line failed to parse; carries the 1-based line number.
-    Parse { line: usize, source: serde_json::Error },
+    Parse {
+        line: usize,
+        source: serde_json::Error,
+    },
 }
 
 impl fmt::Display for TraceIoError {
@@ -63,10 +66,8 @@ impl From<std::io::Error> for TraceIoError {
 /// ```
 pub fn write_jsonl<W: Write>(mut writer: W, trace: &Trace) -> Result<(), TraceIoError> {
     for event in trace {
-        let line = serde_json::to_string(event).map_err(|e| TraceIoError::Parse {
-            line: 0,
-            source: e,
-        })?;
+        let line =
+            serde_json::to_string(event).map_err(|e| TraceIoError::Parse { line: 0, source: e })?;
         writer.write_all(line.as_bytes())?;
         writer.write_all(b"\n")?;
     }
@@ -90,11 +91,10 @@ pub fn read_jsonl<R: Read>(reader: R) -> Result<Trace, TraceIoError> {
         if line.trim().is_empty() {
             continue;
         }
-        let event: TraceEvent =
-            serde_json::from_str(&line).map_err(|e| TraceIoError::Parse {
-                line: idx + 1,
-                source: e,
-            })?;
+        let event: TraceEvent = serde_json::from_str(&line).map_err(|e| TraceIoError::Parse {
+            line: idx + 1,
+            source: e,
+        })?;
         events.push(event);
     }
     Ok(Trace::from_events(events))
@@ -113,7 +113,12 @@ mod tests {
                 vec![ArgValue::Path("/mnt/test/a".into()), ArgValue::Flags(0o101)],
                 3,
             ),
-            TraceEvent::build("write", 1, vec![ArgValue::Fd(3), ArgValue::UInt(4096)], 4096),
+            TraceEvent::build(
+                "write",
+                1,
+                vec![ArgValue::Fd(3), ArgValue::UInt(4096)],
+                4096,
+            ),
             TraceEvent::build("close", 3, vec![ArgValue::Fd(3)], 0),
         ])
     }

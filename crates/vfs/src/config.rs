@@ -45,12 +45,12 @@ pub struct VfsConfig {
 impl Default for VfsConfig {
     fn default() -> Self {
         VfsConfig {
-            capacity_bytes: 16 << 40,       // 16 TiB
+            capacity_bytes: 16 << 40, // 16 TiB
             max_inodes: 1 << 20,
             quota_bytes_per_uid: None,
             max_fds_per_process: 1024,
             max_open_files: 65536,
-            max_file_size: 16 << 40,        // Ext4 max file size
+            max_file_size: 16 << 40, // Ext4 max file size
             root_uid: Uid(0),
             root_gid: Gid(0),
             root_mode: Mode::from_bits(0o755),

@@ -137,7 +137,8 @@ impl ExtentStore {
             let extent = self.extents.remove(&e_start).expect("extent present");
             let e_end = e_start + extent.len;
             if e_end > end {
-                self.extents.insert(end, extent.slice(end - e_start, extent.len));
+                self.extents
+                    .insert(end, extent.slice(end - e_start, extent.len));
             }
         }
     }
@@ -248,11 +249,7 @@ impl ExtentStore {
                 Some(until) => pos = until,
                 None => {
                     // A hole from `pos` to the next extent (or `end`).
-                    let hole_end = self
-                        .extents
-                        .range(pos..end)
-                        .next()
-                        .map_or(end, |(&s, _)| s);
+                    let hole_end = self.extents.range(pos..end).next().map_or(end, |(&s, _)| s);
                     self.write_fill(pos, 0, hole_end - pos);
                     pos = hole_end;
                 }

@@ -164,7 +164,8 @@ impl fmt::Display for OpenFlags {
         };
         f.write_str(mode)?;
         for (name, flag) in Self::NAMED_FLAGS {
-            if flag.0 != 0 && !matches!(name, "O_WRONLY" | "O_RDWR" | "O_ACCMODE")
+            if flag.0 != 0
+                && !matches!(name, "O_WRONLY" | "O_RDWR" | "O_ACCMODE")
                 && self.0 & flag.0 == flag.0
             {
                 write!(f, "|{name}")?;
@@ -270,7 +271,13 @@ pub enum Whence {
 
 impl Whence {
     /// All selectors in ABI order.
-    pub const ALL: [Whence; 5] = [Whence::Set, Whence::Cur, Whence::End, Whence::Data, Whence::Hole];
+    pub const ALL: [Whence; 5] = [
+        Whence::Set,
+        Whence::Cur,
+        Whence::End,
+        Whence::Data,
+        Whence::Hole,
+    ];
 
     /// The ABI number (`SEEK_SET` = 0 …).
     #[must_use]
@@ -418,8 +425,14 @@ mod tests {
         assert_eq!(OpenFlags::O_APPEND.bits(), 1024);
         assert_eq!(OpenFlags::O_DIRECTORY.bits(), 65536);
         assert_eq!(OpenFlags::O_CLOEXEC.bits(), 0o2000000);
-        assert_eq!(OpenFlags::O_SYNC.bits() & OpenFlags::O_DSYNC.bits(), OpenFlags::O_DSYNC.bits());
-        assert_eq!(OpenFlags::O_TMPFILE.bits() & OpenFlags::O_DIRECTORY.bits(), OpenFlags::O_DIRECTORY.bits());
+        assert_eq!(
+            OpenFlags::O_SYNC.bits() & OpenFlags::O_DSYNC.bits(),
+            OpenFlags::O_DSYNC.bits()
+        );
+        assert_eq!(
+            OpenFlags::O_TMPFILE.bits() & OpenFlags::O_DIRECTORY.bits(),
+            OpenFlags::O_DIRECTORY.bits()
+        );
     }
 
     #[test]
@@ -465,9 +478,19 @@ mod tests {
     #[test]
     fn mode_class_permissions() {
         let m = Mode::from_bits(0o754);
-        assert!(m.allows_read(true, false) && m.allows_write(true, false) && m.allows_exec(true, false));
-        assert!(m.allows_read(false, true) && !m.allows_write(false, true) && m.allows_exec(false, true));
-        assert!(m.allows_read(false, false) && !m.allows_write(false, false) && !m.allows_exec(false, false));
+        assert!(
+            m.allows_read(true, false) && m.allows_write(true, false) && m.allows_exec(true, false)
+        );
+        assert!(
+            m.allows_read(false, true)
+                && !m.allows_write(false, true)
+                && m.allows_exec(false, true)
+        );
+        assert!(
+            m.allows_read(false, false)
+                && !m.allows_write(false, false)
+                && !m.allows_exec(false, false)
+        );
     }
 
     #[test]

@@ -288,7 +288,8 @@ impl Vfs {
             "pid {pid} already exists"
         );
         let root = self.tree.root;
-        self.processes.insert(pid, Process::new(pid, euid, egid, root));
+        self.processes
+            .insert(pid, Process::new(pid, euid, egid, root));
     }
 
     /// Shared access to a process table entry.
@@ -592,7 +593,12 @@ mod tests {
         let mut fs = Vfs::new();
         let pid = fs.default_pid();
         let fd = fs
-            .open(pid, "/f", OpenFlags::O_CREAT | OpenFlags::O_WRONLY, Mode::from_bits(0o644))
+            .open(
+                pid,
+                "/f",
+                OpenFlags::O_CREAT | OpenFlags::O_WRONLY,
+                Mode::from_bits(0o644),
+            )
             .unwrap();
         assert_eq!(fs.remount(true), Err(Errno::EBUSY));
         fs.close(pid, fd).unwrap();
@@ -608,7 +614,13 @@ mod tests {
         let a = tree.alloc_ino();
         tree.inodes.insert(
             a,
-            Inode::new(a, InodeKind::File(Default::default()), Mode::from_bits(0o644), Uid(0), Gid(0)),
+            Inode::new(
+                a,
+                InodeKind::File(Default::default()),
+                Mode::from_bits(0o644),
+                Uid(0),
+                Gid(0),
+            ),
         );
         let root = tree.root;
         tree.get_mut(root).entries_mut().insert("a".into(), a);
@@ -616,10 +628,18 @@ mod tests {
         let orphan = tree.alloc_ino();
         tree.inodes.insert(
             orphan,
-            Inode::new(orphan, InodeKind::File(Default::default()), Mode::from_bits(0o644), Uid(0), Gid(0)),
+            Inode::new(
+                orphan,
+                InodeKind::File(Default::default()),
+                Mode::from_bits(0o644),
+                Uid(0),
+                Gid(0),
+            ),
         );
         // A dangling entry (no inode).
-        tree.get_mut(root).entries_mut().insert("ghost".into(), Ino(999));
+        tree.get_mut(root)
+            .entries_mut()
+            .insert("ghost".into(), Ino(999));
         tree.gc();
         assert!(tree.inodes.contains_key(&a));
         assert!(!tree.inodes.contains_key(&orphan));
@@ -631,7 +651,12 @@ mod tests {
         let mut fs = Vfs::new();
         let pid = fs.default_pid();
         let fd = fs
-            .open(pid, "/data", OpenFlags::O_CREAT | OpenFlags::O_WRONLY, Mode::from_bits(0o644))
+            .open(
+                pid,
+                "/data",
+                OpenFlags::O_CREAT | OpenFlags::O_WRONLY,
+                Mode::from_bits(0o644),
+            )
             .unwrap();
         fs.write(pid, fd, b"payload").unwrap();
         fs.crash();
@@ -649,12 +674,19 @@ mod tests {
         let mut fs = Vfs::new();
         let pid = fs.default_pid();
         let fd = fs
-            .open(pid, "/data", OpenFlags::O_CREAT | OpenFlags::O_RDWR, Mode::from_bits(0o644))
+            .open(
+                pid,
+                "/data",
+                OpenFlags::O_CREAT | OpenFlags::O_RDWR,
+                Mode::from_bits(0o644),
+            )
             .unwrap();
         fs.write(pid, fd, b"payload").unwrap();
         fs.sync();
         fs.crash();
-        let fd = fs.open(pid, "/data", OpenFlags::O_RDONLY, Mode::from_bits(0)).unwrap();
+        let fd = fs
+            .open(pid, "/data", OpenFlags::O_RDONLY, Mode::from_bits(0))
+            .unwrap();
         assert_eq!(fs.read(pid, fd, 16).unwrap(), b"payload");
     }
 
@@ -666,7 +698,12 @@ mod tests {
         let pid = fs.default_pid();
         fs.sync(); // persist the (empty) root
         let fd = fs
-            .open(pid, "/new", OpenFlags::O_CREAT | OpenFlags::O_WRONLY, Mode::from_bits(0o644))
+            .open(
+                pid,
+                "/new",
+                OpenFlags::O_CREAT | OpenFlags::O_WRONLY,
+                Mode::from_bits(0o644),
+            )
             .unwrap();
         fs.write(pid, fd, b"x").unwrap();
         fs.fsync(pid, fd).unwrap();
@@ -684,16 +721,28 @@ mod tests {
         let pid = fs.default_pid();
         fs.sync();
         let fd = fs
-            .open(pid, "/new", OpenFlags::O_CREAT | OpenFlags::O_WRONLY, Mode::from_bits(0o644))
+            .open(
+                pid,
+                "/new",
+                OpenFlags::O_CREAT | OpenFlags::O_WRONLY,
+                Mode::from_bits(0o644),
+            )
             .unwrap();
         fs.write(pid, fd, b"x").unwrap();
         fs.fsync(pid, fd).unwrap();
         let dirfd = fs
-            .open(pid, "/", OpenFlags::O_RDONLY | OpenFlags::O_DIRECTORY, Mode::from_bits(0))
+            .open(
+                pid,
+                "/",
+                OpenFlags::O_RDONLY | OpenFlags::O_DIRECTORY,
+                Mode::from_bits(0),
+            )
             .unwrap();
         fs.fsync(pid, dirfd).unwrap();
         fs.crash();
-        let fd = fs.open(pid, "/new", OpenFlags::O_RDONLY, Mode::from_bits(0)).unwrap();
+        let fd = fs
+            .open(pid, "/new", OpenFlags::O_RDONLY, Mode::from_bits(0))
+            .unwrap();
         assert_eq!(fs.read(pid, fd, 4).unwrap(), b"x");
     }
 
@@ -702,12 +751,22 @@ mod tests {
         let mut fs = Vfs::new();
         let pid = fs.default_pid();
         let fd = fs
-            .open(pid, "/a", OpenFlags::O_CREAT | OpenFlags::O_WRONLY, Mode::from_bits(0o644))
+            .open(
+                pid,
+                "/a",
+                OpenFlags::O_CREAT | OpenFlags::O_WRONLY,
+                Mode::from_bits(0o644),
+            )
             .unwrap();
         fs.write(pid, fd, &[1u8; 100]).unwrap();
         fs.sync();
         let fd2 = fs
-            .open(pid, "/b", OpenFlags::O_CREAT | OpenFlags::O_WRONLY, Mode::from_bits(0o644))
+            .open(
+                pid,
+                "/b",
+                OpenFlags::O_CREAT | OpenFlags::O_WRONLY,
+                Mode::from_bits(0o644),
+            )
             .unwrap();
         fs.write(pid, fd2, &[2u8; 50]).unwrap();
         assert_eq!(fs.stats().used_bytes, 150);

@@ -129,7 +129,10 @@ mod tests {
             FaultAction::FailWith(Errno::ENOSPC).to_string(),
             "fail with ENOSPC"
         );
-        assert_eq!(FaultAction::OverrideReturn(-22).to_string(), "override return to -22");
+        assert_eq!(
+            FaultAction::OverrideReturn(-22).to_string(),
+            "override return to -22"
+        );
         assert_eq!(FaultAction::SkipDurability.to_string(), "skip durability");
         assert_eq!(FaultAction::CorruptData.to_string(), "corrupt data");
     }

@@ -356,9 +356,27 @@ mod tests {
 
     #[test]
     fn device_kinds_report_types() {
-        let c = Inode::new(Ino(4), InodeKind::CharDev(0x0101), Mode::from_bits(0o666), Uid(0), Gid(0));
-        let b = Inode::new(Ino(5), InodeKind::BlockDev(0x0800), Mode::from_bits(0o660), Uid(0), Gid(0));
-        let p = Inode::new(Ino(6), InodeKind::Fifo, Mode::from_bits(0o644), Uid(0), Gid(0));
+        let c = Inode::new(
+            Ino(4),
+            InodeKind::CharDev(0x0101),
+            Mode::from_bits(0o666),
+            Uid(0),
+            Gid(0),
+        );
+        let b = Inode::new(
+            Ino(5),
+            InodeKind::BlockDev(0x0800),
+            Mode::from_bits(0o660),
+            Uid(0),
+            Gid(0),
+        );
+        let p = Inode::new(
+            Ino(6),
+            InodeKind::Fifo,
+            Mode::from_bits(0o644),
+            Uid(0),
+            Gid(0),
+        );
         assert_eq!(c.file_type(), FileType::CharDevice);
         assert_eq!(b.file_type(), FileType::BlockDevice);
         assert_eq!(p.file_type(), FileType::Fifo);

@@ -78,7 +78,10 @@ impl Vfs {
         ) {
             return Err(Errno::EACCES);
         }
-        if self.cov.branch("vfs::mkdir/emlink", parent_inode.nlink >= MAX_NLINK) {
+        if self
+            .cov
+            .branch("vfs::mkdir/emlink", parent_inode.nlink >= MAX_NLINK)
+        {
             return Err(Errno::EMLINK);
         }
         let p = self.process(pid);
@@ -191,7 +194,10 @@ impl Vfs {
         let Some(parent) = resolved.parent else {
             return Err(Errno::EBUSY); // unlinking "/"
         };
-        if self.cov.branch("vfs::unlink/eisdir", self.tree.get(ino).is_dir()) {
+        if self
+            .cov
+            .branch("vfs::unlink/eisdir", self.tree.get(ino).is_dir())
+        {
             return Err(Errno::EISDIR);
         }
         if self.cov.branch("vfs::unlink/erofs", self.read_only) {
@@ -204,19 +210,22 @@ impl Vfs {
         ) {
             return Err(Errno::EACCES);
         }
-        self.tree.get_mut(parent).entries_mut().remove(&resolved.name);
+        self.tree
+            .get_mut(parent)
+            .entries_mut()
+            .remove(&resolved.name);
         let now = self.now();
         self.tree.get_mut(parent).times.mtime = now;
         let inode = self.tree.get_mut(ino);
         inode.nlink = inode.nlink.saturating_sub(1);
         inode.times.ctime = now;
-        let drop_now =
-            inode.nlink == 0 && self.open_counts.get(&ino).copied().unwrap_or(0) == 0;
+        let drop_now = inode.nlink == 0 && self.open_counts.get(&ino).copied().unwrap_or(0) == 0;
         if drop_now {
             let inode = self.tree.inodes.remove(&ino).expect("live inode");
             if let InodeKind::File(content) = &inode.kind {
                 let charged = content.charged_bytes() as i64;
-                self.charge(inode.uid, -charged).expect("release never fails");
+                self.charge(inode.uid, -charged)
+                    .expect("release never fails");
             }
         }
         Ok(())
@@ -248,7 +257,10 @@ impl Vfs {
                 ..ResolveOpts::default()
             },
         )?;
-        if self.cov.branch("vfs::rmdir/einval_dot", resolved.name == ".") {
+        if self
+            .cov
+            .branch("vfs::rmdir/einval_dot", resolved.name == ".")
+        {
             return Err(Errno::EINVAL);
         }
         let ino = resolved.ino.ok_or(Errno::ENOENT)?;
@@ -281,7 +293,10 @@ impl Vfs {
         ) {
             return Err(Errno::EACCES);
         }
-        self.tree.get_mut(parent).entries_mut().remove(&resolved.name);
+        self.tree
+            .get_mut(parent)
+            .entries_mut()
+            .remove(&resolved.name);
         let now = self.now();
         let parent_inode = self.tree.get_mut(parent);
         parent_inode.times.mtime = now;
@@ -318,10 +333,16 @@ impl Vfs {
             ..OpCtx::default()
         })?;
         let src = self.resolve_existing(pid, existing, false)?;
-        if self.cov.branch("vfs::link/eperm_dir", self.tree.get(src).is_dir()) {
+        if self
+            .cov
+            .branch("vfs::link/eperm_dir", self.tree.get(src).is_dir())
+        {
             return Err(Errno::EPERM);
         }
-        if self.cov.branch("vfs::link/emlink", self.tree.get(src).nlink >= MAX_NLINK) {
+        if self
+            .cov
+            .branch("vfs::link/emlink", self.tree.get(src).nlink >= MAX_NLINK)
+        {
             return Err(Errno::EMLINK);
         }
         let base = self.process(pid).cwd;
@@ -381,7 +402,10 @@ impl Vfs {
         ) {
             return Err(Errno::ENAMETOOLONG);
         }
-        if self.cov.branch("vfs::symlink/enoent_empty", target.is_empty()) {
+        if self
+            .cov
+            .branch("vfs::symlink/enoent_empty", target.is_empty())
+        {
             return Err(Errno::ENOENT);
         }
         let base = self.process(pid).cwd;
@@ -394,7 +418,10 @@ impl Vfs {
                 ..ResolveOpts::default()
             },
         )?;
-        if self.cov.branch("vfs::symlink/eexist", resolved.ino.is_some()) {
+        if self
+            .cov
+            .branch("vfs::symlink/eexist", resolved.ino.is_some())
+        {
             return Err(Errno::EEXIST);
         }
         if self.cov.branch("vfs::symlink/erofs", self.read_only) {
@@ -488,10 +515,18 @@ impl Vfs {
         if src_is_dir {
             let mut cursor = dst_parent;
             loop {
-                if self.cov.branch("vfs::rename/einval_subtree", cursor == src_ino) {
+                if self
+                    .cov
+                    .branch("vfs::rename/einval_subtree", cursor == src_ino)
+                {
                     return Err(Errno::EINVAL);
                 }
-                let up = *self.tree.get(cursor).entries().get("..").expect("dirs have ..");
+                let up = *self
+                    .tree
+                    .get(cursor)
+                    .entries()
+                    .get("..")
+                    .expect("dirs have ..");
                 if up == cursor {
                     break;
                 }
@@ -503,16 +538,16 @@ impl Vfs {
                 return Ok(()); // renaming onto the same inode is a no-op
             }
             let dst_inode = self.tree.get(dst_ino);
-            if self.cov.branch(
-                "vfs::rename/eisdir",
-                dst_inode.is_dir() && !src_is_dir,
-            ) {
+            if self
+                .cov
+                .branch("vfs::rename/eisdir", dst_inode.is_dir() && !src_is_dir)
+            {
                 return Err(Errno::EISDIR);
             }
-            if self.cov.branch(
-                "vfs::rename/enotdir",
-                !dst_inode.is_dir() && src_is_dir,
-            ) {
+            if self
+                .cov
+                .branch("vfs::rename/enotdir", !dst_inode.is_dir() && src_is_dir)
+            {
                 return Err(Errno::ENOTDIR);
             }
             if dst_inode.is_dir() {
@@ -543,19 +578,23 @@ impl Vfs {
                 // Replace the file, like unlink would.
                 let inode = self.tree.get_mut(dst_ino);
                 inode.nlink = inode.nlink.saturating_sub(1);
-                let drop_now = inode.nlink == 0
-                    && self.open_counts.get(&dst_ino).copied().unwrap_or(0) == 0;
+                let drop_now =
+                    inode.nlink == 0 && self.open_counts.get(&dst_ino).copied().unwrap_or(0) == 0;
                 if drop_now {
                     let inode = self.tree.inodes.remove(&dst_ino).expect("live inode");
                     if let InodeKind::File(content) = &inode.kind {
                         let charged = content.charged_bytes() as i64;
-                        self.charge(inode.uid, -charged).expect("release never fails");
+                        self.charge(inode.uid, -charged)
+                            .expect("release never fails");
                     }
                 }
             }
         }
         // Move the entry.
-        self.tree.get_mut(src_parent).entries_mut().remove(&src.name);
+        self.tree
+            .get_mut(src_parent)
+            .entries_mut()
+            .remove(&src.name);
         self.tree
             .get_mut(dst_parent)
             .entries_mut()
@@ -585,14 +624,21 @@ impl Vfs {
     /// As [`rename`](Self::rename), plus `EEXIST` under `NOREPLACE`,
     /// `ENOENT` when `EXCHANGE` targets a missing entry, and `EINVAL`
     /// for unknown or conflicting flag bits.
-    pub fn rename2(&mut self, pid: Pid, old_path: &str, new_path: &str, flags: u32) -> VfsResult<()> {
+    pub fn rename2(
+        &mut self,
+        pid: Pid,
+        old_path: &str,
+        new_path: &str,
+        flags: u32,
+    ) -> VfsResult<()> {
         const NOREPLACE: u32 = 0x1;
         const EXCHANGE: u32 = 0x2;
         self.cov.fn_hit("vfs::rename");
         self.stats.ops += 1;
         if self.cov.branch(
             "vfs::rename2/einval_flags",
-            flags & !(NOREPLACE | EXCHANGE) != 0 || flags & (NOREPLACE | EXCHANGE) == (NOREPLACE | EXCHANGE),
+            flags & !(NOREPLACE | EXCHANGE) != 0
+                || flags & (NOREPLACE | EXCHANGE) == (NOREPLACE | EXCHANGE),
         ) {
             return Err(Errno::EINVAL);
         }

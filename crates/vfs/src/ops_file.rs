@@ -63,7 +63,15 @@ impl Vfs {
     /// `EBUSY`, `EPERM`, and `EACCES`.
     pub fn open(&mut self, pid: Pid, path: &str, flags: OpenFlags, mode: Mode) -> VfsResult<i32> {
         let base = self.process(pid).cwd;
-        self.open_impl(pid, base, path, flags, mode, ResolveFlags::default(), "open")
+        self.open_impl(
+            pid,
+            base,
+            path,
+            flags,
+            mode,
+            ResolveFlags::default(),
+            "open",
+        )
     }
 
     /// `openat(2)`: like [`open`](Self::open) relative to `dirfd`.
@@ -80,7 +88,15 @@ impl Vfs {
         mode: Mode,
     ) -> VfsResult<i32> {
         let base = self.base_for_dirfd(pid, dirfd)?;
-        self.open_impl(pid, base, path, flags, mode, ResolveFlags::default(), "openat")
+        self.open_impl(
+            pid,
+            base,
+            path,
+            flags,
+            mode,
+            ResolveFlags::default(),
+            "openat",
+        )
     }
 
     /// `creat(2)`: equivalent to `open` with
@@ -92,7 +108,15 @@ impl Vfs {
     pub fn creat(&mut self, pid: Pid, path: &str, mode: Mode) -> VfsResult<i32> {
         let flags = OpenFlags::O_CREAT | OpenFlags::O_WRONLY | OpenFlags::O_TRUNC;
         let base = self.process(pid).cwd;
-        self.open_impl(pid, base, path, flags, mode, ResolveFlags::default(), "creat")
+        self.open_impl(
+            pid,
+            base,
+            path,
+            flags,
+            mode,
+            ResolveFlags::default(),
+            "creat",
+        )
     }
 
     /// `openat2(2)`: `openat` with `RESOLVE_*` restrictions.
@@ -110,7 +134,10 @@ impl Vfs {
         mode: Mode,
         resolve: ResolveFlags,
     ) -> VfsResult<i32> {
-        if self.cov.branch("vfs::openat2/bad_resolve", resolve.has_unknown_bits()) {
+        if self
+            .cov
+            .branch("vfs::openat2/bad_resolve", resolve.has_unknown_bits())
+        {
             return Err(Errno::EINVAL);
         }
         let base = self.base_for_dirfd(pid, dirfd)?;
@@ -139,11 +166,17 @@ impl Vfs {
             ..OpCtx::default()
         })?;
 
-        if self.cov.branch("vfs::open/einval_accmode", flags.invalid_access_mode()) {
+        if self
+            .cov
+            .branch("vfs::open/einval_accmode", flags.invalid_access_mode())
+        {
             return Err(Errno::EINVAL);
         }
         let tmpfile = flags.contains(OpenFlags::O_TMPFILE);
-        if self.cov.branch("vfs::open/einval_tmpfile", tmpfile && !flags.writable()) {
+        if self
+            .cov
+            .branch("vfs::open/einval_tmpfile", tmpfile && !flags.writable())
+        {
             return Err(Errno::EINVAL);
         }
 
@@ -184,10 +217,16 @@ impl Vfs {
                 self.open_existing(pid, ino, flags, tmpfile)?
             }
             None => {
-                if self.cov.branch("vfs::open/enoent", !flags.contains(OpenFlags::O_CREAT)) {
+                if self
+                    .cov
+                    .branch("vfs::open/enoent", !flags.contains(OpenFlags::O_CREAT))
+                {
                     return Err(Errno::ENOENT);
                 }
-                if self.cov.branch("vfs::open/eisdir_slash", resolved.require_dir) {
+                if self
+                    .cov
+                    .branch("vfs::open/eisdir_slash", resolved.require_dir)
+                {
                     return Err(Errno::EISDIR);
                 }
                 if self.cov.branch("vfs::open/erofs_create", self.read_only) {
@@ -248,7 +287,10 @@ impl Vfs {
         let wants_write = flags.writable() || flags.contains(OpenFlags::O_TRUNC);
         let inode = self.tree.get(ino);
 
-        if self.cov.branch("vfs::open/eloop_nofollow", inode.is_symlink() && !path_fd) {
+        if self
+            .cov
+            .branch("vfs::open/eloop_nofollow", inode.is_symlink() && !path_fd)
+        {
             // Only reachable with O_NOFOLLOW (otherwise resolution
             // followed the link).
             return Err(Errno::ELOOP);
@@ -297,13 +339,14 @@ impl Vfs {
             && self.cov.branch(
                 "vfs::open/eisdir",
                 wants_write || flags.contains(OpenFlags::O_CREAT),
-            ) {
-                return Err(Errno::EISDIR);
-            }
-        if self.cov.branch(
-            "vfs::open/erofs",
-            self.read_only && wants_write && !path_fd,
-        ) {
+            )
+        {
+            return Err(Errno::EISDIR);
+        }
+        if self
+            .cov
+            .branch("vfs::open/erofs", self.read_only && wants_write && !path_fd)
+        {
             return Err(Errno::EROFS);
         }
         if path_fd {
@@ -339,10 +382,10 @@ impl Vfs {
 
         match &inode.kind {
             InodeKind::File(content) => {
-                if self.cov.branch(
-                    "vfs::open/etxtbsy",
-                    inode.executing && wants_write,
-                ) {
+                if self
+                    .cov
+                    .branch("vfs::open/etxtbsy", inode.executing && wants_write)
+                {
                     return Err(Errno::ETXTBSY);
                 }
                 if self.cov.branch(
@@ -377,12 +420,18 @@ impl Vfs {
                 }
             }
             InodeKind::CharDev(dev) => {
-                if self.cov.branch("vfs::open/enxio_chardev", !self.devices.contains(dev)) {
+                if self
+                    .cov
+                    .branch("vfs::open/enxio_chardev", !self.devices.contains(dev))
+                {
                     return Err(Errno::ENXIO);
                 }
             }
             InodeKind::BlockDev(dev) => {
-                if self.cov.branch("vfs::open/enodev", !self.devices.contains(dev)) {
+                if self
+                    .cov
+                    .branch("vfs::open/enodev", !self.devices.contains(dev))
+                {
                     return Err(Errno::ENODEV);
                 }
                 if self.cov.branch(
@@ -416,10 +465,7 @@ impl Vfs {
             pid: Some(pid),
             ..OpCtx::default()
         })?;
-        let file = self
-            .process_mut(pid)
-            .remove_fd(fd)
-            .ok_or(Errno::EBADF)?;
+        let file = self.process_mut(pid).remove_fd(fd).ok_or(Errno::EBADF)?;
         self.global_open_files = self.global_open_files.saturating_sub(1);
         if file.flags.readable() {
             if let Some(n) = self.fifo_readers.get_mut(&file.ino) {
@@ -444,7 +490,8 @@ impl Vfs {
                 let inode = self.tree.inodes.remove(&file.ino).expect("checked above");
                 if let InodeKind::File(content) = &inode.kind {
                     let charged = content.charged_bytes() as i64;
-                    self.charge(inode.uid, -charged).expect("release never fails");
+                    self.charge(inode.uid, -charged)
+                        .expect("release never fails");
                 }
             }
         }
@@ -488,7 +535,10 @@ impl Vfs {
     /// As [`read`](Self::read), plus `EINVAL` when `iov_lens` exceeds
     /// `IOV_MAX` (1024).
     pub fn readv(&mut self, pid: Pid, fd: i32, iov_lens: &[u64]) -> VfsResult<Vec<u8>> {
-        if self.cov.branch("vfs::read/einval_iov", iov_lens.len() > 1024) {
+        if self
+            .cov
+            .branch("vfs::read/einval_iov", iov_lens.len() > 1024)
+        {
             return Err(Errno::EINVAL);
         }
         let total: u64 = iov_lens.iter().sum();
@@ -695,7 +745,10 @@ impl Vfs {
             return Ok(0);
         }
         let end = pos.saturating_add(len);
-        if self.cov.branch("vfs::write/efbig", end > self.config.max_file_size) {
+        if self
+            .cov
+            .branch("vfs::write/efbig", end > self.config.max_file_size)
+        {
             return Err(Errno::EFBIG);
         }
 
@@ -754,11 +807,17 @@ impl Vfs {
             ..OpCtx::default()
         })?;
         let file = self.process(pid).fd(fd).ok_or(Errno::EBADF)?.clone();
-        if self.cov.branch("vfs::lseek/ebadf_path", file.flags.contains(OpenFlags::O_PATH)) {
+        if self.cov.branch(
+            "vfs::lseek/ebadf_path",
+            file.flags.contains(OpenFlags::O_PATH),
+        ) {
             return Err(Errno::EBADF);
         }
         let inode = self.tree.inodes.get(&file.ino).ok_or(Errno::EBADF)?;
-        if self.cov.branch("vfs::lseek/espipe", matches!(inode.kind, InodeKind::Fifo)) {
+        if self
+            .cov
+            .branch("vfs::lseek/espipe", matches!(inode.kind, InodeKind::Fifo))
+        {
             return Err(Errno::ESPIPE);
         }
         let size = inode.size();
@@ -785,7 +844,10 @@ impl Vfs {
                 target as u64
             }
             Whence::Data => {
-                if self.cov.branch("vfs::lseek/enxio_data", offset < 0 || offset as u64 >= size) {
+                if self
+                    .cov
+                    .branch("vfs::lseek/enxio_data", offset < 0 || offset as u64 >= size)
+                {
                     return Err(Errno::ENXIO);
                 }
                 match &inode.kind {
@@ -796,7 +858,10 @@ impl Vfs {
                 }
             }
             Whence::Hole => {
-                if self.cov.branch("vfs::lseek/enxio_hole", offset < 0 || offset as u64 >= size) {
+                if self
+                    .cov
+                    .branch("vfs::lseek/enxio_hole", offset < 0 || offset as u64 >= size)
+                {
                     return Err(Errno::ENXIO);
                 }
                 match &inode.kind {
@@ -843,7 +908,10 @@ impl Vfs {
         if self.cov.branch("vfs::truncate/eisdir", inode.is_dir()) {
             return Err(Errno::EISDIR);
         }
-        if self.cov.branch("vfs::truncate/einval_kind", !inode.is_file()) {
+        if self
+            .cov
+            .branch("vfs::truncate/einval_kind", !inode.is_file())
+        {
             return Err(Errno::EINVAL);
         }
         if self.cov.branch(
@@ -884,7 +952,10 @@ impl Vfs {
             return Err(Errno::EINVAL);
         }
         let inode = self.tree.inodes.get(&file.ino).ok_or(Errno::EBADF)?;
-        if self.cov.branch("vfs::ftruncate/einval_kind", !inode.is_file()) {
+        if self
+            .cov
+            .branch("vfs::ftruncate/einval_kind", !inode.is_file())
+        {
             return Err(Errno::EINVAL);
         }
         self.truncate_inode(file.ino, length as u64)
@@ -894,10 +965,10 @@ impl Vfs {
         if self.cov.branch("vfs::truncate/erofs", self.read_only) {
             return Err(Errno::EROFS);
         }
-        if self.cov.branch(
-            "vfs::truncate/efbig",
-            length > self.config.max_file_size,
-        ) {
+        if self
+            .cov
+            .branch("vfs::truncate/efbig", length > self.config.max_file_size)
+        {
             return Err(Errno::EFBIG);
         }
         let uid = self.tree.get(ino).uid;
@@ -949,7 +1020,10 @@ impl Vfs {
             flags: Some(mode),
             ..OpCtx::default()
         })?;
-        if self.cov.branch("vfs::fallocate/einval_range", offset < 0 || length <= 0) {
+        if self
+            .cov
+            .branch("vfs::fallocate/einval_range", offset < 0 || length <= 0)
+        {
             return Err(Errno::EINVAL);
         }
         if self.cov.branch(
@@ -1062,13 +1136,19 @@ impl Vfs {
             ino: Some(file.ino),
             ..OpCtx::default()
         })?;
-        if self.cov.branch("vfs::fsync/ebadf_path", file.flags.contains(OpenFlags::O_PATH)) {
+        if self.cov.branch(
+            "vfs::fsync/ebadf_path",
+            file.flags.contains(OpenFlags::O_PATH),
+        ) {
             return Err(Errno::EBADF);
         }
         let inode = self.tree.inodes.get(&file.ino).ok_or(Errno::EBADF)?;
         if self.cov.branch(
             "vfs::fsync/einval_kind",
-            matches!(inode.kind, InodeKind::Fifo | InodeKind::CharDev(_) | InodeKind::BlockDev(_)),
+            matches!(
+                inode.kind,
+                InodeKind::Fifo | InodeKind::CharDev(_) | InodeKind::BlockDev(_)
+            ),
         ) {
             return Err(Errno::EINVAL);
         }

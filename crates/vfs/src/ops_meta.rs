@@ -1,7 +1,9 @@
 //! Metadata operations: chmod family and extended attributes.
 
 use crate::errno::{Errno, VfsResult};
-use crate::flags::{Mode, OpenFlags, XattrFlags, AT_SYMLINK_NOFOLLOW, XATTR_NAME_MAX, XATTR_SIZE_MAX};
+use crate::flags::{
+    Mode, OpenFlags, XattrFlags, AT_SYMLINK_NOFOLLOW, XATTR_NAME_MAX, XATTR_SIZE_MAX,
+};
 use crate::fs::Vfs;
 use crate::hooks::OpCtx;
 use crate::inode::Ino;
@@ -79,7 +81,10 @@ impl Vfs {
             ..OpCtx::default()
         })?;
         let file = self.process(pid).fd(fd).ok_or(Errno::EBADF)?.clone();
-        if self.cov.branch("vfs::fchmod/ebadf_path", file.flags.contains(OpenFlags::O_PATH)) {
+        if self.cov.branch(
+            "vfs::fchmod/ebadf_path",
+            file.flags.contains(OpenFlags::O_PATH),
+        ) {
             return Err(Errno::EBADF);
         }
         self.chmod_inode(pid, file.ino, mode)
@@ -136,7 +141,10 @@ impl Vfs {
         let p = self.process(pid);
         let (euid, is_root) = (p.euid, p.is_root());
         let inode = self.tree.get(ino);
-        if self.cov.branch("vfs::chmod/eperm", !is_root && euid != inode.uid) {
+        if self
+            .cov
+            .branch("vfs::chmod/eperm", !is_root && euid != inode.uid)
+        {
             return Err(Errno::EPERM);
         }
         let now = self.now();
@@ -251,7 +259,10 @@ impl Vfs {
         flags: XattrFlags,
         check_perm: bool,
     ) -> VfsResult<()> {
-        if self.cov.branch("vfs::setxattr/einval_flags", flags.has_unknown_bits()) {
+        if self
+            .cov
+            .branch("vfs::setxattr/einval_flags", flags.has_unknown_bits())
+        {
             return Err(Errno::EINVAL);
         }
         if self.cov.branch(
@@ -260,10 +271,16 @@ impl Vfs {
         ) {
             return Err(Errno::EINVAL);
         }
-        if self.cov.branch("vfs::setxattr/erange_name", name.len() > XATTR_NAME_MAX) {
+        if self
+            .cov
+            .branch("vfs::setxattr/erange_name", name.len() > XATTR_NAME_MAX)
+        {
             return Err(Errno::ERANGE);
         }
-        if self.cov.branch("vfs::setxattr/e2big", value.len() > XATTR_SIZE_MAX) {
+        if self
+            .cov
+            .branch("vfs::setxattr/e2big", value.len() > XATTR_SIZE_MAX)
+        {
             return Err(Errno::E2BIG);
         }
         if self.cov.branch("vfs::setxattr/erofs", self.read_only) {
@@ -415,7 +432,10 @@ impl Vfs {
         if self.cov.branch("vfs::getxattr/size_probe", size == 0) {
             return Ok(XattrValue::Size(value.len() as u64));
         }
-        if self.cov.branch("vfs::getxattr/erange", (value.len() as u64) > size) {
+        if self
+            .cov
+            .branch("vfs::getxattr/erange", (value.len() as u64) > size)
+        {
             return Err(Errno::ERANGE);
         }
         Ok(XattrValue::Data(value.clone()))

@@ -67,7 +67,12 @@ impl Vfs {
 
     /// Resolves `path` relative to the process cwd and returns the target
     /// inode, failing with `ENOENT` if it does not exist.
-    pub(crate) fn resolve_existing(&mut self, pid: Pid, path: &str, follow: bool) -> VfsResult<Ino> {
+    pub(crate) fn resolve_existing(
+        &mut self,
+        pid: Pid,
+        path: &str,
+        follow: bool,
+    ) -> VfsResult<Ino> {
         let base = self.process(pid).cwd;
         let resolved = self.resolve_at(
             pid,
@@ -118,7 +123,11 @@ impl Vfs {
         if absolute && cov.branch("vfs::resolve/beneath_abs", beneath) {
             return Err(Errno::EXDEV);
         }
-        let start = if absolute && !in_root { self.tree.root } else { base };
+        let start = if absolute && !in_root {
+            self.tree.root
+        } else {
+            base
+        };
 
         let mut queue: VecDeque<String> = path
             .split('/')
@@ -282,7 +291,12 @@ mod tests {
         fs.mkdir(pid, "/a", Mode::from_bits(0o755)).unwrap();
         fs.mkdir(pid, "/a/b", Mode::from_bits(0o755)).unwrap();
         let fd = fs
-            .open(pid, "/a/b/f", OpenFlags::O_CREAT | OpenFlags::O_WRONLY, Mode::from_bits(0o644))
+            .open(
+                pid,
+                "/a/b/f",
+                OpenFlags::O_CREAT | OpenFlags::O_WRONLY,
+                Mode::from_bits(0o644),
+            )
             .unwrap();
         fs.close(pid, fd).unwrap();
         (fs, pid)
@@ -359,7 +373,10 @@ mod tests {
         let dotted = resolve(&mut fs, pid, "/a/./b/../b").unwrap().ino;
         assert_eq!(direct, dotted);
         // ".." above root stays at root.
-        assert_eq!(resolve(&mut fs, pid, "/../..").unwrap().ino, Some(fs.root()));
+        assert_eq!(
+            resolve(&mut fs, pid, "/../..").unwrap().ino,
+            Some(fs.root())
+        );
     }
 
     #[test]
@@ -443,7 +460,7 @@ mod tests {
     fn search_permission_is_enforced() {
         let (mut fs, pid) = setup();
         fs.chmod(pid, "/a", Mode::from_bits(0o600)).unwrap(); // no x
-        // Root (the default process) bypasses permission checks.
+                                                              // Root (the default process) bypasses permission checks.
         assert!(resolve(&mut fs, pid, "/a/b/f").unwrap().ino.is_some());
         // An unprivileged process is denied search permission.
         fs.spawn_process(Pid(99), crate::inode::Uid(1000), crate::inode::Gid(1000));
@@ -529,12 +546,22 @@ mod tests {
     #[test]
     fn dirfd_base_validation() {
         let (mut fs, pid) = setup();
-        assert_eq!(fs.base_for_dirfd(pid, AT_FDCWD).unwrap(), fs.process(pid).cwd);
+        assert_eq!(
+            fs.base_for_dirfd(pid, AT_FDCWD).unwrap(),
+            fs.process(pid).cwd
+        );
         assert_eq!(fs.base_for_dirfd(pid, 42), Err(Errno::EBADF));
-        let fd = fs.open(pid, "/a/b/f", OpenFlags::O_RDONLY, Mode::from_bits(0)).unwrap();
+        let fd = fs
+            .open(pid, "/a/b/f", OpenFlags::O_RDONLY, Mode::from_bits(0))
+            .unwrap();
         assert_eq!(fs.base_for_dirfd(pid, fd), Err(Errno::ENOTDIR));
         let dirfd = fs
-            .open(pid, "/a", OpenFlags::O_RDONLY | OpenFlags::O_DIRECTORY, Mode::from_bits(0))
+            .open(
+                pid,
+                "/a",
+                OpenFlags::O_RDONLY | OpenFlags::O_DIRECTORY,
+                Mode::from_bits(0),
+            )
             .unwrap();
         assert!(fs.base_for_dirfd(pid, dirfd).is_ok());
     }

@@ -19,7 +19,12 @@ fn fs() -> (Vfs, Pid) {
 
 fn touch(fs: &mut Vfs, pid: Pid, path: &str) {
     let fd = fs
-        .open(pid, path, OpenFlags::O_CREAT | OpenFlags::O_WRONLY, Mode::from_bits(0o644))
+        .open(
+            pid,
+            path,
+            OpenFlags::O_CREAT | OpenFlags::O_WRONLY,
+            Mode::from_bits(0o644),
+        )
         .unwrap();
     fs.close(pid, fd).unwrap();
 }
@@ -67,7 +72,9 @@ fn eisdir_open_dir_for_write() {
         Err(Errno::EISDIR)
     );
     // Read-only opens of directories are fine.
-    assert!(fs.open(pid, "/d", OpenFlags::O_RDONLY, Mode::from_bits(0)).is_ok());
+    assert!(fs
+        .open(pid, "/d", OpenFlags::O_RDONLY, Mode::from_bits(0))
+        .is_ok());
 }
 
 #[test]
@@ -79,7 +86,12 @@ fn enotdir_intermediate_and_o_directory() {
         Err(Errno::ENOTDIR)
     );
     assert_eq!(
-        fs.open(pid, "/f", OpenFlags::O_RDONLY | OpenFlags::O_DIRECTORY, Mode::from_bits(0)),
+        fs.open(
+            pid,
+            "/f",
+            OpenFlags::O_RDONLY | OpenFlags::O_DIRECTORY,
+            Mode::from_bits(0)
+        ),
         Err(Errno::ENOTDIR)
     );
 }
@@ -95,7 +107,9 @@ fn eacces_open_without_permission() {
         Err(Errno::EACCES)
     );
     // Root still succeeds.
-    assert!(fs.open(pid, "/secret", OpenFlags::O_RDONLY, Mode::from_bits(0)).is_ok());
+    assert!(fs
+        .open(pid, "/secret", OpenFlags::O_RDONLY, Mode::from_bits(0))
+        .is_ok());
 }
 
 #[test]
@@ -104,7 +118,12 @@ fn eacces_create_in_readonly_dir() {
     fs.mkdir(pid, "/ro", Mode::from_bits(0o555)).unwrap();
     let user = user_pid(&mut fs);
     assert_eq!(
-        fs.open(user, "/ro/new", OpenFlags::O_CREAT | OpenFlags::O_WRONLY, Mode::from_bits(0o644)),
+        fs.open(
+            user,
+            "/ro/new",
+            OpenFlags::O_CREAT | OpenFlags::O_WRONLY,
+            Mode::from_bits(0o644)
+        ),
         Err(Errno::EACCES)
     );
 }
@@ -121,7 +140,12 @@ fn eloop_symlink_cycle_and_nofollow() {
     touch(&mut fs, pid, "/target");
     fs.symlink(pid, "/target", "/direct").unwrap();
     assert_eq!(
-        fs.open(pid, "/direct", OpenFlags::O_RDONLY | OpenFlags::O_NOFOLLOW, Mode::from_bits(0)),
+        fs.open(
+            pid,
+            "/direct",
+            OpenFlags::O_RDONLY | OpenFlags::O_NOFOLLOW,
+            Mode::from_bits(0)
+        ),
         Err(Errno::ELOOP)
     );
 }
@@ -131,7 +155,12 @@ fn enametoolong_component() {
     let (mut fs, pid) = fs();
     let long = format!("/{}", "n".repeat(300));
     assert_eq!(
-        fs.open(pid, &long, OpenFlags::O_CREAT | OpenFlags::O_WRONLY, Mode::from_bits(0o644)),
+        fs.open(
+            pid,
+            &long,
+            OpenFlags::O_CREAT | OpenFlags::O_WRONLY,
+            Mode::from_bits(0o644)
+        ),
         Err(Errno::ENAMETOOLONG)
     );
 }
@@ -141,8 +170,12 @@ fn emfile_per_process_limit() {
     let mut fs = Vfs::with_config(VfsConfig::builder().max_fds_per_process(2).build());
     let pid = fs.default_pid();
     touch(&mut fs, pid, "/f");
-    let _fd1 = fs.open(pid, "/f", OpenFlags::O_RDONLY, Mode::from_bits(0)).unwrap();
-    let _fd2 = fs.open(pid, "/f", OpenFlags::O_RDONLY, Mode::from_bits(0)).unwrap();
+    let _fd1 = fs
+        .open(pid, "/f", OpenFlags::O_RDONLY, Mode::from_bits(0))
+        .unwrap();
+    let _fd2 = fs
+        .open(pid, "/f", OpenFlags::O_RDONLY, Mode::from_bits(0))
+        .unwrap();
     assert_eq!(
         fs.open(pid, "/f", OpenFlags::O_RDONLY, Mode::from_bits(0)),
         Err(Errno::EMFILE)
@@ -154,7 +187,9 @@ fn enfile_global_limit() {
     let mut fs = Vfs::with_config(VfsConfig::builder().max_open_files(1).build());
     let pid = fs.default_pid();
     touch(&mut fs, pid, "/f");
-    let _fd = fs.open(pid, "/f", OpenFlags::O_RDONLY, Mode::from_bits(0)).unwrap();
+    let _fd = fs
+        .open(pid, "/f", OpenFlags::O_RDONLY, Mode::from_bits(0))
+        .unwrap();
     fs.spawn_process(Pid(2), Uid(0), Gid(0));
     assert_eq!(
         fs.open(Pid(2), "/f", OpenFlags::O_RDONLY, Mode::from_bits(0)),
@@ -167,7 +202,12 @@ fn enospc_capacity_exhausted() {
     let mut fs = Vfs::with_config(VfsConfig::builder().capacity_bytes(10).build());
     let pid = fs.default_pid();
     let fd = fs
-        .open(pid, "/f", OpenFlags::O_CREAT | OpenFlags::O_WRONLY, Mode::from_bits(0o644))
+        .open(
+            pid,
+            "/f",
+            OpenFlags::O_CREAT | OpenFlags::O_WRONLY,
+            Mode::from_bits(0o644),
+        )
         .unwrap();
     assert_eq!(fs.write(pid, fd, b"12345").unwrap(), 5);
     assert_eq!(fs.write(pid, fd, b"678901"), Err(Errno::ENOSPC));
@@ -182,10 +222,18 @@ fn enospc_inode_limit() {
     // Root already uses one inode.
     touch(&mut fs, pid, "/one");
     assert_eq!(
-        fs.open(pid, "/two", OpenFlags::O_CREAT | OpenFlags::O_WRONLY, Mode::from_bits(0o644)),
+        fs.open(
+            pid,
+            "/two",
+            OpenFlags::O_CREAT | OpenFlags::O_WRONLY,
+            Mode::from_bits(0o644)
+        ),
         Err(Errno::ENOSPC)
     );
-    assert_eq!(fs.mkdir(pid, "/d", Mode::from_bits(0o755)), Err(Errno::ENOSPC));
+    assert_eq!(
+        fs.mkdir(pid, "/d", Mode::from_bits(0o755)),
+        Err(Errno::ENOSPC)
+    );
 }
 
 #[test]
@@ -195,7 +243,12 @@ fn edquot_user_quota() {
     fs.chmod(root, "/", Mode::from_bits(0o777)).unwrap();
     let user = user_pid(&mut fs);
     let fd = fs
-        .open(user, "/mine", OpenFlags::O_CREAT | OpenFlags::O_WRONLY, Mode::from_bits(0o644))
+        .open(
+            user,
+            "/mine",
+            OpenFlags::O_CREAT | OpenFlags::O_WRONLY,
+            Mode::from_bits(0o644),
+        )
         .unwrap();
     assert_eq!(fs.write(user, fd, b"12345678").unwrap(), 8);
     assert_eq!(fs.write(user, fd, b"9"), Err(Errno::EDQUOT));
@@ -206,7 +259,12 @@ fn efbig_max_file_size() {
     let mut fs = Vfs::with_config(VfsConfig::builder().max_file_size(100).build());
     let pid = fs.default_pid();
     let fd = fs
-        .open(pid, "/f", OpenFlags::O_CREAT | OpenFlags::O_WRONLY, Mode::from_bits(0o644))
+        .open(
+            pid,
+            "/f",
+            OpenFlags::O_CREAT | OpenFlags::O_WRONLY,
+            Mode::from_bits(0o644),
+        )
         .unwrap();
     assert_eq!(
         fs.write_src(pid, fd, WriteSource::Fill { byte: 0, len: 101 }),
@@ -226,13 +284,24 @@ fn erofs_all_write_paths() {
         Err(Errno::EROFS)
     );
     assert_eq!(
-        fs.open(pid, "/new", OpenFlags::O_CREAT | OpenFlags::O_WRONLY, Mode::from_bits(0o644)),
+        fs.open(
+            pid,
+            "/new",
+            OpenFlags::O_CREAT | OpenFlags::O_WRONLY,
+            Mode::from_bits(0o644)
+        ),
         Err(Errno::EROFS)
     );
-    assert_eq!(fs.mkdir(pid, "/d", Mode::from_bits(0o755)), Err(Errno::EROFS));
+    assert_eq!(
+        fs.mkdir(pid, "/d", Mode::from_bits(0o755)),
+        Err(Errno::EROFS)
+    );
     assert_eq!(fs.unlink(pid, "/f"), Err(Errno::EROFS));
     assert_eq!(fs.truncate(pid, "/f", 0), Err(Errno::EROFS));
-    assert_eq!(fs.chmod(pid, "/f", Mode::from_bits(0o600)), Err(Errno::EROFS));
+    assert_eq!(
+        fs.chmod(pid, "/f", Mode::from_bits(0o600)),
+        Err(Errno::EROFS)
+    );
     assert_eq!(
         fs.setxattr(pid, "/f", "user.k", b"v", XattrFlags::default()),
         Err(Errno::EROFS)
@@ -252,12 +321,18 @@ fn ebadf_descriptor_misuse() {
     assert_eq!(fs.fsync(pid, 99), Err(Errno::EBADF));
     touch(&mut fs, pid, "/f");
     // Wrong access mode.
-    let rd = fs.open(pid, "/f", OpenFlags::O_RDONLY, Mode::from_bits(0)).unwrap();
+    let rd = fs
+        .open(pid, "/f", OpenFlags::O_RDONLY, Mode::from_bits(0))
+        .unwrap();
     assert_eq!(fs.write(pid, rd, b"x"), Err(Errno::EBADF));
-    let wr = fs.open(pid, "/f", OpenFlags::O_WRONLY, Mode::from_bits(0)).unwrap();
+    let wr = fs
+        .open(pid, "/f", OpenFlags::O_WRONLY, Mode::from_bits(0))
+        .unwrap();
     assert_eq!(fs.read(pid, wr, 1), Err(Errno::EBADF));
     // O_PATH descriptors support neither I/O nor fsync.
-    let pathfd = fs.open(pid, "/f", OpenFlags::O_PATH, Mode::from_bits(0)).unwrap();
+    let pathfd = fs
+        .open(pid, "/f", OpenFlags::O_PATH, Mode::from_bits(0))
+        .unwrap();
     assert_eq!(fs.read(pid, pathfd, 1), Err(Errno::EBADF));
     assert_eq!(fs.write(pid, pathfd, b"x"), Err(Errno::EBADF));
     assert_eq!(fs.fsync(pid, pathfd), Err(Errno::EBADF));
@@ -277,17 +352,26 @@ fn einval_flag_and_argument_validation() {
     );
     // O_TMPFILE requires write access.
     assert_eq!(
-        fs.open(pid, "/", OpenFlags::O_TMPFILE | OpenFlags::O_RDONLY, Mode::from_bits(0o600)),
+        fs.open(
+            pid,
+            "/",
+            OpenFlags::O_TMPFILE | OpenFlags::O_RDONLY,
+            Mode::from_bits(0o600)
+        ),
         Err(Errno::EINVAL)
     );
     // Negative lengths and offsets.
     assert_eq!(fs.truncate(pid, "/f", -1), Err(Errno::EINVAL));
-    let fd = fs.open(pid, "/f", OpenFlags::O_RDWR, Mode::from_bits(0)).unwrap();
+    let fd = fs
+        .open(pid, "/f", OpenFlags::O_RDWR, Mode::from_bits(0))
+        .unwrap();
     assert_eq!(fs.ftruncate(pid, fd, -1), Err(Errno::EINVAL));
     assert_eq!(fs.lseek(pid, fd, -1, Whence::Set), Err(Errno::EINVAL));
     assert_eq!(fs.pread(pid, fd, 1, -1), Err(Errno::EINVAL));
     // ftruncate needs a writable descriptor.
-    let rd = fs.open(pid, "/f", OpenFlags::O_RDONLY, Mode::from_bits(0)).unwrap();
+    let rd = fs
+        .open(pid, "/f", OpenFlags::O_RDONLY, Mode::from_bits(0))
+        .unwrap();
     assert_eq!(fs.ftruncate(pid, rd, 0), Err(Errno::EINVAL));
     // truncate of a non-regular file.
     fs.mkfifo(pid, "/pipe", Mode::from_bits(0o644)).unwrap();
@@ -315,7 +399,9 @@ fn einval_flag_and_argument_validation() {
 fn eisdir_read_on_directory_fd() {
     let (mut fs, pid) = fs();
     fs.mkdir(pid, "/d", Mode::from_bits(0o755)).unwrap();
-    let fd = fs.open(pid, "/d", OpenFlags::O_RDONLY, Mode::from_bits(0)).unwrap();
+    let fd = fs
+        .open(pid, "/d", OpenFlags::O_RDONLY, Mode::from_bits(0))
+        .unwrap();
     assert_eq!(fs.read(pid, fd, 16), Err(Errno::EISDIR));
 }
 
@@ -323,7 +409,9 @@ fn eisdir_read_on_directory_fd() {
 fn espipe_lseek_on_fifo() {
     let (mut fs, pid) = fs();
     fs.mkfifo(pid, "/pipe", Mode::from_bits(0o644)).unwrap();
-    let fd = fs.open(pid, "/pipe", OpenFlags::O_RDONLY, Mode::from_bits(0)).unwrap();
+    let fd = fs
+        .open(pid, "/pipe", OpenFlags::O_RDONLY, Mode::from_bits(0))
+        .unwrap();
     assert_eq!(fs.lseek(pid, fd, 0, Whence::Set), Err(Errno::ESPIPE));
     assert_eq!(fs.pread(pid, fd, 1, 0), Err(Errno::ESPIPE));
 }
@@ -333,7 +421,12 @@ fn eagain_nonblocking_fifo_read() {
     let (mut fs, pid) = fs();
     fs.mkfifo(pid, "/pipe", Mode::from_bits(0o644)).unwrap();
     let fd = fs
-        .open(pid, "/pipe", OpenFlags::O_RDONLY | OpenFlags::O_NONBLOCK, Mode::from_bits(0))
+        .open(
+            pid,
+            "/pipe",
+            OpenFlags::O_RDONLY | OpenFlags::O_NONBLOCK,
+            Mode::from_bits(0),
+        )
         .unwrap();
     assert_eq!(fs.read(pid, fd, 1), Err(Errno::EAGAIN));
 }
@@ -344,41 +437,61 @@ fn enxio_fifo_and_chardev() {
     fs.mkfifo(pid, "/pipe", Mode::from_bits(0o644)).unwrap();
     // Non-blocking write-only open with no readers.
     assert_eq!(
-        fs.open(pid, "/pipe", OpenFlags::O_WRONLY | OpenFlags::O_NONBLOCK, Mode::from_bits(0)),
+        fs.open(
+            pid,
+            "/pipe",
+            OpenFlags::O_WRONLY | OpenFlags::O_NONBLOCK,
+            Mode::from_bits(0)
+        ),
         Err(Errno::ENXIO)
     );
     // With a reader present it succeeds.
-    let _rd = fs.open(pid, "/pipe", OpenFlags::O_RDONLY, Mode::from_bits(0)).unwrap();
+    let _rd = fs
+        .open(pid, "/pipe", OpenFlags::O_RDONLY, Mode::from_bits(0))
+        .unwrap();
     assert!(fs
-        .open(pid, "/pipe", OpenFlags::O_WRONLY | OpenFlags::O_NONBLOCK, Mode::from_bits(0))
+        .open(
+            pid,
+            "/pipe",
+            OpenFlags::O_WRONLY | OpenFlags::O_NONBLOCK,
+            Mode::from_bits(0)
+        )
         .is_ok());
     // Unregistered character device.
-    fs.mknod_char(pid, "/chr", Mode::from_bits(0o666), 0x0501).unwrap();
+    fs.mknod_char(pid, "/chr", Mode::from_bits(0o666), 0x0501)
+        .unwrap();
     assert_eq!(
         fs.open(pid, "/chr", OpenFlags::O_RDONLY, Mode::from_bits(0)),
         Err(Errno::ENXIO)
     );
     fs.register_device(0x0501);
-    assert!(fs.open(pid, "/chr", OpenFlags::O_RDONLY, Mode::from_bits(0)).is_ok());
+    assert!(fs
+        .open(pid, "/chr", OpenFlags::O_RDONLY, Mode::from_bits(0))
+        .is_ok());
 }
 
 #[test]
 fn enodev_and_ebusy_blockdev() {
     let (mut fs, pid) = fs();
-    fs.mknod_block(pid, "/blk", Mode::from_bits(0o660), 0x0800).unwrap();
+    fs.mknod_block(pid, "/blk", Mode::from_bits(0o660), 0x0800)
+        .unwrap();
     assert_eq!(
         fs.open(pid, "/blk", OpenFlags::O_RDONLY, Mode::from_bits(0)),
         Err(Errno::ENODEV)
     );
     fs.register_device(0x0800);
-    assert!(fs.open(pid, "/blk", OpenFlags::O_RDONLY, Mode::from_bits(0)).is_ok());
+    assert!(fs
+        .open(pid, "/blk", OpenFlags::O_RDONLY, Mode::from_bits(0))
+        .is_ok());
     fs.mark_device_busy(pid, "/blk").unwrap();
     assert_eq!(
         fs.open(pid, "/blk", OpenFlags::O_WRONLY, Mode::from_bits(0)),
         Err(Errno::EBUSY)
     );
     // Read-only open of a busy device is still allowed.
-    assert!(fs.open(pid, "/blk", OpenFlags::O_RDONLY, Mode::from_bits(0)).is_ok());
+    assert!(fs
+        .open(pid, "/blk", OpenFlags::O_RDONLY, Mode::from_bits(0))
+        .is_ok());
 }
 
 #[test]
@@ -392,14 +505,21 @@ fn etxtbsy_write_to_running_binary() {
     );
     assert_eq!(fs.truncate(pid, "/bin", 0), Err(Errno::ETXTBSY));
     fs.set_executing(pid, "/bin", false).unwrap();
-    assert!(fs.open(pid, "/bin", OpenFlags::O_WRONLY, Mode::from_bits(0)).is_ok());
+    assert!(fs
+        .open(pid, "/bin", OpenFlags::O_WRONLY, Mode::from_bits(0))
+        .is_ok());
 }
 
 #[test]
 fn eoverflow_32bit_compat_open() {
     let (mut fs, pid) = fs();
     let fd = fs
-        .open(pid, "/big", OpenFlags::O_CREAT | OpenFlags::O_WRONLY, Mode::from_bits(0o644))
+        .open(
+            pid,
+            "/big",
+            OpenFlags::O_CREAT | OpenFlags::O_WRONLY,
+            Mode::from_bits(0o644),
+        )
         .unwrap();
     // 2 GiB + 1 byte, written sparsely.
     fs.ftruncate(pid, fd, (1 << 31) + 1).unwrap();
@@ -410,10 +530,17 @@ fn eoverflow_32bit_compat_open() {
         Err(Errno::EOVERFLOW)
     );
     assert!(fs
-        .open(pid, "/big", OpenFlags::O_RDONLY | OpenFlags::O_LARGEFILE, Mode::from_bits(0))
+        .open(
+            pid,
+            "/big",
+            OpenFlags::O_RDONLY | OpenFlags::O_LARGEFILE,
+            Mode::from_bits(0)
+        )
         .is_ok());
     fs.set_compat_32bit(pid, false);
-    assert!(fs.open(pid, "/big", OpenFlags::O_RDONLY, Mode::from_bits(0)).is_ok());
+    assert!(fs
+        .open(pid, "/big", OpenFlags::O_RDONLY, Mode::from_bits(0))
+        .is_ok());
 }
 
 #[test]
@@ -428,7 +555,12 @@ fn eperm_chmod_noatime_trusted_xattr() {
     );
     // O_NOATIME by non-owner.
     assert_eq!(
-        fs.open(user, "/rootfile", OpenFlags::O_RDONLY | OpenFlags::O_NOATIME, Mode::from_bits(0)),
+        fs.open(
+            user,
+            "/rootfile",
+            OpenFlags::O_RDONLY | OpenFlags::O_NOATIME,
+            Mode::from_bits(0)
+        ),
         Err(Errno::EPERM)
     );
     // trusted.* xattr by non-root.
@@ -454,7 +586,10 @@ fn xattr_full_error_surface() {
         fs.setxattr(pid, "/f", "bogus.k", b"v", XattrFlags::default()),
         Err(Errno::EOPNOTSUPP)
     );
-    assert_eq!(fs.getxattr(pid, "/f", "bogus.k", 64), Err(Errno::EOPNOTSUPP));
+    assert_eq!(
+        fs.getxattr(pid, "/f", "bogus.k", 64),
+        Err(Errno::EOPNOTSUPP)
+    );
     // ERANGE: name too long.
     let long_name = format!("user.{}", "k".repeat(300));
     assert_eq!(
@@ -469,7 +604,8 @@ fn xattr_full_error_surface() {
     );
     // ENOSPC: per-inode budget (the Figure 1 bug surface).
     let big = vec![0u8; 3000];
-    fs.setxattr(pid, "/f", "user.a", &big, XattrFlags::default()).unwrap();
+    fs.setxattr(pid, "/f", "user.a", &big, XattrFlags::default())
+        .unwrap();
     assert_eq!(
         fs.setxattr(pid, "/f", "user.b", &big, XattrFlags::default()),
         Err(Errno::ENOSPC)
@@ -485,7 +621,8 @@ fn xattr_full_error_surface() {
     );
     // ENODATA on get; ERANGE on short buffer; size probe.
     assert_eq!(fs.getxattr(pid, "/f", "user.miss", 64), Err(Errno::ENODATA));
-    fs.setxattr(pid, "/f", "user.v", b"12345", XattrFlags::default()).unwrap();
+    fs.setxattr(pid, "/f", "user.v", b"12345", XattrFlags::default())
+        .unwrap();
     assert_eq!(fs.getxattr(pid, "/f", "user.v", 3), Err(Errno::ERANGE));
     let probe = fs.getxattr(pid, "/f", "user.v", 0).unwrap();
     assert_eq!(probe.len(), 5);
@@ -497,7 +634,12 @@ fn xattr_full_error_surface() {
 fn enxio_seek_data_hole_past_eof() {
     let (mut fs, pid) = fs();
     let fd = fs
-        .open(pid, "/f", OpenFlags::O_CREAT | OpenFlags::O_RDWR, Mode::from_bits(0o644))
+        .open(
+            pid,
+            "/f",
+            OpenFlags::O_CREAT | OpenFlags::O_RDWR,
+            Mode::from_bits(0o644),
+        )
         .unwrap();
     fs.write(pid, fd, b"0123").unwrap();
     assert_eq!(fs.lseek(pid, fd, 10, Whence::Data), Err(Errno::ENXIO));
@@ -543,10 +685,18 @@ fn fchmodat_flag_handling() {
         Err(Errno::EINVAL)
     );
     assert_eq!(
-        fs.fchmodat(pid, AT_FDCWD, "/f", Mode::from_bits(0o600), AT_SYMLINK_NOFOLLOW),
+        fs.fchmodat(
+            pid,
+            AT_FDCWD,
+            "/f",
+            Mode::from_bits(0o600),
+            AT_SYMLINK_NOFOLLOW
+        ),
         Err(Errno::EOPNOTSUPP)
     );
-    assert!(fs.fchmodat(pid, AT_FDCWD, "/f", Mode::from_bits(0o600), 0).is_ok());
+    assert!(fs
+        .fchmodat(pid, AT_FDCWD, "/f", Mode::from_bits(0o600), 0)
+        .is_ok());
     assert_eq!(fs.stat(pid, "/f").unwrap().mode, Mode::from_bits(0o600));
 }
 
@@ -570,12 +720,22 @@ fn injected_faults_surface_hard_errnos() {
     let (mut fs, pid) = fs();
     fs.set_fault_hook(Arc::new(Hard));
     let fd = fs
-        .open(pid, "/f", OpenFlags::O_CREAT | OpenFlags::O_RDWR, Mode::from_bits(0o644))
+        .open(
+            pid,
+            "/f",
+            OpenFlags::O_CREAT | OpenFlags::O_RDWR,
+            Mode::from_bits(0o644),
+        )
         .unwrap();
     assert_eq!(fs.read(pid, fd, 13), Err(Errno::EINTR));
     assert_eq!(fs.write(pid, fd, &[0u8; 13]), Err(Errno::EIO));
     assert_eq!(
-        fs.open(pid, "/nomem", OpenFlags::O_CREAT | OpenFlags::O_WRONLY, Mode::from_bits(0o644)),
+        fs.open(
+            pid,
+            "/nomem",
+            OpenFlags::O_CREAT | OpenFlags::O_WRONLY,
+            Mode::from_bits(0o644)
+        ),
         Err(Errno::ENOMEM)
     );
     // Other sizes unaffected.
@@ -596,7 +756,11 @@ fn o_tmpfile_creates_anonymous_file() {
         )
         .unwrap();
     fs.write(pid, fd, b"temp").unwrap();
-    assert_eq!(fs.readdir(pid, "/").unwrap().len(), 0, "not linked anywhere");
+    assert_eq!(
+        fs.readdir(pid, "/").unwrap().len(),
+        0,
+        "not linked anywhere"
+    );
     let before = fs.stats().inode_count;
     fs.close(pid, fd).unwrap();
     assert_eq!(fs.stats().inode_count, before - 1, "vanishes on close");
@@ -606,17 +770,29 @@ fn o_tmpfile_creates_anonymous_file() {
 fn o_append_always_writes_at_end() {
     let (mut fs, pid) = fs();
     let fd = fs
-        .open(pid, "/log", OpenFlags::O_CREAT | OpenFlags::O_RDWR, Mode::from_bits(0o644))
+        .open(
+            pid,
+            "/log",
+            OpenFlags::O_CREAT | OpenFlags::O_RDWR,
+            Mode::from_bits(0o644),
+        )
         .unwrap();
     fs.write(pid, fd, b"aaaa").unwrap();
     fs.close(pid, fd).unwrap();
     let fd = fs
-        .open(pid, "/log", OpenFlags::O_WRONLY | OpenFlags::O_APPEND, Mode::from_bits(0))
+        .open(
+            pid,
+            "/log",
+            OpenFlags::O_WRONLY | OpenFlags::O_APPEND,
+            Mode::from_bits(0),
+        )
         .unwrap();
     fs.lseek(pid, fd, 0, Whence::Set).unwrap();
     fs.write(pid, fd, b"bb").unwrap();
     fs.close(pid, fd).unwrap();
-    let fd = fs.open(pid, "/log", OpenFlags::O_RDONLY, Mode::from_bits(0)).unwrap();
+    let fd = fs
+        .open(pid, "/log", OpenFlags::O_RDONLY, Mode::from_bits(0))
+        .unwrap();
     assert_eq!(fs.read(pid, fd, 16).unwrap(), b"aaaabb");
 }
 
@@ -624,13 +800,23 @@ fn o_append_always_writes_at_end() {
 fn o_trunc_truncates_and_releases_space() {
     let (mut fs, pid) = fs();
     let fd = fs
-        .open(pid, "/f", OpenFlags::O_CREAT | OpenFlags::O_WRONLY, Mode::from_bits(0o644))
+        .open(
+            pid,
+            "/f",
+            OpenFlags::O_CREAT | OpenFlags::O_WRONLY,
+            Mode::from_bits(0o644),
+        )
         .unwrap();
     fs.write(pid, fd, &[9u8; 100]).unwrap();
     fs.close(pid, fd).unwrap();
     assert_eq!(fs.stats().used_bytes, 100);
     let fd = fs
-        .open(pid, "/f", OpenFlags::O_WRONLY | OpenFlags::O_TRUNC, Mode::from_bits(0))
+        .open(
+            pid,
+            "/f",
+            OpenFlags::O_WRONLY | OpenFlags::O_TRUNC,
+            Mode::from_bits(0),
+        )
         .unwrap();
     assert_eq!(fs.stats().used_bytes, 0);
     assert_eq!(fs.fstat(pid, fd).unwrap().size, 0);
@@ -640,7 +826,12 @@ fn o_trunc_truncates_and_releases_space() {
 fn unlinked_open_file_keeps_data_until_close() {
     let (mut fs, pid) = fs();
     let fd = fs
-        .open(pid, "/f", OpenFlags::O_CREAT | OpenFlags::O_RDWR, Mode::from_bits(0o644))
+        .open(
+            pid,
+            "/f",
+            OpenFlags::O_CREAT | OpenFlags::O_RDWR,
+            Mode::from_bits(0o644),
+        )
         .unwrap();
     fs.write(pid, fd, b"still here").unwrap();
     fs.unlink(pid, "/f").unwrap();
@@ -685,7 +876,12 @@ fn rename_semantics() {
 fn readv_writev_roundtrip_and_limits() {
     let (mut fs, pid) = fs();
     let fd = fs
-        .open(pid, "/f", OpenFlags::O_CREAT | OpenFlags::O_RDWR, Mode::from_bits(0o644))
+        .open(
+            pid,
+            "/f",
+            OpenFlags::O_CREAT | OpenFlags::O_RDWR,
+            Mode::from_bits(0o644),
+        )
         .unwrap();
     assert_eq!(fs.writev(pid, fd, &[b"ab", b"cd", b"ef"]).unwrap(), 6);
     fs.lseek(pid, fd, 0, Whence::Set).unwrap();
@@ -701,17 +897,35 @@ fn openat_and_mkdirat_resolve_via_dirfd() {
     let (mut fs, pid) = fs();
     fs.mkdir(pid, "/base", Mode::from_bits(0o755)).unwrap();
     let dirfd = fs
-        .open(pid, "/base", OpenFlags::O_RDONLY | OpenFlags::O_DIRECTORY, Mode::from_bits(0))
+        .open(
+            pid,
+            "/base",
+            OpenFlags::O_RDONLY | OpenFlags::O_DIRECTORY,
+            Mode::from_bits(0),
+        )
         .unwrap();
-    fs.mkdirat(pid, dirfd, "sub", Mode::from_bits(0o755)).unwrap();
+    fs.mkdirat(pid, dirfd, "sub", Mode::from_bits(0o755))
+        .unwrap();
     let fd = fs
-        .openat(pid, dirfd, "sub/f", OpenFlags::O_CREAT | OpenFlags::O_WRONLY, Mode::from_bits(0o644))
+        .openat(
+            pid,
+            dirfd,
+            "sub/f",
+            OpenFlags::O_CREAT | OpenFlags::O_WRONLY,
+            Mode::from_bits(0o644),
+        )
         .unwrap();
     fs.close(pid, fd).unwrap();
     assert!(fs.stat(pid, "/base/sub/f").is_ok());
     // openat with AT_FDCWD behaves like open.
     assert!(fs
-        .openat(pid, AT_FDCWD, "/base/sub/f", OpenFlags::O_RDONLY, Mode::from_bits(0))
+        .openat(
+            pid,
+            AT_FDCWD,
+            "/base/sub/f",
+            OpenFlags::O_RDONLY,
+            Mode::from_bits(0)
+        )
         .is_ok());
 }
 
@@ -720,7 +934,10 @@ fn umask_masks_creation_modes() {
     let (mut fs, pid) = fs();
     fs.set_umask(pid, 0o077);
     touch(&mut fs, pid, "/masked");
-    assert_eq!(fs.stat(pid, "/masked").unwrap().mode, Mode::from_bits(0o600));
+    assert_eq!(
+        fs.stat(pid, "/masked").unwrap().mode,
+        Mode::from_bits(0o600)
+    );
     fs.mkdir(pid, "/mdir", Mode::from_bits(0o777)).unwrap();
     assert_eq!(fs.stat(pid, "/mdir").unwrap().mode, Mode::from_bits(0o700));
 }

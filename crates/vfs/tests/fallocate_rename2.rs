@@ -10,7 +10,12 @@ fn fs_with_file(content: &[u8]) -> (Vfs, Pid, i32) {
     let mut fs = Vfs::new();
     let pid = fs.default_pid();
     let fd = fs
-        .open(pid, "/f", OpenFlags::O_CREAT | OpenFlags::O_RDWR, Mode::from_bits(0o644))
+        .open(
+            pid,
+            "/f",
+            OpenFlags::O_CREAT | OpenFlags::O_RDWR,
+            Mode::from_bits(0o644),
+        )
         .unwrap();
     if !content.is_empty() {
         fs.write(pid, fd, content).unwrap();
@@ -88,7 +93,9 @@ fn fallocate_argument_validation() {
     );
     assert_eq!(fs.fallocate(pid, 99, 0, 0, 10), Err(Errno::EBADF));
     // Read-only descriptor.
-    let rd = fs.open(pid, "/f", OpenFlags::O_RDONLY, Mode::from_bits(0)).unwrap();
+    let rd = fs
+        .open(pid, "/f", OpenFlags::O_RDONLY, Mode::from_bits(0))
+        .unwrap();
     assert_eq!(fs.fallocate(pid, rd, 0, 0, 10), Err(Errno::EBADF));
 }
 
@@ -97,12 +104,22 @@ fn fallocate_special_files_and_limits() {
     let (mut fs, pid, _fd) = fs_with_file(b"");
     fs.mkfifo(pid, "/pipe", Mode::from_bits(0o644)).unwrap();
     let pfd = fs
-        .open(pid, "/pipe", OpenFlags::O_RDWR | OpenFlags::O_NONBLOCK, Mode::from_bits(0))
+        .open(
+            pid,
+            "/pipe",
+            OpenFlags::O_RDWR | OpenFlags::O_NONBLOCK,
+            Mode::from_bits(0),
+        )
         .unwrap();
     assert_eq!(fs.fallocate(pid, pfd, 0, 0, 10), Err(Errno::ESPIPE));
     // EFBIG past the maximum file size.
-    let fd = fs.open(pid, "/f", OpenFlags::O_WRONLY, Mode::from_bits(0)).unwrap();
-    assert_eq!(fs.fallocate(pid, fd, 0, i64::MAX / 2, i64::MAX / 2), Err(Errno::EFBIG));
+    let fd = fs
+        .open(pid, "/f", OpenFlags::O_WRONLY, Mode::from_bits(0))
+        .unwrap();
+    assert_eq!(
+        fs.fallocate(pid, fd, 0, i64::MAX / 2, i64::MAX / 2),
+        Err(Errno::EFBIG)
+    );
     // But KEEP_SIZE reservations beyond max size are also rejected only
     // without KEEP_SIZE; with it the request is a pure reservation.
     fs.remount(false).unwrap();
@@ -114,13 +131,19 @@ fn fallocate_charges_capacity() {
     let mut fs = Vfs::with_config(VfsConfig::builder().capacity_bytes(100).build());
     let pid = fs.default_pid();
     let fd = fs
-        .open(pid, "/f", OpenFlags::O_CREAT | OpenFlags::O_RDWR, Mode::from_bits(0o644))
+        .open(
+            pid,
+            "/f",
+            OpenFlags::O_CREAT | OpenFlags::O_RDWR,
+            Mode::from_bits(0o644),
+        )
         .unwrap();
     assert_eq!(fs.fallocate(pid, fd, 0, 0, 200), Err(Errno::ENOSPC));
     fs.fallocate(pid, fd, 0, 0, 80).unwrap();
     assert_eq!(fs.stats().used_bytes, 80);
     // Punching the hole releases the space again.
-    fs.fallocate(pid, fd, PUNCH_HOLE | KEEP_SIZE, 0, 80).unwrap();
+    fs.fallocate(pid, fd, PUNCH_HOLE | KEEP_SIZE, 0, 80)
+        .unwrap();
     assert_eq!(fs.stats().used_bytes, 0);
 }
 
@@ -129,7 +152,12 @@ fn rename2_noreplace_refuses_existing_target() {
     let (mut fs, pid, fd) = fs_with_file(b"src");
     fs.close(pid, fd).unwrap();
     let g = fs
-        .open(pid, "/g", OpenFlags::O_CREAT | OpenFlags::O_WRONLY, Mode::from_bits(0o644))
+        .open(
+            pid,
+            "/g",
+            OpenFlags::O_CREAT | OpenFlags::O_WRONLY,
+            Mode::from_bits(0o644),
+        )
         .unwrap();
     fs.close(pid, g).unwrap();
     assert_eq!(fs.rename2(pid, "/f", "/g", 0x1), Err(Errno::EEXIST));
@@ -147,15 +175,24 @@ fn rename2_exchange_swaps_entries() {
     let pid = fs.default_pid();
     for (path, data) in [("/a", b"AAA".as_slice()), ("/b", b"B".as_slice())] {
         let fd = fs
-            .open(pid, path, OpenFlags::O_CREAT | OpenFlags::O_WRONLY, Mode::from_bits(0o644))
+            .open(
+                pid,
+                path,
+                OpenFlags::O_CREAT | OpenFlags::O_WRONLY,
+                Mode::from_bits(0o644),
+            )
             .unwrap();
         fs.write(pid, fd, data).unwrap();
         fs.close(pid, fd).unwrap();
     }
     fs.rename2(pid, "/a", "/b", 0x2).unwrap();
-    let fd = fs.open(pid, "/a", OpenFlags::O_RDONLY, Mode::from_bits(0)).unwrap();
+    let fd = fs
+        .open(pid, "/a", OpenFlags::O_RDONLY, Mode::from_bits(0))
+        .unwrap();
     assert_eq!(fs.read(pid, fd, 8).unwrap(), b"B");
-    let fd = fs.open(pid, "/b", OpenFlags::O_RDONLY, Mode::from_bits(0)).unwrap();
+    let fd = fs
+        .open(pid, "/b", OpenFlags::O_RDONLY, Mode::from_bits(0))
+        .unwrap();
     assert_eq!(fs.read(pid, fd, 8).unwrap(), b"AAA");
 }
 
@@ -166,7 +203,12 @@ fn rename2_exchange_swaps_file_and_directory() {
     fs.mkdir(pid, "/d", Mode::from_bits(0o755)).unwrap();
     fs.mkdir(pid, "/d/inner", Mode::from_bits(0o755)).unwrap();
     let fd = fs
-        .open(pid, "/f", OpenFlags::O_CREAT | OpenFlags::O_WRONLY, Mode::from_bits(0o644))
+        .open(
+            pid,
+            "/f",
+            OpenFlags::O_CREAT | OpenFlags::O_WRONLY,
+            Mode::from_bits(0o644),
+        )
         .unwrap();
     fs.close(pid, fd).unwrap();
     fs.rename2(pid, "/d", "/f", 0x2).unwrap();
@@ -186,5 +228,9 @@ fn rename2_exchange_requires_both_ends() {
 fn rename2_flag_validation() {
     let (mut fs, pid, _fd) = fs_with_file(b"x");
     assert_eq!(fs.rename2(pid, "/f", "/g", 0x4), Err(Errno::EINVAL));
-    assert_eq!(fs.rename2(pid, "/f", "/g", 0x3), Err(Errno::EINVAL), "NOREPLACE|EXCHANGE");
+    assert_eq!(
+        fs.rename2(pid, "/f", "/g", 0x3),
+        Err(Errno::EINVAL),
+        "NOREPLACE|EXCHANGE"
+    );
 }

@@ -16,8 +16,11 @@ fn file_op() -> impl Strategy<Value = FileOp> {
     prop_oneof![
         (0u64..512, proptest::collection::vec(any::<u8>(), 0..64))
             .prop_map(|(offset, data)| FileOp::Write { offset, data }),
-        (0u64..512, any::<u8>(), 0u64..128)
-            .prop_map(|(offset, byte, len)| FileOp::Fill { offset, byte, len }),
+        (0u64..512, any::<u8>(), 0u64..128).prop_map(|(offset, byte, len)| FileOp::Fill {
+            offset,
+            byte,
+            len
+        }),
         (0u64..600).prop_map(|len| FileOp::Truncate { len }),
         (0u64..600, 0u64..128).prop_map(|(offset, len)| FileOp::Read { offset, len }),
     ]

@@ -91,11 +91,31 @@ struct Target {
 }
 
 const TARGETS: [Target; 5] = [
-    Target { rel: "A", pre_existing: true, base: b"base-content-16b" },
-    Target { rel: "B", pre_existing: false, base: b"" },
-    Target { rel: "sub/C", pre_existing: true, base: b"subfile" },
-    Target { rel: "D", pre_existing: true, base: b"" },
-    Target { rel: "deep/x/y", pre_existing: false, base: b"" },
+    Target {
+        rel: "A",
+        pre_existing: true,
+        base: b"base-content-16b",
+    },
+    Target {
+        rel: "B",
+        pre_existing: false,
+        base: b"",
+    },
+    Target {
+        rel: "sub/C",
+        pre_existing: true,
+        base: b"subfile",
+    },
+    Target {
+        rel: "D",
+        pre_existing: true,
+        base: b"",
+    },
+    Target {
+        rel: "deep/x/y",
+        pre_existing: false,
+        base: b"",
+    },
 ];
 
 /// The CrashMonkey suite simulator.
@@ -159,7 +179,11 @@ impl CrashMonkeySim {
         kernel.mkdir(&format!("{file}/d"), 0o755);
         // ENOENT / EEXIST / EISDIR.
         let flags = sample_open_flags(rng, &self.profile.open) & !0o100; // no O_CREAT
-        kernel.open(&format!("{MOUNT}/nonexistent-{}", rng.random_range(0..50u32)), flags, 0);
+        kernel.open(
+            &format!("{MOUNT}/nonexistent-{}", rng.random_range(0..50u32)),
+            flags,
+            0,
+        );
         kernel.mkdir(&format!("{MOUNT}/sub"), 0o755); // EEXIST after setup
         kernel.open(MOUNT, 1, 0); // EISDIR
     }
@@ -347,7 +371,11 @@ impl CrashMonkeySim {
         }
 
         // The persistence point.
-        let active_path = if op == CoreOp::Rename { &renamed } else { &path };
+        let active_path = if op == CoreOp::Rename {
+            &renamed
+        } else {
+            &path
+        };
         match persist {
             PersistOp::None => {}
             PersistOp::FsyncFile => Self::fsync_path(&mut kernel, active_path, false),
@@ -366,7 +394,10 @@ impl CrashMonkeySim {
                 // ops this degrades to an explicit file fsync.
                 if !matches!(
                     op,
-                    CoreOp::WriteFront | CoreOp::WriteAppend | CoreOp::Overwrite | CoreOp::WriteHole
+                    CoreOp::WriteFront
+                        | CoreOp::WriteAppend
+                        | CoreOp::Overwrite
+                        | CoreOp::WriteHole
                 ) {
                     Self::fsync_path(&mut kernel, active_path, false);
                 }
@@ -388,20 +419,19 @@ impl CrashMonkeySim {
         // `iocov-vfs`): the entry is durable for pre-existing files or
         // after a sync/dir-fsync pair; the content after fsync/O_SYNC/
         // sync. Namespace operations are only guaranteed under sync.
-        let is_namespace_op = matches!(
-            op,
-            CoreOp::Rename | CoreOp::HardLink | CoreOp::MkdirSub
-        );
+        let is_namespace_op = matches!(op, CoreOp::Rename | CoreOp::HardLink | CoreOp::MkdirSub);
         let entry_durable = match op {
             CoreOp::Rename | CoreOp::UnlinkRecreate => persist == PersistOp::SyncAll,
             _ => {
-                target.pre_existing
-                    || matches!(persist, PersistOp::SyncAll | PersistOp::FsyncBoth)
+                target.pre_existing || matches!(persist, PersistOp::SyncAll | PersistOp::FsyncBoth)
             }
         };
         let content_durable = matches!(
             persist,
-            PersistOp::SyncAll | PersistOp::FsyncBoth | PersistOp::FsyncFile | PersistOp::OsyncWrite
+            PersistOp::SyncAll
+                | PersistOp::FsyncBoth
+                | PersistOp::FsyncFile
+                | PersistOp::OsyncWrite
         );
         if is_namespace_op {
             if persist == PersistOp::SyncAll {
@@ -452,8 +482,7 @@ impl CrashMonkeySim {
     /// persistence points, then crash and check every explicitly
     /// fsync-persisted pre-existing file.
     fn run_generic(&self, env: &TestEnv, id: usize, result: &mut SuiteResult) {
-        let mut rng =
-            StdRng::seed_from_u64(self.seed ^ 0xdead_beef ^ (id as u64).wrapping_mul(31));
+        let mut rng = StdRng::seed_from_u64(self.seed ^ 0xdead_beef ^ (id as u64).wrapping_mul(31));
         let mut kernel = env.fresh_kernel();
         self.setup(&mut kernel);
         self.probe_noise(&mut kernel, &mut rng);
@@ -505,12 +534,15 @@ impl CrashMonkeySim {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use iocov::{ArgName, Iocov, InputPartition};
+    use iocov::{ArgName, InputPartition, Iocov};
 
     #[test]
     fn seq1_is_exactly_300_workloads() {
         let sim = CrashMonkeySim::new(0, 1.0);
-        assert_eq!(SEQ1_WORKLOADS, CORE_OPS.len() * PERSIST_OPS.len() * TARGETS.len());
+        assert_eq!(
+            SEQ1_WORKLOADS,
+            CORE_OPS.len() * PERSIST_OPS.len() * TARGETS.len()
+        );
         assert_eq!(sim.total_workloads(), 400);
     }
 
@@ -532,11 +564,16 @@ mod tests {
         let env = TestEnv::new();
         let sim = CrashMonkeySim::new(11, 0.05);
         let _ = sim.run(&env);
-        let report = Iocov::with_mount_point(MOUNT).unwrap().analyze(&env.take_trace());
+        let report = Iocov::with_mount_point(MOUNT)
+            .unwrap()
+            .analyze(&env.take_trace());
         let flags = report.input_coverage(ArgName::OpenFlags);
         let rdonly = flags.count(&InputPartition::Flag("O_RDONLY".into()));
         let wronly = flags.count(&InputPartition::Flag("O_WRONLY".into()));
-        assert!(rdonly > wronly * 2, "O_RDONLY dominates: {rdonly} vs {wronly}");
+        assert!(
+            rdonly > wronly * 2,
+            "O_RDONLY dominates: {rdonly} vs {wronly}"
+        );
         // The long tail stays untested.
         assert_eq!(flags.count(&InputPartition::Flag("O_TMPFILE".into())), 0);
         assert_eq!(flags.count(&InputPartition::Flag("O_NOATIME".into())), 0);
@@ -558,7 +595,10 @@ mod tests {
         let bugs = BugSet::new(vec![InjectedBug::new(
             "lost-fsync",
             "fsync on /mnt/test/A silently loses durability",
-            BugTrigger::PathContains { op: "fsync", fragment: "/A" },
+            BugTrigger::PathContains {
+                op: "fsync",
+                fragment: "/A",
+            },
             FaultAction::SkipDurability,
         )]);
         let hook = bugs.into_hook();

@@ -236,7 +236,7 @@ fn pick_index(rng: &mut StdRng, resources: &[(usize, i32)]) -> Option<usize> {
 mod tests {
     use super::*;
     use iocov::syzlang::parse_to_trace;
-    use iocov::{ArgName, Iocov, InputPartition, NumericPartition};
+    use iocov::{ArgName, InputPartition, Iocov, NumericPartition};
 
     #[test]
     fn fuzzer_log_parses_cleanly() {

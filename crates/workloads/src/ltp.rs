@@ -137,7 +137,9 @@ impl LtpSim {
                 for _ in 0..iterations {
                     let n = kernel.read_discard(fd, 512);
                     if n < 0 {
-                        result.failures.push(format!("ltp read{case:02}: read failed {n}"));
+                        result
+                            .failures
+                            .push(format!("ltp read{case:02}: read failed {n}"));
                     }
                     kernel.lseek(fd, 0, 0);
                 }
@@ -155,7 +157,9 @@ impl LtpSim {
                     let buf = vec![i as u8; len];
                     let n = kernel.write(fd, &buf);
                     if n != len as i64 {
-                        result.failures.push(format!("ltp write{case:02}: short write {n}"));
+                        result
+                            .failures
+                            .push(format!("ltp write{case:02}: short write {n}"));
                     }
                 }
                 kernel.write_null(fd, 64); // EFAULT
@@ -207,7 +211,7 @@ impl LtpSim {
                     }
                 }
                 kernel.chmod(&format!("{dir}/missing"), 0o644); // ENOENT
-                // EPERM as the unprivileged helper.
+                                                                // EPERM as the unprivileged helper.
                 kernel.set_current(Pid(2));
                 kernel.chmod(&f, 0o777);
                 kernel.set_current(Pid(1));
@@ -247,7 +251,9 @@ impl LtpSim {
                 for _ in 0..iterations {
                     let n = kernel.getxattr(&f, "user.ltp", 4096);
                     if n != 5 {
-                        result.failures.push(format!("ltp getxattr{case:02}: got {n}"));
+                        result
+                            .failures
+                            .push(format!("ltp getxattr{case:02}: got {n}"));
                     }
                 }
                 kernel.getxattr(&f, "user.ltp", 0); // size probe
@@ -268,7 +274,9 @@ mod tests {
         let env = TestEnv::new();
         let sim = LtpSim::new(5, 0.2);
         let result = sim.run(&env);
-        let report = Iocov::with_mount_point(MOUNT).unwrap().analyze(&env.take_trace());
+        let report = Iocov::with_mount_point(MOUNT)
+            .unwrap()
+            .analyze(&env.take_trace());
         (result, report)
     }
 
@@ -302,10 +310,30 @@ mod tests {
             assert!(open_out.errno_count(errno) > 0, "{errno}");
         }
         // read/write EFAULT probes ride on attributed descriptors.
-        assert!(report.output_coverage(BaseSyscall::Read).errno_count("EFAULT") > 0);
-        assert!(report.output_coverage(BaseSyscall::Write).errno_count("EFAULT") > 0);
-        assert!(report.output_coverage(BaseSyscall::Getxattr).errno_count("ERANGE") > 0);
-        assert!(report.output_coverage(BaseSyscall::Setxattr).errno_count("EOPNOTSUPP") > 0);
+        assert!(
+            report
+                .output_coverage(BaseSyscall::Read)
+                .errno_count("EFAULT")
+                > 0
+        );
+        assert!(
+            report
+                .output_coverage(BaseSyscall::Write)
+                .errno_count("EFAULT")
+                > 0
+        );
+        assert!(
+            report
+                .output_coverage(BaseSyscall::Getxattr)
+                .errno_count("ERANGE")
+                > 0
+        );
+        assert!(
+            report
+                .output_coverage(BaseSyscall::Setxattr)
+                .errno_count("EOPNOTSUPP")
+                > 0
+        );
     }
 
     #[test]
@@ -315,7 +343,9 @@ mod tests {
         let wc = report.input_coverage(ArgName::WriteCount);
         for k in 13..=32u32 {
             assert_eq!(
-                wc.count(&iocov::InputPartition::Numeric(iocov::NumericPartition::Log2(k))),
+                wc.count(&iocov::InputPartition::Numeric(
+                    iocov::NumericPartition::Log2(k)
+                )),
                 0,
                 "bucket 2^{k}"
             );

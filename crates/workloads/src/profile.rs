@@ -302,7 +302,10 @@ mod tests {
         // CM's buckets are a subset of xfstests'.
         for (bucket, _) in cm.write_size.bucket_weights {
             assert!(
-                xfs.write_size.bucket_weights.iter().any(|(k, _)| k == bucket),
+                xfs.write_size
+                    .bucket_weights
+                    .iter()
+                    .any(|(k, _)| k == bucket),
                 "bucket {bucket}"
             );
         }

@@ -108,7 +108,11 @@ mod tests {
             *sizes.entry(n).or_insert(0u32) += 1;
         }
         // Modal combination size is 4, as in Table 1.
-        let modal = sizes.iter().max_by_key(|(_, c)| **c).map(|(s, _)| *s).unwrap();
+        let modal = sizes
+            .iter()
+            .max_by_key(|(_, c)| **c)
+            .map(|(s, _)| *s)
+            .unwrap();
         assert_eq!(modal, 4);
         // Never more than 6 flags.
         assert!(sizes.keys().all(|&s| (1..=6).contains(&s)));
@@ -161,7 +165,9 @@ mod tests {
         let profile = xfstests_profile();
         let run = |seed: u64| -> Vec<u64> {
             let mut rng = StdRng::seed_from_u64(seed);
-            (0..50).map(|_| sample_size(&mut rng, &profile.write_size)).collect()
+            (0..50)
+                .map(|_| sample_size(&mut rng, &profile.write_size))
+                .collect()
         };
         assert_eq!(run(7), run(7));
         assert_ne!(run(7), run(8));

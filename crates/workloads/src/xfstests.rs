@@ -137,9 +137,9 @@ impl XfstestsSim {
             // thus Table 1) is preserved.
             let mut flags = flags;
             for (bad, substitute) in [
-                (0o100, 0o2000000u32),  // O_CREAT  -> O_CLOEXEC
-                (0o1000, 0o400000),     // O_TRUNC  -> O_NOFOLLOW
-                (0o200, 0o4000),        // O_EXCL   -> O_NONBLOCK
+                (0o100, 0o2000000u32), // O_CREAT  -> O_CLOEXEC
+                (0o1000, 0o400000),    // O_TRUNC  -> O_NOFOLLOW
+                (0o200, 0o4000),       // O_EXCL   -> O_NONBLOCK
             ] {
                 if flags & bad != 0 {
                     flags = (flags & !bad) | substitute;
@@ -218,9 +218,9 @@ impl XfstestsSim {
                         if ret >= 0 && it % 16 == 0 {
                             let check = kernel.pread64(fd, len, offset);
                             if check >= 0 && check != ret {
-                                result.failures.push(format!(
-                                    "{test}: pread returned {check}, pwrite {ret}"
-                                ));
+                                result
+                                    .failures
+                                    .push(format!("{test}: pread returned {check}, pwrite {ret}"));
                             }
                         }
                     } else {
@@ -253,7 +253,11 @@ impl XfstestsSim {
         let repeats = self.scaled(40);
         for _ in 0..repeats {
             // ENOENT / ENOTDIR / EISDIR / EEXIST probes.
-            kernel.open(&format!("{dir}/missing-{}", rng.random_range(0..100u32)), 0, 0);
+            kernel.open(
+                &format!("{dir}/missing-{}", rng.random_range(0..100u32)),
+                0,
+                0,
+            );
             kernel.creat(&format!("{dir}/f"), 0o644);
             kernel.open(&format!("{dir}/f"), 0o301, 0o644); // O_CREAT|O_EXCL → EEXIST
             kernel.open(dir, 1, 0); // EISDIR
@@ -293,11 +297,15 @@ impl XfstestsSim {
                 // ETXTBSY: write to a "running" binary.
                 kernel.creat(&format!("{dir}/prog"), 0o755);
                 let pid = kernel.current();
-                let _ = kernel.vfs_mut().set_executing(pid, &format!("{dir}/prog"), true);
+                let _ = kernel
+                    .vfs_mut()
+                    .set_executing(pid, &format!("{dir}/prog"), true);
                 kernel.open(&format!("{dir}/prog"), 1, 0);
                 kernel.truncate(&format!("{dir}/prog"), 0);
                 let pid = kernel.current();
-                let _ = kernel.vfs_mut().set_executing(pid, &format!("{dir}/prog"), false);
+                let _ = kernel
+                    .vfs_mut()
+                    .set_executing(pid, &format!("{dir}/prog"), false);
             }
             4 => {
                 // EOVERFLOW: 32-bit compat open of a >2 GiB sparse file.
@@ -318,7 +326,9 @@ impl XfstestsSim {
                 // ENXIO / EAGAIN / ESPIPE on a FIFO.
                 let pid = kernel.current();
                 let fifo = format!("{dir}/pipe");
-                let _ = kernel.vfs_mut().mkfifo(pid, &fifo, iocov_vfs::Mode::from_bits(0o644));
+                let _ = kernel
+                    .vfs_mut()
+                    .mkfifo(pid, &fifo, iocov_vfs::Mode::from_bits(0o644));
                 kernel.open(&fifo, 0o4001, 0); // O_WRONLY|O_NONBLOCK → ENXIO
                 let rd = kernel.open(&fifo, 0o4000, 0); // O_RDONLY|O_NONBLOCK
                 if rd >= 0 {
@@ -331,17 +341,23 @@ impl XfstestsSim {
                 // EBUSY / ENODEV on block devices.
                 let pid = kernel.current();
                 let blk = format!("{dir}/blk");
-                let _ = kernel
-                    .vfs_mut()
-                    .mknod_block(pid, &blk, iocov_vfs::Mode::from_bits(0o660), 0x0801);
+                let _ = kernel.vfs_mut().mknod_block(
+                    pid,
+                    &blk,
+                    iocov_vfs::Mode::from_bits(0o660),
+                    0x0801,
+                );
                 let pid = kernel.current();
                 let _ = kernel.vfs_mut().mark_device_busy(pid, &blk);
                 kernel.open(&blk, 1, 0); // EBUSY
                 let ghost = format!("{dir}/ghost");
                 let pid = kernel.current();
-                let _ = kernel
-                    .vfs_mut()
-                    .mknod_block(pid, &ghost, iocov_vfs::Mode::from_bits(0o660), 0x9999);
+                let _ = kernel.vfs_mut().mknod_block(
+                    pid,
+                    &ghost,
+                    iocov_vfs::Mode::from_bits(0o660),
+                    0x9999,
+                );
                 kernel.open(&ghost, 0, 0); // ENODEV
             }
             7 => {
@@ -661,9 +677,9 @@ impl XfstestsSim {
                     } else {
                         let got = kernel.pread64(fd as i32, len, 0);
                         if got >= 0 && got as u64 != len {
-                            result.failures.push(format!(
-                                "{test}: durable data truncated to {got} of {len}"
-                            ));
+                            result
+                                .failures
+                                .push(format!("{test}: durable data truncated to {got} of {len}"));
                         }
                         kernel.close(fd as i32);
                     }
@@ -715,7 +731,11 @@ impl XfstestsSim {
         // Exchange the large file with a sibling via renameat2.
         kernel.creat(&format!("{dir}/sibling"), 0o644);
         kernel.renameat2(&f, &format!("{dir}/sibling"), 0x2 /* EXCHANGE */);
-        kernel.renameat2(&format!("{dir}/sibling"), &format!("{dir}/large2"), 0x1 /* NOREPLACE */);
+        kernel.renameat2(
+            &format!("{dir}/sibling"),
+            &format!("{dir}/large2"),
+            0x1, /* NOREPLACE */
+        );
         kernel.close(fd);
     }
 }
@@ -760,7 +780,9 @@ mod tests {
         let (_, report) = small_run();
         let writes = report.input_coverage(ArgName::WriteCount);
         assert!(
-            writes.count(&iocov::InputPartition::Numeric(iocov::NumericPartition::Zero)) > 0,
+            writes.count(&iocov::InputPartition::Numeric(
+                iocov::NumericPartition::Zero
+            )) > 0,
             "boundary tests issue zero-length writes"
         );
     }

@@ -20,19 +20,28 @@ fn main() {
             InjectedBug::new(
                 "short-pwrite",
                 "pwrite of >= 64 KiB reports a bogus short count",
-                BugTrigger::SizeAtLeast { op: "pwrite64", size: 64 * 1024 },
+                BugTrigger::SizeAtLeast {
+                    op: "pwrite64",
+                    size: 64 * 1024,
+                },
                 FaultAction::OverrideReturn(1),
             ),
             InjectedBug::new(
                 "fsync-subC",
                 "fsync of sub/C silently persists nothing",
-                BugTrigger::PathContains { op: "fsync", fragment: "sub/C" },
+                BugTrigger::PathContains {
+                    op: "fsync",
+                    fragment: "sub/C",
+                },
                 FaultAction::SkipDurability,
             ),
             InjectedBug::new(
                 "truncate-eio",
                 "truncate past 8 KiB fails EIO",
-                BugTrigger::SizeAtLeast { op: "truncate", size: 8192 },
+                BugTrigger::SizeAtLeast {
+                    op: "truncate",
+                    size: 8192,
+                },
                 FaultAction::FailWith(Errno::EIO),
             ),
         ])
@@ -45,7 +54,11 @@ fn main() {
     let sim = XfstestsSim::new(1, 0.02);
     let mut kernel = env.fresh_kernel();
     let result = sim.run_range(&mut kernel, 0..60);
-    println!("xfstests-style run: {} tests, {} failures", result.tests_run, result.failures.len());
+    println!(
+        "xfstests-style run: {} tests, {} failures",
+        result.tests_run,
+        result.failures.len()
+    );
     for failure in result.failures.iter().take(3) {
         println!("  {failure}");
     }
@@ -76,6 +89,9 @@ fn main() {
         mismatch_summary(&report)
     );
     for mismatch in report.mismatches.iter().take(3) {
-        println!("  {} → vfs {} vs spec {}", mismatch.op, mismatch.vfs_ret, mismatch.model_ret);
+        println!(
+            "  {} → vfs {} vs spec {}",
+            mismatch.op, mismatch.vfs_ret, mismatch.model_ret
+        );
     }
 }

@@ -27,7 +27,10 @@ fn main() {
     }
 
     println!("\n== write-size coverage breadth (Figure 3) ==");
-    for (name, report) in [("CrashMonkey", &reports.crashmonkey), ("xfstests", &reports.xfstests)] {
+    for (name, report) in [
+        ("CrashMonkey", &reports.crashmonkey),
+        ("xfstests", &reports.xfstests),
+    ] {
         let cov = report.input_coverage(ArgName::WriteCount);
         let covered = cov
             .counts

@@ -7,7 +7,7 @@
 //! ```
 
 use iocov::syzlang::parse_to_trace;
-use iocov::{ArgName, BaseSyscall, Iocov, InputPartition, NumericPartition};
+use iocov::{ArgName, BaseSyscall, InputPartition, Iocov, NumericPartition};
 use iocov_workloads::{SyzFuzzerSim, TestEnv, XfstestsSim};
 
 fn bucket_breadth(report: &iocov::AnalysisReport, arg: ArgName) -> usize {

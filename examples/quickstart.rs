@@ -44,11 +44,17 @@ fn main() {
     );
 
     // 4. Input coverage of the open flags, Figure 2-style.
-    print!("{}", iocov::report::render_input(&report, ArgName::OpenFlags));
+    print!(
+        "{}",
+        iocov::report::render_input(&report, ArgName::OpenFlags)
+    );
     println!();
 
     // 5. Output coverage of open, Figure 4-style.
-    print!("{}", iocov::report::render_output(&report, BaseSyscall::Open));
+    print!(
+        "{}",
+        iocov::report::render_output(&report, BaseSyscall::Open)
+    );
     println!();
 
     // 6. The actionable summary: what this suite never tested.

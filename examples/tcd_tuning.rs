@@ -7,7 +7,7 @@
 //! ```
 
 use iocov::tcd::tcd;
-use iocov::{ArgName, Iocov, InputPartition};
+use iocov::{ArgName, InputPartition, Iocov};
 use iocov_workloads::{CrashMonkeySim, TestEnv, MOUNT};
 
 fn main() {
@@ -32,7 +32,10 @@ fn main() {
 
     // A uniform target treats O_SYNC like O_NOCTTY.
     let uniform = vec![1_000u64; flags.len()];
-    println!("\nTCD against a uniform target of 1,000: {:.3}", tcd(&freqs, &uniform));
+    println!(
+        "\nTCD against a uniform target of 1,000: {:.3}",
+        tcd(&freqs, &uniform)
+    );
 
     // A persistence-weighted target: crash-consistency testing "heavily
     // exploits persistence operations", so demand far more coverage of

@@ -4,7 +4,7 @@
 
 use std::sync::Arc;
 
-use iocov::{ArgName, Iocov, InputPartition, NumericPartition};
+use iocov::{ArgName, InputPartition, Iocov, NumericPartition};
 use iocov_codecov::{CoverageHandle, ProbeKind, Registry};
 use iocov_faults::{dataset, demo_bugs, BugSet, BugTrigger, InjectedBug, StudyStats};
 use iocov_syscalls::Kernel;
@@ -14,10 +14,7 @@ use iocov_vfs::{Errno, FaultAction, SharedHook};
 #[test]
 fn bug_study_aggregates_match_the_paper() {
     let stats = StudyStats::compute(&dataset());
-    assert_eq!(
-        (stats.total, stats.ext4, stats.btrfs),
-        (70, 51, 19)
-    );
+    assert_eq!((stats.total, stats.ext4, stats.btrfs), (70, 51, 19));
     assert_eq!(stats.line_covered_missed, 37);
     assert_eq!(stats.func_covered_missed, 43);
     assert_eq!(stats.branch_covered_missed, 20);
@@ -38,17 +35,24 @@ fn covered_code_hides_input_triggered_bug() {
     let recorder = Arc::new(Recorder::new());
 
     let mut kernel = Kernel::new();
-    kernel.vfs_mut().set_coverage(CoverageHandle::enabled(Arc::clone(&registry)));
+    kernel
+        .vfs_mut()
+        .set_coverage(CoverageHandle::enabled(Arc::clone(&registry)));
     kernel.attach_recorder(Arc::clone(&recorder));
     // The injected bug: writes of exactly 2^17 bytes return short.
     let bugs = BugSet::new(vec![InjectedBug::new(
         "boundary-short-write",
         "write of exactly 128 KiB returns len-1",
-        BugTrigger::SizeEquals { op: "write", size: 1 << 17 },
+        BugTrigger::SizeEquals {
+            op: "write",
+            size: 1 << 17,
+        },
         FaultAction::OverrideReturn((1 << 17) - 1),
     )])
     .into_hook();
-    kernel.vfs_mut().set_fault_hook(Arc::clone(&bugs) as SharedHook);
+    kernel
+        .vfs_mut()
+        .set_fault_hook(Arc::clone(&bugs) as SharedHook);
 
     // A "test suite" that exercises write thoroughly — but only with
     // common sizes.
@@ -69,7 +73,9 @@ fn covered_code_hides_input_triggered_bug() {
 
     // Input coverage, however, flags the 2^17 partition as untested.
     let report = Iocov::new().analyze(&recorder.take());
-    let untested = report.input_coverage(ArgName::WriteCount).untested(ArgName::WriteCount);
+    let untested = report
+        .input_coverage(ArgName::WriteCount)
+        .untested(ArgName::WriteCount);
     assert!(
         untested.contains(&InputPartition::Numeric(NumericPartition::Log2(17))),
         "IOCov points at the exact gap hiding the bug"
@@ -77,7 +83,11 @@ fn covered_code_hides_input_triggered_bug() {
 
     // A tester that acts on the report catches the bug immediately.
     let ret = kernel.write_fill(fd, 0, 1 << 17);
-    assert_eq!(ret, (1 << 17) - 1, "the boundary input trips the output bug");
+    assert_eq!(
+        ret,
+        (1 << 17) - 1,
+        "the boundary input trips the output bug"
+    );
     assert!(bugs.bugs()[0].hits() >= 1);
 }
 
@@ -87,7 +97,10 @@ fn crash_oracle_catches_durability_bug_in_covered_code() {
     let bugs = BugSet::new(vec![InjectedBug::new(
         "fsync-lies",
         "fsync of /mnt/test/sub/C silently persists nothing",
-        BugTrigger::PathContains { op: "fsync", fragment: "sub/C" },
+        BugTrigger::PathContains {
+            op: "fsync",
+            fragment: "sub/C",
+        },
         FaultAction::SkipDurability,
     )])
     .into_hook();
@@ -95,10 +108,7 @@ fn crash_oracle_catches_durability_bug_in_covered_code() {
     let result = CrashMonkeySim::new(3, 0.02).run(&env);
     assert!(bugs.bugs()[0].hits() > 0, "the buggy path executed");
     assert!(
-        result
-            .crash_violations
-            .iter()
-            .any(|v| v.contains("sub/C")),
+        result.crash_violations.iter().any(|v| v.contains("sub/C")),
         "the crash oracle reports the lost file: {:?}",
         result.crash_violations
     );
@@ -111,7 +121,10 @@ fn xfstests_style_verification_catches_corruption_bug() {
     let bugs = BugSet::new(vec![InjectedBug::new(
         "short-pwrite",
         "pwrite of 4 KiB or more writes fully but reports len-1",
-        BugTrigger::SizeAtLeast { op: "pwrite64", size: 65_536 },
+        BugTrigger::SizeAtLeast {
+            op: "pwrite64",
+            size: 65_536,
+        },
         FaultAction::OverrideReturn(1),
     )])
     .into_hook();
@@ -134,13 +147,19 @@ fn difftest_finds_all_demo_bug_kinds_reachable_in_its_op_space() {
         InjectedBug::new(
             "wrong-errno",
             "unlink of paths containing 'f1' fails EIO",
-            BugTrigger::PathContains { op: "unlink", fragment: "f1" },
+            BugTrigger::PathContains {
+                op: "unlink",
+                fragment: "f1",
+            },
             FaultAction::FailWith(Errno::EIO),
         ),
         InjectedBug::new(
             "data-corruption",
             "reads of 1 KiB or more corrupt the first byte",
-            BugTrigger::SizeAtLeast { op: "read", size: 1024 },
+            BugTrigger::SizeAtLeast {
+                op: "read",
+                size: 1024,
+            },
             FaultAction::CorruptData,
         ),
     ]);
@@ -150,11 +169,17 @@ fn difftest_finds_all_demo_bug_kinds_reachable_in_its_op_space() {
         .with_vfs_hook(bugs.into_hook())
         .run();
     assert!(
-        report.mismatches.iter().any(|m| m.kind == MismatchKind::ReturnValue),
+        report
+            .mismatches
+            .iter()
+            .any(|m| m.kind == MismatchKind::ReturnValue),
         "wrong-errno bug found"
     );
     assert!(
-        report.mismatches.iter().any(|m| m.kind == MismatchKind::Data),
+        report
+            .mismatches
+            .iter()
+            .any(|m| m.kind == MismatchKind::Data),
         "data-corruption bug found: {:?}",
         report.mismatches.iter().take(4).collect::<Vec<_>>()
     );
@@ -171,27 +196,43 @@ fn unreachable_bugs_survive_a_clean_suite_run() {
         InjectedBug::new(
             "xattr-space",
             "lsetxattr near the space boundary fails EIO",
-            BugTrigger::SizeAtLeast { op: "lsetxattr", size: 4000 },
+            BugTrigger::SizeAtLeast {
+                op: "lsetxattr",
+                size: 4000,
+            },
             FaultAction::FailWith(Errno::EIO),
         ),
         InjectedBug::new(
             "fsync-log",
             "fsync on *.log loses durability",
-            BugTrigger::PathContains { op: "fsync", fragment: ".log" },
+            BugTrigger::PathContains {
+                op: "fsync",
+                fragment: ".log",
+            },
             FaultAction::SkipDurability,
         ),
         InjectedBug::new(
             "read-4g",
             "pread beyond 4 GiB corrupts data",
-            BugTrigger::OffsetBeyond { op: "pread64", beyond: (1 << 32) - 1 },
+            BugTrigger::OffsetBeyond {
+                op: "pread64",
+                beyond: (1 << 32) - 1,
+            },
             FaultAction::CorruptData,
         ),
     ])
     .into_hook();
     let env = TestEnv::new().with_hook(Arc::clone(&bugs) as SharedHook);
     let result = CrashMonkeySim::new(17, 0.02).run(&env);
-    assert!(result.crash_violations.is_empty(), "{:?}", result.crash_violations);
-    assert!(bugs.triggered().is_empty(), "no bug triggered by CrashMonkey");
+    assert!(
+        result.crash_violations.is_empty(),
+        "{:?}",
+        result.crash_violations
+    );
+    assert!(
+        bugs.triggered().is_empty(),
+        "no bug triggered by CrashMonkey"
+    );
     // The full demo set remains available for the repro binary.
     assert_eq!(demo_bugs().bugs().len(), 5);
 }

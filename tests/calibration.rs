@@ -46,7 +46,10 @@ fn figure2_untested_flags_exist_and_nest() {
             assert_eq!(*c, 0, "{flag} tested by CM but not xfstests");
         }
     }
-    assert!(xfs.iter().any(|(_, c)| *c == 0), "some flags untested by both");
+    assert!(
+        xfs.iter().any(|(_, c)| *c == 0),
+        "some flags untested by both"
+    );
 }
 
 #[test]
@@ -113,14 +116,23 @@ fn figure4_output_coverage_shapes() {
         cm.errno_count("ENOTDIR") > xfs.errno_count("ENOTDIR"),
         "ENOTDIR is CrashMonkey's exception"
     );
-    assert!(!xfs.untested_errnos(BaseSyscall::Open).is_empty(), "still untested codes");
+    assert!(
+        !xfs.untested_errnos(BaseSyscall::Open).is_empty(),
+        "still untested codes"
+    );
 }
 
 #[test]
 fn figure5_tcd_crossover_exists() {
     let r = reports();
-    let cm: Vec<u64> = open_flag_frequencies(&r.crashmonkey).iter().map(|(_, c)| *c).collect();
-    let xfs: Vec<u64> = open_flag_frequencies(&r.xfstests).iter().map(|(_, c)| *c).collect();
+    let cm: Vec<u64> = open_flag_frequencies(&r.crashmonkey)
+        .iter()
+        .map(|(_, c)| *c)
+        .collect();
+    let xfs: Vec<u64> = open_flag_frequencies(&r.xfstests)
+        .iter()
+        .map(|(_, c)| *c)
+        .collect();
     assert!(
         tcd_uniform(&cm, 1) < tcd_uniform(&xfs, 1),
         "CrashMonkey better at tiny targets"

@@ -146,7 +146,15 @@ fn quota_and_capacity_survive_crash_recovery_accounting() {
     assert_eq!(kernel.write(fd, &[2u8; 300]), 300);
     assert_eq!(kernel.write(fd, &[3u8; 200]), -28, "ENOSPC at capacity");
     kernel.vfs_mut().crash();
-    assert_eq!(kernel.vfs().stats().used_bytes, 600, "recomputed after recovery");
+    assert_eq!(
+        kernel.vfs().stats().used_bytes,
+        600,
+        "recomputed after recovery"
+    );
     let fd = kernel.open("/h", O_CREAT_RDWR, 0o644) as i32;
-    assert_eq!(kernel.write(fd, &[4u8; 300]), 300, "space is available again");
+    assert_eq!(
+        kernel.write(fd, &[4u8; 300]),
+        300,
+        "space is available again"
+    );
 }

@@ -3,7 +3,7 @@
 
 use std::sync::Arc;
 
-use iocov::{ArgName, BaseSyscall, Iocov, InputPartition, NumericPartition};
+use iocov::{ArgName, BaseSyscall, InputPartition, Iocov, NumericPartition};
 use iocov_syscalls::Kernel;
 use iocov_trace::{read_jsonl, write_jsonl, Recorder};
 
@@ -56,7 +56,9 @@ fn full_pipeline_counts_every_stage() {
     run_workload(&mut kernel);
     let trace = recorder.take();
 
-    let report = Iocov::with_mount_point("/mnt/test").unwrap().analyze(&trace);
+    let report = Iocov::with_mount_point("/mnt/test")
+        .unwrap()
+        .analyze(&trace);
 
     // The noise I/O was filtered.
     assert!(report.filter_stats.dropped >= 3);
@@ -73,19 +75,29 @@ fn full_pipeline_counts_every_stage() {
     assert!(flags.count(&InputPartition::Flag("O_CREAT".into())) >= 3);
     assert!(flags.count(&InputPartition::Flag("O_DIRECTORY".into())) >= 1);
     let wc = report.input_coverage(ArgName::WriteCount);
-    assert!(wc.count(&InputPartition::Numeric(NumericPartition::Log2(9))) >= 1, "1000-byte write");
+    assert!(
+        wc.count(&InputPartition::Numeric(NumericPartition::Log2(9))) >= 1,
+        "1000-byte write"
+    );
     let whence = report.input_coverage(ArgName::LseekWhence);
-    assert_eq!(whence.count(&InputPartition::Categorical("SEEK_END".into())), 1);
+    assert_eq!(
+        whence.count(&InputPartition::Categorical("SEEK_END".into())),
+        1
+    );
     let trunc = report.input_coverage(ArgName::TruncateLength);
     assert!(trunc.count(&InputPartition::Numeric(NumericPartition::Negative)) >= 1);
 
     // Output coverage catches error codes of other syscalls.
     assert_eq!(
-        report.output_coverage(BaseSyscall::Truncate).errno_count("EINVAL"),
+        report
+            .output_coverage(BaseSyscall::Truncate)
+            .errno_count("EINVAL"),
         1
     );
     assert_eq!(
-        report.output_coverage(BaseSyscall::Getxattr).errno_count("ENODATA"),
+        report
+            .output_coverage(BaseSyscall::Getxattr)
+            .errno_count("ENODATA"),
         1
     );
 }
@@ -112,7 +124,9 @@ fn analysis_report_serializes_for_offline_diffing() {
     let mut kernel = Kernel::new();
     kernel.attach_recorder(Arc::clone(&recorder));
     run_workload(&mut kernel);
-    let report = Iocov::with_mount_point("/mnt/test").unwrap().analyze(&recorder.take());
+    let report = Iocov::with_mount_point("/mnt/test")
+        .unwrap()
+        .analyze(&recorder.take());
 
     let json = serde_json::to_string_pretty(&report).unwrap();
     let back: iocov::AnalysisReport = serde_json::from_str(&json).unwrap();
@@ -138,11 +152,16 @@ fn per_pid_traces_are_attributed_separately() {
     kernel.set_current(Pid(1));
     kernel.write(good, b"yyyy");
 
-    let report = Iocov::with_mount_point("/mnt/test").unwrap().analyze(&recorder.take());
+    let report = Iocov::with_mount_point("/mnt/test")
+        .unwrap()
+        .analyze(&recorder.take());
     let wc = report.input_coverage(ArgName::WriteCount);
     // Only pid 1's 4-byte write survives the filter.
     assert_eq!(wc.calls, 1);
-    assert_eq!(wc.count(&InputPartition::Numeric(NumericPartition::Log2(2))), 1);
+    assert_eq!(
+        wc.count(&InputPartition::Numeric(NumericPartition::Log2(2))),
+        1
+    );
 }
 
 #[test]

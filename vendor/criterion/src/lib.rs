@@ -1,0 +1,361 @@
+//! Offline drop-in subset of `criterion`.
+//!
+//! The build environment has no network access to a crates registry, so the
+//! workspace vendors the benchmarking surface it uses: `benchmark_group`,
+//! `bench_function`, `bench_with_input`, `Throughput`, `BenchmarkId`,
+//! `sample_size`, and the `criterion_group!`/`criterion_main!` macros.
+//!
+//! Measurement is honest wall-clock timing — warm-up, then `sample_size`
+//! timed batches sized to fill the measurement window — reporting median,
+//! min, and max per-iteration time plus derived throughput. There is no
+//! statistical regression machinery or HTML report.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Units for derived throughput reporting.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Items processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A benchmark identifier: function name plus a parameter rendering.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter`, as real criterion renders it.
+    pub fn new(name: impl fmt::Display, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            name: format!("{name}/{parameter}"),
+        }
+    }
+
+    /// Just a parameter (matches real criterion's `from_parameter`).
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            name: parameter.to_string(),
+        }
+    }
+}
+
+/// Anything usable as a benchmark name.
+pub trait IntoBenchmarkId {
+    /// The rendered id.
+    fn into_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_id(self) -> String {
+        self.name
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_id(self) -> String {
+        self.to_owned()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_id(self) -> String {
+        self
+    }
+}
+
+/// The timing harness handed to benchmark closures.
+pub struct Bencher {
+    warm_up: Duration,
+    measure: Duration,
+    samples: usize,
+    /// Median/min/max nanoseconds per iteration, filled by `iter`.
+    result: Option<(f64, f64, f64)>,
+}
+
+impl Bencher {
+    /// Times `f`, storing per-iteration statistics.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up: run until the warm-up window elapses, and estimate the
+        // per-iteration cost from it.
+        let warm_start = Instant::now();
+        let mut warm_iters = 0u64;
+        while warm_start.elapsed() < self.warm_up || warm_iters == 0 {
+            black_box(f());
+            warm_iters += 1;
+        }
+        let per_iter = warm_start.elapsed().as_secs_f64() / warm_iters as f64;
+        // Size each timed batch so `samples` batches fill the window.
+        let batch =
+            ((self.measure.as_secs_f64() / self.samples as f64 / per_iter).ceil() as u64).max(1);
+        let mut nanos: Vec<f64> = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            nanos.push(start.elapsed().as_nanos() as f64 / batch as f64);
+        }
+        nanos.sort_by(|a, b| a.total_cmp(b));
+        let median = nanos[nanos.len() / 2];
+        self.result = Some((median, nanos[0], nanos[nanos.len() - 1]));
+    }
+}
+
+fn format_time(nanos: f64) -> String {
+    if nanos < 1_000.0 {
+        format!("{nanos:.2} ns")
+    } else if nanos < 1_000_000.0 {
+        format!("{:.2} µs", nanos / 1_000.0)
+    } else if nanos < 1_000_000_000.0 {
+        format!("{:.2} ms", nanos / 1_000_000.0)
+    } else {
+        format!("{:.3} s", nanos / 1_000_000_000.0)
+    }
+}
+
+fn format_rate(per_second: f64, unit: &str) -> String {
+    if per_second >= 1e9 {
+        format!("{:.3} G{unit}/s", per_second / 1e9)
+    } else if per_second >= 1e6 {
+        format!("{:.3} M{unit}/s", per_second / 1e6)
+    } else if per_second >= 1e3 {
+        format!("{:.3} K{unit}/s", per_second / 1e3)
+    } else {
+        format!("{per_second:.1} {unit}/s")
+    }
+}
+
+/// The benchmark driver.
+pub struct Criterion {
+    filter: Option<String>,
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // A positional CLI argument (as passed by `cargo bench -- substr`)
+        // filters benchmark ids; harness flags are ignored.
+        let filter = std::env::args()
+            .skip(1)
+            .find(|a| !a.starts_with('-') && a != "benches");
+        Criterion {
+            filter,
+            sample_size: 20,
+            measurement_time: Duration::from_millis(1500),
+            warm_up_time: Duration::from_millis(300),
+        }
+    }
+}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl fmt::Display) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+            throughput: None,
+            sample_size: None,
+            measurement_time: None,
+        }
+    }
+
+    /// Runs a stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into_id();
+        let sample_size = self.sample_size;
+        let measurement_time = self.measurement_time;
+        let warm_up_time = self.warm_up_time;
+        run_one(
+            &id,
+            None,
+            sample_size,
+            measurement_time,
+            warm_up_time,
+            self,
+            f,
+        );
+        self
+    }
+
+    fn matches(&self, id: &str) -> bool {
+        self.filter.as_deref().is_none_or(|f| id.contains(f))
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_one<F>(
+    id: &str,
+    throughput: Option<Throughput>,
+    samples: usize,
+    measure: Duration,
+    warm_up: Duration,
+    criterion: &Criterion,
+    mut f: F,
+) where
+    F: FnMut(&mut Bencher),
+{
+    if !criterion.matches(id) {
+        return;
+    }
+    let mut bencher = Bencher {
+        warm_up,
+        measure,
+        samples,
+        result: None,
+    };
+    f(&mut bencher);
+    match bencher.result {
+        Some((median, min, max)) => {
+            let mut line = format!(
+                "{id:<40} time: [{} {} {}]",
+                format_time(min),
+                format_time(median),
+                format_time(max)
+            );
+            if let Some(tp) = throughput {
+                let (count, unit) = match tp {
+                    Throughput::Elements(n) => (n, "elem"),
+                    Throughput::Bytes(n) => (n, "B"),
+                };
+                let per_second = count as f64 / (median / 1e9);
+                line.push_str(&format!("  thrpt: {}", format_rate(per_second, unit)));
+            }
+            println!("{line}");
+        }
+        None => println!("{id:<40} (no measurement: closure never called iter)"),
+    }
+}
+
+/// A group of related benchmarks sharing throughput/sizing settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    sample_size: Option<usize>,
+    measurement_time: Option<Duration>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the throughput used to derive rates for subsequent benches.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Overrides the number of timed samples per bench.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n.max(2));
+        self
+    }
+
+    /// Overrides the measurement window per bench.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = Some(d);
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into_id());
+        run_one(
+            &full,
+            self.throughput,
+            self.sample_size.unwrap_or(self.criterion.sample_size),
+            self.measurement_time
+                .unwrap_or(self.criterion.measurement_time),
+            self.criterion.warm_up_time,
+            self.criterion,
+            f,
+        );
+        self
+    }
+
+    /// Runs one benchmark parameterized by `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Ends the group (no-op; exists for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Declares a group-runner function from benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+    (name = $group:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut c = Criterion {
+            filter: None,
+            sample_size: 3,
+            measurement_time: Duration::from_millis(20),
+            warm_up_time: Duration::from_millis(5),
+        };
+        let mut group = c.benchmark_group("smoke");
+        group.throughput(Throughput::Elements(100));
+        group.bench_function("noop", |b| b.iter(|| black_box(2 + 2)));
+        group.bench_with_input(BenchmarkId::new("sum", 8), &8u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>())
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn ids_render_like_criterion() {
+        assert_eq!(
+            BenchmarkId::new("filtered", 1000).into_id(),
+            "filtered/1000"
+        );
+        assert_eq!(BenchmarkId::from_parameter(7).into_id(), "7");
+    }
+}

@@ -1,0 +1,111 @@
+//! Collection strategies: `vec` and `btree_set`.
+
+use crate::strategy::Strategy;
+use crate::TestRunner;
+use rand::RngExt;
+use std::collections::BTreeSet;
+
+/// A size specification: `usize`, `a..b`, or `a..=b`.
+#[derive(Debug, Clone, Copy)]
+pub struct SizeRange {
+    min: usize,
+    /// Exclusive.
+    max: usize,
+}
+
+impl SizeRange {
+    fn sample(&self, runner: &mut TestRunner) -> usize {
+        if self.min + 1 >= self.max {
+            self.min
+        } else {
+            runner.rng().random_range(self.min..self.max)
+        }
+    }
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        SizeRange { min: n, max: n + 1 }
+    }
+}
+
+impl From<std::ops::Range<usize>> for SizeRange {
+    fn from(r: std::ops::Range<usize>) -> Self {
+        SizeRange {
+            min: r.start,
+            max: r.end,
+        }
+    }
+}
+
+impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+    fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+        SizeRange {
+            min: *r.start(),
+            max: r.end().saturating_add(1),
+        }
+    }
+}
+
+/// Vectors of `size` elements drawn from `element`.
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy {
+        element,
+        size: size.into(),
+    }
+}
+
+/// Strategy returned by [`vec`].
+#[derive(Debug, Clone)]
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn generate(&self, runner: &mut TestRunner) -> Vec<S::Value> {
+        let n = self.size.sample(runner);
+        (0..n).map(|_| self.element.generate(runner)).collect()
+    }
+}
+
+/// Ordered sets of `size` distinct elements drawn from `element`.
+pub fn btree_set<S>(element: S, size: impl Into<SizeRange>) -> BTreeSetStrategy<S>
+where
+    S: Strategy,
+    S::Value: Ord,
+{
+    BTreeSetStrategy {
+        element,
+        size: size.into(),
+    }
+}
+
+/// Strategy returned by [`btree_set`].
+#[derive(Debug, Clone)]
+pub struct BTreeSetStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S> Strategy for BTreeSetStrategy<S>
+where
+    S: Strategy,
+    S::Value: Ord,
+{
+    type Value = BTreeSet<S::Value>;
+    fn generate(&self, runner: &mut TestRunner) -> BTreeSet<S::Value> {
+        let target = self.size.sample(runner);
+        let mut set = BTreeSet::new();
+        // Duplicates shrink the set; retry a bounded number of times so a
+        // small element domain cannot loop forever.
+        let mut attempts = 0usize;
+        let max_attempts = target.saturating_mul(20) + 20;
+        while set.len() < target && attempts < max_attempts {
+            set.insert(self.element.generate(runner));
+            attempts += 1;
+        }
+        set
+    }
+}

@@ -1,0 +1,266 @@
+//! Offline drop-in subset of `proptest`.
+//!
+//! The build environment has no network access to a crates registry, so the
+//! workspace vendors the slice of proptest it uses: the [`proptest!`] test
+//! macro, [`Strategy`] with `prop_map`, [`prop_oneof!`], `any::<T>()`,
+//! `collection::vec` / `collection::btree_set`, `option::of`, and
+//! character-class string strategies like `"[a-z]{1,6}"`.
+//!
+//! Differences from upstream: cases are generated from a deterministic
+//! per-test seed (derived from the test name and case index, overridable
+//! count via `PROPTEST_CASES`), and there is **no shrinking** — a failing
+//! case reports its seed for replay instead of a minimized input.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use std::fmt;
+
+pub mod collection;
+pub mod option;
+pub mod strategy;
+pub mod string;
+
+pub use strategy::{Just, Strategy, Union};
+
+/// Re-exports matching `proptest::prelude`.
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, Just, Strategy,
+    };
+}
+
+/// Per-case source of randomness handed to strategies.
+pub struct TestRunner {
+    rng: StdRng,
+}
+
+impl TestRunner {
+    /// A runner seeded for one specific case.
+    #[must_use]
+    pub fn from_seed(seed: u64) -> Self {
+        TestRunner {
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// The underlying generator (used by `Strategy` implementations).
+    pub fn rng(&mut self) -> &mut StdRng {
+        &mut self.rng
+    }
+}
+
+/// A test-case failure raised by the `prop_assert*` macros.
+#[derive(Debug, Clone)]
+pub struct TestCaseError {
+    msg: String,
+}
+
+impl TestCaseError {
+    /// Builds a failure with the given message.
+    #[must_use]
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError { msg: msg.into() }
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+/// Number of cases to run (default 256, like upstream; `PROPTEST_CASES`
+/// overrides).
+fn case_count() -> u64 {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(256)
+}
+
+/// Deterministic per-case seed: FNV-1a over the test name, mixed with the
+/// case index. Stable across runs, so failures replay.
+fn derive_seed(name: &str, case: u64) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h ^= case.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    h
+}
+
+/// Drives one property over `case_count()` generated cases. Used by the
+/// expansion of [`proptest!`]; not part of the public upstream API.
+pub fn run_cases<F>(name: &str, mut property: F)
+where
+    F: FnMut(&mut TestRunner) -> Result<(), TestCaseError>,
+{
+    let cases = case_count();
+    for case in 0..cases {
+        let seed = derive_seed(name, case);
+        let mut runner = TestRunner::from_seed(seed);
+        if let Err(e) = property(&mut runner) {
+            panic!("proptest `{name}` failed at case {case}/{cases} (seed {seed:#x}): {e}");
+        }
+    }
+}
+
+/// Strategy producing any value of `T` (full range / all values).
+pub fn any<T: Arbitrary>() -> T::Strategy {
+    T::arbitrary()
+}
+
+/// Types with a canonical full-domain strategy.
+pub trait Arbitrary: Sized {
+    /// The strategy `any::<Self>()` returns.
+    type Strategy: Strategy<Value = Self>;
+    /// Builds that strategy.
+    fn arbitrary() -> Self::Strategy;
+}
+
+/// Full-domain strategy for a primitive (unit struct, per-type sampling).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AnyPrimitive<T>(std::marker::PhantomData<T>);
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Strategy for AnyPrimitive<$t> {
+            type Value = $t;
+            fn generate(&self, runner: &mut TestRunner) -> $t {
+                runner.rng().random_range(<$t>::MIN..=<$t>::MAX)
+            }
+        }
+        impl Arbitrary for $t {
+            type Strategy = AnyPrimitive<$t>;
+            fn arbitrary() -> Self::Strategy {
+                AnyPrimitive(std::marker::PhantomData)
+            }
+        }
+    )*};
+}
+impl_arbitrary_int!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+impl Strategy for AnyPrimitive<bool> {
+    type Value = bool;
+    fn generate(&self, runner: &mut TestRunner) -> bool {
+        runner.rng().random_bool(0.5)
+    }
+}
+
+impl Arbitrary for bool {
+    type Strategy = AnyPrimitive<bool>;
+    fn arbitrary() -> Self::Strategy {
+        AnyPrimitive(std::marker::PhantomData)
+    }
+}
+
+impl Strategy for AnyPrimitive<f64> {
+    type Value = f64;
+    fn generate(&self, runner: &mut TestRunner) -> f64 {
+        // Finite values across a wide magnitude span.
+        let mag = runner.rng().random_range(-300.0..300.0f64);
+        let sign = if runner.rng().random_bool(0.5) {
+            1.0
+        } else {
+            -1.0
+        };
+        sign * 10f64.powf(mag / 10.0)
+    }
+}
+
+impl Arbitrary for f64 {
+    type Strategy = AnyPrimitive<f64>;
+    fn arbitrary() -> Self::Strategy {
+        AnyPrimitive(std::marker::PhantomData)
+    }
+}
+
+/// Asserts a condition inside a `proptest!` body, failing the case (not
+/// panicking) so the harness can report the seed.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)*)));
+        }
+    };
+}
+
+/// Asserts equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        if !(__l == __r) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+                stringify!($left),
+                stringify!($right),
+                __l,
+                __r
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (__l, __r) = (&$left, &$right);
+        if !(__l == __r) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "{}\n  left: {:?}\n right: {:?}",
+                format!($($fmt)*),
+                __l,
+                __r
+            )));
+        }
+    }};
+}
+
+/// Asserts inequality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        if __l == __r {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: `{} != {}`\n  both: {:?}",
+                stringify!($left),
+                stringify!($right),
+                __l
+            )));
+        }
+    }};
+}
+
+/// Defines property tests: each `fn` runs its body over generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])* fn $name:ident($($arg:pat_param in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                $crate::run_cases(stringify!($name), |__runner| {
+                    $(let $arg = $crate::Strategy::generate(&($strat), __runner);)+
+                    let __result: ::std::result::Result<(), $crate::TestCaseError> =
+                        (move || {
+                            $body
+                            ::std::result::Result::Ok(())
+                        })();
+                    __result
+                });
+            }
+        )*
+    };
+}
+
+/// Picks one of several strategies (uniformly) per generated value.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {{
+        let mut __options = ::std::vec::Vec::new();
+        $(__options.push($crate::strategy::boxed($strat));)+
+        $crate::Union::new(__options)
+    }};
+}

@@ -1,0 +1,27 @@
+//! The `option::of` strategy.
+
+use crate::strategy::Strategy;
+use crate::TestRunner;
+use rand::RngExt;
+
+/// `Option<T>` values: `None` about a quarter of the time.
+pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+    OptionStrategy { inner }
+}
+
+/// Strategy returned by [`of`].
+#[derive(Debug, Clone)]
+pub struct OptionStrategy<S> {
+    inner: S,
+}
+
+impl<S: Strategy> Strategy for OptionStrategy<S> {
+    type Value = Option<S::Value>;
+    fn generate(&self, runner: &mut TestRunner) -> Option<S::Value> {
+        if runner.rng().random_bool(0.25) {
+            None
+        } else {
+            Some(self.inner.generate(runner))
+        }
+    }
+}

@@ -1,0 +1,122 @@
+//! The [`Strategy`] trait and combinators.
+
+use crate::TestRunner;
+use rand::RngExt;
+
+/// A recipe for generating values of `Self::Value`.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Generates one value.
+    fn generate(&self, runner: &mut TestRunner) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { strategy: self, f }
+    }
+}
+
+/// Always produces a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _runner: &mut TestRunner) -> T {
+        self.0.clone()
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    strategy: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+    fn generate(&self, runner: &mut TestRunner) -> O {
+        (self.f)(self.strategy.generate(runner))
+    }
+}
+
+/// Uniform choice among boxed strategies (built by `prop_oneof!`).
+pub struct Union<T> {
+    options: Vec<Box<dyn Strategy<Value = T>>>,
+}
+
+impl<T> Union<T> {
+    /// Wraps the candidate strategies. Panics if empty.
+    #[must_use]
+    pub fn new(options: Vec<Box<dyn Strategy<Value = T>>>) -> Self {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one option");
+        Union { options }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn generate(&self, runner: &mut TestRunner) -> T {
+        let idx = runner.rng().random_range(0..self.options.len());
+        self.options[idx].generate(runner)
+    }
+}
+
+/// Boxes a strategy for storage in a [`Union`] (used by `prop_oneof!`).
+pub fn boxed<S>(strategy: S) -> Box<dyn Strategy<Value = S::Value>>
+where
+    S: Strategy + 'static,
+{
+    Box::new(strategy)
+}
+
+/// Integer and float ranges are strategies.
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, runner: &mut TestRunner) -> $t {
+                runner.rng().random_range(self.clone())
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, runner: &mut TestRunner) -> $t {
+                runner.rng().random_range(self.clone())
+            }
+        }
+    )*};
+}
+impl_range_strategy!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize, f64);
+
+/// String patterns ("[a-z]{1,6}") are strategies.
+impl Strategy for &str {
+    type Value = String;
+    fn generate(&self, runner: &mut TestRunner) -> String {
+        crate::string::generate_from_pattern(self, runner)
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($(($($name:ident),+))*) => {$(
+        #[allow(non_snake_case)]
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn generate(&self, runner: &mut TestRunner) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(runner),)+)
+            }
+        }
+    )*};
+}
+impl_tuple_strategy! { (A) (A, B) (A, B, C) (A, B, C, D) (A, B, C, D, E) }

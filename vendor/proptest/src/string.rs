@@ -1,0 +1,181 @@
+//! Character-class string patterns: the `"[a-z]{1,6}"` subset of regex
+//! that doubles as a generation recipe (proptest's string strategies).
+//!
+//! Supported syntax: literal characters, `[...]` classes with ranges and
+//! literals (a trailing `-` is literal), and `{n}` / `{m,n}` repetition
+//! suffixes. Anything else panics with a clear message — this is a
+//! vendored subset, not a regex engine.
+
+use crate::TestRunner;
+use rand::RngExt;
+
+enum Atom {
+    Literal(char),
+    /// Flattened class alphabet.
+    Class(Vec<char>),
+}
+
+struct Piece {
+    atom: Atom,
+    min: usize,
+    /// Inclusive.
+    max: usize,
+}
+
+fn parse_pattern(pattern: &str) -> Vec<Piece> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut pieces = Vec::new();
+    let mut i = 0usize;
+    while i < chars.len() {
+        let atom = match chars[i] {
+            '[' => {
+                let close = chars[i + 1..]
+                    .iter()
+                    .position(|&c| c == ']')
+                    .unwrap_or_else(|| panic!("unclosed `[` in pattern `{pattern}`"))
+                    + i
+                    + 1;
+                let class = parse_class(&chars[i + 1..close], pattern);
+                i = close + 1;
+                Atom::Class(class)
+            }
+            ']' | '{' | '}' | '(' | ')' | '|' | '\\' | '+' | '^' | '$' => {
+                panic!(
+                    "unsupported pattern construct `{}` in `{pattern}`",
+                    chars[i]
+                )
+            }
+            c => {
+                i += 1;
+                Atom::Literal(c)
+            }
+        };
+        let (min, max) = if i < chars.len() && chars[i] == '{' {
+            let close = chars[i + 1..]
+                .iter()
+                .position(|&c| c == '}')
+                .unwrap_or_else(|| panic!("unclosed `{{` in pattern `{pattern}`"))
+                + i
+                + 1;
+            let spec: String = chars[i + 1..close].iter().collect();
+            i = close + 1;
+            match spec.split_once(',') {
+                Some((lo, hi)) => (
+                    lo.trim()
+                        .parse()
+                        .unwrap_or_else(|_| panic!("bad repeat in `{pattern}`")),
+                    hi.trim()
+                        .parse()
+                        .unwrap_or_else(|_| panic!("bad repeat in `{pattern}`")),
+                ),
+                None => {
+                    let n = spec
+                        .trim()
+                        .parse()
+                        .unwrap_or_else(|_| panic!("bad repeat in `{pattern}`"));
+                    (n, n)
+                }
+            }
+        } else {
+            (1, 1)
+        };
+        pieces.push(Piece { atom, min, max });
+    }
+    pieces
+}
+
+fn parse_class(body: &[char], pattern: &str) -> Vec<char> {
+    assert!(!body.is_empty(), "empty class in pattern `{pattern}`");
+    let mut alphabet = Vec::new();
+    let mut i = 0usize;
+    while i < body.len() {
+        // `a-z` range (a `-` that is first, last, or unfollowed is literal).
+        if i + 2 < body.len() && body[i + 1] == '-' {
+            let (lo, hi) = (body[i], body[i + 2]);
+            assert!(
+                lo <= hi,
+                "inverted range `{lo}-{hi}` in pattern `{pattern}`"
+            );
+            for c in lo..=hi {
+                alphabet.push(c);
+            }
+            i += 3;
+        } else {
+            alphabet.push(body[i]);
+            i += 1;
+        }
+    }
+    alphabet
+}
+
+/// Generates one string matching `pattern`.
+pub(crate) fn generate_from_pattern(pattern: &str, runner: &mut TestRunner) -> String {
+    let pieces = parse_pattern(pattern);
+    let mut out = String::new();
+    for piece in &pieces {
+        let count = if piece.min == piece.max {
+            piece.min
+        } else {
+            runner.rng().random_range(piece.min..=piece.max)
+        };
+        for _ in 0..count {
+            match &piece.atom {
+                Atom::Literal(c) => out.push(*c),
+                Atom::Class(alphabet) => {
+                    let idx = runner.rng().random_range(0..alphabet.len());
+                    out.push(alphabet[idx]);
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn runner() -> TestRunner {
+        TestRunner::from_seed(1)
+    }
+
+    #[test]
+    fn class_with_trailing_dash_and_ranges() {
+        let mut r = runner();
+        for _ in 0..200 {
+            let s = generate_from_pattern("[a-zA-Z0-9/_.-]{0,24}", &mut r);
+            assert!(s.len() <= 24);
+            assert!(s
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || "/_.-".contains(c)));
+        }
+    }
+
+    #[test]
+    fn printable_ascii_space_to_tilde() {
+        let mut r = runner();
+        for _ in 0..200 {
+            let s = generate_from_pattern("[ -~]{0,16}", &mut r);
+            assert!(s.chars().all(|c| (' '..='~').contains(&c)));
+        }
+    }
+
+    #[test]
+    fn literal_prefix_then_class() {
+        let mut r = runner();
+        for _ in 0..50 {
+            let s = generate_from_pattern("[a-z][a-z0-9_]{1,12}", &mut r);
+            assert!(s.len() >= 2 && s.len() <= 13);
+            assert!(s.chars().next().unwrap().is_ascii_lowercase());
+        }
+    }
+
+    #[test]
+    fn metacharacters_in_class_are_literal() {
+        let mut r = runner();
+        for _ in 0..100 {
+            let s = generate_from_pattern("[ab/?*]{0,8}", &mut r);
+            assert!(s.chars().all(|c| "ab/?*".contains(c)));
+        }
+    }
+}

@@ -1,0 +1,146 @@
+//! Deserialization half: the [`Deserializer`] trait, the in-memory
+//! [`ValueDeserializer`], the concrete [`DeError`], and the small helpers
+//! the derive macro generates calls to.
+
+use crate::{Deserialize, Value};
+use std::fmt;
+
+/// Error trait mirroring `serde::de::Error`.
+pub trait Error: Sized + std::error::Error {
+    /// Builds an error from a display-able message.
+    fn custom<T: fmt::Display>(msg: T) -> Self;
+}
+
+/// The concrete deserialization error (a message).
+#[derive(Debug, Clone)]
+pub struct DeError(String);
+
+impl DeError {
+    /// Builds an error from a display-able message (also available through
+    /// the [`Error`] trait; inherent so callers need no import).
+    #[must_use]
+    pub fn custom<T: fmt::Display>(msg: T) -> Self {
+        DeError(msg.to_string())
+    }
+
+    /// "invalid type: expected X for Y".
+    #[must_use]
+    pub fn invalid_type(expected: &str, ty: &str) -> Self {
+        DeError(format!("invalid type: expected {expected} for {ty}"))
+    }
+
+    /// "invalid value: expected X, found <kind>".
+    #[must_use]
+    pub fn invalid_value(found: &Value, expected: &str) -> Self {
+        DeError(format!(
+            "invalid value: expected {expected}, found {}",
+            found.kind()
+        ))
+    }
+
+    /// "missing field `f` in T".
+    #[must_use]
+    pub fn missing_field(field: &str, ty: &str) -> Self {
+        DeError(format!("missing field `{field}` in {ty}"))
+    }
+
+    /// "unknown variant `v` of T".
+    #[must_use]
+    pub fn unknown_variant(variant: &str, ty: &str) -> Self {
+        DeError(format!("unknown variant `{variant}` of {ty}"))
+    }
+
+    /// "invalid length: expected N elements for T".
+    #[must_use]
+    pub fn invalid_length(expected: usize, ty: &str) -> Self {
+        DeError(format!(
+            "invalid length: expected {expected} elements for {ty}"
+        ))
+    }
+}
+
+impl fmt::Display for DeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+impl Error for DeError {
+    fn custom<T: fmt::Display>(msg: T) -> Self {
+        DeError(msg.to_string())
+    }
+}
+
+/// A source that yields the data-model form of a value.
+pub trait Deserializer<'de>: Sized {
+    /// The error type.
+    type Error: Error;
+
+    /// Pulls the complete data-model value out of the source.
+    fn take_value(self) -> Result<Value, Self::Error>;
+}
+
+/// A deserializer over an owned [`Value`]; used by derive-generated code to
+/// invoke `with`-module deserialize functions.
+#[derive(Debug, Clone)]
+pub struct ValueDeserializer(Value);
+
+impl ValueDeserializer {
+    /// Wraps an owned value.
+    #[must_use]
+    pub fn new(value: Value) -> Self {
+        ValueDeserializer(value)
+    }
+
+    /// Extracts field `field` of object `value` (cloned), for feeding a
+    /// `with`-module deserialize function.
+    pub fn for_field(value: &Value, field: &str, ty: &str) -> Result<Self, DeError> {
+        field_value(value, field, ty).map(|v| ValueDeserializer(v.clone()))
+    }
+}
+
+impl<'de> Deserializer<'de> for ValueDeserializer {
+    type Error = DeError;
+
+    fn take_value(self) -> Result<Value, DeError> {
+        Ok(self.0)
+    }
+}
+
+/// Looks up field `field` in the object `value`.
+pub fn field_value<'a>(value: &'a Value, field: &str, ty: &str) -> Result<&'a Value, DeError> {
+    let entries = value
+        .as_object()
+        .ok_or_else(|| DeError::invalid_value(value, &format!("object for {ty}")))?;
+    entries
+        .iter()
+        .find(|(k, _)| k == field)
+        .map(|(_, v)| v)
+        .ok_or_else(|| DeError::missing_field(field, ty))
+}
+
+/// Looks up and deserializes field `field` of struct `ty`.
+pub fn get_field<'de, T: Deserialize<'de>>(
+    value: &Value,
+    field: &str,
+    ty: &str,
+) -> Result<T, DeError> {
+    T::from_value(field_value(value, field, ty)?)
+}
+
+/// Checks that `value` is an array of exactly `expected` items.
+pub fn tuple_items<'a>(
+    value: &'a Value,
+    expected: usize,
+    ctx: &str,
+) -> Result<&'a [Value], DeError> {
+    let items = value
+        .as_array()
+        .ok_or_else(|| DeError::invalid_value(value, &format!("array for {ctx}")))?;
+    if items.len() != expected {
+        return Err(DeError::invalid_length(expected, ctx));
+    }
+    Ok(items)
+}

@@ -1,0 +1,411 @@
+//! Offline drop-in subset of `serde`.
+//!
+//! The build environment has no network access to a crates registry, so the
+//! workspace vendors the slice of serde it uses. Instead of serde's
+//! visitor-based zero-copy architecture, this implementation routes every
+//! (de)serialization through a JSON-shaped [`Value`] tree:
+//!
+//! * [`Serialize::to_value`] converts a value into a [`Value`];
+//! * [`Deserialize::from_value`] converts a [`Value`] back;
+//! * [`ser::Serializer`] / [`de::Deserializer`] are thin traits that move a
+//!   [`Value`] across the boundary, which is exactly the shape the
+//!   workspace's `#[serde(with = "...")]` modules rely on
+//!   (`entries.serialize(serializer)` / `Vec::deserialize(deserializer)`).
+//!
+//! JSON conventions match real serde: structs are objects in declaration
+//! order, unit enum variants are strings, data variants are single-key
+//! objects (externally tagged), `Option` is `null`-or-value, tuples are
+//! arrays, and non-string map keys are stringified.
+
+pub mod de;
+pub mod ser;
+mod value;
+
+pub use de::Deserializer;
+pub use ser::Serializer;
+pub use value::Value;
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+use std::collections::{BTreeMap, BTreeSet};
+
+/// A value that can be converted into the [`Value`] data model.
+pub trait Serialize {
+    /// Converts `self` into the data model.
+    fn to_value(&self) -> Value;
+
+    /// Serde-compatible entry point: hands the data-model form to `serializer`.
+    fn serialize<S>(&self, serializer: S) -> Result<S::Ok, S::Error>
+    where
+        S: ser::Serializer,
+    {
+        serializer.serialize_value(self.to_value())
+    }
+}
+
+/// A value that can be reconstructed from the [`Value`] data model.
+///
+/// The `'de` lifetime exists for signature compatibility with real serde
+/// bounds (`K: Deserialize<'de>`); this implementation is not zero-copy.
+pub trait Deserialize<'de>: Sized {
+    /// Rebuilds `Self` from the data model.
+    fn from_value(value: &Value) -> Result<Self, de::DeError>;
+
+    /// Serde-compatible entry point: pulls the data-model form out of
+    /// `deserializer` and rebuilds `Self`.
+    fn deserialize<D>(deserializer: D) -> Result<Self, D::Error>
+    where
+        D: de::Deserializer<'de>,
+    {
+        let value = deserializer.take_value()?;
+        Self::from_value(&value).map_err(<D::Error as de::Error>::custom)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Serialize impls
+// ---------------------------------------------------------------------------
+
+macro_rules! impl_ser_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Int(i64::from(*self))
+            }
+        }
+    )*};
+}
+impl_ser_int!(i8, i16, i32, i64);
+
+impl Serialize for isize {
+    fn to_value(&self) -> Value {
+        Value::Int(*self as i64)
+    }
+}
+
+macro_rules! impl_ser_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::UInt(u64::from(*self))
+            }
+        }
+    )*};
+}
+impl_ser_uint!(u8, u16, u32, u64);
+
+impl Serialize for usize {
+    fn to_value(&self) -> Value {
+        Value::UInt(*self as u64)
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::Float(f64::from(*self))
+    }
+}
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::Float(*self)
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Serialize for char {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_owned())
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &mut T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            None => Value::Null,
+            Some(v) => v.to_value(),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for BTreeSet<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+macro_rules! impl_ser_tuple {
+    ($(($($name:ident),+))*) => {$(
+        #[allow(non_snake_case)]
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_value(&self) -> Value {
+                let ($($name,)+) = self;
+                Value::Array(vec![$($name.to_value()),+])
+            }
+        }
+    )*};
+}
+impl_ser_tuple! { (A) (A, B) (A, B, C) (A, B, C, D) (A, B, C, D, E) }
+
+/// Stringifies a map key the way serde_json does (strings pass through,
+/// integers and unit enum variants become their string forms).
+fn key_string(key: Value) -> String {
+    match key {
+        Value::Str(s) => s,
+        Value::Int(i) => i.to_string(),
+        Value::UInt(u) => u.to_string(),
+        Value::Bool(b) => b.to_string(),
+        other => panic!("map key must serialize to a string-like value, got {other:?}"),
+    }
+}
+
+impl<K: Serialize, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn to_value(&self) -> Value {
+        Value::Object(
+            self.iter()
+                .map(|(k, v)| (key_string(k.to_value()), v.to_value()))
+                .collect(),
+        )
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Deserialize impls
+// ---------------------------------------------------------------------------
+
+macro_rules! impl_de_int {
+    ($($t:ty),*) => {$(
+        impl<'de> Deserialize<'de> for $t {
+            fn from_value(value: &Value) -> Result<Self, de::DeError> {
+                let wide: i64 = match value {
+                    Value::Int(i) => *i,
+                    Value::UInt(u) => i64::try_from(*u)
+                        .map_err(|_| de::DeError::custom(format!("integer {u} out of range")))?,
+                    // Map keys arrive as strings; accept the parsed form.
+                    Value::Str(s) => s
+                        .parse::<i64>()
+                        .map_err(|_| de::DeError::invalid_type("integer", stringify!($t)))?,
+                    other => return Err(de::DeError::invalid_value(other, stringify!($t))),
+                };
+                <$t>::try_from(wide)
+                    .map_err(|_| de::DeError::custom(format!("integer {wide} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+impl_de_int!(i8, i16, i32, i64, isize);
+
+macro_rules! impl_de_uint {
+    ($($t:ty),*) => {$(
+        impl<'de> Deserialize<'de> for $t {
+            fn from_value(value: &Value) -> Result<Self, de::DeError> {
+                let wide: u64 = match value {
+                    Value::UInt(u) => *u,
+                    Value::Int(i) => u64::try_from(*i)
+                        .map_err(|_| de::DeError::custom(format!("integer {i} out of range")))?,
+                    Value::Str(s) => s
+                        .parse::<u64>()
+                        .map_err(|_| de::DeError::invalid_type("unsigned integer", stringify!($t)))?,
+                    other => return Err(de::DeError::invalid_value(other, stringify!($t))),
+                };
+                <$t>::try_from(wide)
+                    .map_err(|_| de::DeError::custom(format!("integer {wide} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+impl_de_uint!(u8, u16, u32, u64, usize);
+
+impl<'de> Deserialize<'de> for f64 {
+    fn from_value(value: &Value) -> Result<Self, de::DeError> {
+        match value {
+            Value::Float(f) => Ok(*f),
+            Value::Int(i) => Ok(*i as f64),
+            Value::UInt(u) => Ok(*u as f64),
+            other => Err(de::DeError::invalid_value(other, "f64")),
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for f32 {
+    fn from_value(value: &Value) -> Result<Self, de::DeError> {
+        f64::from_value(value).map(|f| f as f32)
+    }
+}
+
+impl<'de> Deserialize<'de> for bool {
+    fn from_value(value: &Value) -> Result<Self, de::DeError> {
+        match value {
+            Value::Bool(b) => Ok(*b),
+            other => Err(de::DeError::invalid_value(other, "bool")),
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for char {
+    fn from_value(value: &Value) -> Result<Self, de::DeError> {
+        match value {
+            Value::Str(s) if s.chars().count() == 1 => Ok(s.chars().next().unwrap()),
+            other => Err(de::DeError::invalid_value(other, "char")),
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for String {
+    fn from_value(value: &Value) -> Result<Self, de::DeError> {
+        match value {
+            Value::Str(s) => Ok(s.clone()),
+            other => Err(de::DeError::invalid_value(other, "string")),
+        }
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Box<T> {
+    fn from_value(value: &Value) -> Result<Self, de::DeError> {
+        T::from_value(value).map(Box::new)
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Option<T> {
+    fn from_value(value: &Value) -> Result<Self, de::DeError> {
+        match value {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {
+    fn from_value(value: &Value) -> Result<Self, de::DeError> {
+        match value {
+            Value::Array(items) => items.iter().map(T::from_value).collect(),
+            other => Err(de::DeError::invalid_value(other, "array")),
+        }
+    }
+}
+
+impl<'de, T: Deserialize<'de> + Ord> Deserialize<'de> for BTreeSet<T> {
+    fn from_value(value: &Value) -> Result<Self, de::DeError> {
+        match value {
+            Value::Array(items) => items.iter().map(T::from_value).collect(),
+            other => Err(de::DeError::invalid_value(other, "array")),
+        }
+    }
+}
+
+impl<'de, K: Deserialize<'de> + Ord, V: Deserialize<'de>> Deserialize<'de> for BTreeMap<K, V> {
+    fn from_value(value: &Value) -> Result<Self, de::DeError> {
+        match value {
+            Value::Object(entries) => entries
+                .iter()
+                .map(|(k, v)| {
+                    let key = K::from_value(&Value::Str(k.clone()))?;
+                    Ok((key, V::from_value(v)?))
+                })
+                .collect(),
+            other => Err(de::DeError::invalid_value(other, "object")),
+        }
+    }
+}
+
+macro_rules! impl_de_tuple {
+    ($(($len:literal, $($name:ident : $idx:tt),+))*) => {$(
+        impl<'de, $($name: Deserialize<'de>),+> Deserialize<'de> for ($($name,)+) {
+            fn from_value(value: &Value) -> Result<Self, de::DeError> {
+                let items = de::tuple_items(value, $len, "tuple")?;
+                Ok(($($name::from_value(&items[$idx])?,)+))
+            }
+        }
+    )*};
+}
+impl_de_tuple! {
+    (1, A: 0)
+    (2, A: 0, B: 1)
+    (3, A: 0, B: 1, C: 2)
+    (4, A: 0, B: 1, C: 2, D: 3)
+    (5, A: 0, B: 1, C: 2, D: 3, E: 4)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_roundtrip() {
+        assert_eq!(i32::from_value(&5i32.to_value()).unwrap(), 5);
+        assert_eq!(u64::from_value(&7u64.to_value()).unwrap(), 7);
+        assert_eq!(String::from_value(&"hi".to_value()).unwrap(), "hi");
+        assert_eq!(Option::<u8>::from_value(&Value::Null).unwrap(), None);
+    }
+
+    #[test]
+    fn integer_keys_stringify_and_parse_back() {
+        let mut m = BTreeMap::new();
+        m.insert(3usize, 9u64);
+        let v = m.to_value();
+        assert_eq!(v, Value::Object(vec![("3".into(), Value::UInt(9))]));
+        let back: BTreeMap<usize, u64> = Deserialize::from_value(&v).unwrap();
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn tuples_are_arrays() {
+        let v = (1u8, "x".to_string()).to_value();
+        let back: (u8, String) = Deserialize::from_value(&v).unwrap();
+        assert_eq!(back, (1, "x".to_string()));
+    }
+}

@@ -1,0 +1,57 @@
+//! Serialization half: the [`Serializer`] trait and the in-memory
+//! [`ValueSerializer`] used by `#[serde(with = "...")]` modules.
+
+use crate::Value;
+use std::fmt;
+
+/// Error trait mirroring `serde::ser::Error`.
+pub trait Error: Sized + std::error::Error {
+    /// Builds an error from a display-able message.
+    fn custom<T: fmt::Display>(msg: T) -> Self;
+}
+
+/// The concrete serialization error (a message).
+#[derive(Debug, Clone)]
+pub struct SerError(String);
+
+impl fmt::Display for SerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for SerError {}
+
+impl Error for SerError {
+    fn custom<T: fmt::Display>(msg: T) -> Self {
+        SerError(msg.to_string())
+    }
+}
+
+/// A sink that accepts the data-model form of a value.
+///
+/// Unlike real serde's 30-method trait, the whole value arrives at once —
+/// the [`crate::Serialize`] default method converts first, then hands over.
+pub trait Serializer: Sized {
+    /// What a successful serialization yields.
+    type Ok;
+    /// The error type.
+    type Error: Error;
+
+    /// Consumes the data-model form of a value.
+    fn serialize_value(self, value: Value) -> Result<Self::Ok, Self::Error>;
+}
+
+/// A serializer whose output *is* the [`Value`]; used by derive-generated
+/// code to invoke `with`-module serialize functions.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ValueSerializer;
+
+impl Serializer for ValueSerializer {
+    type Ok = Value;
+    type Error = SerError;
+
+    fn serialize_value(self, value: Value) -> Result<Value, SerError> {
+        Ok(value)
+    }
+}

@@ -1,0 +1,523 @@
+//! Offline drop-in subset of `serde_derive`.
+//!
+//! No network registry is reachable in this build environment, so `syn`
+//! and `quote` are unavailable; this macro parses the derive input by
+//! walking `proc_macro::TokenStream` directly and emits generated impls as
+//! source strings. It supports exactly what the workspace uses:
+//!
+//! * named-field structs;
+//! * enums with unit / newtype / tuple / named-field variants;
+//! * the field attribute `#[serde(with = "module")]`;
+//! * the container attributes `#[serde(from = "T", into = "T")]`.
+//!
+//! Generated code targets the vendored `serde` crate's `Value`-based data
+//! model: `Serialize::to_value` / `Deserialize::from_value`.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+// ---------------------------------------------------------------------------
+// Parsed shape of the derive input
+// ---------------------------------------------------------------------------
+
+struct Input {
+    name: String,
+    data: Data,
+    /// `#[serde(from = "T")]` — deserialize via `T` then `From<T>`.
+    from_ty: Option<String>,
+    /// `#[serde(into = "T")]` — serialize by `Clone` + `Into<T>`.
+    into_ty: Option<String>,
+}
+
+enum Data {
+    /// Named fields.
+    Struct(Vec<Field>),
+    Enum(Vec<Variant>),
+}
+
+struct Field {
+    name: String,
+    /// `#[serde(with = "module")]` on the field.
+    with: Option<String>,
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum VariantKind {
+    Unit,
+    /// Parenthesized payload with this many elements.
+    Tuple(usize),
+    /// Named-field payload.
+    Struct(Vec<Field>),
+}
+
+// ---------------------------------------------------------------------------
+// Token-level parsing
+// ---------------------------------------------------------------------------
+
+struct Cursor {
+    tokens: Vec<TokenTree>,
+    pos: usize,
+}
+
+impl Cursor {
+    fn new(stream: TokenStream) -> Self {
+        Cursor {
+            tokens: stream.into_iter().collect(),
+            pos: 0,
+        }
+    }
+
+    fn peek(&self) -> Option<&TokenTree> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<TokenTree> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn at_end(&self) -> bool {
+        self.pos >= self.tokens.len()
+    }
+
+    fn is_punct(&self, ch: char) -> bool {
+        matches!(self.peek(), Some(TokenTree::Punct(p)) if p.as_char() == ch)
+    }
+
+    fn is_ident(&self, word: &str) -> bool {
+        matches!(self.peek(), Some(TokenTree::Ident(i)) if i.to_string() == word)
+    }
+
+    fn expect_ident(&mut self, what: &str) -> String {
+        match self.next() {
+            Some(TokenTree::Ident(i)) => i.to_string(),
+            other => panic!("serde_derive: expected {what}, found {other:?}"),
+        }
+    }
+
+    fn expect_punct(&mut self, ch: char) {
+        match self.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ch => {}
+            other => panic!("serde_derive: expected `{ch}`, found {other:?}"),
+        }
+    }
+
+    /// Consumes one `#[...]` attribute if present; returns the serde
+    /// key/value pairs when it is a `#[serde(...)]` attribute.
+    fn take_attr(&mut self) -> Option<Vec<(String, String)>> {
+        if !self.is_punct('#') {
+            return None;
+        }
+        self.pos += 1;
+        let group = match self.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => g,
+            other => panic!("serde_derive: expected `[...]` after `#`, found {other:?}"),
+        };
+        let mut inner = Cursor::new(group.stream());
+        if !inner.is_ident("serde") {
+            return Some(Vec::new());
+        }
+        inner.pos += 1;
+        let args = match inner.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => g,
+            other => panic!("serde_derive: expected `(...)` in serde attribute, found {other:?}"),
+        };
+        let mut kv = Vec::new();
+        let mut c = Cursor::new(args.stream());
+        while !c.at_end() {
+            let key = c.expect_ident("serde attribute key");
+            c.expect_punct('=');
+            let value = match c.next() {
+                Some(TokenTree::Literal(l)) => unquote(&l.to_string()),
+                other => panic!("serde_derive: expected string value for `{key}`, found {other:?}"),
+            };
+            kv.push((key, value));
+            if c.is_punct(',') {
+                c.pos += 1;
+            }
+        }
+        Some(kv)
+    }
+
+    /// Skips all attributes, collecting serde key/value pairs.
+    fn take_attrs(&mut self) -> Vec<(String, String)> {
+        let mut all = Vec::new();
+        while let Some(mut kv) = self.take_attr() {
+            all.append(&mut kv);
+        }
+        all
+    }
+
+    /// Skips `pub`, `pub(...)`.
+    fn skip_visibility(&mut self) {
+        if self.is_ident("pub") {
+            self.pos += 1;
+            if let Some(TokenTree::Group(g)) = self.peek() {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    self.pos += 1;
+                }
+            }
+        }
+    }
+
+    /// Skips tokens until a comma at angle-bracket depth 0, consuming the
+    /// comma. Used to skip field types and enum discriminants.
+    fn skip_past_toplevel_comma(&mut self) {
+        let mut angle_depth = 0i32;
+        while let Some(t) = self.next() {
+            if let TokenTree::Punct(p) = &t {
+                match p.as_char() {
+                    '<' => angle_depth += 1,
+                    '>' => angle_depth -= 1,
+                    ',' if angle_depth == 0 => return,
+                    _ => {}
+                }
+            }
+        }
+    }
+}
+
+/// Strips the quotes from a string-literal token ("module" → module).
+fn unquote(lit: &str) -> String {
+    let s = lit.trim();
+    if s.len() >= 2 && s.starts_with('"') && s.ends_with('"') {
+        s[1..s.len() - 1].to_owned()
+    } else {
+        panic!("serde_derive: expected string literal, found `{lit}`");
+    }
+}
+
+fn parse_input(stream: TokenStream) -> Input {
+    let mut c = Cursor::new(stream);
+    let container_attrs = c.take_attrs();
+    let mut from_ty = None;
+    let mut into_ty = None;
+    for (key, value) in container_attrs {
+        match key.as_str() {
+            "from" => from_ty = Some(value),
+            "into" => into_ty = Some(value),
+            other => panic!("serde_derive: unsupported container attribute `{other}`"),
+        }
+    }
+    c.skip_visibility();
+    let kw = c.expect_ident("`struct` or `enum`");
+    let name = c.expect_ident("type name");
+    if c.is_punct('<') {
+        panic!("serde_derive: generic types are not supported by the vendored derive");
+    }
+    let body = match c.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g,
+        other => panic!(
+            "serde_derive: only brace-bodied types are supported (deriving {name}), found {other:?}"
+        ),
+    };
+    let data = match kw.as_str() {
+        "struct" => Data::Struct(parse_fields(body.stream())),
+        "enum" => Data::Enum(parse_variants(body.stream())),
+        other => panic!("serde_derive: cannot derive for `{other}`"),
+    };
+    Input {
+        name,
+        data,
+        from_ty,
+        into_ty,
+    }
+}
+
+fn parse_fields(stream: TokenStream) -> Vec<Field> {
+    let mut fields = Vec::new();
+    let mut c = Cursor::new(stream);
+    while !c.at_end() {
+        let attrs = c.take_attrs();
+        let mut with = None;
+        for (key, value) in attrs {
+            match key.as_str() {
+                "with" => with = Some(value),
+                other => panic!("serde_derive: unsupported field attribute `{other}`"),
+            }
+        }
+        c.skip_visibility();
+        let name = c.expect_ident("field name");
+        c.expect_punct(':');
+        c.skip_past_toplevel_comma();
+        fields.push(Field { name, with });
+    }
+    fields
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let mut variants = Vec::new();
+    let mut c = Cursor::new(stream);
+    while !c.at_end() {
+        let attrs = c.take_attrs();
+        if !attrs.is_empty() {
+            panic!("serde_derive: variant-level serde attributes are not supported");
+        }
+        let name = c.expect_ident("variant name");
+        let kind = match c.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let arity = count_toplevel_items(g.stream());
+                c.pos += 1;
+                VariantKind::Tuple(arity)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_fields(g.stream());
+                c.pos += 1;
+                VariantKind::Struct(fields)
+            }
+            _ => VariantKind::Unit,
+        };
+        // Skip an explicit discriminant and/or the trailing comma.
+        if c.is_punct('=') {
+            c.pos += 1;
+            c.skip_past_toplevel_comma();
+        } else if c.is_punct(',') {
+            c.pos += 1;
+        }
+        variants.push(Variant { name, kind });
+    }
+    variants
+}
+
+/// Counts comma-separated items at angle-depth 0 (tuple-variant arity).
+fn count_toplevel_items(stream: TokenStream) -> usize {
+    let mut angle_depth = 0i32;
+    let mut items = 0usize;
+    let mut saw_token = false;
+    for t in stream {
+        if let TokenTree::Punct(p) = &t {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => {
+                    items += 1;
+                    saw_token = false;
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        saw_token = true;
+    }
+    if saw_token {
+        items += 1;
+    }
+    items
+}
+
+// ---------------------------------------------------------------------------
+// Code generation (source-string based; relies on type inference, so field
+// and payload types never need to be parsed)
+// ---------------------------------------------------------------------------
+
+const ALLOWS: &str = "#[automatically_derived]\n\
+     #[allow(unused_variables, unreachable_patterns, clippy::all, clippy::pedantic)]\n";
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let input = parse_input(input);
+    let name = &input.name;
+    let body = if let Some(into_ty) = &input.into_ty {
+        format!(
+            "let __converted: {into_ty} = ::std::convert::Into::into(::std::clone::Clone::clone(self));\n\
+             ::serde::Serialize::to_value(&__converted)"
+        )
+    } else {
+        match &input.data {
+            Data::Struct(fields) => ser_struct_body(fields, "self.", ""),
+            Data::Enum(variants) => ser_enum_body(name, variants),
+        }
+    };
+    let out = format!(
+        "{ALLOWS}impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{\n{body}\n}}\n\
+         }}\n"
+    );
+    out.parse()
+        .expect("serde_derive: generated Serialize impl failed to parse")
+}
+
+/// Object-building body for named fields. `prefix` is `self.` for structs
+/// and empty for destructured struct-variant bindings.
+fn ser_struct_body(fields: &[Field], prefix: &str, indent: &str) -> String {
+    let mut s = String::new();
+    s.push_str(indent);
+    s.push_str("::serde::Value::Object(::std::vec![\n");
+    for f in fields {
+        let fname = &f.name;
+        let access = format!("{prefix}{fname}");
+        let expr = match &f.with {
+            Some(with) => format!(
+                "{with}::serialize(&{access}, ::serde::ser::ValueSerializer)\
+                 .expect(\"with-module serialize\")"
+            ),
+            None => format!("::serde::Serialize::to_value(&{access})"),
+        };
+        s.push_str(&format!(
+            "{indent}    (::std::string::String::from(\"{fname}\"), {expr}),\n"
+        ));
+    }
+    s.push_str(indent);
+    s.push_str("])");
+    s
+}
+
+fn ser_enum_body(name: &str, variants: &[Variant]) -> String {
+    let mut arms = String::new();
+    for v in variants {
+        let vname = &v.name;
+        match &v.kind {
+            VariantKind::Unit => {
+                arms.push_str(&format!(
+                    "{name}::{vname} => ::serde::Value::Str(::std::string::String::from(\"{vname}\")),\n"
+                ));
+            }
+            VariantKind::Tuple(1) => {
+                arms.push_str(&format!(
+                    "{name}::{vname}(__f0) => ::serde::Value::Object(::std::vec![(\
+                         ::std::string::String::from(\"{vname}\"), \
+                         ::serde::Serialize::to_value(__f0))]),\n"
+                ));
+            }
+            VariantKind::Tuple(n) => {
+                let binders: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                let items: Vec<String> = binders
+                    .iter()
+                    .map(|b| format!("::serde::Serialize::to_value({b})"))
+                    .collect();
+                arms.push_str(&format!(
+                    "{name}::{vname}({binds}) => ::serde::Value::Object(::std::vec![(\
+                         ::std::string::String::from(\"{vname}\"), \
+                         ::serde::Value::Array(::std::vec![{items}]))]),\n",
+                    binds = binders.join(", "),
+                    items = items.join(", "),
+                ));
+            }
+            VariantKind::Struct(fields) => {
+                let binds: Vec<&str> = fields.iter().map(|f| f.name.as_str()).collect();
+                let inner = ser_struct_body(fields, "", "        ");
+                arms.push_str(&format!(
+                    "{name}::{vname} {{ {binds} }} => ::serde::Value::Object(::std::vec![(\
+                         ::std::string::String::from(\"{vname}\"),\n{inner})]),\n",
+                    binds = binds.join(", "),
+                ));
+            }
+        }
+    }
+    format!("match self {{\n{arms}}}")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let input = parse_input(input);
+    let name = &input.name;
+    let body = if let Some(from_ty) = &input.from_ty {
+        format!(
+            "let __inner: {from_ty} = ::serde::Deserialize::from_value(__value)?;\n\
+             ::std::result::Result::Ok(::std::convert::From::from(__inner))"
+        )
+    } else {
+        match &input.data {
+            Data::Struct(fields) => format!(
+                "::std::result::Result::Ok({})",
+                de_struct_expr(name, name, fields, "__value")
+            ),
+            Data::Enum(variants) => de_enum_body(name, variants),
+        }
+    };
+    let out = format!(
+        "{ALLOWS}impl<'de> ::serde::Deserialize<'de> for {name} {{\n\
+             fn from_value(__value: &::serde::Value) \
+                 -> ::std::result::Result<Self, ::serde::de::DeError> {{\n{body}\n}}\n\
+         }}\n"
+    );
+    out.parse()
+        .expect("serde_derive: generated Deserialize impl failed to parse")
+}
+
+/// A struct-literal expression reading named fields out of `source`.
+/// `path` is the constructor path, `ctx` the name used in errors.
+fn de_struct_expr(path: &str, ctx: &str, fields: &[Field], source: &str) -> String {
+    let mut s = format!("{path} {{\n");
+    for f in fields {
+        let fname = &f.name;
+        let expr = match &f.with {
+            Some(with) => format!(
+                "{with}::deserialize(::serde::de::ValueDeserializer::for_field({source}, \"{fname}\", \"{ctx}\")?)?"
+            ),
+            None => format!("::serde::de::get_field({source}, \"{fname}\", \"{ctx}\")?"),
+        };
+        s.push_str(&format!("    {fname}: {expr},\n"));
+    }
+    s.push('}');
+    s
+}
+
+fn de_enum_body(name: &str, variants: &[Variant]) -> String {
+    let mut unit_arms = String::new();
+    let mut data_arms = String::new();
+    for v in variants {
+        let vname = &v.name;
+        match &v.kind {
+            VariantKind::Unit => {
+                unit_arms.push_str(&format!(
+                    "\"{vname}\" => ::std::result::Result::Ok({name}::{vname}),\n"
+                ));
+            }
+            VariantKind::Tuple(1) => {
+                data_arms.push_str(&format!(
+                    "\"{vname}\" => ::std::result::Result::Ok({name}::{vname}(\
+                         ::serde::Deserialize::from_value(__payload)?)),\n"
+                ));
+            }
+            VariantKind::Tuple(n) => {
+                let items: Vec<String> = (0..*n)
+                    .map(|i| format!("::serde::Deserialize::from_value(&__items[{i}])?"))
+                    .collect();
+                data_arms.push_str(&format!(
+                    "\"{vname}\" => {{\n\
+                         let __items = ::serde::de::tuple_items(__payload, {n}, \"{name}::{vname}\")?;\n\
+                         ::std::result::Result::Ok({name}::{vname}({items}))\n\
+                     }}\n",
+                    items = items.join(", "),
+                ));
+            }
+            VariantKind::Struct(fields) => {
+                let expr = de_struct_expr(
+                    &format!("{name}::{vname}"),
+                    &format!("{name}::{vname}"),
+                    fields,
+                    "__payload",
+                );
+                data_arms.push_str(&format!(
+                    "\"{vname}\" => ::std::result::Result::Ok({expr}),\n"
+                ));
+            }
+        }
+    }
+    format!(
+        "match __value {{\n\
+             ::serde::Value::Str(__s) => match __s.as_str() {{\n\
+                 {unit_arms}\
+                 __other => ::std::result::Result::Err(\
+                     ::serde::de::DeError::unknown_variant(__other, \"{name}\")),\n\
+             }},\n\
+             ::serde::Value::Object(__entries) if __entries.len() == 1 => {{\n\
+                 let (__tag, __payload) = &__entries[0];\n\
+                 match __tag.as_str() {{\n\
+                     {data_arms}\
+                     __other => ::std::result::Result::Err(\
+                         ::serde::de::DeError::unknown_variant(__other, \"{name}\")),\n\
+                 }}\n\
+             }}\n\
+             __other => ::std::result::Result::Err(\
+                 ::serde::de::DeError::invalid_value(__other, \"variant of {name}\")),\n\
+         }}"
+    )
+}
