@@ -1,0 +1,37 @@
+//! Strict vs lossy JSONL ingestion.
+//!
+//! The lossy reader scans bytes line-by-line instead of trusting
+//! `BufRead::lines`, so it pays a small per-line cost even on clean
+//! input; this bench keeps that overhead honest and measures the
+//! recovery path on a deterministically damaged stream.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use iocov_bench::sample_trace;
+use iocov_trace::{read_jsonl, read_jsonl_lossy, ReadOptions};
+use iocov_workloads::corrupt_jsonl;
+
+fn bench_ingest(c: &mut Criterion) {
+    let trace = sample_trace(20_000);
+    let mut clean = Vec::new();
+    iocov_trace::write_jsonl(&mut clean, &trace).expect("serialize");
+    let corrupt = corrupt_jsonl(std::str::from_utf8(&clean).expect("ascii"), 42).bytes;
+    let options = ReadOptions::default();
+
+    let mut group = c.benchmark_group("ingest");
+    group.sample_size(10);
+    group.throughput(Throughput::Bytes(clean.len() as u64));
+    group.bench_function("strict_clean", |b| {
+        b.iter(|| read_jsonl(&clean[..]).expect("clean parses"));
+    });
+    group.bench_function("lossy_clean", |b| {
+        b.iter(|| read_jsonl_lossy(&clean[..], &options).expect("clean parses"));
+    });
+    group.throughput(Throughput::Bytes(corrupt.len() as u64));
+    group.bench_function("lossy_corrupt", |b| {
+        b.iter(|| read_jsonl_lossy(&corrupt[..], &options).expect("lossy recovers"));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_ingest);
+criterion_main!(benches);

@@ -8,28 +8,42 @@
 //! workload simulators at paper scale (≈5M syscalls; tens of seconds);
 //! the default `--scale 0.05` keeps the shapes while finishing quickly.
 //! `--jobs N` shards trace analysis by pid across N worker threads; the
-//! reports (and every exhibit) are identical to a serial run.
+//! reports (and every exhibit) are identical to a serial run. A `--full`
+//! run additionally writes `metrics.json`: the analysis pipeline's
+//! counters (events read, drops by reason, variant merges, partition
+//! records) and per-stage wall-clock timings.
 //! Each exhibit ends with `shape-check` lines asserting the qualitative
 //! claims the paper makes about it.
 
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
 
 use iocov::tcd::{crossover, log_targets, tcd_uniform};
-use iocov::{ArgName, BaseSyscall, InputPartition, NumericPartition};
-use iocov_bench::{open_flag_frequencies, run_suites_parallel, SuiteReports};
+use iocov::{ArgName, BaseSyscall, InputPartition, NumericPartition, PipelineMetrics};
+use iocov_bench::{open_flag_frequencies, run_suites_parallel_with_metrics, SuiteReports};
 use iocov_faults::{dataset, demo_bugs, StudyStats};
 
 struct Options {
     scale: f64,
     seed: u64,
     jobs: usize,
+    full: bool,
     exhibits: BTreeSet<String>,
+}
+
+/// The `metrics.json` document a `--full` run writes: deterministic
+/// pipeline counters plus (nondeterministic) per-stage wall-clock times.
+#[derive(serde::Serialize)]
+struct MetricsDoc {
+    counters: iocov::MetricsSnapshot,
+    stage_timings_ns: BTreeMap<String, u64>,
 }
 
 fn parse_args() -> Options {
     let mut scale = 0.05;
     let mut seed = 42;
     let mut jobs = 1;
+    let mut full = false;
     let mut exhibits = BTreeSet::new();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -53,7 +67,10 @@ fn parse_args() -> Options {
                     .filter(|&n| n >= 1)
                     .expect("--jobs takes a positive integer");
             }
-            "--full" => scale = 1.0,
+            "--full" => {
+                scale = 1.0;
+                full = true;
+            }
             other => {
                 exhibits.insert(other.to_owned());
             }
@@ -71,6 +88,7 @@ fn parse_args() -> Options {
         scale,
         seed,
         jobs,
+        full,
         exhibits,
     }
 }
@@ -92,6 +110,9 @@ fn main() {
     let needs_suites = ["fig2", "table1", "fig3", "fig4", "fig5", "untested"]
         .iter()
         .any(|e| opts.exhibits.contains(*e));
+    // A --full run accounts for itself: the pipeline counters and stage
+    // timings land in metrics.json next to the exhibits.
+    let metrics = (opts.full && needs_suites).then(|| Arc::new(PipelineMetrics::default()));
     let reports = needs_suites.then(|| {
         eprintln!(
             "[running CrashMonkey and xfstests simulations ({} analysis job{}) …]",
@@ -99,7 +120,8 @@ fn main() {
             if opts.jobs == 1 { "" } else { "s" }
         );
         let start = std::time::Instant::now();
-        let reports = run_suites_parallel(opts.seed, opts.scale, opts.jobs);
+        let reports =
+            run_suites_parallel_with_metrics(opts.seed, opts.scale, opts.jobs, metrics.clone());
         let elapsed = start.elapsed().as_secs_f64();
         let events = reports.crashmonkey.filter_stats.total + reports.xfstests.filter_stats.total;
         eprintln!(
@@ -110,6 +132,18 @@ fn main() {
         );
         reports
     });
+    if let Some(metrics) = &metrics {
+        let doc = MetricsDoc {
+            counters: metrics.snapshot(),
+            stage_timings_ns: metrics.stage_timings(),
+        };
+        let json = serde_json::to_string_pretty(&doc).expect("metrics serialize");
+        let path = "metrics.json";
+        match std::fs::write(path, &json) {
+            Ok(()) => eprintln!("[wrote pipeline metrics to {path}]"),
+            Err(e) => eprintln!("[could not write {path}: {e}]"),
+        }
+    }
 
     if let Some(reports) = &reports {
         if opts.exhibits.contains("fig2") {

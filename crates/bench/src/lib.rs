@@ -7,9 +7,11 @@
 //! full paper-scale run (millions of events) stays within bounded
 //! memory, and returns the merged [`AnalysisReport`] per suite.
 
+use std::sync::Arc;
+
 use iocov::{
     AnalysisReport, ArgName, InputPartition, ParallelAnalyzer, ParallelStreamingAnalyzer,
-    TraceFilter,
+    PipelineMetrics, TraceFilter,
 };
 use iocov_workloads::{CrashMonkeySim, SuiteResult, TestEnv, XfstestsSim, MOUNT};
 
@@ -42,13 +44,33 @@ pub fn run_suites(seed: u64, scale: f64) -> SuiteReports {
 /// state is per-pid.
 #[must_use]
 pub fn run_suites_parallel(seed: u64, scale: f64, jobs: usize) -> SuiteReports {
+    run_suites_parallel_with_metrics(seed, scale, jobs, None)
+}
+
+/// [`run_suites_parallel`] with an optional shared metrics instance:
+/// both suites' analysis pipelines record into the same counters, and
+/// the simulation / analysis stages are wall-clock timed.
+#[must_use]
+pub fn run_suites_parallel_with_metrics(
+    seed: u64,
+    scale: f64,
+    jobs: usize,
+    metrics: Option<Arc<PipelineMetrics>>,
+) -> SuiteReports {
     let filter = TraceFilter::mount_point(MOUNT).expect("static mount pattern compiles");
 
     // CrashMonkey: small; single pass.
     let cm_env = TestEnv::new();
     let cm_sim = CrashMonkeySim::new(seed, scale);
-    let crashmonkey_result = cm_sim.run(&cm_env);
-    let crashmonkey = ParallelAnalyzer::new(filter.clone(), jobs).analyze(&cm_env.take_trace());
+    let crashmonkey_result = {
+        let _timer = metrics.as_deref().map(|m| m.time_stage("simulate"));
+        cm_sim.run(&cm_env)
+    };
+    let mut cm_analyzer = ParallelAnalyzer::new(filter.clone(), jobs);
+    if let Some(m) = &metrics {
+        cm_analyzer = cm_analyzer.with_metrics(Arc::clone(m));
+    }
+    let crashmonkey = cm_analyzer.analyze(&cm_env.take_trace());
 
     // xfstests: streamed so memory stays bounded at paper scale, with
     // each shard's descriptor-provenance state preserved across chunks.
@@ -56,12 +78,18 @@ pub fn run_suites_parallel(seed: u64, scale: f64, jobs: usize) -> SuiteReports {
     let xfs_sim = XfstestsSim::new(seed, scale);
     let mut kernel = xfs_env.fresh_kernel();
     let mut sharded = ParallelStreamingAnalyzer::new(filter, jobs);
+    if let Some(m) = &metrics {
+        sharded = sharded.with_metrics(Arc::clone(m));
+    }
     let mut xfstests_result = SuiteResult::new("xfstests");
     let total = xfs_sim.total_tests();
     let mut start = 0;
     while start < total {
         let end = (start + CHUNK).min(total);
-        let chunk_result = xfs_sim.run_range(&mut kernel, start..end);
+        let chunk_result = {
+            let _timer = metrics.as_deref().map(|m| m.time_stage("simulate"));
+            xfs_sim.run_range(&mut kernel, start..end)
+        };
         xfstests_result.merge(chunk_result);
         sharded.push_all(xfs_env.take_trace().events());
         start = end;

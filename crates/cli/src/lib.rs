@@ -5,7 +5,8 @@
 //! without spawning processes.
 //!
 //! ```text
-//! iocov analyze  <trace.jsonl> [--mount PATH] [--json] [--jobs N]   coverage report
+//! iocov analyze  <trace.jsonl> [--mount PATH] [--json] [--jobs N]
+//!                [--lossy [--max-errors N]] [--metrics]  coverage report
 //! iocov untested <trace.jsonl> [--mount PATH]            gap summary
 //! iocov combos   <trace.jsonl> [--mount PATH]            flag-combination coverage
 //! iocov tcd      <trace.jsonl> [--mount PATH] --target N TCD of open flags
@@ -15,10 +16,11 @@
 use std::fmt;
 use std::fs::File;
 use std::io::{BufReader, Write};
+use std::sync::Arc;
 
 use iocov::tcd::{deviation_ranking, tcd_uniform};
-use iocov::{ArgName, BaseSyscall, ComboCoverage, IdentifierCoverage, Iocov};
-use iocov_trace::Trace;
+use iocov::{ArgName, BaseSyscall, ComboCoverage, IdentifierCoverage, Iocov, PipelineMetrics};
+use iocov_trace::{ErrorPolicy, LossyRead, ReadOptions, Trace};
 
 /// A CLI-level error with a user-facing message.
 #[derive(Debug)]
@@ -51,6 +53,12 @@ pub enum Command {
         json: bool,
         /// Analysis worker threads (pid-sharded; 1 = serial).
         jobs: usize,
+        /// Skip malformed trace lines instead of aborting.
+        lossy: bool,
+        /// Report pipeline counters alongside the coverage report.
+        metrics: bool,
+        /// Abort a lossy read after this many skipped lines.
+        max_errors: Option<usize>,
     },
     /// Untested-partition summary.
     Untested {
@@ -109,6 +117,9 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
     let mut json = false;
     let mut target: Option<u64> = None;
     let mut jobs: usize = 1;
+    let mut lossy = false;
+    let mut metrics = false;
+    let mut max_errors: Option<usize> = None;
     while let Some(arg) = iter.next() {
         match arg.as_str() {
             "--mount" => {
@@ -139,6 +150,18 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                     .filter(|&n| n >= 1)
                     .ok_or_else(|| CliError(format!("bad --jobs value `{value}`")))?;
             }
+            "--lossy" => lossy = true,
+            "--metrics" => metrics = true,
+            "--max-errors" => {
+                let value = iter
+                    .next()
+                    .ok_or_else(|| CliError("--max-errors needs a count".into()))?;
+                max_errors = Some(
+                    value
+                        .parse()
+                        .map_err(|_| CliError(format!("bad --max-errors value `{value}`")))?,
+                );
+            }
             other if other.starts_with("--") => {
                 return Err(CliError(format!("unknown flag `{other}`")));
             }
@@ -152,12 +175,20 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
             .ok_or_else(|| CliError("missing trace-file operand".into()))
     };
     match command.as_str() {
-        "analyze" => Ok(Command::Analyze {
-            trace: need_trace(&positional)?,
-            mount,
-            json,
-            jobs,
-        }),
+        "analyze" => {
+            if max_errors.is_some() && !lossy {
+                return Err(CliError("--max-errors requires --lossy".into()));
+            }
+            Ok(Command::Analyze {
+                trace: need_trace(&positional)?,
+                mount,
+                json,
+                jobs,
+                lossy,
+                metrics,
+                max_errors,
+            })
+        }
         "untested" => Ok(Command::Untested {
             trace: need_trace(&positional)?,
             mount,
@@ -197,6 +228,7 @@ iocov — input/output coverage for file system testing
 
 USAGE:
   iocov analyze  <trace.jsonl> [--mount PATH] [--json] [--jobs N]
+                 [--lossy [--max-errors N]] [--metrics]
   iocov untested <trace.jsonl> [--mount PATH]
   iocov combos   <trace.jsonl> [--mount PATH]
   iocov tcd      <trace.jsonl> [--mount PATH] --target N
@@ -207,12 +239,42 @@ Traces are JSON Lines of syscall events, as written by
 iocov_trace::write_jsonl (or produced from Syzkaller logs with
 `convert-syz`). --mount filters to the tester's mount point, e.g.
 --mount /mnt/test. --jobs shards analysis by pid across N worker
-threads; the report is identical to a serial run.";
+threads; the report is identical to a serial run. --lossy skips
+malformed trace lines (reporting each skip) instead of aborting;
+--max-errors caps how many. --metrics reports pipeline counters —
+events read, parse-skipped, drops by reason, variant merges,
+partition records — alongside the coverage report.";
 
 fn load_trace(path: &str) -> Result<Trace, CliError> {
     let file = File::open(path).map_err(|e| CliError(format!("cannot open {path}: {e}")))?;
     iocov_trace::read_jsonl(BufReader::new(file))
         .map_err(|e| CliError(format!("cannot parse {path}: {e}")))
+}
+
+/// Loads a trace in lossy mode, recovering from malformed lines.
+fn load_trace_lossy(path: &str, max_errors: Option<usize>) -> Result<LossyRead, CliError> {
+    let file = File::open(path).map_err(|e| CliError(format!("cannot open {path}: {e}")))?;
+    let options = ReadOptions {
+        max_errors,
+        on_error: ErrorPolicy::Skip,
+    };
+    iocov_trace::read_jsonl_lossy(BufReader::new(file), &options)
+        .map_err(|e| CliError(format!("cannot parse {path}: {e}")))
+}
+
+fn make_filter(mount: Option<&str>) -> Result<iocov::TraceFilter, CliError> {
+    match mount {
+        Some(mount) => iocov::TraceFilter::mount_point(mount)
+            .map_err(|e| CliError(format!("bad mount pattern: {e}"))),
+        None => Ok(iocov::TraceFilter::keep_all()),
+    }
+}
+
+/// The `analyze --json --metrics` document: report plus counters.
+#[derive(serde::Serialize)]
+struct AnalyzeDoc {
+    report: iocov::AnalysisReport,
+    metrics: iocov::MetricsSnapshot,
 }
 
 fn make_iocov(mount: Option<&str>) -> Result<Iocov, CliError> {
@@ -250,23 +312,50 @@ pub fn run<W: Write>(command: &Command, out: &mut W) -> Result<(), CliError> {
             mount,
             json,
             jobs,
+            lossy,
+            metrics,
+            max_errors,
         } => {
-            let trace = load_trace(trace)?;
-            let report = if *jobs > 1 {
-                let filter = match mount.as_deref() {
-                    Some(mount) => iocov::TraceFilter::mount_point(mount)
-                        .map_err(|e| CliError(format!("bad mount pattern: {e}")))?,
-                    None => iocov::TraceFilter::keep_all(),
-                };
-                iocov::ParallelAnalyzer::new(filter, *jobs).analyze(&trace)
+            let (trace, skipped) = if *lossy {
+                let read = load_trace_lossy(trace, *max_errors)?;
+                (read.trace, Some(read.skipped))
             } else {
-                make_iocov(mount.as_deref())?.analyze(&trace)
+                (load_trace(trace)?, None)
             };
+            let pipeline_metrics = metrics.then(|| Arc::new(PipelineMetrics::default()));
+            if let (Some(m), Some(skipped)) = (&pipeline_metrics, &skipped) {
+                m.add_parse_skipped(skipped.len() as u64);
+            }
+            // A 1-worker parallel analyzer IS the serial analyzer (and
+            // produces byte-identical reports), so every job count takes
+            // the same code path and metrics attach uniformly.
+            let mut analyzer = iocov::ParallelAnalyzer::new(make_filter(mount.as_deref())?, *jobs);
+            if let Some(m) = &pipeline_metrics {
+                analyzer = analyzer.with_metrics(Arc::clone(m));
+            }
+            let report = analyzer.analyze(&trace);
             if *json {
-                let text = serde_json::to_string_pretty(&report)
-                    .map_err(|e| CliError(format!("serialization failed: {e}")))?;
+                let text = match &pipeline_metrics {
+                    Some(m) => serde_json::to_string_pretty(&AnalyzeDoc {
+                        metrics: m.snapshot(),
+                        report,
+                    }),
+                    None => serde_json::to_string_pretty(&report),
+                }
+                .map_err(|e| CliError(format!("serialization failed: {e}")))?;
                 writeln!(out, "{text}")?;
             } else {
+                if let Some(skipped) = &skipped {
+                    writeln!(
+                        out,
+                        "lossy ingest: {} malformed line{} skipped",
+                        skipped.len(),
+                        if skipped.len() == 1 { "" } else { "s" }
+                    )?;
+                    for skip in skipped {
+                        writeln!(out, "  {skip}")?;
+                    }
+                }
                 writeln!(
                     out,
                     "{} events, {} analyzed, {} filtered out\n",
@@ -285,6 +374,11 @@ pub fn run<W: Write>(command: &Command, out: &mut W) -> Result<(), CliError> {
                         write!(out, "{}", iocov::report::render_output(&report, base))?;
                         writeln!(out)?;
                     }
+                }
+                if let Some(m) = &pipeline_metrics {
+                    let text = serde_json::to_string_pretty(&m.snapshot())
+                        .map_err(|e| CliError(format!("serialization failed: {e}")))?;
+                    writeln!(out, "=== pipeline metrics ===\n{text}")?;
                 }
             }
         }
@@ -447,7 +541,10 @@ mod tests {
                 trace: "t.jsonl".into(),
                 mount: Some("/mnt/test".into()),
                 json: true,
-                jobs: 1
+                jobs: 1,
+                lossy: false,
+                metrics: false,
+                max_errors: None
             }
         );
         assert_eq!(
@@ -456,7 +553,30 @@ mod tests {
                 trace: "t.jsonl".into(),
                 mount: None,
                 json: false,
-                jobs: 4
+                jobs: 4,
+                lossy: false,
+                metrics: false,
+                max_errors: None
+            }
+        );
+        assert_eq!(
+            parse_args(&args(&[
+                "analyze",
+                "t.jsonl",
+                "--lossy",
+                "--metrics",
+                "--max-errors",
+                "5"
+            ]))
+            .unwrap(),
+            Command::Analyze {
+                trace: "t.jsonl".into(),
+                mount: None,
+                json: false,
+                jobs: 1,
+                lossy: true,
+                metrics: true,
+                max_errors: Some(5)
             }
         );
         assert_eq!(
@@ -483,6 +603,12 @@ mod tests {
         assert!(parse_args(&args(&["analyze", "t", "--jobs"])).is_err());
         assert!(parse_args(&args(&["analyze", "t", "--jobs", "0"])).is_err());
         assert!(parse_args(&args(&["analyze", "t", "--jobs", "x"])).is_err());
+        assert!(parse_args(&args(&["analyze", "t", "--max-errors"])).is_err());
+        assert!(parse_args(&args(&["analyze", "t", "--lossy", "--max-errors", "x"])).is_err());
+        assert!(
+            parse_args(&args(&["analyze", "t", "--max-errors", "3"])).is_err(),
+            "--max-errors requires --lossy"
+        );
     }
 
     #[test]
@@ -539,6 +665,114 @@ mod tests {
         )
         .unwrap();
         assert_eq!(serial, parallel);
+    }
+
+    /// Path of the checked-in corrupt-trace fixture (BOM, CRLF lines,
+    /// malformed JSON, invalid UTF-8, blank lines, truncated tail).
+    fn corrupt_fixture() -> String {
+        format!(
+            "{}/../../fixtures/corrupt_trace.jsonl",
+            env!("CARGO_MANIFEST_DIR")
+        )
+    }
+
+    #[test]
+    fn strict_analyze_rejects_corrupt_fixture() {
+        let cmd = parse_args(&args(&["analyze", &corrupt_fixture()])).unwrap();
+        let mut out = Vec::new();
+        let err = run(&cmd, &mut out).unwrap_err();
+        assert!(err.to_string().contains("cannot parse"), "{err}");
+    }
+
+    #[test]
+    fn lossy_analyze_recovers_corrupt_fixture() {
+        let fixture = corrupt_fixture();
+        let cmd = parse_args(&args(&[
+            "analyze",
+            &fixture,
+            "--mount",
+            "/mnt/test",
+            "--lossy",
+            "--metrics",
+        ]))
+        .unwrap();
+        let mut out = Vec::new();
+        run(&cmd, &mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(
+            text.contains("lossy ingest: 3 malformed lines skipped"),
+            "{text}"
+        );
+        for class in ["malformed-json", "invalid-utf8", "truncated-tail"] {
+            assert!(text.contains(class), "missing {class} in:\n{text}");
+        }
+        // All four intact events analyzed, none filtered.
+        assert!(
+            text.contains("4 events, 4 analyzed, 0 filtered out"),
+            "{text}"
+        );
+        assert!(text.contains("=== pipeline metrics ==="), "{text}");
+        assert!(text.contains("\"parse_skipped\": 3"), "{text}");
+    }
+
+    #[test]
+    fn lossy_json_metrics_document_wraps_report_and_counters() {
+        let fixture = corrupt_fixture();
+        let cmd = parse_args(&args(&[
+            "analyze",
+            &fixture,
+            "--mount",
+            "/mnt/test",
+            "--lossy",
+            "--metrics",
+            "--json",
+        ]))
+        .unwrap();
+        let mut out = Vec::new();
+        run(&cmd, &mut out).unwrap();
+        #[derive(serde::Deserialize)]
+        struct Doc {
+            report: iocov::AnalysisReport,
+            metrics: iocov::MetricsSnapshot,
+        }
+        let doc: Doc = serde_json::from_slice(&out).unwrap();
+        assert_eq!(doc.report.filter_stats.total, 4);
+        assert_eq!(doc.metrics.parse_skipped, 3);
+        assert_eq!(doc.metrics.events_read, 4);
+    }
+
+    #[test]
+    fn metrics_output_is_byte_identical_serial_vs_parallel() {
+        let file = sample_trace_file();
+        let run_with = |extra: &[&str]| {
+            let mut all = vec!["analyze", file.path.as_str(), "--mount", "/mnt/test"];
+            all.extend_from_slice(extra);
+            let mut out = Vec::new();
+            run(&parse_args(&args(&all)).unwrap(), &mut out).unwrap();
+            out
+        };
+        let serial = run_with(&["--json", "--metrics"]);
+        let parallel = run_with(&["--json", "--metrics", "--jobs", "4"]);
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn max_errors_aborts_lossy_analyze() {
+        let fixture = corrupt_fixture();
+        let cmd = parse_args(&args(&[
+            "analyze",
+            &fixture,
+            "--lossy",
+            "--max-errors",
+            "1",
+        ]))
+        .unwrap();
+        let mut out = Vec::new();
+        let err = run(&cmd, &mut out).unwrap_err();
+        assert!(
+            err.to_string().contains("too many malformed lines"),
+            "{err}"
+        );
     }
 
     #[test]

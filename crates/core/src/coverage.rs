@@ -9,6 +9,7 @@ use serde::{Deserialize, Serialize};
 use crate::arg::ArgName;
 use crate::domain::{arg_domain, open_flags_present, output_buckets_bytes, output_errnos};
 use crate::filter::{FilterStats, TraceFilter};
+use crate::metrics::{DropReason, PipelineMetrics};
 use crate::partition::{InputPartition, OutputPartition};
 use crate::variants::normalize;
 
@@ -255,21 +256,31 @@ impl AnalysisReport {
 #[derive(Debug, Clone, Default)]
 pub struct Analyzer {
     filter: TraceFilter,
+    metrics: Option<std::sync::Arc<PipelineMetrics>>,
 }
 
 impl Analyzer {
     /// An analyzer with a mount-point filter.
     #[must_use]
     pub fn new(filter: TraceFilter) -> Self {
-        Analyzer { filter }
+        Analyzer {
+            filter,
+            metrics: None,
+        }
     }
 
     /// An analyzer that analyzes every event (no filtering).
     #[must_use]
     pub fn unfiltered() -> Self {
-        Analyzer {
-            filter: TraceFilter::keep_all(),
-        }
+        Analyzer::new(TraceFilter::keep_all())
+    }
+
+    /// Attaches shared pipeline metrics; every analyzed trace updates
+    /// the counters.
+    #[must_use]
+    pub fn with_metrics(mut self, metrics: std::sync::Arc<PipelineMetrics>) -> Self {
+        self.metrics = Some(metrics);
+        self
     }
 
     /// The configured filter.
@@ -282,24 +293,41 @@ impl Analyzer {
     /// over one trace.
     #[must_use]
     pub fn analyze(&self, trace: &Trace) -> AnalysisReport {
-        let (kept, filter_stats) = self.filter.apply(trace);
+        let metrics = self.metrics.as_deref();
+        let (kept, filter_stats) = self.filter.apply_with_metrics(trace, metrics);
         let mut report = AnalysisReport {
             filter_stats,
             ..AnalysisReport::default()
         };
+        let _timer = metrics.map(|m| m.time_stage("accumulate"));
         for event in &kept {
-            accumulate(&mut report, event);
+            accumulate_with_metrics(&mut report, event, metrics);
         }
         report
     }
 }
 
 /// Accumulates one (already filter-accepted) event into a report — the
-/// shared per-event step of batch and streaming analysis.
-pub(crate) fn accumulate(report: &mut AnalysisReport, event: &iocov_trace::TraceEvent) {
+/// shared per-event step of batch and streaming analysis — additionally
+/// recording unknown-syscall drops, variant merges, and
+/// per-partition-family record counts into `metrics` when attached.
+pub(crate) fn accumulate_with_metrics(
+    report: &mut AnalysisReport,
+    event: &iocov_trace::TraceEvent,
+    metrics: Option<&PipelineMetrics>,
+) {
     let Some(call) = normalize(event) else {
-        return; // tester noise outside the 27-call domain
+        // Tester noise outside the 27-call domain.
+        if let Some(m) = metrics {
+            m.record_drop(DropReason::UnknownSyscall);
+        }
+        return;
     };
+    if let Some(m) = metrics {
+        if call.sysno.name() != call.base.name() {
+            m.record_variant_merged();
+        }
+    }
     *report
         .calls_per_variant
         .entry(call.sysno.name().to_owned())
@@ -311,6 +339,9 @@ pub(crate) fn accumulate(report: &mut AnalysisReport, event: &iocov_trace::Trace
         let cov = report.input.entry(*arg).or_default();
         cov.calls += 1;
         for partition in domain.partitions_of(*value) {
+            if let Some(m) = metrics {
+                m.record_input_partition(&partition);
+            }
             *cov.counts.entry(partition).or_insert(0) += 1;
         }
         // Table 1: flag-combination histogram for open.
@@ -331,6 +362,9 @@ pub(crate) fn accumulate(report: &mut AnalysisReport, event: &iocov_trace::Trace
     // Output partition.
     let bucket_bytes = output_buckets_bytes(call.base);
     let partition = OutputPartition::of(call.retval, bucket_bytes);
+    if let Some(m) = metrics {
+        m.record_output_partition(&partition);
+    }
     let cov = report
         .output
         .entry(call.base.name().to_owned())

@@ -22,6 +22,7 @@ use iocov_pattern::Pattern;
 use iocov_trace::Trace;
 use serde::{Deserialize, Serialize};
 
+use crate::metrics::PipelineMetrics;
 use crate::relevance::{self, PidState};
 
 /// Statistics of one filtering pass.
@@ -114,6 +115,21 @@ impl TraceFilter {
     /// Filters a trace, returning the kept events and statistics.
     #[must_use]
     pub fn apply(&self, trace: &Trace) -> (Trace, FilterStats) {
+        self.apply_with_metrics(trace, None)
+    }
+
+    /// Filters a trace, recording events-read and per-reason drop counts
+    /// into `metrics` when provided.
+    #[must_use]
+    pub fn apply_with_metrics(
+        &self,
+        trace: &Trace,
+        metrics: Option<&PipelineMetrics>,
+    ) -> (Trace, FilterStats) {
+        let _timer = metrics.map(|m| m.time_stage("filter"));
+        if let Some(m) = metrics {
+            m.add_events_read(trace.len() as u64);
+        }
         if self.include.is_empty() && self.exclude.is_empty() {
             // No patterns: everything is relevant, including descriptor
             // operations whose open was never observed.
@@ -128,10 +144,15 @@ impl TraceFilter {
         let mut kept = Vec::new();
         for event in trace {
             let state = states.entry(event.pid).or_default();
-            let relevant = relevance::event_relevant(self, state, event);
-            relevance::update_state(state, event, relevant);
-            if relevant {
-                kept.push(event.clone());
+            let dropped = relevance::event_drop_reason(self, state, event);
+            relevance::update_state(state, event, dropped.is_none());
+            match dropped {
+                None => kept.push(event.clone()),
+                Some(reason) => {
+                    if let Some(m) = metrics {
+                        m.record_drop(reason);
+                    }
+                }
             }
         }
         let stats = FilterStats {

@@ -57,6 +57,7 @@ mod coverage;
 mod domain;
 mod filter;
 mod identifier;
+pub mod metrics;
 mod parallel;
 mod partition;
 mod relevance;
@@ -75,6 +76,7 @@ pub use domain::{
 };
 pub use filter::{FilterStats, TraceFilter};
 pub use identifier::{FdPartition, IdentifierCoverage, PathPartition};
+pub use metrics::{DropReason, MetricsSnapshot, PipelineMetrics, StageTimer};
 pub use parallel::{ParallelAnalyzer, ParallelStreamingAnalyzer};
 pub use partition::{InputPartition, NumericPartition, OutputPartition};
 pub use streaming::StreamingAnalyzer;

@@ -1,0 +1,380 @@
+//! Pipeline observability: cheap counters and per-stage timers.
+//!
+//! Coverage tooling is only trustworthy when its own gaps are measured:
+//! a run that silently drops half its events reports coverage of the
+//! half it kept. [`PipelineMetrics`] turns the analysis pipeline from a
+//! black box into an accounted funnel — events read, parse-skipped,
+//! filter-dropped (by [`DropReason`]), variant-merged, and
+//! per-partition-family record counts — using relaxed atomic counters so
+//! one instance can be shared (via `Arc`) across every shard of a
+//! parallel run. Because each counter is a commutative sum,
+//! [`PipelineMetrics::snapshot`] of a parallel run is **identical** to a
+//! serial run over the same trace, down to the serialized bytes.
+//!
+//! Wall-clock stage timers ride along for performance work but live
+//! outside the snapshot: time is the one thing a parallel run is
+//! supposed to change.
+//!
+//! ```
+//! use iocov::{ParallelAnalyzer, PipelineMetrics, TraceFilter};
+//! use iocov_trace::Trace;
+//! use std::sync::Arc;
+//!
+//! let metrics = Arc::new(PipelineMetrics::default());
+//! let analyzer = ParallelAnalyzer::new(TraceFilter::keep_all(), 4)
+//!     .with_metrics(Arc::clone(&metrics));
+//! analyzer.analyze(&Trace::new());
+//! assert_eq!(metrics.snapshot().events_read, 0);
+//! ```
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+use serde::{Deserialize, Serialize};
+
+use crate::partition::{InputPartition, OutputPartition};
+
+/// Why the pipeline dropped an event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum DropReason {
+    /// Every pathname argument resolved outside the mount point.
+    WrongMount,
+    /// No pathname argument, and the descriptor (if any) has no
+    /// provenance under the mount point.
+    IrrelevantFd,
+    /// The event survived filtering but names a syscall outside the
+    /// analyzer's 27-call domain (tester-internal noise).
+    UnknownSyscall,
+}
+
+impl DropReason {
+    /// Every reason, in snapshot order.
+    pub const ALL: [DropReason; 3] = [
+        DropReason::WrongMount,
+        DropReason::IrrelevantFd,
+        DropReason::UnknownSyscall,
+    ];
+
+    /// Stable kebab-case name, used as the snapshot map key.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            DropReason::WrongMount => "wrong-mount",
+            DropReason::IrrelevantFd => "irrelevant-fd",
+            DropReason::UnknownSyscall => "unknown-syscall",
+        }
+    }
+}
+
+/// Partition families tracked by the per-record counters.
+const PARTITION_FAMILIES: [&str; 5] = [
+    "input-flag",
+    "input-numeric",
+    "input-categorical",
+    "output-ok",
+    "output-err",
+];
+
+/// Shared, thread-safe pipeline counters. See the [module docs](self).
+#[derive(Debug, Default)]
+pub struct PipelineMetrics {
+    events_read: AtomicU64,
+    parse_skipped: AtomicU64,
+    dropped_wrong_mount: AtomicU64,
+    dropped_irrelevant_fd: AtomicU64,
+    dropped_unknown_syscall: AtomicU64,
+    variant_merged: AtomicU64,
+    records_input_flag: AtomicU64,
+    records_input_numeric: AtomicU64,
+    records_input_categorical: AtomicU64,
+    records_output_ok: AtomicU64,
+    records_output_err: AtomicU64,
+    stage_nanos: Mutex<BTreeMap<&'static str, u64>>,
+}
+
+impl PipelineMetrics {
+    /// Counts events entering the pipeline.
+    pub fn add_events_read(&self, n: u64) {
+        self.events_read.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Counts lines the lossy reader skipped before analysis.
+    pub fn add_parse_skipped(&self, n: u64) {
+        self.parse_skipped.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Counts one dropped event.
+    pub fn record_drop(&self, reason: DropReason) {
+        let counter = match reason {
+            DropReason::WrongMount => &self.dropped_wrong_mount,
+            DropReason::IrrelevantFd => &self.dropped_irrelevant_fd,
+            DropReason::UnknownSyscall => &self.dropped_unknown_syscall,
+        };
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one event whose concrete variant was merged into a
+    /// different base syscall (e.g. `openat` → `open`).
+    pub fn record_variant_merged(&self) {
+        self.variant_merged.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one input-partition record.
+    pub fn record_input_partition(&self, partition: &InputPartition) {
+        let counter = match partition {
+            InputPartition::Flag(_) => &self.records_input_flag,
+            InputPartition::Numeric(_) => &self.records_input_numeric,
+            InputPartition::Categorical(_) => &self.records_input_categorical,
+        };
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one output-partition record.
+    pub fn record_output_partition(&self, partition: &OutputPartition) {
+        let counter = match partition {
+            OutputPartition::Ok | OutputPartition::OkBytes(_) => &self.records_output_ok,
+            OutputPartition::Err(_) => &self.records_output_err,
+        };
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Starts a wall-clock timer for `stage`; the elapsed time is added
+    /// to the stage's total when the returned guard drops. Repeated
+    /// timings of the same stage accumulate.
+    #[must_use]
+    pub fn time_stage(&self, stage: &'static str) -> StageTimer<'_> {
+        StageTimer {
+            metrics: self,
+            stage,
+            start: Instant::now(),
+        }
+    }
+
+    /// Adds elapsed nanoseconds to a stage total directly.
+    pub fn add_stage_nanos(&self, stage: &'static str, nanos: u64) {
+        let mut stages = self.stage_nanos.lock().expect("stage timer lock");
+        *stages.entry(stage).or_insert(0) += nanos;
+    }
+
+    /// Accumulated wall-clock nanoseconds per stage.
+    ///
+    /// Deliberately *not* part of [`snapshot`](Self::snapshot): timings
+    /// are nondeterministic, and the snapshot must be byte-identical
+    /// between serial and parallel runs.
+    #[must_use]
+    pub fn stage_timings(&self) -> BTreeMap<String, u64> {
+        self.stage_nanos
+            .lock()
+            .expect("stage timer lock")
+            .iter()
+            .map(|(&stage, &nanos)| (stage.to_owned(), nanos))
+            .collect()
+    }
+
+    /// A deterministic snapshot of every counter.
+    #[must_use]
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let read = |c: &AtomicU64| c.load(Ordering::Relaxed);
+        let mut filter_dropped = BTreeMap::new();
+        filter_dropped.insert(
+            DropReason::WrongMount.name().to_owned(),
+            read(&self.dropped_wrong_mount),
+        );
+        filter_dropped.insert(
+            DropReason::IrrelevantFd.name().to_owned(),
+            read(&self.dropped_irrelevant_fd),
+        );
+        filter_dropped.insert(
+            DropReason::UnknownSyscall.name().to_owned(),
+            read(&self.dropped_unknown_syscall),
+        );
+        let mut partition_records = BTreeMap::new();
+        for (family, counter) in PARTITION_FAMILIES.iter().zip([
+            &self.records_input_flag,
+            &self.records_input_numeric,
+            &self.records_input_categorical,
+            &self.records_output_ok,
+            &self.records_output_err,
+        ]) {
+            partition_records.insert((*family).to_owned(), read(counter));
+        }
+        MetricsSnapshot {
+            events_read: read(&self.events_read),
+            parse_skipped: read(&self.parse_skipped),
+            filter_dropped,
+            variant_merged: read(&self.variant_merged),
+            partition_records,
+        }
+    }
+}
+
+/// RAII guard adding elapsed wall-clock time to one stage's total.
+#[derive(Debug)]
+pub struct StageTimer<'a> {
+    metrics: &'a PipelineMetrics,
+    stage: &'static str,
+    start: Instant,
+}
+
+impl Drop for StageTimer<'_> {
+    fn drop(&mut self) {
+        let nanos = u64::try_from(self.start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        self.metrics.add_stage_nanos(self.stage, nanos);
+    }
+}
+
+/// A deterministic, serializable view of [`PipelineMetrics`].
+///
+/// Snapshots merge commutatively ([`merge`](Self::merge) is a plain
+/// sum), so aggregating per-suite or per-shard snapshots in any order
+/// yields the same totals.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MetricsSnapshot {
+    /// Events that entered the pipeline (pre-filter).
+    pub events_read: u64,
+    /// Lines the lossy reader skipped during ingest.
+    pub parse_skipped: u64,
+    /// Dropped events by [`DropReason`] name.
+    pub filter_dropped: BTreeMap<String, u64>,
+    /// Events whose variant was merged into a different base syscall.
+    pub variant_merged: u64,
+    /// Partition records written, by partition family.
+    pub partition_records: BTreeMap<String, u64>,
+}
+
+impl MetricsSnapshot {
+    /// Sums another snapshot into this one.
+    pub fn merge(&mut self, other: &MetricsSnapshot) {
+        self.events_read += other.events_read;
+        self.parse_skipped += other.parse_skipped;
+        self.variant_merged += other.variant_merged;
+        for (reason, count) in &other.filter_dropped {
+            *self.filter_dropped.entry(reason.clone()).or_insert(0) += count;
+        }
+        for (family, count) in &other.partition_records {
+            *self.partition_records.entry(family.clone()).or_insert(0) += count;
+        }
+    }
+
+    /// Total dropped events across all reasons.
+    #[must_use]
+    pub fn total_dropped(&self) -> u64 {
+        self.filter_dropped.values().sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::partition::NumericPartition;
+
+    #[test]
+    fn counters_accumulate_and_snapshot() {
+        let m = PipelineMetrics::default();
+        m.add_events_read(10);
+        m.add_parse_skipped(2);
+        m.record_drop(DropReason::WrongMount);
+        m.record_drop(DropReason::WrongMount);
+        m.record_drop(DropReason::IrrelevantFd);
+        m.record_drop(DropReason::UnknownSyscall);
+        m.record_variant_merged();
+        m.record_input_partition(&InputPartition::Flag("O_CREAT".into()));
+        m.record_input_partition(&InputPartition::Numeric(NumericPartition::Zero));
+        m.record_input_partition(&InputPartition::Categorical("SEEK_SET".into()));
+        m.record_output_partition(&OutputPartition::Ok);
+        m.record_output_partition(&OutputPartition::OkBytes(NumericPartition::Log2(3)));
+        m.record_output_partition(&OutputPartition::Err("ENOENT".into()));
+        let snap = m.snapshot();
+        assert_eq!(snap.events_read, 10);
+        assert_eq!(snap.parse_skipped, 2);
+        assert_eq!(snap.filter_dropped["wrong-mount"], 2);
+        assert_eq!(snap.filter_dropped["irrelevant-fd"], 1);
+        assert_eq!(snap.filter_dropped["unknown-syscall"], 1);
+        assert_eq!(snap.total_dropped(), 4);
+        assert_eq!(snap.variant_merged, 1);
+        assert_eq!(snap.partition_records["input-flag"], 1);
+        assert_eq!(snap.partition_records["input-numeric"], 1);
+        assert_eq!(snap.partition_records["input-categorical"], 1);
+        assert_eq!(snap.partition_records["output-ok"], 2);
+        assert_eq!(snap.partition_records["output-err"], 1);
+    }
+
+    #[test]
+    fn snapshot_merge_is_commutative() {
+        let a = {
+            let m = PipelineMetrics::default();
+            m.add_events_read(3);
+            m.record_drop(DropReason::WrongMount);
+            m.snapshot()
+        };
+        let b = {
+            let m = PipelineMetrics::default();
+            m.add_events_read(4);
+            m.record_drop(DropReason::IrrelevantFd);
+            m.record_variant_merged();
+            m.snapshot()
+        };
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab, ba);
+        assert_eq!(ab.events_read, 7);
+        assert_eq!(ab.total_dropped(), 2);
+    }
+
+    #[test]
+    fn snapshot_serializes_deterministically() {
+        let m = PipelineMetrics::default();
+        m.add_events_read(1);
+        let first = serde_json::to_string(&m.snapshot()).unwrap();
+        let second = serde_json::to_string(&m.snapshot()).unwrap();
+        assert_eq!(first, second);
+        let back: MetricsSnapshot = serde_json::from_str(&first).unwrap();
+        assert_eq!(back, m.snapshot());
+        // Every key is present even at zero — a stable schema for tools.
+        for reason in DropReason::ALL {
+            assert!(first.contains(reason.name()), "{first}");
+        }
+    }
+
+    #[test]
+    fn stage_timers_accumulate() {
+        let m = PipelineMetrics::default();
+        {
+            let _t = m.time_stage("filter");
+        }
+        {
+            let _t = m.time_stage("filter");
+        }
+        m.add_stage_nanos("analyze", 500);
+        let timings = m.stage_timings();
+        assert!(timings.contains_key("filter"));
+        assert_eq!(timings["analyze"], 500);
+        // Timings never leak into the deterministic snapshot.
+        let json = serde_json::to_string(&m.snapshot()).unwrap();
+        assert!(!json.contains("analyze"));
+    }
+
+    #[test]
+    fn shared_across_threads_sums_exactly() {
+        use std::sync::Arc;
+        let m = Arc::new(PipelineMetrics::default());
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let m = Arc::clone(&m);
+                scope.spawn(move || {
+                    for _ in 0..1000 {
+                        m.add_events_read(1);
+                        m.record_drop(DropReason::WrongMount);
+                    }
+                });
+            }
+        });
+        let snap = m.snapshot();
+        assert_eq!(snap.events_read, 4000);
+        assert_eq!(snap.filter_dropped["wrong-mount"], 4000);
+    }
+}

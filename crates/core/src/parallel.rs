@@ -36,10 +36,13 @@
 //! assert_eq!(serial, parallel);
 //! ```
 
+use std::sync::Arc;
+
 use iocov_trace::{Trace, TraceEvent};
 
 use crate::coverage::AnalysisReport;
 use crate::filter::TraceFilter;
+use crate::metrics::PipelineMetrics;
 use crate::streaming::StreamingAnalyzer;
 
 /// A one-shot parallel analyzer: shards a trace by pid across `workers`
@@ -48,6 +51,7 @@ use crate::streaming::StreamingAnalyzer;
 pub struct ParallelAnalyzer {
     filter: TraceFilter,
     workers: usize,
+    metrics: Option<Arc<PipelineMetrics>>,
 }
 
 impl ParallelAnalyzer {
@@ -58,6 +62,7 @@ impl ParallelAnalyzer {
         ParallelAnalyzer {
             filter,
             workers: workers.max(1),
+            metrics: None,
         }
     }
 
@@ -65,6 +70,14 @@ impl ParallelAnalyzer {
     #[must_use]
     pub fn unfiltered(workers: usize) -> Self {
         ParallelAnalyzer::new(TraceFilter::keep_all(), workers)
+    }
+
+    /// Attaches shared pipeline metrics. All workers update the same
+    /// atomic counters, so snapshots match a serial run exactly.
+    #[must_use]
+    pub fn with_metrics(mut self, metrics: Arc<PipelineMetrics>) -> Self {
+        self.metrics = Some(metrics);
+        self
     }
 
     /// The worker count.
@@ -89,6 +102,9 @@ impl ParallelAnalyzer {
     #[must_use]
     pub fn analyze_events(&self, events: &[TraceEvent]) -> AnalysisReport {
         let mut sharded = ParallelStreamingAnalyzer::new(self.filter.clone(), self.workers);
+        if let Some(metrics) = &self.metrics {
+            sharded = sharded.with_metrics(Arc::clone(metrics));
+        }
         sharded.push_all(events);
         sharded.finish()
     }
@@ -103,6 +119,7 @@ impl ParallelAnalyzer {
 #[derive(Debug)]
 pub struct ParallelStreamingAnalyzer {
     shards: Vec<StreamingAnalyzer>,
+    metrics: Option<Arc<PipelineMetrics>>,
 }
 
 impl ParallelStreamingAnalyzer {
@@ -115,7 +132,20 @@ impl ParallelStreamingAnalyzer {
             shards: (0..workers)
                 .map(|_| StreamingAnalyzer::new(filter.clone()))
                 .collect(),
+            metrics: None,
         }
+    }
+
+    /// Attaches shared pipeline metrics to every shard.
+    #[must_use]
+    pub fn with_metrics(mut self, metrics: Arc<PipelineMetrics>) -> Self {
+        self.shards = self
+            .shards
+            .into_iter()
+            .map(|shard| shard.with_metrics(Arc::clone(&metrics)))
+            .collect();
+        self.metrics = Some(metrics);
+        self
     }
 
     /// The worker count.
@@ -129,6 +159,7 @@ impl ParallelStreamingAnalyzer {
     /// its own pids — the predicate is a modulo, far cheaper than
     /// partitioning the chunk into per-shard buffers first.
     pub fn push_all(&mut self, events: &[TraceEvent]) {
+        let _timer = self.metrics.as_deref().map(|m| m.time_stage("analyze"));
         let n = self.shards.len();
         if n == 1 || events.len() < PARALLEL_THRESHOLD {
             // Below the threshold thread spawn dominates; a serial pass
@@ -338,6 +369,65 @@ mod tests {
         let total = events.len();
         sharded.push_all(&events);
         assert_eq!(sharded.report().filter_stats.total, total);
+    }
+
+    #[test]
+    fn parallel_metrics_snapshot_matches_serial_byte_for_byte() {
+        // The acceptance bar: counters from a 4-worker run must be
+        // *byte-identical* to a serial run over the same trace — large
+        // enough to clear PARALLEL_THRESHOLD so real threads race on the
+        // shared atomics.
+        let events = multi_pid_trace(7, 40);
+        assert!(events.len() >= PARALLEL_THRESHOLD);
+        let trace = Trace::from_events(events);
+        let filter = TraceFilter::mount_point("/mnt/test").unwrap();
+
+        let serial_metrics = Arc::new(PipelineMetrics::default());
+        let serial = Analyzer::new(filter.clone())
+            .with_metrics(Arc::clone(&serial_metrics))
+            .analyze(&trace);
+
+        let parallel_metrics = Arc::new(PipelineMetrics::default());
+        let parallel = ParallelAnalyzer::new(filter, 4)
+            .with_metrics(Arc::clone(&parallel_metrics))
+            .analyze(&trace);
+
+        assert_eq!(serial, parallel);
+        let s = serial_metrics.snapshot();
+        let p = parallel_metrics.snapshot();
+        assert_eq!(s, p);
+        assert_eq!(
+            serde_json::to_string(&s).unwrap(),
+            serde_json::to_string(&p).unwrap(),
+            "metrics snapshots must be byte-identical"
+        );
+        assert!(s.events_read > 0 && s.total_dropped() > 0);
+    }
+
+    #[test]
+    fn shared_metrics_across_chunked_parallel_runs() {
+        // One metrics instance fed by a chunked sharded run still sums to
+        // the trace totals.
+        let events = multi_pid_trace(4, 3);
+        let filter = TraceFilter::mount_point("/mnt/test").unwrap();
+        let metrics = Arc::new(PipelineMetrics::default());
+        let mut sharded =
+            ParallelStreamingAnalyzer::new(filter, 3).with_metrics(Arc::clone(&metrics));
+        for chunk in events.chunks(5) {
+            sharded.push_all(chunk);
+        }
+        let report = sharded.finish();
+        let snap = metrics.snapshot();
+        assert_eq!(snap.events_read, events.len() as u64);
+        // Filter-stage drops account for exactly the events not kept
+        // (unknown-syscall drops happen after the filter, inside kept).
+        assert_eq!(
+            snap.events_read
+                - snap.filter_dropped["wrong-mount"]
+                - snap.filter_dropped["irrelevant-fd"],
+            report.filter_stats.kept as u64
+        );
+        assert!(metrics.stage_timings().contains_key("analyze"));
     }
 
     #[test]

@@ -5,9 +5,9 @@
 //! [`StreamingAnalyzer::push`](crate::StreamingAnalyzer::push) must make
 //! the same keep/drop decision for every event, or chunked analysis
 //! diverges from batch analysis. Both therefore call into this module:
-//! [`event_relevant`] decides whether one event touches the mount point,
-//! and [`update_state`] propagates descriptor and cwd provenance after
-//! the decision.
+//! [`event_drop_reason`] decides whether one event touches the mount
+//! point (and why not, for the metrics layer), and [`update_state`]
+//! propagates descriptor and cwd provenance after the decision.
 //!
 //! Provenance rules:
 //!
@@ -38,6 +38,7 @@ use std::collections::HashMap;
 use iocov_trace::{ArgValue, TraceEvent};
 
 use crate::filter::TraceFilter;
+use crate::metrics::DropReason;
 
 /// `AT_FDCWD` without depending on the vfs crate directly.
 pub(crate) const AT_FDCWD: i32 = -100;
@@ -62,8 +63,13 @@ impl PidState {
     }
 }
 
-/// Decides relevance of one event given per-pid state.
-pub(crate) fn event_relevant(filter: &TraceFilter, state: &PidState, event: &TraceEvent) -> bool {
+/// Classifies one event: `None` when it is relevant to the mount point,
+/// otherwise the [`DropReason`] the metrics layer should count.
+pub(crate) fn event_drop_reason(
+    filter: &TraceFilter,
+    state: &PidState,
+    event: &TraceEvent,
+) -> Option<DropReason> {
     let mut saw_path = false;
     for (i, arg) in event.args.iter().enumerate() {
         let ArgValue::Path(path) = arg else { continue };
@@ -80,16 +86,16 @@ pub(crate) fn event_relevant(filter: &TraceFilter, state: &PidState, event: &Tra
             }
         };
         if relevant {
-            return true;
+            return None;
         }
     }
     if saw_path {
-        return false;
+        return Some(DropReason::WrongMount);
     }
     // No path: relevance flows from the descriptor argument.
     match event.args.first() {
-        Some(ArgValue::Fd(fd)) => state.fd_relevant(*fd),
-        _ => false,
+        Some(ArgValue::Fd(fd)) if state.fd_relevant(*fd) => None,
+        _ => Some(DropReason::IrrelevantFd),
     }
 }
 

@@ -13,6 +13,7 @@ use iocov_trace::TraceEvent;
 
 use crate::coverage::AnalysisReport;
 use crate::filter::TraceFilter;
+use crate::metrics::PipelineMetrics;
 use crate::relevance::{self, PidState};
 
 /// An incremental coverage analyzer.
@@ -37,6 +38,7 @@ pub struct StreamingAnalyzer {
     filter: TraceFilter,
     states: HashMap<u32, PidState>,
     report: AnalysisReport,
+    metrics: Option<std::sync::Arc<PipelineMetrics>>,
 }
 
 impl StreamingAnalyzer {
@@ -47,6 +49,7 @@ impl StreamingAnalyzer {
             filter,
             states: HashMap::new(),
             report: AnalysisReport::default(),
+            metrics: None,
         }
     }
 
@@ -56,25 +59,43 @@ impl StreamingAnalyzer {
         StreamingAnalyzer::new(TraceFilter::keep_all())
     }
 
+    /// Attaches shared pipeline metrics; every pushed event updates the
+    /// counters. Shards of a parallel run share one instance — the
+    /// counters are atomic, so the totals equal a serial run's.
+    #[must_use]
+    pub fn with_metrics(mut self, metrics: std::sync::Arc<PipelineMetrics>) -> Self {
+        self.metrics = Some(metrics);
+        self
+    }
+
     /// Consumes one event; returns whether it was kept.
     pub fn push(&mut self, event: &TraceEvent) -> bool {
         self.report.filter_stats.total += 1;
-        let keep_all = self.filter.is_keep_all();
-        let relevant = if keep_all {
-            true
+        let metrics = self.metrics.as_deref();
+        if let Some(m) = metrics {
+            m.add_events_read(1);
+        }
+        let dropped = if self.filter.is_keep_all() {
+            None
         } else {
             let state = self.states.entry(event.pid).or_default();
-            let relevant = relevance::event_relevant(&self.filter, state, event);
-            relevance::update_state(state, event, relevant);
-            relevant
+            let dropped = relevance::event_drop_reason(&self.filter, state, event);
+            relevance::update_state(state, event, dropped.is_none());
+            dropped
         };
-        if relevant {
-            self.report.filter_stats.kept += 1;
-            crate::coverage::accumulate(&mut self.report, event);
-            true
-        } else {
-            self.report.filter_stats.dropped += 1;
-            false
+        match dropped {
+            None => {
+                self.report.filter_stats.kept += 1;
+                crate::coverage::accumulate_with_metrics(&mut self.report, event, metrics);
+                true
+            }
+            Some(reason) => {
+                self.report.filter_stats.dropped += 1;
+                if let Some(m) = metrics {
+                    m.record_drop(reason);
+                }
+                false
+            }
         }
     }
 

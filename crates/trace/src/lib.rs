@@ -38,10 +38,12 @@
 //! ```
 
 mod event;
+pub mod lossy;
 mod recorder;
 mod serial;
 
 pub use event::{ArgValue, TraceEvent};
+pub use lossy::{read_jsonl_lossy, ErrorClass, ErrorPolicy, LossyRead, ReadOptions, SkippedLine};
 pub use recorder::{Recorder, RecorderStats};
 pub use serial::{read_jsonl, write_jsonl, TraceIoError};
 

@@ -1,8 +1,15 @@
 //! Trace serialization: JSON Lines reading and writing.
+//!
+//! Two readers share one line scanner ([`LineReader`]): the strict
+//! [`read_jsonl`], which aborts on the first malformed line, and the
+//! fault-tolerant [`read_jsonl_lossy`](crate::read_jsonl_lossy) in the
+//! [`lossy`](crate::lossy) module, which records skips and keeps going.
+//! Both normalize a UTF-8 BOM on the first line and CRLF line endings,
+//! and both report 1-based physical line numbers that count blank lines.
 
 use std::error::Error;
 use std::fmt;
-use std::io::{BufRead, BufReader, Read, Write};
+use std::io::{BufRead, Read, Write};
 
 use crate::event::TraceEvent;
 use crate::Trace;
@@ -17,6 +24,19 @@ pub enum TraceIoError {
         line: usize,
         source: serde_json::Error,
     },
+    /// An event failed to serialize; carries the 0-based event index.
+    Serialize {
+        index: usize,
+        source: serde_json::Error,
+    },
+    /// Lossy reading gave up: more lines were skipped than
+    /// [`ReadOptions::max_errors`](crate::ReadOptions::max_errors) allows.
+    TooManyErrors {
+        /// Skips recorded before giving up (`max + 1`).
+        errors: usize,
+        /// The configured limit.
+        max: usize,
+    },
 }
 
 impl fmt::Display for TraceIoError {
@@ -26,6 +46,15 @@ impl fmt::Display for TraceIoError {
             TraceIoError::Parse { line, source } => {
                 write!(f, "trace parse error on line {line}: {source}")
             }
+            TraceIoError::Serialize { index, source } => {
+                write!(f, "trace serialize error for event {index}: {source}")
+            }
+            TraceIoError::TooManyErrors { errors, max } => {
+                write!(
+                    f,
+                    "trace has too many malformed lines: {errors} skipped, limit {max}"
+                )
+            }
         }
     }
 }
@@ -34,7 +63,10 @@ impl Error for TraceIoError {
     fn source(&self) -> Option<&(dyn Error + 'static)> {
         match self {
             TraceIoError::Io(e) => Some(e),
-            TraceIoError::Parse { source, .. } => Some(source),
+            TraceIoError::Parse { source, .. } | TraceIoError::Serialize { source, .. } => {
+                Some(source)
+            }
+            TraceIoError::TooManyErrors { .. } => None,
         }
     }
 }
@@ -45,12 +77,80 @@ impl From<std::io::Error> for TraceIoError {
     }
 }
 
+/// One physical line of a JSONL stream, already normalized.
+#[derive(Debug)]
+pub(crate) struct RawLine {
+    /// 1-based physical line number (blank lines count).
+    pub number: usize,
+    /// Line bytes with the terminator (and any `\r`) stripped.
+    pub bytes: Vec<u8>,
+    /// Whether the line ended with a `\n` (false only for a truncated
+    /// final line).
+    pub terminated: bool,
+    /// Whether a `\r\n` terminator was normalized away.
+    pub crlf: bool,
+    /// Whether a UTF-8 BOM was stripped (first line only).
+    pub bom: bool,
+}
+
+/// A physical-line scanner over raw bytes.
+///
+/// `BufRead::lines` would abort on invalid UTF-8 with an opaque
+/// `io::Error`; this scanner stays at the byte level so the lossy reader
+/// can classify and skip such lines, and so both readers agree on line
+/// numbering and CRLF/BOM normalization.
+pub(crate) struct LineReader<R> {
+    inner: R,
+    number: usize,
+}
+
+impl<R: BufRead> LineReader<R> {
+    pub(crate) fn new(inner: R) -> Self {
+        LineReader { inner, number: 0 }
+    }
+
+    /// Reads the next physical line, or `None` at end of stream.
+    pub(crate) fn next_line(&mut self) -> Result<Option<RawLine>, std::io::Error> {
+        let mut bytes = Vec::new();
+        if self.inner.read_until(b'\n', &mut bytes)? == 0 {
+            return Ok(None);
+        }
+        self.number += 1;
+        let terminated = bytes.last() == Some(&b'\n');
+        if terminated {
+            bytes.pop();
+        }
+        let crlf = terminated && bytes.last() == Some(&b'\r');
+        if crlf {
+            bytes.pop();
+        }
+        let bom = self.number == 1 && bytes.starts_with(&[0xEF, 0xBB, 0xBF]);
+        if bom {
+            bytes.drain(..3);
+        }
+        Ok(Some(RawLine {
+            number: self.number,
+            bytes,
+            terminated,
+            crlf,
+            bom,
+        }))
+    }
+}
+
+/// Whether a normalized line holds nothing but whitespace.
+pub(crate) fn is_blank(bytes: &[u8]) -> bool {
+    bytes.iter().all(u8::is_ascii_whitespace)
+}
+
 /// Writes a trace as JSON Lines (one event per line). Writers can be
 /// passed by `&mut` reference.
 ///
 /// # Errors
 ///
-/// Returns [`TraceIoError::Io`] if the writer fails.
+/// Returns [`TraceIoError::Io`] if the writer fails, or
+/// [`TraceIoError::Serialize`] (with the 0-based event index) if an
+/// event cannot be serialized.
 ///
 /// ```
 /// use iocov_trace::{read_jsonl, write_jsonl, Trace, TraceEvent};
@@ -65,9 +165,9 @@ impl From<std::io::Error> for TraceIoError {
 /// # }
 /// ```
 pub fn write_jsonl<W: Write>(mut writer: W, trace: &Trace) -> Result<(), TraceIoError> {
-    for event in trace {
-        let line =
-            serde_json::to_string(event).map_err(|e| TraceIoError::Parse { line: 0, source: e })?;
+    for (index, event) in trace.iter().enumerate() {
+        let line = serde_json::to_string(event)
+            .map_err(|e| TraceIoError::Serialize { index, source: e })?;
         writer.write_all(line.as_bytes())?;
         writer.write_all(b"\n")?;
     }
@@ -75,24 +175,34 @@ pub fn write_jsonl<W: Write>(mut writer: W, trace: &Trace) -> Result<(), TraceIo
     Ok(())
 }
 
-/// Reads a JSON Lines trace. Blank lines are skipped. Readers can be
-/// passed by `&mut` reference.
+/// Reads a JSON Lines trace strictly: the first malformed line aborts
+/// the read. Blank lines are skipped (but still counted in line
+/// numbering), a leading UTF-8 BOM and CRLF line endings are
+/// normalized. Readers can be passed by `&mut` reference.
+///
+/// For traces from real tracers that may contain garbage, prefer
+/// [`read_jsonl_lossy`](crate::read_jsonl_lossy).
 ///
 /// # Errors
 ///
-/// Returns [`TraceIoError::Io`] on read failure or
-/// [`TraceIoError::Parse`] (with the offending line number) on malformed
-/// JSON.
+/// Returns [`TraceIoError::Io`] on read failure (including invalid
+/// UTF-8) or [`TraceIoError::Parse`] (with the offending 1-based
+/// physical line number) on malformed JSON.
 pub fn read_jsonl<R: Read>(reader: R) -> Result<Trace, TraceIoError> {
-    let reader = BufReader::new(reader);
+    let mut lines = LineReader::new(std::io::BufReader::new(reader));
     let mut events = Vec::new();
-    for (idx, line) in reader.lines().enumerate() {
-        let line = line?;
-        if line.trim().is_empty() {
+    while let Some(line) = lines.next_line()? {
+        if is_blank(&line.bytes) {
             continue;
         }
-        let event: TraceEvent = serde_json::from_str(&line).map_err(|e| TraceIoError::Parse {
-            line: idx + 1,
+        let text = std::str::from_utf8(&line.bytes).map_err(|e| {
+            TraceIoError::Io(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("line {}: {e}", line.number),
+            ))
+        })?;
+        let event: TraceEvent = serde_json::from_str(text).map_err(|e| TraceIoError::Parse {
+            line: line.number,
             source: e,
         })?;
         events.push(event);
@@ -166,9 +276,56 @@ mod tests {
     }
 
     #[test]
+    fn parse_error_line_number_counts_blank_lines() {
+        // Regression: blank (and whitespace-only) lines must advance the
+        // reported physical line number — line 4 here, not line 2.
+        let text = "\n   \n\n{\"bad\": true}\n";
+        let err = read_jsonl(text.as_bytes()).unwrap_err();
+        match err {
+            TraceIoError::Parse { line, .. } => assert_eq!(line, 4),
+            other => panic!("expected parse error, got {other}"),
+        }
+    }
+
+    #[test]
+    fn crlf_and_bom_are_normalized_in_strict_mode() {
+        let trace = sample_trace();
+        let mut buf = Vec::new();
+        write_jsonl(&mut buf, &trace).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let mut crlf = String::from("\u{feff}");
+        crlf.push_str(&text.replace('\n', "\r\n"));
+        let back = read_jsonl(crlf.as_bytes()).unwrap();
+        assert_eq!(back, trace);
+    }
+
+    #[test]
+    fn crlf_lines_count_toward_error_line_numbers() {
+        let text = "\r\n{\"bad\": true}\r\n";
+        let err = read_jsonl(text.as_bytes()).unwrap_err();
+        match err {
+            TraceIoError::Parse { line, .. } => assert_eq!(line, 2),
+            other => panic!("expected parse error, got {other}"),
+        }
+    }
+
+    #[test]
     fn empty_input_gives_empty_trace() {
         let back = read_jsonl(&b""[..]).unwrap();
         assert!(back.is_empty());
+    }
+
+    #[test]
+    fn invalid_utf8_is_an_io_error_with_line_number() {
+        let bytes = b"\n\xff\xfe garbage\n";
+        let err = read_jsonl(&bytes[..]).unwrap_err();
+        match &err {
+            TraceIoError::Io(e) => {
+                assert_eq!(e.kind(), std::io::ErrorKind::InvalidData);
+                assert!(e.to_string().contains("line 2"), "{e}");
+            }
+            other => panic!("expected i/o error, got {other}"),
+        }
     }
 
     #[test]
@@ -176,5 +333,24 @@ mod tests {
         let e = TraceIoError::from(std::io::Error::other("boom"));
         assert!(e.to_string().contains("boom"));
         assert!(e.source().is_some());
+    }
+
+    #[test]
+    fn serialize_error_carries_event_index() {
+        // No TraceEvent actually fails to serialize, so exercise the
+        // variant's Display/source contract directly.
+        let source = serde_json::from_str::<TraceEvent>("{").unwrap_err();
+        let e = TraceIoError::Serialize { index: 7, source };
+        assert!(e.to_string().contains("event 7"));
+        assert!(e.source().is_some());
+    }
+
+    #[test]
+    fn too_many_errors_variant_displays() {
+        let e = TraceIoError::TooManyErrors { errors: 3, max: 2 };
+        let text = e.to_string();
+        assert!(text.contains("3 skipped"));
+        assert!(text.contains("limit 2"));
+        assert!(e.source().is_none());
     }
 }

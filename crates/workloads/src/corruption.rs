@@ -1,0 +1,146 @@
+//! Deterministic JSONL trace corruption, for exercising the lossy
+//! reader.
+//!
+//! Real trace files get damaged in boring, repeatable ways: a tracer
+//! crashes mid-line (truncated tail), a torn page write leaves binary
+//! garbage, logs pass through a Windows tool (CRLF, BOM), or lines are
+//! hand-edited into invalid JSON. [`corrupt_jsonl`] injects exactly
+//! those defects into a clean JSONL trace, seeded so every test run
+//! damages the same lines — and reports how many *skippable* lines it
+//! injected, so a round-trip test can assert the lossy reader recovers
+//! the clean trace and counts every injected defect.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// A corrupted JSONL byte stream plus the ground truth of what was done
+/// to it.
+#[derive(Debug, Clone)]
+pub struct CorruptedTrace {
+    /// The damaged stream.
+    pub bytes: Vec<u8>,
+    /// Injected lines a lossy reader must *skip* (malformed JSON and
+    /// binary garbage; blank/CRLF/BOM cosmetics are not counted).
+    pub injected: usize,
+    /// Whether the final line was truncated mid-record (one more skip).
+    pub truncated_tail: bool,
+    /// Whether a UTF-8 BOM was prepended.
+    pub bom: bool,
+    /// How many clean lines were rewritten with CRLF endings.
+    pub crlf_lines: usize,
+}
+
+impl CorruptedTrace {
+    /// Total lines a lossy reader should report skipped: injected junk
+    /// plus the truncated tail.
+    #[must_use]
+    pub fn expected_skips(&self) -> usize {
+        self.injected + usize::from(self.truncated_tail)
+    }
+}
+
+/// Malformed payloads drawn from real-world trace damage.
+const JUNK: [&str; 5] = [
+    "{\"seq\": 19, \"name\": \"open\"",        // record cut mid-object
+    "#### tracer restarted ####",              // tracer banner
+    "{\"seq\": true, bad json here}",          // syntactically broken
+    "[1, 2, 3]",                               // valid JSON, wrong shape
+    "{\"name\": \"write\", \"args\": \"??\"}", // shape-mismatched record
+];
+
+/// Deterministically damages a clean JSONL trace.
+///
+/// Between the clean lines it inserts malformed-JSON lines, binary
+/// garbage (invalid UTF-8), and blank lines; rewrites some line endings
+/// to CRLF; optionally prepends a BOM; and may truncate the final
+/// record mid-line. The same `(clean, seed)` pair always produces the
+/// same damage.
+#[must_use]
+pub fn corrupt_jsonl(clean: &str, seed: u64) -> CorruptedTrace {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut bytes: Vec<u8> = Vec::with_capacity(clean.len() * 2);
+    let mut injected = 0usize;
+    let mut crlf_lines = 0usize;
+
+    let bom = rng.random_bool(0.5);
+    if bom {
+        bytes.extend_from_slice(&[0xEF, 0xBB, 0xBF]);
+    }
+
+    let lines: Vec<&str> = clean.lines().collect();
+    let last = lines.len().saturating_sub(1);
+    let truncated_tail = !lines.is_empty() && rng.random_bool(0.5);
+    for (i, line) in lines.iter().enumerate() {
+        // Damage *between* records, never inside a kept record.
+        if rng.random_bool(0.3) {
+            let junk = JUNK[rng.random_range(0..JUNK.len())];
+            bytes.extend_from_slice(junk.as_bytes());
+            bytes.push(b'\n');
+            injected += 1;
+        }
+        if rng.random_bool(0.2) {
+            bytes.extend_from_slice(&[0xFF, 0xFE, b'?', 0x00, b'\n']); // torn-page garbage
+            injected += 1;
+        }
+        if rng.random_bool(0.2) {
+            bytes.push(b'\n'); // blank line: cosmetic, not a skip
+        }
+        if i == last && truncated_tail {
+            let cut = line.len() / 2;
+            bytes.extend_from_slice(&line.as_bytes()[..cut]);
+            // No terminator: the stream ends mid-record.
+        } else if rng.random_bool(0.3) {
+            bytes.extend_from_slice(line.as_bytes());
+            bytes.extend_from_slice(b"\r\n");
+            crlf_lines += 1;
+        } else {
+            bytes.extend_from_slice(line.as_bytes());
+            bytes.push(b'\n');
+        }
+    }
+
+    CorruptedTrace {
+        bytes,
+        injected,
+        truncated_tail,
+        bom,
+        crlf_lines,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const CLEAN: &str = "{\"a\": 1}\n{\"a\": 2}\n{\"a\": 3}\n";
+
+    #[test]
+    fn corruption_is_deterministic() {
+        let one = corrupt_jsonl(CLEAN, 7);
+        let two = corrupt_jsonl(CLEAN, 7);
+        assert_eq!(one.bytes, two.bytes);
+        assert_eq!(one.injected, two.injected);
+        assert_eq!(one.truncated_tail, two.truncated_tail);
+    }
+
+    #[test]
+    fn different_seeds_damage_differently() {
+        let streams: Vec<Vec<u8>> = (0..8).map(|s| corrupt_jsonl(CLEAN, s).bytes).collect();
+        assert!(streams.windows(2).any(|w| w[0] != w[1]));
+    }
+
+    #[test]
+    fn some_seed_injects_every_defect_class() {
+        let hit = (0..64)
+            .map(|s| corrupt_jsonl(CLEAN, s))
+            .any(|c| c.injected > 0 && c.truncated_tail && c.bom && c.crlf_lines > 0);
+        assert!(hit, "64 seeds never combined all defect classes");
+    }
+
+    #[test]
+    fn empty_input_yields_only_cosmetics() {
+        let corrupted = corrupt_jsonl("", 3);
+        assert_eq!(corrupted.injected, 0);
+        assert!(!corrupted.truncated_tail);
+    }
+}

@@ -30,6 +30,7 @@
 //! assert!(report.total_calls() > 0);
 //! ```
 
+mod corruption;
 mod crashmonkey;
 mod env;
 mod fuzzer;
@@ -38,6 +39,7 @@ pub mod profile;
 pub mod sampler;
 mod xfstests;
 
+pub use corruption::{corrupt_jsonl, CorruptedTrace};
 pub use crashmonkey::{CrashMonkeySim, GENERIC_CRASH_TESTS, SEQ1_WORKLOADS};
 pub use env::{emit_noise, TestEnv, MOUNT};
 pub use fuzzer::SyzFuzzerSim;
