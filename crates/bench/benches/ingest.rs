@@ -4,6 +4,14 @@
 //! `BufRead::lines`, so it pays a small per-line cost even on clean
 //! input; this bench keeps that overhead honest and measures the
 //! recovery path on a deterministically damaged stream.
+//!
+//! Throughput assertion: `lossy_clean` must stay within ~10% of
+//! `strict_clean` bytes/sec (the line scan is cheap next to JSON
+//! parsing), and the binary container measured in the `ingest_binary`
+//! bench must decode at ≥ 2× `strict_clean`'s events/sec. Both ratios
+//! are checked against recorded numbers in EXPERIMENTS.md whenever the
+//! readers change; `repro --full` re-measures them into
+//! `BENCH_repro.json`.
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use iocov_bench::sample_trace;

@@ -1,0 +1,40 @@
+//! JSONL vs compact binary (`.iotb`) trace ingestion.
+//!
+//! The acceptance bar for the binary container: decoding `.iotb` must
+//! sustain at least 2× the events/sec of the strict JSONL reader on the
+//! same trace — the whole point of length-prefixed records and an
+//! interned string table is skipping per-event JSON tokenization and
+//! string allocation. The measured ratio is recorded in EXPERIMENTS.md
+//! and in the `BENCH_repro.json` written by `repro --full`.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use iocov_bench::sample_trace;
+use iocov_trace::{read_iotb, read_iotb_lossy, read_jsonl, write_iotb, ReadOptions};
+
+fn bench_ingest_binary(c: &mut Criterion) {
+    let trace = sample_trace(20_000);
+    let mut jsonl = Vec::new();
+    iocov_trace::write_jsonl(&mut jsonl, &trace).expect("serialize jsonl");
+    let mut iotb = Vec::new();
+    write_iotb(&mut iotb, &trace).expect("serialize iotb");
+    let options = ReadOptions::default();
+
+    let mut group = c.benchmark_group("ingest_binary");
+    group.sample_size(10);
+    // Same trace either way, so throughput is in events, not bytes —
+    // the containers differ in size by design.
+    group.throughput(Throughput::Elements(trace.len() as u64));
+    group.bench_function("jsonl_strict", |b| {
+        b.iter(|| read_jsonl(&jsonl[..]).expect("clean parses"));
+    });
+    group.bench_function("iotb", |b| {
+        b.iter(|| read_iotb(&iotb[..]).expect("clean parses"));
+    });
+    group.bench_function("iotb_lossy", |b| {
+        b.iter(|| read_iotb_lossy(&iotb[..], &options).expect("clean parses"));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_ingest_binary);
+criterion_main!(benches);

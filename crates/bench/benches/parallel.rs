@@ -4,11 +4,73 @@
 //! tester processes ([`multi_pid_trace`]); the sharded analyzer should
 //! approach a `workers`-fold speedup because all filter state is per-pid
 //! and the shards never synchronize until the final merge.
+//!
+//! The `chunked_*` group compares the two ways of feeding a chunked
+//! stream to the sharded analyzer: the old spawn-per-chunk design
+//! (reconstructed here with scoped threads over [`StreamingAnalyzer`]
+//! shards — one thread spawn per shard *per chunk*) against the
+//! persistent worker pool ([`ParallelStreamingAnalyzer`] — one spawn
+//! per shard total, batches over bounded channels). The pool path
+//! includes the owned hand-off copy of each chunk, since a persistent
+//! worker cannot borrow the caller's slice; the spawn path scans the
+//! borrowed slice directly. Measured numbers for both live in
+//! EXPERIMENTS.md (a 1-CPU container serializes all threads, so the
+//! comparison is overhead-only there).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use iocov::{Analyzer, ParallelAnalyzer, TraceFilter};
+use iocov::{
+    AnalysisReport, Analyzer, ParallelAnalyzer, ParallelStreamingAnalyzer, StreamingAnalyzer,
+    TraceFilter,
+};
 use iocov_bench::multi_pid_trace;
+use iocov_trace::TraceEvent;
 use iocov_workloads::MOUNT;
+
+/// The pre-pool design: persistent shard *state*, but a fresh scoped
+/// thread per shard for every chunk.
+fn spawn_per_chunk(
+    events: &[TraceEvent],
+    filter: &TraceFilter,
+    workers: usize,
+    chunk: usize,
+) -> AnalysisReport {
+    let mut shards: Vec<StreamingAnalyzer> = (0..workers)
+        .map(|_| StreamingAnalyzer::new(filter.clone()))
+        .collect();
+    for chunk_events in events.chunks(chunk) {
+        std::thread::scope(|scope| {
+            for (w, shard) in shards.iter_mut().enumerate() {
+                scope.spawn(move || {
+                    for event in chunk_events {
+                        if event.pid as usize % workers == w {
+                            shard.push(event);
+                        }
+                    }
+                });
+            }
+        });
+    }
+    let mut merged = AnalysisReport::default();
+    for shard in shards {
+        merged.merge(&shard.finish());
+    }
+    merged
+}
+
+/// The persistent pool fed owned chunks (the hand-off copy is part of
+/// the measurement).
+fn persistent_pool(
+    events: &[TraceEvent],
+    filter: &TraceFilter,
+    workers: usize,
+    chunk: usize,
+) -> AnalysisReport {
+    let mut pool = ParallelStreamingAnalyzer::new(filter.clone(), workers);
+    for chunk_events in events.chunks(chunk) {
+        pool.push_owned(chunk_events.to_vec());
+    }
+    pool.finish()
+}
 
 fn bench_parallel(c: &mut Criterion) {
     let trace = multi_pid_trace(200_000, 8);
@@ -25,6 +87,31 @@ fn bench_parallel(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("sharded", workers), &workers, |b, _| {
             b.iter(|| analyzer.analyze(&trace));
         });
+    }
+    group.finish();
+
+    // Spawn-per-chunk vs persistent pool at every chunk size a real
+    // producer might hand over: tiny (pure coalescing), the dispatch
+    // threshold, and large batches.
+    let mut group = c.benchmark_group("chunked_feed");
+    group.throughput(Throughput::Elements(trace.len() as u64));
+    group.sample_size(10);
+    let workers = 4;
+    for chunk in [64usize, 1024, 8192, 65536] {
+        group.bench_with_input(
+            BenchmarkId::new("spawn_per_chunk", chunk),
+            &chunk,
+            |b, &chunk| {
+                b.iter(|| spawn_per_chunk(trace.events(), &filter, workers, chunk));
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("persistent_pool", chunk),
+            &chunk,
+            |b, &chunk| {
+                b.iter(|| persistent_pool(trace.events(), &filter, workers, chunk));
+            },
+        );
     }
     group.finish();
 }

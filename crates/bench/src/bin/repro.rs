@@ -20,7 +20,10 @@ use std::sync::Arc;
 
 use iocov::tcd::{crossover, log_targets, tcd_uniform};
 use iocov::{ArgName, BaseSyscall, InputPartition, NumericPartition, PipelineMetrics};
-use iocov_bench::{open_flag_frequencies, run_suites_parallel_with_metrics, SuiteReports};
+use iocov_bench::{
+    measure_ingest_throughput, open_flag_frequencies, run_suites_parallel_with_metrics,
+    IngestThroughput, SuiteReports,
+};
 use iocov_faults::{dataset, demo_bugs, StudyStats};
 
 struct Options {
@@ -36,6 +39,20 @@ struct Options {
 #[derive(serde::Serialize)]
 struct MetricsDoc {
     counters: iocov::MetricsSnapshot,
+    stage_timings_ns: BTreeMap<String, u64>,
+}
+
+/// The `BENCH_repro.json` document a `--full` run writes: ingest
+/// throughput of every trace reader plus the pipeline's per-stage
+/// wall-clock times, so a run leaves a machine-readable performance
+/// record next to the exhibits.
+#[derive(serde::Serialize)]
+struct BenchDoc {
+    /// Events decoded per second by each reader (jsonl-strict,
+    /// jsonl-lossy, iotb) over the same sample trace.
+    ingest: Vec<IngestThroughput>,
+    /// Wall-clock nanoseconds per pipeline stage. `analyze` is summed
+    /// across shard workers (CPU time, not elapsed time).
     stage_timings_ns: BTreeMap<String, u64>,
 }
 
@@ -141,6 +158,29 @@ fn main() {
         let path = "metrics.json";
         match std::fs::write(path, &json) {
             Ok(()) => eprintln!("[wrote pipeline metrics to {path}]"),
+            Err(e) => eprintln!("[could not write {path}: {e}]"),
+        }
+    }
+    if opts.full {
+        eprintln!("[measuring trace-reader ingest throughput …]");
+        let ingest = measure_ingest_throughput(200_000);
+        for t in &ingest {
+            eprintln!(
+                "[  {:<12} {:>9} events in {:.3} s — {:>12.0} events/s]",
+                t.format, t.events, t.seconds, t.events_per_sec
+            );
+        }
+        let doc = BenchDoc {
+            ingest,
+            stage_timings_ns: metrics
+                .as_ref()
+                .map(|m| m.stage_timings())
+                .unwrap_or_default(),
+        };
+        let json = serde_json::to_string_pretty(&doc).expect("bench doc serialize");
+        let path = "BENCH_repro.json";
+        match std::fs::write(path, &json) {
+            Ok(()) => eprintln!("[wrote benchmark record to {path}]"),
             Err(e) => eprintln!("[could not write {path}: {e}]"),
         }
     }

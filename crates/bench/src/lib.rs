@@ -91,7 +91,7 @@ pub fn run_suites_parallel_with_metrics(
             xfs_sim.run_range(&mut kernel, start..end)
         };
         xfstests_result.merge(chunk_result);
-        sharded.push_all(xfs_env.take_trace().events());
+        sharded.push_owned(xfs_env.take_trace().into_events());
         start = end;
     }
     let xfstests = sharded.finish();
@@ -171,6 +171,89 @@ pub fn multi_pid_trace(events: usize, pids: u32) -> iocov_trace::Trace {
         }
     }
     iocov_trace::Trace::from_events(merged)
+}
+
+/// One ingest-throughput measurement for `BENCH_repro.json`.
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct IngestThroughput {
+    /// Reader under test: `jsonl-strict`, `jsonl-lossy`, or `iotb`.
+    pub format: String,
+    /// Events decoded per pass.
+    pub events: usize,
+    /// Container size in bytes.
+    pub bytes: usize,
+    /// Best-of-three wall-clock seconds for one full decode.
+    pub seconds: f64,
+    /// Events decoded per second at that best time.
+    pub events_per_sec: f64,
+}
+
+/// Measures ingest throughput of the three trace readers over the same
+/// `events`-call sample trace (best of three passes each), for the
+/// `repro --full` benchmark document.
+#[must_use]
+pub fn measure_ingest_throughput(events: usize) -> Vec<IngestThroughput> {
+    let trace = sample_trace(events);
+    let mut jsonl = Vec::new();
+    iocov_trace::write_jsonl(&mut jsonl, &trace).expect("serialize jsonl");
+    let mut iotb = Vec::new();
+    iocov_trace::write_iotb(&mut iotb, &trace).expect("serialize iotb");
+    let options = iocov_trace::ReadOptions::default();
+
+    let best_of_3 = |run: &dyn Fn() -> usize| -> (usize, f64) {
+        let mut best = f64::INFINITY;
+        let mut decoded = 0;
+        for _ in 0..3 {
+            let start = std::time::Instant::now();
+            decoded = run();
+            best = best.min(start.elapsed().as_secs_f64());
+        }
+        (decoded, best)
+    };
+    type Pass<'a> = (&'a str, usize, Box<dyn Fn() -> usize + 'a>);
+    let passes: [Pass; 3] = [
+        (
+            "jsonl-strict",
+            jsonl.len(),
+            Box::new(|| {
+                iocov_trace::read_jsonl(&jsonl[..])
+                    .expect("clean parses")
+                    .len()
+            }),
+        ),
+        (
+            "jsonl-lossy",
+            jsonl.len(),
+            Box::new(|| {
+                iocov_trace::read_jsonl_lossy(&jsonl[..], &options)
+                    .expect("clean parses")
+                    .trace
+                    .len()
+            }),
+        ),
+        (
+            "iotb",
+            iotb.len(),
+            Box::new(|| {
+                iocov_trace::read_iotb(&iotb[..])
+                    .expect("clean parses")
+                    .len()
+            }),
+        ),
+    ];
+    passes
+        .iter()
+        .map(|(format, bytes, run)| {
+            let (decoded, seconds) = best_of_3(run);
+            IngestThroughput {
+                format: (*format).to_owned(),
+                events: decoded,
+                bytes: *bytes,
+                seconds,
+                events_per_sec: decoded as f64 / seconds,
+            }
+        })
+        .collect()
 }
 
 #[cfg(test)]

@@ -5,22 +5,24 @@
 //! without spawning processes.
 //!
 //! ```text
-//! iocov analyze  <trace.jsonl> [--mount PATH] [--json] [--jobs N]
-//!                [--lossy [--max-errors N]] [--metrics]  coverage report
+//! iocov analyze  <trace> [--format auto|jsonl|iotb] [--mount PATH]
+//!                [--json] [--jobs N] [--lossy [--max-errors N]]
+//!                [--metrics]                            coverage report
 //! iocov untested <trace.jsonl> [--mount PATH]            gap summary
 //! iocov combos   <trace.jsonl> [--mount PATH]            flag-combination coverage
 //! iocov tcd      <trace.jsonl> [--mount PATH] --target N TCD of open flags
+//! iocov convert  <in> <out> [--to jsonl|iotb]            JSONL ↔ binary trace
 //! iocov convert-syz <log.txt>                            syz log → JSONL trace
 //! ```
 
 use std::fmt;
 use std::fs::File;
-use std::io::{BufReader, Write};
+use std::io::{BufReader, Read, Write};
 use std::sync::Arc;
 
 use iocov::tcd::{deviation_ranking, tcd_uniform};
 use iocov::{ArgName, BaseSyscall, ComboCoverage, IdentifierCoverage, Iocov, PipelineMetrics};
-use iocov_trace::{ErrorPolicy, LossyRead, ReadOptions, Trace};
+use iocov_trace::{ErrorPolicy, LossyRead, ReadOptions, SkippedLine, Trace};
 
 /// A CLI-level error with a user-facing message.
 #[derive(Debug)]
@@ -40,6 +42,32 @@ impl From<std::io::Error> for CliError {
     }
 }
 
+/// On-disk trace container format.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TraceFormat {
+    /// Sniff the first four bytes: the `IOTB` magic selects the binary
+    /// reader, anything else the JSONL reader.
+    #[default]
+    Auto,
+    /// JSON Lines, one event object per line.
+    Jsonl,
+    /// Compact binary container (`.iotb`).
+    Iotb,
+}
+
+impl TraceFormat {
+    fn parse(value: &str) -> Result<Self, CliError> {
+        match value {
+            "auto" => Ok(TraceFormat::Auto),
+            "jsonl" => Ok(TraceFormat::Jsonl),
+            "iotb" => Ok(TraceFormat::Iotb),
+            other => Err(CliError(format!(
+                "bad --format value `{other}` (expected auto, jsonl, or iotb)"
+            ))),
+        }
+    }
+}
+
 /// Parsed command-line invocation.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Command {
@@ -47,6 +75,8 @@ pub enum Command {
     Analyze {
         /// Trace file path.
         trace: String,
+        /// Trace container format (auto-sniffed by default).
+        format: TraceFormat,
         /// Optional mount-point filter.
         mount: Option<String>,
         /// Emit machine-readable JSON instead of text.
@@ -58,6 +88,22 @@ pub enum Command {
         /// Report pipeline counters alongside the coverage report.
         metrics: bool,
         /// Abort a lossy read after this many skipped lines.
+        max_errors: Option<usize>,
+    },
+    /// Translate a trace between JSONL and the binary container.
+    Convert {
+        /// Input trace path (format auto-sniffed unless --format).
+        input: String,
+        /// Output trace path.
+        output: String,
+        /// Input container format.
+        format: TraceFormat,
+        /// Output container format (defaults to the output path's
+        /// extension).
+        to: Option<TraceFormat>,
+        /// Skip malformed input records instead of aborting.
+        lossy: bool,
+        /// Abort a lossy read after this many skipped records.
         max_errors: Option<usize>,
     },
     /// Untested-partition summary.
@@ -120,8 +166,29 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
     let mut lossy = false;
     let mut metrics = false;
     let mut max_errors: Option<usize> = None;
+    let mut format = TraceFormat::Auto;
+    let mut to: Option<TraceFormat> = None;
     while let Some(arg) = iter.next() {
         match arg.as_str() {
+            "--format" => {
+                let value = iter
+                    .next()
+                    .ok_or_else(|| CliError("--format needs a value".into()))?;
+                format = TraceFormat::parse(value)?;
+            }
+            other if other.starts_with("--format=") => {
+                format = TraceFormat::parse(&other["--format=".len()..])?;
+            }
+            "--to" => {
+                let value = iter
+                    .next()
+                    .ok_or_else(|| CliError("--to needs a value".into()))?;
+                let target = TraceFormat::parse(value)?;
+                if target == TraceFormat::Auto {
+                    return Err(CliError("--to must be jsonl or iotb, not auto".into()));
+                }
+                to = Some(target);
+            }
             "--mount" => {
                 mount = Some(
                     iter.next()
@@ -181,11 +248,30 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
             }
             Ok(Command::Analyze {
                 trace: need_trace(&positional)?,
+                format,
                 mount,
                 json,
                 jobs,
                 lossy,
                 metrics,
+                max_errors,
+            })
+        }
+        "convert" => {
+            if max_errors.is_some() && !lossy {
+                return Err(CliError("--max-errors requires --lossy".into()));
+            }
+            let input = need_trace(&positional)?;
+            let output = positional
+                .get(1)
+                .cloned()
+                .ok_or_else(|| CliError("convert needs input and output paths".into()))?;
+            Ok(Command::Convert {
+                input,
+                output,
+                format,
+                to,
+                lossy,
                 max_errors,
             })
         }
@@ -227,39 +313,90 @@ pub const USAGE: &str = "\
 iocov — input/output coverage for file system testing
 
 USAGE:
-  iocov analyze  <trace.jsonl> [--mount PATH] [--json] [--jobs N]
-                 [--lossy [--max-errors N]] [--metrics]
+  iocov analyze  <trace> [--format auto|jsonl|iotb] [--mount PATH]
+                 [--json] [--jobs N] [--lossy [--max-errors N]]
+                 [--metrics]
   iocov untested <trace.jsonl> [--mount PATH]
   iocov combos   <trace.jsonl> [--mount PATH]
   iocov tcd      <trace.jsonl> [--mount PATH] --target N
+  iocov convert  <in> <out> [--to jsonl|iotb] [--format auto|jsonl|iotb]
+                 [--lossy [--max-errors N]]
   iocov convert-syz <syz-log.txt>
   iocov diff     <a.jsonl> <b.jsonl> [--mount PATH]
 
 Traces are JSON Lines of syscall events, as written by
 iocov_trace::write_jsonl (or produced from Syzkaller logs with
-`convert-syz`). --mount filters to the tester's mount point, e.g.
---mount /mnt/test. --jobs shards analysis by pid across N worker
-threads; the report is identical to a serial run. --lossy skips
-malformed trace lines (reporting each skip) instead of aborting;
---max-errors caps how many. --metrics reports pipeline counters —
-events read, parse-skipped, drops by reason, variant merges,
-partition records — alongside the coverage report.";
+`convert-syz`), or the compact binary container written by
+`convert --to iotb`. --format selects the reader; the default `auto`
+sniffs the IOTB magic bytes. --mount filters to the tester's mount
+point, e.g. --mount /mnt/test. --jobs shards analysis by pid across N
+worker threads; the report is identical to a serial run. --lossy skips
+malformed trace lines or records (reporting each skip) instead of
+aborting; --max-errors caps how many. --metrics reports pipeline
+counters — events read, parse-skipped, drops by reason, variant
+merges, partition records — alongside the coverage report. `convert`
+translates between the two containers; --to defaults to the output
+path's extension.";
 
-fn load_trace(path: &str) -> Result<Trace, CliError> {
-    let file = File::open(path).map_err(|e| CliError(format!("cannot open {path}: {e}")))?;
-    iocov_trace::read_jsonl(BufReader::new(file))
-        .map_err(|e| CliError(format!("cannot parse {path}: {e}")))
+/// Resolves [`TraceFormat::Auto`] by sniffing the file's first four
+/// bytes for the `IOTB` magic.
+fn resolve_format(path: &str, format: TraceFormat) -> Result<TraceFormat, CliError> {
+    if format != TraceFormat::Auto {
+        return Ok(format);
+    }
+    let mut file = File::open(path).map_err(|e| CliError(format!("cannot open {path}: {e}")))?;
+    let mut magic = [0u8; 4];
+    let mut filled = 0;
+    while filled < magic.len() {
+        match file.read(&mut magic[filled..]) {
+            Ok(0) => break,
+            Ok(n) => filled += n,
+            Err(e) => return Err(CliError(format!("cannot read {path}: {e}"))),
+        }
+    }
+    Ok(if iocov_trace::is_iotb(&magic[..filled]) {
+        TraceFormat::Iotb
+    } else {
+        TraceFormat::Jsonl
+    })
 }
 
-/// Loads a trace in lossy mode, recovering from malformed lines.
-fn load_trace_lossy(path: &str, max_errors: Option<usize>) -> Result<LossyRead, CliError> {
+fn open_buffered(path: &str) -> Result<BufReader<File>, CliError> {
     let file = File::open(path).map_err(|e| CliError(format!("cannot open {path}: {e}")))?;
+    Ok(BufReader::new(file))
+}
+
+/// Loads a trace in strict mode in either container format.
+fn load_trace_format(path: &str, format: TraceFormat) -> Result<Trace, CliError> {
+    match resolve_format(path, format)? {
+        TraceFormat::Jsonl => iocov_trace::read_jsonl(open_buffered(path)?),
+        TraceFormat::Iotb => iocov_trace::read_iotb(open_buffered(path)?),
+        TraceFormat::Auto => unreachable!("resolve_format never returns Auto"),
+    }
+    .map_err(|e| CliError(format!("cannot parse {path}: {e}")))
+}
+
+fn load_trace(path: &str) -> Result<Trace, CliError> {
+    load_trace_format(path, TraceFormat::Jsonl)
+}
+
+/// Loads a trace in lossy mode, recovering from malformed lines or
+/// records.
+fn load_trace_lossy(
+    path: &str,
+    format: TraceFormat,
+    max_errors: Option<usize>,
+) -> Result<LossyRead, CliError> {
     let options = ReadOptions {
         max_errors,
         on_error: ErrorPolicy::Skip,
     };
-    iocov_trace::read_jsonl_lossy(BufReader::new(file), &options)
-        .map_err(|e| CliError(format!("cannot parse {path}: {e}")))
+    match resolve_format(path, format)? {
+        TraceFormat::Jsonl => iocov_trace::read_jsonl_lossy(open_buffered(path)?, &options),
+        TraceFormat::Iotb => iocov_trace::read_iotb_lossy(open_buffered(path)?, &options),
+        TraceFormat::Auto => unreachable!("resolve_format never returns Auto"),
+    }
+    .map_err(|e| CliError(format!("cannot parse {path}: {e}")))
 }
 
 fn make_filter(mount: Option<&str>) -> Result<iocov::TraceFilter, CliError> {
@@ -309,6 +446,7 @@ pub fn run<W: Write>(command: &Command, out: &mut W) -> Result<(), CliError> {
         Command::Help => writeln!(out, "{USAGE}")?,
         Command::Analyze {
             trace,
+            format,
             mount,
             json,
             jobs,
@@ -317,10 +455,10 @@ pub fn run<W: Write>(command: &Command, out: &mut W) -> Result<(), CliError> {
             max_errors,
         } => {
             let (trace, skipped) = if *lossy {
-                let read = load_trace_lossy(trace, *max_errors)?;
+                let read = load_trace_lossy(trace, *format, *max_errors)?;
                 (read.trace, Some(read.skipped))
             } else {
-                (load_trace(trace)?, None)
+                (load_trace_format(trace, *format)?, None)
             };
             let pipeline_metrics = metrics.then(|| Arc::new(PipelineMetrics::default()));
             if let (Some(m), Some(skipped)) = (&pipeline_metrics, &skipped) {
@@ -461,6 +599,53 @@ pub fn run<W: Write>(command: &Command, out: &mut W) -> Result<(), CliError> {
                 write!(out, "{}", iocov::report::render_diff(&d, trace_a, trace_b))?;
             }
         }
+        Command::Convert {
+            input,
+            output,
+            format,
+            to,
+            lossy,
+            max_errors,
+        } => {
+            let target = match to {
+                Some(target) => *target,
+                None if output.ends_with(".iotb") => TraceFormat::Iotb,
+                None if output.ends_with(".jsonl") || output.ends_with(".json") => {
+                    TraceFormat::Jsonl
+                }
+                None => {
+                    return Err(CliError(format!(
+                        "cannot infer output format from `{output}`; pass --to jsonl|iotb"
+                    )));
+                }
+            };
+            let (trace, skipped): (Trace, Vec<SkippedLine>) = if *lossy {
+                let read = load_trace_lossy(input, *format, *max_errors)?;
+                (read.trace, read.skipped)
+            } else {
+                (load_trace_format(input, *format)?, Vec::new())
+            };
+            let file = File::create(output)
+                .map_err(|e| CliError(format!("cannot create {output}: {e}")))?;
+            match target {
+                TraceFormat::Iotb => iocov_trace::write_iotb(file, &trace),
+                TraceFormat::Jsonl => iocov_trace::write_jsonl(file, &trace),
+                TraceFormat::Auto => unreachable!("--to rejects auto at parse time"),
+            }
+            .map_err(|e| CliError(format!("cannot write {output}: {e}")))?;
+            if !skipped.is_empty() {
+                writeln!(
+                    out,
+                    "lossy ingest: {} malformed record{} skipped",
+                    skipped.len(),
+                    if skipped.len() == 1 { "" } else { "s" }
+                )?;
+                for skip in &skipped {
+                    writeln!(out, "  {skip}")?;
+                }
+            }
+            writeln!(out, "wrote {} events to {output}", trace.len())?;
+        }
         Command::ConvertSyz { log } => {
             let text = std::fs::read_to_string(log)
                 .map_err(|e| CliError(format!("cannot read {log}: {e}")))?;
@@ -539,6 +724,7 @@ mod tests {
             .unwrap(),
             Command::Analyze {
                 trace: "t.jsonl".into(),
+                format: TraceFormat::Auto,
                 mount: Some("/mnt/test".into()),
                 json: true,
                 jobs: 1,
@@ -551,6 +737,7 @@ mod tests {
             parse_args(&args(&["analyze", "t.jsonl", "--jobs", "4"])).unwrap(),
             Command::Analyze {
                 trace: "t.jsonl".into(),
+                format: TraceFormat::Auto,
                 mount: None,
                 json: false,
                 jobs: 4,
@@ -571,6 +758,7 @@ mod tests {
             .unwrap(),
             Command::Analyze {
                 trace: "t.jsonl".into(),
+                format: TraceFormat::Auto,
                 mount: None,
                 json: false,
                 jobs: 1,
@@ -754,6 +942,157 @@ mod tests {
         let serial = run_with(&["--json", "--metrics"]);
         let parallel = run_with(&["--json", "--metrics", "--jobs", "4"]);
         assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn parse_convert_command() {
+        assert_eq!(
+            parse_args(&args(&["convert", "in.jsonl", "out.iotb"])).unwrap(),
+            Command::Convert {
+                input: "in.jsonl".into(),
+                output: "out.iotb".into(),
+                format: TraceFormat::Auto,
+                to: None,
+                lossy: false,
+                max_errors: None,
+            }
+        );
+        assert_eq!(
+            parse_args(&args(&[
+                "convert", "in.iotb", "out", "--to", "jsonl", "--lossy"
+            ]))
+            .unwrap(),
+            Command::Convert {
+                input: "in.iotb".into(),
+                output: "out".into(),
+                format: TraceFormat::Auto,
+                to: Some(TraceFormat::Jsonl),
+                lossy: true,
+                max_errors: None,
+            }
+        );
+        assert!(parse_args(&args(&["convert", "only-input"])).is_err());
+        assert!(parse_args(&args(&["convert", "a", "b", "--to", "auto"])).is_err());
+        assert!(parse_args(&args(&["analyze", "t", "--format", "nope"])).is_err());
+        // --format=value spelling parses too.
+        match parse_args(&args(&["analyze", "t", "--format=iotb"])).unwrap() {
+            Command::Analyze { format, .. } => assert_eq!(format, TraceFormat::Iotb),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    /// Converts `path` to `.iotb` in a temp file and returns the new
+    /// path (caller removes it).
+    fn convert_to_iotb(path: &str, tag: &str, lossy: bool) -> String {
+        let out_path = std::env::temp_dir()
+            .join(format!("iocov-cli-test-{}-{tag}.iotb", std::process::id()))
+            .to_string_lossy()
+            .into_owned();
+        let mut all = vec!["convert", path, &out_path];
+        if lossy {
+            all.push("--lossy");
+        }
+        let mut out = Vec::new();
+        run(&parse_args(&args(&all)).unwrap(), &mut out).unwrap();
+        out_path
+    }
+
+    #[test]
+    fn iotb_analyze_is_byte_identical_to_jsonl_at_one_and_four_workers() {
+        // The tentpole acceptance bar: a converted binary trace must
+        // analyze to byte-identical report JSON *and* byte-identical
+        // metrics counters, serial and parallel.
+        let file = sample_trace_file();
+        let iotb = convert_to_iotb(&file.path, "identity", false);
+        for jobs in ["1", "4"] {
+            let run_path = |path: &str| {
+                let cmd = parse_args(&args(&[
+                    "analyze",
+                    path,
+                    "--mount",
+                    "/mnt/test",
+                    "--json",
+                    "--metrics",
+                    "--jobs",
+                    jobs,
+                ]))
+                .unwrap();
+                let mut out = Vec::new();
+                run(&cmd, &mut out).unwrap();
+                out
+            };
+            assert_eq!(
+                run_path(&file.path),
+                run_path(&iotb),
+                "jsonl vs iotb diverged at --jobs {jobs}"
+            );
+        }
+        let _ = std::fs::remove_file(&iotb);
+    }
+
+    #[test]
+    fn lossy_converted_corrupt_fixture_analyzes_to_same_report() {
+        // Lossy-converting the corrupt fixture drops the 3 bad lines at
+        // convert time, so the .iotb path sees a clean container: the
+        // coverage *report* must match the lossy JSONL run exactly
+        // (parse_skipped metrics legitimately differ, so compare the
+        // report document only).
+        let fixture = corrupt_fixture();
+        let iotb = convert_to_iotb(&fixture, "corrupt", true);
+        let report_of = |path: &str, lossy: bool| -> String {
+            let mut all = vec!["analyze", path, "--mount", "/mnt/test", "--json"];
+            if lossy {
+                all.push("--lossy");
+            }
+            let mut out = Vec::new();
+            run(&parse_args(&args(&all)).unwrap(), &mut out).unwrap();
+            String::from_utf8(out).unwrap()
+        };
+        assert_eq!(report_of(&fixture, true), report_of(&iotb, false));
+        let _ = std::fs::remove_file(&iotb);
+    }
+
+    #[test]
+    fn explicit_jsonl_format_rejects_iotb_input() {
+        let file = sample_trace_file();
+        let iotb = convert_to_iotb(&file.path, "mismatch", false);
+        let cmd = parse_args(&args(&["analyze", &iotb, "--format", "jsonl"])).unwrap();
+        let mut out = Vec::new();
+        let err = run(&cmd, &mut out).unwrap_err();
+        assert!(err.to_string().contains("cannot parse"), "{err}");
+        let _ = std::fs::remove_file(&iotb);
+    }
+
+    #[test]
+    fn convert_iotb_back_to_jsonl_roundtrips_bytes() {
+        let file = sample_trace_file();
+        let iotb = convert_to_iotb(&file.path, "roundtrip", false);
+        let back = std::env::temp_dir()
+            .join(format!("iocov-cli-test-{}-back.jsonl", std::process::id()))
+            .to_string_lossy()
+            .into_owned();
+        let mut out = Vec::new();
+        run(
+            &parse_args(&args(&["convert", &iotb, &back])).unwrap(),
+            &mut out,
+        )
+        .unwrap();
+        assert_eq!(
+            std::fs::read(&file.path).unwrap(),
+            std::fs::read(&back).unwrap(),
+            "jsonl → iotb → jsonl must reproduce the original bytes"
+        );
+        let _ = std::fs::remove_file(&iotb);
+        let _ = std::fs::remove_file(&back);
+    }
+
+    #[test]
+    fn convert_without_inferable_target_is_an_error() {
+        let file = sample_trace_file();
+        let cmd = parse_args(&args(&["convert", &file.path, "out.bin"])).unwrap();
+        let mut out = Vec::new();
+        let err = run(&cmd, &mut out).unwrap_err();
+        assert!(err.to_string().contains("--to"), "{err}");
     }
 
     #[test]

@@ -1,16 +1,17 @@
 //! The coverage analyzer: from filtered traces to input/output coverage.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap};
+use std::sync::Arc;
 
 use iocov_syscalls::BaseSyscall;
-use iocov_trace::Trace;
+use iocov_trace::{StrInterner, Sym, Trace};
 use serde::{Deserialize, Serialize};
 
 use crate::arg::ArgName;
 use crate::domain::{arg_domain, open_flags_present, output_buckets_bytes, output_errnos};
 use crate::filter::{FilterStats, TraceFilter};
 use crate::metrics::{DropReason, PipelineMetrics};
-use crate::partition::{InputPartition, OutputPartition};
+use crate::partition::{InputPartition, OutputPartition, SymInputPartition, SymOutputPartition};
 use crate::variants::normalize;
 
 /// Serializes partition-keyed maps as pair lists (JSON object keys must
@@ -222,33 +223,43 @@ impl AnalysisReport {
 
     /// Merges another report into this one (for aggregating per-test
     /// traces into a suite total).
+    ///
+    /// Keys are cloned only when genuinely new to `self`: merges are
+    /// dominated by already-present keys (every shard sees the same
+    /// partitions), so the common path is a lookup plus an add.
     pub fn merge(&mut self, other: &AnalysisReport) {
+        fn add_counts<K: Ord + Clone>(mine: &mut BTreeMap<K, u64>, theirs: &BTreeMap<K, u64>) {
+            for (key, count) in theirs {
+                if let Some(slot) = mine.get_mut(key) {
+                    *slot += count;
+                } else {
+                    mine.insert(key.clone(), *count);
+                }
+            }
+        }
         self.filter_stats.total += other.filter_stats.total;
         self.filter_stats.kept += other.filter_stats.kept;
         self.filter_stats.dropped += other.filter_stats.dropped;
         for (arg, cov) in &other.input {
             let mine = self.input.entry(*arg).or_default();
             mine.calls += cov.calls;
-            for (p, c) in &cov.counts {
-                *mine.counts.entry(p.clone()).or_insert(0) += c;
-            }
+            add_counts(&mut mine.counts, &cov.counts);
         }
         for (base, cov) in &other.output {
-            let mine = self.output.entry(base.clone()).or_default();
+            let mine = if let Some(mine) = self.output.get_mut(base) {
+                mine
+            } else {
+                self.output.entry(base.clone()).or_default()
+            };
             mine.calls += cov.calls;
-            for (p, c) in &cov.counts {
-                *mine.counts.entry(p.clone()).or_insert(0) += c;
-            }
+            add_counts(&mut mine.counts, &cov.counts);
         }
-        for (name, count) in &other.calls_per_variant {
-            *self.calls_per_variant.entry(name.clone()).or_insert(0) += count;
-        }
-        for (&size, &count) in &other.open_combos.sizes {
-            *self.open_combos.sizes.entry(size).or_insert(0) += count;
-        }
-        for (&size, &count) in &other.open_combos.sizes_with_rdonly {
-            *self.open_combos.sizes_with_rdonly.entry(size).or_insert(0) += count;
-        }
+        add_counts(&mut self.calls_per_variant, &other.calls_per_variant);
+        add_counts(&mut self.open_combos.sizes, &other.open_combos.sizes);
+        add_counts(
+            &mut self.open_combos.sizes_with_rdonly,
+            &other.open_combos.sizes_with_rdonly,
+        );
     }
 }
 
@@ -295,82 +306,196 @@ impl Analyzer {
     pub fn analyze(&self, trace: &Trace) -> AnalysisReport {
         let metrics = self.metrics.as_deref();
         let (kept, filter_stats) = self.filter.apply_with_metrics(trace, metrics);
-        let mut report = AnalysisReport {
-            filter_stats,
-            ..AnalysisReport::default()
-        };
+        let mut builder = ReportBuilder::new(Arc::new(StrInterner::new()));
+        builder.filter_stats = filter_stats;
         let _timer = metrics.map(|m| m.time_stage("accumulate"));
         for event in &kept {
-            accumulate_with_metrics(&mut report, event, metrics);
+            builder.accumulate(event, metrics);
         }
-        report
+        builder.into_report()
     }
 }
 
-/// Accumulates one (already filter-accepted) event into a report — the
-/// shared per-event step of batch and streaming analysis — additionally
-/// recording unknown-syscall drops, variant merges, and
-/// per-partition-family record counts into `metrics` when attached.
-pub(crate) fn accumulate_with_metrics(
-    report: &mut AnalysisReport,
-    event: &iocov_trace::TraceEvent,
-    metrics: Option<&PipelineMetrics>,
-) {
-    let Some(call) = normalize(event) else {
-        // Tester noise outside the 27-call domain.
-        if let Some(m) = metrics {
-            m.record_drop(DropReason::UnknownSyscall);
-        }
-        return;
-    };
-    if let Some(m) = metrics {
-        if call.sysno.name() != call.base.name() {
-            m.record_variant_merged();
+/// Symbol-keyed hit counts for one argument (accumulation-time form of
+/// [`InputCoverage`]).
+#[derive(Debug, Default)]
+struct InputAcc {
+    counts: HashMap<SymInputPartition, u64>,
+    calls: u64,
+}
+
+/// Symbol-keyed hit counts for one base syscall.
+#[derive(Debug, Default)]
+struct OutputAcc {
+    counts: HashMap<SymOutputPartition, u64>,
+    calls: u64,
+}
+
+/// The accumulation-time form of [`AnalysisReport`]: every string key is
+/// an interned [`Sym`] and every map a `HashMap`, so the per-event hot
+/// path never clones a string or walks a `BTreeMap` with heap-key
+/// comparisons. Strings only come back when a report is
+/// [materialized](Self::materialize) — sorted into `BTreeMap`s there, so
+/// the serialized output is byte-identical to accumulating into
+/// [`AnalysisReport`] directly.
+#[derive(Debug)]
+pub(crate) struct ReportBuilder {
+    interner: Arc<StrInterner>,
+    /// Filtering statistics, updated by the owner of the builder.
+    pub(crate) filter_stats: FilterStats,
+    input: BTreeMap<ArgName, InputAcc>,
+    output: HashMap<Sym, OutputAcc>,
+    calls_per_variant: HashMap<Sym, u64>,
+    open_combos: ComboHistogram,
+}
+
+impl ReportBuilder {
+    /// A builder accumulating into (and resolving from) `interner` —
+    /// typically one interner `Arc`-shared across every shard of a
+    /// parallel run.
+    pub(crate) fn new(interner: Arc<StrInterner>) -> Self {
+        ReportBuilder {
+            interner,
+            filter_stats: FilterStats::default(),
+            input: BTreeMap::new(),
+            output: HashMap::new(),
+            calls_per_variant: HashMap::new(),
+            open_combos: ComboHistogram::default(),
         }
     }
-    *report
-        .calls_per_variant
-        .entry(call.sysno.name().to_owned())
-        .or_insert(0) += 1;
 
-    // Input partitions.
-    for (arg, value) in &call.args {
-        let domain = arg_domain(*arg);
-        let cov = report.input.entry(*arg).or_default();
-        cov.calls += 1;
-        for partition in domain.partitions_of(*value) {
+    /// Accumulates one (already filter-accepted) event — the shared
+    /// per-event step of batch and streaming analysis — additionally
+    /// recording unknown-syscall drops, variant merges, and
+    /// per-partition-family record counts into `metrics` when attached.
+    pub(crate) fn accumulate(
+        &mut self,
+        event: &iocov_trace::TraceEvent,
+        metrics: Option<&PipelineMetrics>,
+    ) {
+        let Some(call) = normalize(event) else {
+            // Tester noise outside the 27-call domain.
             if let Some(m) = metrics {
-                m.record_input_partition(&partition);
+                m.record_drop(DropReason::UnknownSyscall);
             }
-            *cov.counts.entry(partition).or_insert(0) += 1;
+            return;
+        };
+        if let Some(m) = metrics {
+            if call.sysno.name() != call.base.name() {
+                m.record_variant_merged();
+            }
         }
-        // Table 1: flag-combination histogram for open.
-        if *arg == ArgName::OpenFlags {
-            if let crate::arg::TrackedValue::Bits(bits) = value {
-                let present = open_flags_present(*bits);
-                if !present.is_empty() {
-                    let n = present.len();
-                    *report.open_combos.sizes.entry(n).or_insert(0) += 1;
-                    if present.contains(&"O_RDONLY") {
-                        *report.open_combos.sizes_with_rdonly.entry(n).or_insert(0) += 1;
+        let interner = &*self.interner;
+        *self
+            .calls_per_variant
+            .entry(interner.intern(call.sysno.name()))
+            .or_insert(0) += 1;
+
+        // Input partitions.
+        for (arg, value) in &call.args {
+            let domain = arg_domain(*arg);
+            let cov = self.input.entry(*arg).or_default();
+            cov.calls += 1;
+            domain.partition_syms(*value, interner, |partition| {
+                if let Some(m) = metrics {
+                    m.record_input_sym(partition);
+                }
+                *cov.counts.entry(partition).or_insert(0) += 1;
+            });
+            // Table 1: flag-combination histogram for open.
+            if *arg == ArgName::OpenFlags {
+                if let crate::arg::TrackedValue::Bits(bits) = value {
+                    let present = open_flags_present(*bits);
+                    if !present.is_empty() {
+                        let n = present.len();
+                        *self.open_combos.sizes.entry(n).or_insert(0) += 1;
+                        if present.contains(&"O_RDONLY") {
+                            *self.open_combos.sizes_with_rdonly.entry(n).or_insert(0) += 1;
+                        }
                     }
                 }
             }
         }
+
+        // Output partition.
+        let bucket_bytes = output_buckets_bytes(call.base);
+        let partition = SymOutputPartition::of(call.retval, bucket_bytes, interner);
+        if let Some(m) = metrics {
+            m.record_output_sym(partition);
+        }
+        let cov = self
+            .output
+            .entry(interner.intern(call.base.name()))
+            .or_default();
+        cov.calls += 1;
+        *cov.counts.entry(partition).or_insert(0) += 1;
     }
 
-    // Output partition.
-    let bucket_bytes = output_buckets_bytes(call.base);
-    let partition = OutputPartition::of(call.retval, bucket_bytes);
-    if let Some(m) = metrics {
-        m.record_output_partition(&partition);
+    /// Materializes the string-keyed public report: symbols resolve back
+    /// to strings and every map sorts into its `BTreeMap` form.
+    pub(crate) fn materialize(&self) -> AnalysisReport {
+        let interner = &*self.interner;
+        let resolve = |sym: Sym| {
+            interner
+                .resolve(sym)
+                .expect("symbol interned by this builder")
+                .as_ref()
+                .to_owned()
+        };
+        let input = self
+            .input
+            .iter()
+            .map(|(arg, acc)| {
+                let counts = acc
+                    .counts
+                    .iter()
+                    .map(|(p, &c)| (p.materialize(interner), c))
+                    .collect();
+                (
+                    *arg,
+                    InputCoverage {
+                        counts,
+                        calls: acc.calls,
+                    },
+                )
+            })
+            .collect();
+        let output = self
+            .output
+            .iter()
+            .map(|(&base, acc)| {
+                let counts = acc
+                    .counts
+                    .iter()
+                    .map(|(p, &c)| (p.materialize(interner), c))
+                    .collect();
+                (
+                    resolve(base),
+                    OutputCoverage {
+                        counts,
+                        calls: acc.calls,
+                    },
+                )
+            })
+            .collect();
+        let calls_per_variant = self
+            .calls_per_variant
+            .iter()
+            .map(|(&name, &count)| (resolve(name), count))
+            .collect();
+        AnalysisReport {
+            filter_stats: self.filter_stats,
+            input,
+            output,
+            calls_per_variant,
+            open_combos: self.open_combos.clone(),
+        }
     }
-    let cov = report
-        .output
-        .entry(call.base.name().to_owned())
-        .or_default();
-    cov.calls += 1;
-    *cov.counts.entry(partition).or_insert(0) += 1;
+
+    /// Consumes the builder, materializing the final report.
+    pub(crate) fn into_report(self) -> AnalysisReport {
+        self.materialize()
+    }
 }
 
 #[cfg(test)]

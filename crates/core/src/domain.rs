@@ -9,9 +9,10 @@
 //! which the paper also takes from the man pages).
 
 use iocov_syscalls::{BaseSyscall, OpenFlags};
+use iocov_trace::StrInterner;
 
 use crate::arg::ArgName;
-use crate::partition::{InputPartition, NumericPartition};
+use crate::partition::{InputPartition, NumericPartition, SymInputPartition};
 
 /// Named bits of a `mode_t` word.
 pub const MODE_BITS: [(&str, u32); 12] = [
@@ -238,6 +239,54 @@ impl ArgDomain {
                     .find(|(_, n)| i128::from(*n) == v)
                     .map_or(INVALID_CATEGORY, |(n, _)| *n);
                 vec![InputPartition::Categorical(name.to_owned())]
+            }
+        }
+    }
+
+    /// The allocation-free twin of [`partitions_of`](Self::partitions_of):
+    /// visits each exercised partition as an interned
+    /// [`SymInputPartition`] instead of building a `Vec` of owned
+    /// strings. The hot accumulation path goes through here.
+    pub(crate) fn partition_syms(
+        &self,
+        value: crate::arg::TrackedValue,
+        interner: &StrInterner,
+        mut f: impl FnMut(SymInputPartition),
+    ) {
+        use crate::arg::TrackedValue;
+        match &self.kind {
+            DomainKind::OpenFlags => {
+                let bits = match value {
+                    TrackedValue::Bits(b) => b,
+                    other => other.as_i128() as u32,
+                };
+                for name in open_flags_present(bits) {
+                    f(SymInputPartition::Flag(interner.intern(name)));
+                }
+            }
+            DomainKind::Bitmap { flags } => {
+                let bits = match value {
+                    TrackedValue::Bits(b) => b,
+                    other => other.as_i128() as u32,
+                };
+                for (name, flag) in flags.iter() {
+                    if bits & flag == *flag && *flag != 0 {
+                        f(SymInputPartition::Flag(interner.intern(name)));
+                    }
+                }
+            }
+            DomainKind::Numeric { .. } => {
+                f(SymInputPartition::Numeric(NumericPartition::of(
+                    value.as_i128(),
+                )));
+            }
+            DomainKind::Categorical { values } => {
+                let v = value.as_i128();
+                let name = values
+                    .iter()
+                    .find(|(_, n)| i128::from(*n) == v)
+                    .map_or(INVALID_CATEGORY, |(n, _)| *n);
+                f(SymInputPartition::Categorical(interner.intern(name)));
             }
         }
     }
@@ -493,6 +542,29 @@ mod tests {
         assert_eq!(parts.len(), 2);
         // Zero flags exercise no partition.
         assert!(domain.partitions_of(TrackedValue::Bits(0)).is_empty());
+    }
+
+    #[test]
+    fn partition_syms_agrees_with_partitions_of() {
+        let interner = StrInterner::new();
+        let cases = [
+            (ArgName::OpenFlags, TrackedValue::Bits(0o101)),
+            (ArgName::OpenFlags, TrackedValue::Bits(0)),
+            (ArgName::ChmodMode, TrackedValue::Bits(0o644)),
+            (ArgName::SetxattrFlags, TrackedValue::Bits(0)),
+            (ArgName::WriteCount, TrackedValue::Unsigned(4096)),
+            (ArgName::LseekOffset, TrackedValue::Signed(-3)),
+            (ArgName::LseekWhence, TrackedValue::Bits(2)),
+            (ArgName::LseekWhence, TrackedValue::Bits(77)),
+        ];
+        for (arg, value) in cases {
+            let domain = arg_domain(arg);
+            let mut via_syms = Vec::new();
+            domain.partition_syms(value, &interner, |p| {
+                via_syms.push(p.materialize(&interner))
+            });
+            assert_eq!(via_syms, domain.partitions_of(value), "{arg}");
+        }
     }
 
     #[test]

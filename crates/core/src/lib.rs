@@ -77,7 +77,9 @@ pub use domain::{
 pub use filter::{FilterStats, TraceFilter};
 pub use identifier::{FdPartition, IdentifierCoverage, PathPartition};
 pub use metrics::{DropReason, MetricsSnapshot, PipelineMetrics, StageTimer};
-pub use parallel::{ParallelAnalyzer, ParallelStreamingAnalyzer};
+pub use parallel::{
+    ParallelAnalyzer, ParallelStreamingAnalyzer, PARALLEL_THRESHOLD, PIPELINE_DEPTH,
+};
 pub use partition::{InputPartition, NumericPartition, OutputPartition};
 pub use streaming::StreamingAnalyzer;
 pub use variants::{normalize, NormalizedCall, CREAT_IMPLIED_FLAGS};

@@ -34,7 +34,7 @@ use std::time::Instant;
 
 use serde::{Deserialize, Serialize};
 
-use crate::partition::{InputPartition, OutputPartition};
+use crate::partition::{InputPartition, OutputPartition, SymInputPartition, SymOutputPartition};
 
 /// Why the pipeline dropped an event.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
@@ -136,6 +136,27 @@ impl PipelineMetrics {
         let counter = match partition {
             OutputPartition::Ok | OutputPartition::OkBytes(_) => &self.records_output_ok,
             OutputPartition::Err(_) => &self.records_output_err,
+        };
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Family counter for an interned input partition — same buckets as
+    /// [`record_input_partition`](Self::record_input_partition) without
+    /// materializing a string key.
+    pub(crate) fn record_input_sym(&self, partition: SymInputPartition) {
+        let counter = match partition {
+            SymInputPartition::Flag(_) => &self.records_input_flag,
+            SymInputPartition::Numeric(_) => &self.records_input_numeric,
+            SymInputPartition::Categorical(_) => &self.records_input_categorical,
+        };
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Family counter for an interned output partition.
+    pub(crate) fn record_output_sym(&self, partition: SymOutputPartition) {
+        let counter = match partition {
+            SymOutputPartition::Ok | SymOutputPartition::OkBytes(_) => &self.records_output_ok,
+            SymOutputPartition::Err(_) => &self.records_output_err,
         };
         counter.fetch_add(1, Ordering::Relaxed);
     }

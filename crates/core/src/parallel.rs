@@ -1,4 +1,4 @@
-//! Pid-sharded parallel analysis.
+//! Pid-sharded parallel analysis over a persistent worker pool.
 //!
 //! Every piece of state the analysis pipeline carries between events is
 //! per-process: the trace filter's descriptor-provenance map and cwd
@@ -10,13 +10,28 @@
 //! [`AnalysisReport::merge`]. Because every aggregate in a report is an
 //! order-independent sum over `BTreeMap`s, the merged report is
 //! **identical** to a serial run — same keys, same counts, same
-//! serialized bytes — regardless of the worker count.
+//! serialized bytes — regardless of the worker count. All shards
+//! accumulate through one shared [`StrInterner`], so the pool builds a
+//! single symbol table instead of N.
 //!
 //! [`ParallelAnalyzer`] is the one-shot interface mirroring
-//! [`Analyzer`](crate::Analyzer); [`ParallelStreamingAnalyzer`] is the
-//! chunked interface mirroring [`StreamingAnalyzer`], keeping each
-//! shard's filter state alive *across* chunks so a descriptor opened (or
-//! duplicated) in one chunk is still attributed correctly in the next.
+//! [`Analyzer`](crate::Analyzer): it spawns one scoped thread per shard
+//! over the whole borrowed slice — zero copies, one spawn per analysis.
+//!
+//! [`ParallelStreamingAnalyzer`] is the chunked interface mirroring
+//! [`StreamingAnalyzer`]. It keeps each shard's filter state alive
+//! *across* chunks so a descriptor opened (or duplicated) in one chunk
+//! is still attributed correctly in the next — and unlike a
+//! spawn-per-chunk design, its shard threads are **persistent**: they
+//! are spawned once on the first dispatched batch and fed over bounded
+//! channels, so a caller can parse the next chunk while the workers are
+//! still analyzing the previous one (pipelined parse/analyze overlap).
+//! Batches are shared as `Arc<Vec<TraceEvent>>` — handing the pool an
+//! owned chunk via [`push_owned`](ParallelStreamingAnalyzer::push_owned)
+//! moves it; the borrowed [`push_all`](ParallelStreamingAnalyzer::push_all)
+//! compatibility path clones. Chunks smaller than [`PARALLEL_THRESHOLD`]
+//! events are coalesced in a caller-side buffer so per-batch channel
+//! overhead never dominates tiny pushes.
 //!
 //! ```
 //! use iocov::{Analyzer, ParallelAnalyzer, TraceFilter};
@@ -36,9 +51,11 @@
 //! assert_eq!(serial, parallel);
 //! ```
 
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
 use std::sync::Arc;
+use std::thread::JoinHandle;
 
-use iocov_trace::{Trace, TraceEvent};
+use iocov_trace::{StrInterner, Trace, TraceEvent};
 
 use crate::coverage::AnalysisReport;
 use crate::filter::TraceFilter;
@@ -99,51 +116,168 @@ impl ParallelAnalyzer {
     }
 
     /// Runs the full pipeline over a slice of events.
+    ///
+    /// One-shot analysis needs no pipelining — the whole input is
+    /// already in memory — so this scans the borrowed slice directly
+    /// from scoped shard threads: zero event copies and exactly one
+    /// spawn per shard per analysis.
     #[must_use]
     pub fn analyze_events(&self, events: &[TraceEvent]) -> AnalysisReport {
-        let mut sharded = ParallelStreamingAnalyzer::new(self.filter.clone(), self.workers);
-        if let Some(metrics) = &self.metrics {
-            sharded = sharded.with_metrics(Arc::clone(metrics));
+        let n = self.workers;
+        let interner = Arc::new(StrInterner::new());
+        let mut shards: Vec<StreamingAnalyzer> = (0..n)
+            .map(|_| {
+                let mut shard =
+                    StreamingAnalyzer::with_interner(self.filter.clone(), Arc::clone(&interner));
+                if let Some(metrics) = &self.metrics {
+                    shard = shard.with_metrics(Arc::clone(metrics));
+                }
+                shard
+            })
+            .collect();
+        if n == 1 || events.len() < PARALLEL_THRESHOLD {
+            // Below the threshold thread spawn dominates; a serial pass
+            // over all shards costs the same modulo test per event.
+            let _timer = self.metrics.as_deref().map(|m| m.time_stage("analyze"));
+            for (w, shard) in shards.iter_mut().enumerate() {
+                for event in events {
+                    if event.pid as usize % n == w {
+                        shard.push(event);
+                    }
+                }
+            }
+        } else {
+            std::thread::scope(|scope| {
+                for (w, shard) in shards.iter_mut().enumerate() {
+                    let metrics = self.metrics.clone();
+                    scope.spawn(move || {
+                        let _timer = metrics.as_deref().map(|m| m.time_stage("analyze"));
+                        for event in events {
+                            if event.pid as usize % n == w {
+                                shard.push(event);
+                            }
+                        }
+                    });
+                }
+            });
         }
-        sharded.push_all(events);
-        sharded.finish()
+        let mut merged = AnalysisReport::default();
+        for shard in shards {
+            merged.merge(&shard.finish());
+        }
+        merged
     }
 }
 
-/// A chunked parallel analyzer: N persistent [`StreamingAnalyzer`]
-/// shards, each owning the pids with `pid % N == shard index`.
+/// A job sent to a persistent shard worker.
+enum Job {
+    /// A batch of events to scan; every worker receives the same `Arc`
+    /// and keeps only its own pids.
+    Batch(Arc<Vec<TraceEvent>>),
+    /// A request for a materialized snapshot of the shard's report so
+    /// far, answered on the enclosed channel.
+    Snapshot(SyncSender<AnalysisReport>),
+}
+
+impl std::fmt::Debug for Job {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Job::Batch(batch) => f.debug_tuple("Batch").field(&batch.len()).finish(),
+            Job::Snapshot(_) => f.write_str("Snapshot"),
+        }
+    }
+}
+
+/// One persistent shard thread: a job queue and the handle that yields
+/// the shard's final report once the queue closes.
+#[derive(Debug)]
+struct Worker {
+    jobs: SyncSender<Job>,
+    handle: JoinHandle<AnalysisReport>,
+}
+
+/// The loop run by each persistent shard thread: drain batches (keeping
+/// only `pid % n == w`), answer snapshot requests, and return the
+/// shard's final report when the job channel closes.
+fn worker_loop(
+    w: usize,
+    n: usize,
+    mut shard: StreamingAnalyzer,
+    jobs: Receiver<Job>,
+    metrics: Option<Arc<PipelineMetrics>>,
+) -> AnalysisReport {
+    while let Ok(job) = jobs.recv() {
+        match job {
+            Job::Batch(batch) => {
+                // Each worker times its own scan, so the "analyze" stage
+                // total is summed across shards (CPU time, not wall
+                // clock).
+                let _timer = metrics.as_deref().map(|m| m.time_stage("analyze"));
+                for event in batch.iter() {
+                    if event.pid as usize % n == w {
+                        shard.push(event);
+                    }
+                }
+            }
+            Job::Snapshot(reply) => {
+                let _ = reply.send(shard.report());
+            }
+        }
+    }
+    shard.finish()
+}
+
+/// A chunked parallel analyzer: N **persistent** worker threads, each
+/// owning a [`StreamingAnalyzer`] shard for the pids with
+/// `pid % N == shard index`.
 ///
-/// Shard state survives across [`push_all`](Self::push_all) calls, so
-/// feeding a long trace chunk-by-chunk preserves descriptor provenance
-/// exactly like a single serial [`StreamingAnalyzer`] would.
+/// Shard state survives across [`push_all`](Self::push_all) /
+/// [`push_owned`](Self::push_owned) calls, so feeding a long trace
+/// chunk-by-chunk preserves descriptor provenance exactly like a single
+/// serial [`StreamingAnalyzer`] would. Worker threads are spawned
+/// lazily on the first dispatched batch and live until
+/// [`finish`](Self::finish); batches travel over bounded channels of
+/// depth [`PIPELINE_DEPTH`], so the caller can parse chunk *k + 1*
+/// while the workers analyze chunk *k*.
 #[derive(Debug)]
 pub struct ParallelStreamingAnalyzer {
-    shards: Vec<StreamingAnalyzer>,
+    filter: TraceFilter,
+    nworkers: usize,
+    interner: Arc<StrInterner>,
     metrics: Option<Arc<PipelineMetrics>>,
+    /// Persistent shard threads; empty until the first batch dispatch.
+    workers: Vec<Worker>,
+    /// Caller-side coalescing buffer for chunks below
+    /// [`PARALLEL_THRESHOLD`].
+    pending: Vec<TraceEvent>,
 }
 
 impl ParallelStreamingAnalyzer {
-    /// Creates `workers` persistent shards (clamped to at least 1) over
-    /// clones of `filter`.
+    /// Creates a pool of `workers` persistent shards (clamped to at
+    /// least 1) over clones of `filter`. Threads are spawned on the
+    /// first dispatched batch, not here, so a pool that never sees a
+    /// large chunk costs one spawn per shard total.
     #[must_use]
     pub fn new(filter: TraceFilter, workers: usize) -> Self {
-        let workers = workers.max(1);
         ParallelStreamingAnalyzer {
-            shards: (0..workers)
-                .map(|_| StreamingAnalyzer::new(filter.clone()))
-                .collect(),
+            filter,
+            nworkers: workers.max(1),
+            interner: Arc::new(StrInterner::new()),
             metrics: None,
+            workers: Vec::new(),
+            pending: Vec::new(),
         }
     }
 
-    /// Attaches shared pipeline metrics to every shard.
+    /// Attaches shared pipeline metrics to every shard. Must be called
+    /// before the first push — workers capture the metrics handle when
+    /// they spawn.
     #[must_use]
     pub fn with_metrics(mut self, metrics: Arc<PipelineMetrics>) -> Self {
-        self.shards = self
-            .shards
-            .into_iter()
-            .map(|shard| shard.with_metrics(Arc::clone(&metrics)))
-            .collect();
+        debug_assert!(
+            self.workers.is_empty(),
+            "attach metrics before pushing events"
+        );
         self.metrics = Some(metrics);
         self
     }
@@ -151,66 +285,141 @@ impl ParallelStreamingAnalyzer {
     /// The worker count.
     #[must_use]
     pub fn workers(&self) -> usize {
-        self.shards.len()
+        self.nworkers
     }
 
-    /// Consumes one chunk of events, sharding them by pid across the
-    /// worker threads. Each worker scans the whole chunk and keeps only
-    /// its own pids — the predicate is a modulo, far cheaper than
-    /// partitioning the chunk into per-shard buffers first.
-    pub fn push_all(&mut self, events: &[TraceEvent]) {
-        let _timer = self.metrics.as_deref().map(|m| m.time_stage("analyze"));
-        let n = self.shards.len();
-        if n == 1 || events.len() < PARALLEL_THRESHOLD {
-            // Below the threshold thread spawn dominates; a serial pass
-            // over all shards costs the same modulo test per event.
-            for (w, shard) in self.shards.iter_mut().enumerate() {
-                for event in events {
-                    if event.pid as usize % n == w {
-                        shard.push(event);
-                    }
+    /// Spawns the persistent shard threads. Every shard accumulates
+    /// through the pool's shared interner, so the merged report resolves
+    /// one symbol table.
+    fn spawn_workers(&mut self) {
+        let n = self.nworkers;
+        self.workers = (0..n)
+            .map(|w| {
+                let (jobs, queue) = sync_channel::<Job>(PIPELINE_DEPTH);
+                let mut shard = StreamingAnalyzer::with_interner(
+                    self.filter.clone(),
+                    Arc::clone(&self.interner),
+                );
+                if let Some(metrics) = &self.metrics {
+                    shard = shard.with_metrics(Arc::clone(metrics));
                 }
-            }
+                let metrics = self.metrics.clone();
+                let handle = std::thread::Builder::new()
+                    .name(format!("iocov-shard-{w}"))
+                    .spawn(move || worker_loop(w, n, shard, queue, metrics))
+                    .expect("spawn shard worker thread");
+                Worker { jobs, handle }
+            })
+            .collect();
+    }
+
+    /// Hands one batch to every worker. Blocks only when a worker's
+    /// queue is [`PIPELINE_DEPTH`] batches behind — the backpressure
+    /// that bounds memory to `depth × batch` per shard.
+    fn dispatch(&mut self, batch: Arc<Vec<TraceEvent>>) {
+        if self.workers.is_empty() {
+            self.spawn_workers();
+        }
+        for worker in &self.workers {
+            worker
+                .jobs
+                .send(Job::Batch(Arc::clone(&batch)))
+                .expect("shard worker alive");
+        }
+    }
+
+    /// Dispatches the coalescing buffer, if non-empty.
+    fn flush_pending(&mut self) {
+        if self.pending.is_empty() {
             return;
         }
-        std::thread::scope(|scope| {
-            for (w, shard) in self.shards.iter_mut().enumerate() {
-                scope.spawn(move || {
-                    for event in events {
-                        if event.pid as usize % n == w {
-                            shard.push(event);
-                        }
-                    }
-                });
-            }
-        });
+        let batch = Arc::new(std::mem::take(&mut self.pending));
+        self.dispatch(batch);
     }
 
-    /// Merges the shard reports in shard order and returns the combined
-    /// report.
+    /// Consumes one owned chunk of events — the zero-copy hot path: a
+    /// chunk of at least [`PARALLEL_THRESHOLD`] events is wrapped in an
+    /// `Arc` and dispatched as-is; smaller chunks are coalesced and
+    /// dispatched once the buffer reaches the threshold.
+    pub fn push_owned(&mut self, events: Vec<TraceEvent>) {
+        if self.pending.is_empty() && events.len() >= PARALLEL_THRESHOLD {
+            self.dispatch(Arc::new(events));
+            return;
+        }
+        self.pending.extend(events);
+        if self.pending.len() >= PARALLEL_THRESHOLD {
+            self.flush_pending();
+        }
+    }
+
+    /// Consumes a stream of owned events, coalescing into
+    /// [`PARALLEL_THRESHOLD`]-sized batches.
+    pub fn push_batch(&mut self, events: impl IntoIterator<Item = TraceEvent>) {
+        self.pending.extend(events);
+        if self.pending.len() >= PARALLEL_THRESHOLD {
+            self.flush_pending();
+        }
+    }
+
+    /// Consumes one chunk of borrowed events. Persistent workers outlive
+    /// the borrow, so this path **clones** the chunk; callers that own
+    /// their chunks should prefer [`push_owned`](Self::push_owned).
+    pub fn push_all(&mut self, events: &[TraceEvent]) {
+        self.push_batch(events.iter().cloned());
+    }
+
+    /// Drains the pool: flushes the coalescing buffer, closes every job
+    /// queue, joins the shard threads, and merges their reports in shard
+    /// order.
     #[must_use]
-    pub fn finish(self) -> AnalysisReport {
+    pub fn finish(mut self) -> AnalysisReport {
+        self.flush_pending();
+        let workers = std::mem::take(&mut self.workers);
+        // Drop every sender before joining: a worker only returns once
+        // its queue closes.
+        let (senders, handles): (Vec<_>, Vec<_>) =
+            workers.into_iter().map(|w| (w.jobs, w.handle)).unzip();
+        drop(senders);
         let mut merged = AnalysisReport::default();
-        for shard in self.shards {
-            merged.merge(&shard.finish());
+        for handle in handles {
+            merged.merge(&handle.join().expect("shard worker panicked"));
         }
         merged
     }
 
-    /// A merged snapshot of the report so far (the stream may continue).
+    /// A merged snapshot of the report so far (the stream may
+    /// continue). Flushes the coalescing buffer and waits for every
+    /// worker to answer a snapshot request, so the result reflects all
+    /// events pushed before the call.
     #[must_use]
-    pub fn report(&self) -> AnalysisReport {
+    pub fn report(&mut self) -> AnalysisReport {
+        self.flush_pending();
+        let mut replies = Vec::with_capacity(self.workers.len());
+        for worker in &self.workers {
+            let (reply, receipt) = sync_channel(1);
+            worker
+                .jobs
+                .send(Job::Snapshot(reply))
+                .expect("shard worker alive");
+            replies.push(receipt);
+        }
         let mut merged = AnalysisReport::default();
-        for shard in &self.shards {
-            merged.merge(shard.report());
+        for receipt in replies {
+            merged.merge(&receipt.recv().expect("shard worker answers snapshot"));
         }
         merged
     }
 }
 
-/// Chunks smaller than this are analyzed on the calling thread; spawning
-/// scoped threads costs more than the analysis itself.
-const PARALLEL_THRESHOLD: usize = 1024;
+/// Chunks smaller than this are coalesced in the caller's buffer before
+/// dispatch ([`ParallelStreamingAnalyzer`]) or analyzed on the calling
+/// thread ([`ParallelAnalyzer`]); per-batch dispatch (or thread spawn)
+/// costs more than analyzing this few events.
+pub const PARALLEL_THRESHOLD: usize = 1024;
+
+/// Bounded depth of each worker's job queue: the caller may run at most
+/// this many batches ahead of the slowest shard.
+pub const PIPELINE_DEPTH: usize = 2;
 
 #[cfg(test)]
 mod tests {
@@ -428,6 +637,61 @@ mod tests {
             report.filter_stats.kept as u64
         );
         assert!(metrics.stage_timings().contains_key("analyze"));
+    }
+
+    #[test]
+    fn owned_batches_match_serial_at_every_worker_count() {
+        // The zero-copy hot path: chunks big enough to dispatch without
+        // coalescing, pushed as owned vectors.
+        let events = multi_pid_trace(7, 60);
+        assert!(events.len() >= 2 * PARALLEL_THRESHOLD);
+        let trace = Trace::from_events(events.clone());
+        let filter = TraceFilter::mount_point("/mnt/test").unwrap();
+        let serial = serde_json::to_string(&Analyzer::new(filter.clone()).analyze(&trace)).unwrap();
+        for workers in 1..=4 {
+            let mut pool = ParallelStreamingAnalyzer::new(filter.clone(), workers);
+            for chunk in events.chunks(PARALLEL_THRESHOLD) {
+                pool.push_owned(chunk.to_vec());
+            }
+            let report = serde_json::to_string(&pool.finish()).unwrap();
+            assert_eq!(serial, report, "diverged at {workers} workers");
+        }
+    }
+
+    #[test]
+    fn mixed_owned_and_borrowed_pushes_match_serial() {
+        let events = multi_pid_trace(5, 8);
+        let trace = Trace::from_events(events.clone());
+        let filter = TraceFilter::mount_point("/mnt/test").unwrap();
+        let serial = Analyzer::new(filter.clone()).analyze(&trace);
+        let mut pool = ParallelStreamingAnalyzer::new(filter, 3);
+        let (left, right) = events.split_at(events.len() / 2);
+        pool.push_all(left);
+        pool.push_owned(right.to_vec());
+        assert_eq!(serial, pool.finish());
+    }
+
+    #[test]
+    fn interim_report_then_more_batches_matches_serial() {
+        // A snapshot mid-stream must not disturb shard state: pushing
+        // more events afterwards still converges on the serial report.
+        let events = multi_pid_trace(7, 40);
+        let trace = Trace::from_events(events.clone());
+        let filter = TraceFilter::mount_point("/mnt/test").unwrap();
+        let serial = Analyzer::new(filter.clone()).analyze(&trace);
+        let mut pool = ParallelStreamingAnalyzer::new(filter, 4);
+        let (left, right) = events.split_at(events.len() / 3);
+        pool.push_owned(left.to_vec());
+        let interim = pool.report();
+        assert_eq!(interim.filter_stats.total, left.len());
+        pool.push_owned(right.to_vec());
+        assert_eq!(serial, pool.finish());
+    }
+
+    #[test]
+    fn empty_pool_finishes_to_default_report() {
+        let pool = ParallelStreamingAnalyzer::new(TraceFilter::keep_all(), 4);
+        assert_eq!(pool.finish(), AnalysisReport::default());
     }
 
     #[test]

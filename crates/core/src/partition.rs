@@ -8,6 +8,7 @@
 
 use std::fmt;
 
+use iocov_trace::{StrInterner, Sym};
 use serde::{Deserialize, Serialize};
 
 /// A numeric partition: the paper's power-of-two bucketing with explicit
@@ -126,6 +127,87 @@ impl fmt::Display for OutputPartition {
     }
 }
 
+/// [`InputPartition`] with interned names: the accumulation-time form,
+/// `Copy` and 8 bytes, so the hot path hashes a symbol instead of
+/// cloning and comparing heap strings. Materialized back to
+/// [`InputPartition`] only when a report is assembled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub(crate) enum SymInputPartition {
+    /// One bitmap flag, by interned canonical name.
+    Flag(Sym),
+    /// One power-of-two numeric bucket.
+    Numeric(NumericPartition),
+    /// One categorical value, by interned name.
+    Categorical(Sym),
+}
+
+impl SymInputPartition {
+    /// Converts back to the string-keyed public partition.
+    pub(crate) fn materialize(self, interner: &StrInterner) -> InputPartition {
+        let resolve = |sym| {
+            interner
+                .resolve(sym)
+                .expect("symbol interned by this builder")
+                .as_ref()
+                .to_owned()
+        };
+        match self {
+            SymInputPartition::Flag(sym) => InputPartition::Flag(resolve(sym)),
+            SymInputPartition::Numeric(p) => InputPartition::Numeric(p),
+            SymInputPartition::Categorical(sym) => InputPartition::Categorical(resolve(sym)),
+        }
+    }
+}
+
+/// [`OutputPartition`] with interned errno names; see
+/// [`SymInputPartition`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub(crate) enum SymOutputPartition {
+    /// Any non-negative return.
+    Ok,
+    /// A successful byte-count return, sub-bucketed.
+    OkBytes(NumericPartition),
+    /// A specific error code, by interned symbolic name.
+    Err(Sym),
+}
+
+impl SymOutputPartition {
+    /// Partitions a raw return value, interning the errno name on the
+    /// error path (almost always a table hit: errno names come from a
+    /// fixed set, and `E?{number}` fallbacks are rare).
+    pub(crate) fn of(retval: i64, bucket_bytes: bool, interner: &StrInterner) -> Self {
+        if retval >= 0 {
+            if bucket_bytes {
+                SymOutputPartition::OkBytes(NumericPartition::of(i128::from(retval)))
+            } else {
+                SymOutputPartition::Ok
+            }
+        } else {
+            let number = u32::try_from(-retval).unwrap_or(u32::MAX);
+            let sym = match iocov_syscalls::Errno::from_number(number) {
+                Some(e) => interner.intern(e.name()),
+                None => interner.intern(&format!("E?{number}")),
+            };
+            SymOutputPartition::Err(sym)
+        }
+    }
+
+    /// Converts back to the string-keyed public partition.
+    pub(crate) fn materialize(self, interner: &StrInterner) -> OutputPartition {
+        match self {
+            SymOutputPartition::Ok => OutputPartition::Ok,
+            SymOutputPartition::OkBytes(p) => OutputPartition::OkBytes(p),
+            SymOutputPartition::Err(sym) => OutputPartition::Err(
+                interner
+                    .resolve(sym)
+                    .expect("symbol interned by this builder")
+                    .as_ref()
+                    .to_owned(),
+            ),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -209,6 +291,34 @@ mod tests {
             "OK(2^2)"
         );
         assert_eq!(OutputPartition::Err("EIO".into()).to_string(), "EIO");
+    }
+
+    #[test]
+    fn sym_partitions_materialize_to_their_string_twins() {
+        let interner = StrInterner::new();
+        let flag = SymInputPartition::Flag(interner.intern("O_CREAT"));
+        assert_eq!(
+            flag.materialize(&interner),
+            InputPartition::Flag("O_CREAT".into())
+        );
+        let num = SymInputPartition::Numeric(NumericPartition::Log2(4));
+        assert_eq!(
+            num.materialize(&interner),
+            InputPartition::Numeric(NumericPartition::Log2(4))
+        );
+        let cat = SymInputPartition::Categorical(interner.intern("SEEK_SET"));
+        assert_eq!(
+            cat.materialize(&interner),
+            InputPartition::Categorical("SEEK_SET".into())
+        );
+        // Output partitions agree with OutputPartition::of across the
+        // success, byte-bucket, errno, and unknown-errno paths.
+        for (retval, bucket) in [(0, false), (4096, true), (-2, false), (-9999, true)] {
+            assert_eq!(
+                SymOutputPartition::of(retval, bucket, &interner).materialize(&interner),
+                OutputPartition::of(retval, bucket)
+            );
+        }
     }
 
     #[test]

@@ -8,10 +8,11 @@
 //! (a plain per-chunk [`Analyzer`](crate::Analyzer) run would lose it).
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
-use iocov_trace::TraceEvent;
+use iocov_trace::{StrInterner, TraceEvent};
 
-use crate::coverage::AnalysisReport;
+use crate::coverage::{AnalysisReport, ReportBuilder};
 use crate::filter::TraceFilter;
 use crate::metrics::PipelineMetrics;
 use crate::relevance::{self, PidState};
@@ -37,7 +38,7 @@ use crate::relevance::{self, PidState};
 pub struct StreamingAnalyzer {
     filter: TraceFilter,
     states: HashMap<u32, PidState>,
-    report: AnalysisReport,
+    builder: ReportBuilder,
     metrics: Option<std::sync::Arc<PipelineMetrics>>,
 }
 
@@ -45,10 +46,18 @@ impl StreamingAnalyzer {
     /// Creates a streaming analyzer with a filter.
     #[must_use]
     pub fn new(filter: TraceFilter) -> Self {
+        StreamingAnalyzer::with_interner(filter, Arc::new(StrInterner::new()))
+    }
+
+    /// A streaming analyzer accumulating through a shared string
+    /// interner — shards of a parallel run share one instance, so every
+    /// shard resolves the same symbol table.
+    #[must_use]
+    pub fn with_interner(filter: TraceFilter, interner: Arc<StrInterner>) -> Self {
         StreamingAnalyzer {
             filter,
             states: HashMap::new(),
-            report: AnalysisReport::default(),
+            builder: ReportBuilder::new(interner),
             metrics: None,
         }
     }
@@ -70,7 +79,7 @@ impl StreamingAnalyzer {
 
     /// Consumes one event; returns whether it was kept.
     pub fn push(&mut self, event: &TraceEvent) -> bool {
-        self.report.filter_stats.total += 1;
+        self.builder.filter_stats.total += 1;
         let metrics = self.metrics.as_deref();
         if let Some(m) = metrics {
             m.add_events_read(1);
@@ -85,12 +94,12 @@ impl StreamingAnalyzer {
         };
         match dropped {
             None => {
-                self.report.filter_stats.kept += 1;
-                crate::coverage::accumulate_with_metrics(&mut self.report, event, metrics);
+                self.builder.filter_stats.kept += 1;
+                self.builder.accumulate(event, metrics);
                 true
             }
             Some(reason) => {
-                self.report.filter_stats.dropped += 1;
+                self.builder.filter_stats.dropped += 1;
                 if let Some(m) = metrics {
                     m.record_drop(reason);
                 }
@@ -109,13 +118,18 @@ impl StreamingAnalyzer {
     /// Finishes the stream and returns the report.
     #[must_use]
     pub fn finish(self) -> AnalysisReport {
-        self.report
+        self.builder.into_report()
     }
 
     /// A snapshot of the report so far (the stream may continue).
+    ///
+    /// Accumulation is symbol-keyed internally, so this materializes the
+    /// string-keyed report on each call — cheap next to any real stream,
+    /// but callers should hold the result rather than re-calling in a
+    /// loop.
     #[must_use]
-    pub fn report(&self) -> &AnalysisReport {
-        &self.report
+    pub fn report(&self) -> AnalysisReport {
+        self.builder.materialize()
     }
 }
 

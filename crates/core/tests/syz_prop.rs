@@ -131,7 +131,7 @@ proptest! {
             for chunk in events.chunks(7) {
                 streaming.push_all(chunk);
             }
-            prop_assert_eq!(&batch, streaming.report());
+            prop_assert_eq!(batch, streaming.report());
         }
     }
 }

@@ -1,0 +1,715 @@
+//! The `.iotb` compact binary trace format.
+//!
+//! JSONL pays a full serde parse and several heap `String`s per event.
+//! `.iotb` stores every distinct string — syscall names, paths, xattr
+//! keys — exactly once in a leading string table, and each record
+//! references them as 4-byte symbols, so re-reading a multi-million-event
+//! trace is a linear scan of fixed-width little-endian fields.
+//!
+//! # Layout (version 1)
+//!
+//! ```text
+//! magic    4 bytes  b"IOTB"
+//! version  u32 LE   1
+//! strings  u32 LE count, then count × (u32 LE byte length, UTF-8 bytes)
+//! checksum u64 LE   FNV-1a over the string entries (lengths + bytes)
+//! records  until EOF:
+//!   u32 LE payload length, then the payload:
+//!     seq u64, timestamp_ns u64, pid u32, name Sym u32, sysno u32,
+//!     retval i64, argc u32, then argc × (tag u8, value)
+//! ```
+//!
+//! Argument tags: `0` Int(i64) `1` UInt(u64) `2` Fd(i32) `3` Path(Sym)
+//! `4` Str(Sym) `5` Flags(u32) `6` Mode(u32) `7` Whence(u32) `8` Ptr(u64).
+//!
+//! Versioning rule: readers reject any other `version` outright — records
+//! are not self-describing, so there is no forward-compatible partial
+//! read. Adding argument tags is allowed within a version only for tags
+//! old readers could never have produced errors on (i.e. never, in
+//! practice — bump the version instead).
+//!
+//! # Failure model
+//!
+//! The header and string table are load-bearing for every record, so
+//! corruption there is fatal even in lossy mode ([`TraceIoError::Binary`]).
+//! Past the table, [`read_iotb_lossy`] degrades per record exactly like
+//! [`read_jsonl_lossy`](crate::read_jsonl_lossy): a record whose payload
+//! decodes wrong is skipped with [`ErrorClass::MalformedRecord`] and the
+//! scan continues at the next length prefix; a record cut off by EOF is
+//! skipped with [`ErrorClass::TruncatedTail`] and ends the scan. A length
+//! prefix larger than [`MAX_RECORD_LEN`] means the framing itself is
+//! gone, so the scan records one skip and stops rather than chase a
+//! corrupt offset. Skips report 1-based *record* ordinals in
+//! [`SkippedLine::line`].
+
+use std::io::{BufReader, BufWriter, Read, Write};
+use std::sync::Arc;
+
+use crate::event::{ArgValue, TraceEvent};
+use crate::intern::StrInterner;
+use crate::lossy::{ErrorClass, ErrorPolicy, LossyRead, ReadOptions, SkippedLine};
+use crate::serial::TraceIoError;
+use crate::Trace;
+
+/// The `.iotb` magic bytes.
+pub const IOTB_MAGIC: [u8; 4] = *b"IOTB";
+
+/// The current (and only) container version.
+pub const IOTB_VERSION: u32 = 1;
+
+/// Upper bound on one record's payload length. A longer prefix can only
+/// come from corrupted framing: even a pathological event with thousands
+/// of maximum-width arguments stays far below this.
+pub const MAX_RECORD_LEN: usize = 1 << 20;
+
+/// Upper bound on one string-table entry's byte length.
+const MAX_STRING_LEN: usize = 1 << 20;
+
+/// Upper bound on the string-table entry count, to refuse absurd
+/// allocations from a corrupt header before reading entry data.
+const MAX_STRINGS: usize = 1 << 24;
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+fn fnv1a(bytes: &[u8], mut hash: u64) -> u64 {
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(FNV_PRIME);
+    }
+    hash
+}
+
+/// Whether `bytes` starts with the `.iotb` magic — the format sniff used
+/// by `iocov analyze --format=auto`.
+#[must_use]
+pub fn is_iotb(bytes: &[u8]) -> bool {
+    bytes.len() >= IOTB_MAGIC.len() && bytes[..IOTB_MAGIC.len()] == IOTB_MAGIC
+}
+
+fn binary_error(detail: impl Into<String>) -> TraceIoError {
+    TraceIoError::Binary {
+        detail: detail.into(),
+    }
+}
+
+/// Writes a trace in `.iotb` form. The string table is built in
+/// first-appearance order over event names and `Path`/`Str` arguments.
+///
+/// # Errors
+///
+/// Returns [`TraceIoError::Io`] if the writer fails.
+pub fn write_iotb<W: Write>(writer: W, trace: &Trace) -> Result<(), TraceIoError> {
+    let mut w = BufWriter::new(writer);
+    let interner = StrInterner::new();
+    for event in trace.iter() {
+        interner.intern(&event.name);
+        for arg in &event.args {
+            if let ArgValue::Path(s) | ArgValue::Str(s) = arg {
+                interner.intern(s);
+            }
+        }
+    }
+
+    w.write_all(&IOTB_MAGIC)?;
+    w.write_all(&IOTB_VERSION.to_le_bytes())?;
+    let table = interner.snapshot();
+    let count = u32::try_from(table.len()).map_err(|_| binary_error("string table too large"))?;
+    w.write_all(&count.to_le_bytes())?;
+    let mut hash = FNV_OFFSET;
+    for s in &table {
+        let len = u32::try_from(s.len()).map_err(|_| binary_error("string too long"))?;
+        let len_bytes = len.to_le_bytes();
+        hash = fnv1a(&len_bytes, hash);
+        hash = fnv1a(s.as_bytes(), hash);
+        w.write_all(&len_bytes)?;
+        w.write_all(s.as_bytes())?;
+    }
+    w.write_all(&hash.to_le_bytes())?;
+
+    let mut payload = Vec::new();
+    for event in trace.iter() {
+        payload.clear();
+        encode_record(&mut payload, event, &interner);
+        let len = u32::try_from(payload.len()).map_err(|_| binary_error("record too large"))?;
+        w.write_all(&len.to_le_bytes())?;
+        w.write_all(&payload)?;
+    }
+    w.flush()?;
+    Ok(())
+}
+
+fn encode_record(out: &mut Vec<u8>, event: &TraceEvent, interner: &StrInterner) {
+    out.extend_from_slice(&event.seq.to_le_bytes());
+    out.extend_from_slice(&event.timestamp_ns.to_le_bytes());
+    out.extend_from_slice(&event.pid.to_le_bytes());
+    out.extend_from_slice(&interner.intern(&event.name).index().to_le_bytes());
+    out.extend_from_slice(&event.sysno.to_le_bytes());
+    out.extend_from_slice(&event.retval.to_le_bytes());
+    out.extend_from_slice(&(event.args.len() as u32).to_le_bytes());
+    for arg in &event.args {
+        match arg {
+            ArgValue::Int(v) => {
+                out.push(0);
+                out.extend_from_slice(&v.to_le_bytes());
+            }
+            ArgValue::UInt(v) => {
+                out.push(1);
+                out.extend_from_slice(&v.to_le_bytes());
+            }
+            ArgValue::Fd(v) => {
+                out.push(2);
+                out.extend_from_slice(&v.to_le_bytes());
+            }
+            ArgValue::Path(s) => {
+                out.push(3);
+                out.extend_from_slice(&interner.intern(s).index().to_le_bytes());
+            }
+            ArgValue::Str(s) => {
+                out.push(4);
+                out.extend_from_slice(&interner.intern(s).index().to_le_bytes());
+            }
+            ArgValue::Flags(v) => {
+                out.push(5);
+                out.extend_from_slice(&v.to_le_bytes());
+            }
+            ArgValue::Mode(v) => {
+                out.push(6);
+                out.extend_from_slice(&v.to_le_bytes());
+            }
+            ArgValue::Whence(v) => {
+                out.push(7);
+                out.extend_from_slice(&v.to_le_bytes());
+            }
+            ArgValue::Ptr(v) => {
+                out.push(8);
+                out.extend_from_slice(&v.to_le_bytes());
+            }
+        }
+    }
+}
+
+/// How much of a fixed-size read actually arrived.
+enum Fill {
+    Full,
+    Eof,
+    Partial,
+}
+
+fn read_exact_or_eof<R: Read>(r: &mut R, buf: &mut [u8]) -> std::io::Result<Fill> {
+    let mut n = 0;
+    while n < buf.len() {
+        match r.read(&mut buf[n..]) {
+            Ok(0) => break,
+            Ok(k) => n += k,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(if n == buf.len() {
+        Fill::Full
+    } else if n == 0 {
+        Fill::Eof
+    } else {
+        Fill::Partial
+    })
+}
+
+fn read_table<R: Read>(r: &mut R) -> Result<Vec<Arc<str>>, TraceIoError> {
+    let mut header = [0u8; 12];
+    match read_exact_or_eof(r, &mut header)? {
+        Fill::Full => {}
+        Fill::Eof | Fill::Partial => return Err(binary_error("truncated header")),
+    }
+    if header[..4] != IOTB_MAGIC {
+        return Err(binary_error("bad magic: not an .iotb trace"));
+    }
+    let version = u32::from_le_bytes(header[4..8].try_into().expect("4 bytes"));
+    if version != IOTB_VERSION {
+        return Err(binary_error(format!(
+            "unsupported version {version} (expected {IOTB_VERSION})"
+        )));
+    }
+    let count = u32::from_le_bytes(header[8..12].try_into().expect("4 bytes")) as usize;
+    if count > MAX_STRINGS {
+        return Err(binary_error(format!(
+            "string table count {count} too large"
+        )));
+    }
+    let mut table = Vec::with_capacity(count);
+    let mut hash = FNV_OFFSET;
+    for index in 0..count {
+        let mut len_bytes = [0u8; 4];
+        match read_exact_or_eof(r, &mut len_bytes)? {
+            Fill::Full => {}
+            _ => {
+                return Err(binary_error(format!(
+                    "truncated string table at entry {index}"
+                )))
+            }
+        }
+        let len = u32::from_le_bytes(len_bytes) as usize;
+        if len > MAX_STRING_LEN {
+            return Err(binary_error(format!(
+                "string table entry {index} length {len} too large"
+            )));
+        }
+        let mut bytes = vec![0u8; len];
+        match read_exact_or_eof(r, &mut bytes)? {
+            Fill::Full => {}
+            _ => {
+                return Err(binary_error(format!(
+                    "truncated string table at entry {index}"
+                )))
+            }
+        }
+        hash = fnv1a(&len_bytes, hash);
+        hash = fnv1a(&bytes, hash);
+        let s = String::from_utf8(bytes)
+            .map_err(|_| binary_error(format!("string table entry {index} is not valid UTF-8")))?;
+        table.push(Arc::from(s.as_str()));
+    }
+    let mut checksum = [0u8; 8];
+    match read_exact_or_eof(r, &mut checksum)? {
+        Fill::Full => {}
+        _ => return Err(binary_error("truncated string table checksum")),
+    }
+    let stored = u64::from_le_bytes(checksum);
+    if stored != hash {
+        return Err(binary_error(format!(
+            "string table checksum mismatch: stored {stored:#018x}, computed {hash:#018x}"
+        )));
+    }
+    Ok(table)
+}
+
+struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], String> {
+        if self.buf.len() - self.pos < n {
+            return Err(format!(
+                "record payload too short: needed {n} bytes at offset {}",
+                self.pos
+            ));
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, String> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, String> {
+        Ok(u32::from_le_bytes(
+            self.take(4)?.try_into().expect("4 bytes"),
+        ))
+    }
+
+    fn i32(&mut self) -> Result<i32, String> {
+        Ok(i32::from_le_bytes(
+            self.take(4)?.try_into().expect("4 bytes"),
+        ))
+    }
+
+    fn u64(&mut self) -> Result<u64, String> {
+        Ok(u64::from_le_bytes(
+            self.take(8)?.try_into().expect("8 bytes"),
+        ))
+    }
+
+    fn i64(&mut self) -> Result<i64, String> {
+        Ok(i64::from_le_bytes(
+            self.take(8)?.try_into().expect("8 bytes"),
+        ))
+    }
+}
+
+fn resolve(table: &[Arc<str>], index: u32) -> Result<String, String> {
+    table
+        .get(index as usize)
+        .map(|s| s.as_ref().to_owned())
+        .ok_or_else(|| format!("symbol {index} out of range (table has {})", table.len()))
+}
+
+fn decode_record(payload: &[u8], table: &[Arc<str>]) -> Result<TraceEvent, String> {
+    let mut c = Cursor {
+        buf: payload,
+        pos: 0,
+    };
+    let seq = c.u64()?;
+    let timestamp_ns = c.u64()?;
+    let pid = c.u32()?;
+    let name = resolve(table, c.u32()?)?;
+    let sysno = c.u32()?;
+    let retval = c.i64()?;
+    let argc = c.u32()? as usize;
+    // Each argument occupies at least 5 bytes; reject counts the payload
+    // cannot possibly hold before allocating for them.
+    if argc > payload.len() / 5 {
+        return Err(format!("argument count {argc} impossible for payload"));
+    }
+    let mut args = Vec::with_capacity(argc);
+    for _ in 0..argc {
+        let arg = match c.u8()? {
+            0 => ArgValue::Int(c.i64()?),
+            1 => ArgValue::UInt(c.u64()?),
+            2 => ArgValue::Fd(c.i32()?),
+            3 => ArgValue::Path(resolve(table, c.u32()?)?),
+            4 => ArgValue::Str(resolve(table, c.u32()?)?),
+            5 => ArgValue::Flags(c.u32()?),
+            6 => ArgValue::Mode(c.u32()?),
+            7 => ArgValue::Whence(c.u32()?),
+            8 => ArgValue::Ptr(c.u64()?),
+            tag => return Err(format!("unknown argument tag {tag}")),
+        };
+        args.push(arg);
+    }
+    if c.pos != payload.len() {
+        return Err(format!(
+            "trailing bytes in record: {} of {} consumed",
+            c.pos,
+            payload.len()
+        ));
+    }
+    Ok(TraceEvent {
+        seq,
+        timestamp_ns,
+        pid,
+        name,
+        sysno,
+        args,
+        retval,
+    })
+}
+
+/// Reads an `.iotb` trace, recovering from corrupt records instead of
+/// aborting. See the [module docs](self) for the failure model;
+/// [`LossyRead::lines`] counts record slots scanned and
+/// [`SkippedLine::line`] is the 1-based record ordinal.
+///
+/// # Errors
+///
+/// Returns [`TraceIoError::Io`] on genuine read failure,
+/// [`TraceIoError::Binary`] on header/string-table corruption,
+/// [`TraceIoError::TooManyErrors`] once more than
+/// [`ReadOptions::max_errors`] records have been skipped, and — only
+/// under [`ErrorPolicy::Abort`] — [`TraceIoError::Record`] for the first
+/// bad record.
+pub fn read_iotb_lossy<R: Read>(
+    reader: R,
+    options: &ReadOptions,
+) -> Result<LossyRead, TraceIoError> {
+    let mut r = BufReader::new(reader);
+    let table = read_table(&mut r)?;
+    let mut out = LossyRead::default();
+    let mut record = 0usize;
+    loop {
+        let mut len_bytes = [0u8; 4];
+        let fill = read_exact_or_eof(&mut r, &mut len_bytes)?;
+        if matches!(fill, Fill::Eof) {
+            break;
+        }
+        record += 1;
+        out.lines = record;
+        let failure: (ErrorClass, String, bool) = if matches!(fill, Fill::Partial) {
+            (
+                ErrorClass::TruncatedTail,
+                "record length prefix cut off by end of stream".to_owned(),
+                true,
+            )
+        } else {
+            let len = u32::from_le_bytes(len_bytes) as usize;
+            if len > MAX_RECORD_LEN {
+                // The framing itself is corrupt; chasing this length
+                // would desynchronize every later record.
+                (
+                    ErrorClass::MalformedRecord,
+                    format!("record length {len} exceeds cap {MAX_RECORD_LEN}; framing lost"),
+                    true,
+                )
+            } else {
+                let mut payload = vec![0u8; len];
+                match read_exact_or_eof(&mut r, &mut payload)? {
+                    Fill::Full => match decode_record(&payload, &table) {
+                        Ok(event) => {
+                            out.trace.push(event);
+                            continue;
+                        }
+                        Err(detail) => (ErrorClass::MalformedRecord, detail, false),
+                    },
+                    Fill::Eof | Fill::Partial => (
+                        ErrorClass::TruncatedTail,
+                        format!("record payload cut off: expected {len} bytes"),
+                        true,
+                    ),
+                }
+            }
+        };
+        let (class, message, stop) = failure;
+        if options.on_error == ErrorPolicy::Abort {
+            return Err(TraceIoError::Record {
+                record,
+                detail: message,
+            });
+        }
+        out.skipped.push(SkippedLine {
+            line: record,
+            class,
+            message,
+        });
+        if let Some(max) = options.max_errors {
+            if out.skipped.len() > max {
+                return Err(TraceIoError::TooManyErrors {
+                    errors: out.skipped.len(),
+                    max,
+                });
+            }
+        }
+        if stop {
+            break;
+        }
+    }
+    Ok(out)
+}
+
+/// Reads an `.iotb` trace strictly: the first bad record aborts.
+///
+/// # Errors
+///
+/// Returns [`TraceIoError::Io`], [`TraceIoError::Binary`] for container
+/// corruption, or [`TraceIoError::Record`] (with the 1-based record
+/// number) for the first undecodable record.
+pub fn read_iotb<R: Read>(reader: R) -> Result<Trace, TraceIoError> {
+    let options = ReadOptions {
+        on_error: ErrorPolicy::Abort,
+        ..ReadOptions::default()
+    };
+    Ok(read_iotb_lossy(reader, &options)?.trace)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_trace() -> Trace {
+        Trace::from_events(vec![
+            TraceEvent {
+                seq: 1,
+                timestamp_ns: 10,
+                pid: 42,
+                name: "open".into(),
+                sysno: 2,
+                args: vec![
+                    ArgValue::Path("/mnt/test/a".into()),
+                    ArgValue::Flags(0o101),
+                    ArgValue::Mode(0o644),
+                ],
+                retval: 3,
+            },
+            TraceEvent {
+                seq: 2,
+                timestamp_ns: 20,
+                pid: 42,
+                name: "write".into(),
+                sysno: 1,
+                args: vec![ArgValue::Fd(3), ArgValue::Ptr(0x1000), ArgValue::UInt(4096)],
+                retval: 4096,
+            },
+            TraceEvent {
+                seq: 3,
+                timestamp_ns: u64::MAX,
+                pid: 7,
+                name: "close".into(),
+                sysno: 3,
+                args: vec![ArgValue::Fd(3)],
+                retval: 0,
+            },
+        ])
+    }
+
+    fn encoded(trace: &Trace) -> Vec<u8> {
+        let mut buf = Vec::new();
+        write_iotb(&mut buf, trace).unwrap();
+        buf
+    }
+
+    #[test]
+    fn roundtrip_preserves_trace() {
+        let trace = sample_trace();
+        let back = read_iotb(&encoded(&trace)[..]).unwrap();
+        assert_eq!(trace, back);
+    }
+
+    #[test]
+    fn empty_trace_roundtrips() {
+        let trace = Trace::new();
+        let back = read_iotb(&encoded(&trace)[..]).unwrap();
+        assert!(back.is_empty());
+    }
+
+    #[test]
+    fn strings_are_stored_once() {
+        let trace = Trace::from_events(vec![
+            TraceEvent::build("open", 2, vec![ArgValue::Path("/mnt/test/f".into())], 3),
+            TraceEvent::build("open", 2, vec![ArgValue::Path("/mnt/test/f".into())], 4),
+        ]);
+        let bytes = encoded(&trace);
+        let haystack = String::from_utf8_lossy(&bytes);
+        assert_eq!(haystack.matches("/mnt/test/f").count(), 1);
+    }
+
+    #[test]
+    fn magic_is_sniffable() {
+        let bytes = encoded(&sample_trace());
+        assert!(is_iotb(&bytes));
+        assert!(!is_iotb(b"{\"seq\":0}"));
+        assert!(!is_iotb(b"IO"));
+    }
+
+    #[test]
+    fn bad_magic_is_a_binary_error() {
+        let mut bytes = encoded(&sample_trace());
+        bytes[0] = b'X';
+        let err = read_iotb(&bytes[..]).unwrap_err();
+        assert!(matches!(err, TraceIoError::Binary { .. }), "{err}");
+        assert!(err.to_string().contains("magic"));
+    }
+
+    #[test]
+    fn unsupported_version_is_rejected() {
+        let mut bytes = encoded(&sample_trace());
+        bytes[4] = 9;
+        let err = read_iotb(&bytes[..]).unwrap_err();
+        assert!(err.to_string().contains("version"), "{err}");
+    }
+
+    #[test]
+    fn string_table_corruption_is_fatal_even_in_lossy_mode() {
+        let mut bytes = encoded(&sample_trace());
+        // Flip a byte inside the first string table entry ("open").
+        let entry_start = 12 + 4;
+        bytes[entry_start] ^= 0x20;
+        let err = read_iotb_lossy(&bytes[..], &ReadOptions::default()).unwrap_err();
+        assert!(err.to_string().contains("checksum"), "{err}");
+    }
+
+    #[test]
+    fn corrupt_record_is_skipped_lossily() {
+        let trace = sample_trace();
+        let mut bytes = encoded(&trace);
+        // Corrupt the second record's argument tag region: find the
+        // record boundaries by re-reading lengths after the table.
+        let table_end = table_end_offset(&bytes);
+        let rec1_len = u32::from_le_bytes(bytes[table_end..table_end + 4].try_into().unwrap());
+        let rec2_start = table_end + 4 + rec1_len as usize;
+        // Last byte of record 2's payload is part of an argument; an
+        // unknown tag is easier: overwrite the first arg tag (offset 40
+        // into the payload).
+        bytes[rec2_start + 4 + 40] = 0xEE;
+        let read = read_iotb_lossy(&bytes[..], &ReadOptions::default()).unwrap();
+        assert_eq!(read.trace.len(), 2, "records 1 and 3 recovered");
+        assert_eq!(read.skipped.len(), 1);
+        assert_eq!(read.skipped[0].line, 2);
+        assert_eq!(read.skipped[0].class, ErrorClass::MalformedRecord);
+        assert_eq!(read.lines, 3);
+    }
+
+    #[test]
+    fn truncated_tail_is_classified_and_ends_the_scan() {
+        let trace = sample_trace();
+        let bytes = encoded(&trace);
+        let cut = bytes.len() - 5;
+        let read = read_iotb_lossy(&bytes[..cut], &ReadOptions::default()).unwrap();
+        assert_eq!(read.trace.len(), 2);
+        assert_eq!(read.skipped.len(), 1);
+        assert_eq!(read.skipped[0].class, ErrorClass::TruncatedTail);
+        assert_eq!(read.skipped[0].line, 3);
+    }
+
+    #[test]
+    fn oversized_length_prefix_stops_the_scan() {
+        let trace = sample_trace();
+        let mut bytes = encoded(&trace);
+        let table_end = table_end_offset(&bytes);
+        bytes[table_end..table_end + 4].copy_from_slice(&u32::MAX.to_le_bytes());
+        let read = read_iotb_lossy(&bytes[..], &ReadOptions::default()).unwrap();
+        assert!(read.trace.is_empty());
+        assert_eq!(read.skipped.len(), 1);
+        assert_eq!(read.skipped[0].class, ErrorClass::MalformedRecord);
+        assert!(read.skipped[0].message.contains("framing lost"));
+    }
+
+    #[test]
+    fn strict_reader_reports_record_number() {
+        let trace = sample_trace();
+        let mut bytes = encoded(&trace);
+        let table_end = table_end_offset(&bytes);
+        let rec1_len = u32::from_le_bytes(bytes[table_end..table_end + 4].try_into().unwrap());
+        let rec2_start = table_end + 4 + rec1_len as usize;
+        bytes[rec2_start + 4 + 40] = 0xEE;
+        let err = read_iotb(&bytes[..]).unwrap_err();
+        match &err {
+            TraceIoError::Record { record, .. } => assert_eq!(*record, 2),
+            other => panic!("expected record error, got {other}"),
+        }
+        assert!(err.to_string().contains("record 2"));
+    }
+
+    #[test]
+    fn max_errors_is_honored() {
+        let trace = sample_trace();
+        let mut bytes = encoded(&trace);
+        let table_end = table_end_offset(&bytes);
+        // Corrupt records 1 and 2 (unknown tags), keep record 3.
+        let rec1_len =
+            u32::from_le_bytes(bytes[table_end..table_end + 4].try_into().unwrap()) as usize;
+        bytes[table_end + 4 + 40] = 0xEE;
+        let rec2_start = table_end + 4 + rec1_len;
+        bytes[rec2_start + 4 + 40] = 0xEE;
+        let strict_cap = ReadOptions {
+            max_errors: Some(1),
+            ..ReadOptions::default()
+        };
+        let err = read_iotb_lossy(&bytes[..], &strict_cap).unwrap_err();
+        assert!(matches!(
+            err,
+            TraceIoError::TooManyErrors { errors: 2, max: 1 }
+        ));
+        let roomy = ReadOptions {
+            max_errors: Some(2),
+            ..ReadOptions::default()
+        };
+        let read = read_iotb_lossy(&bytes[..], &roomy).unwrap();
+        assert_eq!(read.trace.len(), 1);
+        assert_eq!(read.skipped.len(), 2);
+    }
+
+    #[test]
+    fn out_of_range_symbol_is_malformed() {
+        let trace = Trace::from_events(vec![TraceEvent::build("close", 3, vec![], 0)]);
+        let mut bytes = encoded(&trace);
+        let table_end = table_end_offset(&bytes);
+        // Name symbol lives at payload offset 20 (seq 8 + ts 8 + pid 4).
+        bytes[table_end + 4 + 20..table_end + 4 + 24].copy_from_slice(&77u32.to_le_bytes());
+        let read = read_iotb_lossy(&bytes[..], &ReadOptions::default()).unwrap();
+        assert!(read.trace.is_empty());
+        assert!(read.skipped[0].message.contains("out of range"));
+    }
+
+    /// Byte offset of the first record's length prefix.
+    fn table_end_offset(bytes: &[u8]) -> usize {
+        let count = u32::from_le_bytes(bytes[8..12].try_into().unwrap()) as usize;
+        let mut pos = 12;
+        for _ in 0..count {
+            let len = u32::from_le_bytes(bytes[pos..pos + 4].try_into().unwrap()) as usize;
+            pos += 4 + len;
+        }
+        pos + 8 // checksum
+    }
+}

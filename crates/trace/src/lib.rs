@@ -37,12 +37,16 @@
 //! assert_eq!(trace.events()[0].name, "open");
 //! ```
 
+pub mod binary;
 mod event;
+pub mod intern;
 pub mod lossy;
 mod recorder;
 mod serial;
 
+pub use binary::{is_iotb, read_iotb, read_iotb_lossy, write_iotb, IOTB_MAGIC, IOTB_VERSION};
 pub use event::{ArgValue, TraceEvent};
+pub use intern::{StrInterner, Sym};
 pub use lossy::{read_jsonl_lossy, ErrorClass, ErrorPolicy, LossyRead, ReadOptions, SkippedLine};
 pub use recorder::{Recorder, RecorderStats};
 pub use serial::{read_jsonl, write_jsonl, TraceIoError};

@@ -63,6 +63,10 @@ pub enum ErrorClass {
     TruncatedTail,
     /// The line is not valid UTF-8.
     InvalidUtf8,
+    /// An `.iotb` binary record failed to decode (bad tag, out-of-range
+    /// symbol, wrong payload size). Only produced by
+    /// [`read_iotb_lossy`](crate::read_iotb_lossy).
+    MalformedRecord,
 }
 
 impl ErrorClass {
@@ -73,6 +77,7 @@ impl ErrorClass {
             ErrorClass::MalformedJson => "malformed-json",
             ErrorClass::TruncatedTail => "truncated-tail",
             ErrorClass::InvalidUtf8 => "invalid-utf8",
+            ErrorClass::MalformedRecord => "malformed-record",
         }
     }
 }

@@ -37,6 +37,21 @@ pub enum TraceIoError {
         /// The configured limit.
         max: usize,
     },
+    /// An `.iotb` binary container is unusable: bad magic, unsupported
+    /// version, or a corrupt string table. Fatal even in lossy mode —
+    /// every record depends on the table.
+    Binary {
+        /// What was wrong with the container.
+        detail: String,
+    },
+    /// An `.iotb` binary record failed to decode under the strict
+    /// reader; carries the 1-based record number.
+    Record {
+        /// 1-based record ordinal.
+        record: usize,
+        /// Decoder message.
+        detail: String,
+    },
 }
 
 impl fmt::Display for TraceIoError {
@@ -55,6 +70,12 @@ impl fmt::Display for TraceIoError {
                     "trace has too many malformed lines: {errors} skipped, limit {max}"
                 )
             }
+            TraceIoError::Binary { detail } => {
+                write!(f, "binary trace container error: {detail}")
+            }
+            TraceIoError::Record { record, detail } => {
+                write!(f, "binary trace error at record {record}: {detail}")
+            }
         }
     }
 }
@@ -66,7 +87,9 @@ impl Error for TraceIoError {
             TraceIoError::Parse { source, .. } | TraceIoError::Serialize { source, .. } => {
                 Some(source)
             }
-            TraceIoError::TooManyErrors { .. } => None,
+            TraceIoError::TooManyErrors { .. }
+            | TraceIoError::Binary { .. }
+            | TraceIoError::Record { .. } => None,
         }
     }
 }
@@ -164,7 +187,10 @@ pub(crate) fn is_blank(bytes: &[u8]) -> bool {
 /// # Ok(())
 /// # }
 /// ```
-pub fn write_jsonl<W: Write>(mut writer: W, trace: &Trace) -> Result<(), TraceIoError> {
+pub fn write_jsonl<W: Write>(writer: W, trace: &Trace) -> Result<(), TraceIoError> {
+    // Reads are buffered; without this, each event costs two write
+    // syscalls when the caller hands us a raw `File`.
+    let mut writer = std::io::BufWriter::new(writer);
     for (index, event) in trace.iter().enumerate() {
         let line = serde_json::to_string(event)
             .map_err(|e| TraceIoError::Serialize { index, source: e })?;
