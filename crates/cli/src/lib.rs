@@ -8,21 +8,44 @@
 //! iocov analyze  <trace> [--format auto|jsonl|iotb] [--mount PATH]
 //!                [--json] [--jobs N] [--lossy [--max-errors N]]
 //!                [--metrics]                            coverage report
+//!                [--checkpoint-every N [--checkpoint-file F]]
+//!                [--resume F] [--stop-after-events K]
+//!                [--shard-timeout SECS] [--max-shard-restarts N]
+//!                [--inject-panic S:T[:X]] [--inject-io SEED[:AFTER]]
 //! iocov untested <trace.jsonl> [--mount PATH]            gap summary
 //! iocov combos   <trace.jsonl> [--mount PATH]            flag-combination coverage
 //! iocov tcd      <trace.jsonl> [--mount PATH] --target N TCD of open flags
 //! iocov convert  <in> <out> [--to jsonl|iotb]            JSONL ↔ binary trace
 //! iocov convert-syz <log.txt>                            syz log → JSONL trace
 //! ```
+//!
+//! Robustness: analysis is *supervised* — worker panics restart the
+//! failed shard with backoff, stalled shards are detected with
+//! `--shard-timeout`, and a shard that exhausts its restart budget
+//! degrades the run to a partial report plus a failure manifest instead
+//! of aborting the process. `--checkpoint-every` periodically persists
+//! resumable state to a `.iockpt` file so a killed run continues with
+//! `--resume`; the resumed output is byte-identical to an uninterrupted
+//! run. The `--inject-*` flags deterministically inject worker panics
+//! and transient/hard I/O faults for testing those paths.
 
 use std::fmt;
 use std::fs::File;
-use std::io::{BufReader, Read, Write};
+use std::io::{BufReader, Read, Seek, SeekFrom, Write};
+use std::path::Path;
 use std::sync::Arc;
+use std::time::Duration;
 
 use iocov::tcd::{deviation_ranking, tcd_uniform};
-use iocov::{ArgName, BaseSyscall, ComboCoverage, IdentifierCoverage, Iocov, PipelineMetrics};
-use iocov_trace::{ErrorPolicy, LossyRead, ReadOptions, SkippedLine, Trace};
+use iocov::{
+    read_checkpoint, write_checkpoint, AnalysisReport, ArgName, BaseSyscall, CheckpointDoc,
+    ComboCoverage, IdentifierCoverage, Iocov, ParallelAnalyzer, ParallelStreamingAnalyzer,
+    PipelineMetrics, ShardFailureRecord, StreamingAnalyzer, SupervisorPolicy,
+};
+use iocov_faults::{FaultPlan, FaultyRead, PanicSchedule};
+use iocov_trace::{
+    ErrorPolicy, JsonlCursor, LossyRead, ReadOptions, RetryRead, SkippedLine, Trace,
+};
 
 /// A CLI-level error with a user-facing message.
 #[derive(Debug)]
@@ -68,6 +91,113 @@ impl TraceFormat {
     }
 }
 
+/// A deterministic worker-panic injection: shard `shard` panics at batch
+/// ordinal `tick`, `times` times total (`0:0:2` = the first batch of
+/// shard 0, twice — surviving a default restart budget of 3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PanicSpec {
+    /// Shard index to fault.
+    pub shard: usize,
+    /// Batch ordinal within a worker incarnation.
+    pub tick: u64,
+    /// How many times the panic fires before disarming.
+    pub times: u32,
+}
+
+impl PanicSpec {
+    fn parse(value: &str) -> Result<Self, CliError> {
+        let bad = || {
+            CliError(format!(
+                "bad --inject-panic value `{value}` (want SHARD:TICK[:TIMES])"
+            ))
+        };
+        let mut parts = value.split(':');
+        let shard = parts.next().and_then(|s| s.parse().ok()).ok_or_else(bad)?;
+        let tick = parts.next().and_then(|s| s.parse().ok()).ok_or_else(bad)?;
+        let times = match parts.next() {
+            Some(s) => s.parse().map_err(|_| bad())?,
+            None => 1,
+        };
+        if parts.next().is_some() || times == 0 {
+            return Err(bad());
+        }
+        Ok(PanicSpec { shard, tick, times })
+    }
+}
+
+/// A deterministic transient-I/O fault schedule: `seed` drives the
+/// interleaving of `EINTR`/`EWOULDBLOCK`/short reads; `hard_after`
+/// additionally turns every read past that many calls into a hard error.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IoFaultSpec {
+    /// Schedule seed (same seed = same fault sequence).
+    pub seed: u64,
+    /// Hard-error threshold in read calls, if any.
+    pub hard_after: Option<u64>,
+}
+
+impl IoFaultSpec {
+    fn parse(value: &str) -> Result<Self, CliError> {
+        let bad = || {
+            CliError(format!(
+                "bad --inject-io value `{value}` (want SEED[:HARD_AFTER])"
+            ))
+        };
+        let mut parts = value.split(':');
+        let seed = parts.next().and_then(|s| s.parse().ok()).ok_or_else(bad)?;
+        let hard_after = match parts.next() {
+            Some(s) => Some(s.parse().map_err(|_| bad())?),
+            None => None,
+        };
+        if parts.next().is_some() {
+            return Err(bad());
+        }
+        Ok(IoFaultSpec { seed, hard_after })
+    }
+}
+
+/// Supervision, checkpointing, and fault-injection options for
+/// `analyze`. Grouped so the common invocation stays readable and new
+/// robustness knobs don't churn [`Command::Analyze`].
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct RobustnessOpts {
+    /// Write a checkpoint every N events (JSONL, serial only).
+    pub checkpoint_every: Option<u64>,
+    /// Checkpoint path (default `<trace>.iockpt`).
+    pub checkpoint_file: Option<String>,
+    /// Resume from this checkpoint file.
+    pub resume: Option<String>,
+    /// Stop (simulating a kill) after this many events, exit 0.
+    pub stop_after: Option<u64>,
+    /// Stall watchdog: replay a shard silent for this many seconds.
+    pub shard_timeout: Option<u64>,
+    /// Override the per-shard restart budget.
+    pub max_shard_restarts: Option<u32>,
+    /// Inject a deterministic worker panic.
+    pub inject_panic: Option<PanicSpec>,
+    /// Inject deterministic I/O faults into the trace reader.
+    pub inject_io: Option<IoFaultSpec>,
+}
+
+impl RobustnessOpts {
+    /// Whether any option selects the checkpointed streaming path.
+    fn checkpointing(&self) -> bool {
+        self.checkpoint_every.is_some() || self.resume.is_some() || self.stop_after.is_some()
+    }
+
+    /// The supervision policy implied by the flags.
+    fn policy(&self) -> SupervisorPolicy {
+        let mut policy = SupervisorPolicy::default();
+        if let Some(max) = self.max_shard_restarts {
+            policy = policy.with_max_restarts(max);
+        }
+        if let Some(secs) = self.shard_timeout {
+            policy = policy.with_shard_timeout(Duration::from_secs(secs));
+        }
+        policy
+    }
+}
+
 /// Parsed command-line invocation.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Command {
@@ -89,6 +219,8 @@ pub enum Command {
         metrics: bool,
         /// Abort a lossy read after this many skipped lines.
         max_errors: Option<usize>,
+        /// Supervision, checkpointing, and fault injection.
+        robust: RobustnessOpts,
     },
     /// Translate a trace between JSONL and the binary container.
     Convert {
@@ -168,6 +300,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
     let mut max_errors: Option<usize> = None;
     let mut format = TraceFormat::Auto;
     let mut to: Option<TraceFormat> = None;
+    let mut robust = RobustnessOpts::default();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
             "--format" => {
@@ -219,6 +352,70 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
             }
             "--lossy" => lossy = true,
             "--metrics" => metrics = true,
+            "--checkpoint-every" => {
+                let value = iter
+                    .next()
+                    .ok_or_else(|| CliError("--checkpoint-every needs an event count".into()))?;
+                robust.checkpoint_every =
+                    Some(value.parse().ok().filter(|&n| n >= 1).ok_or_else(|| {
+                        CliError(format!("bad --checkpoint-every value `{value}`"))
+                    })?);
+            }
+            "--checkpoint-file" => {
+                robust.checkpoint_file = Some(
+                    iter.next()
+                        .ok_or_else(|| CliError("--checkpoint-file needs a path".into()))?
+                        .clone(),
+                );
+            }
+            "--resume" => {
+                robust.resume = Some(
+                    iter.next()
+                        .ok_or_else(|| CliError("--resume needs a checkpoint path".into()))?
+                        .clone(),
+                );
+            }
+            "--stop-after-events" => {
+                let value = iter
+                    .next()
+                    .ok_or_else(|| CliError("--stop-after-events needs a count".into()))?;
+                robust.stop_after =
+                    Some(value.parse().map_err(|_| {
+                        CliError(format!("bad --stop-after-events value `{value}`"))
+                    })?);
+            }
+            "--shard-timeout" => {
+                let value = iter
+                    .next()
+                    .ok_or_else(|| CliError("--shard-timeout needs seconds".into()))?;
+                robust.shard_timeout =
+                    Some(
+                        value.parse().ok().filter(|&n| n >= 1).ok_or_else(|| {
+                            CliError(format!("bad --shard-timeout value `{value}`"))
+                        })?,
+                    );
+            }
+            "--max-shard-restarts" => {
+                let value = iter
+                    .next()
+                    .ok_or_else(|| CliError("--max-shard-restarts needs a count".into()))?;
+                robust.max_shard_restarts =
+                    Some(value.parse().map_err(|_| {
+                        CliError(format!("bad --max-shard-restarts value `{value}`"))
+                    })?);
+            }
+            "--inject-panic" => {
+                let value = iter
+                    .next()
+                    .ok_or_else(|| CliError("--inject-panic needs SHARD:TICK[:TIMES]".into()))?;
+                robust.inject_panic = Some(PanicSpec::parse(value)?);
+            }
+            "--inject-io" => {
+                let value = iter
+                    .next()
+                    .ok_or_else(|| CliError("--inject-io needs SEED[:HARD_AFTER]".into()))?;
+                robust.inject_io = Some(IoFaultSpec::parse(value)?);
+            }
             "--max-errors" => {
                 let value = iter
                     .next()
@@ -246,6 +443,16 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
             if max_errors.is_some() && !lossy {
                 return Err(CliError("--max-errors requires --lossy".into()));
             }
+            if robust.checkpoint_file.is_some() && robust.checkpoint_every.is_none() {
+                return Err(CliError(
+                    "--checkpoint-file requires --checkpoint-every".into(),
+                ));
+            }
+            if robust.checkpointing() && jobs != 1 {
+                return Err(CliError(
+                    "checkpointing is serial: drop --jobs or use --jobs 1".into(),
+                ));
+            }
             Ok(Command::Analyze {
                 trace: need_trace(&positional)?,
                 format,
@@ -255,6 +462,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                 lossy,
                 metrics,
                 max_errors,
+                robust,
             })
         }
         "convert" => {
@@ -316,6 +524,11 @@ USAGE:
   iocov analyze  <trace> [--format auto|jsonl|iotb] [--mount PATH]
                  [--json] [--jobs N] [--lossy [--max-errors N]]
                  [--metrics]
+                 [--checkpoint-every N [--checkpoint-file FILE]]
+                 [--resume FILE] [--stop-after-events K]
+                 [--shard-timeout SECS] [--max-shard-restarts N]
+                 [--inject-panic SHARD:TICK[:TIMES]]
+                 [--inject-io SEED[:HARD_AFTER]]
   iocov untested <trace.jsonl> [--mount PATH]
   iocov combos   <trace.jsonl> [--mount PATH]
   iocov tcd      <trace.jsonl> [--mount PATH] --target N
@@ -334,9 +547,23 @@ worker threads; the report is identical to a serial run. --lossy skips
 malformed trace lines or records (reporting each skip) instead of
 aborting; --max-errors caps how many. --metrics reports pipeline
 counters — events read, parse-skipped, drops by reason, variant
-merges, partition records — alongside the coverage report. `convert`
-translates between the two containers; --to defaults to the output
-path's extension.";
+merges, partition records, shard restarts and failures — alongside the
+coverage report. `convert` translates between the two containers; --to
+defaults to the output path's extension.
+
+Analysis is supervised: a panicking or stalled worker shard is
+restarted with exponential backoff and its events replayed; a shard
+that exhausts its restart budget (--max-shard-restarts, default 3)
+degrades the run to a partial report plus a per-shard failure manifest
+instead of aborting. --shard-timeout SECS enables the stall watchdog.
+--checkpoint-every N writes resumable state every N events to
+--checkpoint-file (default <trace>.iockpt; JSONL traces, serial only);
+--resume FILE continues a killed run from its last checkpoint,
+producing output byte-identical to an uninterrupted run.
+--stop-after-events K stops the run after K events (simulating a kill)
+for testing resume. --inject-panic and --inject-io deterministically
+inject worker panics and transient/hard I/O faults to exercise these
+recovery paths.";
 
 /// Resolves [`TraceFormat::Auto`] by sniffing the file's first four
 /// bytes for the `IOTB` magic.
@@ -361,23 +588,47 @@ fn resolve_format(path: &str, format: TraceFormat) -> Result<TraceFormat, CliErr
     })
 }
 
-fn open_buffered(path: &str) -> Result<BufReader<File>, CliError> {
+/// Wraps an opened trace file for reading: optional deterministic fault
+/// injection (innermost, mimicking a flaky device), then
+/// retry-with-backoff so transient errors — injected or real —
+/// are absorbed instead of failing the run.
+fn fault_reader(file: File, io: Option<IoFaultSpec>) -> Box<dyn Read> {
+    match io {
+        Some(spec) => {
+            let mut plan = FaultPlan::new(spec.seed);
+            if let Some(after) = spec.hard_after {
+                plan = plan.with_hard_error_after(after);
+            }
+            Box::new(RetryRead::new(FaultyRead::new(file, plan)))
+        }
+        None => Box::new(RetryRead::new(file)),
+    }
+}
+
+fn open_buffered(
+    path: &str,
+    io: Option<IoFaultSpec>,
+) -> Result<BufReader<Box<dyn Read>>, CliError> {
     let file = File::open(path).map_err(|e| CliError(format!("cannot open {path}: {e}")))?;
-    Ok(BufReader::new(file))
+    Ok(BufReader::new(fault_reader(file, io)))
 }
 
 /// Loads a trace in strict mode in either container format.
-fn load_trace_format(path: &str, format: TraceFormat) -> Result<Trace, CliError> {
+fn load_trace_format(
+    path: &str,
+    format: TraceFormat,
+    io: Option<IoFaultSpec>,
+) -> Result<Trace, CliError> {
     match resolve_format(path, format)? {
-        TraceFormat::Jsonl => iocov_trace::read_jsonl(open_buffered(path)?),
-        TraceFormat::Iotb => iocov_trace::read_iotb(open_buffered(path)?),
+        TraceFormat::Jsonl => iocov_trace::read_jsonl(open_buffered(path, io)?),
+        TraceFormat::Iotb => iocov_trace::read_iotb(open_buffered(path, io)?),
         TraceFormat::Auto => unreachable!("resolve_format never returns Auto"),
     }
     .map_err(|e| CliError(format!("cannot parse {path}: {e}")))
 }
 
 fn load_trace(path: &str) -> Result<Trace, CliError> {
-    load_trace_format(path, TraceFormat::Jsonl)
+    load_trace_format(path, TraceFormat::Jsonl, None)
 }
 
 /// Loads a trace in lossy mode, recovering from malformed lines or
@@ -386,14 +637,15 @@ fn load_trace_lossy(
     path: &str,
     format: TraceFormat,
     max_errors: Option<usize>,
+    io: Option<IoFaultSpec>,
 ) -> Result<LossyRead, CliError> {
     let options = ReadOptions {
         max_errors,
         on_error: ErrorPolicy::Skip,
     };
     match resolve_format(path, format)? {
-        TraceFormat::Jsonl => iocov_trace::read_jsonl_lossy(open_buffered(path)?, &options),
-        TraceFormat::Iotb => iocov_trace::read_iotb_lossy(open_buffered(path)?, &options),
+        TraceFormat::Jsonl => iocov_trace::read_jsonl_lossy(open_buffered(path, io)?, &options),
+        TraceFormat::Iotb => iocov_trace::read_iotb_lossy(open_buffered(path, io)?, &options),
         TraceFormat::Auto => unreachable!("resolve_format never returns Auto"),
     }
     .map_err(|e| CliError(format!("cannot parse {path}: {e}")))
@@ -436,6 +688,273 @@ fn filtered_trace(trace: &Trace, mount: Option<&str>) -> Result<Trace, CliError>
     }
 }
 
+/// The `analyze` invocation, minus the worker count — shared by the
+/// batch and checkpointed execution paths.
+struct AnalyzeCtx<'a> {
+    trace: &'a str,
+    format: TraceFormat,
+    mount: Option<&'a str>,
+    json: bool,
+    lossy: bool,
+    metrics: bool,
+    max_errors: Option<usize>,
+    robust: &'a RobustnessOpts,
+}
+
+/// Renders an analysis result — JSON document or text report — shared by
+/// the batch and checkpointed paths so both produce byte-identical
+/// output for the same report.
+fn render_analyze<W: Write>(
+    out: &mut W,
+    json: bool,
+    skipped: Option<&[SkippedLine]>,
+    report: AnalysisReport,
+    metrics: Option<&PipelineMetrics>,
+    failures: &[ShardFailureRecord],
+) -> Result<(), CliError> {
+    if json {
+        // The failure manifest lives in the metrics snapshot, so the
+        // JSON document shape is unchanged by degraded runs.
+        let text = match metrics {
+            Some(m) => serde_json::to_string_pretty(&AnalyzeDoc {
+                metrics: m.snapshot(),
+                report,
+            }),
+            None => serde_json::to_string_pretty(&report),
+        }
+        .map_err(|e| CliError(format!("serialization failed: {e}")))?;
+        writeln!(out, "{text}")?;
+        return Ok(());
+    }
+    for f in failures {
+        let plural = if f.restarts == 1 { "" } else { "s" };
+        if f.gave_up {
+            writeln!(
+                out,
+                "warning: shard {} gave up after {} restart{plural} (partial report): {}",
+                f.shard, f.restarts, f.last_error
+            )?;
+        } else {
+            writeln!(
+                out,
+                "warning: shard {} recovered after {} restart{plural}: {}",
+                f.shard, f.restarts, f.last_error
+            )?;
+        }
+    }
+    if let Some(skipped) = skipped {
+        writeln!(
+            out,
+            "lossy ingest: {} malformed line{} skipped",
+            skipped.len(),
+            if skipped.len() == 1 { "" } else { "s" }
+        )?;
+        for skip in skipped {
+            writeln!(out, "  {skip}")?;
+        }
+    }
+    writeln!(
+        out,
+        "{} events, {} analyzed, {} filtered out\n",
+        report.filter_stats.total,
+        report.total_calls(),
+        report.filter_stats.dropped
+    )?;
+    for arg in ArgName::ALL {
+        if report.input_coverage(arg).calls > 0 {
+            write!(out, "{}", iocov::report::render_input(&report, arg))?;
+            writeln!(out)?;
+        }
+    }
+    for base in BaseSyscall::ALL {
+        if report.output_coverage(base).calls > 0 {
+            write!(out, "{}", iocov::report::render_output(&report, base))?;
+            writeln!(out)?;
+        }
+    }
+    if let Some(m) = metrics {
+        let text = serde_json::to_string_pretty(&m.snapshot())
+            .map_err(|e| CliError(format!("serialization failed: {e}")))?;
+        writeln!(out, "=== pipeline metrics ===\n{text}")?;
+    }
+    Ok(())
+}
+
+/// The whole-trace analysis path: load, supervised parallel scan,
+/// render. A panicking shard is restarted with backoff; one that
+/// exhausts its budget degrades the run to a partial report plus
+/// warnings (text) and a manifest (metrics) — never a process abort.
+fn run_batch_analyze<W: Write>(
+    ctx: &AnalyzeCtx<'_>,
+    jobs: usize,
+    out: &mut W,
+) -> Result<(), CliError> {
+    let robust = ctx.robust;
+    let (trace, skipped) = if ctx.lossy {
+        let read = load_trace_lossy(ctx.trace, ctx.format, ctx.max_errors, robust.inject_io)?;
+        (read.trace, Some(read.skipped))
+    } else {
+        (
+            load_trace_format(ctx.trace, ctx.format, robust.inject_io)?,
+            None,
+        )
+    };
+    let pipeline_metrics = ctx.metrics.then(|| Arc::new(PipelineMetrics::default()));
+    if let (Some(m), Some(skipped)) = (&pipeline_metrics, &skipped) {
+        m.add_parse_skipped(skipped.len() as u64);
+    }
+    let policy = robust.policy();
+    let hook = robust
+        .inject_panic
+        .map(|s| PanicSchedule::times(s.shard, s.tick, s.times).hook());
+    let filter = make_filter(ctx.mount)?;
+    // A 1-worker parallel analyzer IS the serial analyzer (and produces
+    // byte-identical reports), so every job count takes the same code
+    // path and metrics attach uniformly. The stall watchdog lives in
+    // the pooled pipeline, so --shard-timeout routes through it.
+    let (report, failures) = if policy.shard_timeout.is_some() {
+        let mut pool = ParallelStreamingAnalyzer::new(filter, jobs).with_policy(policy);
+        if let Some(hook) = hook {
+            pool = pool.with_hook(hook);
+        }
+        if let Some(m) = &pipeline_metrics {
+            pool = pool.with_metrics(Arc::clone(m));
+        }
+        pool.push_owned(trace.into_events());
+        pool.finish_with_failures()
+    } else {
+        let mut analyzer = ParallelAnalyzer::new(filter, jobs).with_policy(policy);
+        if let Some(hook) = hook {
+            analyzer = analyzer.with_hook(hook);
+        }
+        if let Some(m) = &pipeline_metrics {
+            analyzer = analyzer.with_metrics(Arc::clone(m));
+        }
+        analyzer.analyze_events_with_failures(trace.events())
+    };
+    render_analyze(
+        out,
+        ctx.json,
+        skipped.as_deref(),
+        report,
+        pipeline_metrics.as_deref(),
+        &failures,
+    )
+}
+
+/// The checkpointed streaming path: scan the trace through a resumable
+/// cursor, persisting `(cursor, pid states, report, metrics)` to a
+/// `.iockpt` file every N events. `--resume` seeks to the checkpoint's
+/// byte offset and merges the tail into the checkpointed report — the
+/// final output is byte-identical to an uninterrupted run.
+fn run_checkpointed_analyze<W: Write>(ctx: &AnalyzeCtx<'_>, out: &mut W) -> Result<(), CliError> {
+    let robust = ctx.robust;
+    if resolve_format(ctx.trace, ctx.format)? != TraceFormat::Jsonl {
+        return Err(CliError("checkpointing supports JSONL traces only".into()));
+    }
+    let ckpt_path = robust
+        .checkpoint_file
+        .clone()
+        .unwrap_or_else(|| format!("{}.iockpt", ctx.trace));
+    let options = ReadOptions {
+        max_errors: ctx.max_errors,
+        on_error: if ctx.lossy {
+            ErrorPolicy::Skip
+        } else {
+            ErrorPolicy::Abort
+        },
+    };
+    let pipeline_metrics = ctx.metrics.then(|| Arc::new(PipelineMetrics::default()));
+    let mut analyzer = StreamingAnalyzer::new(make_filter(ctx.mount)?);
+    if let Some(m) = &pipeline_metrics {
+        analyzer = analyzer.with_metrics(Arc::clone(m));
+    }
+    let mut file =
+        File::open(ctx.trace).map_err(|e| CliError(format!("cannot open {}: {e}", ctx.trace)))?;
+    let mut base_report = AnalysisReport::default();
+    let mut skips_seen = 0usize;
+    let mut cursor = if let Some(resume_path) = &robust.resume {
+        let doc = read_checkpoint(Path::new(resume_path))
+            .map_err(|e| CliError(format!("cannot resume from {resume_path}: {e}")))?;
+        if doc.mount.as_deref() != ctx.mount {
+            return Err(CliError(format!(
+                "cannot resume: checkpoint mount filter {:?} does not match this run's {:?}",
+                doc.mount,
+                ctx.mount.map(str::to_owned),
+            )));
+        }
+        // The checkpointed snapshot carries the counters for everything
+        // before the cursor; the live metrics continue from there.
+        if let Some(m) = &pipeline_metrics {
+            m.absorb(&doc.metrics);
+        }
+        analyzer.restore_pid_states(&doc.pid_states);
+        base_report = doc.report;
+        skips_seen = doc.cursor.skipped.len();
+        file.seek(SeekFrom::Start(doc.cursor.byte_offset))
+            .map_err(|e| CliError(format!("cannot seek {}: {e}", ctx.trace)))?;
+        JsonlCursor::resume(fault_reader(file, robust.inject_io), options, doc.cursor)
+    } else {
+        JsonlCursor::new(fault_reader(file, robust.inject_io), options)
+    };
+    loop {
+        let event = cursor
+            .next_event()
+            .map_err(|e| CliError(format!("cannot parse {}: {e}", ctx.trace)))?;
+        if let Some(m) = &pipeline_metrics {
+            // Lossy skips surface as cursor-state growth, not events.
+            let now = cursor.state().skipped.len();
+            if now > skips_seen {
+                m.add_parse_skipped((now - skips_seen) as u64);
+                skips_seen = now;
+            }
+        }
+        let Some(event) = event else { break };
+        analyzer.push(&event);
+        let events = cursor.state().events;
+        if robust
+            .checkpoint_every
+            .is_some_and(|every| events.is_multiple_of(every))
+        {
+            let mut report = base_report.clone();
+            report.merge(&analyzer.report());
+            let doc = CheckpointDoc {
+                mount: ctx.mount.map(str::to_owned),
+                cursor: cursor.state().clone(),
+                pid_states: analyzer.pid_states(),
+                report,
+                metrics: pipeline_metrics
+                    .as_ref()
+                    .map(|m| m.snapshot())
+                    .unwrap_or_default(),
+            };
+            write_checkpoint(Path::new(&ckpt_path), &doc)
+                .map_err(|e| CliError(format!("cannot write checkpoint {ckpt_path}: {e}")))?;
+        }
+        if robust.stop_after.is_some_and(|k| events >= k) {
+            // Simulated kill: no report, no checkpoint beyond the last
+            // periodic one — exactly what a real kill leaves behind.
+            writeln!(
+                out,
+                "stopped after {events} events; resume with --resume {ckpt_path}"
+            )?;
+            return Ok(());
+        }
+    }
+    let mut report = base_report;
+    report.merge(&analyzer.finish());
+    let state = cursor.into_state();
+    let skipped = ctx.lossy.then_some(state.skipped);
+    render_analyze(
+        out,
+        ctx.json,
+        skipped.as_deref(),
+        report,
+        pipeline_metrics.as_deref(),
+        &[],
+    )
+}
+
 /// Executes a command, writing human-readable or JSON output to `out`.
 ///
 /// # Errors
@@ -453,71 +972,22 @@ pub fn run<W: Write>(command: &Command, out: &mut W) -> Result<(), CliError> {
             lossy,
             metrics,
             max_errors,
+            robust,
         } => {
-            let (trace, skipped) = if *lossy {
-                let read = load_trace_lossy(trace, *format, *max_errors)?;
-                (read.trace, Some(read.skipped))
-            } else {
-                (load_trace_format(trace, *format)?, None)
+            let ctx = AnalyzeCtx {
+                trace,
+                format: *format,
+                mount: mount.as_deref(),
+                json: *json,
+                lossy: *lossy,
+                metrics: *metrics,
+                max_errors: *max_errors,
+                robust,
             };
-            let pipeline_metrics = metrics.then(|| Arc::new(PipelineMetrics::default()));
-            if let (Some(m), Some(skipped)) = (&pipeline_metrics, &skipped) {
-                m.add_parse_skipped(skipped.len() as u64);
-            }
-            // A 1-worker parallel analyzer IS the serial analyzer (and
-            // produces byte-identical reports), so every job count takes
-            // the same code path and metrics attach uniformly.
-            let mut analyzer = iocov::ParallelAnalyzer::new(make_filter(mount.as_deref())?, *jobs);
-            if let Some(m) = &pipeline_metrics {
-                analyzer = analyzer.with_metrics(Arc::clone(m));
-            }
-            let report = analyzer.analyze(&trace);
-            if *json {
-                let text = match &pipeline_metrics {
-                    Some(m) => serde_json::to_string_pretty(&AnalyzeDoc {
-                        metrics: m.snapshot(),
-                        report,
-                    }),
-                    None => serde_json::to_string_pretty(&report),
-                }
-                .map_err(|e| CliError(format!("serialization failed: {e}")))?;
-                writeln!(out, "{text}")?;
+            if robust.checkpointing() {
+                run_checkpointed_analyze(&ctx, out)?;
             } else {
-                if let Some(skipped) = &skipped {
-                    writeln!(
-                        out,
-                        "lossy ingest: {} malformed line{} skipped",
-                        skipped.len(),
-                        if skipped.len() == 1 { "" } else { "s" }
-                    )?;
-                    for skip in skipped {
-                        writeln!(out, "  {skip}")?;
-                    }
-                }
-                writeln!(
-                    out,
-                    "{} events, {} analyzed, {} filtered out\n",
-                    report.filter_stats.total,
-                    report.total_calls(),
-                    report.filter_stats.dropped
-                )?;
-                for arg in ArgName::ALL {
-                    if report.input_coverage(arg).calls > 0 {
-                        write!(out, "{}", iocov::report::render_input(&report, arg))?;
-                        writeln!(out)?;
-                    }
-                }
-                for base in BaseSyscall::ALL {
-                    if report.output_coverage(base).calls > 0 {
-                        write!(out, "{}", iocov::report::render_output(&report, base))?;
-                        writeln!(out)?;
-                    }
-                }
-                if let Some(m) = &pipeline_metrics {
-                    let text = serde_json::to_string_pretty(&m.snapshot())
-                        .map_err(|e| CliError(format!("serialization failed: {e}")))?;
-                    writeln!(out, "=== pipeline metrics ===\n{text}")?;
-                }
+                run_batch_analyze(&ctx, *jobs, out)?;
             }
         }
         Command::Untested { trace, mount } => {
@@ -620,10 +1090,10 @@ pub fn run<W: Write>(command: &Command, out: &mut W) -> Result<(), CliError> {
                 }
             };
             let (trace, skipped): (Trace, Vec<SkippedLine>) = if *lossy {
-                let read = load_trace_lossy(input, *format, *max_errors)?;
+                let read = load_trace_lossy(input, *format, *max_errors, None)?;
                 (read.trace, read.skipped)
             } else {
-                (load_trace_format(input, *format)?, Vec::new())
+                (load_trace_format(input, *format, None)?, Vec::new())
             };
             let file = File::create(output)
                 .map_err(|e| CliError(format!("cannot create {output}: {e}")))?;
@@ -730,7 +1200,8 @@ mod tests {
                 jobs: 1,
                 lossy: false,
                 metrics: false,
-                max_errors: None
+                max_errors: None,
+                robust: RobustnessOpts::default()
             }
         );
         assert_eq!(
@@ -743,7 +1214,8 @@ mod tests {
                 jobs: 4,
                 lossy: false,
                 metrics: false,
-                max_errors: None
+                max_errors: None,
+                robust: RobustnessOpts::default()
             }
         );
         assert_eq!(
@@ -764,7 +1236,8 @@ mod tests {
                 jobs: 1,
                 lossy: true,
                 metrics: true,
-                max_errors: Some(5)
+                max_errors: Some(5),
+                robust: RobustnessOpts::default()
             }
         );
         assert_eq!(
@@ -1143,6 +1616,267 @@ mod tests {
         let trace = iocov_trace::read_jsonl(&out[..]).unwrap();
         assert_eq!(trace.len(), 2);
         let _ = std::fs::remove_file(&log_path);
+    }
+
+    /// Runs a parsed command and returns its output bytes.
+    fn run_bytes(all: &[&str]) -> Vec<u8> {
+        let mut out = Vec::new();
+        run(&parse_args(&args(all)).unwrap(), &mut out).unwrap();
+        out
+    }
+
+    /// A unique temp path for a checkpoint file.
+    fn ckpt_path(tag: &str) -> String {
+        std::env::temp_dir()
+            .join(format!(
+                "iocov-cli-test-{}-{tag}.iockpt",
+                std::process::id()
+            ))
+            .to_string_lossy()
+            .into_owned()
+    }
+
+    #[test]
+    fn parse_robustness_flags() {
+        match parse_args(&args(&[
+            "analyze",
+            "t.jsonl",
+            "--checkpoint-every",
+            "100",
+            "--checkpoint-file",
+            "c.iockpt",
+            "--stop-after-events",
+            "5",
+            "--shard-timeout",
+            "30",
+            "--max-shard-restarts",
+            "2",
+            "--inject-panic",
+            "1:2:3",
+            "--inject-io",
+            "42:7",
+        ]))
+        .unwrap()
+        {
+            Command::Analyze { robust, .. } => {
+                assert_eq!(robust.checkpoint_every, Some(100));
+                assert_eq!(robust.checkpoint_file.as_deref(), Some("c.iockpt"));
+                assert_eq!(robust.stop_after, Some(5));
+                assert_eq!(robust.shard_timeout, Some(30));
+                assert_eq!(robust.max_shard_restarts, Some(2));
+                assert_eq!(
+                    robust.inject_panic,
+                    Some(PanicSpec {
+                        shard: 1,
+                        tick: 2,
+                        times: 3
+                    })
+                );
+                assert_eq!(
+                    robust.inject_io,
+                    Some(IoFaultSpec {
+                        seed: 42,
+                        hard_after: Some(7)
+                    })
+                );
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // Short spellings default TIMES to 1 and HARD_AFTER to none.
+        match parse_args(&args(&[
+            "analyze",
+            "t.jsonl",
+            "--inject-panic",
+            "0:0",
+            "--inject-io",
+            "9",
+        ]))
+        .unwrap()
+        {
+            Command::Analyze { robust, .. } => {
+                assert_eq!(robust.inject_panic.unwrap().times, 1);
+                assert_eq!(robust.inject_io.unwrap().hard_after, None);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_robustness_errors() {
+        let bad = [
+            vec!["analyze", "t", "--checkpoint-file", "c"],
+            vec!["analyze", "t", "--checkpoint-every", "0"],
+            vec!["analyze", "t", "--checkpoint-every", "5", "--jobs", "4"],
+            vec!["analyze", "t", "--stop-after-events", "3", "--jobs", "2"],
+            vec!["analyze", "t", "--inject-panic", "1"],
+            vec!["analyze", "t", "--inject-panic", "1:2:0"],
+            vec!["analyze", "t", "--inject-panic", "1:2:3:4"],
+            vec!["analyze", "t", "--inject-io", "x"],
+            vec!["analyze", "t", "--inject-io", "1:2:3"],
+            vec!["analyze", "t", "--shard-timeout", "0"],
+        ];
+        for cmd_args in bad {
+            assert!(parse_args(&args(&cmd_args)).is_err(), "{cmd_args:?}");
+        }
+    }
+
+    #[test]
+    fn checkpointed_analyze_matches_batch_byte_for_byte() {
+        let file = sample_trace_file();
+        let ckpt = ckpt_path("match-batch");
+        for extra in [&["--json"][..], &["--json", "--metrics"][..]] {
+            let mut batch = vec!["analyze", &file.path, "--mount", "/mnt/test"];
+            batch.extend_from_slice(extra);
+            let mut chk = batch.clone();
+            chk.extend_from_slice(&["--checkpoint-every", "2", "--checkpoint-file", &ckpt]);
+            assert_eq!(run_bytes(&batch), run_bytes(&chk), "{extra:?}");
+        }
+        let _ = std::fs::remove_file(&ckpt);
+    }
+
+    #[test]
+    fn kill_and_resume_is_byte_identical() {
+        let file = sample_trace_file();
+        let ckpt = ckpt_path("kill-resume");
+        let uninterrupted = run_bytes(&[
+            "analyze",
+            &file.path,
+            "--mount",
+            "/mnt/test",
+            "--json",
+            "--metrics",
+        ]);
+        let killed = run_bytes(&[
+            "analyze",
+            &file.path,
+            "--mount",
+            "/mnt/test",
+            "--json",
+            "--metrics",
+            "--checkpoint-every",
+            "2",
+            "--checkpoint-file",
+            &ckpt,
+            "--stop-after-events",
+            "3",
+        ]);
+        let text = String::from_utf8(killed).unwrap();
+        assert!(text.contains("stopped after 3 events"), "{text}");
+        let resumed = run_bytes(&[
+            "analyze",
+            &file.path,
+            "--mount",
+            "/mnt/test",
+            "--json",
+            "--metrics",
+            "--checkpoint-every",
+            "2",
+            "--checkpoint-file",
+            &ckpt,
+            "--resume",
+            &ckpt,
+        ]);
+        assert_eq!(resumed, uninterrupted);
+        let _ = std::fs::remove_file(&ckpt);
+    }
+
+    #[test]
+    fn resume_with_different_mount_is_rejected() {
+        let file = sample_trace_file();
+        let ckpt = ckpt_path("mount-mismatch");
+        run_bytes(&[
+            "analyze",
+            &file.path,
+            "--mount",
+            "/mnt/test",
+            "--checkpoint-every",
+            "2",
+            "--checkpoint-file",
+            &ckpt,
+            "--stop-after-events",
+            "3",
+        ]);
+        let cmd = parse_args(&args(&["analyze", &file.path, "--resume", &ckpt])).unwrap();
+        let mut out = Vec::new();
+        let err = run(&cmd, &mut out).unwrap_err();
+        assert!(err.to_string().contains("mount filter"), "{err}");
+        let _ = std::fs::remove_file(&ckpt);
+    }
+
+    #[test]
+    fn checkpointing_rejects_iotb_traces() {
+        let file = sample_trace_file();
+        let iotb = convert_to_iotb(&file.path, "no-ckpt", false);
+        let cmd = parse_args(&args(&["analyze", &iotb, "--checkpoint-every", "2"])).unwrap();
+        let mut out = Vec::new();
+        let err = run(&cmd, &mut out).unwrap_err();
+        assert!(err.to_string().contains("JSONL"), "{err}");
+        let _ = std::fs::remove_file(&iotb);
+    }
+
+    #[test]
+    fn injected_panic_recovers_byte_identical() {
+        let file = sample_trace_file();
+        let clean = run_bytes(&["analyze", &file.path, "--mount", "/mnt/test", "--json"]);
+        for jobs in ["1", "4"] {
+            let faulty = run_bytes(&[
+                "analyze",
+                &file.path,
+                "--mount",
+                "/mnt/test",
+                "--json",
+                "--jobs",
+                jobs,
+                "--inject-panic",
+                "0:0",
+            ]);
+            assert_eq!(clean, faulty, "--jobs {jobs}");
+        }
+    }
+
+    #[test]
+    fn exhausted_restarts_degrade_to_partial_report_not_abort() {
+        let file = sample_trace_file();
+        let text = String::from_utf8(run_bytes(&[
+            "analyze",
+            &file.path,
+            "--mount",
+            "/mnt/test",
+            "--metrics",
+            "--inject-panic",
+            "0:0:99",
+        ]))
+        .unwrap();
+        assert!(text.contains("gave up"), "{text}");
+        assert!(text.contains("\"gave_up\": true"), "{text}");
+        assert!(text.contains("\"shard_restarts\": 3"), "{text}");
+    }
+
+    #[test]
+    fn injected_transient_io_faults_recover_byte_identical() {
+        let file = sample_trace_file();
+        let clean = run_bytes(&["analyze", &file.path, "--mount", "/mnt/test", "--json"]);
+        for seed in ["1", "42", "1234567"] {
+            let faulty = run_bytes(&[
+                "analyze",
+                &file.path,
+                "--mount",
+                "/mnt/test",
+                "--json",
+                "--inject-io",
+                seed,
+            ]);
+            assert_eq!(clean, faulty, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn injected_hard_io_fault_is_a_structured_error() {
+        let file = sample_trace_file();
+        let cmd = parse_args(&args(&["analyze", &file.path, "--inject-io", "7:0"])).unwrap();
+        let mut out = Vec::new();
+        let err = run(&cmd, &mut out).unwrap_err();
+        assert!(err.to_string().contains("cannot parse"), "{err}");
     }
 
     #[test]

@@ -3,6 +3,16 @@
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
+    // Supervised shard panics are caught, recorded in the failure
+    // manifest, and recovered by restart — keep them off stderr so a
+    // recovered run doesn't look like a crash. Everything else panics
+    // loudly as usual.
+    let default_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        if !iocov::in_supervised_scan() {
+            default_hook(info);
+        }
+    }));
     let args: Vec<String> = std::env::args().skip(1).collect();
     let command = match iocov_cli::parse_args(&args) {
         Ok(command) => command,

@@ -52,6 +52,7 @@
 //! ```
 
 mod arg;
+pub mod checkpoint;
 mod combos;
 mod coverage;
 mod domain;
@@ -68,6 +69,10 @@ pub mod tcd;
 mod variants;
 
 pub use arg::{ArgClass, ArgName, TrackedValue};
+pub use checkpoint::{
+    parse_checkpoint, read_checkpoint, write_checkpoint, CheckpointDoc, CheckpointError,
+    PidStateSnapshot, IOCKPT_MAGIC, IOCKPT_VERSION,
+};
 pub use combos::ComboCoverage;
 pub use coverage::{AnalysisReport, Analyzer, ComboHistogram, InputCoverage, OutputCoverage};
 pub use domain::{
@@ -76,9 +81,10 @@ pub use domain::{
 };
 pub use filter::{FilterStats, TraceFilter};
 pub use identifier::{FdPartition, IdentifierCoverage, PathPartition};
-pub use metrics::{DropReason, MetricsSnapshot, PipelineMetrics, StageTimer};
+pub use metrics::{DropReason, MetricsSnapshot, PipelineMetrics, ShardFailureRecord, StageTimer};
 pub use parallel::{
-    ParallelAnalyzer, ParallelStreamingAnalyzer, PARALLEL_THRESHOLD, PIPELINE_DEPTH,
+    in_supervised_scan, ParallelAnalyzer, ParallelStreamingAnalyzer, ShardError, ShardHook,
+    SupervisorPolicy, PARALLEL_THRESHOLD, PIPELINE_DEPTH,
 };
 pub use partition::{InputPartition, NumericPartition, OutputPartition};
 pub use streaming::StreamingAnalyzer;

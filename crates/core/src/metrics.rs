@@ -29,7 +29,7 @@
 
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, PoisonError};
 use std::time::Instant;
 
 use serde::{Deserialize, Serialize};
@@ -91,8 +91,16 @@ pub struct PipelineMetrics {
     records_input_categorical: AtomicU64,
     records_output_ok: AtomicU64,
     records_output_err: AtomicU64,
+    shard_restarts: AtomicU64,
+    shard_failures: Mutex<Vec<ShardFailureRecord>>,
     stage_nanos: Mutex<BTreeMap<&'static str, u64>>,
 }
+
+/// Stage names the pipeline is known to time. [`PipelineMetrics::absorb`]
+/// resolves a snapshot's owned stage keys back to these statics; an
+/// unknown stage (impossible without a code change) is dropped rather
+/// than leaked into a `&'static str` map.
+const KNOWN_STAGES: [&str; 4] = ["filter", "accumulate", "analyze", "simulate"];
 
 impl PipelineMetrics {
     /// Counts events entering the pipeline.
@@ -175,7 +183,13 @@ impl PipelineMetrics {
 
     /// Adds elapsed nanoseconds to a stage total directly.
     pub fn add_stage_nanos(&self, stage: &'static str, nanos: u64) {
-        let mut stages = self.stage_nanos.lock().expect("stage timer lock");
+        // A panicking worker can poison this lock mid-update; the worst
+        // outcome is one torn nanosecond total, which never justifies
+        // cascading the panic into the supervisor.
+        let mut stages = self
+            .stage_nanos
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
         *stages.entry(stage).or_insert(0) += nanos;
     }
 
@@ -188,10 +202,76 @@ impl PipelineMetrics {
     pub fn stage_timings(&self) -> BTreeMap<String, u64> {
         self.stage_nanos
             .lock()
-            .expect("stage timer lock")
+            .unwrap_or_else(PoisonError::into_inner)
             .iter()
             .map(|(&stage, &nanos)| (stage.to_owned(), nanos))
             .collect()
+    }
+
+    /// Counts one supervised shard restart.
+    pub fn record_shard_restart(&self) {
+        self.shard_restarts.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Appends one entry to the shard-failure manifest.
+    pub fn record_shard_failure(&self, record: ShardFailureRecord) {
+        self.shard_failures
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .push(record);
+    }
+
+    /// Sums a snapshot's counters into this instance.
+    ///
+    /// This is how supervised workers report: each worker *incarnation*
+    /// accumulates into a private `PipelineMetrics` and the supervisor
+    /// absorbs the snapshot only when the incarnation finishes cleanly —
+    /// so a shard that panics mid-batch and is replayed never
+    /// double-counts the events it saw before crashing.
+    pub fn absorb(&self, snapshot: &MetricsSnapshot) {
+        self.events_read
+            .fetch_add(snapshot.events_read, Ordering::Relaxed);
+        self.parse_skipped
+            .fetch_add(snapshot.parse_skipped, Ordering::Relaxed);
+        self.variant_merged
+            .fetch_add(snapshot.variant_merged, Ordering::Relaxed);
+        self.shard_restarts
+            .fetch_add(snapshot.shard_restarts, Ordering::Relaxed);
+        for reason in DropReason::ALL {
+            if let Some(&count) = snapshot.filter_dropped.get(reason.name()) {
+                let counter = match reason {
+                    DropReason::WrongMount => &self.dropped_wrong_mount,
+                    DropReason::IrrelevantFd => &self.dropped_irrelevant_fd,
+                    DropReason::UnknownSyscall => &self.dropped_unknown_syscall,
+                };
+                counter.fetch_add(count, Ordering::Relaxed);
+            }
+        }
+        for (family, counter) in PARTITION_FAMILIES.iter().zip([
+            &self.records_input_flag,
+            &self.records_input_numeric,
+            &self.records_input_categorical,
+            &self.records_output_ok,
+            &self.records_output_err,
+        ]) {
+            if let Some(&count) = snapshot.partition_records.get(*family) {
+                counter.fetch_add(count, Ordering::Relaxed);
+            }
+        }
+        for record in &snapshot.shard_failures {
+            self.record_shard_failure(record.clone());
+        }
+    }
+
+    /// Sums another instance's stage timings into this one (the timing
+    /// counterpart of [`absorb`](Self::absorb), separate because timings
+    /// live outside the deterministic snapshot).
+    pub fn absorb_stage_timings(&self, timings: &BTreeMap<String, u64>) {
+        for (stage, &nanos) in timings {
+            if let Some(&known) = KNOWN_STAGES.iter().find(|&&k| k == stage) {
+                self.add_stage_nanos(known, nanos);
+            }
+        }
     }
 
     /// A deterministic snapshot of every counter.
@@ -221,12 +301,22 @@ impl PipelineMetrics {
         ]) {
             partition_records.insert((*family).to_owned(), read(counter));
         }
+        let mut shard_failures = self
+            .shard_failures
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clone();
+        // Manifest order must not depend on which supervisor path
+        // recorded first.
+        shard_failures.sort_by_key(|r| r.shard);
         MetricsSnapshot {
             events_read: read(&self.events_read),
             parse_skipped: read(&self.parse_skipped),
             filter_dropped,
             variant_merged: read(&self.variant_merged),
             partition_records,
+            shard_restarts: read(&self.shard_restarts),
+            shard_failures,
         }
     }
 }
@@ -246,6 +336,24 @@ impl Drop for StageTimer<'_> {
     }
 }
 
+/// One entry in the supervised pipeline's shard-failure manifest.
+///
+/// A record is written for every shard that failed at least once —
+/// `gave_up: false` means the supervisor's restarts recovered it and the
+/// report is complete; `gave_up: true` means the shard exhausted its
+/// restart budget and the report is partial (missing that shard's pids).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ShardFailureRecord {
+    /// Shard index (`pid % workers`).
+    pub shard: usize,
+    /// Restarts performed for this shard.
+    pub restarts: u32,
+    /// Whether the restart budget ran out before a clean pass.
+    pub gave_up: bool,
+    /// The last failure observed (panic message or stall description).
+    pub last_error: String,
+}
+
 /// A deterministic, serializable view of [`PipelineMetrics`].
 ///
 /// Snapshots merge commutatively ([`merge`](Self::merge) is a plain
@@ -263,6 +371,16 @@ pub struct MetricsSnapshot {
     pub variant_merged: u64,
     /// Partition records written, by partition family.
     pub partition_records: BTreeMap<String, u64>,
+    /// Supervised shard restarts performed (panics and stalls absorbed
+    /// by the supervisor).
+    #[serde(default)]
+    pub shard_restarts: u64,
+    /// Per-shard failure manifest: one entry for every shard that needed
+    /// restarting, whether or not it eventually succeeded. Empty on a
+    /// fault-free run, so serial and parallel snapshots stay
+    /// byte-identical.
+    #[serde(default)]
+    pub shard_failures: Vec<ShardFailureRecord>,
 }
 
 impl MetricsSnapshot {
@@ -271,12 +389,16 @@ impl MetricsSnapshot {
         self.events_read += other.events_read;
         self.parse_skipped += other.parse_skipped;
         self.variant_merged += other.variant_merged;
+        self.shard_restarts += other.shard_restarts;
         for (reason, count) in &other.filter_dropped {
             *self.filter_dropped.entry(reason.clone()).or_insert(0) += count;
         }
         for (family, count) in &other.partition_records {
             *self.partition_records.entry(family.clone()).or_insert(0) += count;
         }
+        self.shard_failures
+            .extend(other.shard_failures.iter().cloned());
+        self.shard_failures.sort_by_key(|r| r.shard);
     }
 
     /// Total dropped events across all reasons.
@@ -377,6 +499,68 @@ mod tests {
         // Timings never leak into the deterministic snapshot.
         let json = serde_json::to_string(&m.snapshot()).unwrap();
         assert!(!json.contains("analyze"));
+    }
+
+    #[test]
+    fn absorb_equals_direct_counting() {
+        // Counting into a local instance and absorbing its snapshot must
+        // be indistinguishable from counting into the target directly.
+        let direct = PipelineMetrics::default();
+        direct.add_events_read(5);
+        direct.record_drop(DropReason::WrongMount);
+        direct.record_variant_merged();
+        direct.record_input_partition(&InputPartition::Flag("O_APPEND".into()));
+        direct.record_output_partition(&OutputPartition::Err("ENOSPC".into()));
+
+        let local = PipelineMetrics::default();
+        local.add_events_read(5);
+        local.record_drop(DropReason::WrongMount);
+        local.record_variant_merged();
+        local.record_input_partition(&InputPartition::Flag("O_APPEND".into()));
+        local.record_output_partition(&OutputPartition::Err("ENOSPC".into()));
+        local.add_stage_nanos("analyze", 1234);
+        let absorbed = PipelineMetrics::default();
+        absorbed.absorb(&local.snapshot());
+        absorbed.absorb_stage_timings(&local.stage_timings());
+
+        assert_eq!(direct.snapshot(), absorbed.snapshot());
+        assert_eq!(absorbed.stage_timings()["analyze"], 1234);
+    }
+
+    #[test]
+    fn shard_failures_surface_in_snapshot_sorted() {
+        let m = PipelineMetrics::default();
+        m.record_shard_restart();
+        m.record_shard_restart();
+        m.record_shard_failure(ShardFailureRecord {
+            shard: 3,
+            restarts: 1,
+            gave_up: false,
+            last_error: "injected panic".into(),
+        });
+        m.record_shard_failure(ShardFailureRecord {
+            shard: 1,
+            restarts: 1,
+            gave_up: true,
+            last_error: "stalled".into(),
+        });
+        let snap = m.snapshot();
+        assert_eq!(snap.shard_restarts, 2);
+        assert_eq!(snap.shard_failures.len(), 2);
+        assert_eq!(snap.shard_failures[0].shard, 1);
+        assert_eq!(snap.shard_failures[1].shard, 3);
+        // Round-trips through serde, and old snapshots (without the
+        // supervision fields) still deserialize.
+        let json = serde_json::to_string(&snap).unwrap();
+        let back: MetricsSnapshot = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, snap);
+        let legacy: MetricsSnapshot = serde_json::from_str(
+            "{\"events_read\":1,\"parse_skipped\":0,\"filter_dropped\":{},\
+             \"variant_merged\":0,\"partition_records\":{}}",
+        )
+        .unwrap();
+        assert_eq!(legacy.shard_restarts, 0);
+        assert!(legacy.shard_failures.is_empty());
     }
 
     #[test]

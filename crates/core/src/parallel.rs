@@ -1,4 +1,5 @@
-//! Pid-sharded parallel analysis over a persistent worker pool.
+//! Pid-sharded parallel analysis over a supervised persistent worker
+//! pool.
 //!
 //! Every piece of state the analysis pipeline carries between events is
 //! per-process: the trace filter's descriptor-provenance map and cwd
@@ -14,9 +15,32 @@
 //! accumulate through one shared [`StrInterner`], so the pool builds a
 //! single symbol table instead of N.
 //!
+//! # Supervision
+//!
+//! Both analyzers are *supervised*: worker panics are caught with
+//! `catch_unwind`, converted into structured [`ShardError`] values, and
+//! absorbed by restarting the failed shard with exponential backoff (see
+//! [`SupervisorPolicy`]). The restart replays the shard's batches into a
+//! fresh [`StreamingAnalyzer`], so a recovered run's report is
+//! byte-identical to a fault-free one. Restarts never double-count
+//! metrics: each worker *incarnation* accumulates into a private
+//! [`PipelineMetrics`] whose snapshot is absorbed into the shared
+//! instance only on clean completion. When a shard exhausts its restart
+//! budget the run *degrades* instead of aborting: the merged report
+//! omits that shard's pids and a [`ShardFailureRecord`] manifest
+//! (available via [`finish_with_failures`] / [`analyze_with_failures`]
+//! and in every metrics snapshot) says exactly what is missing. With
+//! [`SupervisorPolicy::shard_timeout`] set, a shard that stops
+//! heartbeating is declared stalled, abandoned, and replayed the same
+//! way.
+//!
+//! [`finish_with_failures`]: ParallelStreamingAnalyzer::finish_with_failures
+//! [`analyze_with_failures`]: ParallelAnalyzer::analyze_with_failures
+//!
 //! [`ParallelAnalyzer`] is the one-shot interface mirroring
 //! [`Analyzer`](crate::Analyzer): it spawns one scoped thread per shard
-//! over the whole borrowed slice — zero copies, one spawn per analysis.
+//! over the whole borrowed slice — zero copies, one spawn per analysis
+//! attempt.
 //!
 //! [`ParallelStreamingAnalyzer`] is the chunked interface mirroring
 //! [`StreamingAnalyzer`]. It keeps each shard's filter state alive
@@ -31,7 +55,9 @@
 //! moves it; the borrowed [`push_all`](ParallelStreamingAnalyzer::push_all)
 //! compatibility path clones. Chunks smaller than [`PARALLEL_THRESHOLD`]
 //! events are coalesced in a caller-side buffer so per-batch channel
-//! overhead never dominates tiny pushes.
+//! overhead never dominates tiny pushes. The supervisor retains every
+//! dispatched batch (they are `Arc`-shared, so retention costs pointers,
+//! not copies) as the replay log for restarts.
 //!
 //! ```
 //! use iocov::{Analyzer, ParallelAnalyzer, TraceFilter};
@@ -51,24 +77,175 @@
 //! assert_eq!(serial, parallel);
 //! ```
 
-use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
+use std::any::Any;
+use std::collections::BTreeMap;
+use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{sync_channel, Receiver, RecvTimeoutError, SyncSender, TrySendError};
 use std::sync::Arc;
-use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 
 use iocov_trace::{StrInterner, Trace, TraceEvent};
 
 use crate::coverage::AnalysisReport;
 use crate::filter::TraceFilter;
-use crate::metrics::PipelineMetrics;
+use crate::metrics::{MetricsSnapshot, PipelineMetrics, ShardFailureRecord};
 use crate::streaming::StreamingAnalyzer;
 
+/// A progress hook observed by every shard worker: `(shard, tick)`,
+/// where `tick` is the batch ordinal within the current worker
+/// incarnation (pool) or always `0` at scan start (one-shot). Fault
+/// injection (`iocov-faults`) plugs in here to panic or stall a specific
+/// shard at a specific point.
+pub type ShardHook = Arc<dyn Fn(usize, u64) + Send + Sync>;
+
+/// Restart budget, backoff curve, and stall watchdog for supervised
+/// shards.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SupervisorPolicy {
+    /// Restarts allowed per shard before it is abandoned (`gave_up`).
+    pub max_restarts: u32,
+    /// Backoff before the first restart; doubles per restart.
+    pub base_backoff: Duration,
+    /// Backoff ceiling.
+    pub max_backoff: Duration,
+    /// If set, a shard with no heartbeat progress for this long (while
+    /// the supervisor is waiting on it) is declared stalled and
+    /// replayed. `None` waits forever, like an unsupervised join.
+    pub shard_timeout: Option<Duration>,
+}
+
+impl Default for SupervisorPolicy {
+    fn default() -> Self {
+        SupervisorPolicy {
+            max_restarts: 3,
+            base_backoff: Duration::from_millis(10),
+            max_backoff: Duration::from_secs(1),
+            shard_timeout: None,
+        }
+    }
+}
+
+impl SupervisorPolicy {
+    /// The backoff before the `attempt`-th restart (1-based):
+    /// `base_backoff * 2^(attempt-1)`, capped at `max_backoff`.
+    #[must_use]
+    pub fn backoff(&self, attempt: u32) -> Duration {
+        let factor = 1u32 << attempt.saturating_sub(1).min(16);
+        self.base_backoff
+            .saturating_mul(factor)
+            .min(self.max_backoff)
+    }
+
+    /// Sets the stall watchdog timeout.
+    #[must_use]
+    pub fn with_shard_timeout(mut self, timeout: Duration) -> Self {
+        self.shard_timeout = Some(timeout);
+        self
+    }
+
+    /// Sets the restart budget.
+    #[must_use]
+    pub fn with_max_restarts(mut self, max_restarts: u32) -> Self {
+        self.max_restarts = max_restarts;
+        self
+    }
+}
+
+/// A structured shard failure, as observed by the supervisor.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ShardError {
+    /// The worker panicked; carries the panic payload rendered to text.
+    Panicked(String),
+    /// The worker produced no heartbeat for longer than the watchdog
+    /// allows.
+    Stalled {
+        /// How long the supervisor waited without progress.
+        waited: Duration,
+    },
+}
+
+impl fmt::Display for ShardError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ShardError::Panicked(msg) => write!(f, "worker panicked: {msg}"),
+            ShardError::Stalled { waited } => {
+                write!(
+                    f,
+                    "worker stalled: no heartbeat for {}ms",
+                    waited.as_millis()
+                )
+            }
+        }
+    }
+}
+
+thread_local! {
+    static IN_SUPERVISED_SCAN: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+}
+
+/// Whether the current thread is inside a supervised shard scan — a
+/// panic raised here is caught, converted into a structured
+/// [`ShardError::Panicked`], and handled by the supervisor (restart or
+/// degrade), never an abort. Binaries can install a panic hook that
+/// consults this to keep recovered panics off stderr; the panic message
+/// still reaches the failure manifest.
+#[must_use]
+pub fn in_supervised_scan() -> bool {
+    IN_SUPERVISED_SCAN.with(std::cell::Cell::get)
+}
+
+/// RAII: marks the current thread supervised for the guard's lifetime
+/// (cleared on unwind too, so a panic leaves the thread unmarked once
+/// the supervisor has taken over).
+struct SupervisedScanGuard;
+
+impl SupervisedScanGuard {
+    fn enter() -> Self {
+        IN_SUPERVISED_SCAN.with(|flag| flag.set(true));
+        SupervisedScanGuard
+    }
+}
+
+impl Drop for SupervisedScanGuard {
+    fn drop(&mut self) {
+        IN_SUPERVISED_SCAN.with(|flag| flag.set(false));
+    }
+}
+
+/// Renders a `catch_unwind` payload to text.
+fn panic_message(payload: &(dyn Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_owned()
+    }
+}
+
 /// A one-shot parallel analyzer: shards a trace by pid across `workers`
-/// threads and merges the per-worker reports.
-#[derive(Debug, Clone)]
+/// threads and merges the per-worker reports, supervising each shard
+/// per [`SupervisorPolicy`].
+#[derive(Clone)]
 pub struct ParallelAnalyzer {
     filter: TraceFilter,
     workers: usize,
     metrics: Option<Arc<PipelineMetrics>>,
+    policy: SupervisorPolicy,
+    hook: Option<ShardHook>,
+}
+
+impl fmt::Debug for ParallelAnalyzer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ParallelAnalyzer")
+            .field("filter", &self.filter)
+            .field("workers", &self.workers)
+            .field("policy", &self.policy)
+            .field("hook", &self.hook.as_ref().map(|_| "…"))
+            .finish_non_exhaustive()
+    }
 }
 
 impl ParallelAnalyzer {
@@ -80,6 +257,8 @@ impl ParallelAnalyzer {
             filter,
             workers: workers.max(1),
             metrics: None,
+            policy: SupervisorPolicy::default(),
+            hook: None,
         }
     }
 
@@ -89,11 +268,26 @@ impl ParallelAnalyzer {
         ParallelAnalyzer::new(TraceFilter::keep_all(), workers)
     }
 
-    /// Attaches shared pipeline metrics. All workers update the same
-    /// atomic counters, so snapshots match a serial run exactly.
+    /// Attaches shared pipeline metrics. Workers accumulate privately
+    /// and the totals are absorbed on clean shard completion, so
+    /// snapshots match a serial run exactly even across restarts.
     #[must_use]
     pub fn with_metrics(mut self, metrics: Arc<PipelineMetrics>) -> Self {
         self.metrics = Some(metrics);
+        self
+    }
+
+    /// Overrides the supervision policy.
+    #[must_use]
+    pub fn with_policy(mut self, policy: SupervisorPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Installs a worker progress hook (fault injection).
+    #[must_use]
+    pub fn with_hook(mut self, hook: ShardHook) -> Self {
+        self.hook = Some(hook);
         self
     }
 
@@ -116,57 +310,169 @@ impl ParallelAnalyzer {
     }
 
     /// Runs the full pipeline over a slice of events.
+    #[must_use]
+    pub fn analyze_events(&self, events: &[TraceEvent]) -> AnalysisReport {
+        self.analyze_events_with_failures(events).0
+    }
+
+    /// Like [`analyze`](Self::analyze), also returning the shard-failure
+    /// manifest (empty on a fault-free run).
+    #[must_use]
+    pub fn analyze_with_failures(
+        &self,
+        trace: &Trace,
+    ) -> (AnalysisReport, Vec<ShardFailureRecord>) {
+        self.analyze_events_with_failures(trace.events())
+    }
+
+    /// Runs the supervised pipeline over a slice of events.
     ///
     /// One-shot analysis needs no pipelining — the whole input is
     /// already in memory — so this scans the borrowed slice directly
-    /// from scoped shard threads: zero event copies and exactly one
-    /// spawn per shard per analysis.
+    /// from scoped shard threads: zero event copies and one spawn per
+    /// shard attempt. A panicking shard is rescanned from scratch (its
+    /// analyzer state died with it) after backoff, up to
+    /// [`SupervisorPolicy::max_restarts`] times; a shard that gives up
+    /// is reported in the returned manifest and its pids are missing
+    /// from the (partial) report. The process is never aborted by a
+    /// worker panic.
     #[must_use]
-    pub fn analyze_events(&self, events: &[TraceEvent]) -> AnalysisReport {
+    pub fn analyze_events_with_failures(
+        &self,
+        events: &[TraceEvent],
+    ) -> (AnalysisReport, Vec<ShardFailureRecord>) {
         let n = self.workers;
         let interner = Arc::new(StrInterner::new());
-        let mut shards: Vec<StreamingAnalyzer> = (0..n)
-            .map(|_| {
-                let mut shard =
-                    StreamingAnalyzer::with_interner(self.filter.clone(), Arc::clone(&interner));
-                if let Some(metrics) = &self.metrics {
-                    shard = shard.with_metrics(Arc::clone(metrics));
-                }
-                shard
-            })
-            .collect();
-        if n == 1 || events.len() < PARALLEL_THRESHOLD {
+        let scans: Vec<ShardScan> = if n == 1 || events.len() < PARALLEL_THRESHOLD {
             // Below the threshold thread spawn dominates; a serial pass
             // over all shards costs the same modulo test per event.
-            let _timer = self.metrics.as_deref().map(|m| m.time_stage("analyze"));
-            for (w, shard) in shards.iter_mut().enumerate() {
+            (0..n)
+                .map(|w| self.supervised_scan(w, events, &interner))
+                .collect()
+        } else {
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..n)
+                    .map(|w| {
+                        let interner = Arc::clone(&interner);
+                        scope.spawn(move || self.supervised_scan(w, events, &interner))
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|handle| {
+                        handle.join().unwrap_or_else(|payload| ShardScan {
+                            // The supervisor wrapper itself panicked —
+                            // possible only via a pathological hook;
+                            // degrade rather than abort.
+                            report: None,
+                            restarts: 0,
+                            last_error: Some(panic_message(payload.as_ref())),
+                        })
+                    })
+                    .collect()
+            })
+        };
+        let mut merged = AnalysisReport::default();
+        let mut failures = Vec::new();
+        for (w, scan) in scans.into_iter().enumerate() {
+            let gave_up = scan.report.is_none();
+            if let Some(report) = &scan.report {
+                merged.merge(report);
+            }
+            if scan.restarts > 0 || gave_up {
+                failures.push(ShardFailureRecord {
+                    shard: w,
+                    restarts: scan.restarts,
+                    gave_up,
+                    last_error: scan.last_error.unwrap_or_default(),
+                });
+            }
+        }
+        if let Some(metrics) = &self.metrics {
+            for failure in &failures {
+                metrics.record_shard_failure(failure.clone());
+            }
+        }
+        (merged, failures)
+    }
+
+    /// Scans shard `w` of `events` with restart-on-panic supervision.
+    fn supervised_scan(
+        &self,
+        w: usize,
+        events: &[TraceEvent],
+        interner: &Arc<StrInterner>,
+    ) -> ShardScan {
+        let n = self.workers;
+        let mut restarts = 0u32;
+        let mut last_error = None;
+        loop {
+            // Fresh analyzer and private metrics per attempt: a panic
+            // poisons the analyzer mid-scan, and half-counted metrics
+            // must never leak into the shared instance.
+            let local = self
+                .metrics
+                .as_ref()
+                .map(|_| Arc::new(PipelineMetrics::default()));
+            let mut shard =
+                StreamingAnalyzer::with_interner(self.filter.clone(), Arc::clone(interner));
+            if let Some(m) = &local {
+                shard = shard.with_metrics(Arc::clone(m));
+            }
+            let scan_metrics = local.clone();
+            let hook = self.hook.clone();
+            let result = catch_unwind(AssertUnwindSafe(move || {
+                let _supervised = SupervisedScanGuard::enter();
+                let _timer = scan_metrics.as_deref().map(|m| m.time_stage("analyze"));
+                if let Some(hook) = &hook {
+                    hook(w, 0);
+                }
                 for event in events {
                     if event.pid as usize % n == w {
                         shard.push(event);
                     }
                 }
-            }
-        } else {
-            std::thread::scope(|scope| {
-                for (w, shard) in shards.iter_mut().enumerate() {
-                    let metrics = self.metrics.clone();
-                    scope.spawn(move || {
-                        let _timer = metrics.as_deref().map(|m| m.time_stage("analyze"));
-                        for event in events {
-                            if event.pid as usize % n == w {
-                                shard.push(event);
-                            }
-                        }
-                    });
+                shard.finish()
+            }));
+            match result {
+                Ok(report) => {
+                    if let (Some(shared), Some(local)) = (&self.metrics, &local) {
+                        shared.absorb(&local.snapshot());
+                        shared.absorb_stage_timings(&local.stage_timings());
+                    }
+                    return ShardScan {
+                        report: Some(report),
+                        restarts,
+                        last_error,
+                    };
                 }
-            });
+                Err(payload) => {
+                    last_error =
+                        Some(ShardError::Panicked(panic_message(payload.as_ref())).to_string());
+                    if restarts >= self.policy.max_restarts {
+                        return ShardScan {
+                            report: None,
+                            restarts,
+                            last_error,
+                        };
+                    }
+                    restarts += 1;
+                    if let Some(metrics) = &self.metrics {
+                        metrics.record_shard_restart();
+                    }
+                    std::thread::sleep(self.policy.backoff(restarts));
+                }
+            }
         }
-        let mut merged = AnalysisReport::default();
-        for shard in shards {
-            merged.merge(&shard.finish());
-        }
-        merged
     }
+}
+
+/// Outcome of one supervised one-shot shard scan.
+struct ShardScan {
+    /// The shard's report; `None` when the restart budget ran out.
+    report: Option<AnalysisReport>,
+    restarts: u32,
+    last_error: Option<String>,
 }
 
 /// A job sent to a persistent shard worker.
@@ -179,8 +485,8 @@ enum Job {
     Snapshot(SyncSender<AnalysisReport>),
 }
 
-impl std::fmt::Debug for Job {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+impl fmt::Debug for Job {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             Job::Batch(batch) => f.debug_tuple("Batch").field(&batch.len()).finish(),
             Job::Snapshot(_) => f.write_str("Snapshot"),
@@ -188,12 +494,60 @@ impl std::fmt::Debug for Job {
     }
 }
 
-/// One persistent shard thread: a job queue and the handle that yields
-/// the shard's final report once the queue closes.
-#[derive(Debug)]
-struct Worker {
-    jobs: SyncSender<Job>,
-    handle: JoinHandle<AnalysisReport>,
+/// A worker incarnation's exit message, sent on its done channel.
+enum WorkerExit {
+    /// Clean completion: the shard's final report plus the incarnation's
+    /// private metrics (snapshot + stage timings) for the supervisor to
+    /// absorb.
+    Finished {
+        report: Box<AnalysisReport>,
+        counters: Option<(MetricsSnapshot, BTreeMap<String, u64>)>,
+    },
+    /// The incarnation panicked.
+    Panicked(String),
+}
+
+/// One live worker incarnation as the supervisor sees it.
+struct Slot {
+    /// Job queue sender; `None` once the queue is closed (at drain time)
+    /// or the shard abandoned.
+    jobs: Option<SyncSender<Job>>,
+    /// Exit-message channel from the incarnation.
+    done: Receiver<WorkerExit>,
+    /// Bumped by the worker after every processed job — the liveness
+    /// signal the stall watchdog reads.
+    heartbeat: Arc<AtomicU64>,
+    /// Batches from the supervisor's log already delivered to this
+    /// incarnation.
+    sent: usize,
+}
+
+impl Slot {
+    /// A slot whose worker could not be spawned: every interaction sees
+    /// a dead channel.
+    fn dead() -> Self {
+        let (_, done) = sync_channel(1);
+        Slot {
+            jobs: None,
+            done,
+            heartbeat: Arc::new(AtomicU64::new(0)),
+            sent: 0,
+        }
+    }
+}
+
+/// Per-shard supervision ledger.
+#[derive(Debug, Clone, Default)]
+struct ShardSupervision {
+    restarts: u32,
+    gave_up: bool,
+    last_error: Option<String>,
+}
+
+/// Outcome of offering one job to a worker's queue.
+enum Offer {
+    Accepted,
+    Failed(ShardError),
 }
 
 /// The loop run by each persistent shard thread: drain batches (keeping
@@ -205,10 +559,17 @@ fn worker_loop(
     mut shard: StreamingAnalyzer,
     jobs: Receiver<Job>,
     metrics: Option<Arc<PipelineMetrics>>,
+    heartbeat: Arc<AtomicU64>,
+    hook: Option<ShardHook>,
 ) -> AnalysisReport {
+    let mut tick = 0u64;
     while let Ok(job) = jobs.recv() {
         match job {
             Job::Batch(batch) => {
+                if let Some(hook) = &hook {
+                    hook(w, tick);
+                }
+                tick += 1;
                 // Each worker times its own scan, so the "analyze" stage
                 // total is summed across shards (CPU time, not wall
                 // clock).
@@ -218,18 +579,21 @@ fn worker_loop(
                         shard.push(event);
                     }
                 }
+                heartbeat.fetch_add(1, Ordering::Relaxed);
             }
             Job::Snapshot(reply) => {
                 let _ = reply.send(shard.report());
+                heartbeat.fetch_add(1, Ordering::Relaxed);
             }
         }
     }
+    heartbeat.fetch_add(1, Ordering::Relaxed);
     shard.finish()
 }
 
 /// A chunked parallel analyzer: N **persistent** worker threads, each
 /// owning a [`StreamingAnalyzer`] shard for the pids with
-/// `pid % N == shard index`.
+/// `pid % N == shard index`, supervised per [`SupervisorPolicy`].
 ///
 /// Shard state survives across [`push_all`](Self::push_all) /
 /// [`push_owned`](Self::push_owned) calls, so feeding a long trace
@@ -238,18 +602,37 @@ fn worker_loop(
 /// lazily on the first dispatched batch and live until
 /// [`finish`](Self::finish); batches travel over bounded channels of
 /// depth [`PIPELINE_DEPTH`], so the caller can parse chunk *k + 1*
-/// while the workers analyze chunk *k*.
-#[derive(Debug)]
+/// while the workers analyze chunk *k*. Every dispatched batch is
+/// retained (`Arc`-shared) as the replay log: a shard that panics or
+/// stalls is restarted with a fresh analyzer and replayed from batch 0,
+/// reproducing the exact per-shard event sequence.
 pub struct ParallelStreamingAnalyzer {
     filter: TraceFilter,
     nworkers: usize,
     interner: Arc<StrInterner>,
     metrics: Option<Arc<PipelineMetrics>>,
-    /// Persistent shard threads; empty until the first batch dispatch.
-    workers: Vec<Worker>,
+    policy: SupervisorPolicy,
+    hook: Option<ShardHook>,
+    /// Live incarnations; empty until the first batch dispatch.
+    slots: Vec<Slot>,
+    /// Every batch ever dispatched, in order — the replay log.
+    batch_log: Vec<Arc<Vec<TraceEvent>>>,
+    /// Per-shard restart ledger.
+    supervision: Vec<ShardSupervision>,
     /// Caller-side coalescing buffer for chunks below
     /// [`PARALLEL_THRESHOLD`].
     pending: Vec<TraceEvent>,
+}
+
+impl fmt::Debug for ParallelStreamingAnalyzer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ParallelStreamingAnalyzer")
+            .field("workers", &self.nworkers)
+            .field("policy", &self.policy)
+            .field("batches", &self.batch_log.len())
+            .field("pending", &self.pending.len())
+            .finish_non_exhaustive()
+    }
 }
 
 impl ParallelStreamingAnalyzer {
@@ -259,12 +642,17 @@ impl ParallelStreamingAnalyzer {
     /// large chunk costs one spawn per shard total.
     #[must_use]
     pub fn new(filter: TraceFilter, workers: usize) -> Self {
+        let nworkers = workers.max(1);
         ParallelStreamingAnalyzer {
             filter,
-            nworkers: workers.max(1),
+            nworkers,
             interner: Arc::new(StrInterner::new()),
             metrics: None,
-            workers: Vec::new(),
+            policy: SupervisorPolicy::default(),
+            hook: None,
+            slots: Vec::new(),
+            batch_log: Vec::new(),
+            supervision: vec![ShardSupervision::default(); nworkers],
             pending: Vec::new(),
         }
     }
@@ -275,10 +663,28 @@ impl ParallelStreamingAnalyzer {
     #[must_use]
     pub fn with_metrics(mut self, metrics: Arc<PipelineMetrics>) -> Self {
         debug_assert!(
-            self.workers.is_empty(),
+            self.slots.is_empty(),
             "attach metrics before pushing events"
         );
         self.metrics = Some(metrics);
+        self
+    }
+
+    /// Overrides the supervision policy. Must be called before the
+    /// first push.
+    #[must_use]
+    pub fn with_policy(mut self, policy: SupervisorPolicy) -> Self {
+        debug_assert!(self.slots.is_empty(), "set policy before pushing events");
+        self.policy = policy;
+        self
+    }
+
+    /// Installs a worker progress hook (fault injection). Must be
+    /// called before the first push.
+    #[must_use]
+    pub fn with_hook(mut self, hook: ShardHook) -> Self {
+        debug_assert!(self.slots.is_empty(), "set hook before pushing events");
+        self.hook = Some(hook);
         self
     }
 
@@ -288,43 +694,207 @@ impl ParallelStreamingAnalyzer {
         self.nworkers
     }
 
-    /// Spawns the persistent shard threads. Every shard accumulates
-    /// through the pool's shared interner, so the merged report resolves
-    /// one symbol table.
-    fn spawn_workers(&mut self) {
+    /// Spawns one fresh worker incarnation for shard `w`.
+    fn spawn_slot(&self, w: usize) -> std::io::Result<Slot> {
         let n = self.nworkers;
-        self.workers = (0..n)
-            .map(|w| {
-                let (jobs, queue) = sync_channel::<Job>(PIPELINE_DEPTH);
-                let mut shard = StreamingAnalyzer::with_interner(
-                    self.filter.clone(),
-                    Arc::clone(&self.interner),
-                );
-                if let Some(metrics) = &self.metrics {
-                    shard = shard.with_metrics(Arc::clone(metrics));
+        let (jobs, queue) = sync_channel::<Job>(PIPELINE_DEPTH);
+        let (done_tx, done) = sync_channel::<WorkerExit>(1);
+        let heartbeat = Arc::new(AtomicU64::new(0));
+        let mut shard =
+            StreamingAnalyzer::with_interner(self.filter.clone(), Arc::clone(&self.interner));
+        // Private metrics per incarnation; absorbed by the supervisor
+        // only on clean completion (see WorkerExit::Finished).
+        let local = self
+            .metrics
+            .as_ref()
+            .map(|_| Arc::new(PipelineMetrics::default()));
+        if let Some(m) = &local {
+            shard = shard.with_metrics(Arc::clone(m));
+        }
+        let beat = Arc::clone(&heartbeat);
+        let hook = self.hook.clone();
+        std::thread::Builder::new()
+            .name(format!("iocov-shard-{w}"))
+            .spawn(move || {
+                let loop_metrics = local.clone();
+                let result = catch_unwind(AssertUnwindSafe(move || {
+                    let _supervised = SupervisedScanGuard::enter();
+                    worker_loop(w, n, shard, queue, loop_metrics, beat, hook)
+                }));
+                let exit = match result {
+                    Ok(report) => WorkerExit::Finished {
+                        report: Box::new(report),
+                        counters: local.map(|m| (m.snapshot(), m.stage_timings())),
+                    },
+                    Err(payload) => WorkerExit::Panicked(panic_message(payload.as_ref())),
+                };
+                let _ = done_tx.send(exit);
+            })?;
+        Ok(Slot {
+            jobs: Some(jobs),
+            done,
+            heartbeat,
+            sent: 0,
+        })
+    }
+
+    /// Spawns shard `w`, burning restart budget on spawn failure; a
+    /// shard whose worker cannot be spawned at all gives up with a dead
+    /// slot instead of aborting the run.
+    fn spawned_slot(&mut self, w: usize) -> Slot {
+        loop {
+            match self.spawn_slot(w) {
+                Ok(slot) => return slot,
+                Err(e) => {
+                    self.supervision[w].last_error = Some(format!("spawn shard worker: {e}"));
+                    if self.supervision[w].restarts >= self.policy.max_restarts {
+                        self.supervision[w].gave_up = true;
+                        return Slot::dead();
+                    }
+                    self.supervision[w].restarts += 1;
+                    if let Some(metrics) = &self.metrics {
+                        metrics.record_shard_restart();
+                    }
+                    std::thread::sleep(self.policy.backoff(self.supervision[w].restarts));
                 }
-                let metrics = self.metrics.clone();
-                let handle = std::thread::Builder::new()
-                    .name(format!("iocov-shard-{w}"))
-                    .spawn(move || worker_loop(w, n, shard, queue, metrics))
-                    .expect("spawn shard worker thread");
-                Worker { jobs, handle }
-            })
-            .collect();
+            }
+        }
+    }
+
+    /// Offers one job to shard `w`, spinning on a full queue (with the
+    /// stall watchdog active) and detecting a dead worker.
+    fn offer_job(&self, w: usize, mut job: Job) -> Offer {
+        let slot = &self.slots[w];
+        let Some(jobs) = &slot.jobs else {
+            return Offer::Failed(ShardError::Panicked("worker unavailable".into()));
+        };
+        let mut last_beat = slot.heartbeat.load(Ordering::Relaxed);
+        let mut progress_at = Instant::now();
+        loop {
+            match jobs.try_send(job) {
+                Ok(()) => return Offer::Accepted,
+                Err(TrySendError::Disconnected(_)) => {
+                    return Offer::Failed(self.reap_exit(w));
+                }
+                Err(TrySendError::Full(back)) => {
+                    job = back;
+                    if let Some(limit) = self.policy.shard_timeout {
+                        let beat = slot.heartbeat.load(Ordering::Relaxed);
+                        if beat != last_beat {
+                            last_beat = beat;
+                            progress_at = Instant::now();
+                        } else if progress_at.elapsed() >= limit {
+                            return Offer::Failed(ShardError::Stalled {
+                                waited: progress_at.elapsed(),
+                            });
+                        }
+                    }
+                    std::thread::sleep(Duration::from_micros(200));
+                }
+            }
+        }
+    }
+
+    /// Fetches the exit message of a worker whose queue disconnected.
+    fn reap_exit(&self, w: usize) -> ShardError {
+        // The worker drops its queue receiver (disconnecting us) during
+        // unwind, then sends its exit message; give it a moment.
+        match self.slots[w].done.recv_timeout(Duration::from_secs(5)) {
+            Ok(WorkerExit::Panicked(msg)) => ShardError::Panicked(msg),
+            Ok(WorkerExit::Finished { .. }) => {
+                ShardError::Panicked("worker exited before its queue closed".into())
+            }
+            Err(_) => ShardError::Panicked("worker terminated without reporting".into()),
+        }
+    }
+
+    /// Records a failure for shard `w` and either respawns a fresh
+    /// incarnation (the caller replays the log into it) or abandons the
+    /// shard once the restart budget is spent.
+    fn recover(&mut self, w: usize, error: &ShardError) {
+        self.supervision[w].last_error = Some(error.to_string());
+        if self.supervision[w].restarts >= self.policy.max_restarts {
+            self.supervision[w].gave_up = true;
+            // Abandon: dropping the sender lets a live-but-stalled
+            // incarnation drain and exit on its own; its report is
+            // discarded.
+            self.slots[w].jobs = None;
+            return;
+        }
+        self.supervision[w].restarts += 1;
+        if let Some(metrics) = &self.metrics {
+            metrics.record_shard_restart();
+        }
+        std::thread::sleep(self.policy.backoff(self.supervision[w].restarts));
+        self.slots[w] = self.spawned_slot(w);
+    }
+
+    /// Delivers log batches to shard `w` until its incarnation has seen
+    /// the first `target` batches (restarting and replaying as needed).
+    fn deliver_up_to(&mut self, w: usize, target: usize) {
+        while !self.supervision[w].gave_up && self.slots[w].sent < target {
+            let idx = self.slots[w].sent;
+            match self.offer_job(w, Job::Batch(Arc::clone(&self.batch_log[idx]))) {
+                Offer::Accepted => self.slots[w].sent = idx + 1,
+                Offer::Failed(error) => self.recover(w, &error),
+            }
+        }
+    }
+
+    /// Waits for shard `w`'s incarnation to exit after its queue was
+    /// closed, watching for stalls.
+    #[allow(clippy::type_complexity)]
+    fn await_exit(
+        &self,
+        w: usize,
+    ) -> Result<
+        (
+            Box<AnalysisReport>,
+            Option<(MetricsSnapshot, BTreeMap<String, u64>)>,
+        ),
+        ShardError,
+    > {
+        let slot = &self.slots[w];
+        let mut last_beat = slot.heartbeat.load(Ordering::Relaxed);
+        let mut progress_at = Instant::now();
+        loop {
+            match slot.done.recv_timeout(Duration::from_millis(20)) {
+                Ok(WorkerExit::Finished { report, counters }) => return Ok((report, counters)),
+                Ok(WorkerExit::Panicked(msg)) => return Err(ShardError::Panicked(msg)),
+                Err(RecvTimeoutError::Disconnected) => {
+                    return Err(ShardError::Panicked(
+                        "worker terminated without reporting".into(),
+                    ))
+                }
+                Err(RecvTimeoutError::Timeout) => {
+                    if let Some(limit) = self.policy.shard_timeout {
+                        let beat = slot.heartbeat.load(Ordering::Relaxed);
+                        if beat != last_beat {
+                            last_beat = beat;
+                            progress_at = Instant::now();
+                        } else if progress_at.elapsed() >= limit {
+                            return Err(ShardError::Stalled {
+                                waited: progress_at.elapsed(),
+                            });
+                        }
+                    }
+                }
+            }
+        }
     }
 
     /// Hands one batch to every worker. Blocks only when a worker's
     /// queue is [`PIPELINE_DEPTH`] batches behind — the backpressure
-    /// that bounds memory to `depth × batch` per shard.
+    /// that bounds memory to `depth × batch` per shard (plus the
+    /// `Arc`-shared replay log).
     fn dispatch(&mut self, batch: Arc<Vec<TraceEvent>>) {
-        if self.workers.is_empty() {
-            self.spawn_workers();
+        if self.slots.is_empty() {
+            self.slots = (0..self.nworkers).map(|w| self.spawned_slot(w)).collect();
         }
-        for worker in &self.workers {
-            worker
-                .jobs
-                .send(Job::Batch(Arc::clone(&batch)))
-                .expect("shard worker alive");
+        self.batch_log.push(batch);
+        let target = self.batch_log.len();
+        for w in 0..self.nworkers {
+            self.deliver_up_to(w, target);
         }
     }
 
@@ -368,46 +938,147 @@ impl ParallelStreamingAnalyzer {
         self.push_batch(events.iter().cloned());
     }
 
-    /// Drains the pool: flushes the coalescing buffer, closes every job
-    /// queue, joins the shard threads, and merges their reports in shard
-    /// order.
+    /// Drains the pool and returns the merged report. Equivalent to
+    /// [`finish_with_failures`](Self::finish_with_failures) with the
+    /// manifest discarded (it is still recorded in the attached metrics,
+    /// if any). A degraded run returns the partial report — never
+    /// panics.
     #[must_use]
-    pub fn finish(mut self) -> AnalysisReport {
+    pub fn finish(self) -> AnalysisReport {
+        self.finish_with_failures().0
+    }
+
+    /// Drains the pool: flushes the coalescing buffer, closes every job
+    /// queue, collects the shard reports, and merges them in shard
+    /// order — supervising throughout. A shard that panics or stalls at
+    /// any point (including during the final drain) is restarted with
+    /// backoff and replayed from the batch log; a shard that exhausts
+    /// its restart budget is reported in the returned manifest (also
+    /// recorded in the attached metrics) and omitted from the merged
+    /// report.
+    #[must_use]
+    pub fn finish_with_failures(mut self) -> (AnalysisReport, Vec<ShardFailureRecord>) {
         self.flush_pending();
-        let workers = std::mem::take(&mut self.workers);
-        // Drop every sender before joining: a worker only returns once
-        // its queue closes.
-        let (senders, handles): (Vec<_>, Vec<_>) =
-            workers.into_iter().map(|w| (w.jobs, w.handle)).unzip();
-        drop(senders);
         let mut merged = AnalysisReport::default();
-        for handle in handles {
-            merged.merge(&handle.join().expect("shard worker panicked"));
+        if !self.slots.is_empty() {
+            let target = self.batch_log.len();
+            for w in 0..self.nworkers {
+                loop {
+                    self.deliver_up_to(w, target);
+                    if self.supervision[w].gave_up {
+                        break;
+                    }
+                    // Close this incarnation's queue so it can finish.
+                    self.slots[w].jobs = None;
+                    match self.await_exit(w) {
+                        Ok((report, counters)) => {
+                            merged.merge(&report);
+                            if let (Some(shared), Some((snapshot, timings))) =
+                                (&self.metrics, counters)
+                            {
+                                shared.absorb(&snapshot);
+                                shared.absorb_stage_timings(&timings);
+                            }
+                            break;
+                        }
+                        Err(error) => self.recover(w, &error),
+                    }
+                }
+            }
         }
-        merged
+        let failures = self.manifest();
+        if let Some(metrics) = &self.metrics {
+            for failure in &failures {
+                metrics.record_shard_failure(failure.clone());
+            }
+        }
+        (merged, failures)
     }
 
     /// A merged snapshot of the report so far (the stream may
     /// continue). Flushes the coalescing buffer and waits for every
     /// worker to answer a snapshot request, so the result reflects all
-    /// events pushed before the call.
+    /// events pushed before the call — restarting and replaying shards
+    /// that fail along the way.
     #[must_use]
     pub fn report(&mut self) -> AnalysisReport {
         self.flush_pending();
-        let mut replies = Vec::with_capacity(self.workers.len());
-        for worker in &self.workers {
-            let (reply, receipt) = sync_channel(1);
-            worker
-                .jobs
-                .send(Job::Snapshot(reply))
-                .expect("shard worker alive");
-            replies.push(receipt);
-        }
         let mut merged = AnalysisReport::default();
-        for receipt in replies {
-            merged.merge(&receipt.recv().expect("shard worker answers snapshot"));
+        if self.slots.is_empty() {
+            return merged;
+        }
+        let target = self.batch_log.len();
+        for w in 0..self.nworkers {
+            loop {
+                self.deliver_up_to(w, target);
+                if self.supervision[w].gave_up {
+                    break;
+                }
+                let (reply_tx, reply_rx) = sync_channel(1);
+                match self.offer_job(w, Job::Snapshot(reply_tx)) {
+                    Offer::Failed(error) => {
+                        self.recover(w, &error);
+                        continue;
+                    }
+                    Offer::Accepted => {}
+                }
+                match self.await_snapshot(w, &reply_rx) {
+                    Ok(report) => {
+                        merged.merge(&report);
+                        break;
+                    }
+                    Err(error) => self.recover(w, &error),
+                }
+            }
         }
         merged
+    }
+
+    /// Waits for a snapshot reply from shard `w`, watching for stalls
+    /// and for the worker dying mid-snapshot.
+    fn await_snapshot(
+        &self,
+        w: usize,
+        reply: &Receiver<AnalysisReport>,
+    ) -> Result<AnalysisReport, ShardError> {
+        let slot = &self.slots[w];
+        let mut last_beat = slot.heartbeat.load(Ordering::Relaxed);
+        let mut progress_at = Instant::now();
+        loop {
+            match reply.recv_timeout(Duration::from_millis(20)) {
+                Ok(report) => return Ok(report),
+                Err(RecvTimeoutError::Disconnected) => return Err(self.reap_exit(w)),
+                Err(RecvTimeoutError::Timeout) => {
+                    if let Some(limit) = self.policy.shard_timeout {
+                        let beat = slot.heartbeat.load(Ordering::Relaxed);
+                        if beat != last_beat {
+                            last_beat = beat;
+                            progress_at = Instant::now();
+                        } else if progress_at.elapsed() >= limit {
+                            return Err(ShardError::Stalled {
+                                waited: progress_at.elapsed(),
+                            });
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// The shard-failure manifest: one record per shard that needed
+    /// restarting, in shard order.
+    fn manifest(&self) -> Vec<ShardFailureRecord> {
+        self.supervision
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.restarts > 0 || s.gave_up)
+            .map(|(w, s)| ShardFailureRecord {
+                shard: w,
+                restarts: s.restarts,
+                gave_up: s.gave_up,
+                last_error: s.last_error.clone().unwrap_or_default(),
+            })
+            .collect()
     }
 }
 
@@ -492,6 +1163,28 @@ mod tests {
             }
         }
         events
+    }
+
+    /// A hook that panics the first `times` times shard `shard` reaches
+    /// tick `tick`, then disarms (mirrors `iocov_faults::PanicSchedule`,
+    /// which this crate cannot depend on).
+    fn panic_hook(shard: usize, tick: u64, times: u64) -> ShardHook {
+        let fired = Arc::new(AtomicU64::new(0));
+        Arc::new(move |w, t| {
+            if w == shard && t == tick && fired.fetch_add(1, Ordering::SeqCst) < times {
+                panic!("injected test panic (shard {w}, tick {t})");
+            }
+        })
+    }
+
+    /// A fast-retry policy so tests don't sleep through real backoff.
+    fn fast_policy() -> SupervisorPolicy {
+        SupervisorPolicy {
+            max_restarts: 3,
+            base_backoff: Duration::from_micros(100),
+            max_backoff: Duration::from_millis(2),
+            shard_timeout: None,
+        }
     }
 
     #[test]
@@ -705,5 +1398,195 @@ mod tests {
         let serial = Analyzer::new(filter.clone()).analyze(&trace);
         let parallel = ParallelAnalyzer::new(filter, 4).analyze(&trace);
         assert_eq!(serial, parallel);
+    }
+
+    // ------------------------------------------------------------------
+    // Supervision
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn one_shot_injected_panic_recovers_byte_identical_serial_branch() {
+        // Small trace → the supervised serial branch runs on the calling
+        // thread; the panic must be caught there too.
+        let events = multi_pid_trace(5, 4);
+        assert!(events.len() < PARALLEL_THRESHOLD);
+        let trace = Trace::from_events(events);
+        let filter = TraceFilter::mount_point("/mnt/test").unwrap();
+        let serial = serde_json::to_string(&Analyzer::new(filter.clone()).analyze(&trace)).unwrap();
+        let analyzer = ParallelAnalyzer::new(filter, 3)
+            .with_policy(fast_policy())
+            .with_hook(panic_hook(1, 0, 1));
+        let (report, failures) = analyzer.analyze_with_failures(&trace);
+        assert_eq!(serial, serde_json::to_string(&report).unwrap());
+        assert_eq!(failures.len(), 1);
+        assert_eq!(failures[0].shard, 1);
+        assert_eq!(failures[0].restarts, 1);
+        assert!(!failures[0].gave_up);
+        assert!(failures[0].last_error.contains("injected test panic"));
+    }
+
+    #[test]
+    fn one_shot_injected_panic_recovers_byte_identical_threaded_branch() {
+        let events = multi_pid_trace(7, 40);
+        assert!(events.len() >= PARALLEL_THRESHOLD);
+        let trace = Trace::from_events(events);
+        let filter = TraceFilter::mount_point("/mnt/test").unwrap();
+        let serial = serde_json::to_string(&Analyzer::new(filter.clone()).analyze(&trace)).unwrap();
+        let analyzer = ParallelAnalyzer::new(filter, 4)
+            .with_policy(fast_policy())
+            .with_hook(panic_hook(2, 0, 1));
+        let (report, failures) = analyzer.analyze_with_failures(&trace);
+        assert_eq!(serial, serde_json::to_string(&report).unwrap());
+        assert_eq!(failures.len(), 1);
+        assert!(!failures[0].gave_up);
+    }
+
+    #[test]
+    fn one_shot_exhausted_restarts_degrade_to_partial_report() {
+        let events = multi_pid_trace(4, 2);
+        let trace = Trace::from_events(events);
+        let filter = TraceFilter::mount_point("/mnt/test").unwrap();
+        // Shard 0 panics forever (far more charges than the budget).
+        let analyzer = ParallelAnalyzer::new(filter.clone(), 2)
+            .with_policy(fast_policy())
+            .with_hook(panic_hook(0, 0, u64::MAX));
+        let (report, failures) = analyzer.analyze_with_failures(&trace);
+        assert_eq!(failures.len(), 1);
+        assert_eq!(failures[0].shard, 0);
+        assert_eq!(failures[0].restarts, fast_policy().max_restarts);
+        assert!(failures[0].gave_up);
+        // The surviving shard's pids are still fully analyzed.
+        let odd_only: Vec<_> = trace
+            .events()
+            .iter()
+            .filter(|e| e.pid % 2 == 1)
+            .cloned()
+            .collect();
+        let expected = Analyzer::new(filter).analyze(&Trace::from_events(odd_only));
+        assert_eq!(report, expected);
+    }
+
+    #[test]
+    fn pool_injected_panic_recovers_byte_identical() {
+        let events = multi_pid_trace(7, 40);
+        let trace = Trace::from_events(events.clone());
+        let filter = TraceFilter::mount_point("/mnt/test").unwrap();
+        let serial = serde_json::to_string(&Analyzer::new(filter.clone()).analyze(&trace)).unwrap();
+        // Panic on the second batch of shard 1: state replay (not just
+        // the failing batch) must reconstruct batch 1's contribution.
+        let mut pool = ParallelStreamingAnalyzer::new(filter, 3)
+            .with_policy(fast_policy())
+            .with_hook(panic_hook(1, 1, 1));
+        for chunk in events.chunks(PARALLEL_THRESHOLD) {
+            pool.push_owned(chunk.to_vec());
+        }
+        let (report, failures) = pool.finish_with_failures();
+        assert_eq!(serial, serde_json::to_string(&report).unwrap());
+        assert_eq!(failures.len(), 1);
+        assert_eq!(failures[0].shard, 1);
+        assert!(!failures[0].gave_up);
+    }
+
+    #[test]
+    fn pool_metrics_not_double_counted_across_restart() {
+        let events = multi_pid_trace(6, 40);
+        let trace = Trace::from_events(events.clone());
+        let filter = TraceFilter::mount_point("/mnt/test").unwrap();
+
+        let clean_metrics = Arc::new(PipelineMetrics::default());
+        let clean = Analyzer::new(filter.clone())
+            .with_metrics(Arc::clone(&clean_metrics))
+            .analyze(&trace);
+
+        let metrics = Arc::new(PipelineMetrics::default());
+        let mut pool = ParallelStreamingAnalyzer::new(filter, 2)
+            .with_metrics(Arc::clone(&metrics))
+            .with_policy(fast_policy())
+            .with_hook(panic_hook(0, 1, 1));
+        for chunk in events.chunks(PARALLEL_THRESHOLD) {
+            pool.push_owned(chunk.to_vec());
+        }
+        let report = pool.finish();
+        assert_eq!(clean, report);
+        let snap = metrics.snapshot();
+        let clean_snap = clean_metrics.snapshot();
+        // Restarted shard replays its events, but only the successful
+        // incarnation's counters are absorbed: totals match a clean run.
+        assert_eq!(snap.events_read, clean_snap.events_read);
+        assert_eq!(snap.filter_dropped, clean_snap.filter_dropped);
+        assert_eq!(snap.partition_records, clean_snap.partition_records);
+        // And the recovery itself is accounted.
+        assert_eq!(snap.shard_restarts, 1);
+        assert_eq!(snap.shard_failures.len(), 1);
+        assert!(!snap.shard_failures[0].gave_up);
+    }
+
+    #[test]
+    fn pool_exhausted_restarts_degrade_to_partial_report() {
+        let events = multi_pid_trace(4, 8);
+        let filter = TraceFilter::mount_point("/mnt/test").unwrap();
+        let mut pool = ParallelStreamingAnalyzer::new(filter.clone(), 2)
+            .with_policy(fast_policy())
+            .with_hook(panic_hook(1, 0, u64::MAX));
+        pool.push_owned(events.clone());
+        let (report, failures) = pool.finish_with_failures();
+        assert_eq!(failures.len(), 1);
+        assert!(failures[0].gave_up);
+        assert_eq!(failures[0].restarts, fast_policy().max_restarts);
+        let even_only: Vec<_> = events.iter().filter(|e| e.pid % 2 == 0).cloned().collect();
+        let expected = Analyzer::new(filter).analyze(&Trace::from_events(even_only));
+        assert_eq!(report, expected);
+    }
+
+    #[test]
+    fn pool_stall_watchdog_replays_stalled_shard() {
+        let events = multi_pid_trace(6, 20);
+        let trace = Trace::from_events(events.clone());
+        let filter = TraceFilter::mount_point("/mnt/test").unwrap();
+        let serial = serde_json::to_string(&Analyzer::new(filter.clone()).analyze(&trace)).unwrap();
+        // Shard 0 freezes for 5s on its first batch; the 50ms watchdog
+        // must abandon and replay it rather than wait.
+        let stalled = Arc::new(AtomicU64::new(0));
+        let flag = Arc::clone(&stalled);
+        let hook: ShardHook = Arc::new(move |w, t| {
+            if w == 0 && t == 0 && flag.fetch_add(1, Ordering::SeqCst) == 0 {
+                std::thread::sleep(Duration::from_secs(5));
+            }
+        });
+        let policy = fast_policy().with_shard_timeout(Duration::from_millis(50));
+        let started = Instant::now();
+        let mut pool = ParallelStreamingAnalyzer::new(filter, 2)
+            .with_policy(policy)
+            .with_hook(hook);
+        pool.push_owned(events);
+        let (report, failures) = pool.finish_with_failures();
+        assert!(
+            started.elapsed() < Duration::from_secs(4),
+            "watchdog must not wait out the stall"
+        );
+        assert_eq!(serial, serde_json::to_string(&report).unwrap());
+        assert_eq!(failures.len(), 1);
+        assert_eq!(failures[0].shard, 0);
+        assert!(!failures[0].gave_up);
+        assert!(
+            failures[0].last_error.contains("stalled"),
+            "{}",
+            failures[0].last_error
+        );
+    }
+
+    #[test]
+    fn interim_report_after_injected_panic_recovers() {
+        let events = multi_pid_trace(5, 30);
+        let trace = Trace::from_events(events.clone());
+        let filter = TraceFilter::mount_point("/mnt/test").unwrap();
+        let serial = Analyzer::new(filter.clone()).analyze(&trace);
+        let mut pool = ParallelStreamingAnalyzer::new(filter, 2)
+            .with_policy(fast_policy())
+            .with_hook(panic_hook(0, 0, 1));
+        pool.push_owned(events);
+        let interim = pool.report();
+        assert_eq!(interim.filter_stats.total, serial.filter_stats.total);
+        assert_eq!(serial, pool.finish());
     }
 }

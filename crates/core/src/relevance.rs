@@ -61,6 +61,23 @@ impl PidState {
             self.fds.get(&fd).copied().unwrap_or(false)
         }
     }
+
+    /// A deterministic, serializable copy of this state (for
+    /// checkpointing).
+    pub(crate) fn snapshot(&self) -> crate::checkpoint::PidStateSnapshot {
+        crate::checkpoint::PidStateSnapshot {
+            fds: self.fds.iter().map(|(&fd, &rel)| (fd, rel)).collect(),
+            cwd_relevant: self.cwd_relevant,
+        }
+    }
+
+    /// Reconstructs the state a snapshot was taken from.
+    pub(crate) fn restore(snapshot: &crate::checkpoint::PidStateSnapshot) -> PidState {
+        PidState {
+            fds: snapshot.fds.iter().map(|(&fd, &rel)| (fd, rel)).collect(),
+            cwd_relevant: snapshot.cwd_relevant,
+        }
+    }
 }
 
 /// Classifies one event: `None` when it is relevant to the mount point,

@@ -121,6 +121,30 @@ impl StreamingAnalyzer {
         self.builder.into_report()
     }
 
+    /// Serializable snapshots of every per-pid relevance state, for
+    /// checkpointing. Paired with the materialized [`report`](Self::report)
+    /// and the input cursor, this is everything a resumed analysis needs.
+    #[must_use]
+    pub fn pid_states(&self) -> std::collections::BTreeMap<u32, crate::PidStateSnapshot> {
+        self.states
+            .iter()
+            .map(|(&pid, state)| (pid, state.snapshot()))
+            .collect()
+    }
+
+    /// Restores per-pid relevance states from a checkpoint, replacing
+    /// any current states. Call on a fresh analyzer before pushing the
+    /// events after the checkpoint's cursor.
+    pub fn restore_pid_states(
+        &mut self,
+        states: &std::collections::BTreeMap<u32, crate::PidStateSnapshot>,
+    ) {
+        self.states = states
+            .iter()
+            .map(|(&pid, snapshot)| (pid, PidState::restore(snapshot)))
+            .collect();
+    }
+
     /// A snapshot of the report so far (the stream may continue).
     ///
     /// Accumulation is symbol-keyed internally, so this materializes the

@@ -24,8 +24,10 @@
 
 mod dataset;
 mod inject;
+pub mod io;
 mod study;
 
 pub use dataset::{dataset, BugKind, BugRecord, Filesystem};
 pub use inject::{demo_bugs, BugSet, BugTrigger, InjectedBug};
+pub use io::{FaultPlan, FaultyRead, FaultyWrite, PanicSchedule, StallSchedule, WorkerHook};
 pub use study::StudyStats;

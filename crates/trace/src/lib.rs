@@ -38,17 +38,21 @@
 //! ```
 
 pub mod binary;
+pub mod cursor;
 mod event;
 pub mod intern;
 pub mod lossy;
 mod recorder;
+pub mod retry;
 mod serial;
 
 pub use binary::{is_iotb, read_iotb, read_iotb_lossy, write_iotb, IOTB_MAGIC, IOTB_VERSION};
+pub use cursor::{CursorState, JsonlCursor};
 pub use event::{ArgValue, TraceEvent};
 pub use intern::{StrInterner, Sym};
 pub use lossy::{read_jsonl_lossy, ErrorClass, ErrorPolicy, LossyRead, ReadOptions, SkippedLine};
 pub use recorder::{Recorder, RecorderStats};
+pub use retry::{is_transient, RetryPolicy, RetryRead};
 pub use serial::{read_jsonl, write_jsonl, TraceIoError};
 
 use serde::{Deserialize, Serialize};

@@ -1,0 +1,209 @@
+//! Bounded retry-with-backoff for transient I/O errors.
+//!
+//! A multi-hour trace read over NFS or a flaky disk sees
+//! `ErrorKind::Interrupted` (signal delivery) and `ErrorKind::WouldBlock`
+//! (scheduler hiccups on nonblocking descriptors) as a matter of course.
+//! `BufRead::read_until` already retries `Interrupted` internally, but
+//! `WouldBlock` aborts the whole ingest. [`RetryRead`] absorbs both:
+//! transient errors are retried with exponential backoff up to a bounded
+//! budget, then surfaced as a hard `ErrorKind::TimedOut` error so a
+//! genuinely dead input cannot spin forever. Hard errors (anything else)
+//! pass through untouched — retry must never mask a real failure.
+
+use std::io::{self, Read};
+use std::time::Duration;
+
+/// Whether an I/O error is transient (retryable) rather than hard.
+#[must_use]
+pub fn is_transient(kind: io::ErrorKind) -> bool {
+    matches!(kind, io::ErrorKind::Interrupted | io::ErrorKind::WouldBlock)
+}
+
+/// Retry budget and backoff curve for transient I/O errors.
+///
+/// The backoff for the *n*-th consecutive transient error is
+/// `base_backoff * 2^(n-1)`, capped at `max_backoff`; `Interrupted`
+/// retries immediately (backoff only applies to `WouldBlock`). The
+/// consecutive-error counter resets on any successful call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Consecutive transient errors tolerated before giving up.
+    pub max_retries: u32,
+    /// First `WouldBlock` backoff.
+    pub base_backoff: Duration,
+    /// Backoff ceiling.
+    pub max_backoff: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_retries: 8,
+            base_backoff: Duration::from_millis(1),
+            max_backoff: Duration::from_millis(100),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The backoff before the `attempt`-th consecutive retry (1-based).
+    #[must_use]
+    pub fn backoff(&self, attempt: u32) -> Duration {
+        let factor = 1u32 << attempt.saturating_sub(1).min(16);
+        self.base_backoff
+            .saturating_mul(factor)
+            .min(self.max_backoff)
+    }
+}
+
+/// A `Read` adapter that retries transient errors per a [`RetryPolicy`].
+#[derive(Debug)]
+pub struct RetryRead<R> {
+    inner: R,
+    policy: RetryPolicy,
+    /// Total transient errors absorbed over the adapter's lifetime.
+    retries: u64,
+}
+
+impl<R: Read> RetryRead<R> {
+    /// Wraps `inner` with the default policy.
+    pub fn new(inner: R) -> Self {
+        Self::with_policy(inner, RetryPolicy::default())
+    }
+
+    /// Wraps `inner` with an explicit policy.
+    pub fn with_policy(inner: R, policy: RetryPolicy) -> Self {
+        RetryRead {
+            inner,
+            policy,
+            retries: 0,
+        }
+    }
+
+    /// Total transient errors absorbed so far.
+    #[must_use]
+    pub fn retries(&self) -> u64 {
+        self.retries
+    }
+
+    /// Consumes the adapter, returning the wrapped reader.
+    pub fn into_inner(self) -> R {
+        self.inner
+    }
+}
+
+impl<R: Read> Read for RetryRead<R> {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        let mut consecutive = 0u32;
+        loop {
+            match self.inner.read(buf) {
+                Ok(n) => return Ok(n),
+                Err(e) if is_transient(e.kind()) => {
+                    consecutive += 1;
+                    self.retries += 1;
+                    if consecutive > self.policy.max_retries {
+                        return Err(io::Error::new(
+                            io::ErrorKind::TimedOut,
+                            format!(
+                                "transient I/O error persisted after {consecutive} retries: {e}"
+                            ),
+                        ));
+                    }
+                    if e.kind() == io::ErrorKind::WouldBlock {
+                        std::thread::sleep(self.policy.backoff(consecutive));
+                    }
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A reader that errors `plan[i]` times before each successful read.
+    struct Flaky {
+        data: Vec<u8>,
+        pos: usize,
+        pending_errors: u32,
+        kind: io::ErrorKind,
+    }
+
+    impl Read for Flaky {
+        fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+            if self.pending_errors > 0 {
+                self.pending_errors -= 1;
+                return Err(self.kind.into());
+            }
+            let n = buf.len().min(self.data.len() - self.pos);
+            buf[..n].copy_from_slice(&self.data[self.pos..self.pos + n]);
+            self.pos += n;
+            Ok(n)
+        }
+    }
+
+    #[test]
+    fn transient_errors_are_absorbed() {
+        let mut r = RetryRead::new(Flaky {
+            data: b"hello".to_vec(),
+            pos: 0,
+            pending_errors: 3,
+            kind: io::ErrorKind::WouldBlock,
+        });
+        let mut out = Vec::new();
+        r.read_to_end(&mut out).unwrap();
+        assert_eq!(out, b"hello");
+        assert_eq!(r.retries(), 3);
+    }
+
+    #[test]
+    fn budget_exhaustion_is_a_hard_timed_out_error() {
+        let policy = RetryPolicy {
+            max_retries: 2,
+            base_backoff: Duration::ZERO,
+            max_backoff: Duration::ZERO,
+        };
+        let mut r = RetryRead::with_policy(
+            Flaky {
+                data: b"x".to_vec(),
+                pos: 0,
+                pending_errors: 10,
+                kind: io::ErrorKind::Interrupted,
+            },
+            policy,
+        );
+        let err = r.read(&mut [0u8; 4]).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::TimedOut);
+        assert!(err.to_string().contains("after 3 retries"));
+    }
+
+    #[test]
+    fn hard_errors_pass_through_unretried() {
+        struct Dead;
+        impl Read for Dead {
+            fn read(&mut self, _: &mut [u8]) -> io::Result<usize> {
+                Err(io::Error::other("disk died"))
+            }
+        }
+        let mut r = RetryRead::new(Dead);
+        let err = r.read(&mut [0u8; 4]).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::Other);
+        assert_eq!(r.retries(), 0);
+    }
+
+    #[test]
+    fn backoff_curve_is_exponential_and_capped() {
+        let p = RetryPolicy {
+            max_retries: 8,
+            base_backoff: Duration::from_millis(10),
+            max_backoff: Duration::from_millis(45),
+        };
+        assert_eq!(p.backoff(1), Duration::from_millis(10));
+        assert_eq!(p.backoff(2), Duration::from_millis(20));
+        assert_eq!(p.backoff(3), Duration::from_millis(40));
+        assert_eq!(p.backoff(4), Duration::from_millis(45));
+        assert_eq!(p.backoff(60), Duration::from_millis(45));
+    }
+}

@@ -116,6 +116,19 @@ pub(crate) struct RawLine {
     pub bom: bool,
 }
 
+impl RawLine {
+    /// The line's original on-disk length in bytes, counting everything
+    /// normalization removed (BOM, `\r`, `\n`). Summing `raw_len` over
+    /// consumed lines yields the exact stream byte offset — the anchor a
+    /// checkpoint needs to resume a read mid-file.
+    pub(crate) fn raw_len(&self) -> u64 {
+        (self.bytes.len()
+            + usize::from(self.terminated)
+            + usize::from(self.crlf)
+            + if self.bom { 3 } else { 0 }) as u64
+    }
+}
+
 /// A physical-line scanner over raw bytes.
 ///
 /// `BufRead::lines` would abort on invalid UTF-8 with an opaque
@@ -130,6 +143,17 @@ pub(crate) struct LineReader<R> {
 impl<R: BufRead> LineReader<R> {
     pub(crate) fn new(inner: R) -> Self {
         LineReader { inner, number: 0 }
+    }
+
+    /// A scanner resuming mid-stream: `inner` is already positioned at
+    /// the start of line `start_line + 1`, and reported line numbers
+    /// continue from there. BOM stripping stays first-line-only, so a
+    /// resumed scanner never strips one.
+    pub(crate) fn with_start(inner: R, start_line: usize) -> Self {
+        LineReader {
+            inner,
+            number: start_line,
+        }
     }
 
     /// Reads the next physical line, or `None` at end of stream.

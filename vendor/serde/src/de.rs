@@ -130,6 +130,24 @@ pub fn get_field<'de, T: Deserialize<'de>>(
     T::from_value(field_value(value, field, ty)?)
 }
 
+/// Looks up and deserializes field `field` of struct `ty`, falling back
+/// to `Default::default()` when the field is absent — the behavior of
+/// `#[serde(default)]`, used for schema evolution (old serialized data
+/// read by new code).
+pub fn get_field_or_default<'de, T: Deserialize<'de> + Default>(
+    value: &Value,
+    field: &str,
+    ty: &str,
+) -> Result<T, DeError> {
+    let entries = value
+        .as_object()
+        .ok_or_else(|| DeError::invalid_value(value, &format!("object for {ty}")))?;
+    match entries.iter().find(|(k, _)| k == field) {
+        Some((_, v)) => T::from_value(v),
+        None => Ok(T::default()),
+    }
+}
+
 /// Checks that `value` is an array of exactly `expected` items.
 pub fn tuple_items<'a>(
     value: &'a Value,

@@ -7,7 +7,8 @@
 //!
 //! * named-field structs;
 //! * enums with unit / newtype / tuple / named-field variants;
-//! * the field attribute `#[serde(with = "module")]`;
+//! * the field attributes `#[serde(with = "module")]` and
+//!   `#[serde(default)]`;
 //! * the container attributes `#[serde(from = "T", into = "T")]`.
 //!
 //! Generated code targets the vendored `serde` crate's `Value`-based data
@@ -38,6 +39,9 @@ struct Field {
     name: String,
     /// `#[serde(with = "module")]` on the field.
     with: Option<String>,
+    /// `#[serde(default)]` on the field: a missing key deserializes to
+    /// `Default::default()` instead of erroring.
+    default: bool,
 }
 
 struct Variant {
@@ -132,10 +136,17 @@ impl Cursor {
         let mut c = Cursor::new(args.stream());
         while !c.at_end() {
             let key = c.expect_ident("serde attribute key");
-            c.expect_punct('=');
-            let value = match c.next() {
-                Some(TokenTree::Literal(l)) => unquote(&l.to_string()),
-                other => panic!("serde_derive: expected string value for `{key}`, found {other:?}"),
+            // Bare keys (`#[serde(default)]`) carry an empty value.
+            let value = if c.is_punct('=') {
+                c.pos += 1;
+                match c.next() {
+                    Some(TokenTree::Literal(l)) => unquote(&l.to_string()),
+                    other => {
+                        panic!("serde_derive: expected string value for `{key}`, found {other:?}")
+                    }
+                }
+            } else {
+                String::new()
             };
             kv.push((key, value));
             if c.is_punct(',') {
@@ -236,9 +247,11 @@ fn parse_fields(stream: TokenStream) -> Vec<Field> {
     while !c.at_end() {
         let attrs = c.take_attrs();
         let mut with = None;
+        let mut default = false;
         for (key, value) in attrs {
             match key.as_str() {
                 "with" => with = Some(value),
+                "default" if value.is_empty() => default = true,
                 other => panic!("serde_derive: unsupported field attribute `{other}`"),
             }
         }
@@ -246,7 +259,11 @@ fn parse_fields(stream: TokenStream) -> Vec<Field> {
         let name = c.expect_ident("field name");
         c.expect_punct(':');
         c.skip_past_toplevel_comma();
-        fields.push(Field { name, with });
+        fields.push(Field {
+            name,
+            with,
+            default,
+        });
     }
     fields
 }
@@ -451,6 +468,9 @@ fn de_struct_expr(path: &str, ctx: &str, fields: &[Field], source: &str) -> Stri
             Some(with) => format!(
                 "{with}::deserialize(::serde::de::ValueDeserializer::for_field({source}, \"{fname}\", \"{ctx}\")?)?"
             ),
+            None if f.default => {
+                format!("::serde::de::get_field_or_default({source}, \"{fname}\", \"{ctx}\")?")
+            }
             None => format!("::serde::de::get_field({source}, \"{fname}\", \"{ctx}\")?"),
         };
         s.push_str(&format!("    {fname}: {expr},\n"));
