@@ -52,6 +52,7 @@ fn checkpoint_doc(analyzer: &StreamingAnalyzer, events: u64) -> CheckpointDoc {
         pid_states: analyzer.pid_states(),
         report: analyzer.report(),
         metrics: MetricsSnapshot::default(),
+        format: iocov_trace::SourceFormat::Jsonl,
     }
 }
 

@@ -10,8 +10,7 @@
 use std::sync::Arc;
 
 use iocov::{
-    AnalysisReport, ArgName, InputPartition, ParallelAnalyzer, ParallelStreamingAnalyzer,
-    PipelineMetrics, TraceFilter,
+    AnalysisReport, ArgName, InputPartition, PipelineBuilder, PipelineMetrics, TraceFilter,
 };
 use iocov_workloads::{CrashMonkeySim, SuiteResult, TestEnv, XfstestsSim, MOUNT};
 
@@ -58,6 +57,13 @@ pub fn run_suites_parallel_with_metrics(
     metrics: Option<Arc<PipelineMetrics>>,
 ) -> SuiteReports {
     let filter = TraceFilter::mount_point(MOUNT).expect("static mount pattern compiles");
+    let pipeline = |filter: TraceFilter| {
+        let mut builder = PipelineBuilder::new(filter).jobs(jobs);
+        if let Some(m) = &metrics {
+            builder = builder.metrics(Arc::clone(m));
+        }
+        builder.build()
+    };
 
     // CrashMonkey: small; single pass.
     let cm_env = TestEnv::new();
@@ -66,21 +72,16 @@ pub fn run_suites_parallel_with_metrics(
         let _timer = metrics.as_deref().map(|m| m.time_stage("simulate"));
         cm_sim.run(&cm_env)
     };
-    let mut cm_analyzer = ParallelAnalyzer::new(filter.clone(), jobs);
-    if let Some(m) = &metrics {
-        cm_analyzer = cm_analyzer.with_metrics(Arc::clone(m));
-    }
-    let crashmonkey = cm_analyzer.analyze(&cm_env.take_trace());
+    let mut cm_pipeline = pipeline(filter.clone());
+    cm_pipeline.push_owned(cm_env.take_trace().into_events());
+    let (crashmonkey, _) = cm_pipeline.finish();
 
     // xfstests: streamed so memory stays bounded at paper scale, with
     // each shard's descriptor-provenance state preserved across chunks.
     let xfs_env = TestEnv::new();
     let xfs_sim = XfstestsSim::new(seed, scale);
     let mut kernel = xfs_env.fresh_kernel();
-    let mut sharded = ParallelStreamingAnalyzer::new(filter, jobs);
-    if let Some(m) = &metrics {
-        sharded = sharded.with_metrics(Arc::clone(m));
-    }
+    let mut xfs_pipeline = pipeline(filter);
     let mut xfstests_result = SuiteResult::new("xfstests");
     let total = xfs_sim.total_tests();
     let mut start = 0;
@@ -91,10 +92,10 @@ pub fn run_suites_parallel_with_metrics(
             xfs_sim.run_range(&mut kernel, start..end)
         };
         xfstests_result.merge(chunk_result);
-        sharded.push_owned(xfs_env.take_trace().into_events());
+        xfs_pipeline.push_owned(xfs_env.take_trace().into_events());
         start = end;
     }
-    let xfstests = sharded.finish();
+    let (xfstests, _) = xfs_pipeline.finish();
 
     SuiteReports {
         crashmonkey,

@@ -31,20 +31,21 @@
 
 use std::fmt;
 use std::fs::File;
-use std::io::{BufReader, Read, Seek, SeekFrom, Write};
-use std::path::Path;
+use std::io::{BufReader, Read, Write};
+use std::path::{Path, PathBuf};
 use std::sync::Arc;
 use std::time::Duration;
 
 use iocov::tcd::{deviation_ranking, tcd_uniform};
 use iocov::{
-    read_checkpoint, write_checkpoint, AnalysisReport, ArgName, BaseSyscall, CheckpointDoc,
-    ComboCoverage, IdentifierCoverage, Iocov, ParallelAnalyzer, ParallelStreamingAnalyzer,
-    PipelineMetrics, ShardFailureRecord, StreamingAnalyzer, SupervisorPolicy,
+    read_checkpoint, AnalysisReport, ArgName, BaseSyscall, CheckpointPolicy, ComboCoverage,
+    IdentifierCoverage, Iocov, PipelineBuilder, PipelineError, PipelineMetrics, ShardFailureRecord,
+    SupervisorPolicy,
 };
 use iocov_faults::{FaultPlan, FaultyRead, PanicSchedule};
 use iocov_trace::{
-    ErrorPolicy, JsonlCursor, LossyRead, ReadOptions, RetryRead, SkippedLine, Trace,
+    open_source, ErrorPolicy, LossyRead, ReadOptions, RetryRead, SkippedLine, SourceError,
+    SourceFormat, SourceOptions, SourcePos, Trace,
 };
 
 /// A CLI-level error with a user-facing message.
@@ -161,7 +162,7 @@ impl IoFaultSpec {
 /// robustness knobs don't churn [`Command::Analyze`].
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct RobustnessOpts {
-    /// Write a checkpoint every N events (JSONL, serial only).
+    /// Write a checkpoint every N events (any format, any job count).
     pub checkpoint_every: Option<u64>,
     /// Checkpoint path (default `<trace>.iockpt`).
     pub checkpoint_file: Option<String>,
@@ -180,11 +181,6 @@ pub struct RobustnessOpts {
 }
 
 impl RobustnessOpts {
-    /// Whether any option selects the checkpointed streaming path.
-    fn checkpointing(&self) -> bool {
-        self.checkpoint_every.is_some() || self.resume.is_some() || self.stop_after.is_some()
-    }
-
     /// The supervision policy implied by the flags.
     fn policy(&self) -> SupervisorPolicy {
         let mut policy = SupervisorPolicy::default();
@@ -448,11 +444,6 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                     "--checkpoint-file requires --checkpoint-every".into(),
                 ));
             }
-            if robust.checkpointing() && jobs != 1 {
-                return Err(CliError(
-                    "checkpointing is serial: drop --jobs or use --jobs 1".into(),
-                ));
-            }
             Ok(Command::Analyze {
                 trace: need_trace(&positional)?,
                 format,
@@ -557,7 +548,8 @@ that exhausts its restart budget (--max-shard-restarts, default 3)
 degrades the run to a partial report plus a per-shard failure manifest
 instead of aborting. --shard-timeout SECS enables the stall watchdog.
 --checkpoint-every N writes resumable state every N events to
---checkpoint-file (default <trace>.iockpt; JSONL traces, serial only);
+--checkpoint-file (default <trace>.iockpt; works with any --format and
+any --jobs count);
 --resume FILE continues a killed run from its last checkpoint,
 producing output byte-identical to an uninterrupted run.
 --stop-after-events K stops the run after K events (simulating a kill)
@@ -780,178 +772,108 @@ fn render_analyze<W: Write>(
     Ok(())
 }
 
-/// The whole-trace analysis path: load, supervised parallel scan,
-/// render. A panicking shard is restarted with backoff; one that
+/// The unified analysis path: open the trace as an [`EventSource`]
+/// (strict or lossy, JSONL or `.iotb`, optional fault injection,
+/// optional resume position), pump it through a
+/// [`PipelineBuilder`]-configured executor — in-thread serial or the
+/// pid-sharded pool — cutting a checkpoint every N events, and render.
+/// Every flag combination takes this one path, and every combination
+/// produces reports byte-identical to a plain serial run over the same
+/// events. A panicking shard is restarted with backoff; one that
 /// exhausts its budget degrades the run to a partial report plus
 /// warnings (text) and a manifest (metrics) — never a process abort.
-fn run_batch_analyze<W: Write>(
-    ctx: &AnalyzeCtx<'_>,
-    jobs: usize,
-    out: &mut W,
-) -> Result<(), CliError> {
+fn run_analyze<W: Write>(ctx: &AnalyzeCtx<'_>, jobs: usize, out: &mut W) -> Result<(), CliError> {
     let robust = ctx.robust;
-    let (trace, skipped) = if ctx.lossy {
-        let read = load_trace_lossy(ctx.trace, ctx.format, ctx.max_errors, robust.inject_io)?;
-        (read.trace, Some(read.skipped))
-    } else {
-        (
-            load_trace_format(ctx.trace, ctx.format, robust.inject_io)?,
-            None,
-        )
-    };
-    let pipeline_metrics = ctx.metrics.then(|| Arc::new(PipelineMetrics::default()));
-    if let (Some(m), Some(skipped)) = (&pipeline_metrics, &skipped) {
-        m.add_parse_skipped(skipped.len() as u64);
-    }
-    let policy = robust.policy();
-    let hook = robust
-        .inject_panic
-        .map(|s| PanicSchedule::times(s.shard, s.tick, s.times).hook());
-    let filter = make_filter(ctx.mount)?;
-    // A 1-worker parallel analyzer IS the serial analyzer (and produces
-    // byte-identical reports), so every job count takes the same code
-    // path and metrics attach uniformly. The stall watchdog lives in
-    // the pooled pipeline, so --shard-timeout routes through it.
-    let (report, failures) = if policy.shard_timeout.is_some() {
-        let mut pool = ParallelStreamingAnalyzer::new(filter, jobs).with_policy(policy);
-        if let Some(hook) = hook {
-            pool = pool.with_hook(hook);
-        }
-        if let Some(m) = &pipeline_metrics {
-            pool = pool.with_metrics(Arc::clone(m));
-        }
-        pool.push_owned(trace.into_events());
-        pool.finish_with_failures()
-    } else {
-        let mut analyzer = ParallelAnalyzer::new(filter, jobs).with_policy(policy);
-        if let Some(hook) = hook {
-            analyzer = analyzer.with_hook(hook);
-        }
-        if let Some(m) = &pipeline_metrics {
-            analyzer = analyzer.with_metrics(Arc::clone(m));
-        }
-        analyzer.analyze_events_with_failures(trace.events())
-    };
-    render_analyze(
-        out,
-        ctx.json,
-        skipped.as_deref(),
-        report,
-        pipeline_metrics.as_deref(),
-        &failures,
-    )
-}
-
-/// The checkpointed streaming path: scan the trace through a resumable
-/// cursor, persisting `(cursor, pid states, report, metrics)` to a
-/// `.iockpt` file every N events. `--resume` seeks to the checkpoint's
-/// byte offset and merges the tail into the checkpointed report — the
-/// final output is byte-identical to an uninterrupted run.
-fn run_checkpointed_analyze<W: Write>(ctx: &AnalyzeCtx<'_>, out: &mut W) -> Result<(), CliError> {
-    let robust = ctx.robust;
-    if resolve_format(ctx.trace, ctx.format)? != TraceFormat::Jsonl {
-        return Err(CliError("checkpointing supports JSONL traces only".into()));
-    }
     let ckpt_path = robust
         .checkpoint_file
         .clone()
         .unwrap_or_else(|| format!("{}.iockpt", ctx.trace));
-    let options = ReadOptions {
-        max_errors: ctx.max_errors,
-        on_error: if ctx.lossy {
-            ErrorPolicy::Skip
-        } else {
-            ErrorPolicy::Abort
-        },
-    };
-    let pipeline_metrics = ctx.metrics.then(|| Arc::new(PipelineMetrics::default()));
-    let mut analyzer = StreamingAnalyzer::new(make_filter(ctx.mount)?);
-    if let Some(m) = &pipeline_metrics {
-        analyzer = analyzer.with_metrics(Arc::clone(m));
-    }
-    let mut file =
-        File::open(ctx.trace).map_err(|e| CliError(format!("cannot open {}: {e}", ctx.trace)))?;
-    let mut base_report = AnalysisReport::default();
-    let mut skips_seen = 0usize;
-    let mut cursor = if let Some(resume_path) = &robust.resume {
-        let doc = read_checkpoint(Path::new(resume_path))
-            .map_err(|e| CliError(format!("cannot resume from {resume_path}: {e}")))?;
-        if doc.mount.as_deref() != ctx.mount {
-            return Err(CliError(format!(
-                "cannot resume: checkpoint mount filter {:?} does not match this run's {:?}",
-                doc.mount,
-                ctx.mount.map(str::to_owned),
-            )));
-        }
-        // The checkpointed snapshot carries the counters for everything
-        // before the cursor; the live metrics continue from there.
-        if let Some(m) = &pipeline_metrics {
-            m.absorb(&doc.metrics);
-        }
-        analyzer.restore_pid_states(&doc.pid_states);
-        base_report = doc.report;
-        skips_seen = doc.cursor.skipped.len();
-        file.seek(SeekFrom::Start(doc.cursor.byte_offset))
-            .map_err(|e| CliError(format!("cannot seek {}: {e}", ctx.trace)))?;
-        JsonlCursor::resume(fault_reader(file, robust.inject_io), options, doc.cursor)
-    } else {
-        JsonlCursor::new(fault_reader(file, robust.inject_io), options)
-    };
-    loop {
-        let event = cursor
-            .next_event()
-            .map_err(|e| CliError(format!("cannot parse {}: {e}", ctx.trace)))?;
-        if let Some(m) = &pipeline_metrics {
-            // Lossy skips surface as cursor-state growth, not events.
-            let now = cursor.state().skipped.len();
-            if now > skips_seen {
-                m.add_parse_skipped((now - skips_seen) as u64);
-                skips_seen = now;
+    let resume_doc = match &robust.resume {
+        Some(resume_path) => {
+            let doc = read_checkpoint(Path::new(resume_path))
+                .map_err(|e| CliError(format!("cannot resume from {resume_path}: {e}")))?;
+            if doc.mount.as_deref() != ctx.mount {
+                return Err(CliError(format!(
+                    "cannot resume: checkpoint mount filter {:?} does not match this run's {:?}",
+                    doc.mount,
+                    ctx.mount.map(str::to_owned),
+                )));
             }
+            Some(doc)
         }
-        let Some(event) = event else { break };
-        analyzer.push(&event);
-        let events = cursor.state().events;
-        if robust
-            .checkpoint_every
-            .is_some_and(|every| events.is_multiple_of(every))
-        {
-            let mut report = base_report.clone();
-            report.merge(&analyzer.report());
-            let doc = CheckpointDoc {
-                mount: ctx.mount.map(str::to_owned),
-                cursor: cursor.state().clone(),
-                pid_states: analyzer.pid_states(),
-                report,
-                metrics: pipeline_metrics
-                    .as_ref()
-                    .map(|m| m.snapshot())
-                    .unwrap_or_default(),
-            };
-            write_checkpoint(Path::new(&ckpt_path), &doc)
-                .map_err(|e| CliError(format!("cannot write checkpoint {ckpt_path}: {e}")))?;
-        }
-        if robust.stop_after.is_some_and(|k| events >= k) {
-            // Simulated kill: no report, no checkpoint beyond the last
-            // periodic one — exactly what a real kill leaves behind.
-            writeln!(
-                out,
-                "stopped after {events} events; resume with --resume {ckpt_path}"
-            )?;
-            return Ok(());
-        }
+        None => None,
+    };
+    let io = robust.inject_io;
+    let options = SourceOptions {
+        read: ReadOptions {
+            max_errors: ctx.max_errors,
+            on_error: if ctx.lossy {
+                ErrorPolicy::Skip
+            } else {
+                ErrorPolicy::Abort
+            },
+        },
+        format: match ctx.format {
+            TraceFormat::Auto => None,
+            TraceFormat::Jsonl => Some(SourceFormat::Jsonl),
+            TraceFormat::Iotb => Some(SourceFormat::Iotb),
+        },
+        resume: resume_doc.as_ref().map(|doc| SourcePos {
+            format: doc.format,
+            state: doc.cursor.clone(),
+        }),
+        wrap: Some(Box::new(move |file| fault_reader(file, io))),
+    };
+    let mut source = open_source(ctx.trace, options).map_err(|e| match e {
+        SourceError::Open(e) => CliError(format!("cannot open {}: {e}", ctx.trace)),
+        SourceError::Sniff(e) => CliError(format!("cannot read {}: {e}", ctx.trace)),
+        SourceError::Seek(e) => CliError(format!("cannot seek {}: {e}", ctx.trace)),
+        e @ SourceError::FormatMismatch { .. } => CliError(format!("cannot resume: {e}")),
+        SourceError::Trace(e) => CliError(format!("cannot parse {}: {e}", ctx.trace)),
+    })?;
+    let pipeline_metrics = ctx.metrics.then(|| Arc::new(PipelineMetrics::default()));
+    let mut builder = PipelineBuilder::new(make_filter(ctx.mount)?)
+        .mount(ctx.mount.map(str::to_owned))
+        .jobs(jobs)
+        .policy(robust.policy());
+    if let Some(spec) = robust.inject_panic {
+        builder = builder.hook(PanicSchedule::times(spec.shard, spec.tick, spec.times).hook());
     }
-    let mut report = base_report;
-    report.merge(&analyzer.finish());
-    let state = cursor.into_state();
-    let skipped = ctx.lossy.then_some(state.skipped);
+    if let Some(m) = &pipeline_metrics {
+        builder = builder.metrics(Arc::clone(m));
+    }
+    if let Some(every) = robust.checkpoint_every {
+        builder = builder.checkpoint(CheckpointPolicy {
+            every,
+            path: PathBuf::from(&ckpt_path),
+        });
+    }
+    if let Some(doc) = resume_doc {
+        builder = builder.resume(doc);
+    }
+    if let Some(stop) = robust.stop_after {
+        builder = builder.stop_after(stop);
+    }
+    let run = builder.build().run(source.as_mut()).map_err(|e| match e {
+        PipelineError::Source(e) => CliError(format!("cannot parse {}: {e}", ctx.trace)),
+        e @ PipelineError::Checkpoint { .. } => CliError(e.to_string()),
+    })?;
+    if run.stopped {
+        writeln!(
+            out,
+            "stopped after {} events; resume with --resume {ckpt_path}",
+            run.events
+        )?;
+        return Ok(());
+    }
+    let skipped = ctx.lossy.then_some(run.skipped);
     render_analyze(
         out,
         ctx.json,
         skipped.as_deref(),
-        report,
+        run.report,
         pipeline_metrics.as_deref(),
-        &[],
+        &run.failures,
     )
 }
 
@@ -984,11 +906,7 @@ pub fn run<W: Write>(command: &Command, out: &mut W) -> Result<(), CliError> {
                 max_errors: *max_errors,
                 robust,
             };
-            if robust.checkpointing() {
-                run_checkpointed_analyze(&ctx, out)?;
-            } else {
-                run_batch_analyze(&ctx, *jobs, out)?;
-            }
+            run_analyze(&ctx, *jobs, out)?;
         }
         Command::Untested { trace, mount } => {
             let trace = load_trace(trace)?;
@@ -1706,8 +1624,6 @@ mod tests {
         let bad = [
             vec!["analyze", "t", "--checkpoint-file", "c"],
             vec!["analyze", "t", "--checkpoint-every", "0"],
-            vec!["analyze", "t", "--checkpoint-every", "5", "--jobs", "4"],
-            vec!["analyze", "t", "--stop-after-events", "3", "--jobs", "2"],
             vec!["analyze", "t", "--inject-panic", "1"],
             vec!["analyze", "t", "--inject-panic", "1:2:0"],
             vec!["analyze", "t", "--inject-panic", "1:2:3:4"],
@@ -1804,13 +1720,110 @@ mod tests {
     }
 
     #[test]
-    fn checkpointing_rejects_iotb_traces() {
+    fn kill_and_resume_over_iotb_is_byte_identical() {
+        // Checkpoint/resume over the binary container — illegal before
+        // the pipeline unification — matches an uninterrupted run.
         let file = sample_trace_file();
-        let iotb = convert_to_iotb(&file.path, "no-ckpt", false);
-        let cmd = parse_args(&args(&["analyze", &iotb, "--checkpoint-every", "2"])).unwrap();
+        let iotb = convert_to_iotb(&file.path, "iotb-ckpt", false);
+        let ckpt = ckpt_path("iotb-kill-resume");
+        let uninterrupted = run_bytes(&["analyze", &iotb, "--mount", "/mnt/test", "--json"]);
+        let killed = run_bytes(&[
+            "analyze",
+            &iotb,
+            "--mount",
+            "/mnt/test",
+            "--json",
+            "--checkpoint-every",
+            "2",
+            "--checkpoint-file",
+            &ckpt,
+            "--stop-after-events",
+            "3",
+        ]);
+        let text = String::from_utf8(killed).unwrap();
+        assert!(text.contains("stopped after 3 events"), "{text}");
+        let resumed = run_bytes(&[
+            "analyze",
+            &iotb,
+            "--mount",
+            "/mnt/test",
+            "--json",
+            "--checkpoint-every",
+            "2",
+            "--checkpoint-file",
+            &ckpt,
+            "--resume",
+            &ckpt,
+        ]);
+        assert_eq!(resumed, uninterrupted);
+        let _ = std::fs::remove_file(&ckpt);
+        let _ = std::fs::remove_file(&iotb);
+    }
+
+    #[test]
+    fn checkpointed_parallel_analyze_matches_serial_batch() {
+        // Checkpointing over the worker pool — the other combination
+        // the old dispatch rejected — still renders byte-identically.
+        let file = sample_trace_file();
+        let baseline = run_bytes(&["analyze", &file.path, "--mount", "/mnt/test", "--json"]);
+        for jobs in ["2", "4"] {
+            let ckpt = ckpt_path(&format!("pool-ckpt-{jobs}"));
+            let pooled = run_bytes(&[
+                "analyze",
+                &file.path,
+                "--mount",
+                "/mnt/test",
+                "--json",
+                "--jobs",
+                jobs,
+                "--checkpoint-every",
+                "2",
+                "--checkpoint-file",
+                &ckpt,
+            ]);
+            assert_eq!(baseline, pooled, "--jobs {jobs}");
+            let _ = std::fs::remove_file(&ckpt);
+        }
+    }
+
+    #[test]
+    fn resume_against_wrong_container_format_is_rejected() {
+        // A checkpoint cut over a JSONL trace indexes JSONL bytes;
+        // resuming it against the .iotb conversion must be a structured
+        // error, not a garbage read.
+        let file = sample_trace_file();
+        let iotb = convert_to_iotb(&file.path, "format-mismatch", false);
+        let ckpt = ckpt_path("format-mismatch");
+        run_bytes(&[
+            "analyze",
+            &file.path,
+            "--mount",
+            "/mnt/test",
+            "--checkpoint-every",
+            "2",
+            "--checkpoint-file",
+            &ckpt,
+            "--stop-after-events",
+            "3",
+        ]);
+        let cmd = parse_args(&args(&[
+            "analyze",
+            &iotb,
+            "--mount",
+            "/mnt/test",
+            "--resume",
+            &ckpt,
+        ]))
+        .unwrap();
         let mut out = Vec::new();
         let err = run(&cmd, &mut out).unwrap_err();
-        assert!(err.to_string().contains("JSONL"), "{err}");
+        let text = err.to_string();
+        assert!(text.contains("cannot resume"), "{text}");
+        assert!(
+            text.contains("resume position is for a jsonl trace but the file is iotb"),
+            "{text}"
+        );
+        let _ = std::fs::remove_file(&ckpt);
         let _ = std::fs::remove_file(&iotb);
     }
 

@@ -38,7 +38,7 @@ use std::fs::File;
 use std::io::{self, Read, Write};
 use std::path::{Path, PathBuf};
 
-use iocov_trace::CursorState;
+use iocov_trace::{CursorState, SourceFormat};
 use serde::{Deserialize, Serialize};
 
 use crate::coverage::AnalysisReport;
@@ -78,6 +78,11 @@ pub struct CheckpointDoc {
     /// Pipeline-metrics totals at the cursor position.
     #[serde(default)]
     pub metrics: MetricsSnapshot,
+    /// Container format of the trace the cursor indexes into. Defaults
+    /// to JSONL so checkpoints written before the field existed (which
+    /// were JSONL-only) still load.
+    #[serde(default)]
+    pub format: SourceFormat,
 }
 
 /// Why a checkpoint file could not be loaded.
@@ -299,6 +304,7 @@ mod tests {
             pid_states: analyzer.pid_states(),
             report: analyzer.report(),
             metrics: MetricsSnapshot::default(),
+            format: SourceFormat::Jsonl,
         }
     }
 

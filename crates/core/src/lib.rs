@@ -61,6 +61,7 @@ mod identifier;
 pub mod metrics;
 mod parallel;
 mod partition;
+pub mod pipeline;
 mod relevance;
 pub mod report;
 mod streaming;
@@ -87,6 +88,10 @@ pub use parallel::{
     SupervisorPolicy, PARALLEL_THRESHOLD, PIPELINE_DEPTH,
 };
 pub use partition::{InputPartition, NumericPartition, OutputPartition};
+pub use pipeline::{
+    CheckpointPolicy, Executor, Pipeline, PipelineBuilder, PipelineError, PipelineRun,
+    PoolExecutor, SerialExecutor, DEFAULT_CHUNK,
+};
 pub use streaming::StreamingAnalyzer;
 pub use variants::{normalize, NormalizedCall, CREAT_IMPLIED_FLAGS};
 

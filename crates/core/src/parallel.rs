@@ -199,10 +199,10 @@ pub fn in_supervised_scan() -> bool {
 /// RAII: marks the current thread supervised for the guard's lifetime
 /// (cleared on unwind too, so a panic leaves the thread unmarked once
 /// the supervisor has taken over).
-struct SupervisedScanGuard;
+pub(crate) struct SupervisedScanGuard;
 
 impl SupervisedScanGuard {
-    fn enter() -> Self {
+    pub(crate) fn enter() -> Self {
         IN_SUPERVISED_SCAN.with(|flag| flag.set(true));
         SupervisedScanGuard
     }
@@ -215,7 +215,7 @@ impl Drop for SupervisedScanGuard {
 }
 
 /// Renders a `catch_unwind` payload to text.
-fn panic_message(payload: &(dyn Any + Send)) -> String {
+pub(crate) fn panic_message(payload: &(dyn Any + Send)) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {
         (*s).to_owned()
     } else if let Some(s) = payload.downcast_ref::<String>() {
@@ -496,11 +496,12 @@ impl fmt::Debug for Job {
 
 /// A worker incarnation's exit message, sent on its done channel.
 enum WorkerExit {
-    /// Clean completion: the shard's final report plus the incarnation's
-    /// private metrics (snapshot + stage timings) for the supervisor to
-    /// absorb.
+    /// Clean completion: the shard's final report, its per-pid relevance
+    /// states (for checkpointing), and the incarnation's private metrics
+    /// (snapshot + stage timings) for the supervisor to absorb.
     Finished {
         report: Box<AnalysisReport>,
+        states: BTreeMap<u32, crate::PidStateSnapshot>,
         counters: Option<(MetricsSnapshot, BTreeMap<String, u64>)>,
     },
     /// The incarnation panicked.
@@ -561,7 +562,7 @@ fn worker_loop(
     metrics: Option<Arc<PipelineMetrics>>,
     heartbeat: Arc<AtomicU64>,
     hook: Option<ShardHook>,
-) -> AnalysisReport {
+) -> (AnalysisReport, BTreeMap<u32, crate::PidStateSnapshot>) {
     let mut tick = 0u64;
     while let Ok(job) = jobs.recv() {
         match job {
@@ -588,7 +589,8 @@ fn worker_loop(
         }
     }
     heartbeat.fetch_add(1, Ordering::Relaxed);
-    shard.finish()
+    let states = shard.pid_states();
+    (shard.finish(), states)
 }
 
 /// A chunked parallel analyzer: N **persistent** worker threads, each
@@ -622,6 +624,11 @@ pub struct ParallelStreamingAnalyzer {
     /// Caller-side coalescing buffer for chunks below
     /// [`PARALLEL_THRESHOLD`].
     pending: Vec<TraceEvent>,
+    /// Checkpoint-restored per-pid relevance states; each shard
+    /// incarnation restores its `pid % N == shard` subset before
+    /// scanning (including supervised respawns, which replay on top of
+    /// the same base).
+    base_states: BTreeMap<u32, crate::PidStateSnapshot>,
 }
 
 impl fmt::Debug for ParallelStreamingAnalyzer {
@@ -654,7 +661,21 @@ impl ParallelStreamingAnalyzer {
             batch_log: Vec::new(),
             supervision: vec![ShardSupervision::default(); nworkers],
             pending: Vec::new(),
+            base_states: BTreeMap::new(),
         }
+    }
+
+    /// Seeds every shard with checkpoint-restored per-pid relevance
+    /// states (each worker restores only its own pids). Must be called
+    /// before the first push.
+    #[must_use]
+    pub fn with_base_states(mut self, states: BTreeMap<u32, crate::PidStateSnapshot>) -> Self {
+        debug_assert!(
+            self.slots.is_empty(),
+            "set base states before pushing events"
+        );
+        self.base_states = states;
+        self
     }
 
     /// Attaches shared pipeline metrics to every shard. Must be called
@@ -702,6 +723,15 @@ impl ParallelStreamingAnalyzer {
         let heartbeat = Arc::new(AtomicU64::new(0));
         let mut shard =
             StreamingAnalyzer::with_interner(self.filter.clone(), Arc::clone(&self.interner));
+        if !self.base_states.is_empty() {
+            let subset: BTreeMap<u32, crate::PidStateSnapshot> = self
+                .base_states
+                .iter()
+                .filter(|(&pid, _)| pid as usize % n == w)
+                .map(|(&pid, state)| (pid, state.clone()))
+                .collect();
+            shard.restore_pid_states(&subset);
+        }
         // Private metrics per incarnation; absorbed by the supervisor
         // only on clean completion (see WorkerExit::Finished).
         let local = self
@@ -722,8 +752,9 @@ impl ParallelStreamingAnalyzer {
                     worker_loop(w, n, shard, queue, loop_metrics, beat, hook)
                 }));
                 let exit = match result {
-                    Ok(report) => WorkerExit::Finished {
+                    Ok((report, states)) => WorkerExit::Finished {
                         report: Box::new(report),
+                        states,
                         counters: local.map(|m| (m.snapshot(), m.stage_timings())),
                     },
                     Err(payload) => WorkerExit::Panicked(panic_message(payload.as_ref())),
@@ -808,6 +839,65 @@ impl ParallelStreamingAnalyzer {
         }
     }
 
+    /// Drains the pool like [`finish_with_failures`], additionally
+    /// returning the merged per-pid relevance states at the drain point
+    /// (the union of the disjoint per-shard maps) — everything a
+    /// checkpoint needs to seed a successor pool via
+    /// [`with_base_states`](Self::with_base_states). A pool that never
+    /// dispatched a batch passes its base states through unchanged.
+    ///
+    /// [`finish_with_failures`]: Self::finish_with_failures
+    #[must_use]
+    #[allow(clippy::type_complexity)]
+    pub fn finish_with_states(
+        mut self,
+    ) -> (
+        AnalysisReport,
+        Vec<ShardFailureRecord>,
+        BTreeMap<u32, crate::PidStateSnapshot>,
+    ) {
+        self.flush_pending();
+        let mut merged = AnalysisReport::default();
+        let mut states = std::mem::take(&mut self.base_states);
+        if !self.slots.is_empty() {
+            let target = self.batch_log.len();
+            for w in 0..self.nworkers {
+                loop {
+                    self.deliver_up_to(w, target);
+                    if self.supervision[w].gave_up {
+                        break;
+                    }
+                    // Close this incarnation's queue so it can finish.
+                    self.slots[w].jobs = None;
+                    match self.await_exit(w) {
+                        Ok((report, shard_states, counters)) => {
+                            merged.merge(&report);
+                            // The worker's map already contains its
+                            // restored base subset, so extend replaces
+                            // exactly this shard's pids.
+                            states.extend(shard_states);
+                            if let (Some(shared), Some((snapshot, timings))) =
+                                (&self.metrics, counters)
+                            {
+                                shared.absorb(&snapshot);
+                                shared.absorb_stage_timings(&timings);
+                            }
+                            break;
+                        }
+                        Err(error) => self.recover(w, &error),
+                    }
+                }
+            }
+        }
+        let failures = self.manifest();
+        if let Some(metrics) = &self.metrics {
+            for failure in &failures {
+                metrics.record_shard_failure(failure.clone());
+            }
+        }
+        (merged, failures, states)
+    }
+
     /// Records a failure for shard `w` and either respawns a fresh
     /// incarnation (the caller replays the log into it) or abandons the
     /// shard once the restart budget is spent.
@@ -850,6 +940,7 @@ impl ParallelStreamingAnalyzer {
     ) -> Result<
         (
             Box<AnalysisReport>,
+            BTreeMap<u32, crate::PidStateSnapshot>,
             Option<(MetricsSnapshot, BTreeMap<String, u64>)>,
         ),
         ShardError,
@@ -859,7 +950,11 @@ impl ParallelStreamingAnalyzer {
         let mut progress_at = Instant::now();
         loop {
             match slot.done.recv_timeout(Duration::from_millis(20)) {
-                Ok(WorkerExit::Finished { report, counters }) => return Ok((report, counters)),
+                Ok(WorkerExit::Finished {
+                    report,
+                    states,
+                    counters,
+                }) => return Ok((report, states, counters)),
                 Ok(WorkerExit::Panicked(msg)) => return Err(ShardError::Panicked(msg)),
                 Err(RecvTimeoutError::Disconnected) => {
                     return Err(ShardError::Panicked(
@@ -957,41 +1052,8 @@ impl ParallelStreamingAnalyzer {
     /// recorded in the attached metrics) and omitted from the merged
     /// report.
     #[must_use]
-    pub fn finish_with_failures(mut self) -> (AnalysisReport, Vec<ShardFailureRecord>) {
-        self.flush_pending();
-        let mut merged = AnalysisReport::default();
-        if !self.slots.is_empty() {
-            let target = self.batch_log.len();
-            for w in 0..self.nworkers {
-                loop {
-                    self.deliver_up_to(w, target);
-                    if self.supervision[w].gave_up {
-                        break;
-                    }
-                    // Close this incarnation's queue so it can finish.
-                    self.slots[w].jobs = None;
-                    match self.await_exit(w) {
-                        Ok((report, counters)) => {
-                            merged.merge(&report);
-                            if let (Some(shared), Some((snapshot, timings))) =
-                                (&self.metrics, counters)
-                            {
-                                shared.absorb(&snapshot);
-                                shared.absorb_stage_timings(&timings);
-                            }
-                            break;
-                        }
-                        Err(error) => self.recover(w, &error),
-                    }
-                }
-            }
-        }
-        let failures = self.manifest();
-        if let Some(metrics) = &self.metrics {
-            for failure in &failures {
-                metrics.record_shard_failure(failure.clone());
-            }
-        }
+    pub fn finish_with_failures(self) -> (AnalysisReport, Vec<ShardFailureRecord>) {
+        let (merged, failures, _) = self.finish_with_states();
         (merged, failures)
     }
 

@@ -45,6 +45,7 @@
 use std::io::{BufReader, BufWriter, Read, Write};
 use std::sync::Arc;
 
+use crate::cursor::CursorState;
 use crate::event::{ArgValue, TraceEvent};
 use crate::intern::StrInterner;
 use crate::lossy::{ErrorClass, ErrorPolicy, LossyRead, ReadOptions, SkippedLine};
@@ -215,7 +216,10 @@ fn read_exact_or_eof<R: Read>(r: &mut R, buf: &mut [u8]) -> std::io::Result<Fill
     })
 }
 
-fn read_table<R: Read>(r: &mut R) -> Result<Vec<Arc<str>>, TraceIoError> {
+/// Reads and verifies the header + string table, returning the table
+/// and the absolute byte offset of the first record's length prefix
+/// (the anchor [`IotbCursor`] checkpoints are measured from).
+fn read_table<R: Read>(r: &mut R) -> Result<(Vec<Arc<str>>, u64), TraceIoError> {
     let mut header = [0u8; 12];
     match read_exact_or_eof(r, &mut header)? {
         Fill::Full => {}
@@ -238,6 +242,7 @@ fn read_table<R: Read>(r: &mut R) -> Result<Vec<Arc<str>>, TraceIoError> {
     }
     let mut table = Vec::with_capacity(count);
     let mut hash = FNV_OFFSET;
+    let mut consumed = 12u64;
     for index in 0..count {
         let mut len_bytes = [0u8; 4];
         match read_exact_or_eof(r, &mut len_bytes)? {
@@ -265,6 +270,7 @@ fn read_table<R: Read>(r: &mut R) -> Result<Vec<Arc<str>>, TraceIoError> {
         }
         hash = fnv1a(&len_bytes, hash);
         hash = fnv1a(&bytes, hash);
+        consumed += 4 + len as u64;
         let s = String::from_utf8(bytes)
             .map_err(|_| binary_error(format!("string table entry {index} is not valid UTF-8")))?;
         table.push(Arc::from(s.as_str()));
@@ -280,7 +286,7 @@ fn read_table<R: Read>(r: &mut R) -> Result<Vec<Arc<str>>, TraceIoError> {
             "string table checksum mismatch: stored {stored:#018x}, computed {hash:#018x}"
         )));
     }
-    Ok(table)
+    Ok((table, consumed + 8))
 }
 
 struct Cursor<'a> {
@@ -405,77 +411,191 @@ pub fn read_iotb_lossy<R: Read>(
     reader: R,
     options: &ReadOptions,
 ) -> Result<LossyRead, TraceIoError> {
-    let mut r = BufReader::new(reader);
-    let table = read_table(&mut r)?;
-    let mut out = LossyRead::default();
-    let mut record = 0usize;
-    loop {
-        let mut len_bytes = [0u8; 4];
-        let fill = read_exact_or_eof(&mut r, &mut len_bytes)?;
-        if matches!(fill, Fill::Eof) {
-            break;
+    let mut cursor = IotbCursor::new(reader, *options)?;
+    let mut trace = Trace::new();
+    while let Some(event) = cursor.next_event()? {
+        trace.push(event);
+    }
+    Ok(LossyRead::from_cursor(trace, cursor.into_state()))
+}
+
+/// A resumable `.iotb` record cursor — the binary counterpart of
+/// [`JsonlCursor`](crate::JsonlCursor). The batch reader
+/// [`read_iotb_lossy`] is a thin drain over this type, so the two share
+/// one skip-accounting implementation by construction.
+///
+/// [`CursorState`] fields map onto records: `lines` is the 1-based
+/// record ordinal, `byte_offset` the absolute container offset of the
+/// next unread length prefix, and `bom_stripped`/`crlf_lines` stay zero
+/// (JSONL-only concepts). The offset is only advanced past fully
+/// consumed records, so the state is checkpoint-valid after any
+/// [`next_event`](Self::next_event) return.
+#[derive(Debug)]
+pub struct IotbCursor<R> {
+    reader: BufReader<R>,
+    table: Vec<Arc<str>>,
+    options: ReadOptions,
+    state: CursorState,
+    done: bool,
+}
+
+impl<R: Read> IotbCursor<R> {
+    /// A cursor over a fresh container. Reads and verifies the header
+    /// and string table eagerly.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceIoError::Io`] on read failure or
+    /// [`TraceIoError::Binary`] on header/string-table corruption.
+    pub fn new(reader: R, options: ReadOptions) -> Result<Self, TraceIoError> {
+        let mut reader = BufReader::new(reader);
+        let (table, table_end) = read_table(&mut reader)?;
+        Ok(IotbCursor {
+            reader,
+            table,
+            options,
+            state: CursorState {
+                byte_offset: table_end,
+                ..CursorState::default()
+            },
+            done: false,
+        })
+    }
+
+    /// Resumes from a checkpointed `state`. Because readers need not be
+    /// seekable, `reader` must be positioned at the **start** of the
+    /// container: the string table is re-read and re-verified, then
+    /// bytes up to [`CursorState::byte_offset`] are discarded.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceIoError::Binary`] for container corruption or a
+    /// resume offset that does not land inside the record region.
+    pub fn resume(
+        reader: R,
+        options: ReadOptions,
+        state: CursorState,
+    ) -> Result<Self, TraceIoError> {
+        let mut reader = BufReader::new(reader);
+        let (table, table_end) = read_table(&mut reader)?;
+        if state.byte_offset < table_end {
+            return Err(binary_error(format!(
+                "resume offset {} is inside the string table (records start at {table_end})",
+                state.byte_offset
+            )));
         }
-        record += 1;
-        out.lines = record;
-        let failure: (ErrorClass, String, bool) = if matches!(fill, Fill::Partial) {
-            (
-                ErrorClass::TruncatedTail,
-                "record length prefix cut off by end of stream".to_owned(),
-                true,
-            )
-        } else {
-            let len = u32::from_le_bytes(len_bytes) as usize;
-            if len > MAX_RECORD_LEN {
-                // The framing itself is corrupt; chasing this length
-                // would desynchronize every later record.
+        let skip = state.byte_offset - table_end;
+        let discarded = std::io::copy(&mut (&mut reader).take(skip), &mut std::io::sink())?;
+        if discarded != skip {
+            return Err(binary_error(format!(
+                "resume offset {} is past the end of the container",
+                state.byte_offset
+            )));
+        }
+        Ok(IotbCursor {
+            reader,
+            table,
+            options,
+            state,
+            done: false,
+        })
+    }
+
+    /// The current resume point. Valid to checkpoint after any
+    /// [`next_event`](Self::next_event) return.
+    #[must_use]
+    pub fn state(&self) -> &CursorState {
+        &self.state
+    }
+
+    /// Consumes the cursor, yielding its final state.
+    #[must_use]
+    pub fn into_state(self) -> CursorState {
+        self.state
+    }
+
+    /// Yields the next event, or `None` at end of stream (including
+    /// after a skip that ends the scan — truncated tail, lost framing).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceIoError::Io`] on read failure,
+    /// [`TraceIoError::TooManyErrors`] when the lossy skip budget is
+    /// exhausted, and — under [`ErrorPolicy::Abort`] —
+    /// [`TraceIoError::Record`] for the first bad record.
+    pub fn next_event(&mut self) -> Result<Option<TraceEvent>, TraceIoError> {
+        while !self.done {
+            let mut len_bytes = [0u8; 4];
+            let fill = read_exact_or_eof(&mut self.reader, &mut len_bytes)?;
+            if matches!(fill, Fill::Eof) {
+                self.done = true;
+                break;
+            }
+            let record = self.state.lines + 1;
+            self.state.lines = record;
+            let failure: (ErrorClass, String, bool) = if matches!(fill, Fill::Partial) {
                 (
-                    ErrorClass::MalformedRecord,
-                    format!("record length {len} exceeds cap {MAX_RECORD_LEN}; framing lost"),
+                    ErrorClass::TruncatedTail,
+                    "record length prefix cut off by end of stream".to_owned(),
                     true,
                 )
             } else {
-                let mut payload = vec![0u8; len];
-                match read_exact_or_eof(&mut r, &mut payload)? {
-                    Fill::Full => match decode_record(&payload, &table) {
-                        Ok(event) => {
-                            out.trace.push(event);
-                            continue;
-                        }
-                        Err(detail) => (ErrorClass::MalformedRecord, detail, false),
-                    },
-                    Fill::Eof | Fill::Partial => (
-                        ErrorClass::TruncatedTail,
-                        format!("record payload cut off: expected {len} bytes"),
+                let len = u32::from_le_bytes(len_bytes) as usize;
+                if len > MAX_RECORD_LEN {
+                    // The framing itself is corrupt; chasing this length
+                    // would desynchronize every later record.
+                    (
+                        ErrorClass::MalformedRecord,
+                        format!("record length {len} exceeds cap {MAX_RECORD_LEN}; framing lost"),
                         true,
-                    ),
+                    )
+                } else {
+                    let mut payload = vec![0u8; len];
+                    match read_exact_or_eof(&mut self.reader, &mut payload)? {
+                        Fill::Full => {
+                            self.state.byte_offset += (4 + len) as u64;
+                            match decode_record(&payload, &self.table) {
+                                Ok(event) => {
+                                    self.state.events += 1;
+                                    return Ok(Some(event));
+                                }
+                                Err(detail) => (ErrorClass::MalformedRecord, detail, false),
+                            }
+                        }
+                        Fill::Eof | Fill::Partial => (
+                            ErrorClass::TruncatedTail,
+                            format!("record payload cut off: expected {len} bytes"),
+                            true,
+                        ),
+                    }
                 }
-            }
-        };
-        let (class, message, stop) = failure;
-        if options.on_error == ErrorPolicy::Abort {
-            return Err(TraceIoError::Record {
-                record,
-                detail: message,
-            });
-        }
-        out.skipped.push(SkippedLine {
-            line: record,
-            class,
-            message,
-        });
-        if let Some(max) = options.max_errors {
-            if out.skipped.len() > max {
-                return Err(TraceIoError::TooManyErrors {
-                    errors: out.skipped.len(),
-                    max,
+            };
+            let (class, message, stop) = failure;
+            if self.options.on_error == ErrorPolicy::Abort {
+                return Err(TraceIoError::Record {
+                    record,
+                    detail: message,
                 });
             }
+            self.state.skipped.push(SkippedLine {
+                line: record,
+                class,
+                message,
+            });
+            if let Some(max) = self.options.max_errors {
+                if self.state.skipped.len() > max {
+                    return Err(TraceIoError::TooManyErrors {
+                        errors: self.state.skipped.len(),
+                        max,
+                    });
+                }
+            }
+            if stop {
+                self.done = true;
+            }
         }
-        if stop {
-            break;
-        }
+        Ok(None)
     }
-    Ok(out)
 }
 
 /// Reads an `.iotb` trace strictly: the first bad record aborts.
@@ -700,6 +820,78 @@ mod tests {
         let read = read_iotb_lossy(&bytes[..], &ReadOptions::default()).unwrap();
         assert!(read.trace.is_empty());
         assert!(read.skipped[0].message.contains("out of range"));
+    }
+
+    #[test]
+    fn cursor_matches_batch_lossy_reader() {
+        let trace = sample_trace();
+        let mut bytes = encoded(&trace);
+        // Corrupt record 2 (unknown tag) and truncate the tail so the
+        // cursor exercises both skip classes.
+        let table_end = table_end_offset(&bytes);
+        let rec1_len = u32::from_le_bytes(bytes[table_end..table_end + 4].try_into().unwrap());
+        bytes[table_end + 4 + rec1_len as usize + 4 + 40] = 0xEE;
+        bytes.truncate(bytes.len() - 3);
+        let batch = read_iotb_lossy(&bytes[..], &ReadOptions::default()).unwrap();
+        let mut cursor = IotbCursor::new(&bytes[..], ReadOptions::default()).unwrap();
+        let mut events = Vec::new();
+        while let Some(e) = cursor.next_event().unwrap() {
+            events.push(e);
+        }
+        let state = cursor.into_state();
+        assert_eq!(events, batch.trace.events());
+        assert_eq!(state.skipped, batch.skipped);
+        assert_eq!(state.lines, batch.lines);
+        assert_eq!(state.events, events.len() as u64);
+    }
+
+    #[test]
+    fn cursor_resume_at_every_record_boundary_is_seamless() {
+        let trace = sample_trace();
+        let bytes = encoded(&trace);
+        let mut full = IotbCursor::new(&bytes[..], ReadOptions::default()).unwrap();
+        let mut full_events = Vec::new();
+        while let Some(e) = full.next_event().unwrap() {
+            full_events.push(e);
+        }
+        let full_state = full.into_state();
+        assert_eq!(full_state.byte_offset, bytes.len() as u64);
+
+        for stop_after in 0..=full_events.len() {
+            let mut head = IotbCursor::new(&bytes[..], ReadOptions::default()).unwrap();
+            let mut events = Vec::new();
+            for _ in 0..stop_after {
+                events.push(head.next_event().unwrap().unwrap());
+            }
+            let saved = head.into_state();
+            // Round-trip the state through serde, as a checkpoint would.
+            let saved: CursorState =
+                serde_json::from_str(&serde_json::to_string(&saved).unwrap()).unwrap();
+            // Resume takes the whole container, not a seeked tail.
+            let mut tail = IotbCursor::resume(&bytes[..], ReadOptions::default(), saved).unwrap();
+            while let Some(e) = tail.next_event().unwrap() {
+                events.push(e);
+            }
+            assert_eq!(events, full_events, "stop_after={stop_after}");
+            assert_eq!(tail.into_state(), full_state, "stop_after={stop_after}");
+        }
+    }
+
+    #[test]
+    fn cursor_resume_rejects_offsets_outside_the_record_region() {
+        let bytes = encoded(&sample_trace());
+        let inside_table = CursorState {
+            byte_offset: 4,
+            ..CursorState::default()
+        };
+        let err = IotbCursor::resume(&bytes[..], ReadOptions::default(), inside_table).unwrap_err();
+        assert!(err.to_string().contains("inside the string table"), "{err}");
+        let past_end = CursorState {
+            byte_offset: bytes.len() as u64 + 100,
+            ..CursorState::default()
+        };
+        let err = IotbCursor::resume(&bytes[..], ReadOptions::default(), past_end).unwrap_err();
+        assert!(err.to_string().contains("past the end"), "{err}");
     }
 
     /// Byte offset of the first record's length prefix.

@@ -45,8 +45,11 @@ pub mod lossy;
 mod recorder;
 pub mod retry;
 mod serial;
+pub mod source;
 
-pub use binary::{is_iotb, read_iotb, read_iotb_lossy, write_iotb, IOTB_MAGIC, IOTB_VERSION};
+pub use binary::{
+    is_iotb, read_iotb, read_iotb_lossy, write_iotb, IotbCursor, IOTB_MAGIC, IOTB_VERSION,
+};
 pub use cursor::{CursorState, JsonlCursor};
 pub use event::{ArgValue, TraceEvent};
 pub use intern::{StrInterner, Sym};
@@ -54,6 +57,10 @@ pub use lossy::{read_jsonl_lossy, ErrorClass, ErrorPolicy, LossyRead, ReadOption
 pub use recorder::{Recorder, RecorderStats};
 pub use retry::{is_transient, RetryPolicy, RetryRead};
 pub use serial::{read_jsonl, write_jsonl, TraceIoError};
+pub use source::{
+    open_source, sniff_format, EventSource, IotbSource, JsonlSource, ReaderWrap, SourceError,
+    SourceFormat, SourceOptions, SourcePos,
+};
 
 use serde::{Deserialize, Serialize};
 

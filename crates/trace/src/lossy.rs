@@ -24,12 +24,12 @@
 
 use std::collections::BTreeMap;
 use std::fmt;
-use std::io::{BufReader, Read};
+use std::io::Read;
 
 use serde::{Deserialize, Serialize};
 
-use crate::event::TraceEvent;
-use crate::serial::{is_blank, LineReader, TraceIoError};
+use crate::cursor::{CursorState, JsonlCursor};
+use crate::serial::TraceIoError;
 use crate::Trace;
 
 /// What to do when a line fails to parse.
@@ -122,6 +122,24 @@ pub struct LossyRead {
 }
 
 impl LossyRead {
+    /// Assembles a lossy-read result from a drained cursor's final
+    /// state. This is the single source of truth for line/skip
+    /// accounting: the batch readers ([`read_jsonl_lossy`],
+    /// [`read_iotb_lossy`](crate::read_iotb_lossy)) are thin drains over
+    /// the cursors ([`JsonlCursor`],
+    /// [`IotbCursor`](crate::IotbCursor)), so batch and cursor ledgers
+    /// cannot drift apart.
+    #[must_use]
+    pub fn from_cursor(trace: Trace, state: CursorState) -> Self {
+        LossyRead {
+            trace,
+            skipped: state.skipped,
+            lines: state.lines,
+            bom_stripped: state.bom_stripped,
+            crlf_lines: state.crlf_lines,
+        }
+    }
+
     /// Skip counts grouped by error class, in class order.
     #[must_use]
     pub fn skips_by_class(&self) -> BTreeMap<ErrorClass, usize> {
@@ -151,69 +169,18 @@ pub fn read_jsonl_lossy<R: Read>(
     reader: R,
     options: &ReadOptions,
 ) -> Result<LossyRead, TraceIoError> {
-    let mut lines = LineReader::new(BufReader::new(reader));
-    let mut out = LossyRead::default();
-    while let Some(line) = lines.next_line()? {
-        out.lines = line.number;
-        out.bom_stripped |= line.bom;
-        out.crlf_lines += usize::from(line.crlf);
-        if is_blank(&line.bytes) {
-            continue;
-        }
-        let failure = match std::str::from_utf8(&line.bytes) {
-            Err(e) => Some((ErrorClass::InvalidUtf8, e.to_string())),
-            Ok(text) => match serde_json::from_str::<TraceEvent>(text) {
-                Ok(event) => {
-                    out.trace.push(event);
-                    None
-                }
-                Err(e) => {
-                    let class = if line.terminated {
-                        ErrorClass::MalformedJson
-                    } else {
-                        ErrorClass::TruncatedTail
-                    };
-                    if options.on_error == ErrorPolicy::Abort {
-                        return Err(TraceIoError::Parse {
-                            line: line.number,
-                            source: e,
-                        });
-                    }
-                    Some((class, e.to_string()))
-                }
-            },
-        };
-        let Some((class, message)) = failure else {
-            continue;
-        };
-        if options.on_error == ErrorPolicy::Abort {
-            // Only reachable for invalid UTF-8 (JSON aborts returned above).
-            return Err(TraceIoError::Io(std::io::Error::new(
-                std::io::ErrorKind::InvalidData,
-                format!("line {}: {message}", line.number),
-            )));
-        }
-        out.skipped.push(SkippedLine {
-            line: line.number,
-            class,
-            message,
-        });
-        if let Some(max) = options.max_errors {
-            if out.skipped.len() > max {
-                return Err(TraceIoError::TooManyErrors {
-                    errors: out.skipped.len(),
-                    max,
-                });
-            }
-        }
+    let mut cursor = JsonlCursor::new(reader, *options);
+    let mut trace = Trace::new();
+    while let Some(event) = cursor.next_event()? {
+        trace.push(event);
     }
-    Ok(out)
+    Ok(LossyRead::from_cursor(trace, cursor.into_state()))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::event::ArgValue;
+    use crate::event::{ArgValue, TraceEvent};
     use crate::write_jsonl;
 
     fn sample_events() -> Vec<TraceEvent> {
@@ -368,6 +335,34 @@ mod tests {
         let json = serde_json::to_string(&skip).unwrap();
         let back: SkippedLine = serde_json::from_str(&json).unwrap();
         assert_eq!(skip, back);
+    }
+
+    #[test]
+    fn batch_and_cursor_ledgers_agree_with_blank_lines() {
+        // Regression for skip accounting drift: the batch reader and the
+        // cursor must report identical 1-based line numbers (blank lines
+        // count) for every skip. Blanks interleave skips and events here
+        // so an off-by-one in either path would show.
+        let lines = jsonl(&sample_events());
+        let text = format!(
+            "\n{}\n\n\njunk A\n{}\n\njunk B\n\n{}\n",
+            lines[0], lines[1], lines[2]
+        );
+        let batch = read_jsonl_lossy(text.as_bytes(), &ReadOptions::default()).unwrap();
+        let mut cursor = JsonlCursor::new(text.as_bytes(), ReadOptions::default());
+        let mut events = Vec::new();
+        while let Some(e) = cursor.next_event().unwrap() {
+            events.push(e);
+        }
+        let state = cursor.into_state();
+        assert_eq!(events, batch.trace.events());
+        assert_eq!(state.skipped, batch.skipped);
+        assert_eq!(state.lines, batch.lines);
+        assert_eq!(
+            batch.skipped.iter().map(|s| s.line).collect::<Vec<_>>(),
+            [5, 8]
+        );
+        assert_eq!(batch.lines, 10);
     }
 
     #[test]

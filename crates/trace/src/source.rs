@@ -1,0 +1,490 @@
+//! Composable, pull-based event sources.
+//!
+//! Every ingestion path in the pipeline — strict or lossy, JSONL or
+//! `.iotb`, fresh or resumed from a checkpoint — is one implementation
+//! of a single trait: an [`EventSource`] yields events in batches,
+//! reports a serializable resume point ([`SourcePos`]) valid at any
+//! batch boundary, and exposes the lossy skip ledger. Format
+//! auto-sniffing lives in the [`open_source`] factory (it used to be
+//! CLI-side glue), so callers ask for "the events in this file" and the
+//! right cursor is chosen for them:
+//!
+//! ```text
+//!   open_source(path)                EventSource        consumer
+//!   ┌──────────────┐   sniff   ┌──────────────────┐   next_batch()
+//!   │ magic bytes? ├──────────▶│ JsonlSource      ├──▶ Pipeline /
+//!   │ --format?    │           │ IotbSource       │    Executor
+//!   │ resume pos?  │           │ (strict | lossy) │
+//!   └──────────────┘           └──────────────────┘
+//! ```
+//!
+//! Strictness is not a separate implementation: [`ErrorPolicy::Abort`]
+//! in [`ReadOptions`] makes either cursor fail with exactly the strict
+//! batch reader's errors (`read_jsonl` / `read_iotb`), which keeps the
+//! matrix of sources at two cursors instead of four readers.
+
+use std::fmt;
+use std::fs::File;
+use std::io::{Read, Seek, SeekFrom};
+
+use serde::{Deserialize, Serialize};
+
+use crate::binary::{is_iotb, IotbCursor};
+use crate::cursor::{CursorState, JsonlCursor};
+use crate::event::TraceEvent;
+use crate::lossy::{ReadOptions, SkippedLine};
+use crate::serial::TraceIoError;
+
+#[cfg(doc)]
+use crate::lossy::ErrorPolicy;
+
+/// On-disk trace container format.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SourceFormat {
+    /// JSON Lines, one event per line.
+    #[default]
+    Jsonl,
+    /// The `.iotb` compact binary container.
+    Iotb,
+}
+
+impl SourceFormat {
+    /// Stable kebab-case name, used in errors and checkpoints.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            SourceFormat::Jsonl => "jsonl",
+            SourceFormat::Iotb => "iotb",
+        }
+    }
+}
+
+impl fmt::Display for SourceFormat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A serializable resume point: the format being scanned plus the
+/// cursor's state. What a checkpoint stores, and what [`open_source`]
+/// accepts to continue an interrupted scan.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SourcePos {
+    /// Which cursor produced the state.
+    pub format: SourceFormat,
+    /// The cursor's resume state.
+    pub state: CursorState,
+}
+
+/// A pull-based, resumable stream of trace events.
+pub trait EventSource {
+    /// Pulls up to `max` events. An empty batch means end of stream.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying cursor's errors: I/O failure, an
+    /// exhausted lossy skip budget, or — under strict options — the
+    /// first malformed line/record.
+    fn next_batch(&mut self, max: usize) -> Result<Vec<TraceEvent>, TraceIoError>;
+
+    /// The current resume point. Valid to checkpoint at any batch
+    /// boundary.
+    fn position(&self) -> SourcePos;
+
+    /// Every line/record dropped so far (lossy mode).
+    fn skip_ledger(&self) -> &[SkippedLine];
+}
+
+/// [`EventSource`] over a JSONL stream, wrapping [`JsonlCursor`].
+pub struct JsonlSource<R> {
+    cursor: JsonlCursor<R>,
+}
+
+impl<R: Read> JsonlSource<R> {
+    /// A source over a fresh stream.
+    pub fn new(reader: R, options: ReadOptions) -> Self {
+        JsonlSource {
+            cursor: JsonlCursor::new(reader, options),
+        }
+    }
+
+    /// Resumes from a checkpointed state. The caller must have seeked
+    /// `reader` to [`CursorState::byte_offset`].
+    pub fn resume(reader: R, options: ReadOptions, state: CursorState) -> Self {
+        JsonlSource {
+            cursor: JsonlCursor::resume(reader, options, state),
+        }
+    }
+}
+
+impl<R: Read> EventSource for JsonlSource<R> {
+    fn next_batch(&mut self, max: usize) -> Result<Vec<TraceEvent>, TraceIoError> {
+        let mut batch = Vec::with_capacity(max.min(1024));
+        while batch.len() < max {
+            match self.cursor.next_event()? {
+                Some(event) => batch.push(event),
+                None => break,
+            }
+        }
+        Ok(batch)
+    }
+
+    fn position(&self) -> SourcePos {
+        SourcePos {
+            format: SourceFormat::Jsonl,
+            state: self.cursor.state().clone(),
+        }
+    }
+
+    fn skip_ledger(&self) -> &[SkippedLine] {
+        &self.cursor.state().skipped
+    }
+}
+
+/// [`EventSource`] over an `.iotb` container, wrapping [`IotbCursor`].
+pub struct IotbSource<R> {
+    cursor: IotbCursor<R>,
+}
+
+impl<R: Read> IotbSource<R> {
+    /// A source over a fresh container.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceIoError::Binary`] on header/string-table
+    /// corruption.
+    pub fn new(reader: R, options: ReadOptions) -> Result<Self, TraceIoError> {
+        Ok(IotbSource {
+            cursor: IotbCursor::new(reader, options)?,
+        })
+    }
+
+    /// Resumes from a checkpointed state; `reader` must be positioned
+    /// at the start of the container (see [`IotbCursor::resume`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceIoError::Binary`] on container corruption or a
+    /// bad resume offset.
+    pub fn resume(
+        reader: R,
+        options: ReadOptions,
+        state: CursorState,
+    ) -> Result<Self, TraceIoError> {
+        Ok(IotbSource {
+            cursor: IotbCursor::resume(reader, options, state)?,
+        })
+    }
+}
+
+impl<R: Read> EventSource for IotbSource<R> {
+    fn next_batch(&mut self, max: usize) -> Result<Vec<TraceEvent>, TraceIoError> {
+        let mut batch = Vec::with_capacity(max.min(1024));
+        while batch.len() < max {
+            match self.cursor.next_event()? {
+                Some(event) => batch.push(event),
+                None => break,
+            }
+        }
+        Ok(batch)
+    }
+
+    fn position(&self) -> SourcePos {
+        SourcePos {
+            format: SourceFormat::Iotb,
+            state: self.cursor.state().clone(),
+        }
+    }
+
+    fn skip_ledger(&self) -> &[SkippedLine] {
+        &self.cursor.state().skipped
+    }
+}
+
+/// Reader decoration applied by [`open_source`] to the data file —
+/// retry layers, fault injection. Sniffing always reads the plain file.
+pub type ReaderWrap = Box<dyn Fn(File) -> Box<dyn Read>>;
+
+/// How [`open_source`] opens a trace file.
+#[derive(Default)]
+pub struct SourceOptions {
+    /// Per-line/record error handling, shared by both cursors.
+    pub read: ReadOptions,
+    /// Forced container format; `None` sniffs the magic bytes.
+    pub format: Option<SourceFormat>,
+    /// Resume point from a checkpoint. Its format must match the
+    /// resolved one ([`SourceError::FormatMismatch`] otherwise).
+    pub resume: Option<SourcePos>,
+    /// Optional reader decoration for the data file.
+    pub wrap: Option<ReaderWrap>,
+}
+
+/// Why [`open_source`] failed — split by phase so callers can keep
+/// their own message conventions per failure site.
+#[derive(Debug)]
+pub enum SourceError {
+    /// The file could not be opened.
+    Open(std::io::Error),
+    /// The magic-byte sniff read failed.
+    Sniff(std::io::Error),
+    /// Seeking to a JSONL resume offset failed.
+    Seek(std::io::Error),
+    /// The resume position was taken over a different container format
+    /// than the file resolves to.
+    FormatMismatch {
+        /// The file's actual format.
+        resolved: SourceFormat,
+        /// The format recorded in the resume position.
+        resumed: SourceFormat,
+    },
+    /// The cursor rejected the stream (container corruption, bad
+    /// resume offset).
+    Trace(TraceIoError),
+}
+
+impl fmt::Display for SourceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SourceError::Open(e) => write!(f, "cannot open trace: {e}"),
+            SourceError::Sniff(e) => write!(f, "cannot sniff trace format: {e}"),
+            SourceError::Seek(e) => write!(f, "cannot seek to resume offset: {e}"),
+            SourceError::FormatMismatch { resolved, resumed } => write!(
+                f,
+                "resume position is for a {resumed} trace but the file is {resolved}"
+            ),
+            SourceError::Trace(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for SourceError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SourceError::Open(e) | SourceError::Sniff(e) | SourceError::Seek(e) => Some(e),
+            SourceError::Trace(e) => Some(e),
+            SourceError::FormatMismatch { .. } => None,
+        }
+    }
+}
+
+/// Sniffs a file's container format from its magic bytes. Files shorter
+/// than the magic are JSONL (possibly empty).
+///
+/// # Errors
+///
+/// Returns [`SourceError::Open`] / [`SourceError::Sniff`] on I/O
+/// failure.
+pub fn sniff_format(path: &str) -> Result<SourceFormat, SourceError> {
+    let mut file = File::open(path).map_err(SourceError::Open)?;
+    let mut magic = [0u8; 4];
+    let mut filled = 0;
+    while filled < magic.len() {
+        match file.read(&mut magic[filled..]) {
+            Ok(0) => break,
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(SourceError::Sniff(e)),
+        }
+    }
+    Ok(if is_iotb(&magic[..filled]) {
+        SourceFormat::Iotb
+    } else {
+        SourceFormat::Jsonl
+    })
+}
+
+/// Opens a trace file as an [`EventSource`]: resolves the format
+/// (forced or sniffed), validates any resume position against it,
+/// positions the reader, applies the wrap hook, and picks the cursor.
+///
+/// # Errors
+///
+/// See [`SourceError`]; cursor-construction failures (e.g. `.iotb`
+/// container corruption) surface as [`SourceError::Trace`].
+pub fn open_source(
+    path: &str,
+    options: SourceOptions,
+) -> Result<Box<dyn EventSource>, SourceError> {
+    let format = match options.format {
+        Some(format) => format,
+        None => sniff_format(path)?,
+    };
+    if let Some(pos) = &options.resume {
+        if pos.format != format {
+            return Err(SourceError::FormatMismatch {
+                resolved: format,
+                resumed: pos.format,
+            });
+        }
+    }
+    let mut file = File::open(path).map_err(SourceError::Open)?;
+    let wrap = options
+        .wrap
+        .unwrap_or_else(|| Box::new(|f: File| Box::new(f) as Box<dyn Read>));
+    match format {
+        SourceFormat::Jsonl => match options.resume {
+            Some(pos) => {
+                // Seek the raw file before decorating it: wrap layers
+                // (retry, fault injection) need not be seekable.
+                file.seek(SeekFrom::Start(pos.state.byte_offset))
+                    .map_err(SourceError::Seek)?;
+                Ok(Box::new(JsonlSource::resume(
+                    wrap(file),
+                    options.read,
+                    pos.state,
+                )))
+            }
+            None => Ok(Box::new(JsonlSource::new(wrap(file), options.read))),
+        },
+        SourceFormat::Iotb => {
+            let source = match options.resume {
+                // The iotb cursor re-reads the table itself, so the
+                // reader stays at the container start.
+                Some(pos) => IotbSource::resume(wrap(file), options.read, pos.state),
+                None => IotbSource::new(wrap(file), options.read),
+            }
+            .map_err(SourceError::Trace)?;
+            Ok(Box::new(source))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::ArgValue;
+    use crate::{write_iotb, write_jsonl, Trace};
+
+    fn sample_trace() -> Trace {
+        Trace::from_events(
+            (0u32..5)
+                .map(|i| {
+                    TraceEvent::build(
+                        "write",
+                        1,
+                        vec![ArgValue::Fd(3), ArgValue::UInt(u64::from(i))],
+                        64,
+                    )
+                })
+                .collect(),
+        )
+    }
+
+    struct TempFile(String);
+
+    impl TempFile {
+        fn new(tag: &str, bytes: &[u8]) -> Self {
+            let path = std::env::temp_dir()
+                .join(format!("iocov-source-{}-{tag}", std::process::id()))
+                .to_string_lossy()
+                .into_owned();
+            std::fs::write(&path, bytes).unwrap();
+            TempFile(path)
+        }
+    }
+
+    impl Drop for TempFile {
+        fn drop(&mut self) {
+            let _ = std::fs::remove_file(&self.0);
+        }
+    }
+
+    fn drain(source: &mut dyn EventSource, max: usize) -> Vec<TraceEvent> {
+        let mut events = Vec::new();
+        loop {
+            let batch = source.next_batch(max).unwrap();
+            if batch.is_empty() {
+                break;
+            }
+            events.extend(batch);
+        }
+        events
+    }
+
+    #[test]
+    fn factory_sniffs_both_formats() {
+        let trace = sample_trace();
+        let mut jsonl = Vec::new();
+        write_jsonl(&mut jsonl, &trace).unwrap();
+        let mut iotb = Vec::new();
+        write_iotb(&mut iotb, &trace).unwrap();
+
+        for (tag, bytes, format) in [
+            ("a.jsonl", &jsonl, SourceFormat::Jsonl),
+            ("a.iotb", &iotb, SourceFormat::Iotb),
+        ] {
+            let file = TempFile::new(tag, bytes);
+            assert_eq!(sniff_format(&file.0).unwrap(), format);
+            let mut source = open_source(&file.0, SourceOptions::default()).unwrap();
+            assert_eq!(source.position().format, format);
+            let events = drain(source.as_mut(), 2);
+            assert_eq!(events, trace.events());
+            assert!(source.skip_ledger().is_empty());
+        }
+    }
+
+    #[test]
+    fn resume_format_mismatch_is_structured() {
+        let mut iotb = Vec::new();
+        write_iotb(&mut iotb, &sample_trace()).unwrap();
+        let file = TempFile::new("mismatch.iotb", &iotb);
+        let Err(err) = open_source(
+            &file.0,
+            SourceOptions {
+                resume: Some(SourcePos::default()),
+                ..SourceOptions::default()
+            },
+        ) else {
+            panic!("expected format mismatch")
+        };
+        match &err {
+            SourceError::FormatMismatch { resolved, resumed } => {
+                assert_eq!(*resolved, SourceFormat::Iotb);
+                assert_eq!(*resumed, SourceFormat::Jsonl);
+            }
+            other => panic!("expected format mismatch, got {other}"),
+        }
+        assert!(err.to_string().contains("jsonl"), "{err}");
+    }
+
+    #[test]
+    fn resume_continues_where_position_left_off() {
+        let trace = sample_trace();
+        let mut jsonl = Vec::new();
+        write_jsonl(&mut jsonl, &trace).unwrap();
+        let mut iotb = Vec::new();
+        write_iotb(&mut iotb, &trace).unwrap();
+
+        for (tag, bytes) in [("r.jsonl", &jsonl), ("r.iotb", &iotb)] {
+            let file = TempFile::new(tag, bytes);
+            let mut head = open_source(&file.0, SourceOptions::default()).unwrap();
+            let mut events = head.next_batch(2).unwrap();
+            let pos = head.position();
+            drop(head);
+            let mut tail = open_source(
+                &file.0,
+                SourceOptions {
+                    resume: Some(pos),
+                    ..SourceOptions::default()
+                },
+            )
+            .unwrap();
+            events.extend(drain(tail.as_mut(), 3));
+            assert_eq!(events, trace.events(), "{tag}");
+        }
+    }
+
+    #[test]
+    fn missing_file_is_an_open_error() {
+        let Err(err) = open_source("/nonexistent/trace.jsonl", SourceOptions::default()) else {
+            panic!("expected open error")
+        };
+        assert!(matches!(err, SourceError::Open(_)), "{err}");
+    }
+
+    #[test]
+    fn short_file_sniffs_as_jsonl() {
+        let file = TempFile::new("short", b"IO");
+        assert_eq!(sniff_format(&file.0).unwrap(), SourceFormat::Jsonl);
+    }
+}
