@@ -1,0 +1,58 @@
+//! Parallel block decode of the block-indexed `.iotb` v2 container.
+//!
+//! The tentpole claim of the v2 format: with a per-block index, one
+//! container can be decoded by N workers instead of one serial cursor,
+//! so `analyze --jobs N` is no longer bottlenecked on a single decode
+//! stage. This bench measures `IotbBlockSource` drain throughput at
+//! 1/2/4 decode workers against the serial v1 cursor over the same
+//! events. Speedup tracks physical core count — on a single-core host
+//! the parallel rows mostly measure coordination overhead, which is
+//! exactly what `BENCH_repro.json` should record honestly.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use iocov_bench::sample_trace;
+use iocov_trace::{
+    read_iotb, write_iotb, write_iotb_indexed, EventSource, IotbBlockSource, ReadOptions,
+    DEFAULT_BLOCK_EVENTS,
+};
+
+fn drain(bytes: &Arc<Vec<u8>>, jobs: usize) -> usize {
+    let mut source = IotbBlockSource::new(Arc::clone(bytes), ReadOptions::default(), jobs)
+        .expect("clean container");
+    let mut decoded = 0;
+    loop {
+        let batch = source.next_batch(4096).expect("clean parses");
+        if batch.is_empty() {
+            break;
+        }
+        decoded += batch.len();
+    }
+    decoded
+}
+
+fn bench_decode_parallel(c: &mut Criterion) {
+    let trace = sample_trace(20_000);
+    let mut v1 = Vec::new();
+    write_iotb(&mut v1, &trace).expect("serialize iotb");
+    let mut v2 = Vec::new();
+    write_iotb_indexed(&mut v2, &trace, DEFAULT_BLOCK_EVENTS).expect("serialize indexed iotb");
+    let v2 = Arc::new(v2);
+
+    let mut group = c.benchmark_group("decode_parallel");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(trace.len() as u64));
+    group.bench_function("serial_v1", |b| {
+        b.iter(|| read_iotb(&v1[..]).expect("clean parses").len());
+    });
+    for jobs in [1usize, 2, 4] {
+        group.bench_with_input(BenchmarkId::new("indexed", jobs), &jobs, |b, &jobs| {
+            b.iter(|| drain(&v2, jobs));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_decode_parallel);
+criterion_main!(benches);

@@ -229,6 +229,9 @@ pub enum Command {
         /// Output container format (defaults to the output path's
         /// extension).
         to: Option<TraceFormat>,
+        /// Write the block-indexed iotb v2 container (enables parallel
+        /// decode at analyze time).
+        index: bool,
         /// Skip malformed input records instead of aborting.
         lossy: bool,
         /// Abort a lossy read after this many skipped records.
@@ -292,6 +295,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
     let mut target: Option<u64> = None;
     let mut jobs: usize = 1;
     let mut lossy = false;
+    let mut index = false;
     let mut metrics = false;
     let mut max_errors: Option<usize> = None;
     let mut format = TraceFormat::Auto;
@@ -347,6 +351,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                     .ok_or_else(|| CliError(format!("bad --jobs value `{value}`")))?;
             }
             "--lossy" => lossy = true,
+            "--index" => index = true,
             "--metrics" => metrics = true,
             "--checkpoint-every" => {
                 let value = iter
@@ -470,6 +475,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                 output,
                 format,
                 to,
+                index,
                 lossy,
                 max_errors,
             })
@@ -523,7 +529,8 @@ USAGE:
   iocov untested <trace.jsonl> [--mount PATH]
   iocov combos   <trace.jsonl> [--mount PATH]
   iocov tcd      <trace.jsonl> [--mount PATH] --target N
-  iocov convert  <in> <out> [--to jsonl|iotb] [--format auto|jsonl|iotb]
+  iocov convert  <in> <out> [--to jsonl|iotb] [--index]
+                 [--format auto|jsonl|iotb]
                  [--lossy [--max-errors N]]
   iocov convert-syz <syz-log.txt>
   iocov diff     <a.jsonl> <b.jsonl> [--mount PATH]
@@ -540,7 +547,10 @@ aborting; --max-errors caps how many. --metrics reports pipeline
 counters — events read, parse-skipped, drops by reason, variant
 merges, partition records, shard restarts and failures — alongside the
 coverage report. `convert` translates between the two containers; --to
-defaults to the output path's extension.
+defaults to the output path's extension. `convert --index` writes the
+block-indexed iotb v2 container, which `analyze --jobs N` decodes in
+parallel (N block-decode workers) with output byte-identical to a
+serial read; plain v1 containers stay readable everywhere.
 
 Analysis is supervised: a panicking or stalled worker shard is
 restarted with exponential backoff and its events replayed; a shard
@@ -823,11 +833,17 @@ fn run_analyze<W: Write>(ctx: &AnalyzeCtx<'_>, jobs: usize, out: &mut W) -> Resu
             state: doc.cursor.clone(),
         }),
         wrap: Some(Box::new(move |file| fault_reader(file, io))),
+        // Block-indexed v2 containers decode with one worker per
+        // analysis job; v1 (and JSONL) fall back to the serial reader.
+        decode_jobs: jobs,
     };
     let mut source = open_source(ctx.trace, options).map_err(|e| match e {
         SourceError::Open(e) => CliError(format!("cannot open {}: {e}", ctx.trace)),
         SourceError::Sniff(e) => CliError(format!("cannot read {}: {e}", ctx.trace)),
         SourceError::Seek(e) => CliError(format!("cannot seek {}: {e}", ctx.trace)),
+        e @ SourceError::Unseekable { .. } => {
+            CliError(format!("cannot resume over {}: {e}", ctx.trace))
+        }
         e @ SourceError::FormatMismatch { .. } => CliError(format!("cannot resume: {e}")),
         SourceError::Trace(e) => CliError(format!("cannot parse {}: {e}", ctx.trace)),
     })?;
@@ -992,6 +1008,7 @@ pub fn run<W: Write>(command: &Command, out: &mut W) -> Result<(), CliError> {
             output,
             format,
             to,
+            index,
             lossy,
             max_errors,
         } => {
@@ -1007,6 +1024,9 @@ pub fn run<W: Write>(command: &Command, out: &mut W) -> Result<(), CliError> {
                     )));
                 }
             };
+            if *index && target != TraceFormat::Iotb {
+                return Err(CliError("--index requires an iotb output".into()));
+            }
             let (trace, skipped): (Trace, Vec<SkippedLine>) = if *lossy {
                 let read = load_trace_lossy(input, *format, *max_errors, None)?;
                 (read.trace, read.skipped)
@@ -1016,6 +1036,9 @@ pub fn run<W: Write>(command: &Command, out: &mut W) -> Result<(), CliError> {
             let file = File::create(output)
                 .map_err(|e| CliError(format!("cannot create {output}: {e}")))?;
             match target {
+                TraceFormat::Iotb if *index => {
+                    iocov_trace::write_iotb_indexed(file, &trace, iocov_trace::DEFAULT_BLOCK_EVENTS)
+                }
                 TraceFormat::Iotb => iocov_trace::write_iotb(file, &trace),
                 TraceFormat::Jsonl => iocov_trace::write_jsonl(file, &trace),
                 TraceFormat::Auto => unreachable!("--to rejects auto at parse time"),
@@ -1344,6 +1367,7 @@ mod tests {
                 output: "out.iotb".into(),
                 format: TraceFormat::Auto,
                 to: None,
+                index: false,
                 lossy: false,
                 max_errors: None,
             }
@@ -1358,10 +1382,15 @@ mod tests {
                 output: "out".into(),
                 format: TraceFormat::Auto,
                 to: Some(TraceFormat::Jsonl),
+                index: false,
                 lossy: true,
                 max_errors: None,
             }
         );
+        match parse_args(&args(&["convert", "in.jsonl", "out.iotb", "--index"])).unwrap() {
+            Command::Convert { index, .. } => assert!(index),
+            other => panic!("unexpected {other:?}"),
+        }
         assert!(parse_args(&args(&["convert", "only-input"])).is_err());
         assert!(parse_args(&args(&["convert", "a", "b", "--to", "auto"])).is_err());
         assert!(parse_args(&args(&["analyze", "t", "--format", "nope"])).is_err());
@@ -1484,6 +1513,162 @@ mod tests {
         let mut out = Vec::new();
         let err = run(&cmd, &mut out).unwrap_err();
         assert!(err.to_string().contains("--to"), "{err}");
+    }
+
+    /// Converts `path` to a block-indexed `.iotb` v2 container and
+    /// returns the new path (caller removes it).
+    fn convert_to_indexed_iotb(path: &str, tag: &str) -> String {
+        let out_path = std::env::temp_dir()
+            .join(format!(
+                "iocov-cli-test-{}-{tag}-v2.iotb",
+                std::process::id()
+            ))
+            .to_string_lossy()
+            .into_owned();
+        let mut out = Vec::new();
+        run(
+            &parse_args(&args(&["convert", path, &out_path, "--index"])).unwrap(),
+            &mut out,
+        )
+        .unwrap();
+        out_path
+    }
+
+    #[test]
+    fn indexed_convert_writes_v2_and_analyzes_byte_identical_at_all_job_counts() {
+        // The tentpole acceptance bar for the block-indexed container:
+        // `convert --index` emits a v2 file (footer magic present), and
+        // analyzing it — parallel block decode — renders byte-identical
+        // output to the JSONL original and the v1 container at every
+        // job count.
+        let file = sample_trace_file();
+        let v1 = convert_to_iotb(&file.path, "v2-identity", false);
+        let v2 = convert_to_indexed_iotb(&file.path, "v2-identity");
+        let bytes = std::fs::read(&v2).unwrap();
+        assert!(
+            bytes.ends_with(&iocov_trace::IOTB_INDEX_FOOTER_MAGIC),
+            "indexed container must end with the index footer magic"
+        );
+        for jobs in ["1", "2", "4"] {
+            let run_path = |path: &str| {
+                run_bytes(&[
+                    "analyze",
+                    path,
+                    "--mount",
+                    "/mnt/test",
+                    "--json",
+                    "--metrics",
+                    "--jobs",
+                    jobs,
+                ])
+            };
+            let baseline = run_path(&file.path);
+            assert_eq!(baseline, run_path(&v1), "v1 diverged at --jobs {jobs}");
+            assert_eq!(baseline, run_path(&v2), "v2 diverged at --jobs {jobs}");
+        }
+        let _ = std::fs::remove_file(&v1);
+        let _ = std::fs::remove_file(&v2);
+    }
+
+    #[test]
+    fn indexed_convert_to_jsonl_is_rejected() {
+        let file = sample_trace_file();
+        let cmd = parse_args(&args(&["convert", &file.path, "out.jsonl", "--index"])).unwrap();
+        let mut out = Vec::new();
+        let err = run(&cmd, &mut out).unwrap_err();
+        assert!(err.to_string().contains("--index requires"), "{err}");
+    }
+
+    #[test]
+    fn kill_and_resume_over_indexed_iotb_is_byte_identical() {
+        // Checkpoint/resume over the v2 container with parallel block
+        // decode matches an uninterrupted run.
+        let file = sample_trace_file();
+        let v2 = convert_to_indexed_iotb(&file.path, "kill-resume");
+        let ckpt = ckpt_path("v2-kill-resume");
+        let uninterrupted = run_bytes(&[
+            "analyze",
+            &v2,
+            "--mount",
+            "/mnt/test",
+            "--json",
+            "--jobs",
+            "4",
+        ]);
+        let killed = run_bytes(&[
+            "analyze",
+            &v2,
+            "--mount",
+            "/mnt/test",
+            "--json",
+            "--jobs",
+            "4",
+            "--checkpoint-every",
+            "2",
+            "--checkpoint-file",
+            &ckpt,
+            "--stop-after-events",
+            "3",
+        ]);
+        let text = String::from_utf8(killed).unwrap();
+        assert!(text.contains("stopped after 3 events"), "{text}");
+        let resumed = run_bytes(&[
+            "analyze",
+            &v2,
+            "--mount",
+            "/mnt/test",
+            "--json",
+            "--jobs",
+            "4",
+            "--checkpoint-every",
+            "2",
+            "--checkpoint-file",
+            &ckpt,
+            "--resume",
+            &ckpt,
+        ]);
+        assert_eq!(resumed, uninterrupted);
+        let _ = std::fs::remove_file(&ckpt);
+        let _ = std::fs::remove_file(&v2);
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn resume_from_pipe_is_a_structured_cli_error() {
+        // Resuming re-reads earlier trace bytes, which a FIFO cannot
+        // replay: the CLI must explain that, not surface a raw seek
+        // (or hang opening the pipe).
+        let file = sample_trace_file();
+        let ckpt = ckpt_path("fifo-resume");
+        run_bytes(&[
+            "analyze",
+            &file.path,
+            "--checkpoint-every",
+            "2",
+            "--checkpoint-file",
+            &ckpt,
+            "--stop-after-events",
+            "3",
+        ]);
+        let fifo = std::env::temp_dir()
+            .join(format!("iocov-cli-test-{}-resume.fifo", std::process::id()))
+            .to_string_lossy()
+            .into_owned();
+        let _ = std::fs::remove_file(&fifo);
+        let status = std::process::Command::new("mkfifo")
+            .arg(&fifo)
+            .status()
+            .expect("mkfifo");
+        assert!(status.success());
+        let cmd = parse_args(&args(&["analyze", &fifo, "--resume", &ckpt])).unwrap();
+        let mut out = Vec::new();
+        let err = run(&cmd, &mut out).unwrap_err();
+        let _ = std::fs::remove_file(&fifo);
+        let _ = std::fs::remove_file(&ckpt);
+        let msg = err.to_string();
+        assert!(msg.contains("cannot resume over"), "{msg}");
+        assert!(msg.contains("pipe (FIFO)"), "{msg}");
+        assert!(msg.contains("save the stream to a file"), "{msg}");
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! Property: the serialized analysis report is byte-identical across
 //! every cell of the pipeline matrix —
-//! {jsonl, jsonl-lossy, iotb} × {serial, pool@2, pool@4} ×
+//! {jsonl, jsonl-lossy, iotb, iotb-indexed-v2} × {serial, pool@2, pool@4} ×
 //! {--metrics on/off} × {straight run, checkpoint kill/resume} —
 //! seeded from the checked-in corrupt fixture and a converted
 //! Syzkaller-style trace. This is the tentpole invariant of the
@@ -75,6 +75,17 @@ fn to_iotb(input: &str, tag: &str, lossy: bool) -> String {
     out_path
 }
 
+/// Converts a trace to the block-indexed v2 container via the CLI.
+fn to_indexed_iotb(input: &str, tag: &str, lossy: bool) -> String {
+    let out_path = temp_path(&format!("{tag}-v2"), "iotb");
+    let mut cmd = vec!["convert", input, &out_path, "--index"];
+    if lossy {
+        cmd.push("--lossy");
+    }
+    run_bytes(&args(&cmd));
+    out_path
+}
+
 /// One seed trace of the matrix: a path plus the fixed flags its
 /// container/content requires.
 struct SeedCase {
@@ -91,8 +102,10 @@ fn seed_cases() -> &'static Vec<SeedCase> {
     CASES.get_or_init(|| {
         let corrupt = corrupt_fixture();
         let corrupt_iotb = to_iotb(&corrupt, "corrupt", true);
+        let corrupt_indexed = to_indexed_iotb(&corrupt, "corrupt", true);
         let syz = syz_trace();
         let syz_iotb = to_iotb(&syz, "clean", false);
+        let syz_indexed = to_indexed_iotb(&syz, "clean", false);
         vec![
             SeedCase {
                 label: "jsonl-lossy",
@@ -117,6 +130,19 @@ fn seed_cases() -> &'static Vec<SeedCase> {
             SeedCase {
                 label: "iotb-strict",
                 path: syz_iotb,
+                fixed: Vec::new(),
+            },
+            // Block-indexed v2 containers: at --jobs > 1 these route
+            // through the parallel IotbBlockSource, whose output must
+            // match the serial decode of the same file byte for byte.
+            SeedCase {
+                label: "iotb-indexed-from-lossy",
+                path: corrupt_indexed,
+                fixed: args(&["--mount", "/mnt/test"]),
+            },
+            SeedCase {
+                label: "iotb-indexed-strict",
+                path: syz_indexed,
                 fixed: Vec::new(),
             },
         ]

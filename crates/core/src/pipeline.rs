@@ -12,10 +12,12 @@
 //!  │ open_source(path, options)    │   │ SerialExecutor              │
 //!  │   ├─ JsonlSource (strict/lossy│   │   supervised in-thread scan │
 //!  │   │   via ReadOptions)        │──▶│ PoolExecutor                │
-//!  │   └─ IotbSource  (strict/lossy│   │   pid-sharded worker pool   │
-//!  │       via ReadOptions)        │   │   (ParallelStreamingAnalyzer│
-//!  │ next_batch / position /       │   │    + rotation at checkpoint │
-//!  │ skip_ledger                   │   │    cuts)                    │
+//!  │   ├─ IotbSource  (strict/lossy│   │   pid-sharded worker pool   │
+//!  │   │   via ReadOptions)        │   │   (ParallelStreamingAnalyzer│
+//!  │   └─ IotbBlockSource (v2 only;│   │    + rotation at checkpoint │
+//!  │       parallel block decode)  │   │    cuts)                    │
+//!  │ next_batch / position /       │   │                             │
+//!  │ skip_ledger                   │   │                             │
 //!  └───────────────────────────────┘   └─────────────────────────────┘
 //!                   │                                 │
 //!                   └───────── Pipeline::run ─────────┘
@@ -29,6 +31,16 @@
 //! The non-negotiable invariant, inherited from the analyzers
 //! underneath: the serialized report is **byte-identical** across every
 //! cell of that matrix to a plain serial run over the same events.
+//!
+//! Parallelism therefore layers at *two* independent stages. Upstream,
+//! a block-indexed `.iotb` v2 container opened with
+//! `SourceOptions::decode_jobs > 1` decodes blocks on worker threads
+//! inside `IotbBlockSource`, but reassembles them in file order before
+//! `next_batch` returns — so to this module it is indistinguishable
+//! from a serial source. Downstream, [`PoolExecutor`] shards the
+//! decoded events by pid. Byte-identity composes because each stage
+//! preserves event order at its boundary; no cell of the matrix (any
+//! decode-jobs × any analysis-jobs) can perturb the report.
 //!
 //! # Checkpoint cuts
 //!

@@ -22,6 +22,33 @@
 //! Argument tags: `0` Int(i64) `1` UInt(u64) `2` Fd(i32) `3` Path(Sym)
 //! `4` Str(Sym) `5` Flags(u32) `6` Mode(u32) `7` Whence(u32) `8` Ptr(u64).
 //!
+//! # Layout (version 2, block-indexed)
+//!
+//! Version 2 ([`write_iotb_indexed`]) keeps the header, string table,
+//! and record encoding of version 1 byte-for-byte, and appends an index
+//! that lets a reader decode disjoint block ranges in parallel:
+//!
+//! ```text
+//! records  grouped into blocks of up to N events each
+//! sentinel u32 LE 0xFFFF_FFFF  (an impossible record length prefix)
+//! index    u32 LE block count, then per block:
+//!            u64 LE absolute byte offset of the block's first prefix
+//!            u64 LE block byte length (prefixes + payloads)
+//!            u64 LE event count
+//!            u64 LE FNV-1a over the block's bytes
+//!          u64 LE FNV-1a over the index bytes above
+//! footer   u64 LE absolute byte offset of the index, 8 bytes b"IOTBXEND"
+//! ```
+//!
+//! The serial reader ([`IotbCursor`]) streams a v2 container exactly
+//! like v1 and treats the sentinel as a clean end of records; the index
+//! is consumed only by the parallel
+//! [`IotbBlockSource`](crate::IotbBlockSource), which verifies the
+//! per-block checksums it actually decodes. Index integrity is the
+//! indexed decoder's concern: corruption there is fatal to indexed
+//! opens ([`read_block_index`]), while the serial path ignores the
+//! index entirely.
+//!
 //! Versioning rule: readers reject any other `version` outright — records
 //! are not self-describing, so there is no forward-compatible partial
 //! read. Adding argument tags is allowed within a version only for tags
@@ -42,6 +69,7 @@
 //! corrupt offset. Skips report 1-based *record* ordinals in
 //! [`SkippedLine::line`].
 
+use std::collections::VecDeque;
 use std::io::{BufReader, BufWriter, Read, Write};
 use std::sync::Arc;
 
@@ -55,8 +83,26 @@ use crate::Trace;
 /// The `.iotb` magic bytes.
 pub const IOTB_MAGIC: [u8; 4] = *b"IOTB";
 
-/// The current (and only) container version.
+/// The plain serial container version.
 pub const IOTB_VERSION: u32 = 1;
+
+/// The block-indexed container version ([`write_iotb_indexed`]).
+pub const IOTB_VERSION_INDEXED: u32 = 2;
+
+/// Default events per index block in a v2 container — small enough to
+/// spread a medium trace over many workers, large enough that the
+/// 32-byte index entry and per-block checksum are noise.
+pub const DEFAULT_BLOCK_EVENTS: usize = 4096;
+
+/// The 8 trailing bytes of a v2 container, preceded by the u64 index
+/// offset. Sniffable without parsing the front of the file.
+pub const IOTB_INDEX_FOOTER_MAGIC: [u8; 8] = *b"IOTBXEND";
+
+/// Length-prefix value that terminates the record region of a v2
+/// container. Above [`MAX_RECORD_LEN`] by construction, so a reader
+/// that ignores versions would stop with "framing lost" instead of
+/// misreading the index as records.
+pub(crate) const INDEX_SENTINEL: u32 = u32::MAX;
 
 /// Upper bound on one record's payload length. A longer prefix can only
 /// come from corrupted framing: even a pathological event with thousands
@@ -70,10 +116,17 @@ const MAX_STRING_LEN: usize = 1 << 20;
 /// allocations from a corrupt header before reading entry data.
 const MAX_STRINGS: usize = 1 << 24;
 
-const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// Preallocation caps for untrusted table metadata. A declared entry
+/// count or byte length is trusted only up to these bounds before the
+/// bytes actually arrive; anything larger grows incrementally, so a
+/// 12-byte forged header cannot demand hundreds of megabytes up front.
+const TABLE_PREALLOC_ENTRIES: usize = 1 << 12;
+const STRING_PREALLOC_BYTES: usize = 1 << 13;
+
+pub(crate) const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
 const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
 
-fn fnv1a(bytes: &[u8], mut hash: u64) -> u64 {
+pub(crate) fn fnv1a(bytes: &[u8], mut hash: u64) -> u64 {
     for &b in bytes {
         hash ^= u64::from(b);
         hash = hash.wrapping_mul(FNV_PRIME);
@@ -88,7 +141,7 @@ pub fn is_iotb(bytes: &[u8]) -> bool {
     bytes.len() >= IOTB_MAGIC.len() && bytes[..IOTB_MAGIC.len()] == IOTB_MAGIC
 }
 
-fn binary_error(detail: impl Into<String>) -> TraceIoError {
+pub(crate) fn binary_error(detail: impl Into<String>) -> TraceIoError {
     TraceIoError::Binary {
         detail: detail.into(),
     }
@@ -102,31 +155,8 @@ fn binary_error(detail: impl Into<String>) -> TraceIoError {
 /// Returns [`TraceIoError::Io`] if the writer fails.
 pub fn write_iotb<W: Write>(writer: W, trace: &Trace) -> Result<(), TraceIoError> {
     let mut w = BufWriter::new(writer);
-    let interner = StrInterner::new();
-    for event in trace.iter() {
-        interner.intern(&event.name);
-        for arg in &event.args {
-            if let ArgValue::Path(s) | ArgValue::Str(s) = arg {
-                interner.intern(s);
-            }
-        }
-    }
-
-    w.write_all(&IOTB_MAGIC)?;
-    w.write_all(&IOTB_VERSION.to_le_bytes())?;
-    let table = interner.snapshot();
-    let count = u32::try_from(table.len()).map_err(|_| binary_error("string table too large"))?;
-    w.write_all(&count.to_le_bytes())?;
-    let mut hash = FNV_OFFSET;
-    for s in &table {
-        let len = u32::try_from(s.len()).map_err(|_| binary_error("string too long"))?;
-        let len_bytes = len.to_le_bytes();
-        hash = fnv1a(&len_bytes, hash);
-        hash = fnv1a(s.as_bytes(), hash);
-        w.write_all(&len_bytes)?;
-        w.write_all(s.as_bytes())?;
-    }
-    w.write_all(&hash.to_le_bytes())?;
+    let interner = intern_trace(trace);
+    write_header_and_table(&mut w, &interner, IOTB_VERSION)?;
 
     let mut payload = Vec::new();
     for event in trace.iter() {
@@ -138,6 +168,222 @@ pub fn write_iotb<W: Write>(writer: W, trace: &Trace) -> Result<(), TraceIoError
     }
     w.flush()?;
     Ok(())
+}
+
+/// Interns every string the trace's records will reference, in
+/// first-appearance order.
+fn intern_trace(trace: &Trace) -> StrInterner {
+    let interner = StrInterner::new();
+    for event in trace.iter() {
+        interner.intern(&event.name);
+        for arg in &event.args {
+            if let ArgValue::Path(s) | ArgValue::Str(s) = arg {
+                interner.intern(s);
+            }
+        }
+    }
+    interner
+}
+
+/// Writes the magic, version, string table, and table checksum,
+/// returning the total bytes written (= the first record's offset).
+fn write_header_and_table<W: Write>(
+    w: &mut W,
+    interner: &StrInterner,
+    version: u32,
+) -> Result<u64, TraceIoError> {
+    w.write_all(&IOTB_MAGIC)?;
+    w.write_all(&version.to_le_bytes())?;
+    let table = interner.snapshot();
+    let count = u32::try_from(table.len()).map_err(|_| binary_error("string table too large"))?;
+    w.write_all(&count.to_le_bytes())?;
+    let mut hash = FNV_OFFSET;
+    let mut written = 12u64;
+    for s in &table {
+        let len = u32::try_from(s.len()).map_err(|_| binary_error("string too long"))?;
+        let len_bytes = len.to_le_bytes();
+        hash = fnv1a(&len_bytes, hash);
+        hash = fnv1a(s.as_bytes(), hash);
+        w.write_all(&len_bytes)?;
+        w.write_all(s.as_bytes())?;
+        written += 4 + s.len() as u64;
+    }
+    w.write_all(&hash.to_le_bytes())?;
+    Ok(written + 8)
+}
+
+/// One entry of a v2 container's block index: a decodable,
+/// independently checksummed run of whole records.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IotbBlock {
+    /// Absolute byte offset of the block's first length prefix.
+    pub offset: u64,
+    /// Byte length of the block (prefixes + payloads).
+    pub byte_len: u64,
+    /// Events encoded in the block.
+    pub events: u64,
+    /// FNV-1a over the block's bytes.
+    pub checksum: u64,
+}
+
+/// Writes a trace as a block-indexed v2 container: identical record
+/// bytes to [`write_iotb`], grouped into blocks of up to `block_events`
+/// events, followed by the sentinel, index, and footer (see the
+/// [module docs](self)).
+///
+/// # Errors
+///
+/// Returns [`TraceIoError::Io`] if the writer fails.
+pub fn write_iotb_indexed<W: Write>(
+    writer: W,
+    trace: &Trace,
+    block_events: usize,
+) -> Result<(), TraceIoError> {
+    let block_events = block_events.max(1);
+    let mut w = BufWriter::new(writer);
+    let interner = intern_trace(trace);
+    let mut offset = write_header_and_table(&mut w, &interner, IOTB_VERSION_INDEXED)?;
+
+    let mut blocks: Vec<IotbBlock> = Vec::new();
+    let mut block_start = offset;
+    let mut block_hash = FNV_OFFSET;
+    let mut block_count = 0u64;
+    let mut payload = Vec::new();
+    for event in trace.iter() {
+        payload.clear();
+        encode_record(&mut payload, event, &interner);
+        let len = u32::try_from(payload.len()).map_err(|_| binary_error("record too large"))?;
+        let len_bytes = len.to_le_bytes();
+        w.write_all(&len_bytes)?;
+        w.write_all(&payload)?;
+        block_hash = fnv1a(&len_bytes, block_hash);
+        block_hash = fnv1a(&payload, block_hash);
+        offset += 4 + payload.len() as u64;
+        block_count += 1;
+        if block_count as usize == block_events {
+            blocks.push(IotbBlock {
+                offset: block_start,
+                byte_len: offset - block_start,
+                events: block_count,
+                checksum: block_hash,
+            });
+            block_start = offset;
+            block_hash = FNV_OFFSET;
+            block_count = 0;
+        }
+    }
+    if block_count > 0 {
+        blocks.push(IotbBlock {
+            offset: block_start,
+            byte_len: offset - block_start,
+            events: block_count,
+            checksum: block_hash,
+        });
+    }
+
+    w.write_all(&INDEX_SENTINEL.to_le_bytes())?;
+    let index_offset = offset + 4;
+    let count = u32::try_from(blocks.len()).map_err(|_| binary_error("block index too large"))?;
+    let mut index_bytes = Vec::with_capacity(4 + blocks.len() * 32);
+    index_bytes.extend_from_slice(&count.to_le_bytes());
+    for block in &blocks {
+        index_bytes.extend_from_slice(&block.offset.to_le_bytes());
+        index_bytes.extend_from_slice(&block.byte_len.to_le_bytes());
+        index_bytes.extend_from_slice(&block.events.to_le_bytes());
+        index_bytes.extend_from_slice(&block.checksum.to_le_bytes());
+    }
+    let index_hash = fnv1a(&index_bytes, FNV_OFFSET);
+    w.write_all(&index_bytes)?;
+    w.write_all(&index_hash.to_le_bytes())?;
+    w.write_all(&index_offset.to_le_bytes())?;
+    w.write_all(&IOTB_INDEX_FOOTER_MAGIC)?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Parses the block index of a complete in-memory container. Returns
+/// `Ok(None)` for a v1 container (no index to parse).
+///
+/// The index checksum and the structural sanity of every entry are
+/// verified here; per-block data checksums are verified by the decoder
+/// that actually reads each block.
+///
+/// # Errors
+///
+/// Returns [`TraceIoError::Binary`] when a v2 container's sentinel,
+/// index, or footer is missing or corrupt — fatal for indexed opens,
+/// by the same rule that makes string-table corruption fatal.
+pub fn read_block_index(bytes: &[u8]) -> Result<Option<Vec<IotbBlock>>, TraceIoError> {
+    if bytes.len() < 12 || !is_iotb(bytes) {
+        return Err(binary_error("bad magic: not an .iotb trace"));
+    }
+    let version = u32::from_le_bytes(bytes[4..8].try_into().expect("4 bytes"));
+    if version == IOTB_VERSION {
+        return Ok(None);
+    }
+    if version != IOTB_VERSION_INDEXED {
+        return Err(binary_error(format!(
+            "unsupported version {version} (expected {IOTB_VERSION} or {IOTB_VERSION_INDEXED})"
+        )));
+    }
+    if bytes.len() < 16 || bytes[bytes.len() - 8..] != IOTB_INDEX_FOOTER_MAGIC {
+        return Err(binary_error("v2 container is missing its index footer"));
+    }
+    let index_offset = u64::from_le_bytes(
+        bytes[bytes.len() - 16..bytes.len() - 8]
+            .try_into()
+            .expect("8 bytes"),
+    );
+    let index_start = usize::try_from(index_offset)
+        .ok()
+        .filter(|&start| start >= 16 && start + 12 <= bytes.len())
+        .ok_or_else(|| binary_error("v2 index offset out of range"))?;
+    if bytes[index_start - 4..index_start] != INDEX_SENTINEL.to_le_bytes() {
+        return Err(binary_error("v2 record sentinel missing before index"));
+    }
+    let count = u32::from_le_bytes(
+        bytes[index_start..index_start + 4]
+            .try_into()
+            .expect("4 bytes"),
+    ) as usize;
+    let entries_len = count
+        .checked_mul(32)
+        .filter(|&n| index_start + 4 + n + 8 + 16 == bytes.len())
+        .ok_or_else(|| binary_error("v2 index length does not match the container"))?;
+    let index_bytes = &bytes[index_start..index_start + 4 + entries_len];
+    let stored = u64::from_le_bytes(
+        bytes[index_start + 4 + entries_len..index_start + 4 + entries_len + 8]
+            .try_into()
+            .expect("8 bytes"),
+    );
+    let computed = fnv1a(index_bytes, FNV_OFFSET);
+    if stored != computed {
+        return Err(binary_error(format!(
+            "v2 index checksum mismatch: stored {stored:#018x}, computed {computed:#018x}"
+        )));
+    }
+    let sentinel_at = index_start as u64 - 4;
+    let mut blocks = Vec::with_capacity(count.min(TABLE_PREALLOC_ENTRIES));
+    let mut expected_offset: Option<u64> = None;
+    for entry in index_bytes[4..].chunks_exact(32) {
+        let block = IotbBlock {
+            offset: u64::from_le_bytes(entry[0..8].try_into().expect("8 bytes")),
+            byte_len: u64::from_le_bytes(entry[8..16].try_into().expect("8 bytes")),
+            events: u64::from_le_bytes(entry[16..24].try_into().expect("8 bytes")),
+            checksum: u64::from_le_bytes(entry[24..32].try_into().expect("8 bytes")),
+        };
+        let contiguous = expected_offset.is_none_or(|at| at == block.offset);
+        let end = block.offset.checked_add(block.byte_len);
+        if !contiguous || block.byte_len == 0 || end.is_none_or(|end| end > sentinel_at) {
+            return Err(binary_error(format!(
+                "v2 index entry at offset {} does not describe the record region",
+                block.offset
+            )));
+        }
+        expected_offset = end;
+        blocks.push(block);
+    }
+    Ok(Some(blocks))
 }
 
 fn encode_record(out: &mut Vec<u8>, event: &TraceEvent, interner: &StrInterner) {
@@ -190,11 +436,12 @@ fn encode_record(out: &mut Vec<u8>, event: &TraceEvent, interner: &StrInterner) 
     }
 }
 
-/// How much of a fixed-size read actually arrived.
+/// How much of a fixed-size read actually arrived; `Partial` carries
+/// the byte count that did.
 enum Fill {
     Full,
     Eof,
-    Partial,
+    Partial(usize),
 }
 
 fn read_exact_or_eof<R: Read>(r: &mut R, buf: &mut [u8]) -> std::io::Result<Fill> {
@@ -212,26 +459,32 @@ fn read_exact_or_eof<R: Read>(r: &mut R, buf: &mut [u8]) -> std::io::Result<Fill
     } else if n == 0 {
         Fill::Eof
     } else {
-        Fill::Partial
+        Fill::Partial(n)
     })
 }
 
-/// Reads and verifies the header + string table, returning the table
-/// and the absolute byte offset of the first record's length prefix
-/// (the anchor [`IotbCursor`] checkpoints are measured from).
-fn read_table<R: Read>(r: &mut R) -> Result<(Vec<Arc<str>>, u64), TraceIoError> {
+/// Reads and verifies the header + string table, returning the table,
+/// the absolute byte offset of the first record's length prefix (the
+/// anchor [`IotbCursor`] checkpoints are measured from), and the
+/// container version.
+///
+/// Every count and length here is attacker-controlled until the
+/// checksum verifies, so buffers are preallocated only up to fixed
+/// caps and grown as bytes actually arrive — a forged header earns an
+/// allocation proportional to the file, never to its own claims.
+pub(crate) fn read_table<R: Read>(r: &mut R) -> Result<(Vec<Arc<str>>, u64, u32), TraceIoError> {
     let mut header = [0u8; 12];
     match read_exact_or_eof(r, &mut header)? {
         Fill::Full => {}
-        Fill::Eof | Fill::Partial => return Err(binary_error("truncated header")),
+        Fill::Eof | Fill::Partial(_) => return Err(binary_error("truncated header")),
     }
     if header[..4] != IOTB_MAGIC {
         return Err(binary_error("bad magic: not an .iotb trace"));
     }
     let version = u32::from_le_bytes(header[4..8].try_into().expect("4 bytes"));
-    if version != IOTB_VERSION {
+    if version != IOTB_VERSION && version != IOTB_VERSION_INDEXED {
         return Err(binary_error(format!(
-            "unsupported version {version} (expected {IOTB_VERSION})"
+            "unsupported version {version} (expected {IOTB_VERSION} or {IOTB_VERSION_INDEXED})"
         )));
     }
     let count = u32::from_le_bytes(header[8..12].try_into().expect("4 bytes")) as usize;
@@ -240,9 +493,10 @@ fn read_table<R: Read>(r: &mut R) -> Result<(Vec<Arc<str>>, u64), TraceIoError> 
             "string table count {count} too large"
         )));
     }
-    let mut table = Vec::with_capacity(count);
+    let mut table = Vec::with_capacity(count.min(TABLE_PREALLOC_ENTRIES));
     let mut hash = FNV_OFFSET;
     let mut consumed = 12u64;
+    let mut chunk = [0u8; 8192];
     for index in 0..count {
         let mut len_bytes = [0u8; 4];
         match read_exact_or_eof(r, &mut len_bytes)? {
@@ -259,13 +513,16 @@ fn read_table<R: Read>(r: &mut R) -> Result<(Vec<Arc<str>>, u64), TraceIoError> 
                 "string table entry {index} length {len} too large"
             )));
         }
-        let mut bytes = vec![0u8; len];
-        match read_exact_or_eof(r, &mut bytes)? {
-            Fill::Full => {}
-            _ => {
-                return Err(binary_error(format!(
-                    "truncated string table at entry {index}"
-                )))
+        let mut bytes = Vec::with_capacity(len.min(STRING_PREALLOC_BYTES));
+        while bytes.len() < len {
+            let want = (len - bytes.len()).min(chunk.len());
+            match read_exact_or_eof(r, &mut chunk[..want])? {
+                Fill::Full => bytes.extend_from_slice(&chunk[..want]),
+                _ => {
+                    return Err(binary_error(format!(
+                        "truncated string table at entry {index}"
+                    )))
+                }
             }
         }
         hash = fnv1a(&len_bytes, hash);
@@ -286,7 +543,7 @@ fn read_table<R: Read>(r: &mut R) -> Result<(Vec<Arc<str>>, u64), TraceIoError> 
             "string table checksum mismatch: stored {stored:#018x}, computed {hash:#018x}"
         )));
     }
-    Ok((table, consumed + 8))
+    Ok((table, consumed + 8, version))
 }
 
 struct Cursor<'a> {
@@ -343,7 +600,7 @@ fn resolve(table: &[Arc<str>], index: u32) -> Result<String, String> {
         .ok_or_else(|| format!("symbol {index} out of range (table has {})", table.len()))
 }
 
-fn decode_record(payload: &[u8], table: &[Arc<str>]) -> Result<TraceEvent, String> {
+pub(crate) fn decode_record(payload: &[u8], table: &[Arc<str>]) -> Result<TraceEvent, String> {
     let mut c = Cursor {
         buf: payload,
         pos: 0,
@@ -436,6 +693,11 @@ pub struct IotbCursor<R> {
     table: Vec<Arc<str>>,
     options: ReadOptions,
     state: CursorState,
+    version: u32,
+    /// Records recovered by resynchronizing past a corrupt length
+    /// prefix, paired with the absolute end offset of each — yielded
+    /// before any further reads so checkpoints stay exact.
+    pending: VecDeque<(TraceEvent, u64)>,
     done: bool,
 }
 
@@ -449,7 +711,7 @@ impl<R: Read> IotbCursor<R> {
     /// [`TraceIoError::Binary`] on header/string-table corruption.
     pub fn new(reader: R, options: ReadOptions) -> Result<Self, TraceIoError> {
         let mut reader = BufReader::new(reader);
-        let (table, table_end) = read_table(&mut reader)?;
+        let (table, table_end, version) = read_table(&mut reader)?;
         Ok(IotbCursor {
             reader,
             table,
@@ -458,6 +720,8 @@ impl<R: Read> IotbCursor<R> {
                 byte_offset: table_end,
                 ..CursorState::default()
             },
+            version,
+            pending: VecDeque::new(),
             done: false,
         })
     }
@@ -477,7 +741,7 @@ impl<R: Read> IotbCursor<R> {
         state: CursorState,
     ) -> Result<Self, TraceIoError> {
         let mut reader = BufReader::new(reader);
-        let (table, table_end) = read_table(&mut reader)?;
+        let (table, table_end, version) = read_table(&mut reader)?;
         if state.byte_offset < table_end {
             return Err(binary_error(format!(
                 "resume offset {} is inside the string table (records start at {table_end})",
@@ -497,6 +761,8 @@ impl<R: Read> IotbCursor<R> {
             table,
             options,
             state,
+            version,
+            pending: VecDeque::new(),
             done: false,
         })
     }
@@ -524,16 +790,36 @@ impl<R: Read> IotbCursor<R> {
     /// exhausted, and — under [`ErrorPolicy::Abort`] —
     /// [`TraceIoError::Record`] for the first bad record.
     pub fn next_event(&mut self) -> Result<Option<TraceEvent>, TraceIoError> {
-        while !self.done {
+        loop {
+            if let Some((event, end_offset)) = self.pending.pop_front() {
+                self.state.lines += 1;
+                self.state.byte_offset = end_offset;
+                self.state.events += 1;
+                return Ok(Some(event));
+            }
+            if self.done {
+                return Ok(None);
+            }
             let mut len_bytes = [0u8; 4];
             let fill = read_exact_or_eof(&mut self.reader, &mut len_bytes)?;
             if matches!(fill, Fill::Eof) {
                 self.done = true;
-                break;
+                continue;
+            }
+            if matches!(fill, Fill::Full)
+                && self.version >= IOTB_VERSION_INDEXED
+                && u32::from_le_bytes(len_bytes) == INDEX_SENTINEL
+            {
+                // Clean end of a v2 record region: the block index
+                // follows, which the serial reader never consumes. The
+                // offset stays on the sentinel so a resume re-reads it
+                // and ends just as cleanly.
+                self.done = true;
+                continue;
             }
             let record = self.state.lines + 1;
             self.state.lines = record;
-            let failure: (ErrorClass, String, bool) = if matches!(fill, Fill::Partial) {
+            let failure: (ErrorClass, String, bool) = if matches!(fill, Fill::Partial(_)) {
                 (
                     ErrorClass::TruncatedTail,
                     "record length prefix cut off by end of stream".to_owned(),
@@ -562,11 +848,47 @@ impl<R: Read> IotbCursor<R> {
                                 Err(detail) => (ErrorClass::MalformedRecord, detail, false),
                             }
                         }
-                        Fill::Eof | Fill::Partial => (
+                        Fill::Eof => (
                             ErrorClass::TruncatedTail,
                             format!("record payload cut off: expected {len} bytes"),
                             true,
                         ),
+                        Fill::Partial(got) => {
+                            // The stream ended mid-"payload". Either the
+                            // file really was cut here (a truncated
+                            // tail), or the length prefix itself was
+                            // corrupt and what we just swallowed holds
+                            // intact records. Distinguish them by
+                            // looking for an offset where the remaining
+                            // bytes parse exactly as whole valid
+                            // records — corruption, not EOF, if found.
+                            match resync_tail(&payload[..got], &self.table) {
+                                Some((skip_to, recovered)) => {
+                                    let tail_start = self.state.byte_offset + 4;
+                                    let resync_at = tail_start + skip_to as u64;
+                                    let count = recovered.len();
+                                    for (event, end_rel) in recovered {
+                                        self.pending
+                                            .push_back((event, tail_start + end_rel as u64));
+                                    }
+                                    self.state.byte_offset = resync_at;
+                                    (
+                                        ErrorClass::MalformedRecord,
+                                        format!(
+                                            "record length prefix claims {len} bytes but only \
+                                             {got} remain; resynchronized at offset {resync_at}, \
+                                             recovering {count} trailing record(s)"
+                                        ),
+                                        true,
+                                    )
+                                }
+                                None => (
+                                    ErrorClass::TruncatedTail,
+                                    format!("record payload cut off: expected {len} bytes"),
+                                    true,
+                                ),
+                            }
+                        }
                     }
                 }
             };
@@ -594,8 +916,50 @@ impl<R: Read> IotbCursor<R> {
                 self.done = true;
             }
         }
-        Ok(None)
     }
+}
+
+/// Scans the bytes swallowed by an overlong length prefix for the
+/// earliest offset at which the remainder parses exactly as one or
+/// more complete, fully valid framed records. `Some((offset,
+/// records))` means the prefix was corruption, not truncation; each
+/// recovered record carries its end offset relative to `tail`'s start.
+///
+/// A false positive needs a 4-byte prefix matching the remaining
+/// length exactly *and* a payload that decodes with every symbol in
+/// range and no trailing bytes — vanishingly unlikely from a genuine
+/// mid-record cut.
+fn resync_tail(tail: &[u8], table: &[Arc<str>]) -> Option<(usize, Vec<(TraceEvent, usize)>)> {
+    for start in 0..tail.len().saturating_sub(4) {
+        let mut pos = start;
+        let mut records = Vec::new();
+        let mut valid = true;
+        while pos < tail.len() {
+            if tail.len() - pos < 4 {
+                valid = false;
+                break;
+            }
+            let len = u32::from_le_bytes(tail[pos..pos + 4].try_into().expect("4 bytes")) as usize;
+            if len > MAX_RECORD_LEN || tail.len() - pos - 4 < len {
+                valid = false;
+                break;
+            }
+            match decode_record(&tail[pos + 4..pos + 4 + len], table) {
+                Ok(event) => {
+                    pos += 4 + len;
+                    records.push((event, pos));
+                }
+                Err(_) => {
+                    valid = false;
+                    break;
+                }
+            }
+        }
+        if valid && !records.is_empty() {
+            return Some((start, records));
+        }
+    }
+    None
 }
 
 /// Reads an `.iotb` trace strictly: the first bad record aborts.
@@ -763,6 +1127,228 @@ mod tests {
         assert_eq!(read.skipped.len(), 1);
         assert_eq!(read.skipped[0].class, ErrorClass::MalformedRecord);
         assert!(read.skipped[0].message.contains("framing lost"));
+    }
+
+    #[test]
+    fn forged_string_count_is_rejected_without_prealloc() {
+        // A 12-byte file whose header demands the maximum table: the
+        // reader must fail on the missing bytes, not allocate for the
+        // claim. (The prealloc cap is what makes this safe; the
+        // observable contract is the truncation error.)
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&IOTB_MAGIC);
+        bytes.extend_from_slice(&IOTB_VERSION.to_le_bytes());
+        bytes.extend_from_slice(&u32::try_from(MAX_STRINGS).unwrap().to_le_bytes());
+        let err = read_iotb(&bytes[..]).unwrap_err();
+        assert!(
+            err.to_string()
+                .contains("truncated string table at entry 0"),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn forged_entry_length_is_rejected_without_prealloc() {
+        // One table entry claiming a megabyte, backed by three bytes.
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&IOTB_MAGIC);
+        bytes.extend_from_slice(&IOTB_VERSION.to_le_bytes());
+        bytes.extend_from_slice(&1u32.to_le_bytes());
+        bytes.extend_from_slice(&u32::try_from(MAX_STRING_LEN).unwrap().to_le_bytes());
+        bytes.extend_from_slice(b"abc");
+        let err = read_iotb(&bytes[..]).unwrap_err();
+        assert!(
+            err.to_string()
+                .contains("truncated string table at entry 0"),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn oversized_string_count_is_rejected_outright() {
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&IOTB_MAGIC);
+        bytes.extend_from_slice(&IOTB_VERSION.to_le_bytes());
+        bytes.extend_from_slice(&u32::MAX.to_le_bytes());
+        let err = read_iotb(&bytes[..]).unwrap_err();
+        assert!(err.to_string().contains("too large"), "{err}");
+    }
+
+    #[test]
+    fn corrupt_length_prefix_resyncs_to_trailing_records() {
+        let trace = sample_trace();
+        let mut bytes = encoded(&trace);
+        let table_end = table_end_offset(&bytes);
+        // Overwrite record 1's length prefix with a large-but-capped
+        // bogus length that overruns EOF: records 2 and 3 are intact
+        // and must be recovered, and the skip is corruption — not a
+        // silently shortened file.
+        bytes[table_end..table_end + 4]
+            .copy_from_slice(&u32::try_from(MAX_RECORD_LEN).unwrap().to_le_bytes());
+        let read = read_iotb_lossy(&bytes[..], &ReadOptions::default()).unwrap();
+        assert_eq!(read.trace.events(), &trace.events()[1..]);
+        assert_eq!(read.skipped.len(), 1);
+        assert_eq!(read.skipped[0].class, ErrorClass::MalformedRecord);
+        assert!(
+            read.skipped[0].message.contains("resynchronized"),
+            "{}",
+            read.skipped[0].message
+        );
+        assert_eq!(read.skipped[0].line, 1);
+        assert_eq!(read.lines, 3);
+    }
+
+    #[test]
+    fn resynced_recovery_is_resumable_at_every_boundary() {
+        let trace = sample_trace();
+        let mut bytes = encoded(&trace);
+        let table_end = table_end_offset(&bytes);
+        bytes[table_end..table_end + 4]
+            .copy_from_slice(&u32::try_from(MAX_RECORD_LEN).unwrap().to_le_bytes());
+        let mut full = IotbCursor::new(&bytes[..], ReadOptions::default()).unwrap();
+        let mut full_events = Vec::new();
+        while let Some(e) = full.next_event().unwrap() {
+            full_events.push(e);
+        }
+        let full_state = full.into_state();
+        assert_eq!(full_events.len(), 2);
+
+        for stop_after in 0..=full_events.len() {
+            let mut head = IotbCursor::new(&bytes[..], ReadOptions::default()).unwrap();
+            let mut events = Vec::new();
+            for _ in 0..stop_after {
+                events.push(head.next_event().unwrap().unwrap());
+            }
+            let saved = head.into_state();
+            let mut tail = IotbCursor::resume(&bytes[..], ReadOptions::default(), saved).unwrap();
+            while let Some(e) = tail.next_event().unwrap() {
+                events.push(e);
+            }
+            assert_eq!(events, full_events, "stop_after={stop_after}");
+            // The head that never saw the corrupt prefix discovers the
+            // skip itself on resume; ledgers must converge either way.
+            assert_eq!(
+                tail.into_state().skipped,
+                full_state.skipped,
+                "stop_after={stop_after}"
+            );
+        }
+    }
+
+    #[test]
+    fn genuinely_truncated_payload_still_classifies_as_tail() {
+        // The resync probe must not reclassify a real truncation.
+        let trace = sample_trace();
+        let bytes = encoded(&trace);
+        for cut_back in 1..20 {
+            if cut_back >= bytes.len() - table_end_offset(&bytes) {
+                break;
+            }
+            let cut = bytes.len() - cut_back;
+            let read = read_iotb_lossy(&bytes[..cut], &ReadOptions::default()).unwrap();
+            for skip in &read.skipped {
+                assert_eq!(skip.class, ErrorClass::TruncatedTail, "cut_back={cut_back}");
+            }
+        }
+    }
+
+    #[test]
+    fn indexed_container_roundtrips_serially() {
+        let trace = sample_trace();
+        let mut bytes = Vec::new();
+        write_iotb_indexed(&mut bytes, &trace, 2).unwrap();
+        assert_eq!(&bytes[bytes.len() - 8..], &IOTB_INDEX_FOOTER_MAGIC);
+        // The serial readers stream v2 exactly like v1.
+        let back = read_iotb(&bytes[..]).unwrap();
+        assert_eq!(back, trace);
+        let read = read_iotb_lossy(&bytes[..], &ReadOptions::default()).unwrap();
+        assert!(read.skipped.is_empty());
+        assert_eq!(read.trace, trace);
+    }
+
+    #[test]
+    fn indexed_container_resumes_at_every_boundary() {
+        let trace = sample_trace();
+        let mut bytes = Vec::new();
+        write_iotb_indexed(&mut bytes, &trace, 2).unwrap();
+        let mut full = IotbCursor::new(&bytes[..], ReadOptions::default()).unwrap();
+        let mut full_events = Vec::new();
+        while let Some(e) = full.next_event().unwrap() {
+            full_events.push(e);
+        }
+        let full_state = full.into_state();
+        for stop_after in 0..=full_events.len() {
+            let mut head = IotbCursor::new(&bytes[..], ReadOptions::default()).unwrap();
+            let mut events = Vec::new();
+            for _ in 0..stop_after {
+                events.push(head.next_event().unwrap().unwrap());
+            }
+            let saved = head.into_state();
+            let mut tail = IotbCursor::resume(&bytes[..], ReadOptions::default(), saved).unwrap();
+            while let Some(e) = tail.next_event().unwrap() {
+                events.push(e);
+            }
+            assert_eq!(events, full_events, "stop_after={stop_after}");
+            assert_eq!(tail.into_state(), full_state, "stop_after={stop_after}");
+        }
+    }
+
+    #[test]
+    fn block_index_is_parsed_and_verified() {
+        let trace = sample_trace();
+        let mut bytes = Vec::new();
+        write_iotb_indexed(&mut bytes, &trace, 2).unwrap();
+        let blocks = read_block_index(&bytes).unwrap().expect("v2 has an index");
+        assert_eq!(blocks.len(), 2, "3 events at 2 per block");
+        assert_eq!(blocks[0].events, 2);
+        assert_eq!(blocks[1].events, 1);
+        assert_eq!(blocks[0].offset, table_end_offset(&bytes) as u64);
+        assert_eq!(blocks[0].offset + blocks[0].byte_len, blocks[1].offset);
+        for block in &blocks {
+            let start = usize::try_from(block.offset).unwrap();
+            let end = start + usize::try_from(block.byte_len).unwrap();
+            assert_eq!(fnv1a(&bytes[start..end], FNV_OFFSET), block.checksum);
+        }
+    }
+
+    #[test]
+    fn v1_container_has_no_index() {
+        let bytes = encoded(&sample_trace());
+        assert!(read_block_index(&bytes).unwrap().is_none());
+    }
+
+    #[test]
+    fn corrupt_index_is_fatal_for_indexed_opens() {
+        let trace = sample_trace();
+        let mut ok = Vec::new();
+        write_iotb_indexed(&mut ok, &trace, 2).unwrap();
+
+        let mut bad_footer = ok.clone();
+        let len = bad_footer.len();
+        bad_footer[len - 1] = b'?';
+        let err = read_block_index(&bad_footer).unwrap_err();
+        assert!(err.to_string().contains("footer"), "{err}");
+
+        let mut bad_index = ok.clone();
+        // Flip a byte inside the first index entry (count field is the
+        // first 4 bytes of the index; entries follow).
+        let index_start = len - 16 - 8 - 2 * 32 - 4;
+        bad_index[index_start + 6] ^= 0x01;
+        let err = read_block_index(&bad_index).unwrap_err();
+        assert!(err.to_string().contains("checksum"), "{err}");
+
+        let mut truncated = ok;
+        truncated.truncate(len - 9);
+        let err = read_block_index(&truncated).unwrap_err();
+        assert!(err.to_string().contains("footer"), "{err}");
+    }
+
+    #[test]
+    fn empty_indexed_container_roundtrips() {
+        let mut bytes = Vec::new();
+        write_iotb_indexed(&mut bytes, &Trace::new(), 2).unwrap();
+        assert!(read_iotb(&bytes[..]).unwrap().is_empty());
+        assert!(read_block_index(&bytes).unwrap().unwrap().is_empty());
     }
 
     #[test]

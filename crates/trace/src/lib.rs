@@ -38,6 +38,7 @@
 //! ```
 
 pub mod binary;
+pub mod block;
 pub mod cursor;
 mod event;
 pub mod intern;
@@ -48,8 +49,11 @@ mod serial;
 pub mod source;
 
 pub use binary::{
-    is_iotb, read_iotb, read_iotb_lossy, write_iotb, IotbCursor, IOTB_MAGIC, IOTB_VERSION,
+    is_iotb, read_block_index, read_iotb, read_iotb_lossy, write_iotb, write_iotb_indexed,
+    IotbBlock, IotbCursor, DEFAULT_BLOCK_EVENTS, IOTB_INDEX_FOOTER_MAGIC, IOTB_MAGIC, IOTB_VERSION,
+    IOTB_VERSION_INDEXED,
 };
+pub use block::{IotbBlockSource, RecordView};
 pub use cursor::{CursorState, JsonlCursor};
 pub use event::{ArgValue, TraceEvent};
 pub use intern::{StrInterner, Sym};

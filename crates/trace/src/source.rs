@@ -26,10 +26,12 @@
 use std::fmt;
 use std::fs::File;
 use std::io::{Read, Seek, SeekFrom};
+use std::sync::Arc;
 
 use serde::{Deserialize, Serialize};
 
-use crate::binary::{is_iotb, IotbCursor};
+use crate::binary::{is_iotb, IotbCursor, IOTB_INDEX_FOOTER_MAGIC};
+use crate::block::IotbBlockSource;
 use crate::cursor::{CursorState, JsonlCursor};
 use crate::event::TraceEvent;
 use crate::lossy::{ReadOptions, SkippedLine};
@@ -217,6 +219,12 @@ pub struct SourceOptions {
     pub resume: Option<SourcePos>,
     /// Optional reader decoration for the data file.
     pub wrap: Option<ReaderWrap>,
+    /// Decode parallelism for block-indexed `.iotb` containers: when
+    /// greater than 1 and the file carries a v2 index, records are
+    /// decoded by that many worker threads
+    /// ([`IotbBlockSource`]). `0`/`1`, JSONL, and v1 containers use
+    /// the serial cursors.
+    pub decode_jobs: usize,
 }
 
 /// Why [`open_source`] failed — split by phase so callers can keep
@@ -229,6 +237,14 @@ pub enum SourceError {
     Sniff(std::io::Error),
     /// Seeking to a JSONL resume offset failed.
     Seek(std::io::Error),
+    /// A resume was requested over a source that cannot replay earlier
+    /// bytes — a pipe, FIFO, socket, or device instead of a regular
+    /// file. Detected up front so the caller gets an actionable
+    /// message instead of a raw seek failure mid-open.
+    Unseekable {
+        /// What the path turned out to be ("fifo", "socket", …).
+        kind: &'static str,
+    },
     /// The resume position was taken over a different container format
     /// than the file resolves to.
     FormatMismatch {
@@ -248,6 +264,11 @@ impl fmt::Display for SourceError {
             SourceError::Open(e) => write!(f, "cannot open trace: {e}"),
             SourceError::Sniff(e) => write!(f, "cannot sniff trace format: {e}"),
             SourceError::Seek(e) => write!(f, "cannot seek to resume offset: {e}"),
+            SourceError::Unseekable { kind } => write!(
+                f,
+                "cannot resume from a {kind}: resuming re-reads earlier trace bytes, which only \
+                 a regular file can replay; save the stream to a file and resume from that path"
+            ),
             SourceError::FormatMismatch { resolved, resumed } => write!(
                 f,
                 "resume position is for a {resumed} trace but the file is {resolved}"
@@ -262,7 +283,7 @@ impl std::error::Error for SourceError {
         match self {
             SourceError::Open(e) | SourceError::Sniff(e) | SourceError::Seek(e) => Some(e),
             SourceError::Trace(e) => Some(e),
-            SourceError::FormatMismatch { .. } => None,
+            SourceError::FormatMismatch { .. } | SourceError::Unseekable { .. } => None,
         }
     }
 }
@@ -305,6 +326,18 @@ pub fn open_source(
     path: &str,
     options: SourceOptions,
 ) -> Result<Box<dyn EventSource>, SourceError> {
+    if options.resume.is_some() {
+        // Resuming re-reads earlier bytes (a JSONL seek, an iotb table
+        // re-read), which a pipe or device cannot replay. Detect it
+        // before opening: opening a FIFO with no writer would block
+        // forever, and a raw seek error mid-open is not actionable.
+        let meta = std::fs::metadata(path).map_err(SourceError::Open)?;
+        if !meta.is_file() {
+            return Err(SourceError::Unseekable {
+                kind: file_type_name(&meta.file_type()),
+            });
+        }
+    }
     let format = match options.format {
         Some(format) => format,
         None => sniff_format(path)?,
@@ -337,6 +370,26 @@ pub fn open_source(
             None => Ok(Box::new(JsonlSource::new(wrap(file), options.read))),
         },
         SourceFormat::Iotb => {
+            if options.decode_jobs > 1 && footer_says_indexed(path) {
+                // Block-indexed v2 container: read it once into a
+                // shared buffer (through the wrap hook, so fault
+                // injection still applies) and decode blocks in
+                // parallel. A v2 footer without a valid index is
+                // corruption, fatal like a bad string table.
+                let mut reader = wrap(file);
+                let mut bytes = Vec::new();
+                reader
+                    .read_to_end(&mut bytes)
+                    .map_err(|e| SourceError::Trace(TraceIoError::Io(e)))?;
+                let bytes = Arc::new(bytes);
+                let jobs = options.decode_jobs;
+                let source = match options.resume {
+                    Some(pos) => IotbBlockSource::resume(bytes, options.read, pos.state, jobs),
+                    None => IotbBlockSource::new(bytes, options.read, jobs),
+                }
+                .map_err(SourceError::Trace)?;
+                return Ok(Box::new(source));
+            }
             let source = match options.resume {
                 // The iotb cursor re-reads the table itself, so the
                 // reader stays at the container start.
@@ -347,6 +400,58 @@ pub fn open_source(
             Ok(Box::new(source))
         }
     }
+}
+
+/// Human-readable name of a non-regular file type, for
+/// [`SourceError::Unseekable`].
+fn file_type_name(file_type: &std::fs::FileType) -> &'static str {
+    #[cfg(unix)]
+    {
+        use std::os::unix::fs::FileTypeExt;
+        if file_type.is_fifo() {
+            return "pipe (FIFO)";
+        }
+        if file_type.is_socket() {
+            return "socket";
+        }
+        if file_type.is_char_device() {
+            return "character device";
+        }
+        if file_type.is_block_device() {
+            return "block device";
+        }
+    }
+    if file_type.is_dir() {
+        return "directory";
+    }
+    "non-regular file"
+}
+
+/// Whether the file ends with the v2 index footer magic — the cheap
+/// sniff that gates reading the whole container into memory for
+/// indexed decoding. Any I/O trouble answers "no" and lets the serial
+/// path produce the real error.
+fn footer_says_indexed(path: &str) -> bool {
+    let Ok(mut file) = File::open(path) else {
+        return false;
+    };
+    let Ok(len) = file.seek(SeekFrom::End(0)) else {
+        return false;
+    };
+    if len < 16 || file.seek(SeekFrom::Start(len - 8)).is_err() {
+        return false;
+    }
+    let mut magic = [0u8; 8];
+    let mut filled = 0;
+    while filled < magic.len() {
+        match file.read(&mut magic[filled..]) {
+            Ok(0) => return false,
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(_) => return false,
+        }
+    }
+    magic == IOTB_INDEX_FOOTER_MAGIC
 }
 
 #[cfg(test)]
@@ -486,5 +591,141 @@ mod tests {
     fn short_file_sniffs_as_jsonl() {
         let file = TempFile::new("short", b"IO");
         assert_eq!(sniff_format(&file.0).unwrap(), SourceFormat::Jsonl);
+    }
+
+    #[test]
+    fn indexed_container_routes_to_block_source_and_matches_serial() {
+        let trace = sample_trace();
+        let mut indexed = Vec::new();
+        crate::write_iotb_indexed(&mut indexed, &trace, 2).unwrap();
+        let file = TempFile::new("indexed.iotb", &indexed);
+
+        for jobs in [0, 1, 2, 4] {
+            let mut source = open_source(
+                &file.0,
+                SourceOptions {
+                    decode_jobs: jobs,
+                    ..SourceOptions::default()
+                },
+            )
+            .unwrap();
+            let events = drain(source.as_mut(), 3);
+            assert_eq!(events, trace.events(), "jobs={jobs}");
+            assert_eq!(source.position().format, SourceFormat::Iotb);
+            assert!(source.skip_ledger().is_empty());
+        }
+    }
+
+    #[test]
+    fn v1_container_stays_on_serial_path_even_with_jobs() {
+        let trace = sample_trace();
+        let mut iotb = Vec::new();
+        write_iotb(&mut iotb, &trace).unwrap();
+        let file = TempFile::new("v1-jobs.iotb", &iotb);
+        let mut source = open_source(
+            &file.0,
+            SourceOptions {
+                decode_jobs: 4,
+                ..SourceOptions::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(drain(source.as_mut(), 2), trace.events());
+    }
+
+    #[test]
+    fn resume_over_indexed_container_continues_exactly() {
+        let trace = sample_trace();
+        let mut indexed = Vec::new();
+        crate::write_iotb_indexed(&mut indexed, &trace, 2).unwrap();
+        let file = TempFile::new("resume-indexed.iotb", &indexed);
+
+        let options = SourceOptions {
+            decode_jobs: 4,
+            ..SourceOptions::default()
+        };
+        let mut head = open_source(&file.0, options).unwrap();
+        let mut events = head.next_batch(3).unwrap();
+        let pos = head.position();
+        drop(head);
+        let mut tail = open_source(
+            &file.0,
+            SourceOptions {
+                decode_jobs: 4,
+                resume: Some(pos),
+                ..SourceOptions::default()
+            },
+        )
+        .unwrap();
+        events.extend(drain(tail.as_mut(), 3));
+        assert_eq!(events, trace.events());
+    }
+
+    #[test]
+    fn indexed_open_reads_through_the_wrap_hook() {
+        use std::sync::atomic::{AtomicBool, Ordering};
+
+        let trace = sample_trace();
+        let mut indexed = Vec::new();
+        crate::write_iotb_indexed(&mut indexed, &trace, 2).unwrap();
+        let file = TempFile::new("wrapped.iotb", &indexed);
+
+        static WRAPPED: AtomicBool = AtomicBool::new(false);
+        let mut source = open_source(
+            &file.0,
+            SourceOptions {
+                decode_jobs: 2,
+                wrap: Some(Box::new(|f: File| {
+                    WRAPPED.store(true, Ordering::SeqCst);
+                    Box::new(f) as Box<dyn Read>
+                })),
+                ..SourceOptions::default()
+            },
+        )
+        .unwrap();
+        assert!(WRAPPED.load(Ordering::SeqCst));
+        assert_eq!(drain(source.as_mut(), 2), trace.events());
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn resume_from_fifo_is_a_structured_unseekable_error() {
+        let path = std::env::temp_dir()
+            .join(format!("iocov-source-{}-resume.fifo", std::process::id()))
+            .to_string_lossy()
+            .into_owned();
+        let _ = std::fs::remove_file(&path);
+        let status = std::process::Command::new("mkfifo")
+            .arg(&path)
+            .status()
+            .expect("mkfifo");
+        assert!(status.success());
+
+        let result = open_source(
+            &path,
+            SourceOptions {
+                resume: Some(SourcePos {
+                    format: SourceFormat::Jsonl,
+                    ..SourcePos::default()
+                }),
+                ..SourceOptions::default()
+            },
+        );
+        let _ = std::fs::remove_file(&path);
+        let Err(err) = result else {
+            panic!("expected unseekable error")
+        };
+        assert!(
+            matches!(
+                err,
+                SourceError::Unseekable {
+                    kind: "pipe (FIFO)"
+                }
+            ),
+            "{err}"
+        );
+        let msg = err.to_string();
+        assert!(msg.contains("cannot resume from a pipe (FIFO)"), "{msg}");
+        assert!(msg.contains("save the stream to a file"), "{msg}");
     }
 }
