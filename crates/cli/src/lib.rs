@@ -195,7 +195,7 @@ impl RobustnessOpts {
 }
 
 /// Parsed command-line invocation.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum Command {
     /// Full coverage report.
     Analyze {
@@ -265,6 +265,31 @@ pub enum Command {
         /// Log file path.
         log: String,
     },
+    /// Feedback-driven campaign: consume a coverage report, generate
+    /// workloads biased toward its cold partitions, execute against the
+    /// simulated VFS, re-measure, repeat.
+    Generate {
+        /// Starting coverage report (`analyze --json` output, bare or
+        /// `{"report": …}`-wrapped).
+        feedback: String,
+        /// Base sampling profile: `xfstests` or `crashmonkey`.
+        profile: String,
+        /// Uniform per-partition target for TCD and cold extraction.
+        target: u64,
+        /// Stop early once the campaign TCD reaches this value.
+        target_tcd: f64,
+        /// Maximum generate→analyze rounds.
+        max_rounds: usize,
+        /// Traced-event budget per round.
+        events_per_round: usize,
+        /// Campaign seed (campaigns are byte-reproducible per seed).
+        seed: u64,
+        /// Write the campaign's syzlang execution log here.
+        log_out: Option<String>,
+        /// Emit a machine-readable JSON summary (its `report` field can
+        /// seed the next campaign via --feedback).
+        json: bool,
+    },
     /// Compare the coverage of two traces.
     Diff {
         /// First trace file.
@@ -301,6 +326,13 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
     let mut format = TraceFormat::Auto;
     let mut to: Option<TraceFormat> = None;
     let mut robust = RobustnessOpts::default();
+    let mut feedback: Option<String> = None;
+    let mut profile = "xfstests".to_owned();
+    let mut target_tcd: f64 = 0.0;
+    let mut max_rounds: usize = 6;
+    let mut events_per_round: usize = 300;
+    let mut seed: u64 = 0;
+    let mut log_out: Option<String> = None;
     while let Some(arg) = iter.next() {
         match arg.as_str() {
             "--format" => {
@@ -417,6 +449,68 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                     .ok_or_else(|| CliError("--inject-io needs SEED[:HARD_AFTER]".into()))?;
                 robust.inject_io = Some(IoFaultSpec::parse(value)?);
             }
+            "--feedback" => {
+                feedback = Some(
+                    iter.next()
+                        .ok_or_else(|| CliError("--feedback needs a report path".into()))?
+                        .clone(),
+                );
+            }
+            "--profile" => {
+                let value = iter
+                    .next()
+                    .ok_or_else(|| CliError("--profile needs a value".into()))?;
+                if value != "xfstests" && value != "crashmonkey" {
+                    return Err(CliError(format!(
+                        "bad --profile value `{value}` (expected xfstests or crashmonkey)"
+                    )));
+                }
+                profile = value.clone();
+            }
+            "--target-tcd" => {
+                let value = iter
+                    .next()
+                    .ok_or_else(|| CliError("--target-tcd needs a number".into()))?;
+                target_tcd = value
+                    .parse()
+                    .ok()
+                    .filter(|t: &f64| t.is_finite() && *t >= 0.0)
+                    .ok_or_else(|| CliError(format!("bad --target-tcd value `{value}`")))?;
+            }
+            "--max-rounds" => {
+                let value = iter
+                    .next()
+                    .ok_or_else(|| CliError("--max-rounds needs a count".into()))?;
+                max_rounds = value
+                    .parse()
+                    .ok()
+                    .filter(|&n| n >= 1)
+                    .ok_or_else(|| CliError(format!("bad --max-rounds value `{value}`")))?;
+            }
+            "--events-per-round" => {
+                let value = iter
+                    .next()
+                    .ok_or_else(|| CliError("--events-per-round needs a count".into()))?;
+                events_per_round =
+                    value.parse().ok().filter(|&n| n >= 1).ok_or_else(|| {
+                        CliError(format!("bad --events-per-round value `{value}`"))
+                    })?;
+            }
+            "--seed" => {
+                let value = iter
+                    .next()
+                    .ok_or_else(|| CliError("--seed needs a number".into()))?;
+                seed = value
+                    .parse()
+                    .map_err(|_| CliError(format!("bad --seed value `{value}`")))?;
+            }
+            "--log-out" => {
+                log_out = Some(
+                    iter.next()
+                        .ok_or_else(|| CliError("--log-out needs a path".into()))?
+                        .clone(),
+                );
+            }
             "--max-errors" => {
                 let value = iter
                     .next()
@@ -496,6 +590,18 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
         "convert-syz" => Ok(Command::ConvertSyz {
             log: need_trace(&positional)?,
         }),
+        "generate" => Ok(Command::Generate {
+            feedback: feedback
+                .ok_or_else(|| CliError("generate requires --feedback <report.json>".into()))?,
+            profile,
+            target: target.unwrap_or(10),
+            target_tcd,
+            max_rounds,
+            events_per_round,
+            seed,
+            log_out,
+            json,
+        }),
         "diff" => {
             let trace_a = need_trace(&positional)?;
             let trace_b = positional
@@ -534,6 +640,11 @@ USAGE:
                  [--lossy [--max-errors N]]
   iocov convert-syz <syz-log.txt>
   iocov diff     <a.jsonl> <b.jsonl> [--mount PATH]
+  iocov generate --feedback <report.json>
+                 [--profile xfstests|crashmonkey] [--target N]
+                 [--target-tcd X] [--max-rounds N]
+                 [--events-per-round N] [--seed S]
+                 [--log-out FILE] [--json]
 
 Traces are JSON Lines of syscall events, as written by
 iocov_trace::write_jsonl (or produced from Syzkaller logs with
@@ -565,7 +676,18 @@ producing output byte-identical to an uninterrupted run.
 --stop-after-events K stops the run after K events (simulating a kill)
 for testing resume. --inject-panic and --inject-io deterministically
 inject worker panics and transient/hard I/O faults to exercise these
-recovery paths.";
+recovery paths.
+
+`generate` closes the measure→generate loop: it reads a coverage
+report (`analyze --json` output, bare or `{\"report\": …}`-wrapped),
+extracts the partitions still below --target, and runs a feedback
+campaign against the simulated VFS — each round re-weights the
+generator toward cold partitions, stages preconditions that elicit
+rare errnos, executes, re-analyzes, and reports the TCD movement
+(lower is better). Stops at --target-tcd or after --max-rounds.
+Campaigns are byte-reproducible per --seed. --log-out saves the
+syzlang execution log (replayable with `convert-syz`); --json emits a
+summary whose `report` field can seed the next campaign.";
 
 /// Resolves [`TraceFormat::Auto`] by sniffing the file's first four
 /// bytes for the `IOTB` magic.
@@ -666,6 +788,52 @@ fn make_filter(mount: Option<&str>) -> Result<iocov::TraceFilter, CliError> {
 struct AnalyzeDoc {
     report: iocov::AnalysisReport,
     metrics: iocov::MetricsSnapshot,
+}
+
+/// The `generate --json` summary document. Its `report` field is a
+/// bare [`AnalysisReport`] under a `report` key, so the document feeds
+/// straight back into `generate --feedback` (see [`load_report`]).
+#[derive(serde::Serialize)]
+struct GenerateDoc {
+    profile: String,
+    seed: u64,
+    target: u64,
+    final_tcd: f64,
+    converged: bool,
+    total_events: u64,
+    rounds: Vec<RoundDoc>,
+    report: AnalysisReport,
+}
+
+/// One round's statistics in the `generate --json` document.
+#[derive(serde::Serialize)]
+struct RoundDoc {
+    round: usize,
+    events: u64,
+    tcd_before: f64,
+    tcd_after: f64,
+    cold_inputs: usize,
+    cold_errnos: usize,
+    probes_staged: usize,
+    probes_hit: usize,
+}
+
+/// Loads a coverage report for `generate --feedback`: a bare
+/// [`AnalysisReport`] document (`analyze --json`), or any wrapper with a
+/// `report` field (`analyze --json --metrics`, `generate --json`).
+fn load_report(path: &str) -> Result<AnalysisReport, CliError> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| CliError(format!("cannot read {path}: {e}")))?;
+    if let Ok(report) = serde_json::from_str::<AnalysisReport>(&text) {
+        return Ok(report);
+    }
+    #[derive(serde::Deserialize)]
+    struct Wrapped {
+        report: AnalysisReport,
+    }
+    serde_json::from_str::<Wrapped>(&text)
+        .map(|w| w.report)
+        .map_err(|e| CliError(format!("cannot parse report {path}: {e}")))
 }
 
 fn make_iocov(mount: Option<&str>) -> Result<Iocov, CliError> {
@@ -1064,6 +1232,98 @@ pub fn run<W: Write>(command: &Command, out: &mut W) -> Result<(), CliError> {
                 .map_err(|e| CliError(format!("cannot parse {log}: {e}")))?;
             iocov_trace::write_jsonl(out, &trace)
                 .map_err(|e| CliError(format!("cannot write trace: {e}")))?;
+        }
+        Command::Generate {
+            feedback,
+            profile,
+            target,
+            target_tcd,
+            max_rounds,
+            events_per_round,
+            seed,
+            log_out,
+            json,
+        } => {
+            let initial = load_report(feedback)?;
+            let suite = match profile.as_str() {
+                "crashmonkey" => iocov_workloads::profile::crashmonkey_profile(),
+                _ => iocov_workloads::profile::xfstests_profile(),
+            };
+            let config = iocov_workloads::CampaignConfig {
+                seed: *seed,
+                max_rounds: *max_rounds,
+                events_per_round: *events_per_round,
+                target: *target,
+                target_tcd: *target_tcd,
+            };
+            let env =
+                iocov_workloads::TestEnv::new().with_config(iocov_workloads::campaign_config());
+            let outcome = iocov_workloads::FeedbackCampaign::new(suite, config).run(&env, &initial);
+            if let Some(path) = log_out {
+                std::fs::write(path, &outcome.log)
+                    .map_err(|e| CliError(format!("cannot write {path}: {e}")))?;
+            }
+            if *json {
+                let doc = GenerateDoc {
+                    profile: profile.clone(),
+                    seed: *seed,
+                    target: *target,
+                    final_tcd: outcome.final_tcd,
+                    converged: outcome.converged,
+                    total_events: outcome.total_events(),
+                    rounds: outcome
+                        .rounds
+                        .iter()
+                        .map(|r| RoundDoc {
+                            round: r.round,
+                            events: r.events,
+                            tcd_before: r.tcd_before,
+                            tcd_after: r.tcd_after,
+                            cold_inputs: r.cold_inputs,
+                            cold_errnos: r.cold_errnos,
+                            probes_staged: r.probes_staged,
+                            probes_hit: r.probes_hit,
+                        })
+                        .collect(),
+                    report: outcome.report.clone(),
+                };
+                let text = serde_json::to_string_pretty(&doc)
+                    .map_err(|e| CliError(format!("serialization failed: {e}")))?;
+                writeln!(out, "{text}")?;
+            } else {
+                for r in &outcome.rounds {
+                    writeln!(
+                        out,
+                        "round {}: tcd {:.4} -> {:.4}  ({} events, {} cold inputs, \
+                         {} cold errnos, probes {}/{})",
+                        r.round,
+                        r.tcd_before,
+                        r.tcd_after,
+                        r.events,
+                        r.cold_inputs,
+                        r.cold_errnos,
+                        r.probes_hit,
+                        r.probes_staged,
+                    )?;
+                }
+                let start = outcome
+                    .rounds
+                    .first()
+                    .map_or(outcome.final_tcd, |r| r.tcd_before);
+                writeln!(
+                    out,
+                    "campaign: tcd {start:.4} -> {:.4} over {} round{} ({} events), {}",
+                    outcome.final_tcd,
+                    outcome.rounds.len(),
+                    if outcome.rounds.len() == 1 { "" } else { "s" },
+                    outcome.total_events(),
+                    if outcome.converged {
+                        "converged"
+                    } else {
+                        "round budget exhausted"
+                    }
+                )?;
+            }
         }
     }
     Ok(())
@@ -2141,5 +2401,264 @@ mod diff_tests {
     #[test]
     fn diff_requires_two_operands() {
         assert!(parse_args(&["diff".to_owned(), "one.jsonl".to_owned()]).is_err());
+    }
+}
+
+#[cfg(test)]
+mod generate_tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| (*s).to_owned()).collect()
+    }
+
+    /// Path of the checked-in seed coverage report (a bare
+    /// `analyze --json` document over a small xfstests-ish trace).
+    fn report_fixture() -> String {
+        format!(
+            "{}/../../fixtures/feedback_report.json",
+            env!("CARGO_MANIFEST_DIR")
+        )
+    }
+
+    #[test]
+    fn parse_generate_command() {
+        assert_eq!(
+            parse_args(&args(&[
+                "generate",
+                "--feedback",
+                "r.json",
+                "--profile",
+                "crashmonkey",
+                "--target",
+                "20",
+                "--target-tcd",
+                "0.5",
+                "--max-rounds",
+                "3",
+                "--events-per-round",
+                "150",
+                "--seed",
+                "9",
+                "--log-out",
+                "c.syz",
+                "--json",
+            ]))
+            .unwrap(),
+            Command::Generate {
+                feedback: "r.json".into(),
+                profile: "crashmonkey".into(),
+                target: 20,
+                target_tcd: 0.5,
+                max_rounds: 3,
+                events_per_round: 150,
+                seed: 9,
+                log_out: Some("c.syz".into()),
+                json: true,
+            }
+        );
+        // Defaults.
+        assert_eq!(
+            parse_args(&args(&["generate", "--feedback", "r.json"])).unwrap(),
+            Command::Generate {
+                feedback: "r.json".into(),
+                profile: "xfstests".into(),
+                target: 10,
+                target_tcd: 0.0,
+                max_rounds: 6,
+                events_per_round: 300,
+                seed: 0,
+                log_out: None,
+                json: false,
+            }
+        );
+        assert!(
+            parse_args(&args(&["generate"])).is_err(),
+            "needs --feedback"
+        );
+        assert!(parse_args(&args(&["generate", "--feedback", "r", "--profile", "ltp"])).is_err());
+        assert!(parse_args(&args(&["generate", "--feedback", "r", "--max-rounds", "0"])).is_err());
+        assert!(parse_args(&args(&[
+            "generate",
+            "--feedback",
+            "r",
+            "--target-tcd",
+            "-1"
+        ]))
+        .is_err());
+        assert!(parse_args(&args(&["generate", "--feedback", "r", "--seed", "x"])).is_err());
+    }
+
+    #[test]
+    fn generate_improves_tcd_and_reports_rounds() {
+        let fixture = report_fixture();
+        let cmd = parse_args(&args(&[
+            "generate",
+            "--feedback",
+            &fixture,
+            "--max-rounds",
+            "2",
+            "--events-per-round",
+            "150",
+            "--seed",
+            "42",
+        ]))
+        .unwrap();
+        let mut out = Vec::new();
+        run(&cmd, &mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("round 0: tcd"), "{text}");
+        assert!(text.contains("round 1: tcd"), "{text}");
+        assert!(text.contains("campaign: tcd"), "{text}");
+        // TCD strictly improves over the seed report's baseline.
+        let initial = load_report(&fixture).unwrap();
+        let baseline = iocov::campaign_tcd(&initial, 10);
+        let final_tcd: f64 = text
+            .lines()
+            .find(|l| l.starts_with("campaign: tcd"))
+            .and_then(|l| l.split("-> ").nth(1))
+            .and_then(|s| s.split_whitespace().next())
+            .unwrap()
+            .parse()
+            .unwrap();
+        assert!(final_tcd < baseline, "{final_tcd} !< {baseline}");
+    }
+
+    /// Mirror of the `generate --json` document, for deserializing in
+    /// tests (the vendored serde derive wants every field present).
+    #[derive(serde::Deserialize)]
+    struct GenDocIn {
+        profile: String,
+        seed: u64,
+        target: u64,
+        final_tcd: f64,
+        converged: bool,
+        total_events: u64,
+        rounds: Vec<RoundDocIn>,
+        report: iocov::AnalysisReport,
+    }
+
+    #[derive(serde::Deserialize)]
+    struct RoundDocIn {
+        round: usize,
+        events: u64,
+        tcd_before: f64,
+        tcd_after: f64,
+        cold_inputs: usize,
+        cold_errnos: usize,
+        probes_staged: usize,
+        probes_hit: usize,
+    }
+
+    #[test]
+    fn generate_json_document_feeds_back_as_a_report() {
+        let fixture = report_fixture();
+        let run_json = |feedback: &str| -> Vec<u8> {
+            let cmd = parse_args(&args(&[
+                "generate",
+                "--feedback",
+                feedback,
+                "--max-rounds",
+                "1",
+                "--events-per-round",
+                "120",
+                "--seed",
+                "7",
+                "--json",
+            ]))
+            .unwrap();
+            let mut out = Vec::new();
+            run(&cmd, &mut out).unwrap();
+            out
+        };
+        let first = run_json(&fixture);
+        let doc: GenDocIn = serde_json::from_slice(&first).unwrap();
+        assert_eq!(doc.profile, "xfstests");
+        assert_eq!(doc.seed, 7);
+        assert_eq!(doc.target, 10);
+        assert!(!doc.converged);
+        assert_eq!(doc.rounds.len(), 1);
+        let round = &doc.rounds[0];
+        assert_eq!(round.round, 0);
+        assert!(round.events > 0);
+        assert!(round.cold_inputs > 0 && round.cold_errnos > 0);
+        assert!(round.probes_hit <= round.probes_staged);
+        assert_eq!(doc.total_events, doc.rounds.iter().map(|r| r.events).sum());
+        assert!(round.tcd_after < round.tcd_before);
+        assert!(doc.report.total_calls() > 0);
+        // The emitted document is itself valid --feedback input: the
+        // next campaign resumes exactly where this one left off.
+        let next = std::env::temp_dir()
+            .join(format!("iocov-gen-test-{}.json", std::process::id()))
+            .to_string_lossy()
+            .into_owned();
+        std::fs::write(&next, &first).unwrap();
+        let second = run_json(&next);
+        let doc2: GenDocIn = serde_json::from_slice(&second).unwrap();
+        let before2 = doc2.rounds[0].tcd_before;
+        assert!(
+            (doc.final_tcd - before2).abs() < 1e-12,
+            "{} vs {before2}",
+            doc.final_tcd
+        );
+        let _ = std::fs::remove_file(&next);
+    }
+
+    #[test]
+    fn generate_is_reproducible_and_log_converts() {
+        let fixture = report_fixture();
+        let run_with_log = |tag: &str, seed: &str| -> (Vec<u8>, String) {
+            let log = std::env::temp_dir()
+                .join(format!("iocov-gen-test-{}-{tag}.syz", std::process::id()))
+                .to_string_lossy()
+                .into_owned();
+            let cmd = parse_args(&args(&[
+                "generate",
+                "--feedback",
+                &fixture,
+                "--max-rounds",
+                "2",
+                "--events-per-round",
+                "120",
+                "--seed",
+                seed,
+                "--log-out",
+                &log,
+            ]))
+            .unwrap();
+            let mut out = Vec::new();
+            run(&cmd, &mut out).unwrap();
+            (out, log)
+        };
+        let (out_a, log_a) = run_with_log("a", "5");
+        let (out_b, log_b) = run_with_log("b", "5");
+        assert_eq!(out_a, out_b);
+        assert_eq!(
+            std::fs::read(&log_a).unwrap(),
+            std::fs::read(&log_b).unwrap(),
+            "same seed must produce a byte-identical campaign log"
+        );
+        let (_, log_c) = run_with_log("c", "6");
+        assert_ne!(
+            std::fs::read(&log_a).unwrap(),
+            std::fs::read(&log_c).unwrap()
+        );
+        // The saved log round-trips through convert-syz.
+        let cmd = parse_args(&args(&["convert-syz", &log_a])).unwrap();
+        let mut out = Vec::new();
+        run(&cmd, &mut out).unwrap();
+        let trace = iocov_trace::read_jsonl(out.as_slice()).unwrap();
+        assert!(trace.len() > 100);
+        for path in [&log_a, &log_b, &log_c] {
+            let _ = std::fs::remove_file(path);
+        }
+    }
+
+    #[test]
+    fn generate_with_missing_report_is_an_error() {
+        let cmd = parse_args(&args(&["generate", "--feedback", "/no/such/report.json"])).unwrap();
+        let mut out = Vec::new();
+        let err = run(&cmd, &mut out).unwrap_err();
+        assert!(err.to_string().contains("cannot read"), "{err}");
     }
 }

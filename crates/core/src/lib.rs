@@ -53,6 +53,7 @@
 
 mod arg;
 pub mod checkpoint;
+pub mod cold;
 mod combos;
 mod coverage;
 mod domain;
@@ -74,6 +75,7 @@ pub use checkpoint::{
     parse_checkpoint, read_checkpoint, write_checkpoint, CheckpointDoc, CheckpointError,
     PidStateSnapshot, IOCKPT_MAGIC, IOCKPT_VERSION,
 };
+pub use cold::{campaign_tcd, extract_cold, tcd_vector, ColdErrno, ColdPartition, ColdReport};
 pub use combos::ComboCoverage;
 pub use coverage::{AnalysisReport, Analyzer, ComboHistogram, InputCoverage, OutputCoverage};
 pub use domain::{

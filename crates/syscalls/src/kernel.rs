@@ -88,6 +88,18 @@ impl Kernel {
         self.recorder = None;
     }
 
+    /// Runs `f` with tracing suspended, then restores the recorder.
+    ///
+    /// Setup and teardown work (staging preconditions, filling quotas,
+    /// cleaning scratch files) must not pollute the coverage trace; this
+    /// scopes the suppression so callers cannot forget to re-attach.
+    pub fn untraced<T>(&mut self, f: impl FnOnce(&mut Self) -> T) -> T {
+        let recorder = self.recorder.take();
+        let out = f(self);
+        self.recorder = recorder;
+        out
+    }
+
     /// The underlying file system.
     #[must_use]
     pub fn vfs(&self) -> &Vfs {

@@ -45,7 +45,7 @@ impl SyzFuzzerSim {
         let mut kernel = env.fresh_kernel();
         let mut log = String::new();
         for p in 0..self.programs {
-            let mut rng = StdRng::seed_from_u64(self.seed ^ (p as u64).wrapping_mul(0x9e3779b9));
+            let mut rng = StdRng::seed_from_u64(mix_seed(self.seed, p as u64));
             let _ = writeln!(log, "# program {p}");
             self.run_program(&mut kernel, &mut rng, &mut log);
         }
@@ -67,10 +67,14 @@ impl SyzFuzzerSim {
             resources.push((var, seed_fd as i32));
             let _ = writeln!(
                 log,
-                "r{var} = open(&(0x7f0000000000)='{seed_path}\x00', 0x42, 0x1a4) # {seed_fd}"
+                "r{var} = open(&(0x7f0000000000)='{seed_path}\\x00', 0x42, 0x1a4) # {seed_fd}"
             );
         }
-        let calls = rng.random_range(3..=self.calls_per_program.max(4));
+        // Between 3 and `calls_per_program` calls; a configured maximum
+        // below 3 becomes the exact program length (floor of 1), and the
+        // maximum is never exceeded.
+        let max_calls = self.calls_per_program.max(1);
+        let calls = rng.random_range(max_calls.min(3)..=max_calls);
         for _ in 0..calls {
             match rng.random_range(0..10u32) {
                 0..=2 => {
@@ -216,6 +220,18 @@ impl SyzFuzzerSim {
     }
 }
 
+/// SplitMix64-style finalizer mixing the session seed with a program
+/// index. The previous `seed ^ p * 0x9e3779b9` left the top 32 bits of
+/// every per-program seed identical to the session seed's (the constant
+/// is 32-bit, so `p * c` stays small for small `p`), correlating the
+/// program streams.
+fn mix_seed(seed: u64, p: u64) -> u64 {
+    let mut z = seed.wrapping_add(p.wrapping_mul(0x9e37_79b9_7f4a_7c15));
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
 fn pick<'a>(rng: &mut StdRng, resources: &'a [(usize, i32)]) -> Option<&'a (usize, i32)> {
     if resources.is_empty() {
         None
@@ -294,6 +310,87 @@ mod tests {
         // Invalid whence (categorical fuzzing).
         let whence = report.input_coverage(ArgName::LseekWhence);
         assert!(whence.count(&InputPartition::Categorical("<invalid>".into())) > 0);
+    }
+
+    #[test]
+    fn log_contains_no_raw_control_bytes() {
+        // Regression: the seed-open line embedded a literal NUL where
+        // every other site wrote the textual `\x00` escape, producing a
+        // log no text tool (or strict parser) should have to accept.
+        let env = TestEnv::new();
+        let log = SyzFuzzerSim::new(11, 30, 10).run(&env);
+        assert!(log.contains("= open("), "seed opens are present");
+        for byte in log.bytes() {
+            assert!(
+                byte == b'\n' || !byte.is_ascii_control(),
+                "raw control byte {byte:#04x} in log"
+            );
+        }
+        // The textual escape form is what reaches the parser.
+        assert!(log.contains("\\x00"));
+        parse_to_trace(&log).expect("escaped log still parses");
+    }
+
+    #[test]
+    fn calls_per_program_bound_is_respected() {
+        // Regression: `random_range(3..=calls_per_program.max(4))` both
+        // ignored configured maxima below 4 and silently raised them.
+        for (cpp, max_lines) in [(1usize, 1), (2, 2), (3, 3), (8, 8)] {
+            let env = TestEnv::new();
+            let log = SyzFuzzerSim::new(13, 12, cpp).run(&env);
+            for program in log.split("# program").skip(1) {
+                let lines: Vec<&str> = program
+                    .lines()
+                    .skip(1) // the program-header remainder
+                    .filter(|l| !l.is_empty())
+                    .collect();
+                // Each program logs: one seed open, `calls` fuzzed calls
+                // (a few roll no line when no fd is live), and trailing
+                // closes for leftovers (bounded by successful opens,
+                // which are themselves bounded by lines).
+                let fuzzed = lines
+                    .iter()
+                    .filter(|l| !l.trim_start().starts_with("close("))
+                    .count()
+                    .saturating_sub(1); // seed open
+                assert!(
+                    fuzzed <= max_lines,
+                    "cpp={cpp}: {fuzzed} non-close calls\n{program}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn per_program_seeds_are_decorrelated() {
+        // The old mix (`seed ^ p * 0x9e3779b9`, a 32-bit constant) kept
+        // the top 32 bits of every per-program seed equal to the session
+        // seed's for small `p`. SplitMix64 finalization must spread them.
+        for seed in [0u64, 1, 42, u64::MAX] {
+            let mixed: Vec<u64> = (0..64).map(|p| mix_seed(seed, p)).collect();
+            let top: std::collections::BTreeSet<u32> =
+                mixed.iter().map(|m| (m >> 32) as u32).collect();
+            assert!(
+                top.len() > 32,
+                "top halves collapse: {} distinct",
+                top.len()
+            );
+            let all: std::collections::BTreeSet<u64> = mixed.iter().copied().collect();
+            assert_eq!(all.len(), 64, "mixed seeds must be pairwise distinct");
+        }
+        // End to end: distinct programs of one session produce distinct
+        // call sequences (bodies are comparable — each restarts its var
+        // numbering).
+        let env = TestEnv::new();
+        let log = SyzFuzzerSim::new(17, 24, 10).run(&env);
+        let bodies: std::collections::BTreeSet<String> = log
+            .split("# program")
+            .skip(1)
+            // Drop the "# program N" remainder so bodies differing only
+            // in their index don't count as distinct.
+            .map(|p| p.lines().skip(1).collect::<Vec<_>>().join("\n"))
+            .collect();
+        assert_eq!(bodies.len(), 24, "duplicate program bodies");
     }
 
     #[test]

@@ -33,6 +33,7 @@
 mod corruption;
 mod crashmonkey;
 mod env;
+pub mod feedback;
 mod fuzzer;
 mod ltp;
 pub mod profile;
@@ -42,6 +43,9 @@ mod xfstests;
 pub use corruption::{corrupt_jsonl, CorruptedTrace};
 pub use crashmonkey::{CrashMonkeySim, GENERIC_CRASH_TESTS, SEQ1_WORKLOADS};
 pub use env::{emit_noise, TestEnv, MOUNT};
+pub use feedback::{
+    campaign_config, CampaignConfig, CampaignOutcome, FeedbackCampaign, RoundStats,
+};
 pub use fuzzer::SyzFuzzerSim;
 pub use ltp::LtpSim;
 pub use xfstests::{XfstestsSim, EXT4_TESTS, GENERIC_TESTS};

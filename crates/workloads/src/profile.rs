@@ -9,11 +9,17 @@
 //! exact prose anchors — 7,924 vs 4,099,770 O_RDONLY opens and the
 //! 258 MiB maximum write — calibrate the suite volumes.
 
+use std::borrow::Cow;
+
 /// Relative weight of one optional open flag (zero = never used by the
 /// suite; the paper's "some flags are not tested at all").
 pub type FlagWeight = (&'static str, f64);
 
 /// The open-flag sampling profile of one suite.
+///
+/// Weight tables are `Cow` slices: the calibrated suite profiles borrow
+/// their `'static` tables allocation-free, while derived profiles (a
+/// feedback campaign re-weighting toward cold partitions) own theirs.
 #[derive(Debug, Clone)]
 pub struct OpenProfile {
     /// Probability of each access mode `[O_RDONLY, O_WRONLY, O_RDWR]`.
@@ -23,7 +29,7 @@ pub struct OpenProfile {
     /// access mode counts as one flag).
     pub combo_size_pct: [f64; 6],
     /// Relative weights of the optional (non-access-mode) flags.
-    pub flag_weights: &'static [FlagWeight],
+    pub flag_weights: Cow<'static, [FlagWeight]>,
 }
 
 /// The write/read size sampling profile: relative weight per power-of-two
@@ -35,7 +41,7 @@ pub struct SizeProfile {
     pub zero_weight: f64,
     /// `(log2 bucket, weight)`; a size is sampled uniformly inside the
     /// chosen bucket.
-    pub bucket_weights: &'static [(u32, f64)],
+    pub bucket_weights: Cow<'static, [(u32, f64)]>,
 }
 
 /// A full suite profile.
@@ -195,15 +201,15 @@ pub fn xfstests_profile() -> SuiteProfile {
             accmode_weights: [0.855, 0.115, 0.030],
             // Table 1, row "xfstests: all flags".
             combo_size_pct: [6.1, 28.2, 18.2, 46.8, 0.5, 0.4],
-            flag_weights: &XFSTESTS_FLAGS,
+            flag_weights: Cow::Borrowed(&XFSTESTS_FLAGS),
         },
         write_size: SizeProfile {
             zero_weight: 1.0,
-            bucket_weights: &XFSTESTS_WRITE_BUCKETS,
+            bucket_weights: Cow::Borrowed(&XFSTESTS_WRITE_BUCKETS),
         },
         read_size: SizeProfile {
             zero_weight: 0.3,
-            bucket_weights: &XFSTESTS_READ_BUCKETS,
+            bucket_weights: Cow::Borrowed(&XFSTESTS_READ_BUCKETS),
         },
     }
 }
@@ -217,15 +223,15 @@ pub fn crashmonkey_profile() -> SuiteProfile {
             accmode_weights: [0.86, 0.10, 0.04],
             // Table 1, row "CrashMonkey: all flags".
             combo_size_pct: [9.3, 2.8, 22.1, 65.4, 0.5, 0.0],
-            flag_weights: &CRASHMONKEY_FLAGS,
+            flag_weights: Cow::Borrowed(&CRASHMONKEY_FLAGS),
         },
         write_size: SizeProfile {
             zero_weight: 0.0, // CrashMonkey never writes zero bytes
-            bucket_weights: &CRASHMONKEY_WRITE_BUCKETS,
+            bucket_weights: Cow::Borrowed(&CRASHMONKEY_WRITE_BUCKETS),
         },
         read_size: SizeProfile {
             zero_weight: 0.0,
-            bucket_weights: &CRASHMONKEY_READ_BUCKETS,
+            bucket_weights: Cow::Borrowed(&CRASHMONKEY_READ_BUCKETS),
         },
     }
 }
@@ -264,7 +270,7 @@ mod tests {
     fn crashmonkey_flags_are_a_subset_of_xfstests() {
         let xfs = xfstests_profile();
         let cm = crashmonkey_profile();
-        for (flag, weight) in cm.open.flag_weights {
+        for (flag, weight) in cm.open.flag_weights.iter() {
             if *weight > 0.0 {
                 let xw = xfs
                     .open
@@ -300,7 +306,7 @@ mod tests {
         assert!(cm.write_size.bucket_weights.iter().all(|(k, _)| *k <= 17));
         assert_eq!(cm.write_size.zero_weight, 0.0);
         // CM's buckets are a subset of xfstests'.
-        for (bucket, _) in cm.write_size.bucket_weights {
+        for (bucket, _) in cm.write_size.bucket_weights.iter() {
             assert!(
                 xfs.write_size
                     .bucket_weights

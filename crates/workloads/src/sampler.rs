@@ -52,19 +52,35 @@ pub fn sample_open_flags<R: rand::Rng>(rng: &mut R, profile: &OpenProfile) -> u3
 
 /// Samples a byte count from a size profile: picks a bucket by weight,
 /// then a value uniformly inside `[2^k, 2^(k+1))`.
+///
+/// Degenerate profiles degrade instead of panicking: a profile whose
+/// weights are all zero (or that has no buckets at all) samples 0, and
+/// buckets at or beyond the top of `u64` clamp to bucket 63, whose upper
+/// half-open bound saturates at `u64::MAX` (the `2^64` overflow would
+/// otherwise wrap `hi` to 0 and panic in `random_range`).
 pub fn sample_size<R: rand::Rng>(rng: &mut R, profile: &SizeProfile) -> u64 {
     let mut weights = Vec::with_capacity(profile.bucket_weights.len() + 1);
     weights.push(profile.zero_weight);
     weights.extend(profile.bucket_weights.iter().map(|(_, w)| *w));
-    let idx = weighted_index(rng, &weights);
-    if idx == 0 && profile.zero_weight > 0.0 {
+    if profile.bucket_weights.is_empty() || weights.iter().sum::<f64>() <= 0.0 {
+        // No bucket is eligible; falling through to `bucket_weights[0]`
+        // would either panic (empty) or sample a zero-weight bucket.
         return 0;
     }
-    let idx = if idx == 0 { 1 } else { idx };
+    let idx = weighted_index(rng, &weights);
+    if idx == 0 {
+        // Only reachable when `zero_weight > 0`: a zero-weight entry can
+        // never win a weighted draw against a positive total.
+        return 0;
+    }
     let (bucket, _) = profile.bucket_weights[idx - 1];
+    let bucket = bucket.min(63);
     let lo = 1u64 << bucket;
-    let hi = lo << 1;
-    rng.random_range(lo..hi)
+    if bucket == 63 {
+        rng.random_range(lo..=u64::MAX)
+    } else {
+        rng.random_range(lo..lo << 1)
+    }
 }
 
 #[cfg(test)]
@@ -158,6 +174,83 @@ mod tests {
             .filter(|_| sample_size(&mut rng, &profile.write_size) == 0)
             .count();
         assert!(zeros > 0, "the '=0' boundary partition is exercised");
+    }
+
+    #[test]
+    fn bucket_63_saturates_instead_of_overflowing() {
+        // Regression: `hi = lo << 1` for bucket 63 wrapped to 0 and
+        // panicked in `random_range(lo..0)`.
+        let profile = SizeProfile {
+            zero_weight: 0.0,
+            bucket_weights: std::borrow::Cow::Owned(vec![(63u32, 1.0)]),
+        };
+        let mut rng = StdRng::seed_from_u64(9);
+        for _ in 0..100 {
+            let size = sample_size(&mut rng, &profile);
+            assert!(size >= 1u64 << 63);
+        }
+        // Out-of-range buckets clamp to 63 rather than overflowing the
+        // shift itself.
+        let profile = SizeProfile {
+            zero_weight: 0.0,
+            bucket_weights: std::borrow::Cow::Owned(vec![(64u32, 1.0), (200u32, 1.0)]),
+        };
+        assert!(sample_size(&mut rng, &profile) >= 1u64 << 63);
+    }
+
+    #[test]
+    fn all_zero_weights_sample_zero_not_bucket_zero() {
+        // Regression: an all-zero profile fell through to
+        // `bucket_weights[0]` and sampled from a bucket with zero weight.
+        let profile = SizeProfile {
+            zero_weight: 0.0,
+            bucket_weights: std::borrow::Cow::Owned(vec![(10u32, 0.0), (12u32, 0.0)]),
+        };
+        let mut rng = StdRng::seed_from_u64(10);
+        for _ in 0..100 {
+            assert_eq!(sample_size(&mut rng, &profile), 0);
+        }
+        // An empty bucket table is equally degenerate, not a panic.
+        let empty = SizeProfile {
+            zero_weight: 0.0,
+            bucket_weights: std::borrow::Cow::Owned(Vec::new()),
+        };
+        assert_eq!(sample_size(&mut rng, &empty), 0);
+    }
+
+    proptest::proptest! {
+        /// `sample_size` never panics and respects the profile: every
+        /// sample is 0 (only when the profile is degenerate or has
+        /// `zero_weight > 0`) or falls inside a positive-weight bucket.
+        #[test]
+        fn sample_size_total_over_arbitrary_profiles(
+            seed in proptest::prelude::any::<u64>(),
+            zero_weight in 0.0f64..4.0,
+            buckets in proptest::collection::vec((0u32..70, 0.0f64..10.0), 0..12),
+        ) {
+            let profile = SizeProfile {
+                zero_weight,
+                bucket_weights: std::borrow::Cow::Owned(buckets.clone()),
+            };
+            let mut rng = StdRng::seed_from_u64(seed);
+            for _ in 0..32 {
+                let size = sample_size(&mut rng, &profile);
+                if size == 0 {
+                    let degenerate = buckets.is_empty()
+                        || zero_weight + buckets.iter().map(|(_, w)| w).sum::<f64>() <= 0.0;
+                    proptest::prop_assert!(
+                        zero_weight > 0.0 || degenerate,
+                        "0 sampled from a profile with no zero mass"
+                    );
+                } else {
+                    let k = 63 - size.leading_zeros();
+                    proptest::prop_assert!(
+                        buckets.iter().any(|(b, w)| b.min(&63) == &k && *w > 0.0),
+                        "size {size} (bucket {k}) has no positive-weight source"
+                    );
+                }
+            }
+        }
     }
 
     #[test]
