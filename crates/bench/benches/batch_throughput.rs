@@ -1,0 +1,62 @@
+//! Per-event vs columnar-batch decode→filter→analyze.
+//!
+//! The acceptance bar for the `EventBatch` hot path: walking decoded
+//! records as borrowed `EventRef`s over struct-of-arrays columns must
+//! sustain at least 1.5× the events/sec of materializing an owned
+//! `TraceEvent` per record, at ≥10× fewer allocator calls per event —
+//! the whole point of the per-batch arena and interned names is
+//! replacing O(events × args) heap traffic with O(columns). Both paths
+//! must produce the identical report (asserted before any timing). The
+//! measured ratios are recorded in EXPERIMENTS.md and in the
+//! `BENCH_repro.json` written by `repro --full`.
+//!
+//! Set `BENCH_SMOKE=1` to run a single fast sample per path (the CI
+//! smoke mode) instead of the full measurement windows.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use iocov_bench::{
+    analyze_iotb_batched, analyze_iotb_per_event, measure_batch_throughput, sample_trace,
+    CountingAlloc,
+};
+
+// Real allocation counts, not estimates: every alloc/realloc in the
+// process lands in `iocov_bench::alloc_calls()`.
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+fn bench_batch_throughput(c: &mut Criterion) {
+    let smoke = std::env::var_os("BENCH_SMOKE").is_some();
+    let events = if smoke { 5_000 } else { 20_000 };
+
+    // The allocation story can't be a Criterion chart, so print the
+    // measured table (best-of-three, identical-report-asserted) first.
+    for row in measure_batch_throughput(events) {
+        eprintln!(
+            "[{:<9} {:>7} events — {:>10.0} events/s, {:>6.3} allocs/event ({} allocs)]",
+            row.path, row.events, row.events_per_sec, row.allocs_per_event, row.allocs
+        );
+    }
+
+    let trace = sample_trace(events);
+    let mut iotb = Vec::new();
+    iocov_trace::write_iotb(&mut iotb, &trace).expect("serialize iotb");
+
+    let mut group = c.benchmark_group("batch_throughput");
+    group.sample_size(if smoke { 2 } else { 10 });
+    if smoke {
+        group.measurement_time(Duration::from_millis(100));
+    }
+    group.throughput(Throughput::Elements(trace.len() as u64));
+    group.bench_function("per_event", |b| {
+        b.iter(|| analyze_iotb_per_event(&iotb));
+    });
+    group.bench_function("batch", |b| {
+        b.iter(|| analyze_iotb_batched(&iotb));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_batch_throughput);
+criterion_main!(benches);

@@ -21,10 +21,17 @@ use std::sync::Arc;
 use iocov::tcd::{crossover, log_targets, tcd_uniform};
 use iocov::{ArgName, BaseSyscall, InputPartition, NumericPartition, PipelineMetrics};
 use iocov_bench::{
-    measure_ingest_throughput, open_flag_frequencies, run_suites_parallel_with_metrics,
-    IngestThroughput, SuiteReports,
+    measure_batch_throughput, measure_ingest_throughput, open_flag_frequencies,
+    run_suites_parallel_with_metrics, BatchThroughput, CountingAlloc, IngestThroughput,
+    SuiteReports,
 };
 use iocov_faults::{dataset, demo_bugs, StudyStats};
+
+// Count real allocator calls so the --full benchmark record's
+// allocs-per-event column is measured, not estimated. Overhead: one
+// relaxed atomic increment per alloc.
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
 
 struct Options {
     scale: f64,
@@ -51,6 +58,9 @@ struct BenchDoc {
     /// Events decoded per second by each reader (jsonl-strict,
     /// jsonl-lossy, iotb) over the same sample trace.
     ingest: Vec<IngestThroughput>,
+    /// Per-event vs columnar-batch decode→filter→analyze throughput
+    /// and real allocations per event over the same sample trace.
+    batch: Vec<BatchThroughput>,
     /// Wall-clock nanoseconds per pipeline stage. `analyze` is summed
     /// across shard workers (CPU time, not elapsed time).
     stage_timings_ns: BTreeMap<String, u64>,
@@ -170,8 +180,17 @@ fn main() {
                 t.format, t.events, t.seconds, t.events_per_sec
             );
         }
+        eprintln!("[measuring per-event vs batch analysis hot path …]");
+        let batch = measure_batch_throughput(200_000);
+        for row in &batch {
+            eprintln!(
+                "[  {:<9} {:>9} events in {:.3} s — {:>12.0} events/s, {:.3} allocs/event]",
+                row.path, row.events, row.seconds, row.events_per_sec, row.allocs_per_event
+            );
+        }
         let doc = BenchDoc {
             ingest,
+            batch,
             stage_timings_ns: metrics
                 .as_ref()
                 .map(|m| m.stage_timings())

@@ -7,12 +7,54 @@
 //! full paper-scale run (millions of events) stays within bounded
 //! memory, and returns the merged [`AnalysisReport`] per suite.
 
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use iocov::{
-    AnalysisReport, ArgName, InputPartition, PipelineBuilder, PipelineMetrics, TraceFilter,
+    AnalysisReport, ArgName, InputPartition, PipelineBuilder, PipelineMetrics, StreamingAnalyzer,
+    TraceFilter,
 };
 use iocov_workloads::{CrashMonkeySim, SuiteResult, TestEnv, XfstestsSim, MOUNT};
+
+/// A counting wrapper over the system allocator, for the real (not
+/// estimated) allocations-per-event numbers in the `batch_throughput`
+/// bench and `repro --full`. Register it in the binary that wants
+/// counts:
+///
+/// ```ignore
+/// #[global_allocator]
+/// static ALLOC: iocov_bench::CountingAlloc = iocov_bench::CountingAlloc;
+/// ```
+///
+/// The only overhead is one relaxed atomic increment per
+/// alloc/realloc; without registration [`alloc_calls`] stays at zero.
+pub struct CountingAlloc;
+
+static ALLOC_CALLS: AtomicU64 = AtomicU64::new(0);
+
+/// Total alloc + realloc calls since process start (zero unless
+/// [`CountingAlloc`] is the registered global allocator).
+#[must_use]
+pub fn alloc_calls() -> u64 {
+    ALLOC_CALLS.load(Ordering::Relaxed)
+}
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
 
 /// Chunk size (in xfstests tests) between recorder drains.
 const CHUNK: usize = 25;
@@ -294,6 +336,171 @@ pub fn measure_ingest_throughput(events: usize) -> Vec<IngestThroughput> {
         .collect()
 }
 
+/// Decode an `.iotb` byte stream the pre-batch way — every record
+/// materialized as an owned [`iocov_trace::TraceEvent`] (name `String`
+/// plus args `Vec` plus payload `String`s), pushed, dropped — and
+/// analyze it with the standard mount filter. Returns
+/// `(events, report)`.
+///
+/// This is the per-event baseline the columnar batch path is measured
+/// against; both must produce the identical report.
+#[must_use]
+pub fn analyze_iotb_per_event(iotb: &[u8]) -> (usize, AnalysisReport) {
+    let options = iocov_trace::ReadOptions::default();
+    let mut cursor = iocov_trace::IotbCursor::new(iotb, options).expect("clean container");
+    let filter = TraceFilter::mount_point(MOUNT).expect("static mount pattern compiles");
+    let mut analyzer = StreamingAnalyzer::new(filter);
+    let mut events = 0usize;
+    while let Some(event) = cursor.next_event().expect("clean parses") {
+        analyzer.push(&event);
+        events += 1;
+    }
+    (events, analyzer.finish())
+}
+
+/// Decode the same `.iotb` byte stream through the columnar hot path —
+/// records packed straight into [`iocov_trace::EventBatch`] rows and
+/// walked as borrowed `EventRef`s, O(columns) allocations per batch —
+/// and analyze it with the standard mount filter.
+#[must_use]
+pub fn analyze_iotb_batched(iotb: &[u8]) -> (usize, AnalysisReport) {
+    let options = iocov_trace::ReadOptions::default();
+    let mut cursor = iocov_trace::IotbCursor::new(iotb, options).expect("clean container");
+    let filter = TraceFilter::mount_point(MOUNT).expect("static mount pattern compiles");
+    let mut analyzer = StreamingAnalyzer::new(filter);
+    let mut events = 0usize;
+    loop {
+        let mut batch = iocov_trace::EventBatch::with_capacity(1024);
+        while batch.len() < 4096 {
+            if !cursor.next_into(&mut batch).expect("clean parses") {
+                break;
+            }
+        }
+        if batch.is_empty() {
+            break;
+        }
+        for event in batch.iter() {
+            analyzer.push(&event);
+        }
+        events += batch.len();
+    }
+    (events, analyzer.finish())
+}
+
+/// Decode-only per-event baseline: materialize and drop an owned
+/// [`iocov_trace::TraceEvent`] per record, no analysis. Isolates the
+/// allocation cost of event materialization itself.
+#[must_use]
+pub fn decode_iotb_per_event(iotb: &[u8]) -> usize {
+    let options = iocov_trace::ReadOptions::default();
+    let mut cursor = iocov_trace::IotbCursor::new(iotb, options).expect("clean container");
+    let mut events = 0usize;
+    while let Some(event) = cursor.next_event().expect("clean parses") {
+        std::hint::black_box(&event);
+        events += 1;
+    }
+    events
+}
+
+/// Decode-only batch path: records packed into columnar
+/// [`iocov_trace::EventBatch`]es, no analysis.
+#[must_use]
+pub fn decode_iotb_batched(iotb: &[u8]) -> usize {
+    let options = iocov_trace::ReadOptions::default();
+    let mut cursor = iocov_trace::IotbCursor::new(iotb, options).expect("clean container");
+    let mut events = 0usize;
+    loop {
+        let mut batch = iocov_trace::EventBatch::with_capacity(1024);
+        while batch.len() < 4096 {
+            if !cursor.next_into(&mut batch).expect("clean parses") {
+                break;
+            }
+        }
+        if batch.is_empty() {
+            break;
+        }
+        std::hint::black_box(&batch);
+        events += batch.len();
+    }
+    events
+}
+
+/// One decode→filter→analyze measurement for `BENCH_repro.json`.
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct BatchThroughput {
+    /// `per-event` / `batch` (full decode→filter→analyze with owned
+    /// `TraceEvent`s vs columnar `EventBatch` rows), or
+    /// `per-event-decode` / `batch-decode` (decode only — isolates
+    /// the allocation cost of event materialization).
+    pub path: String,
+    /// Events analyzed per pass.
+    pub events: usize,
+    /// Best-of-three wall-clock seconds for one full pass.
+    pub seconds: f64,
+    /// Events analyzed per second at that best time.
+    pub events_per_sec: f64,
+    /// Allocator calls (alloc + realloc) in the best pass — real
+    /// counts from [`CountingAlloc`] when registered, zero otherwise.
+    pub allocs: u64,
+    /// `allocs / events`.
+    pub allocs_per_event: f64,
+}
+
+/// Measures the per-event vs columnar-batch decode→filter→analyze hot
+/// path over the same `events`-call sample trace (best of three passes
+/// each), asserting first that both paths produce the identical
+/// report. Allocation counts are real iff [`CountingAlloc`] is the
+/// caller's registered global allocator.
+#[must_use]
+pub fn measure_batch_throughput(events: usize) -> Vec<BatchThroughput> {
+    let trace = sample_trace(events);
+    let mut iotb = Vec::new();
+    iocov_trace::write_iotb(&mut iotb, &trace).expect("serialize iotb");
+
+    // Referee first: a speedup on a divergent report is meaningless.
+    assert_eq!(
+        analyze_iotb_per_event(&iotb).1,
+        analyze_iotb_batched(&iotb).1,
+        "per-event and batch analysis paths diverged"
+    );
+
+    type Pass<'a> = (&'a str, Box<dyn Fn(&[u8]) -> usize + 'a>);
+    let passes: [Pass; 4] = [
+        (
+            "per-event",
+            Box::new(|b: &[u8]| analyze_iotb_per_event(b).0),
+        ),
+        ("batch", Box::new(|b: &[u8]| analyze_iotb_batched(b).0)),
+        ("per-event-decode", Box::new(decode_iotb_per_event)),
+        ("batch-decode", Box::new(decode_iotb_batched)),
+    ];
+    passes
+        .iter()
+        .map(|(path, run)| {
+            let mut best = f64::INFINITY;
+            let mut best_allocs = u64::MAX;
+            let mut decoded = 0usize;
+            for _ in 0..3 {
+                let allocs_before = alloc_calls();
+                let start = std::time::Instant::now();
+                let n = run(&iotb);
+                let elapsed = start.elapsed().as_secs_f64();
+                best_allocs = best_allocs.min(alloc_calls() - allocs_before);
+                best = best.min(elapsed);
+                decoded = n;
+            }
+            BatchThroughput {
+                path: (*path).to_owned(),
+                events: decoded,
+                seconds: best,
+                events_per_sec: decoded as f64 / best,
+                allocs: best_allocs,
+                allocs_per_event: best_allocs as f64 / decoded.max(1) as f64,
+            }
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -361,5 +568,17 @@ mod tests {
     fn sample_trace_has_requested_volume() {
         let trace = sample_trace(500);
         assert!(trace.len() >= 500);
+    }
+
+    #[test]
+    fn per_event_and_batched_analysis_agree() {
+        let trace = sample_trace(2_000);
+        let mut iotb = Vec::new();
+        iocov_trace::write_iotb(&mut iotb, &trace).unwrap();
+        let (n_owned, owned) = analyze_iotb_per_event(&iotb);
+        let (n_batch, batched) = analyze_iotb_batched(&iotb);
+        assert_eq!(n_owned, trace.len());
+        assert_eq!(n_batch, trace.len());
+        assert_eq!(owned, batched);
     }
 }

@@ -368,9 +368,9 @@ impl ReportBuilder {
     /// per-event step of batch and streaming analysis — additionally
     /// recording unknown-syscall drops, variant merges, and
     /// per-partition-family record counts into `metrics` when attached.
-    pub(crate) fn accumulate(
+    pub(crate) fn accumulate<E: iocov_trace::EventView + ?Sized>(
         &mut self,
-        event: &iocov_trace::TraceEvent,
+        event: &E,
         metrics: Option<&PipelineMetrics>,
     ) {
         let Some(call) = normalize(event) else {

@@ -91,6 +91,9 @@ pub struct PipelineMetrics {
     records_input_categorical: AtomicU64,
     records_output_ok: AtomicU64,
     records_output_err: AtomicU64,
+    batch_count: AtomicU64,
+    batched_events: AtomicU64,
+    allocs_estimated: AtomicU64,
     shard_restarts: AtomicU64,
     shard_failures: Mutex<Vec<ShardFailureRecord>>,
     stage_nanos: Mutex<BTreeMap<&'static str, u64>>,
@@ -169,6 +172,40 @@ impl PipelineMetrics {
         counter.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Counts one columnar batch entering the analysis stage: `events`
+    /// rows, whose owned `Vec<TraceEvent>` representation would have
+    /// cost an estimated `allocs` heap allocations (the batch amortizes
+    /// them into O(columns) buffers). Recorded once per source batch by
+    /// the pipeline driver — never inside an executor — so serial and
+    /// pooled snapshots stay byte-identical.
+    pub fn record_batch(&self, events: u64, allocs: u64) {
+        self.batch_count.fetch_add(1, Ordering::Relaxed);
+        self.batched_events.fetch_add(events, Ordering::Relaxed);
+        self.allocs_estimated.fetch_add(allocs, Ordering::Relaxed);
+    }
+
+    /// Batches recorded so far.
+    ///
+    /// Like [`stage_timings`](Self::stage_timings), deliberately *not*
+    /// part of the serialized snapshot: batch boundaries follow the pull
+    /// schedule (checkpoint and stop caps shorten pulls), so the count
+    /// is a property of how a run was driven, not of the trace — a
+    /// checkpointed run must still serialize byte-identically to an
+    /// uninterrupted one. The event-derived sums (`batched_events`,
+    /// `allocs_estimated`) *are* in the snapshot.
+    #[must_use]
+    pub fn batch_count(&self) -> u64 {
+        self.batch_count.load(Ordering::Relaxed)
+    }
+
+    /// Mean events per recorded batch (live, schedule-dependent — see
+    /// [`batch_count`](Self::batch_count)). `None` before any batch.
+    #[must_use]
+    pub fn events_per_batch(&self) -> Option<f64> {
+        let batches = self.batch_count.load(Ordering::Relaxed);
+        (batches > 0).then(|| self.batched_events.load(Ordering::Relaxed) as f64 / batches as f64)
+    }
+
     /// Starts a wall-clock timer for `stage`; the elapsed time is added
     /// to the stage's total when the returned guard drops. Repeated
     /// timings of the same stage accumulate.
@@ -235,6 +272,10 @@ impl PipelineMetrics {
             .fetch_add(snapshot.parse_skipped, Ordering::Relaxed);
         self.variant_merged
             .fetch_add(snapshot.variant_merged, Ordering::Relaxed);
+        self.batched_events
+            .fetch_add(snapshot.batched_events, Ordering::Relaxed);
+        self.allocs_estimated
+            .fetch_add(snapshot.allocs_estimated, Ordering::Relaxed);
         self.shard_restarts
             .fetch_add(snapshot.shard_restarts, Ordering::Relaxed);
         for reason in DropReason::ALL {
@@ -315,6 +356,8 @@ impl PipelineMetrics {
             filter_dropped,
             variant_merged: read(&self.variant_merged),
             partition_records,
+            batched_events: read(&self.batched_events),
+            allocs_estimated: read(&self.allocs_estimated),
             shard_restarts: read(&self.shard_restarts),
             shard_failures,
         }
@@ -371,6 +414,20 @@ pub struct MetricsSnapshot {
     pub variant_merged: u64,
     /// Partition records written, by partition family.
     pub partition_records: BTreeMap<String, u64>,
+    /// Events that entered the analysis stage packed in columnar
+    /// batches. A per-event sum, so it is identical across executors,
+    /// decode paths, and checkpoint schedules (unlike the live
+    /// [`PipelineMetrics::batch_count`], which follows the pull
+    /// schedule and stays out of the snapshot).
+    #[serde(default)]
+    pub batched_events: u64,
+    /// Estimated heap allocations the owned per-event representation of
+    /// those batches would have needed (one name string and one args
+    /// vector per event, one string per path/str argument) — the figure
+    /// the columnar layout amortizes away into O(columns) buffers.
+    /// Also a per-event sum, so deterministic across every matrix cell.
+    #[serde(default)]
+    pub allocs_estimated: u64,
     /// Supervised shard restarts performed (panics and stalls absorbed
     /// by the supervisor).
     #[serde(default)]
@@ -389,6 +446,8 @@ impl MetricsSnapshot {
         self.events_read += other.events_read;
         self.parse_skipped += other.parse_skipped;
         self.variant_merged += other.variant_merged;
+        self.batched_events += other.batched_events;
+        self.allocs_estimated += other.allocs_estimated;
         self.shard_restarts += other.shard_restarts;
         for (reason, count) in &other.filter_dropped {
             *self.filter_dropped.entry(reason.clone()).or_insert(0) += count;
@@ -405,6 +464,13 @@ impl MetricsSnapshot {
     #[must_use]
     pub fn total_dropped(&self) -> u64 {
         self.filter_dropped.values().sum()
+    }
+
+    /// Mean estimated allocations avoided per batched event. `None`
+    /// before any event.
+    #[must_use]
+    pub fn allocs_per_event(&self) -> Option<f64> {
+        (self.batched_events > 0).then(|| self.allocs_estimated as f64 / self.batched_events as f64)
     }
 }
 
@@ -561,6 +627,40 @@ mod tests {
         .unwrap();
         assert_eq!(legacy.shard_restarts, 0);
         assert!(legacy.shard_failures.is_empty());
+    }
+
+    #[test]
+    fn batch_counters_accumulate_merge_and_absorb() {
+        let m = PipelineMetrics::default();
+        m.record_batch(4096, 9000);
+        m.record_batch(100, 250);
+        // Live batch-shape counters: schedule-dependent, outside the
+        // snapshot (like stage timings).
+        assert_eq!(m.batch_count(), 2);
+        assert_eq!(m.events_per_batch(), Some(2098.0));
+        let snap = m.snapshot();
+        assert_eq!(snap.batched_events, 4196);
+        assert_eq!(snap.allocs_estimated, 9250);
+        // The means are derived from raw sums, so merging stays
+        // commutative and ratios of a doubled snapshot are unchanged.
+        let mut twice = snap.clone();
+        twice.merge(&snap);
+        assert_eq!(twice.batched_events, 8392);
+        assert_eq!(twice.allocs_estimated, 18500);
+        let absorbed = PipelineMetrics::default();
+        absorbed.absorb(&snap);
+        assert_eq!(absorbed.snapshot(), snap);
+        // An absorbed snapshot carries no batch shape — the live count
+        // stays zero, exactly like timings.
+        assert_eq!(absorbed.batch_count(), 0);
+        assert_eq!(PipelineMetrics::default().events_per_batch(), None);
+        assert_eq!(MetricsSnapshot::default().allocs_per_event(), None);
+        assert_eq!(snap.allocs_per_event(), Some(9250.0 / 4196.0));
+        // Batch-shape keys never leak into the serialized snapshot.
+        let json = serde_json::to_string(&snap).unwrap();
+        assert!(!json.contains("batch_count"), "{json}");
+        assert!(json.contains("batched_events"), "{json}");
+        assert!(json.contains("allocs_estimated"), "{json}");
     }
 
     #[test]

@@ -50,10 +50,17 @@
 //! are spawned once on the first dispatched batch and fed over bounded
 //! channels, so a caller can parse the next chunk while the workers are
 //! still analyzing the previous one (pipelined parse/analyze overlap).
-//! Batches are shared as `Arc<Vec<TraceEvent>>` — handing the pool an
-//! owned chunk via [`push_owned`](ParallelStreamingAnalyzer::push_owned)
-//! moves it; the borrowed [`push_all`](ParallelStreamingAnalyzer::push_all)
-//! compatibility path clones. Chunks smaller than [`PARALLEL_THRESHOLD`]
+//! Batches are shared as `Arc<EventBatch>` — one columnar block
+//! broadcast to every worker, each of which walks it by reference
+//! ([`EventRef`](iocov_trace::EventRef)) and keeps only its own pids, so
+//! fan-out costs one atomic refcount per shard instead of an event-vector
+//! clone. Hand the pool a shared batch via
+//! [`push_shared`](ParallelStreamingAnalyzer::push_shared) (the
+//! pipeline's hot path) or an owned chunk via
+//! [`push_owned`](ParallelStreamingAnalyzer::push_owned); both the
+//! borrowed [`push_all`](ParallelStreamingAnalyzer::push_all) and owned
+//! compatibility paths pack events into batch columns rather than
+//! cloning them. Chunks smaller than [`PARALLEL_THRESHOLD`]
 //! events are coalesced in a caller-side buffer so per-batch channel
 //! overhead never dominates tiny pushes. The supervisor retains every
 //! dispatched batch (they are `Arc`-shared, so retention costs pointers,
@@ -86,7 +93,7 @@ use std::sync::mpsc::{sync_channel, Receiver, RecvTimeoutError, SyncSender, TryS
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use iocov_trace::{StrInterner, Trace, TraceEvent};
+use iocov_trace::{EventBatch, EventView, StrInterner, Trace, TraceEvent};
 
 use crate::coverage::AnalysisReport;
 use crate::filter::TraceFilter;
@@ -477,9 +484,9 @@ struct ShardScan {
 
 /// A job sent to a persistent shard worker.
 enum Job {
-    /// A batch of events to scan; every worker receives the same `Arc`
-    /// and keeps only its own pids.
-    Batch(Arc<Vec<TraceEvent>>),
+    /// A columnar batch of events to scan; every worker receives the
+    /// same `Arc` and keeps only its own pids.
+    Batch(Arc<EventBatch>),
     /// A request for a materialized snapshot of the shard's report so
     /// far, answered on the enclosed channel.
     Snapshot(SyncSender<AnalysisReport>),
@@ -575,9 +582,11 @@ fn worker_loop(
                 // total is summed across shards (CPU time, not wall
                 // clock).
                 let _timer = metrics.as_deref().map(|m| m.time_stage("analyze"));
+                // Walk the shared columns by reference: no owned event
+                // is materialized on the worker side either.
                 for event in batch.iter() {
-                    if event.pid as usize % n == w {
-                        shard.push(event);
+                    if event.pid() as usize % n == w {
+                        shard.push(&event);
                     }
                 }
                 heartbeat.fetch_add(1, Ordering::Relaxed);
@@ -618,12 +627,12 @@ pub struct ParallelStreamingAnalyzer {
     /// Live incarnations; empty until the first batch dispatch.
     slots: Vec<Slot>,
     /// Every batch ever dispatched, in order — the replay log.
-    batch_log: Vec<Arc<Vec<TraceEvent>>>,
+    batch_log: Vec<Arc<EventBatch>>,
     /// Per-shard restart ledger.
     supervision: Vec<ShardSupervision>,
     /// Caller-side coalescing buffer for chunks below
-    /// [`PARALLEL_THRESHOLD`].
-    pending: Vec<TraceEvent>,
+    /// [`PARALLEL_THRESHOLD`], packed columnar like everything else.
+    pending: EventBatch,
     /// Checkpoint-restored per-pid relevance states; each shard
     /// incarnation restores its `pid % N == shard` subset before
     /// scanning (including supervised respawns, which replay on top of
@@ -660,7 +669,7 @@ impl ParallelStreamingAnalyzer {
             slots: Vec::new(),
             batch_log: Vec::new(),
             supervision: vec![ShardSupervision::default(); nworkers],
-            pending: Vec::new(),
+            pending: EventBatch::new(),
             base_states: BTreeMap::new(),
         }
     }
@@ -721,9 +730,15 @@ impl ParallelStreamingAnalyzer {
         let (jobs, queue) = sync_channel::<Job>(PIPELINE_DEPTH);
         let (done_tx, done) = sync_channel::<WorkerExit>(1);
         let heartbeat = Arc::new(AtomicU64::new(0));
+        // Filter cloned per incarnation: the worker thread owns its
+        // analyzer (and dies with it on panic), so it cannot borrow
+        // the supervisor's copy.
         let mut shard =
             StreamingAnalyzer::with_interner(self.filter.clone(), Arc::clone(&self.interner));
         if !self.base_states.is_empty() {
+            // Cloned, not moved: the base states must survive as the
+            // seed for every *future* incarnation of this shard — a
+            // supervised respawn replays the log on the same base.
             let subset: BTreeMap<u32, crate::PidStateSnapshot> = self
                 .base_states
                 .iter()
@@ -982,7 +997,7 @@ impl ParallelStreamingAnalyzer {
     /// queue is [`PIPELINE_DEPTH`] batches behind — the backpressure
     /// that bounds memory to `depth × batch` per shard (plus the
     /// `Arc`-shared replay log).
-    fn dispatch(&mut self, batch: Arc<Vec<TraceEvent>>) {
+    fn dispatch(&mut self, batch: Arc<EventBatch>) {
         if self.slots.is_empty() {
             self.slots = (0..self.nworkers).map(|w| self.spawned_slot(w)).collect();
         }
@@ -1002,16 +1017,32 @@ impl ParallelStreamingAnalyzer {
         self.dispatch(batch);
     }
 
-    /// Consumes one owned chunk of events — the zero-copy hot path: a
-    /// chunk of at least [`PARALLEL_THRESHOLD`] events is wrapped in an
-    /// `Arc` and dispatched as-is; smaller chunks are coalesced and
+    /// Consumes one columnar batch — the zero-copy hot path from the
+    /// decode stage: a batch of at least [`PARALLEL_THRESHOLD`] events
+    /// is wrapped in an `Arc` and broadcast as-is (one refcount bump
+    /// per shard); smaller batches are coalesced column-to-column and
     /// dispatched once the buffer reaches the threshold.
-    pub fn push_owned(&mut self, events: Vec<TraceEvent>) {
-        if self.pending.is_empty() && events.len() >= PARALLEL_THRESHOLD {
-            self.dispatch(Arc::new(events));
+    pub fn push_shared(&mut self, batch: EventBatch) {
+        if self.pending.is_empty() && batch.len() >= PARALLEL_THRESHOLD {
+            self.dispatch(Arc::new(batch));
             return;
         }
-        self.pending.extend(events);
+        self.pending.append_batch(&batch);
+        if self.pending.len() >= PARALLEL_THRESHOLD {
+            self.flush_pending();
+        }
+    }
+
+    /// Consumes one owned chunk of events, packing it into batch
+    /// columns before dispatch.
+    pub fn push_owned(&mut self, events: Vec<TraceEvent>) {
+        if self.pending.is_empty() && events.len() >= PARALLEL_THRESHOLD {
+            self.dispatch(Arc::new(EventBatch::from_events(&events)));
+            return;
+        }
+        for event in &events {
+            self.pending.push_event(event);
+        }
         if self.pending.len() >= PARALLEL_THRESHOLD {
             self.flush_pending();
         }
@@ -1020,17 +1051,26 @@ impl ParallelStreamingAnalyzer {
     /// Consumes a stream of owned events, coalescing into
     /// [`PARALLEL_THRESHOLD`]-sized batches.
     pub fn push_batch(&mut self, events: impl IntoIterator<Item = TraceEvent>) {
-        self.pending.extend(events);
+        for event in events {
+            self.pending.push_event(&event);
+        }
         if self.pending.len() >= PARALLEL_THRESHOLD {
             self.flush_pending();
         }
     }
 
-    /// Consumes one chunk of borrowed events. Persistent workers outlive
-    /// the borrow, so this path **clones** the chunk; callers that own
-    /// their chunks should prefer [`push_owned`](Self::push_owned).
+    /// Consumes one chunk of borrowed events. Events are packed into
+    /// the coalescing batch's columns directly — unlike the former
+    /// `Arc<Vec<TraceEvent>>` design, no per-event `TraceEvent` clone
+    /// (name `String` + args `Vec` + path `String`s) is made to outlive
+    /// the borrow.
     pub fn push_all(&mut self, events: &[TraceEvent]) {
-        self.push_batch(events.iter().cloned());
+        for event in events {
+            self.pending.push_event(event);
+        }
+        if self.pending.len() >= PARALLEL_THRESHOLD {
+            self.flush_pending();
+        }
     }
 
     /// Drains the pool and returns the merged report. Equivalent to

@@ -61,7 +61,7 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
 use std::sync::Arc;
 
-use iocov_trace::{EventSource, SkippedLine, StrInterner, TraceEvent, TraceIoError};
+use iocov_trace::{EventBatch, EventSource, SkippedLine, StrInterner, TraceEvent, TraceIoError};
 
 use crate::checkpoint::{write_checkpoint, CheckpointDoc, PidStateSnapshot};
 use crate::coverage::AnalysisReport;
@@ -76,16 +76,16 @@ use crate::streaming::StreamingAnalyzer;
 /// Default batch size pulled from the source per executor push.
 pub const DEFAULT_CHUNK: usize = 4096;
 
-/// An execution strategy for the analysis stage: consumes owned event
-/// batches, yields cumulative state at checkpoint cuts, and produces
-/// the final report plus a shard-failure manifest.
+/// An execution strategy for the analysis stage: consumes columnar
+/// event batches, yields cumulative state at checkpoint cuts, and
+/// produces the final report plus a shard-failure manifest.
 ///
 /// Both implementations are *supervised*: a panicking scan is replayed
 /// from retained batches per [`SupervisorPolicy`], and exhausting the
 /// restart budget degrades to a partial report instead of aborting.
 pub trait Executor {
-    /// Feeds one owned batch of events.
-    fn push(&mut self, batch: Vec<TraceEvent>);
+    /// Feeds one owned columnar batch of events.
+    fn push(&mut self, batch: EventBatch);
 
     /// A checkpoint cut: the cumulative report and per-pid relevance
     /// states over everything pushed so far. The executor may rotate
@@ -116,7 +116,7 @@ pub struct SerialExecutor {
     local: Option<Arc<PipelineMetrics>>,
     /// Batches fed since the last cut, retained (`Arc`-shared) as the
     /// replay log for restarts.
-    log: Vec<Arc<Vec<TraceEvent>>>,
+    log: Vec<Arc<EventBatch>>,
     /// Log batches the current incarnation has consumed.
     seen: usize,
     /// Reports merged out of previous cuts (and a resumed checkpoint).
@@ -200,7 +200,7 @@ impl SerialExecutor {
                     hook(0, tick);
                 }
                 for event in batch.iter() {
-                    analyzer.push(event);
+                    analyzer.push(&event);
                 }
                 analyzer
             }));
@@ -261,7 +261,7 @@ impl SerialExecutor {
 }
 
 impl Executor for SerialExecutor {
-    fn push(&mut self, batch: Vec<TraceEvent>) {
+    fn push(&mut self, batch: EventBatch) {
         if self.gave_up {
             return;
         }
@@ -375,14 +375,14 @@ impl PoolExecutor {
 }
 
 impl Executor for PoolExecutor {
-    fn push(&mut self, batch: Vec<TraceEvent>) {
+    fn push(&mut self, batch: EventBatch) {
         if self.pool.is_none() {
             self.pool = Some(self.make_pool());
         }
         self.pool
             .as_mut()
             .expect("pool just created")
-            .push_owned(batch);
+            .push_shared(batch);
     }
 
     fn cut(&mut self) -> (AnalysisReport, BTreeMap<u32, PidStateSnapshot>) {
@@ -614,10 +614,24 @@ pub struct Pipeline {
 }
 
 impl Pipeline {
-    /// Feeds one owned chunk of in-memory events (no source, no
-    /// checkpointing counters).
+    /// Feeds one owned chunk of in-memory events, packing it into a
+    /// columnar batch (no source, no checkpointing counters).
     pub fn push_owned(&mut self, events: Vec<TraceEvent>) {
-        self.executor.push(events);
+        self.push_batch(EventBatch::from_events(&events));
+    }
+
+    /// Feeds one columnar batch directly (no source, no checkpointing
+    /// counters) — the allocation-free twin of
+    /// [`push_owned`](Self::push_owned).
+    pub fn push_batch(&mut self, batch: EventBatch) {
+        // Batch-shape counters are recorded here — once per batch, on
+        // the single entry point every feed path (run, push_owned,
+        // direct batches) funnels through, executor-independently — so
+        // serial and pooled snapshots stay byte-identical.
+        if let Some(m) = &self.metrics {
+            m.record_batch(batch.len() as u64, batch.estimated_owned_allocs());
+        }
+        self.executor.push(batch);
     }
 
     /// Drains the executor: the final report and failure manifest.
@@ -668,7 +682,7 @@ impl Pipeline {
                 break;
             }
             events += batch.len() as u64;
-            self.executor.push(batch);
+            self.push_batch(batch);
             if let Some(ck) = &self.checkpoint {
                 if events.is_multiple_of(ck.every) {
                     let path = ck.path.clone();

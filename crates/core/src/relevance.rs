@@ -35,7 +35,7 @@
 
 use std::collections::HashMap;
 
-use iocov_trace::{ArgValue, TraceEvent};
+use iocov_trace::{ArgView, EventView};
 
 use crate::filter::TraceFilter;
 use crate::metrics::DropReason;
@@ -82,14 +82,16 @@ impl PidState {
 
 /// Classifies one event: `None` when it is relevant to the mount point,
 /// otherwise the [`DropReason`] the metrics layer should count.
-pub(crate) fn event_drop_reason(
+pub(crate) fn event_drop_reason<E: EventView + ?Sized>(
     filter: &TraceFilter,
     state: &PidState,
-    event: &TraceEvent,
+    event: &E,
 ) -> Option<DropReason> {
     let mut saw_path = false;
-    for (i, arg) in event.args.iter().enumerate() {
-        let ArgValue::Path(path) = arg else { continue };
+    for i in 0..event.arg_count() {
+        let Some(ArgView::Path(path)) = event.arg(i) else {
+            continue;
+        };
         saw_path = true;
         let relevant = if path.starts_with('/') {
             filter.path_relevant(path)
@@ -97,8 +99,8 @@ pub(crate) fn event_drop_reason(
             // Relative path: relevance flows from the base directory —
             // the dirfd argument directly before the path for `*at`
             // calls, the cwd for plain calls.
-            match i.checked_sub(1).map(|j| &event.args[j]) {
-                Some(ArgValue::Fd(dirfd)) => state.fd_relevant(*dirfd),
+            match i.checked_sub(1).and_then(|j| event.arg(j)) {
+                Some(ArgView::Fd(dirfd)) => state.fd_relevant(dirfd),
                 _ => state.cwd_relevant,
             }
         };
@@ -110,42 +112,42 @@ pub(crate) fn event_drop_reason(
         return Some(DropReason::WrongMount);
     }
     // No path: relevance flows from the descriptor argument.
-    match event.args.first() {
-        Some(ArgValue::Fd(fd)) if state.fd_relevant(*fd) => None,
+    match event.arg(0) {
+        Some(ArgView::Fd(fd)) if state.fd_relevant(fd) => None,
         _ => Some(DropReason::IrrelevantFd),
     }
 }
 
 /// Propagates descriptor/cwd provenance after the event.
-pub(crate) fn update_state(state: &mut PidState, event: &TraceEvent, relevant: bool) {
-    if event.retval < 0 {
+pub(crate) fn update_state<E: EventView + ?Sized>(state: &mut PidState, event: &E, relevant: bool) {
+    if event.retval() < 0 {
         return; // failed calls change no kernel state
     }
-    match event.name.as_str() {
+    match event.name() {
         "open" | "openat" | "creat" | "openat2" => {
-            state.fds.insert(event.retval as i32, relevant);
+            state.fds.insert(event.retval() as i32, relevant);
         }
         "dup" | "dup2" | "dup3" => {
             // The duplicate aliases the source's open file description,
             // so it inherits the source's provenance (dup2/dup3 also
             // implicitly close the target number; the insert overwrites
             // whatever the number previously tracked).
-            if let Some(ArgValue::Fd(oldfd)) = event.args.first() {
-                let provenance = state.fd_relevant(*oldfd);
-                state.fds.insert(event.retval as i32, provenance);
+            if let Some(ArgView::Fd(oldfd)) = event.arg(0) {
+                let provenance = state.fd_relevant(oldfd);
+                state.fds.insert(event.retval() as i32, provenance);
             }
         }
         "close" => {
-            if let Some(ArgValue::Fd(fd)) = event.args.first() {
-                state.fds.remove(fd);
+            if let Some(ArgView::Fd(fd)) = event.arg(0) {
+                state.fds.remove(&fd);
             }
         }
         "chdir" => {
             state.cwd_relevant = relevant;
         }
         "fchdir" => {
-            if let Some(ArgValue::Fd(fd)) = event.args.first() {
-                state.cwd_relevant = state.fd_relevant(*fd);
+            if let Some(ArgView::Fd(fd)) = event.arg(0) {
+                state.cwd_relevant = state.fd_relevant(fd);
             }
         }
         _ => {}

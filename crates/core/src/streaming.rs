@@ -10,7 +10,7 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
-use iocov_trace::{StrInterner, TraceEvent};
+use iocov_trace::{EventView, StrInterner, TraceEvent};
 
 use crate::coverage::{AnalysisReport, ReportBuilder};
 use crate::filter::TraceFilter;
@@ -78,7 +78,11 @@ impl StreamingAnalyzer {
     }
 
     /// Consumes one event; returns whether it was kept.
-    pub fn push(&mut self, event: &TraceEvent) -> bool {
+    ///
+    /// Generic over [`EventView`], so owned [`TraceEvent`]s and borrowed
+    /// [`EventRef`](iocov_trace::EventRef) batch rows take the exact
+    /// same keep/drop and partition path.
+    pub fn push<E: EventView + ?Sized>(&mut self, event: &E) -> bool {
         self.builder.filter_stats.total += 1;
         let metrics = self.metrics.as_deref();
         if let Some(m) = metrics {
@@ -87,7 +91,7 @@ impl StreamingAnalyzer {
         let dropped = if self.filter.is_keep_all() {
             None
         } else {
-            let state = self.states.entry(event.pid).or_default();
+            let state = self.states.entry(event.pid()).or_default();
             let dropped = relevance::event_drop_reason(&self.filter, state, event);
             relevance::update_state(state, event, dropped.is_none());
             dropped

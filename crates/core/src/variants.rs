@@ -7,7 +7,7 @@
 //! `O_CREAT|O_WRONLY|O_TRUNC`).
 
 use iocov_syscalls::{BaseSyscall, Sysno};
-use iocov_trace::{ArgValue, TraceEvent};
+use iocov_trace::{ArgView, EventView};
 
 use crate::arg::{ArgName, TrackedValue};
 
@@ -28,28 +28,26 @@ pub struct NormalizedCall {
 /// The flags word `creat(2)` implies.
 pub const CREAT_IMPLIED_FLAGS: u32 = 0o1101; // O_CREAT | O_WRONLY | O_TRUNC
 
-fn bits(event: &TraceEvent, idx: usize) -> Option<TrackedValue> {
-    match event.args.get(idx)? {
-        ArgValue::Flags(v) | ArgValue::Mode(v) | ArgValue::Whence(v) => {
-            Some(TrackedValue::Bits(*v))
-        }
-        ArgValue::UInt(v) => u32::try_from(*v).ok().map(TrackedValue::Bits),
+fn bits<E: EventView + ?Sized>(event: &E, idx: usize) -> Option<TrackedValue> {
+    match event.arg(idx)? {
+        ArgView::Flags(v) | ArgView::Mode(v) | ArgView::Whence(v) => Some(TrackedValue::Bits(v)),
+        ArgView::UInt(v) => u32::try_from(v).ok().map(TrackedValue::Bits),
         _ => None,
     }
 }
 
-fn unsigned(event: &TraceEvent, idx: usize) -> Option<TrackedValue> {
-    match event.args.get(idx)? {
-        ArgValue::UInt(v) => Some(TrackedValue::Unsigned(*v)),
-        ArgValue::Int(v) if *v >= 0 => Some(TrackedValue::Unsigned(*v as u64)),
+fn unsigned<E: EventView + ?Sized>(event: &E, idx: usize) -> Option<TrackedValue> {
+    match event.arg(idx)? {
+        ArgView::UInt(v) => Some(TrackedValue::Unsigned(v)),
+        ArgView::Int(v) if v >= 0 => Some(TrackedValue::Unsigned(v as u64)),
         _ => None,
     }
 }
 
-fn signed(event: &TraceEvent, idx: usize) -> Option<TrackedValue> {
-    match event.args.get(idx)? {
-        ArgValue::Int(v) => Some(TrackedValue::Signed(*v)),
-        ArgValue::UInt(v) => i64::try_from(*v).ok().map(TrackedValue::Signed),
+fn signed<E: EventView + ?Sized>(event: &E, idx: usize) -> Option<TrackedValue> {
+    match event.arg(idx)? {
+        ArgView::Int(v) => Some(TrackedValue::Signed(v)),
+        ArgView::UInt(v) => i64::try_from(v).ok().map(TrackedValue::Signed),
         _ => None,
     }
 }
@@ -57,8 +55,8 @@ fn signed(event: &TraceEvent, idx: usize) -> Option<TrackedValue> {
 /// Normalizes one trace event; returns `None` for syscalls outside the
 /// 27-call domain (tester noise like `stat` or `unlink`).
 #[must_use]
-pub fn normalize(event: &TraceEvent) -> Option<NormalizedCall> {
-    let sysno = Sysno::from_name(&event.name)?;
+pub fn normalize<E: EventView + ?Sized>(event: &E) -> Option<NormalizedCall> {
+    let sysno = Sysno::from_name(event.name())?;
     let mut args: Vec<(ArgName, TrackedValue)> = Vec::with_capacity(2);
     let mut push = |name: ArgName, value: Option<TrackedValue>| {
         if let Some(v) = value {
@@ -132,7 +130,7 @@ pub fn normalize(event: &TraceEvent) -> Option<NormalizedCall> {
     Some(NormalizedCall {
         sysno,
         base: sysno.base(),
-        retval: event.retval,
+        retval: event.retval(),
         args,
     })
 }
@@ -140,6 +138,7 @@ pub fn normalize(event: &TraceEvent) -> Option<NormalizedCall> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use iocov_trace::{ArgValue, TraceEvent};
 
     fn event(name: &str, args: Vec<ArgValue>, retval: i64) -> TraceEvent {
         let sysno = Sysno::from_name(name).map_or(999, Sysno::number);

@@ -73,6 +73,7 @@ use std::collections::VecDeque;
 use std::io::{BufReader, BufWriter, Read, Write};
 use std::sync::Arc;
 
+use crate::batch::{ArgView, EventBatch};
 use crate::cursor::CursorState;
 use crate::event::{ArgValue, TraceEvent};
 use crate::intern::StrInterner;
@@ -593,14 +594,23 @@ impl<'a> Cursor<'a> {
     }
 }
 
-fn resolve(table: &[Arc<str>], index: u32) -> Result<String, String> {
+fn resolve_ref(table: &[Arc<str>], index: u32) -> Result<&Arc<str>, String> {
     table
         .get(index as usize)
-        .map(|s| s.as_ref().to_owned())
         .ok_or_else(|| format!("symbol {index} out of range (table has {})", table.len()))
 }
 
-pub(crate) fn decode_record(payload: &[u8], table: &[Arc<str>]) -> Result<TraceEvent, String> {
+/// Decodes one framed record payload directly into `batch` columns —
+/// the allocation-free hot path. The syscall name is interned into the
+/// batch by `Arc` identity and path/str payloads go straight into the
+/// batch arena, so a valid record costs zero per-record allocations
+/// once the batch buffers are warm. A malformed record leaves the batch
+/// untouched (the partial row is rolled back).
+pub(crate) fn decode_record_into(
+    payload: &[u8],
+    table: &[Arc<str>],
+    batch: &mut EventBatch,
+) -> Result<(), String> {
     let mut c = Cursor {
         buf: payload,
         pos: 0,
@@ -608,30 +618,30 @@ pub(crate) fn decode_record(payload: &[u8], table: &[Arc<str>]) -> Result<TraceE
     let seq = c.u64()?;
     let timestamp_ns = c.u64()?;
     let pid = c.u32()?;
-    let name = resolve(table, c.u32()?)?;
+    let name = resolve_ref(table, c.u32()?)?;
     let sysno = c.u32()?;
     let retval = c.i64()?;
     let argc = c.u32()? as usize;
     // Each argument occupies at least 5 bytes; reject counts the payload
-    // cannot possibly hold before allocating for them.
+    // cannot possibly hold before decoding them.
     if argc > payload.len() / 5 {
         return Err(format!("argument count {argc} impossible for payload"));
     }
-    let mut args = Vec::with_capacity(argc);
+    let mut row = batch.begin_row();
     for _ in 0..argc {
         let arg = match c.u8()? {
-            0 => ArgValue::Int(c.i64()?),
-            1 => ArgValue::UInt(c.u64()?),
-            2 => ArgValue::Fd(c.i32()?),
-            3 => ArgValue::Path(resolve(table, c.u32()?)?),
-            4 => ArgValue::Str(resolve(table, c.u32()?)?),
-            5 => ArgValue::Flags(c.u32()?),
-            6 => ArgValue::Mode(c.u32()?),
-            7 => ArgValue::Whence(c.u32()?),
-            8 => ArgValue::Ptr(c.u64()?),
+            0 => ArgView::Int(c.i64()?),
+            1 => ArgView::UInt(c.u64()?),
+            2 => ArgView::Fd(c.i32()?),
+            3 => ArgView::Path(resolve_ref(table, c.u32()?)?.as_ref()),
+            4 => ArgView::Str(resolve_ref(table, c.u32()?)?.as_ref()),
+            5 => ArgView::Flags(c.u32()?),
+            6 => ArgView::Mode(c.u32()?),
+            7 => ArgView::Whence(c.u32()?),
+            8 => ArgView::Ptr(c.u64()?),
             tag => return Err(format!("unknown argument tag {tag}")),
         };
-        args.push(arg);
+        row.push_arg(arg);
     }
     if c.pos != payload.len() {
         return Err(format!(
@@ -640,15 +650,18 @@ pub(crate) fn decode_record(payload: &[u8], table: &[Arc<str>]) -> Result<TraceE
             payload.len()
         ));
     }
-    Ok(TraceEvent {
-        seq,
-        timestamp_ns,
-        pid,
-        name,
-        sysno,
-        args,
-        retval,
-    })
+    let name_id = row.intern_name_arc(name);
+    row.commit(seq, timestamp_ns, pid, name_id, sysno, retval);
+    Ok(())
+}
+
+/// Decodes one record into an owned [`TraceEvent`]. Delegates to
+/// [`decode_record_into`] so the two paths validate identically (same
+/// checks, same error strings) by construction.
+pub(crate) fn decode_record(payload: &[u8], table: &[Arc<str>]) -> Result<TraceEvent, String> {
+    let mut batch = EventBatch::new();
+    decode_record_into(payload, table, &mut batch)?;
+    Ok(batch.get(0).expect("committed row").to_event())
 }
 
 /// Reads an `.iotb` trace, recovering from corrupt records instead of
@@ -669,10 +682,11 @@ pub fn read_iotb_lossy<R: Read>(
     options: &ReadOptions,
 ) -> Result<LossyRead, TraceIoError> {
     let mut cursor = IotbCursor::new(reader, *options)?;
-    let mut trace = Trace::new();
-    while let Some(event) = cursor.next_event()? {
-        trace.push(event);
-    }
+    // Decode through the columnar batch path (one arena, zero per-record
+    // allocations), materializing owned events only once at the end.
+    let mut batch = EventBatch::new();
+    while cursor.next_into(&mut batch)? {}
+    let trace = Trace::from_events(batch.to_events());
     Ok(LossyRead::from_cursor(trace, cursor.into_state()))
 }
 
@@ -790,15 +804,35 @@ impl<R: Read> IotbCursor<R> {
     /// exhausted, and — under [`ErrorPolicy::Abort`] —
     /// [`TraceIoError::Record`] for the first bad record.
     pub fn next_event(&mut self) -> Result<Option<TraceEvent>, TraceIoError> {
+        let mut batch = EventBatch::new();
+        if self.next_into(&mut batch)? {
+            Ok(Some(batch.get(0).expect("one decoded row").to_event()))
+        } else {
+            Ok(None)
+        }
+    }
+
+    /// Decodes the next record directly into `batch` — the
+    /// allocation-free counterpart of [`next_event`](Self::next_event).
+    /// Returns whether a record was appended; `false` means end of
+    /// stream. Skip accounting, resynchronization, and
+    /// [`state`](Self::state) checkpoint validity are identical to the
+    /// owned-event path (which is a one-row wrapper over this method).
+    ///
+    /// # Errors
+    ///
+    /// Same failure model as [`next_event`](Self::next_event).
+    pub fn next_into(&mut self, batch: &mut EventBatch) -> Result<bool, TraceIoError> {
         loop {
             if let Some((event, end_offset)) = self.pending.pop_front() {
                 self.state.lines += 1;
                 self.state.byte_offset = end_offset;
                 self.state.events += 1;
-                return Ok(Some(event));
+                batch.push_event(&event);
+                return Ok(true);
             }
             if self.done {
-                return Ok(None);
+                return Ok(false);
             }
             let mut len_bytes = [0u8; 4];
             let fill = read_exact_or_eof(&mut self.reader, &mut len_bytes)?;
@@ -840,10 +874,10 @@ impl<R: Read> IotbCursor<R> {
                     match read_exact_or_eof(&mut self.reader, &mut payload)? {
                         Fill::Full => {
                             self.state.byte_offset += (4 + len) as u64;
-                            match decode_record(&payload, &self.table) {
-                                Ok(event) => {
+                            match decode_record_into(&payload, &self.table, batch) {
+                                Ok(()) => {
                                     self.state.events += 1;
-                                    return Ok(Some(event));
+                                    return Ok(true);
                                 }
                                 Err(detail) => (ErrorClass::MalformedRecord, detail, false),
                             }

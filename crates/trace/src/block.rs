@@ -28,10 +28,14 @@
 //! sees exactly the stream the serial cursor would have produced, and
 //! serialized reports stay byte-identical by construction.
 //!
-//! Workers parse records as [`RecordView`]s borrowing the shared
-//! buffer — no per-record payload copy, unlike the serial reader's
-//! `vec![0u8; len]` per record — and materialize an owned
-//! [`TraceEvent`] only when the record is yielded into the channel.
+//! Workers decode records straight from the shared buffer into a
+//! per-block columnar [`EventBatch`] — no per-record payload copy
+//! (unlike the serial reader's `vec![0u8; len]` per record) and no
+//! per-record heap allocations: names intern into the batch table by
+//! `Arc` identity and path bytes land in the batch arena. The consumer
+//! re-sequences rows into its output batch with
+//! [`EventBatch::append_row`], so no owned [`TraceEvent`] is ever
+//! materialized on this path.
 //!
 //! There is no `mmap` here: the container is read into one
 //! `Arc<Vec<u8>>` up front. That is a deliberate dependency-free
@@ -39,15 +43,16 @@
 //! many readers); the index layout would serve a real mapping
 //! identically.
 
-use std::collections::{BTreeMap, VecDeque};
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 
+use crate::batch::EventBatch;
 use crate::binary::{
-    binary_error, decode_record, fnv1a, read_block_index, read_table, IotbBlock, FNV_OFFSET,
-    MAX_RECORD_LEN,
+    binary_error, decode_record, decode_record_into, fnv1a, read_block_index, read_table,
+    IotbBlock, FNV_OFFSET, MAX_RECORD_LEN,
 };
 use crate::cursor::CursorState;
 use crate::event::TraceEvent;
@@ -143,23 +148,26 @@ impl<'a> RecordView<'a> {
     }
 }
 
-/// One decoded record ready to yield, carrying the bookkeeping the
-/// consumer needs for exact checkpoints: the absolute end offset of
-/// its frame and its 1-based record ordinal in the whole container.
-struct PendingRecord {
-    event: TraceEvent,
-    end_offset: u64,
-    ordinal: usize,
-}
-
-/// A fully decoded block, in file order internally.
+/// A fully decoded block: one columnar batch of its records in file
+/// order, plus per-record bookkeeping the consumer needs for exact
+/// checkpoints — the absolute end offset of each record's frame and its
+/// 1-based ordinal in the whole container (parallel to the batch rows).
 struct DecodedBlock {
-    records: VecDeque<PendingRecord>,
+    batch: EventBatch,
+    /// `(end_offset, ordinal)` for each batch row, in row order.
+    meta: Vec<(u64, usize)>,
     skips: Vec<SkippedLine>,
     /// Absolute offset just past the block.
     end_offset: u64,
     /// Record ordinal after the block (for blocks that yield nothing).
     end_ordinal: usize,
+}
+
+/// The in-order block currently being consumed, with a row cursor.
+struct CurrentBlock {
+    batch: EventBatch,
+    meta: Vec<(u64, usize)>,
+    row: usize,
 }
 
 /// What a worker delivers for one block id.
@@ -232,7 +240,7 @@ pub struct IotbBlockSource {
     state: CursorState,
     blocks: usize,
     next_block: usize,
-    current: VecDeque<PendingRecord>,
+    current: Option<CurrentBlock>,
     reorder: BTreeMap<usize, BlockResult>,
     rx: Receiver<(usize, BlockResult)>,
     gate: Arc<Gate>,
@@ -361,7 +369,7 @@ impl IotbBlockSource {
             state,
             blocks: blocks.len(),
             next_block: start_block,
-            current: VecDeque::new(),
+            current: None,
             reorder: BTreeMap::new(),
             rx,
             gate,
@@ -392,19 +400,28 @@ impl IotbBlockSource {
         }
     }
 
-    fn next_record(&mut self) -> Result<Option<TraceEvent>, TraceIoError> {
+    /// Copies the next in-order record into `out`; returns whether one
+    /// was appended (`false` means end of stream).
+    fn next_into(&mut self, out: &mut EventBatch) -> Result<bool, TraceIoError> {
         loop {
-            if let Some(record) = self.current.pop_front() {
-                if record.end_offset <= self.resume_floor {
-                    continue; // consumed before the resumed checkpoint
+            if let Some(cur) = &mut self.current {
+                if cur.row < cur.meta.len() {
+                    let row = cur.row;
+                    cur.row += 1;
+                    let (end_offset, ordinal) = cur.meta[row];
+                    if end_offset <= self.resume_floor {
+                        continue; // consumed before the resumed checkpoint
+                    }
+                    self.state.byte_offset = end_offset;
+                    self.state.lines = ordinal;
+                    self.state.events += 1;
+                    out.append_row(&cur.batch, row);
+                    return Ok(true);
                 }
-                self.state.byte_offset = record.end_offset;
-                self.state.lines = record.ordinal;
-                self.state.events += 1;
-                return Ok(Some(record.event));
+                self.current = None;
             }
             if self.next_block >= self.blocks {
-                return Ok(None);
+                return Ok(false);
             }
             let id = self.next_block;
             let block = self.take_block(id)?;
@@ -424,28 +441,32 @@ impl IotbBlockSource {
                     }
                 }
             }
-            if block.records.is_empty() {
+            if block.batch.is_empty() {
                 // Nothing to yield from this block (skipped whole, or
                 // fully below the resume floor): account for it now so
                 // checkpoints do not point backwards.
                 self.state.byte_offset = self.state.byte_offset.max(block.end_offset);
                 self.state.lines = self.state.lines.max(block.end_ordinal);
             }
-            self.current = block.records;
+            self.current = Some(CurrentBlock {
+                batch: block.batch,
+                meta: block.meta,
+                row: 0,
+            });
         }
     }
 }
 
 impl EventSource for IotbBlockSource {
-    fn next_batch(&mut self, max: usize) -> Result<Vec<TraceEvent>, TraceIoError> {
+    fn next_batch(&mut self, max: usize) -> Result<EventBatch, TraceIoError> {
         if self.failed {
-            return Ok(Vec::new());
+            return Ok(EventBatch::new());
         }
-        let mut batch = Vec::with_capacity(max.min(1024));
+        let mut batch = EventBatch::with_capacity(max.min(1024));
         while batch.len() < max {
-            match self.next_record() {
-                Ok(Some(event)) => batch.push(event),
-                Ok(None) => break,
+            match self.next_into(&mut batch) {
+                Ok(true) => {}
+                Ok(false) => break,
                 Err(e) => {
                     self.failed = true;
                     return Err(e);
@@ -513,7 +534,8 @@ fn decode_block(
             return Err(binary_error(message));
         }
         return Ok(DecodedBlock {
-            records: VecDeque::new(),
+            batch: EventBatch::new(),
+            meta: Vec::new(),
             skips: vec![SkippedLine {
                 line: base_ordinal + 1,
                 class: ErrorClass::MalformedRecord,
@@ -524,28 +546,27 @@ fn decode_block(
         });
     }
 
-    let mut records = VecDeque::new();
+    let events = usize::try_from(block.events).unwrap_or(0);
+    let mut batch = EventBatch::with_capacity(events);
+    let mut meta = Vec::with_capacity(events);
     let mut skips = Vec::new();
     let mut pos = 0usize;
     let mut ordinal = base_ordinal;
     while pos < slice.len() {
         ordinal += 1;
         if slice.len() - pos < 4 {
-            return frame_corrupt(block, ordinal, strict, records, skips, end_offset);
+            return frame_corrupt(block, ordinal, strict, batch, meta, skips, end_offset);
         }
         let rec_len = u32::from_le_bytes(slice[pos..pos + 4].try_into().expect("4 bytes")) as usize;
         if rec_len > MAX_RECORD_LEN || slice.len() - pos - 4 < rec_len {
-            return frame_corrupt(block, ordinal, strict, records, skips, end_offset);
+            return frame_corrupt(block, ordinal, strict, batch, meta, skips, end_offset);
         }
         let payload = &slice[pos + 4..pos + 4 + rec_len];
         pos += 4 + rec_len;
-        let decoded = RecordView::parse(payload).and_then(|view| view.to_event(table));
-        match decoded {
-            Ok(event) => records.push_back(PendingRecord {
-                event,
-                end_offset: block.offset + pos as u64,
-                ordinal,
-            }),
+        // Decode straight into the block's columnar batch — no owned
+        // TraceEvent is ever materialized on this path.
+        match decode_record_into(payload, table, &mut batch) {
+            Ok(()) => meta.push((block.offset + pos as u64, ordinal)),
             Err(detail) => {
                 if strict {
                     return Err(TraceIoError::Record {
@@ -562,7 +583,8 @@ fn decode_block(
         }
     }
     Ok(DecodedBlock {
-        records,
+        batch,
+        meta,
         skips,
         end_offset,
         end_ordinal: ordinal,
@@ -571,11 +593,13 @@ fn decode_block(
 
 /// A framing failure inside a checksum-verified block: the index and
 /// data disagree, so the rest of the block cannot be trusted.
+#[allow(clippy::too_many_arguments)]
 fn frame_corrupt(
     block: &IotbBlock,
     ordinal: usize,
     strict: bool,
-    records: VecDeque<PendingRecord>,
+    batch: EventBatch,
+    meta: Vec<(u64, usize)>,
     mut skips: Vec<SkippedLine>,
     end_offset: u64,
 ) -> Result<DecodedBlock, TraceIoError> {
@@ -592,7 +616,8 @@ fn frame_corrupt(
         message,
     });
     Ok(DecodedBlock {
-        records,
+        batch,
+        meta,
         skips,
         end_offset,
         end_ordinal: ordinal,
@@ -636,7 +661,7 @@ mod tests {
             if batch.is_empty() {
                 break;
             }
-            events.extend(batch);
+            events.extend(batch.to_events());
         }
         events
     }
@@ -689,7 +714,7 @@ mod tests {
                 while events.len() < stop_after {
                     let batch = head.next_batch(stop_after - events.len()).unwrap();
                     assert!(!batch.is_empty());
-                    events.extend(batch);
+                    events.extend(batch.to_events());
                 }
                 let pos = head.position();
                 drop(head);

@@ -37,6 +37,7 @@
 //! assert_eq!(trace.events()[0].name, "open");
 //! ```
 
+pub mod batch;
 pub mod binary;
 pub mod block;
 pub mod cursor;
@@ -48,6 +49,7 @@ pub mod retry;
 mod serial;
 pub mod source;
 
+pub use batch::{ArgView, EventBatch, EventRef, EventView};
 pub use binary::{
     is_iotb, read_block_index, read_iotb, read_iotb_lossy, write_iotb, write_iotb_indexed,
     IotbBlock, IotbCursor, DEFAULT_BLOCK_EVENTS, IOTB_INDEX_FOOTER_MAGIC, IOTB_MAGIC, IOTB_VERSION,

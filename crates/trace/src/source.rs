@@ -30,10 +30,10 @@ use std::sync::Arc;
 
 use serde::{Deserialize, Serialize};
 
+use crate::batch::EventBatch;
 use crate::binary::{is_iotb, IotbCursor, IOTB_INDEX_FOOTER_MAGIC};
 use crate::block::IotbBlockSource;
 use crate::cursor::{CursorState, JsonlCursor};
-use crate::event::TraceEvent;
 use crate::lossy::{ReadOptions, SkippedLine};
 use crate::serial::TraceIoError;
 
@@ -80,14 +80,20 @@ pub struct SourcePos {
 
 /// A pull-based, resumable stream of trace events.
 pub trait EventSource {
-    /// Pulls up to `max` events. An empty batch means end of stream.
+    /// Pulls up to `max` events as one columnar [`EventBatch`]. An
+    /// empty batch means end of stream.
+    ///
+    /// Every implementation returns exactly `max` events while the
+    /// stream has them, so batch boundaries — and anything derived
+    /// from them, like batch-count metrics — are identical across
+    /// decode paths.
     ///
     /// # Errors
     ///
     /// Returns the underlying cursor's errors: I/O failure, an
     /// exhausted lossy skip budget, or — under strict options — the
     /// first malformed line/record.
-    fn next_batch(&mut self, max: usize) -> Result<Vec<TraceEvent>, TraceIoError>;
+    fn next_batch(&mut self, max: usize) -> Result<EventBatch, TraceIoError>;
 
     /// The current resume point. Valid to checkpoint at any batch
     /// boundary.
@@ -120,11 +126,14 @@ impl<R: Read> JsonlSource<R> {
 }
 
 impl<R: Read> EventSource for JsonlSource<R> {
-    fn next_batch(&mut self, max: usize) -> Result<Vec<TraceEvent>, TraceIoError> {
-        let mut batch = Vec::with_capacity(max.min(1024));
+    fn next_batch(&mut self, max: usize) -> Result<EventBatch, TraceIoError> {
+        // JSONL lines deserialize through serde into an owned event;
+        // it is packed into the batch immediately and dropped, so the
+        // per-event allocations never cross the source boundary.
+        let mut batch = EventBatch::with_capacity(max.min(1024));
         while batch.len() < max {
             match self.cursor.next_event()? {
-                Some(event) => batch.push(event),
+                Some(event) => batch.push_event(&event),
                 None => break,
             }
         }
@@ -180,12 +189,13 @@ impl<R: Read> IotbSource<R> {
 }
 
 impl<R: Read> EventSource for IotbSource<R> {
-    fn next_batch(&mut self, max: usize) -> Result<Vec<TraceEvent>, TraceIoError> {
-        let mut batch = Vec::with_capacity(max.min(1024));
+    fn next_batch(&mut self, max: usize) -> Result<EventBatch, TraceIoError> {
+        // `next_into` decodes records straight into the batch columns —
+        // no owned `TraceEvent` is materialized on this path.
+        let mut batch = EventBatch::with_capacity(max.min(1024));
         while batch.len() < max {
-            match self.cursor.next_event()? {
-                Some(event) => batch.push(event),
-                None => break,
+            if !self.cursor.next_into(&mut batch)? {
+                break;
             }
         }
         Ok(batch)
@@ -457,7 +467,7 @@ fn footer_says_indexed(path: &str) -> bool {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::event::ArgValue;
+    use crate::event::{ArgValue, TraceEvent};
     use crate::{write_iotb, write_jsonl, Trace};
 
     fn sample_trace() -> Trace {
@@ -501,7 +511,7 @@ mod tests {
             if batch.is_empty() {
                 break;
             }
-            events.extend(batch);
+            events.extend(batch.to_events());
         }
         events
     }
@@ -563,7 +573,7 @@ mod tests {
         for (tag, bytes) in [("r.jsonl", &jsonl), ("r.iotb", &iotb)] {
             let file = TempFile::new(tag, bytes);
             let mut head = open_source(&file.0, SourceOptions::default()).unwrap();
-            let mut events = head.next_batch(2).unwrap();
+            let mut events = head.next_batch(2).unwrap().to_events();
             let pos = head.position();
             drop(head);
             let mut tail = open_source(
@@ -645,7 +655,7 @@ mod tests {
             ..SourceOptions::default()
         };
         let mut head = open_source(&file.0, options).unwrap();
-        let mut events = head.next_batch(3).unwrap();
+        let mut events = head.next_batch(3).unwrap().to_events();
         let pos = head.position();
         drop(head);
         let mut tail = open_source(

@@ -157,7 +157,7 @@ proptest! {
                 if batch.is_empty() {
                     break;
                 }
-                decoded.extend(batch);
+                decoded.extend(batch.to_events());
             }
             prop_assert_eq!(&decoded[..], trace.events(), "jobs={}", jobs);
             prop_assert!(source.skip_ledger().is_empty());
