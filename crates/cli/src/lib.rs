@@ -12,6 +12,9 @@
 //!                [--resume F] [--stop-after-events K]
 //!                [--shard-timeout SECS] [--max-shard-restarts N]
 //!                [--inject-panic S:T[:X]] [--inject-io SEED[:AFTER]]
+//!                [--distribute N [--inject-worker-kill W:T[:SIG]]
+//!                 [--inject-worker-stall W:T[:MS]]
+//!                 [--inject-corrupt-frame W:F[:X]]]
 //! iocov untested <trace.jsonl> [--mount PATH]            gap summary
 //! iocov combos   <trace.jsonl> [--mount PATH]            flag-combination coverage
 //! iocov tcd      <trace.jsonl> [--mount PATH] --target N TCD of open flags
@@ -28,7 +31,16 @@
 //! `--resume`; the resumed output is byte-identical to an uninterrupted
 //! run. The `--inject-*` flags deterministically inject worker panics
 //! and transient/hard I/O faults for testing those paths.
+//!
+//! `--distribute N` scales the same supervision out to *processes*: the
+//! coordinator spawns N copies of itself as hidden `iocov worker`
+//! subprocesses, collects their checkpoint frames, re-drives a dead,
+//! stalled, or corrupt-framed worker from its last collected
+//! checkpoint, and renders output byte-identical to `--jobs N`. The
+//! `--inject-worker-*` flags deterministically kill, stall, or
+//! frame-corrupt a chosen worker to exercise that recovery.
 
+use std::collections::BTreeMap;
 use std::fmt;
 use std::fs::File;
 use std::io::{BufReader, Read, Write};
@@ -36,13 +48,18 @@ use std::path::{Path, PathBuf};
 use std::sync::Arc;
 use std::time::Duration;
 
+use iocov::distribute::{read_frame, FRAME_SPEC};
 use iocov::tcd::{deviation_ranking, tcd_uniform};
 use iocov::{
-    read_checkpoint, AnalysisReport, ArgName, BaseSyscall, CheckpointPolicy, ComboCoverage,
-    IdentifierCoverage, Iocov, PipelineBuilder, PipelineError, PipelineMetrics, ShardFailureRecord,
-    SupervisorPolicy,
+    read_checkpoint_with_fallback, run_coordinator, run_worker, worker_specs, AnalysisReport,
+    ArgName, BaseSyscall, CheckpointPolicy, ComboCoverage, CorruptSpec, DistributeConfig,
+    IdentifierCoverage, Iocov, KillSpec, PipelineBuilder, PipelineError, PipelineMetrics,
+    ShardFailureRecord, StallSpec, SupervisorPolicy, WorkerFaults, WorkerHooks, WorkerSpec,
 };
-use iocov_faults::{FaultPlan, FaultyRead, PanicSchedule};
+use iocov_faults::{
+    FaultPlan, FaultyRead, FrameCorruptSchedule, PanicSchedule, WorkerKillSchedule, WorkerSignal,
+    WorkerStallSchedule,
+};
 use iocov_trace::{
     open_source, ErrorPolicy, LossyRead, ReadOptions, RetryRead, SkippedLine, SourceError,
     SourceFormat, SourceOptions, SourcePos, Trace,
@@ -157,6 +174,133 @@ impl IoFaultSpec {
     }
 }
 
+/// A deterministic worker-kill injection for `--distribute`: worker
+/// `worker` raises `signal` (default abort) at source-event ordinal
+/// `tick` of each armed incarnation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WorkerKillFlag {
+    /// Worker index to fault.
+    pub worker: usize,
+    /// Source-event ordinal at which to die.
+    pub tick: u64,
+    /// Canonical signal name, if one was given.
+    pub signal: Option<String>,
+}
+
+impl WorkerKillFlag {
+    fn parse(value: &str) -> Result<Self, CliError> {
+        let bad = || {
+            CliError(format!(
+                "bad --inject-worker-kill value `{value}` (want WORKER:TICK[:SIGNAL])"
+            ))
+        };
+        let mut parts = value.split(':');
+        let worker = parts.next().and_then(|s| s.parse().ok()).ok_or_else(bad)?;
+        let tick = parts.next().and_then(|s| s.parse().ok()).ok_or_else(bad)?;
+        let signal = match parts.next() {
+            Some(s) => Some(
+                WorkerSignal::parse(s)
+                    .ok_or_else(|| {
+                        CliError(format!(
+                            "bad --inject-worker-kill signal `{s}` (want KILL, TERM, or ABRT)"
+                        ))
+                    })?
+                    .name()
+                    .to_owned(),
+            ),
+            None => None,
+        };
+        if parts.next().is_some() {
+            return Err(bad());
+        }
+        Ok(WorkerKillFlag {
+            worker,
+            tick,
+            signal,
+        })
+    }
+}
+
+/// A deterministic worker-stall injection for `--distribute`: worker
+/// `worker` freezes for `millis` at source-event ordinal `tick`,
+/// starving heartbeats until the `--shard-timeout` watchdog fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WorkerStallFlag {
+    /// Worker index to fault.
+    pub worker: usize,
+    /// Source-event ordinal at which to freeze.
+    pub tick: u64,
+    /// Sleep length in milliseconds.
+    pub millis: u64,
+}
+
+/// Default stall length: comfortably past any test watchdog, short
+/// enough that a run without `--shard-timeout` still finishes.
+const DEFAULT_STALL_MILLIS: u64 = 60_000;
+
+impl WorkerStallFlag {
+    fn parse(value: &str) -> Result<Self, CliError> {
+        let bad = || {
+            CliError(format!(
+                "bad --inject-worker-stall value `{value}` (want WORKER:TICK[:MILLIS])"
+            ))
+        };
+        let mut parts = value.split(':');
+        let worker = parts.next().and_then(|s| s.parse().ok()).ok_or_else(bad)?;
+        let tick = parts.next().and_then(|s| s.parse().ok()).ok_or_else(bad)?;
+        let millis = match parts.next() {
+            Some(s) => s.parse().ok().filter(|&n| n >= 1).ok_or_else(bad)?,
+            None => DEFAULT_STALL_MILLIS,
+        };
+        if parts.next().is_some() {
+            return Err(bad());
+        }
+        Ok(WorkerStallFlag {
+            worker,
+            tick,
+            millis,
+        })
+    }
+}
+
+/// A deterministic frame-corruption injection for `--distribute`:
+/// worker `worker`'s `frame`-th checkpoint/done frame is corrupted
+/// after checksumming, `times` times.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CorruptFrameFlag {
+    /// Worker index to fault.
+    pub worker: usize,
+    /// Checkpoint/done frame ordinal to corrupt.
+    pub frame: u64,
+    /// How many times the corruption fires before disarming.
+    pub times: u32,
+}
+
+impl CorruptFrameFlag {
+    fn parse(value: &str) -> Result<Self, CliError> {
+        let bad = || {
+            CliError(format!(
+                "bad --inject-corrupt-frame value `{value}` (want WORKER:FRAME[:TIMES])"
+            ))
+        };
+        let mut parts = value.split(':');
+        let worker = parts.next().and_then(|s| s.parse().ok()).ok_or_else(bad)?;
+        let frame = parts.next().and_then(|s| s.parse().ok()).ok_or_else(bad)?;
+        let times = match parts.next() {
+            Some(s) => s.parse().map_err(|_| bad())?,
+            None => 1,
+        };
+        if parts.next().is_some() || times == 0 {
+            return Err(bad());
+        }
+        Ok(CorruptFrameFlag {
+            worker,
+            frame,
+            times,
+        })
+    }
+}
+
 /// Supervision, checkpointing, and fault-injection options for
 /// `analyze`. Grouped so the common invocation stays readable and new
 /// robustness knobs don't churn [`Command::Analyze`].
@@ -178,6 +322,14 @@ pub struct RobustnessOpts {
     pub inject_panic: Option<PanicSpec>,
     /// Inject deterministic I/O faults into the trace reader.
     pub inject_io: Option<IoFaultSpec>,
+    /// Scale out across this many worker processes.
+    pub distribute: Option<usize>,
+    /// Kill a worker process deterministically.
+    pub inject_worker_kill: Option<WorkerKillFlag>,
+    /// Stall a worker process deterministically.
+    pub inject_worker_stall: Option<WorkerStallFlag>,
+    /// Corrupt a worker's outgoing frame deterministically.
+    pub inject_corrupt_frame: Option<CorruptFrameFlag>,
 }
 
 impl RobustnessOpts {
@@ -215,8 +367,9 @@ pub enum Command {
         metrics: bool,
         /// Abort a lossy read after this many skipped lines.
         max_errors: Option<usize>,
-        /// Supervision, checkpointing, and fault injection.
-        robust: RobustnessOpts,
+        /// Supervision, checkpointing, and fault injection (boxed:
+        /// these knobs dominate the variant's size).
+        robust: Box<RobustnessOpts>,
     },
     /// Translate a trace between JSONL and the binary container.
     Convert {
@@ -265,6 +418,11 @@ pub enum Command {
         /// Log file path.
         log: String,
     },
+    /// Hidden: run as a distributed-analysis worker process. Reads one
+    /// spec frame from stdin, writes protocol frames to stdout. Spawned
+    /// by `analyze --distribute`, not for interactive use (and so kept
+    /// out of the usage text).
+    Worker,
     /// Feedback-driven campaign: consume a coverage report, generate
     /// workloads biased toward its cold partitions, execute against the
     /// simulated VFS, re-measure, repeat.
@@ -319,6 +477,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
     let mut json = false;
     let mut target: Option<u64> = None;
     let mut jobs: usize = 1;
+    let mut jobs_set = false;
     let mut lossy = false;
     let mut index = false;
     let mut metrics = false;
@@ -381,6 +540,37 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                     .ok()
                     .filter(|&n| n >= 1)
                     .ok_or_else(|| CliError(format!("bad --jobs value `{value}`")))?;
+                jobs_set = true;
+            }
+            "--distribute" => {
+                let value = iter
+                    .next()
+                    .ok_or_else(|| CliError("--distribute needs a worker count".into()))?;
+                robust.distribute = Some(
+                    value
+                        .parse()
+                        .ok()
+                        .filter(|&n| n >= 1)
+                        .ok_or_else(|| CliError(format!("bad --distribute value `{value}`")))?,
+                );
+            }
+            "--inject-worker-kill" => {
+                let value = iter.next().ok_or_else(|| {
+                    CliError("--inject-worker-kill needs WORKER:TICK[:SIGNAL]".into())
+                })?;
+                robust.inject_worker_kill = Some(WorkerKillFlag::parse(value)?);
+            }
+            "--inject-worker-stall" => {
+                let value = iter.next().ok_or_else(|| {
+                    CliError("--inject-worker-stall needs WORKER:TICK[:MILLIS]".into())
+                })?;
+                robust.inject_worker_stall = Some(WorkerStallFlag::parse(value)?);
+            }
+            "--inject-corrupt-frame" => {
+                let value = iter.next().ok_or_else(|| {
+                    CliError("--inject-corrupt-frame needs WORKER:FRAME[:TIMES]".into())
+                })?;
+                robust.inject_corrupt_frame = Some(CorruptFrameFlag::parse(value)?);
             }
             "--lossy" => lossy = true,
             "--index" => index = true,
@@ -543,6 +733,60 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                     "--checkpoint-file requires --checkpoint-every".into(),
                 ));
             }
+            if let Some(n) = robust.distribute {
+                // Process scale-out replaces the in-process pool and
+                // owns its checkpoint/restart lifecycle: the flags that
+                // configure the single-process variants are conflicts,
+                // not silently-ignored knobs.
+                let conflicts: [(&str, bool); 6] = [
+                    ("--jobs", jobs_set),
+                    ("--resume", robust.resume.is_some()),
+                    ("--checkpoint-file", robust.checkpoint_file.is_some()),
+                    ("--stop-after-events", robust.stop_after.is_some()),
+                    ("--inject-panic", robust.inject_panic.is_some()),
+                    ("--inject-io", robust.inject_io.is_some()),
+                ];
+                for (flag, set) in conflicts {
+                    if set {
+                        return Err(CliError(format!(
+                            "{flag} cannot be combined with --distribute"
+                        )));
+                    }
+                }
+                let targets = [
+                    (
+                        "--inject-worker-kill",
+                        robust.inject_worker_kill.as_ref().map(|f| f.worker),
+                    ),
+                    (
+                        "--inject-worker-stall",
+                        robust.inject_worker_stall.as_ref().map(|f| f.worker),
+                    ),
+                    (
+                        "--inject-corrupt-frame",
+                        robust.inject_corrupt_frame.as_ref().map(|f| f.worker),
+                    ),
+                ];
+                for (flag, worker) in targets {
+                    if let Some(worker) = worker {
+                        if worker >= n {
+                            return Err(CliError(format!(
+                                "{flag} targets worker {worker}, but --distribute {n} \
+                                 only spawns workers 0..{n}"
+                            )));
+                        }
+                    }
+                }
+            } else if robust.inject_worker_kill.is_some()
+                || robust.inject_worker_stall.is_some()
+                || robust.inject_corrupt_frame.is_some()
+            {
+                return Err(CliError(
+                    "--inject-worker-kill/--inject-worker-stall/--inject-corrupt-frame \
+                     require --distribute"
+                        .into(),
+                ));
+            }
             Ok(Command::Analyze {
                 trace: need_trace(&positional)?,
                 format,
@@ -552,7 +796,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                 lossy,
                 metrics,
                 max_errors,
-                robust,
+                robust: Box::new(robust),
             })
         }
         "convert" => {
@@ -590,6 +834,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
         "convert-syz" => Ok(Command::ConvertSyz {
             log: need_trace(&positional)?,
         }),
+        "worker" => Ok(Command::Worker),
         "generate" => Ok(Command::Generate {
             feedback: feedback
                 .ok_or_else(|| CliError("generate requires --feedback <report.json>".into()))?,
@@ -632,6 +877,10 @@ USAGE:
                  [--shard-timeout SECS] [--max-shard-restarts N]
                  [--inject-panic SHARD:TICK[:TIMES]]
                  [--inject-io SEED[:HARD_AFTER]]
+                 [--distribute N]
+                 [--inject-worker-kill WORKER:TICK[:SIGNAL]]
+                 [--inject-worker-stall WORKER:TICK[:MILLIS]]
+                 [--inject-corrupt-frame WORKER:FRAME[:TIMES]]
   iocov untested <trace.jsonl> [--mount PATH]
   iocov combos   <trace.jsonl> [--mount PATH]
   iocov tcd      <trace.jsonl> [--mount PATH] --target N
@@ -677,6 +926,21 @@ producing output byte-identical to an uninterrupted run.
 for testing resume. --inject-panic and --inject-io deterministically
 inject worker panics and transient/hard I/O faults to exercise these
 recovery paths.
+
+--distribute N scales analysis out to N coordinator-supervised worker
+*processes* (instead of the --jobs thread pool) and renders output
+byte-identical to --jobs N. Workers stream checkpoint frames back to
+the coordinator; a worker that dies, stalls past --shard-timeout, or
+sends a corrupt frame is restarted from its last collected checkpoint
+with backoff, and one that exhausts --max-shard-restarts degrades the
+run to a partial report plus the failure manifest — exit 0, never an
+abort. --checkpoint-every sets the worker checkpoint cadence (default
+4096 events). The --inject-worker-kill / --inject-worker-stall /
+--inject-corrupt-frame flags deterministically kill (SIGNAL: KILL,
+TERM, or ABRT; default abort), freeze, or frame-corrupt one worker to
+exercise that recovery; --distribute conflicts with --jobs, --resume,
+--checkpoint-file, --stop-after-events, --inject-panic, and
+--inject-io.
 
 `generate` closes the measure→generate loop: it reads a coverage
 report (`analyze --json` output, bare or `{\"report\": …}`-wrapped),
@@ -968,8 +1232,16 @@ fn run_analyze<W: Write>(ctx: &AnalyzeCtx<'_>, jobs: usize, out: &mut W) -> Resu
         .unwrap_or_else(|| format!("{}.iockpt", ctx.trace));
     let resume_doc = match &robust.resume {
         Some(resume_path) => {
-            let doc = read_checkpoint(Path::new(resume_path))
+            let (doc, fell_back) = read_checkpoint_with_fallback(Path::new(resume_path))
                 .map_err(|e| CliError(format!("cannot resume from {resume_path}: {e}")))?;
+            if fell_back {
+                // Warn on stderr so report bytes on stdout stay
+                // comparable with an uninterrupted run.
+                eprintln!(
+                    "iocov: warning: checkpoint {resume_path} failed validation \
+                     (torn write?); resumed from previous generation {resume_path}.prev"
+                );
+            }
             if doc.mount.as_deref() != ctx.mount {
                 return Err(CliError(format!(
                     "cannot resume: checkpoint mount filter {:?} does not match this run's {:?}",
@@ -1061,6 +1333,145 @@ fn run_analyze<W: Write>(ctx: &AnalyzeCtx<'_>, jobs: usize, out: &mut W) -> Resu
     )
 }
 
+/// Worker checkpoint cadence when `--checkpoint-every` is not given:
+/// frequent enough that recovery rarely replays much, coarse enough
+/// that frame traffic stays negligible.
+const DEFAULT_EMIT_EVERY: u64 = 4096;
+
+/// Backoff-jitter seed for distributed restarts; fixed so two runs of
+/// the same invocation back off identically.
+const DISTRIBUTE_BACKOFF_SEED: u64 = 0x10c0_5eed;
+
+/// The `analyze --distribute N` path: spawn N copies of this binary as
+/// `iocov worker` subprocesses, one per pid-residue shard, supervise
+/// them through [`run_coordinator`], and render exactly like the
+/// in-process paths — byte-identical to `--jobs N` by construction.
+fn run_distribute<W: Write>(
+    ctx: &AnalyzeCtx<'_>,
+    workers: usize,
+    out: &mut W,
+) -> Result<(), CliError> {
+    let robust = ctx.robust;
+    // Resolve the container format (and surface missing/unreadable
+    // trace files) up front, before any worker is spawned.
+    let format = match resolve_format(ctx.trace, ctx.format)? {
+        TraceFormat::Jsonl => SourceFormat::Jsonl,
+        TraceFormat::Iotb => SourceFormat::Iotb,
+        TraceFormat::Auto => unreachable!("resolve_format never returns Auto"),
+    };
+    let program = std::env::current_exe()
+        .map_err(|e| CliError(format!("cannot locate the iocov binary for workers: {e}")))?;
+    let mut faults: BTreeMap<usize, WorkerFaults> = BTreeMap::new();
+    if let Some(f) = &robust.inject_worker_kill {
+        faults.entry(f.worker).or_default().kill = Some(KillSpec {
+            tick: f.tick,
+            signal: f.signal.clone(),
+            times: 1,
+        });
+    }
+    if let Some(f) = &robust.inject_worker_stall {
+        faults.entry(f.worker).or_default().stall = Some(StallSpec {
+            tick: f.tick,
+            millis: f.millis,
+            times: 1,
+        });
+    }
+    if let Some(f) = &robust.inject_corrupt_frame {
+        faults.entry(f.worker).or_default().corrupt = Some(CorruptSpec {
+            frame: f.frame,
+            times: f.times,
+        });
+    }
+    let specs = worker_specs(
+        ctx.trace,
+        Some(format),
+        ctx.mount,
+        ctx.lossy,
+        ctx.max_errors,
+        workers,
+        robust.checkpoint_every.unwrap_or(DEFAULT_EMIT_EVERY),
+        &faults,
+    );
+    let cfg = DistributeConfig {
+        program,
+        args: vec!["worker".to_owned()],
+        policy: robust.policy(),
+        backoff_seed: DISTRIBUTE_BACKOFF_SEED,
+    };
+    let pipeline_metrics = ctx.metrics.then(|| Arc::new(PipelineMetrics::default()));
+    let run = run_coordinator(&cfg, specs, pipeline_metrics.as_ref());
+    let skipped = ctx.lossy.then_some(run.skipped);
+    render_analyze(
+        out,
+        ctx.json,
+        skipped.as_deref(),
+        run.report,
+        pipeline_metrics.as_deref(),
+        &run.failures,
+    )
+}
+
+/// Builds the fault-schedule hooks a worker process threads into
+/// [`run_worker`], from the spec the coordinator armed it with.
+fn worker_hooks(faults: &WorkerFaults) -> Result<WorkerHooks, CliError> {
+    let mut hooks = WorkerHooks::default();
+    let kill = match &faults.kill {
+        Some(k) => {
+            let signal = match &k.signal {
+                Some(name) => WorkerSignal::parse(name)
+                    .ok_or_else(|| CliError(format!("worker: bad kill signal `{name}`")))?,
+                None => WorkerSignal::default(),
+            };
+            Some(WorkerKillSchedule::new(k.tick, signal, k.times))
+        }
+        None => None,
+    };
+    let stall = faults
+        .stall
+        .as_ref()
+        .map(|s| WorkerStallSchedule::new(s.tick, Duration::from_millis(s.millis), s.times));
+    if kill.is_some() || stall.is_some() {
+        hooks.tick = Some(Arc::new(move |tick| {
+            if let Some(stall) = &stall {
+                stall.check(tick);
+            }
+            if let Some(kill) = &kill {
+                kill.check(tick);
+            }
+        }));
+    }
+    if let Some(c) = &faults.corrupt {
+        let sched = FrameCorruptSchedule::new(c.frame, c.times);
+        hooks.corrupt_frame = Some(Arc::new(move |frame, payload| {
+            sched.check(frame, payload);
+        }));
+    }
+    Ok(hooks)
+}
+
+/// The hidden `iocov worker` entry point: read the coordinator's one
+/// spec frame from stdin, run the shard, stream frames to `out`. Any
+/// error becomes a nonzero process exit via [`run`]'s caller — there is
+/// deliberately no self-recovery here; the coordinator supervises.
+fn run_worker_main<W: Write>(out: &mut W) -> Result<(), CliError> {
+    let stdin = std::io::stdin();
+    let mut reader = stdin.lock();
+    let frame = read_frame(&mut reader)
+        .map_err(|e| CliError(format!("worker: cannot read spec frame: {e}")))?
+        .ok_or_else(|| CliError("worker: stdin closed before a spec frame arrived".into()))?;
+    if frame.kind != FRAME_SPEC {
+        return Err(CliError(format!(
+            "worker: expected a spec frame, got type {:#04x}",
+            frame.kind
+        )));
+    }
+    let spec: WorkerSpec = serde_json::from_slice(&frame.payload)
+        .map_err(|e| CliError(format!("worker: malformed spec: {e}")))?;
+    let hooks = worker_hooks(&spec.faults)?;
+    run_worker(&spec, &hooks, out)
+        .map_err(|e| CliError(format!("worker shard {}: {e}", spec.shard)))
+}
+
 /// Executes a command, writing human-readable or JSON output to `out`.
 ///
 /// # Errors
@@ -1090,8 +1501,12 @@ pub fn run<W: Write>(command: &Command, out: &mut W) -> Result<(), CliError> {
                 max_errors: *max_errors,
                 robust,
             };
-            run_analyze(&ctx, *jobs, out)?;
+            match robust.distribute {
+                Some(workers) => run_distribute(&ctx, workers, out)?,
+                None => run_analyze(&ctx, *jobs, out)?,
+            }
         }
+        Command::Worker => run_worker_main(out)?,
         Command::Untested { trace, mount } => {
             let trace = load_trace(trace)?;
             let report = make_iocov(mount.as_deref())?.analyze(&trace);
@@ -1402,7 +1817,7 @@ mod tests {
                 lossy: false,
                 metrics: false,
                 max_errors: None,
-                robust: RobustnessOpts::default()
+                robust: Box::new(RobustnessOpts::default())
             }
         );
         assert_eq!(
@@ -1416,7 +1831,7 @@ mod tests {
                 lossy: false,
                 metrics: false,
                 max_errors: None,
-                robust: RobustnessOpts::default()
+                robust: Box::new(RobustnessOpts::default())
             }
         );
         assert_eq!(
@@ -1438,7 +1853,7 @@ mod tests {
                 lossy: true,
                 metrics: true,
                 max_errors: Some(5),
-                robust: RobustnessOpts::default()
+                robust: Box::new(RobustnessOpts::default())
             }
         );
         assert_eq!(

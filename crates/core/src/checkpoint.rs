@@ -174,14 +174,51 @@ fn tmp_path(path: &Path) -> PathBuf {
     path.with_file_name(name)
 }
 
-/// Serializes `doc` and atomically replaces the file at `path` with it
-/// (write sibling `.tmp`, fsync, rename).
+/// The sibling `.prev` path where [`write_checkpoint`] rotates the
+/// previous good checkpoint, and where
+/// [`read_checkpoint_with_fallback`] looks when the primary does not
+/// verify.
+#[must_use]
+pub fn prev_checkpoint_path(path: &Path) -> PathBuf {
+    let mut name = path.file_name().unwrap_or_default().to_os_string();
+    name.push(".prev");
+    path.with_file_name(name)
+}
+
+/// Parent-directory fsync counter, observable from the durability test:
+/// file data survives a power loss only if the rename itself reached
+/// the directory.
+#[cfg(all(unix, test))]
+static DIR_SYNCS: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+
+/// Fsyncs the directory containing `path`, making a completed rename
+/// durable. A rename only updates the directory entry; without this, a
+/// power loss after [`write_checkpoint`] returns could roll the entry
+/// back and lose a checkpoint the caller was told is safe.
+fn sync_parent_dir(path: &Path) -> io::Result<()> {
+    #[cfg(unix)]
+    {
+        let parent = match path.parent() {
+            Some(p) if !p.as_os_str().is_empty() => p,
+            _ => Path::new("."),
+        };
+        File::open(parent)?.sync_all()?;
+        #[cfg(test)]
+        DIR_SYNCS.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    }
+    #[cfg(not(unix))]
+    let _ = path;
+    Ok(())
+}
+
+/// Serializes `doc` into a complete `.iockpt` image (header, JSON
+/// payload, checksum trailer) — the bytes [`write_checkpoint`] persists
+/// and the distributed worker protocol ships in checkpoint frames.
 ///
 /// # Errors
 ///
-/// Any I/O failure; the target file is untouched unless the final
-/// rename succeeded.
-pub fn write_checkpoint(path: &Path, doc: &CheckpointDoc) -> io::Result<()> {
+/// Serialization failure only (surfaced as `io::Error::other`).
+pub fn encode_checkpoint(doc: &CheckpointDoc) -> io::Result<Vec<u8>> {
     let payload = serde_json::to_string(doc)
         .map_err(|e| io::Error::other(format!("serialize checkpoint: {e}")))?;
     let payload = payload.as_bytes();
@@ -191,13 +228,33 @@ pub fn write_checkpoint(path: &Path, doc: &CheckpointDoc) -> io::Result<()> {
     buf.extend_from_slice(&(payload.len() as u64).to_le_bytes());
     buf.extend_from_slice(payload);
     buf.extend_from_slice(&fnv1a64(payload).to_le_bytes());
+    Ok(buf)
+}
 
+/// Serializes `doc` and atomically replaces the file at `path` with it
+/// (write sibling `.tmp`, fsync, rotate the old checkpoint to `.prev`,
+/// rename, fsync the parent directory). The rotation keeps one known-
+/// good generation on disk: if the newest checkpoint is torn by a crash
+/// mid-write, resume falls back to `.prev` instead of starting over.
+///
+/// # Errors
+///
+/// Any I/O failure; the target file is untouched unless the final
+/// rename succeeded.
+pub fn write_checkpoint(path: &Path, doc: &CheckpointDoc) -> io::Result<()> {
+    let buf = encode_checkpoint(doc)?;
     let tmp = tmp_path(path);
     let mut file = File::create(&tmp)?;
     file.write_all(&buf)?;
     file.sync_all()?;
     drop(file);
+    match std::fs::rename(path, prev_checkpoint_path(path)) {
+        Ok(()) => {}
+        Err(e) if e.kind() == io::ErrorKind::NotFound => {}
+        Err(e) => return Err(e),
+    }
     std::fs::rename(&tmp, path)?;
+    sync_parent_dir(path)?;
     Ok(())
 }
 
@@ -211,6 +268,28 @@ pub fn read_checkpoint(path: &Path) -> Result<CheckpointDoc, CheckpointError> {
     let mut bytes = Vec::new();
     File::open(path)?.read_to_end(&mut bytes)?;
     parse_checkpoint(&bytes)
+}
+
+/// Loads a checkpoint, falling back to the rotated `.prev` sibling when
+/// the primary fails to verify (torn write, bit rot, or a crash between
+/// the two renames). Returns the document plus `true` when the fallback
+/// generation was used, so callers can log a warning — the resume then
+/// simply replays a little more of the trace.
+///
+/// # Errors
+///
+/// The *primary* path's [`CheckpointError`] when neither generation
+/// verifies, so diagnostics always describe the file the user named.
+pub fn read_checkpoint_with_fallback(
+    path: &Path,
+) -> Result<(CheckpointDoc, bool), CheckpointError> {
+    match read_checkpoint(path) {
+        Ok(doc) => Ok((doc, false)),
+        Err(primary) => match read_checkpoint(&prev_checkpoint_path(path)) {
+            Ok(doc) => Ok((doc, true)),
+            Err(_) => Err(primary),
+        },
+    }
 }
 
 /// Verifies and decodes checkpoint `bytes` (see module docs for the
@@ -378,6 +457,103 @@ mod tests {
 
         // Untouched bytes still verify.
         assert_eq!(parse_checkpoint(&bytes).unwrap(), doc);
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn checkpoint_write_syncs_parent_directory() {
+        use std::sync::atomic::Ordering;
+        let before = DIR_SYNCS.load(Ordering::Relaxed);
+        write_checkpoint(&tmp_file("dirsync.iockpt"), &sample_doc()).unwrap();
+        assert!(
+            DIR_SYNCS.load(Ordering::Relaxed) > before,
+            "write_checkpoint must fsync the parent directory after the rename"
+        );
+    }
+
+    #[test]
+    fn rotation_keeps_previous_generation() {
+        let path = tmp_file("rotate.iockpt");
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_file(prev_checkpoint_path(&path));
+        let mut gen1 = sample_doc();
+        gen1.cursor.byte_offset = 100;
+        write_checkpoint(&path, &gen1).unwrap();
+        assert!(
+            !prev_checkpoint_path(&path).exists(),
+            "first write has nothing to rotate"
+        );
+        let mut gen2 = sample_doc();
+        gen2.cursor.byte_offset = 200;
+        write_checkpoint(&path, &gen2).unwrap();
+        assert_eq!(read_checkpoint(&path).unwrap(), gen2);
+        assert_eq!(
+            read_checkpoint(&prev_checkpoint_path(&path)).unwrap(),
+            gen1,
+            "replaced checkpoint must survive as .prev"
+        );
+        // With an intact primary the fallback reader never falls back.
+        let (doc, fell_back) = read_checkpoint_with_fallback(&path).unwrap();
+        assert!(!fell_back);
+        assert_eq!(doc, gen2);
+    }
+
+    #[test]
+    fn torn_primary_falls_back_to_prev() {
+        use iocov_faults::{FaultPlan, FaultyWrite};
+        let path = tmp_file("torn_fallback.iockpt");
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_file(prev_checkpoint_path(&path));
+        let mut gen1 = sample_doc();
+        gen1.cursor.byte_offset = 100;
+        write_checkpoint(&path, &gen1).unwrap();
+        let mut gen2 = sample_doc();
+        gen2.cursor.byte_offset = 200;
+        write_checkpoint(&path, &gen2).unwrap();
+
+        // Tear a third generation over the primary under a seeded fault
+        // schedule: short transfers, then the disk dies. Whatever prefix
+        // lands, resume must verify it, reject it, and recover from the
+        // rotated generation.
+        let mut gen3 = sample_doc();
+        gen3.cursor.byte_offset = 300;
+        let image = encode_checkpoint(&gen3).unwrap();
+        for seed in 0..8u64 {
+            let plan = FaultPlan::new(seed)
+                .with_rates(200, 100, 700)
+                .with_hard_error_after(1);
+            let mut w = FaultyWrite::new(File::create(&path).unwrap(), plan);
+            let mut off = 0;
+            loop {
+                match w.write(&image[off..]) {
+                    Ok(n) => off += n,
+                    Err(e)
+                        if matches!(
+                            e.kind(),
+                            io::ErrorKind::Interrupted | io::ErrorKind::WouldBlock
+                        ) => {}
+                    Err(_) => break,
+                }
+            }
+            assert!(
+                off < image.len(),
+                "seed {seed}: torn write must not complete"
+            );
+            assert!(
+                read_checkpoint(&path).is_err(),
+                "seed {seed}: torn primary must not verify"
+            );
+            let (doc, fell_back) = read_checkpoint_with_fallback(&path).unwrap();
+            assert!(fell_back, "seed {seed}");
+            assert_eq!(
+                doc, gen1,
+                "seed {seed}: fallback must be the rotated generation"
+            );
+        }
+
+        // Neither generation intact → the primary's error surfaces.
+        std::fs::write(prev_checkpoint_path(&path), b"garbage").unwrap();
+        assert!(read_checkpoint_with_fallback(&path).is_err());
     }
 
     #[test]

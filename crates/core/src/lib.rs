@@ -56,6 +56,7 @@ pub mod checkpoint;
 pub mod cold;
 mod combos;
 mod coverage;
+pub mod distribute;
 mod domain;
 mod filter;
 mod identifier;
@@ -72,12 +73,17 @@ mod variants;
 
 pub use arg::{ArgClass, ArgName, TrackedValue};
 pub use checkpoint::{
-    parse_checkpoint, read_checkpoint, write_checkpoint, CheckpointDoc, CheckpointError,
+    encode_checkpoint, parse_checkpoint, prev_checkpoint_path, read_checkpoint,
+    read_checkpoint_with_fallback, write_checkpoint, CheckpointDoc, CheckpointError,
     PidStateSnapshot, IOCKPT_MAGIC, IOCKPT_VERSION,
 };
 pub use cold::{campaign_tcd, extract_cold, tcd_vector, ColdErrno, ColdPartition, ColdReport};
 pub use combos::ComboCoverage;
 pub use coverage::{AnalysisReport, Analyzer, ComboHistogram, InputCoverage, OutputCoverage};
+pub use distribute::{
+    run_coordinator, run_worker, worker_specs, CorruptSpec, DistributeConfig, DistributeRun,
+    KillSpec, StallSpec, WorkerFaults, WorkerHooks, WorkerSpec,
+};
 pub use domain::{
     arg_domain, open_flag_names, open_flags_present, output_buckets_bytes, output_errnos,
     ArgDomain, DomainKind, INVALID_CATEGORY, MODE_BITS, WHENCE_VALUES, XATTR_FLAG_BITS,
@@ -86,8 +92,8 @@ pub use filter::{FilterStats, TraceFilter};
 pub use identifier::{FdPartition, IdentifierCoverage, PathPartition};
 pub use metrics::{DropReason, MetricsSnapshot, PipelineMetrics, ShardFailureRecord, StageTimer};
 pub use parallel::{
-    in_supervised_scan, ParallelAnalyzer, ParallelStreamingAnalyzer, ShardError, ShardHook,
-    SupervisorPolicy, PARALLEL_THRESHOLD, PIPELINE_DEPTH,
+    in_supervised_scan, splitmix64, ParallelAnalyzer, ParallelStreamingAnalyzer, ShardError,
+    ShardHook, SupervisorPolicy, PARALLEL_THRESHOLD, PIPELINE_DEPTH,
 };
 pub use partition::{InputPartition, NumericPartition, OutputPartition};
 pub use pipeline::{

@@ -145,6 +145,22 @@ impl SupervisorPolicy {
             .min(self.max_backoff)
     }
 
+    /// The backoff before the `attempt`-th restart with bounded
+    /// deterministic jitter: the exponential [`backoff`](Self::backoff)
+    /// plus up to half of itself, where the extra fraction is drawn
+    /// from a SplitMix64 mix of `(seed, attempt)`. The result always
+    /// stays within `[base_backoff, max_backoff]`, and the same
+    /// `(seed, attempt)` pair always yields the same duration — so
+    /// simultaneous worker deaths fan out instead of restarting in
+    /// lockstep, while fault schedules stay reproducible.
+    #[must_use]
+    pub fn jittered_backoff(&self, attempt: u32, seed: u64) -> Duration {
+        let exp = self.backoff(attempt);
+        let nanos = u64::try_from(exp.as_nanos()).unwrap_or(u64::MAX);
+        let extra = splitmix64(seed, u64::from(attempt)) % (nanos / 2 + 1);
+        Duration::from_nanos(nanos.saturating_add(extra)).clamp(self.base_backoff, self.max_backoff)
+    }
+
     /// Sets the stall watchdog timeout.
     #[must_use]
     pub fn with_shard_timeout(mut self, timeout: Duration) -> Self {
@@ -158,6 +174,17 @@ impl SupervisorPolicy {
         self.max_restarts = max_restarts;
         self
     }
+}
+
+/// SplitMix64 finalizer over `(seed, n)` — the same construction the
+/// workload generator uses for per-round keys. Dependency-free and
+/// byte-reproducible, which is all restart jitter needs.
+#[must_use]
+pub fn splitmix64(seed: u64, n: u64) -> u64 {
+    let mut z = seed.wrapping_add(n.wrapping_mul(0x9e37_79b9_7f4a_7c15));
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
 }
 
 /// A structured shard failure, as observed by the supervisor.
@@ -1287,6 +1314,31 @@ mod tests {
             max_backoff: Duration::from_millis(2),
             shard_timeout: None,
         }
+    }
+
+    #[test]
+    fn jittered_backoff_is_bounded_and_reproducible() {
+        let policy = SupervisorPolicy::default();
+        for seed in [0u64, 1, 0xdead_beef, u64::MAX] {
+            for attempt in 1..=8u32 {
+                let a = policy.jittered_backoff(attempt, seed);
+                let b = policy.jittered_backoff(attempt, seed);
+                // Byte-reproducible per (seed, attempt).
+                assert_eq!(a, b, "seed={seed} attempt={attempt}");
+                assert!(
+                    a >= policy.base_backoff && a <= policy.max_backoff,
+                    "seed={seed} attempt={attempt}: {a:?} outside [base, max]"
+                );
+                // Never less than the un-jittered exponential floor
+                // (until the ceiling compresses everything onto max).
+                assert!(a >= policy.backoff(attempt).min(policy.max_backoff));
+            }
+        }
+        // Different seeds actually fan out (the point of the jitter).
+        let spread: std::collections::BTreeSet<Duration> = (0..16u64)
+            .map(|seed| policy.jittered_backoff(2, seed))
+            .collect();
+        assert!(spread.len() > 1, "jitter produced identical backoffs");
     }
 
     #[test]

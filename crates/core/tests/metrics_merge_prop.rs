@@ -1,0 +1,149 @@
+//! Property: the worker/coordinator metrics hand-off is lossless and
+//! order-independent. A distributed run serializes each worker's
+//! [`MetricsSnapshot`] (shard failures included) inside its checkpoint
+//! frames; the coordinator deserializes and merges them in whatever
+//! order supervisor threads finish. For the distributed report to be
+//! byte-identical to the in-process run, merging deserialized snapshots
+//! in *any* order must serialize to exactly the bytes of the in-process
+//! merge — which these properties pin down over arbitrary counter
+//! values, drop/partition tallies, and failure manifests.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use iocov::{MetricsSnapshot, PipelineMetrics, ShardFailureRecord};
+use proptest::prelude::*;
+
+/// The drop-reason keys a real `PipelineMetrics::snapshot` always
+/// carries (every known reason, zero or not).
+const DROP_REASONS: [&str; 3] = ["wrong-mount", "irrelevant-fd", "unknown-syscall"];
+
+/// The partition-family keys a real snapshot always carries.
+const PARTITION_FAMILIES: [&str; 5] = [
+    "input-flag",
+    "input-numeric",
+    "input-categorical",
+    "output-ok",
+    "output-err",
+];
+
+fn failure_strategy() -> impl Strategy<Value = ShardFailureRecord> {
+    (0u32..5, any::<bool>(), "[ -~]{0,40}").prop_map(|(restarts, gave_up, last_error)| {
+        ShardFailureRecord {
+            shard: 0, // re-numbered below: one worker, one shard, one record
+            restarts,
+            gave_up,
+            last_error,
+        }
+    })
+}
+
+fn keyed_map(keys: &'static [&'static str]) -> impl Strategy<Value = BTreeMap<String, u64>> {
+    proptest::collection::vec(0u64..1_000_000, keys.len())
+        .prop_map(move |values| keys.iter().map(|k| (*k).to_owned()).zip(values).collect())
+}
+
+/// A snapshot shaped exactly like one a worker cuts from its private
+/// `PipelineMetrics`: every known drop/partition key present.
+fn snapshot_strategy() -> impl Strategy<Value = MetricsSnapshot> {
+    (
+        (0u64..1_000_000, 0u64..1_000, 0u64..1_000_000, 0u64..1_000),
+        keyed_map(&DROP_REASONS),
+        keyed_map(&PARTITION_FAMILIES),
+        (0u64..1_000_000_000, 0u64..1_000_000_000),
+        proptest::option::of(failure_strategy()),
+    )
+        .prop_map(
+            |(
+                (events_read, parse_skipped, variant_merged, shard_restarts),
+                filter_dropped,
+                partition_records,
+                (batched_events, allocs_estimated),
+                failure,
+            )| MetricsSnapshot {
+                events_read,
+                parse_skipped,
+                filter_dropped,
+                variant_merged,
+                partition_records,
+                batched_events,
+                allocs_estimated,
+                shard_restarts,
+                shard_failures: failure.into_iter().collect(),
+            },
+        )
+}
+
+/// Gives each worker's failure record its own shard index, as the
+/// coordinator does — at most one record per shard per run.
+fn number_shards(snapshots: &mut [MetricsSnapshot]) {
+    for (shard, snapshot) in snapshots.iter_mut().enumerate() {
+        for failure in &mut snapshot.shard_failures {
+            failure.shard = shard;
+        }
+    }
+}
+
+/// The wire trip a worker snapshot takes: serialized into the
+/// checkpoint JSON by the worker, parsed back by the coordinator.
+fn through_the_wire(snapshot: &MetricsSnapshot) -> MetricsSnapshot {
+    let json = serde_json::to_string(snapshot).expect("serialize snapshot");
+    serde_json::from_str(&json).expect("deserialize snapshot")
+}
+
+proptest! {
+    /// Serialization round-trips exactly — the coordinator sees the
+    /// same snapshot the worker cut.
+    #[test]
+    fn snapshot_survives_the_wire(snapshot in snapshot_strategy()) {
+        prop_assert_eq!(&through_the_wire(&snapshot), &snapshot);
+    }
+
+    /// Merging wire-tripped snapshots in an arbitrary arrival order
+    /// serializes byte-identically to the in-process, in-order merge —
+    /// both as a plain `MetricsSnapshot` fold (the coordinator's merge
+    /// loop) and through a shared `PipelineMetrics` (its `--metrics`
+    /// rendering path).
+    #[test]
+    fn merge_of_wire_tripped_snapshots_is_order_independent(
+        mut snapshots in proptest::collection::vec(snapshot_strategy(), 1..6),
+        seed in any::<u64>(),
+    ) {
+        number_shards(&mut snapshots);
+
+        // In-process reference: merge in shard order, no serialization.
+        let mut reference = MetricsSnapshot::default();
+        for snapshot in &snapshots {
+            reference.merge(snapshot);
+        }
+        let reference_bytes = serde_json::to_string(&reference).unwrap();
+
+        // Distributed path: each snapshot crosses the wire, then the
+        // coordinator merges in completion order — a seeded shuffle.
+        let mut arrived: Vec<MetricsSnapshot> =
+            snapshots.iter().map(through_the_wire).collect();
+        let n = arrived.len();
+        for i in (1..n).rev() {
+            let j = usize::try_from(iocov::splitmix64(seed, i as u64) % (i as u64 + 1)).unwrap();
+            arrived.swap(i, j);
+        }
+        let mut merged = MetricsSnapshot::default();
+        for snapshot in &arrived {
+            merged.merge(snapshot);
+        }
+        prop_assert_eq!(
+            serde_json::to_string(&merged).unwrap(),
+            reference_bytes.clone()
+        );
+
+        // The shared-PipelineMetrics leg mirrors run_coordinator's
+        // `--metrics` rendering path: each arriving snapshot is absorbed
+        // (failure manifest included), and `snapshot()` re-sorts the
+        // manifest by shard so arrival order cannot leak into the bytes.
+        let live = Arc::new(PipelineMetrics::default());
+        for snapshot in &arrived {
+            live.absorb(snapshot);
+        }
+        prop_assert_eq!(serde_json::to_string(&live.snapshot()).unwrap(), reference_bytes);
+    }
+}

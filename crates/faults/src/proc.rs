@@ -1,0 +1,268 @@
+//! Deterministic *process-level* fault schedules for distributed
+//! analysis workers.
+//!
+//! [`PanicSchedule`](crate::PanicSchedule) and
+//! [`StallSchedule`](crate::StallSchedule) fault a shard *thread*; the
+//! schedules here fault a whole worker *process* — self-raising a fatal
+//! signal, freezing until the coordinator's heartbeat watchdog fires,
+//! or corrupting an outgoing protocol frame after its checksum was
+//! computed. Every schedule is armed with an explicit charge count and
+//! keyed to a deterministic ordinal (source-event tick or frame index),
+//! so a distributed run under injection is exactly reproducible.
+//!
+//! Charges are decremented *locally* per incarnation; cross-restart
+//! budget accounting lives in the coordinator, which re-arms each
+//! respawned worker with one fewer charge — a restarted process cannot
+//! remember that it already fired.
+
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Signals a [`WorkerKillSchedule`] can deliver to its own process.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum WorkerSignal {
+    /// `SIGABRT` semantics — [`std::process::abort`], works everywhere.
+    #[default]
+    Abort,
+    /// `SIGKILL`: uncatchable, the harshest realistic worker death.
+    Kill,
+    /// `SIGTERM`: a polite kill the worker makes no attempt to handle.
+    Term,
+}
+
+impl WorkerSignal {
+    /// Parses a signal name (`KILL`, `SIGTERM`, …) or number (`9`,
+    /// `15`, `6`). `None` for anything unrecognized.
+    #[must_use]
+    pub fn parse(name: &str) -> Option<Self> {
+        match name.trim().to_ascii_uppercase().as_str() {
+            "ABRT" | "SIGABRT" | "ABORT" | "6" => Some(WorkerSignal::Abort),
+            "KILL" | "SIGKILL" | "9" => Some(WorkerSignal::Kill),
+            "TERM" | "SIGTERM" | "15" => Some(WorkerSignal::Term),
+            _ => None,
+        }
+    }
+
+    /// The canonical name, for spec serialization.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            WorkerSignal::Abort => "ABRT",
+            WorkerSignal::Kill => "KILL",
+            WorkerSignal::Term => "TERM",
+        }
+    }
+
+    /// Delivers the signal to the *current* process. Never returns: if
+    /// raising is unavailable (non-unix) or somehow survived, the
+    /// process hard-aborts — an injected death must never be survivable.
+    pub fn raise(self) -> ! {
+        #[cfg(unix)]
+        {
+            extern "C" {
+                fn raise(sig: i32) -> i32;
+            }
+            let sig = match self {
+                WorkerSignal::Abort => 6,
+                WorkerSignal::Kill => 9,
+                WorkerSignal::Term => 15,
+            };
+            // SAFETY: raise(3) is async-signal-safe and takes no
+            // pointers; delivering a fatal signal to ourselves is the
+            // entire point.
+            unsafe {
+                raise(sig);
+            }
+        }
+        std::process::abort()
+    }
+}
+
+/// Kills the current process the first `times` times execution reaches
+/// source-event ordinal `tick`.
+#[derive(Debug)]
+pub struct WorkerKillSchedule {
+    tick: u64,
+    signal: WorkerSignal,
+    remaining: AtomicU32,
+}
+
+impl WorkerKillSchedule {
+    /// A schedule delivering `signal` at `tick`, `times` times.
+    #[must_use]
+    pub fn new(tick: u64, signal: WorkerSignal, times: u32) -> Arc<Self> {
+        Arc::new(WorkerKillSchedule {
+            tick,
+            signal,
+            remaining: AtomicU32::new(times),
+        })
+    }
+
+    /// Charges left before the schedule disarms.
+    #[must_use]
+    pub fn remaining(&self) -> u32 {
+        self.remaining.load(Ordering::SeqCst)
+    }
+
+    /// Called from the worker's per-event hook; kills the process if
+    /// armed for this `tick`.
+    pub fn check(&self, tick: u64) {
+        if tick != self.tick {
+            return;
+        }
+        let fired = self
+            .remaining
+            .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |n| n.checked_sub(1))
+            .is_ok();
+        if fired {
+            self.signal.raise();
+        }
+    }
+}
+
+/// Freezes the current process for `pause` the first `times` times
+/// execution reaches source-event ordinal `tick` — long enough that
+/// heartbeats stop and the coordinator's stall watchdog fires.
+#[derive(Debug)]
+pub struct WorkerStallSchedule {
+    tick: u64,
+    pause: Duration,
+    remaining: AtomicU32,
+}
+
+impl WorkerStallSchedule {
+    /// A schedule sleeping `pause` at `tick`, `times` times.
+    #[must_use]
+    pub fn new(tick: u64, pause: Duration, times: u32) -> Arc<Self> {
+        Arc::new(WorkerStallSchedule {
+            tick,
+            pause,
+            remaining: AtomicU32::new(times),
+        })
+    }
+
+    /// Charges left before the schedule disarms.
+    #[must_use]
+    pub fn remaining(&self) -> u32 {
+        self.remaining.load(Ordering::SeqCst)
+    }
+
+    /// Called from the worker's per-event hook; sleeps if armed for
+    /// this `tick`.
+    pub fn check(&self, tick: u64) {
+        if tick != self.tick {
+            return;
+        }
+        let fired = self
+            .remaining
+            .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |n| n.checked_sub(1))
+            .is_ok();
+        if fired {
+            std::thread::sleep(self.pause);
+        }
+    }
+}
+
+/// Corrupts the payload of the worker's `frame`-th outgoing
+/// checkpoint/done frame, the first `times` times. The caller applies
+/// this *after* computing the frame checksum, so the coordinator sees a
+/// checksum-failing frame — the wire-corruption recovery path.
+#[derive(Debug)]
+pub struct FrameCorruptSchedule {
+    frame: u64,
+    remaining: AtomicU32,
+}
+
+impl FrameCorruptSchedule {
+    /// A schedule corrupting frame ordinal `frame`, `times` times.
+    #[must_use]
+    pub fn new(frame: u64, times: u32) -> Arc<Self> {
+        Arc::new(FrameCorruptSchedule {
+            frame,
+            remaining: AtomicU32::new(times),
+        })
+    }
+
+    /// Charges left before the schedule disarms.
+    #[must_use]
+    pub fn remaining(&self) -> u32 {
+        self.remaining.load(Ordering::SeqCst)
+    }
+
+    /// Flips a payload byte if armed for this `frame` ordinal; returns
+    /// whether the payload was mutated.
+    pub fn check(&self, frame: u64, payload: &mut [u8]) -> bool {
+        if frame != self.frame {
+            return false;
+        }
+        let fired = self
+            .remaining
+            .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |n| n.checked_sub(1))
+            .is_ok();
+        if fired {
+            if let Some(byte) = payload.first_mut() {
+                *byte ^= 0xff;
+            }
+        }
+        fired
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn signal_parsing_accepts_names_and_numbers() {
+        assert_eq!(WorkerSignal::parse("KILL"), Some(WorkerSignal::Kill));
+        assert_eq!(WorkerSignal::parse("sigkill"), Some(WorkerSignal::Kill));
+        assert_eq!(WorkerSignal::parse("9"), Some(WorkerSignal::Kill));
+        assert_eq!(WorkerSignal::parse("TERM"), Some(WorkerSignal::Term));
+        assert_eq!(WorkerSignal::parse("15"), Some(WorkerSignal::Term));
+        assert_eq!(WorkerSignal::parse("ABRT"), Some(WorkerSignal::Abort));
+        assert_eq!(WorkerSignal::parse(" abort "), Some(WorkerSignal::Abort));
+        assert_eq!(WorkerSignal::parse("HUP"), None);
+        assert_eq!(WorkerSignal::parse(""), None);
+    }
+
+    #[test]
+    fn stall_schedule_fires_then_disarms() {
+        let sched = WorkerStallSchedule::new(3, Duration::from_millis(1), 1);
+        sched.check(2); // wrong tick: no-op
+        assert_eq!(sched.remaining(), 1);
+        sched.check(3); // sleeps 1ms, consumes the charge
+        assert_eq!(sched.remaining(), 0);
+        sched.check(3); // disarmed: returns immediately
+        assert_eq!(sched.remaining(), 0);
+    }
+
+    #[test]
+    fn frame_corruption_fires_then_disarms() {
+        let sched = FrameCorruptSchedule::new(1, 1);
+        let mut payload = vec![0xaa, 0xbb];
+        assert!(!sched.check(0, &mut payload), "wrong ordinal");
+        assert_eq!(payload, [0xaa, 0xbb]);
+        assert!(sched.check(1, &mut payload));
+        assert_eq!(payload, [0x55, 0xbb], "first byte flipped");
+        assert!(!sched.check(1, &mut payload), "disarmed");
+        assert_eq!(sched.remaining(), 0);
+        // Empty payloads are tolerated (the charge is still consumed).
+        let sched = FrameCorruptSchedule::new(0, 1);
+        assert!(sched.check(0, &mut []));
+    }
+
+    #[test]
+    fn kill_schedule_ignores_other_ticks() {
+        // The firing path would kill the test process, so only the
+        // non-firing paths are exercised here; the end-to-end kill is
+        // covered by the CLI's distributed fault-matrix test.
+        let sched = WorkerKillSchedule::new(5, WorkerSignal::Kill, 1);
+        sched.check(4);
+        sched.check(6);
+        assert_eq!(sched.remaining(), 1);
+        let disarmed = WorkerKillSchedule::new(5, WorkerSignal::Kill, 0);
+        disarmed.check(5); // no charge: survives
+        assert_eq!(disarmed.remaining(), 0);
+    }
+}
