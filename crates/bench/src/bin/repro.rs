@@ -21,9 +21,9 @@ use std::sync::Arc;
 use iocov::tcd::{crossover, log_targets, tcd_uniform};
 use iocov::{ArgName, BaseSyscall, InputPartition, NumericPartition, PipelineMetrics};
 use iocov_bench::{
-    measure_batch_throughput, measure_ingest_throughput, open_flag_frequencies,
-    run_suites_parallel_with_metrics, BatchThroughput, CountingAlloc, IngestThroughput,
-    SuiteReports,
+    measure_batch_throughput, measure_ingest_throughput, measure_serve_throughput,
+    open_flag_frequencies, run_suites_parallel_with_metrics, BatchThroughput, CountingAlloc,
+    IngestThroughput, ServeThroughput, SuiteReports,
 };
 use iocov_faults::{dataset, demo_bugs, StudyStats};
 
@@ -61,6 +61,9 @@ struct BenchDoc {
     /// Per-event vs columnar-batch decode→filter→analyze throughput
     /// and real allocations per event over the same sample trace.
     batch: Vec<BatchThroughput>,
+    /// Resident `AnalysisSession::feed` loop vs batch `Driver` over
+    /// the same session and source (the PR-10 inversion's parity bar).
+    serve: Vec<ServeThroughput>,
     /// Wall-clock nanoseconds per pipeline stage. `analyze` is summed
     /// across shard workers (CPU time, not elapsed time).
     stage_timings_ns: BTreeMap<String, u64>,
@@ -188,9 +191,18 @@ fn main() {
                 row.path, row.events, row.seconds, row.events_per_sec, row.allocs_per_event
             );
         }
+        eprintln!("[measuring resident session feed vs batch driver …]");
+        let serve = measure_serve_throughput(200_000);
+        for row in &serve {
+            eprintln!(
+                "[  {:<12} {:>9} events in {:.3} s — {:>12.0} events/s]",
+                row.path, row.events, row.seconds, row.events_per_sec
+            );
+        }
         let doc = BenchDoc {
             ingest,
             batch,
+            serve,
             stage_timings_ns: metrics
                 .as_ref()
                 .map(|m| m.stage_timings())
@@ -337,18 +349,26 @@ fn feedback(seed: u64, scale: f64) {
     let campaign = FeedbackCampaign::new(iocov_workloads::profile::xfstests_profile(), config);
     let outcome = campaign.run(&env, &AnalysisReport::default());
     println!(
-        "{:<7} {:>10} {:>10} {:>8} {:>12} {:>12} {:>9}",
-        "round", "tcd before", "tcd after", "events", "cold inputs", "cold errnos", "probes"
+        "{:<7} {:>10} {:>10} {:>8} {:>12} {:>12} {:>13} {:>9}",
+        "round",
+        "tcd before",
+        "tcd after",
+        "events",
+        "cold inputs",
+        "cold errnos",
+        "cold buckets",
+        "probes"
     );
     for r in &outcome.rounds {
         println!(
-            "{:<7} {:>10.4} {:>10.4} {:>8} {:>12} {:>12} {:>6}/{}",
+            "{:<7} {:>10.4} {:>10.4} {:>8} {:>12} {:>12} {:>13} {:>6}/{}",
             r.round,
             r.tcd_before,
             r.tcd_after,
             r.events,
             r.cold_inputs,
             r.cold_errnos,
+            r.cold_outputs,
             r.probes_hit,
             r.probes_staged,
         );

@@ -12,8 +12,8 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use iocov::{
-    AnalysisReport, ArgName, InputPartition, PipelineBuilder, PipelineMetrics, StreamingAnalyzer,
-    TraceFilter,
+    AnalysisReport, AnalysisSession, ArgName, Driver, InputPartition, PipelineBuilder,
+    PipelineMetrics, StreamingAnalyzer, TraceFilter,
 };
 use iocov_workloads::{CrashMonkeySim, SuiteResult, TestEnv, XfstestsSim, MOUNT};
 
@@ -497,6 +497,130 @@ pub fn measure_batch_throughput(events: usize) -> Vec<BatchThroughput> {
                 allocs: best_allocs,
                 allocs_per_event: best_allocs as f64 / decoded.max(1) as f64,
             }
+        })
+        .collect()
+}
+
+/// The chunk size both resident-path measurements pull at — the
+/// `PipelineBuilder` default, so the comparison isolates the loop
+/// ownership (who calls `feed`) rather than batch sizing.
+const SERVE_CHUNK: usize = 4096;
+
+fn serve_session() -> AnalysisSession {
+    let filter = TraceFilter::mount_point(MOUNT).expect("static mount pattern compiles");
+    PipelineBuilder::new(filter)
+        .mount(Some(MOUNT.to_owned()))
+        .build_session()
+}
+
+/// Analyze an `.iotb` byte stream the way `iocov serve` does: an
+/// external loop pulls [`EventBatch`]es from the source and pushes them
+/// into a resident [`AnalysisSession`] via `feed`. Returns
+/// `(events, report)`.
+#[must_use]
+pub fn analyze_iotb_session_feed(iotb: &[u8]) -> (usize, AnalysisReport) {
+    use iocov_trace::EventSource;
+    let options = iocov_trace::ReadOptions::default();
+    let mut source =
+        iocov_trace::IotbSource::new(std::io::Cursor::new(iotb), options).expect("clean container");
+    let mut session = serve_session();
+    loop {
+        let batch = source.next_batch(SERVE_CHUNK).expect("clean parses");
+        if batch.is_empty() {
+            break;
+        }
+        session.feed(batch);
+    }
+    let events = usize::try_from(session.events()).expect("events fit usize");
+    let (report, failures) = session.finish();
+    assert!(failures.is_empty(), "fault-free feed produced failures");
+    (events, report)
+}
+
+/// Analyze the same `.iotb` byte stream through the batch half: the
+/// [`Driver`] owns the pull loop over the identical session. Returns
+/// `(events, report)`.
+#[must_use]
+pub fn analyze_iotb_batch_driver(iotb: &[u8]) -> (usize, AnalysisReport) {
+    let options = iocov_trace::ReadOptions::default();
+    let mut source =
+        iocov_trace::IotbSource::new(std::io::Cursor::new(iotb), options).expect("clean container");
+    let run = Driver::new(serve_session(), SERVE_CHUNK, None)
+        .run(&mut source)
+        .expect("fault-free run");
+    assert!(run.failures.is_empty(), "fault-free run produced failures");
+    (
+        usize::try_from(run.events).expect("events fit usize"),
+        run.report,
+    )
+}
+
+/// One resident-session vs batch-driver measurement for
+/// `BENCH_repro.json`.
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct ServeThroughput {
+    /// `session-feed` (the `iocov serve` shape: an external loop feeds
+    /// a resident [`AnalysisSession`]) or `batch-driver` (the batch
+    /// shape: [`Driver`] owns the pull loop over the same session).
+    pub path: String,
+    /// Events analyzed per pass.
+    pub events: usize,
+    /// Best-of-three wall-clock seconds for one full pass.
+    pub seconds: f64,
+    /// Events analyzed per second at that best time.
+    pub events_per_sec: f64,
+}
+
+/// Measures the resident `session.feed` loop against the batch
+/// [`Driver`] over the same `events`-call sample trace (best of three
+/// passes each), asserting first that both paths produce the identical
+/// report. The session *is* the driver's engine, so the two must stay
+/// within a few percent of each other — the PR-10 inversion moved loop
+/// ownership, not work; the `serve_throughput` bench pins that at 5%.
+#[must_use]
+pub fn measure_serve_throughput(events: usize) -> Vec<ServeThroughput> {
+    let trace = sample_trace(events);
+    let mut iotb = Vec::new();
+    iocov_trace::write_iotb(&mut iotb, &trace).expect("serialize iotb");
+
+    // Referee first: a speedup on a divergent report is meaningless.
+    let (fed, session_report) = analyze_iotb_session_feed(&iotb);
+    let (driven, driver_report) = analyze_iotb_batch_driver(&iotb);
+    assert_eq!(fed, driven, "session and driver consumed different counts");
+    assert_eq!(
+        session_report, driver_report,
+        "session-feed and batch-driver reports diverged"
+    );
+
+    type Pass<'a> = (&'a str, fn(&[u8]) -> (usize, AnalysisReport));
+    let passes: [Pass; 2] = [
+        ("session-feed", analyze_iotb_session_feed),
+        ("batch-driver", analyze_iotb_batch_driver),
+    ];
+    // Interleave the rounds (A B A B …) rather than timing each path
+    // in its own block: the two passes do identical work, so a noise
+    // burst that lands on one block would otherwise read as a phantom
+    // regression.
+    let mut best = [f64::INFINITY; 2];
+    let mut decoded = [0usize; 2];
+    for _ in 0..7 {
+        for (i, (_, run)) in passes.iter().enumerate() {
+            let start = std::time::Instant::now();
+            let (n, report) = run(&iotb);
+            let elapsed = start.elapsed().as_secs_f64();
+            std::hint::black_box(&report);
+            best[i] = best[i].min(elapsed);
+            decoded[i] = n;
+        }
+    }
+    passes
+        .iter()
+        .enumerate()
+        .map(|(i, (path, _))| ServeThroughput {
+            path: (*path).to_owned(),
+            events: decoded[i],
+            seconds: best[i],
+            events_per_sec: decoded[i] as f64 / best[i],
         })
         .collect()
 }

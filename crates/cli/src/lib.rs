@@ -57,12 +57,12 @@ use iocov::{
     ShardFailureRecord, StallSpec, SupervisorPolicy, WorkerFaults, WorkerHooks, WorkerSpec,
 };
 use iocov_faults::{
-    FaultPlan, FaultyRead, FrameCorruptSchedule, PanicSchedule, WorkerKillSchedule, WorkerSignal,
-    WorkerStallSchedule,
+    FaultPlan, FaultyRead, FeedAbortSchedule, FeedStallSchedule, FrameCorruptSchedule,
+    PanicSchedule, WorkerKillSchedule, WorkerSignal, WorkerStallSchedule,
 };
 use iocov_trace::{
-    open_source, ErrorPolicy, LossyRead, ReadOptions, RetryRead, SkippedLine, SourceError,
-    SourceFormat, SourceOptions, SourcePos, Trace,
+    open_source, unseekable_kind, ErrorPolicy, LossyRead, ReadOptions, RetryRead, SkippedLine,
+    SourceError, SourceFormat, SourceOptions, SourcePos, Trace,
 };
 
 /// A CLI-level error with a user-facing message.
@@ -457,6 +457,49 @@ pub enum Command {
         /// Optional mount-point filter applied to both.
         mount: Option<String>,
     },
+    /// Long-running analysis service: concurrent trace streams over a
+    /// unix socket and/or a watched spool directory, one supervised
+    /// checkpointed session per stream, merged snapshot on disk.
+    Serve {
+        /// Unix socket to accept `feed` streams on.
+        socket: Option<String>,
+        /// Directory watched for dropped `.jsonl`/`.iotb` traces.
+        spool: Option<String>,
+        /// State directory (checkpoints, snapshot.json, status.json).
+        state_dir: String,
+        /// Optional mount-point filter applied to every stream.
+        mount: Option<String>,
+        /// Skip malformed lines instead of failing the stream.
+        lossy: bool,
+        /// Cap on skipped lines per stream when lossy.
+        max_errors: Option<usize>,
+        /// Checkpoint/snapshot cadence in events (default 4096).
+        checkpoint_every: Option<u64>,
+        /// Per-stream restart budget override.
+        max_stream_restarts: Option<u32>,
+        /// Exit once this many streams completed (default: serve
+        /// forever).
+        drain: Option<usize>,
+    },
+    /// Ship one local trace file to a serve socket as one named
+    /// stream.
+    Feed {
+        /// The server's unix socket.
+        socket: String,
+        /// Stream name.
+        stream: String,
+        /// Trace file to ship.
+        trace: String,
+        /// Trace container format (auto-sniffed by default).
+        format: TraceFormat,
+        /// DATA frame payload size in bytes.
+        chunk_bytes: usize,
+        /// Fault drill: drop the connection (no done frame) once this
+        /// many payload bytes were sent.
+        abort_after_bytes: Option<u64>,
+        /// Fault drill: freeze for MILLIS before sending frame FRAME.
+        stall_before_frame: Option<(u64, u64)>,
+    },
     /// Print usage.
     Help,
 }
@@ -492,6 +535,14 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
     let mut events_per_round: usize = 300;
     let mut seed: u64 = 0;
     let mut log_out: Option<String> = None;
+    let mut socket: Option<String> = None;
+    let mut spool: Option<String> = None;
+    let mut state_dir: Option<String> = None;
+    let mut stream: Option<String> = None;
+    let mut drain: Option<usize> = None;
+    let mut chunk_bytes: Option<usize> = None;
+    let mut abort_after_bytes: Option<u64> = None;
+    let mut stall_before_frame: Option<(u64, u64)> = None;
     while let Some(arg) = iter.next() {
         match arg.as_str() {
             "--format" => {
@@ -701,6 +752,77 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                         .clone(),
                 );
             }
+            "--socket" => {
+                socket = Some(
+                    iter.next()
+                        .ok_or_else(|| CliError("--socket needs a path".into()))?
+                        .clone(),
+                );
+            }
+            "--spool" => {
+                spool = Some(
+                    iter.next()
+                        .ok_or_else(|| CliError("--spool needs a directory".into()))?
+                        .clone(),
+                );
+            }
+            "--state-dir" => {
+                state_dir = Some(
+                    iter.next()
+                        .ok_or_else(|| CliError("--state-dir needs a directory".into()))?
+                        .clone(),
+                );
+            }
+            "--stream" => {
+                stream = Some(
+                    iter.next()
+                        .ok_or_else(|| CliError("--stream needs a name".into()))?
+                        .clone(),
+                );
+            }
+            "--drain" => {
+                let value = iter
+                    .next()
+                    .ok_or_else(|| CliError("--drain needs a stream count".into()))?;
+                drain = Some(
+                    value
+                        .parse()
+                        .ok()
+                        .filter(|&n| n >= 1)
+                        .ok_or_else(|| CliError(format!("bad --drain value `{value}`")))?,
+                );
+            }
+            "--chunk-bytes" => {
+                let value = iter
+                    .next()
+                    .ok_or_else(|| CliError("--chunk-bytes needs a byte count".into()))?;
+                chunk_bytes =
+                    Some(
+                        value.parse().ok().filter(|&n| n >= 1).ok_or_else(|| {
+                            CliError(format!("bad --chunk-bytes value `{value}`"))
+                        })?,
+                    );
+            }
+            "--abort-after-bytes" => {
+                let value = iter
+                    .next()
+                    .ok_or_else(|| CliError("--abort-after-bytes needs a byte count".into()))?;
+                abort_after_bytes =
+                    Some(value.parse().map_err(|_| {
+                        CliError(format!("bad --abort-after-bytes value `{value}`"))
+                    })?);
+            }
+            "--stall-before-frame" => {
+                let value = iter
+                    .next()
+                    .ok_or_else(|| CliError("--stall-before-frame needs FRAME:MILLIS".into()))?;
+                let parsed = value
+                    .split_once(':')
+                    .and_then(|(frame, millis)| Some((frame.parse().ok()?, millis.parse().ok()?)));
+                stall_before_frame = Some(parsed.ok_or_else(|| {
+                    CliError(format!("bad --stall-before-frame value `{value}`"))
+                })?);
+            }
             "--max-errors" => {
                 let value = iter
                     .next()
@@ -847,6 +969,37 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
             log_out,
             json,
         }),
+        "serve" => {
+            if max_errors.is_some() && !lossy {
+                return Err(CliError("--max-errors requires --lossy".into()));
+            }
+            if socket.is_none() && spool.is_none() {
+                return Err(CliError(
+                    "serve needs --socket PATH and/or --spool DIR".into(),
+                ));
+            }
+            Ok(Command::Serve {
+                socket,
+                spool,
+                state_dir: state_dir
+                    .ok_or_else(|| CliError("serve requires --state-dir DIR".into()))?,
+                mount,
+                lossy,
+                max_errors,
+                checkpoint_every: robust.checkpoint_every,
+                max_stream_restarts: robust.max_shard_restarts,
+                drain,
+            })
+        }
+        "feed" => Ok(Command::Feed {
+            socket: socket.ok_or_else(|| CliError("feed requires --socket PATH".into()))?,
+            stream: stream.ok_or_else(|| CliError("feed requires --stream NAME".into()))?,
+            trace: need_trace(&positional)?,
+            format,
+            chunk_bytes: chunk_bytes.unwrap_or(64 * 1024),
+            abort_after_bytes,
+            stall_before_frame,
+        }),
         "diff" => {
             let trace_a = need_trace(&positional)?;
             let trace_b = positional
@@ -889,6 +1042,13 @@ USAGE:
                  [--lossy [--max-errors N]]
   iocov convert-syz <syz-log.txt>
   iocov diff     <a.jsonl> <b.jsonl> [--mount PATH]
+  iocov serve    --state-dir DIR [--socket PATH] [--spool DIR]
+                 [--mount PATH] [--lossy [--max-errors N]]
+                 [--checkpoint-every N] [--max-shard-restarts N]
+                 [--drain N]
+  iocov feed     <trace> --socket PATH --stream NAME
+                 [--format auto|jsonl|iotb] [--chunk-bytes N]
+                 [--abort-after-bytes N] [--stall-before-frame F:MS]
   iocov generate --feedback <report.json>
                  [--profile xfstests|crashmonkey] [--target N]
                  [--target-tcd X] [--max-rounds N]
@@ -951,7 +1111,23 @@ rare errnos, executes, re-analyzes, and reports the TCD movement
 (lower is better). Stops at --target-tcd or after --max-rounds.
 Campaigns are byte-reproducible per --seed. --log-out saves the
 syzlang execution log (replayable with `convert-syz`); --json emits a
-summary whose `report` field can seed the next campaign.";
+summary whose `report` field can seed the next campaign.
+
+`serve` keeps the analysis resident: it accepts many concurrent trace
+streams — `feed` connections over the --socket unix socket plus
+.jsonl/.iotb files dropped into the --spool directory — and runs one
+supervised, checkpointed analysis session per stream. At every
+--checkpoint-every boundary (default 4096 events) it persists the
+stream's .iockpt and atomically rewrites DIR/snapshot.json (the merged
+coverage report over all streams, byte-identical to `analyze --json`
+over the same events) and DIR/status.json (the per-stream failure
+manifest). A feeder that dies mid-stream is recorded as failed but
+keeps its checkpoint; reconnecting with the same --stream name resumes
+from it. A stream that fails more than --max-shard-restarts times
+(default 3) gives up. --drain N exits once N streams completed. `feed`
+ships one local trace file as one named stream; --abort-after-bytes
+and --stall-before-frame deterministically crash or freeze the feeder
+to drill that recovery.";
 
 /// Resolves [`TraceFormat::Auto`] by sniffing the file's first four
 /// bytes for the `IOTB` magic.
@@ -1078,6 +1254,7 @@ struct RoundDoc {
     tcd_after: f64,
     cold_inputs: usize,
     cold_errnos: usize,
+    cold_outputs: usize,
     probes_staged: usize,
     probes_hit: usize,
 }
@@ -1253,6 +1430,19 @@ fn run_analyze<W: Write>(ctx: &AnalyzeCtx<'_>, jobs: usize, out: &mut W) -> Resu
         }
         None => None,
     };
+    if robust.checkpoint_every.is_some() {
+        // A checkpoint is only useful if --resume can later seek the
+        // source back to its cursor; refuse configs whose input can
+        // never support that, before any events are consumed.
+        if let Some(kind) = unseekable_kind(ctx.trace) {
+            return Err(CliError(format!(
+                "cannot checkpoint {}: --checkpoint-every records a cursor that --resume \
+                 must seek back to, but a {kind} cannot be re-read; \
+                 save the stream to a file first",
+                ctx.trace
+            )));
+        }
+    }
     let io = robust.inject_io;
     let options = SourceOptions {
         read: ReadOptions {
@@ -1696,6 +1886,7 @@ pub fn run<W: Write>(command: &Command, out: &mut W) -> Result<(), CliError> {
                             tcd_after: r.tcd_after,
                             cold_inputs: r.cold_inputs,
                             cold_errnos: r.cold_errnos,
+                            cold_outputs: r.cold_outputs,
                             probes_staged: r.probes_staged,
                             probes_hit: r.probes_hit,
                         })
@@ -1710,13 +1901,14 @@ pub fn run<W: Write>(command: &Command, out: &mut W) -> Result<(), CliError> {
                     writeln!(
                         out,
                         "round {}: tcd {:.4} -> {:.4}  ({} events, {} cold inputs, \
-                         {} cold errnos, probes {}/{})",
+                         {} cold errnos, {} cold return buckets, probes {}/{})",
                         r.round,
                         r.tcd_before,
                         r.tcd_after,
                         r.events,
                         r.cold_inputs,
                         r.cold_errnos,
+                        r.cold_outputs,
                         r.probes_hit,
                         r.probes_staged,
                     )?;
@@ -1738,6 +1930,139 @@ pub fn run<W: Write>(command: &Command, out: &mut W) -> Result<(), CliError> {
                         "round budget exhausted"
                     }
                 )?;
+            }
+        }
+        Command::Serve {
+            socket,
+            spool,
+            state_dir,
+            mount,
+            lossy,
+            max_errors,
+            checkpoint_every,
+            max_stream_restarts,
+            drain,
+        } => {
+            #[cfg(not(unix))]
+            {
+                let _ = (
+                    socket,
+                    spool,
+                    state_dir,
+                    mount,
+                    lossy,
+                    max_errors,
+                    checkpoint_every,
+                    max_stream_restarts,
+                    drain,
+                );
+                return Err(CliError("iocov serve needs a unix platform".into()));
+            }
+            #[cfg(unix)]
+            {
+                let mut policy = SupervisorPolicy::default();
+                if let Some(max) = max_stream_restarts {
+                    policy = policy.with_max_restarts(*max);
+                }
+                let summary = iocov::run_serve(iocov::ServeConfig {
+                    socket: socket.as_ref().map(PathBuf::from),
+                    spool: spool.as_ref().map(PathBuf::from),
+                    state_dir: PathBuf::from(state_dir),
+                    mount: mount.clone(),
+                    lossy: *lossy,
+                    max_errors: *max_errors,
+                    checkpoint_every: checkpoint_every.unwrap_or(DEFAULT_EMIT_EVERY),
+                    policy,
+                    drain: *drain,
+                })
+                .map_err(|e| CliError(format!("serve: {e}")))?;
+                for s in &summary.streams {
+                    writeln!(
+                        out,
+                        "stream {} [{}]: {} — {} events, {} restart{}{}",
+                        s.stream,
+                        s.origin,
+                        s.state,
+                        s.events,
+                        s.restarts,
+                        if s.restarts == 1 { "" } else { "s" },
+                        s.last_error
+                            .as_deref()
+                            .map(|e| format!(" (last error: {e})"))
+                            .unwrap_or_default(),
+                    )?;
+                }
+                writeln!(
+                    out,
+                    "served {} stream{}; merged snapshot at {state_dir}/snapshot.json",
+                    summary.streams.len(),
+                    if summary.streams.len() == 1 { "" } else { "s" },
+                )?;
+            }
+        }
+        Command::Feed {
+            socket,
+            stream,
+            trace,
+            format,
+            chunk_bytes,
+            abort_after_bytes,
+            stall_before_frame,
+        } => {
+            #[cfg(not(unix))]
+            {
+                let _ = (
+                    socket,
+                    stream,
+                    trace,
+                    format,
+                    chunk_bytes,
+                    abort_after_bytes,
+                    stall_before_frame,
+                );
+                return Err(CliError("iocov feed needs a unix platform".into()));
+            }
+            #[cfg(unix)]
+            {
+                let format = match resolve_format(trace, *format)? {
+                    TraceFormat::Jsonl => SourceFormat::Jsonl,
+                    TraceFormat::Iotb => SourceFormat::Iotb,
+                    TraceFormat::Auto => unreachable!("resolve_format never returns auto"),
+                };
+                let outcome = iocov::run_feed(&iocov::FeedConfig {
+                    socket: PathBuf::from(socket),
+                    stream: stream.clone(),
+                    trace: trace.clone(),
+                    format,
+                    chunk: *chunk_bytes,
+                    abort: abort_after_bytes.map(|n| FeedAbortSchedule::once(n).hook()),
+                    stall: stall_before_frame.map(|(frame, millis)| {
+                        FeedStallSchedule::once(frame, Duration::from_millis(millis)).hook()
+                    }),
+                })
+                .map_err(|e| CliError(format!("feed {trace}: {e}")))?;
+                if let Some(reason) = &outcome.rejected {
+                    writeln!(out, "stream {stream} rejected: {reason}")?;
+                } else if outcome.aborted {
+                    writeln!(
+                        out,
+                        "stream {stream}: dropped the connection after {} bytes \
+                         ({} frames), no done frame",
+                        outcome.sent_bytes, outcome.frames,
+                    )?;
+                } else if outcome.resumed {
+                    writeln!(
+                        out,
+                        "stream {stream}: resumed at byte {} and fed {} bytes in {} frames",
+                        outcome.resumed_from, outcome.sent_bytes, outcome.frames,
+                    )?;
+                } else {
+                    writeln!(
+                        out,
+                        "stream {stream}: fed {} bytes in {} frames",
+                        outcome.sent_bytes, outcome.frames,
+                    )?;
+                }
             }
         }
     }
@@ -2344,6 +2669,189 @@ mod tests {
         assert!(msg.contains("cannot resume over"), "{msg}");
         assert!(msg.contains("pipe (FIFO)"), "{msg}");
         assert!(msg.contains("save the stream to a file"), "{msg}");
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn checkpoint_every_over_a_fifo_is_a_structured_cli_error() {
+        // --checkpoint-every records a cursor that --resume must later
+        // seek back to; an unseekable input makes every checkpoint
+        // useless, so the config is refused up front, before the open
+        // could block on a writerless FIFO.
+        let fifo = std::env::temp_dir()
+            .join(format!("iocov-cli-test-{}-ckpt.fifo", std::process::id()))
+            .to_string_lossy()
+            .into_owned();
+        let _ = std::fs::remove_file(&fifo);
+        let status = std::process::Command::new("mkfifo")
+            .arg(&fifo)
+            .status()
+            .expect("mkfifo");
+        assert!(status.success());
+        let cmd = parse_args(&args(&["analyze", &fifo, "--checkpoint-every", "2"])).unwrap();
+        let mut out = Vec::new();
+        let err = run(&cmd, &mut out).unwrap_err();
+        let _ = std::fs::remove_file(&fifo);
+        let msg = err.to_string();
+        assert!(msg.contains("cannot checkpoint"), "{msg}");
+        assert!(msg.contains("pipe (FIFO)"), "{msg}");
+        assert!(msg.contains("save the stream to a file"), "{msg}");
+    }
+
+    fn big_trace_file(n: usize) -> tempfile::TempTrace {
+        use iocov_syscalls::Kernel;
+        use iocov_trace::Recorder;
+        let recorder = Arc::new(Recorder::new());
+        let mut kernel = Kernel::new();
+        kernel.attach_recorder(Arc::clone(&recorder));
+        kernel.mkdir("/mnt", 0o755);
+        kernel.mkdir("/mnt/test", 0o755);
+        for i in 0..n {
+            let fd = kernel.open(&format!("/mnt/test/f{i}"), 0o102, 0o644) as i32;
+            kernel.close(fd);
+        }
+        tempfile::TempTrace::new(&recorder.take())
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn serve_recovers_a_killed_stream_and_matches_batch_analyze() {
+        let file = big_trace_file(100);
+        let expected = run_bytes(&["analyze", &file.path, "--mount", "/mnt/test", "--json"]);
+        let dir = std::env::temp_dir().join(format!("iocov-cli-serve-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let socket = dir.join("sock").to_string_lossy().into_owned();
+        let state = dir.join("state").to_string_lossy().into_owned();
+        let serve_cmd = parse_args(&args(&[
+            "serve",
+            "--socket",
+            &socket,
+            "--state-dir",
+            &state,
+            "--mount",
+            "/mnt/test",
+            "--checkpoint-every",
+            "16",
+            "--drain",
+            "1",
+        ]))
+        .unwrap();
+        let server = std::thread::spawn(move || {
+            let mut out = Vec::new();
+            run(&serve_cmd, &mut out).unwrap();
+            String::from_utf8(out).unwrap()
+        });
+        while !Path::new(&socket).exists() {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        // Kill the feeder mid-stream: drop the connection without a
+        // done frame once ~8 KiB (dozens of events) went out.
+        let mut out = Vec::new();
+        run(
+            &parse_args(&args(&[
+                "feed",
+                &file.path,
+                "--socket",
+                &socket,
+                "--stream",
+                "s1",
+                "--chunk-bytes",
+                "512",
+                "--abort-after-bytes",
+                "8000",
+            ]))
+            .unwrap(),
+            &mut out,
+        )
+        .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("no done frame"), "{text}");
+        // Reconnect: the server answers with the stream's checkpoint
+        // and the feed resumes mid-file.
+        let mut out = Vec::new();
+        run(
+            &parse_args(&args(&[
+                "feed",
+                &file.path,
+                "--socket",
+                &socket,
+                "--stream",
+                "s1",
+                "--chunk-bytes",
+                "512",
+            ]))
+            .unwrap(),
+            &mut out,
+        )
+        .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("resumed at byte"), "{text}");
+        let serve_text = server.join().unwrap();
+        assert!(serve_text.contains("1 restart"), "{serve_text}");
+        let snapshot = std::fs::read(Path::new(&state).join("snapshot.json")).unwrap();
+        assert_eq!(
+            snapshot, expected,
+            "merged snapshot must be byte-identical to analyze --json"
+        );
+        let status = std::fs::read_to_string(Path::new(&state).join("status.json")).unwrap();
+        assert!(status.contains("\"restarts\": 1"), "{status}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn parse_serve_and_feed() {
+        assert_eq!(
+            parse_args(&args(&[
+                "serve",
+                "--socket",
+                "/tmp/s.sock",
+                "--state-dir",
+                "/tmp/state",
+                "--drain",
+                "2"
+            ]))
+            .unwrap(),
+            Command::Serve {
+                socket: Some("/tmp/s.sock".into()),
+                spool: None,
+                state_dir: "/tmp/state".into(),
+                mount: None,
+                lossy: false,
+                max_errors: None,
+                checkpoint_every: None,
+                max_stream_restarts: None,
+                drain: Some(2),
+            }
+        );
+        let err = parse_args(&args(&["serve", "--socket", "/tmp/s.sock"])).unwrap_err();
+        assert!(err.to_string().contains("--state-dir"), "{err}");
+        let err = parse_args(&args(&["serve", "--state-dir", "/tmp/state"])).unwrap_err();
+        assert!(err.to_string().contains("--socket"), "{err}");
+        let err = parse_args(&args(&["feed", "t.jsonl", "--socket", "/tmp/s.sock"])).unwrap_err();
+        assert!(err.to_string().contains("--stream"), "{err}");
+        assert_eq!(
+            parse_args(&args(&[
+                "feed",
+                "t.jsonl",
+                "--socket",
+                "/tmp/s.sock",
+                "--stream",
+                "a",
+                "--stall-before-frame",
+                "3:40"
+            ]))
+            .unwrap(),
+            Command::Feed {
+                socket: "/tmp/s.sock".into(),
+                stream: "a".into(),
+                trace: "t.jsonl".into(),
+                format: TraceFormat::Auto,
+                chunk_bytes: 64 * 1024,
+                abort_after_bytes: None,
+                stall_before_frame: Some((3, 40)),
+            }
+        );
     }
 
     #[test]
@@ -2961,6 +3469,7 @@ mod generate_tests {
         tcd_after: f64,
         cold_inputs: usize,
         cold_errnos: usize,
+        cold_outputs: usize,
         probes_staged: usize,
         probes_hit: usize,
     }
@@ -2997,6 +3506,7 @@ mod generate_tests {
         assert_eq!(round.round, 0);
         assert!(round.events > 0);
         assert!(round.cold_inputs > 0 && round.cold_errnos > 0);
+        assert!(round.cold_outputs > 0);
         assert!(round.probes_hit <= round.probes_staged);
         assert_eq!(doc.total_events, doc.rounds.iter().map(|r| r.events).sum());
         assert!(round.tcd_after < round.tcd_before);

@@ -258,6 +258,27 @@ pub fn write_checkpoint(path: &Path, doc: &CheckpointDoc) -> io::Result<()> {
     Ok(())
 }
 
+/// Atomically replaces the file at `path` with `bytes` under the same
+/// durability discipline as [`write_checkpoint`], minus the `.prev`
+/// rotation: sibling `.tmp`, write, fsync, rename, fsync the parent
+/// directory. A reader never observes a torn file. `iocov serve` uses
+/// this for its merged snapshot and status documents.
+///
+/// # Errors
+///
+/// Any I/O failure; the target file is untouched unless the final
+/// rename succeeded.
+pub fn write_atomic(path: &Path, bytes: &[u8]) -> io::Result<()> {
+    let tmp = tmp_path(path);
+    let mut file = File::create(&tmp)?;
+    file.write_all(bytes)?;
+    file.sync_all()?;
+    drop(file);
+    std::fs::rename(&tmp, path)?;
+    sync_parent_dir(path)?;
+    Ok(())
+}
+
 /// Loads and verifies a checkpoint file.
 ///
 /// # Errors

@@ -18,6 +18,14 @@
 //! `OK` entry (total successes) followed by the manual-page errno list.
 //! Keeping the layout canonical makes campaign TCD values comparable
 //! across rounds, runs, and tools.
+//!
+//! Alongside the vector, extraction also surfaces cold **return-value
+//! buckets** for the size-returning syscalls ([`output_buckets_bytes`]):
+//! a `read` that has only ever returned 4 KiB leaves the short-read and
+//! zero-byte buckets cold even when its `OK` total is warm. These ride
+//! in [`ColdReport::outputs`] (they deliberately do *not* enter the
+//! campaign vector, whose layout is frozen) so a feedback generator can
+//! steer request sizes toward the returns it has never elicited.
 
 use std::collections::BTreeMap;
 
@@ -25,9 +33,24 @@ use iocov_syscalls::BaseSyscall;
 
 use crate::arg::ArgName;
 use crate::coverage::AnalysisReport;
-use crate::domain::{arg_domain, output_errnos};
-use crate::partition::InputPartition;
+use crate::domain::{arg_domain, output_buckets_bytes, output_errnos};
+use crate::partition::{InputPartition, NumericPartition, OutputPartition};
 use crate::tcd::tcd_uniform;
+
+/// Largest power-of-two return bucket extraction tracks for
+/// size-returning syscalls: `Log2(20)` is the 1–2 MiB bucket, past any
+/// single transfer the in-tree workload generators can stage.
+pub const OUTPUT_BUCKET_MAX_LOG2: u32 = 20;
+
+/// The canonical cold-extraction domain of successful byte-count
+/// returns: the zero-byte partition (EOF reads, empty xattrs), then
+/// each power-of-two bucket up to [`OUTPUT_BUCKET_MAX_LOG2`].
+#[must_use]
+pub fn output_bucket_domain() -> Vec<NumericPartition> {
+    let mut domain = vec![NumericPartition::Zero];
+    domain.extend((0..=OUTPUT_BUCKET_MAX_LOG2).map(NumericPartition::Log2));
+    domain
+}
 
 /// One under-tested input partition.
 #[derive(Debug, Clone, PartialEq)]
@@ -54,6 +77,20 @@ pub struct ColdErrno {
     pub deficit: f64,
 }
 
+/// One under-elicited successful return-value bucket of a
+/// size-returning syscall (`read`/`write`/`getxattr`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColdOutputBucket {
+    /// The base syscall whose return space this bucket belongs to.
+    pub base: BaseSyscall,
+    /// The byte-count bucket (zero, or a power-of-two range).
+    pub partition: NumericPartition,
+    /// Observed count.
+    pub count: u64,
+    /// Missing decades, as in [`ColdPartition::deficit`].
+    pub deficit: f64,
+}
+
 /// Everything a feedback round needs to know about what is still cold.
 #[derive(Debug, Clone, Default)]
 pub struct ColdReport {
@@ -64,6 +101,9 @@ pub struct ColdReport {
     /// Cold output partitions across all base syscalls, sorted by
     /// descending deficit (ties broken by base/errno order).
     pub errnos: Vec<ColdErrno>,
+    /// Cold successful return-value buckets of the size-returning
+    /// syscalls, sorted by descending deficit.
+    pub outputs: Vec<ColdOutputBucket>,
 }
 
 impl ColdReport {
@@ -87,6 +127,17 @@ impl ColdReport {
     #[must_use]
     pub fn base_deficit(&self, base: BaseSyscall) -> f64 {
         self.errnos
+            .iter()
+            .filter(|c| c.base == base)
+            .map(|c| c.deficit)
+            .sum()
+    }
+
+    /// Summed deficit of one base syscall's cold return-value buckets —
+    /// zero unless the syscall's returns are byte counts.
+    #[must_use]
+    pub fn bucket_deficit(&self, base: BaseSyscall) -> f64 {
+        self.outputs
             .iter()
             .filter(|c| c.base == base)
             .map(|c| c.deficit)
@@ -175,10 +226,30 @@ pub fn extract_cold(report: &AnalysisReport, target: u64) -> ColdReport {
         }
     }
     errnos.sort_by(|a, b| b.deficit.total_cmp(&a.deficit));
+    let mut outputs = Vec::new();
+    for base in BaseSyscall::ALL {
+        if !output_buckets_bytes(base) {
+            continue;
+        }
+        let cov = report.output_coverage(base);
+        for partition in output_bucket_domain() {
+            let count = cov.count(&OutputPartition::OkBytes(partition));
+            if count < target {
+                outputs.push(ColdOutputBucket {
+                    base,
+                    partition,
+                    count,
+                    deficit: target_log - log10p1(count),
+                });
+            }
+        }
+    }
+    outputs.sort_by(|a, b| b.deficit.total_cmp(&a.deficit));
     ColdReport {
         target,
         inputs,
         errnos,
+        outputs,
     }
 }
 
@@ -314,11 +385,62 @@ mod tests {
     }
 
     #[test]
+    fn extract_cold_surfaces_return_value_buckets() {
+        let mut events = vec![open_ev("/a", 0, 3)];
+        // Three writes landing in the 4..8-byte return bucket; reads and
+        // getxattr never run at all.
+        for _ in 0..3 {
+            events.push(TraceEvent::build(
+                "write",
+                1,
+                vec![ArgValue::Fd(3), ArgValue::Ptr(1), ArgValue::UInt(5)],
+                5,
+            ));
+        }
+        let report = Analyzer::unfiltered().analyze(&Trace::from_events(events));
+        let cold = extract_cold(&report, 10);
+        // The elicited bucket is warmer (smaller deficit) than its
+        // untouched neighbors.
+        let write_log2_2 = cold
+            .outputs
+            .iter()
+            .find(|c| c.base == BaseSyscall::Write && c.partition == NumericPartition::Log2(2))
+            .expect("3 < 10 is still cold");
+        assert_eq!(write_log2_2.count, 3);
+        let write_zero = cold
+            .outputs
+            .iter()
+            .find(|c| c.base == BaseSyscall::Write && c.partition == NumericPartition::Zero)
+            .expect("never elicited");
+        assert!(write_zero.deficit > write_log2_2.deficit);
+        // Sorted worst-first, and only size-returning syscalls appear.
+        for w in cold.outputs.windows(2) {
+            assert!(w[0].deficit >= w[1].deficit);
+        }
+        assert!(cold
+            .outputs
+            .iter()
+            .all(|c| crate::domain::output_buckets_bytes(c.base)));
+        // At target 1 the elicited bucket is warm and drops out.
+        let warm = extract_cold(&report, 1);
+        assert!(!warm
+            .outputs
+            .iter()
+            .any(|c| c.base == BaseSyscall::Write && c.partition == NumericPartition::Log2(2)));
+        // Aggregates: a never-read syscall carries its full-cold domain.
+        let full = output_bucket_domain().len() as f64 * (10.0f64 + 1.0).log10();
+        assert!((cold.bucket_deficit(BaseSyscall::Read) - full).abs() < 1e-9);
+        assert!(cold.bucket_deficit(BaseSyscall::Write) < full);
+        assert_eq!(cold.bucket_deficit(BaseSyscall::Open), 0.0);
+    }
+
+    #[test]
     fn fully_saturated_report_has_no_cold_partitions() {
         let report = sample_report();
         let cold = extract_cold(&report, 0);
         assert_eq!(cold.input_count(), 0);
         assert!(cold.errnos.is_empty());
+        assert!(cold.outputs.is_empty());
         assert_eq!(campaign_tcd(&report, 0), {
             // Against target 0 every observed count is "over-tested";
             // TCD is positive but extraction is empty.

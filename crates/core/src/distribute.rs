@@ -17,6 +17,8 @@
 //! offset  size  field
 //! 0       1     frame type: b'S' spec, b'H' heartbeat,
 //!               b'C' checkpoint, b'D' done
+//!               (b'L' hello and b'T' data belong to `iocov serve`,
+//!               which reuses this framing over unix sockets)
 //! 1       8     payload length, u64 LE
 //! 9       n     payload
 //! 9+n     8     FNV-1a 64 checksum of the payload, u64 LE
@@ -80,7 +82,7 @@ use crate::filter::TraceFilter;
 use crate::metrics::{MetricsSnapshot, PipelineMetrics, ShardFailureRecord};
 use crate::parallel::{splitmix64, ShardError, SupervisorPolicy};
 use crate::pipeline::DEFAULT_CHUNK;
-use crate::streaming::StreamingAnalyzer;
+use crate::session::AnalysisSession;
 
 /// Frame type: the coordinator's one [`WorkerSpec`] frame.
 pub const FRAME_SPEC: u8 = b'S';
@@ -92,6 +94,12 @@ pub const FRAME_HEARTBEAT: u8 = b'H';
 pub const FRAME_CHECKPOINT: u8 = b'C';
 /// Frame type: the final `.iockpt` image; the worker exits 0 after it.
 pub const FRAME_DONE: u8 = b'D';
+/// Frame type: a serve-stream greeting (`iocov serve` reuses this
+/// protocol over unix sockets; see [`serve`](crate::serve)). Payload is
+/// a JSON stream header.
+pub const FRAME_HELLO: u8 = b'L';
+/// Frame type: a chunk of raw trace bytes on a serve stream.
+pub const FRAME_DATA: u8 = b'T';
 
 /// Ceiling on a frame's declared payload length. Frames come from a
 /// child process — untrusted by policy — so a corrupt length must fail
@@ -201,7 +209,7 @@ pub fn read_frame(r: &mut impl Read) -> Result<Option<Frame>, FrameError> {
     let kind = kind[0];
     if !matches!(
         kind,
-        FRAME_SPEC | FRAME_HEARTBEAT | FRAME_CHECKPOINT | FRAME_DONE
+        FRAME_SPEC | FRAME_HEARTBEAT | FRAME_CHECKPOINT | FRAME_DONE | FRAME_HELLO | FRAME_DATA
     ) {
         return Err(FrameError::BadType(kind));
     }
@@ -417,15 +425,17 @@ pub fn run_worker(
     )
     .map_err(|e| WorkerError::Source(e.to_string()))?;
 
+    // The worker is a *direct* (unsupervised) session: the resume doc
+    // seeds its cumulative report, pid states, and metrics counters, and
+    // an internal panic propagates straight to process death.
     let metrics = Arc::new(PipelineMetrics::default());
-    let mut analyzer = StreamingAnalyzer::new(filter).with_metrics(Arc::clone(&metrics));
-    let mut base_report = AnalysisReport::default();
-    let mut base_metrics = MetricsSnapshot::default();
-    if let Some(doc) = &spec.resume {
-        base_report = doc.report.clone();
-        base_metrics = doc.metrics.clone();
-        analyzer.restore_pid_states(&doc.pid_states);
-    }
+    let mut session = AnalysisSession::direct(
+        filter,
+        Some(Arc::clone(&metrics)),
+        spec.mount.clone(),
+        None,
+        spec.resume.as_ref(),
+    );
     // A resumed ledger is restored into the cursor; only *growth* is
     // counted, mirroring the single-process pipeline driver.
     let mut skips_seen = source.skip_ledger().len();
@@ -449,7 +459,7 @@ pub fn run_worker(
         }
         write_frame(out, FRAME_HEARTBEAT, &[]).map_err(WorkerError::Io)?;
         // Keep only this shard's residue class, as a cheap row copy —
-        // the analyzer then sees exactly what a pool shard would.
+        // the session then sees exactly what a pool shard would.
         let mut kept = EventBatch::new();
         for (row, event) in batch.iter().enumerate() {
             if let Some(hook) = &hooks.tick {
@@ -461,61 +471,25 @@ pub fn run_worker(
             }
         }
         if !kept.is_empty() {
-            metrics.record_batch(kept.len() as u64, kept.estimated_owned_allocs());
-            for event in kept.iter() {
-                analyzer.push(&event);
-            }
+            session.feed(kept);
         }
         since_emit += batch.len() as u64;
         if spec.emit_every > 0 && since_emit >= spec.emit_every {
             since_emit = 0;
-            let image = cut_image(
-                spec,
-                &source.position(),
-                &analyzer,
-                &base_report,
-                &base_metrics,
-                &metrics,
-            )?;
+            let image = cut_image(&mut session, &source.position())?;
             emit_frame(out, FRAME_CHECKPOINT, image, hooks, &mut frames)?;
         }
     }
-    let image = cut_image(
-        spec,
-        &source.position(),
-        &analyzer,
-        &base_report,
-        &base_metrics,
-        &metrics,
-    )?;
+    let image = cut_image(&mut session, &source.position())?;
     emit_frame(out, FRAME_DONE, image, hooks, &mut frames)?;
     Ok(())
 }
 
-/// Encodes the worker's current cut as a complete `.iockpt` image:
-/// resume-base state merged with everything this incarnation analyzed,
-/// at the source's batch-boundary position.
-fn cut_image(
-    spec: &WorkerSpec,
-    pos: &SourcePos,
-    analyzer: &StreamingAnalyzer,
-    base_report: &AnalysisReport,
-    base_metrics: &MetricsSnapshot,
-    metrics: &PipelineMetrics,
-) -> Result<Vec<u8>, WorkerError> {
-    let mut report = base_report.clone();
-    report.merge(&analyzer.report());
-    let mut snapshot = base_metrics.clone();
-    snapshot.merge(&metrics.snapshot());
-    let doc = CheckpointDoc {
-        mount: spec.mount.clone(),
-        cursor: pos.state.clone(),
-        pid_states: analyzer.pid_states(),
-        report,
-        metrics: snapshot,
-        format: pos.format,
-    };
-    encode_checkpoint(&doc).map_err(WorkerError::Io)
+/// Encodes the worker session's current cut as a complete `.iockpt`
+/// image — resume-base state merged with everything this incarnation
+/// analyzed — at the source's batch-boundary position.
+fn cut_image(session: &mut AnalysisSession, pos: &SourcePos) -> Result<Vec<u8>, WorkerError> {
+    encode_checkpoint(&session.checkpoint_doc(pos)).map_err(WorkerError::Io)
 }
 
 /// Writes one checkpoint-bearing frame, applying the corrupt-frame hook

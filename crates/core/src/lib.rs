@@ -66,6 +66,9 @@ mod partition;
 pub mod pipeline;
 mod relevance;
 pub mod report;
+#[cfg(unix)]
+pub mod serve;
+pub mod session;
 mod streaming;
 pub mod syzlang;
 pub mod tcd;
@@ -74,10 +77,13 @@ mod variants;
 pub use arg::{ArgClass, ArgName, TrackedValue};
 pub use checkpoint::{
     encode_checkpoint, parse_checkpoint, prev_checkpoint_path, read_checkpoint,
-    read_checkpoint_with_fallback, write_checkpoint, CheckpointDoc, CheckpointError,
+    read_checkpoint_with_fallback, write_atomic, write_checkpoint, CheckpointDoc, CheckpointError,
     PidStateSnapshot, IOCKPT_MAGIC, IOCKPT_VERSION,
 };
-pub use cold::{campaign_tcd, extract_cold, tcd_vector, ColdErrno, ColdPartition, ColdReport};
+pub use cold::{
+    campaign_tcd, extract_cold, output_bucket_domain, tcd_vector, ColdErrno, ColdOutputBucket,
+    ColdPartition, ColdReport, OUTPUT_BUCKET_MAX_LOG2,
+};
 pub use combos::ComboCoverage;
 pub use coverage::{AnalysisReport, Analyzer, ComboHistogram, InputCoverage, OutputCoverage};
 pub use distribute::{
@@ -100,6 +106,12 @@ pub use pipeline::{
     CheckpointPolicy, Executor, Pipeline, PipelineBuilder, PipelineError, PipelineRun,
     PoolExecutor, SerialExecutor, DEFAULT_CHUNK,
 };
+#[cfg(unix)]
+pub use serve::{
+    run_feed, run_serve, FeedAbortHook, FeedConfig, FeedOutcome, FeedStallHook, ServeConfig,
+    ServeSummary, StreamHello, StreamStatus,
+};
+pub use session::{AnalysisSession, DirectExecutor, Driver};
 pub use streaming::StreamingAnalyzer;
 pub use variants::{normalize, NormalizedCall, CREAT_IMPLIED_FLAGS};
 

@@ -63,7 +63,7 @@ use std::sync::Arc;
 
 use iocov_trace::{EventBatch, EventSource, SkippedLine, StrInterner, TraceEvent, TraceIoError};
 
-use crate::checkpoint::{write_checkpoint, CheckpointDoc, PidStateSnapshot};
+use crate::checkpoint::{CheckpointDoc, PidStateSnapshot};
 use crate::coverage::AnalysisReport;
 use crate::filter::TraceFilter;
 use crate::metrics::{PipelineMetrics, ShardFailureRecord};
@@ -71,6 +71,7 @@ use crate::parallel::{
     panic_message, ParallelStreamingAnalyzer, ShardError, ShardHook, SupervisedScanGuard,
     SupervisorPolicy,
 };
+use crate::session::{AnalysisSession, Driver};
 use crate::streaming::StreamingAnalyzer;
 
 /// Default batch size pulled from the source per executor push.
@@ -556,10 +557,14 @@ impl PipelineBuilder {
         self
     }
 
-    /// Builds the pipeline: routes to the serial or pool executor and
-    /// seeds it (and the metrics) from any resume checkpoint.
+    /// Builds the resident session alone: routes to the serial or pool
+    /// executor and seeds it (and the metrics) from any resume
+    /// checkpoint. This is the entry point for callers that feed
+    /// events themselves (`iocov serve`, incremental oracles); batch
+    /// callers use [`build`](Self::build).
     #[must_use]
-    pub fn build(self) -> Pipeline {
+    pub fn build_session(self) -> AnalysisSession {
+        let events = self.resume.as_ref().map_or(0, |doc| doc.cursor.events);
         let seed = self.resume.map(|doc| {
             // The checkpointed snapshot carries the counters for
             // everything before the cursor; live metrics continue from
@@ -589,158 +594,79 @@ impl PipelineBuilder {
                 seed,
             ))
         };
+        AnalysisSession::new(executor, self.mount, self.metrics, self.checkpoint, events)
+    }
+
+    /// Builds the pipeline: a [`build_session`](Self::build_session)
+    /// session paired with the batch driver's chunk and stop-after
+    /// configuration.
+    #[must_use]
+    pub fn build(self) -> Pipeline {
+        let chunk = self.chunk;
+        let stop_after = self.stop_after;
         Pipeline {
-            executor,
-            mount: self.mount,
-            metrics: self.metrics,
-            checkpoint: self.checkpoint,
-            stop_after: self.stop_after,
-            chunk: self.chunk,
+            session: self.build_session(),
+            chunk,
+            stop_after,
         }
     }
 }
 
-/// A configured analysis pipeline. Drive it from an [`EventSource`]
-/// with [`run`](Self::run), or push in-memory events directly with
-/// [`push_owned`](Self::push_owned) + [`finish`](Self::finish) (the
-/// workload/bench path).
+/// A configured analysis pipeline: an [`AnalysisSession`] paired with
+/// the batch [`Driver`]'s configuration. Drive it from an
+/// [`EventSource`] with [`run`](Self::run), or push in-memory events
+/// directly with [`push_owned`](Self::push_owned) +
+/// [`finish`](Self::finish) (the workload/bench path).
 pub struct Pipeline {
-    executor: Box<dyn Executor>,
-    mount: Option<String>,
-    metrics: Option<Arc<PipelineMetrics>>,
-    checkpoint: Option<CheckpointPolicy>,
-    stop_after: Option<u64>,
+    session: AnalysisSession,
     chunk: usize,
+    stop_after: Option<u64>,
 }
 
 impl Pipeline {
     /// Feeds one owned chunk of in-memory events, packing it into a
     /// columnar batch (no source, no checkpointing counters).
     pub fn push_owned(&mut self, events: Vec<TraceEvent>) {
-        self.push_batch(EventBatch::from_events(&events));
+        self.session.feed_owned(events);
     }
 
     /// Feeds one columnar batch directly (no source, no checkpointing
     /// counters) — the allocation-free twin of
     /// [`push_owned`](Self::push_owned).
     pub fn push_batch(&mut self, batch: EventBatch) {
-        // Batch-shape counters are recorded here — once per batch, on
-        // the single entry point every feed path (run, push_owned,
-        // direct batches) funnels through, executor-independently — so
-        // serial and pooled snapshots stay byte-identical.
-        if let Some(m) = &self.metrics {
-            m.record_batch(batch.len() as u64, batch.estimated_owned_allocs());
-        }
-        self.executor.push(batch);
+        self.session.feed(batch);
+    }
+
+    /// The resident session underneath, for mid-stream cuts.
+    pub fn session_mut(&mut self) -> &mut AnalysisSession {
+        &mut self.session
+    }
+
+    /// Unwraps the resident session, discarding the driver
+    /// configuration.
+    #[must_use]
+    pub fn into_session(self) -> AnalysisSession {
+        self.session
     }
 
     /// Drains the executor: the final report and failure manifest.
     #[must_use]
     pub fn finish(self) -> (AnalysisReport, Vec<ShardFailureRecord>) {
-        self.executor.finish()
+        self.session.finish()
     }
 
-    /// Pulls the source to end-of-input (or `stop_after`), pushing
-    /// batches through the executor, cutting checkpoints at every
-    /// `checkpoint.every` boundary, and accounting lossy parse skips to
-    /// the metrics.
+    /// Pulls the source to end-of-input (or `stop_after`) through the
+    /// batch [`Driver`], pushing batches through the executor, cutting
+    /// checkpoints at every `checkpoint.every` boundary, and accounting
+    /// lossy parse skips to the metrics.
     ///
     /// # Errors
     ///
     /// [`PipelineError::Source`] on a read/decode failure,
     /// [`PipelineError::Checkpoint`] when a checkpoint cannot be
     /// persisted.
-    pub fn run(mut self, source: &mut dyn EventSource) -> Result<PipelineRun, PipelineError> {
-        let mut events = source.position().state.events;
-        let mut skips_seen = source.skip_ledger().len();
-        let mut stopped = false;
-        loop {
-            // Cap the batch so it never crosses a checkpoint or stop
-            // boundary — cuts land on exact event counts, like the
-            // per-event loop this replaces.
-            let mut want = self.chunk;
-            if let Some(ck) = &self.checkpoint {
-                let until = ck.every - (events % ck.every);
-                want = want.min(usize::try_from(until).unwrap_or(usize::MAX));
-            }
-            if let Some(stop) = self.stop_after {
-                let until = stop.saturating_sub(events).max(1);
-                want = want.min(usize::try_from(until).unwrap_or(usize::MAX));
-            }
-            let batch = source.next_batch(want).map_err(PipelineError::Source)?;
-            // Count lossy skips before the EOF check: trailing garbage
-            // after the last event surfaces as ledger growth on the
-            // final (possibly empty) pull.
-            let skips = source.skip_ledger().len();
-            if skips > skips_seen {
-                if let Some(m) = &self.metrics {
-                    m.add_parse_skipped((skips - skips_seen) as u64);
-                }
-                skips_seen = skips;
-            }
-            if batch.is_empty() {
-                break;
-            }
-            events += batch.len() as u64;
-            self.push_batch(batch);
-            if let Some(ck) = &self.checkpoint {
-                if events.is_multiple_of(ck.every) {
-                    let path = ck.path.clone();
-                    self.write_cut(source, &path)?;
-                }
-            }
-            if self.stop_after.is_some_and(|k| events >= k) {
-                stopped = true;
-                break;
-            }
-        }
-        let skipped = source.skip_ledger().to_vec();
-        if stopped {
-            // Simulated kill: no report, no checkpoint beyond the last
-            // periodic one — exactly what a real kill leaves behind.
-            return Ok(PipelineRun {
-                report: AnalysisReport::default(),
-                failures: Vec::new(),
-                skipped,
-                events,
-                stopped,
-            });
-        }
-        let (report, failures) = self.executor.finish();
-        Ok(PipelineRun {
-            report,
-            failures,
-            skipped,
-            events,
-            stopped,
-        })
-    }
-
-    /// Cuts the executor and persists a checkpoint at the source's
-    /// current position.
-    fn write_cut(
-        &mut self,
-        source: &mut dyn EventSource,
-        path: &std::path::Path,
-    ) -> Result<(), PipelineError> {
-        let (report, pid_states) = self.executor.cut();
-        let pos = source.position();
-        let doc = CheckpointDoc {
-            mount: self.mount.clone(),
-            cursor: pos.state,
-            pid_states,
-            report,
-            metrics: self
-                .metrics
-                .as_ref()
-                .map(|m| m.snapshot())
-                .unwrap_or_default(),
-            format: pos.format,
-        };
-        write_checkpoint(path, &doc).map_err(|error| PipelineError::Checkpoint {
-            path: path.to_path_buf(),
-            error,
-        })
+    pub fn run(self, source: &mut dyn EventSource) -> Result<PipelineRun, PipelineError> {
+        Driver::new(self.session, self.chunk, self.stop_after).run(source)
     }
 }
 
@@ -910,7 +836,7 @@ mod tests {
             let mut states_at_cuts = Vec::new();
             for chunk in events.chunks(11) {
                 pipeline.push_owned(chunk.to_vec());
-                states_at_cuts.push(pipeline.executor.cut());
+                states_at_cuts.push(pipeline.session_mut().cut());
             }
             let (report, failures) = pipeline.finish();
             assert!(failures.is_empty());
@@ -934,7 +860,7 @@ mod tests {
         for jobs in [1, 3] {
             let mut head = PipelineBuilder::new(filter()).jobs(jobs).build();
             head.push_owned(events[..cut_at].to_vec());
-            let (head_report, head_states) = head.executor.cut();
+            let (head_report, head_states) = head.session_mut().cut();
             let doc = CheckpointDoc {
                 report: head_report,
                 pid_states: head_states,

@@ -1,0 +1,1200 @@
+//! Long-running analysis service: concurrent trace streams feeding
+//! resident [`AnalysisSession`](crate::session::AnalysisSession)s.
+//!
+//! The batch pipeline answers one question about one finished trace.
+//! `iocov serve` keeps the answer *live*: a server accepts many trace
+//! streams concurrently — unix-socket connections speaking the
+//! checksummed frame protocol from [`distribute`](crate::distribute),
+//! plus `.jsonl`/`.iotb` files dropped into a watched spool directory —
+//! and runs one supervised [`AnalysisSession`] per stream, each with its
+//! own `.iockpt` checkpoint in the state directory. After every
+//! checkpoint boundary the server rewrites a *merged* coverage snapshot
+//! (all streams' reports combined) and a per-stream status manifest,
+//! both atomically, so an observer can `cat` a consistent document at
+//! any moment.
+//!
+//! # Wire protocol (one connection = one stream)
+//!
+//! ```text
+//! client                                server
+//!   ── HELLO {stream, format} ──▶        admit / reject
+//!   ◀── CHECKPOINT (resume doc | ∅) ──   (or DONE + reason on reject)
+//!   ── DATA raw trace bytes ──▶  ×N      feed session, checkpoint
+//!   ── DONE ──▶                          finish, publish report
+//! ```
+//!
+//! Frames reuse `[kind][len u64 LE][payload][fnv1a64]` encoding; DATA
+//! payloads are raw container bytes (JSONL text or `.iotb`), so the
+//! server-side decode path is *exactly* the batch decode path — a
+//! [`JsonlSource`]/[`IotbSource`] over a channel-backed reader.
+//! Backpressure is the bounded channel between the frame reader and the
+//! session ([`PIPELINE_DEPTH`] batches deep) plus the kernel socket
+//! buffer behind it: a slow analysis blocks the feeder, nothing buffers
+//! unboundedly.
+//!
+//! # Per-stream recovery
+//!
+//! A connection that dies mid-feed (no DONE frame) marks its stream
+//! *failed* but keeps the last checkpoint. The next HELLO for that name
+//! is answered with the checkpoint document; the client seeks its local
+//! trace to the cursor (JSONL) or replays the container from the start
+//! (iotb — the cursor skips already-counted events) and the session
+//! resumes where it left off. A stream that fails more than
+//! [`SupervisorPolicy::max_restarts`] times gives up, mirroring shard
+//! supervision, and further connections for it are refused.
+
+use std::collections::BTreeMap;
+use std::fs::{self, File};
+use std::io::{self, Read, Seek, SeekFrom};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
+use std::sync::{Arc, Mutex};
+use std::thread;
+use std::time::Duration;
+
+use iocov_trace::{
+    open_source, EventSource, IotbSource, JsonlSource, ReadOptions, SourceFormat, SourceOptions,
+    SourcePos,
+};
+use serde::{Deserialize, Serialize};
+
+use crate::checkpoint::{
+    encode_checkpoint, parse_checkpoint, read_checkpoint_with_fallback, write_atomic,
+    write_checkpoint, CheckpointDoc,
+};
+use crate::coverage::AnalysisReport;
+use crate::distribute::{
+    read_frame, write_frame, FRAME_CHECKPOINT, FRAME_DATA, FRAME_DONE, FRAME_HELLO,
+};
+use crate::filter::TraceFilter;
+use crate::metrics::{PipelineMetrics, ShardFailureRecord};
+use crate::parallel::{SupervisorPolicy, PIPELINE_DEPTH};
+use crate::pipeline::{PipelineBuilder, DEFAULT_CHUNK};
+
+/// How often the socket accept loop, spool watcher, and drain monitor
+/// poll their respective conditions.
+const POLL_INTERVAL: Duration = Duration::from_millis(25);
+
+/// Handshake retries a feed client spends waiting out a `busy` stream
+/// (an earlier connection for the same name still tearing down).
+const FEED_BUSY_RETRIES: u32 = 80;
+
+/// The HELLO frame payload: which stream this connection feeds and the
+/// container format of the bytes that will follow in DATA frames.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StreamHello {
+    /// Stream name; also names the per-stream checkpoint file, so it is
+    /// restricted to `[A-Za-z0-9._-]`.
+    pub stream: String,
+    /// Container format of the DATA payload bytes.
+    pub format: SourceFormat,
+}
+
+/// `iocov serve` configuration.
+pub struct ServeConfig {
+    /// Unix socket path to listen on (`None` = spool-only server).
+    pub socket: Option<PathBuf>,
+    /// Directory watched for dropped `.jsonl`/`.iotb` trace files.
+    pub spool: Option<PathBuf>,
+    /// Where per-stream checkpoints, the merged `snapshot.json`, and
+    /// the `status.json` manifest live.
+    pub state_dir: PathBuf,
+    /// Mount-point filter applied to every stream.
+    pub mount: Option<String>,
+    /// Skip malformed input lines instead of failing the stream.
+    pub lossy: bool,
+    /// Cap on skipped lines per stream when lossy.
+    pub max_errors: Option<usize>,
+    /// Checkpoint (and merged-snapshot refresh) cadence in events.
+    pub checkpoint_every: u64,
+    /// Restart budget for failed streams, reusing the shard supervision
+    /// policy: a stream that fails more than `max_restarts` times gives
+    /// up and refuses further connections.
+    pub policy: SupervisorPolicy,
+    /// Exit once this many streams have completed (or given up) and
+    /// none are running. `None` serves forever.
+    pub drain: Option<usize>,
+}
+
+/// One stream's row in the `status.json` manifest (and the final
+/// [`ServeSummary`]).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct StreamStatus {
+    /// Stream name.
+    pub stream: String,
+    /// `"socket"` or `"spool"`.
+    pub origin: String,
+    /// `"running"`, `"done"`, `"failed"` (recoverable), or `"gave-up"`.
+    pub state: String,
+    /// Events analyzed so far (checkpointed progress, final count once
+    /// done).
+    pub events: u64,
+    /// Times the stream failed and was readmitted for recovery.
+    pub restarts: u32,
+    /// The most recent failure, if any.
+    #[serde(default)]
+    pub last_error: Option<String>,
+    /// Supervised shard failures absorbed *inside* the stream's
+    /// session.
+    #[serde(default)]
+    pub shard_failures: Vec<ShardFailureRecord>,
+}
+
+/// The `status.json` document shape.
+#[derive(Serialize)]
+struct StatusDoc {
+    streams: Vec<StreamStatus>,
+}
+
+/// What `run_serve` hands back after draining.
+#[derive(Debug, Clone, Serialize)]
+pub struct ServeSummary {
+    /// Final per-stream statuses, in name order.
+    pub streams: Vec<StreamStatus>,
+    /// The merged report over every stream, as last written to
+    /// `snapshot.json`.
+    pub report: AnalysisReport,
+}
+
+/// Per-stream bookkeeping behind the status manifest.
+#[derive(Default)]
+struct StreamEntry {
+    /// Last persisted checkpoint (progress for the merged snapshot and
+    /// the resume document for recovery).
+    doc: Option<CheckpointDoc>,
+    /// Final report, once the stream completed.
+    report: Option<AnalysisReport>,
+    events: u64,
+    restarts: u32,
+    running: bool,
+    done: bool,
+    gave_up: bool,
+    origin: &'static str,
+    last_error: Option<String>,
+    shard_failures: Vec<ShardFailureRecord>,
+}
+
+impl StreamEntry {
+    fn state_name(&self) -> &'static str {
+        if self.running {
+            "running"
+        } else if self.done {
+            "done"
+        } else if self.gave_up {
+            "gave-up"
+        } else if self.last_error.is_some() {
+            "failed"
+        } else {
+            "idle"
+        }
+    }
+}
+
+/// Shared server state: config plus the stream table.
+struct ServeState {
+    cfg: ServeConfig,
+    streams: Mutex<BTreeMap<String, StreamEntry>>,
+    shutdown: AtomicBool,
+}
+
+impl ServeState {
+    fn ckpt_path(&self, stream: &str) -> PathBuf {
+        self.cfg.state_dir.join(format!("{stream}.iockpt"))
+    }
+
+    fn stopping(&self) -> bool {
+        self.shutdown.load(Ordering::Relaxed)
+    }
+}
+
+/// Why a HELLO was refused. The reason string travels back to the
+/// client in a DONE frame.
+enum Admit {
+    /// Stream admitted; resume from this checkpoint if `Some`. Boxed:
+    /// a `CheckpointDoc` carries a full report and dwarfs the
+    /// rejection string.
+    Admitted(Option<Box<CheckpointDoc>>),
+    Rejected(String),
+}
+
+fn valid_stream_name(name: &str) -> bool {
+    !name.is_empty()
+        && name.len() <= 128
+        && name
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || matches!(c, '-' | '_' | '.'))
+}
+
+/// Admits (or refuses) a stream and marks it running. On admission,
+/// returns the resume checkpoint: the in-memory one from a previous
+/// incarnation, or — first time this server sees the name — whatever
+/// `.iockpt` survives on disk from an earlier server run.
+fn register_stream(state: &ServeState, name: &str, origin: &'static str) -> Admit {
+    if !valid_stream_name(name) {
+        return Admit::Rejected(format!(
+            "invalid stream name {name:?}: use [A-Za-z0-9._-], at most 128 chars"
+        ));
+    }
+    let mut streams = state.streams.lock().unwrap();
+    let first_sight = !streams.contains_key(name);
+    let entry = streams.entry(name.to_owned()).or_default();
+    if entry.running {
+        return Admit::Rejected(format!(
+            "stream {name} is busy: another connection feeds it"
+        ));
+    }
+    if entry.done {
+        return Admit::Rejected(format!("stream {name} is already complete"));
+    }
+    if entry.gave_up {
+        return Admit::Rejected(format!(
+            "stream {name} gave up after {} restarts",
+            entry.restarts
+        ));
+    }
+    if first_sight {
+        // A checkpoint left by an earlier server process resumes the
+        // stream across server restarts. An unreadable or
+        // filter-mismatched checkpoint falls back to a fresh run, the
+        // same degradation the batch CLI applies.
+        if let Ok((doc, _fell_back)) = read_checkpoint_with_fallback(&state.ckpt_path(name)) {
+            if doc.mount == state.cfg.mount {
+                entry.events = doc.cursor.events;
+                entry.doc = Some(doc);
+            }
+        }
+    }
+    entry.origin = origin;
+    entry.running = true;
+    Admit::Admitted(entry.doc.clone().map(Box::new))
+}
+
+/// Applies `f` to the stream's entry under the lock.
+fn with_entry(state: &ServeState, name: &str, f: impl FnOnce(&mut StreamEntry)) {
+    let mut streams = state.streams.lock().unwrap();
+    f(streams.entry(name.to_owned()).or_default());
+}
+
+/// Marks a stream failed and charges its restart budget.
+fn fail_stream(state: &ServeState, name: &str, error: String) {
+    let max = state.cfg.policy.max_restarts;
+    with_entry(state, name, |entry| {
+        entry.running = false;
+        entry.restarts += 1;
+        entry.gave_up = entry.restarts > max;
+        entry.last_error = Some(error);
+    });
+    let _ = write_outputs(state);
+}
+
+fn status_rows(streams: &BTreeMap<String, StreamEntry>) -> Vec<StreamStatus> {
+    streams
+        .iter()
+        .map(|(name, entry)| StreamStatus {
+            stream: name.clone(),
+            origin: entry.origin.to_owned(),
+            state: entry.state_name().to_owned(),
+            events: entry.events,
+            restarts: entry.restarts,
+            last_error: entry.last_error.clone(),
+            shard_failures: entry.shard_failures.clone(),
+        })
+        .collect()
+}
+
+fn merged_report(streams: &BTreeMap<String, StreamEntry>) -> AnalysisReport {
+    let mut merged = AnalysisReport::default();
+    for entry in streams.values() {
+        // A finished stream contributes its final report; a live or
+        // failed one contributes checkpointed progress. Every report
+        // aggregate is an order-independent sum, so the merge over
+        // pid-disjoint streams equals one batch run over their
+        // concatenation.
+        if let Some(report) = &entry.report {
+            merged.merge(report);
+        } else if let Some(doc) = &entry.doc {
+            merged.merge(&doc.report);
+        }
+    }
+    merged
+}
+
+/// Rewrites `snapshot.json` (merged report, byte-identical to `iocov
+/// analyze --json` over the same events) and `status.json` (per-stream
+/// manifest), both atomically.
+fn write_outputs(state: &ServeState) -> io::Result<()> {
+    let streams = state.streams.lock().unwrap();
+    let report = merged_report(&streams);
+    let mut snapshot = serde_json::to_string_pretty(&report)
+        .map_err(|e| io::Error::other(format!("serialize snapshot: {e}")))?;
+    snapshot.push('\n');
+    write_atomic(
+        &state.cfg.state_dir.join("snapshot.json"),
+        snapshot.as_bytes(),
+    )?;
+    let status = StatusDoc {
+        streams: status_rows(&streams),
+    };
+    let mut status = serde_json::to_string_pretty(&status)
+        .map_err(|e| io::Error::other(format!("serialize status: {e}")))?;
+    status.push('\n');
+    write_atomic(&state.cfg.state_dir.join("status.json"), status.as_bytes())
+}
+
+fn make_filter(mount: Option<&str>) -> Result<TraceFilter, String> {
+    match mount {
+        Some(m) => TraceFilter::mount_point(m).map_err(|e| e.to_string()),
+        None => Ok(TraceFilter::keep_all()),
+    }
+}
+
+/// What one complete stream run produced.
+struct StreamRun {
+    report: AnalysisReport,
+    failures: Vec<ShardFailureRecord>,
+    events: u64,
+}
+
+/// Builds the stream's resident session and pumps `source` to
+/// end-of-input, checkpointing (and refreshing the merged snapshot)
+/// every `checkpoint_every` events — the [`Driver`](crate::session::Driver)
+/// loop, minus stop-after, plus snapshot publication at each cut.
+fn pump_stream(
+    state: &ServeState,
+    name: &str,
+    resume: Option<CheckpointDoc>,
+    source: &mut dyn EventSource,
+) -> Result<StreamRun, String> {
+    let filter = make_filter(state.cfg.mount.as_deref())?;
+    let metrics = Arc::new(PipelineMetrics::default());
+    let mut builder = PipelineBuilder::new(filter)
+        .mount(state.cfg.mount.clone())
+        .policy(state.cfg.policy)
+        .metrics(Arc::clone(&metrics));
+    if let Some(doc) = resume {
+        builder = builder.resume(doc);
+    }
+    let mut session = builder.build_session();
+    let ckpt_path = state.ckpt_path(name);
+    let every = state.cfg.checkpoint_every.max(1);
+    let mut skips_seen = source.skip_ledger().len();
+    loop {
+        let events = session.events();
+        let until = every - (events % every);
+        let want = DEFAULT_CHUNK.min(usize::try_from(until).unwrap_or(usize::MAX));
+        let batch = source
+            .next_batch(want)
+            .map_err(|e| format!("stream {name}: {e}"))?;
+        let skips = source.skip_ledger().len();
+        if skips > skips_seen {
+            session.add_parse_skipped((skips - skips_seen) as u64);
+            skips_seen = skips;
+        }
+        if batch.is_empty() {
+            break;
+        }
+        session.feed(batch);
+        if session.events().is_multiple_of(every) {
+            let doc = session.checkpoint_doc(&source.position());
+            write_checkpoint(&ckpt_path, &doc)
+                .map_err(|e| format!("stream {name}: checkpoint {}: {e}", ckpt_path.display()))?;
+            with_entry(state, name, |entry| {
+                entry.events = doc.cursor.events;
+                entry.doc = Some(doc);
+            });
+            write_outputs(state).map_err(|e| format!("stream {name}: snapshot: {e}"))?;
+        }
+    }
+    let events = session.events();
+    let (report, failures) = session.finish();
+    Ok(StreamRun {
+        report,
+        failures,
+        events,
+    })
+}
+
+fn read_options(cfg: &ServeConfig) -> ReadOptions {
+    ReadOptions {
+        max_errors: cfg.max_errors,
+        on_error: if cfg.lossy {
+            iocov_trace::ErrorPolicy::Skip
+        } else {
+            iocov_trace::ErrorPolicy::Abort
+        },
+    }
+}
+
+/// Publishes a finished stream: final report, terminal checkpoint on
+/// disk stays for the record, merged snapshot refreshed.
+fn complete_stream(state: &ServeState, name: &str, run: StreamRun) {
+    with_entry(state, name, |entry| {
+        entry.running = false;
+        entry.done = true;
+        entry.events = run.events;
+        entry.report = Some(run.report);
+        entry.shard_failures = run.failures;
+        entry.doc = None;
+    });
+    let _ = write_outputs(state);
+}
+
+// ---------------------------------------------------------------------
+// Socket streams
+// ---------------------------------------------------------------------
+
+/// A frame payload hop between the connection reader thread and the
+/// analysis.
+enum StreamMsg {
+    Data(Vec<u8>),
+    Done,
+    Failed(String),
+}
+
+/// `Read` over the bounded frame channel: DATA payloads concatenate
+/// into a byte stream, DONE is end-of-file, a truncated or corrupt
+/// connection surfaces as an I/O error (which fails the stream through
+/// the normal source-error path).
+struct ChannelReader {
+    rx: Receiver<StreamMsg>,
+    buf: Vec<u8>,
+    pos: usize,
+    done: bool,
+}
+
+impl ChannelReader {
+    fn new(rx: Receiver<StreamMsg>) -> Self {
+        ChannelReader {
+            rx,
+            buf: Vec::new(),
+            pos: 0,
+            done: false,
+        }
+    }
+}
+
+impl Read for ChannelReader {
+    fn read(&mut self, out: &mut [u8]) -> io::Result<usize> {
+        if out.is_empty() {
+            return Ok(0);
+        }
+        loop {
+            if self.pos < self.buf.len() {
+                let n = out.len().min(self.buf.len() - self.pos);
+                out[..n].copy_from_slice(&self.buf[self.pos..self.pos + n]);
+                self.pos += n;
+                return Ok(n);
+            }
+            if self.done {
+                return Ok(0);
+            }
+            match self.rx.recv() {
+                Ok(StreamMsg::Data(bytes)) => {
+                    self.buf = bytes;
+                    self.pos = 0;
+                }
+                Ok(StreamMsg::Done) => {
+                    self.done = true;
+                    return Ok(0);
+                }
+                Ok(StreamMsg::Failed(msg)) => {
+                    self.done = true;
+                    return Err(io::Error::other(msg));
+                }
+                Err(_) => {
+                    self.done = true;
+                    return Err(io::Error::other("frame reader disconnected"));
+                }
+            }
+        }
+    }
+}
+
+/// Reader-thread half of a connection: frames to channel messages. The
+/// bounded channel is the backpressure seam — a slow analysis parks
+/// this thread, the kernel socket buffer fills, and the feeder's write
+/// blocks.
+fn pump_frames(mut conn: UnixStream, tx: SyncSender<StreamMsg>) {
+    loop {
+        match read_frame(&mut conn) {
+            Ok(Some(frame)) if frame.kind == FRAME_DATA => {
+                if tx.send(StreamMsg::Data(frame.payload)).is_err() {
+                    return;
+                }
+            }
+            Ok(Some(frame)) if frame.kind == FRAME_DONE => {
+                let _ = tx.send(StreamMsg::Done);
+                return;
+            }
+            Ok(Some(frame)) => {
+                let _ = tx.send(StreamMsg::Failed(format!(
+                    "unexpected frame kind {:#04x} mid-stream",
+                    frame.kind
+                )));
+                return;
+            }
+            // A clean close without DONE is a dead feeder, not a
+            // finished stream — the checkpoint survives for recovery.
+            Ok(None) => {
+                let _ = tx.send(StreamMsg::Failed(
+                    "connection closed before its done frame".into(),
+                ));
+                return;
+            }
+            Err(e) => {
+                let _ = tx.send(StreamMsg::Failed(e.to_string()));
+                return;
+            }
+        }
+    }
+}
+
+fn read_hello(conn: &mut UnixStream) -> Result<StreamHello, String> {
+    match read_frame(conn) {
+        Ok(Some(frame)) if frame.kind == FRAME_HELLO => serde_json::from_slice(&frame.payload)
+            .map_err(|e| format!("malformed hello payload: {e}")),
+        Ok(Some(frame)) => Err(format!("expected hello frame, got {:#04x}", frame.kind)),
+        Ok(None) => Err("connection closed before hello".into()),
+        Err(e) => Err(e.to_string()),
+    }
+}
+
+/// Serves one socket connection end to end.
+fn handle_connection(state: &ServeState, mut conn: UnixStream) {
+    let Ok(hello) = read_hello(&mut conn) else {
+        // No stream identified itself; nothing to record.
+        return;
+    };
+    let resume = match register_stream(state, &hello.stream, "socket") {
+        Admit::Admitted(resume) => resume.map(|doc| *doc),
+        Admit::Rejected(reason) => {
+            let _ = write_frame(&mut conn, FRAME_DONE, reason.as_bytes());
+            return;
+        }
+    };
+    // Handshake reply: the resume checkpoint (empty = start fresh).
+    let payload = match &resume {
+        Some(doc) => match encode_checkpoint(doc) {
+            Ok(bytes) => bytes,
+            Err(e) => {
+                fail_stream(state, &hello.stream, format!("encode resume document: {e}"));
+                return;
+            }
+        },
+        None => Vec::new(),
+    };
+    if let Err(e) = write_frame(&mut conn, FRAME_CHECKPOINT, &payload) {
+        fail_stream(state, &hello.stream, format!("handshake reply: {e}"));
+        return;
+    }
+    let (tx, rx) = sync_channel(PIPELINE_DEPTH);
+    let reader = thread::spawn(move || pump_frames(conn, tx));
+    let channel = ChannelReader::new(rx);
+    match run_socket_stream(state, &hello.stream, hello.format, resume, channel) {
+        Ok(run) => complete_stream(state, &hello.stream, run),
+        Err(e) => fail_stream(state, &hello.stream, e),
+    }
+    let _ = reader.join();
+}
+
+/// Decodes a socket stream's DATA bytes with the batch source machinery
+/// and pumps them through a resident session.
+fn run_socket_stream(
+    state: &ServeState,
+    name: &str,
+    format: SourceFormat,
+    resume: Option<CheckpointDoc>,
+    channel: ChannelReader,
+) -> Result<StreamRun, String> {
+    let options = read_options(&state.cfg);
+    let mut source: Box<dyn EventSource> = match (format, &resume) {
+        (SourceFormat::Jsonl, Some(doc)) => {
+            Box::new(JsonlSource::resume(channel, options, doc.cursor.clone()))
+        }
+        (SourceFormat::Jsonl, None) => Box::new(JsonlSource::new(channel, options)),
+        // The iotb cursor re-reads the container itself; the feeder
+        // replays the file from byte 0 on resume.
+        (SourceFormat::Iotb, Some(doc)) => Box::new(
+            IotbSource::resume(channel, options, doc.cursor.clone())
+                .map_err(|e| format!("stream {name}: {e}"))?,
+        ),
+        (SourceFormat::Iotb, None) => {
+            Box::new(IotbSource::new(channel, options).map_err(|e| format!("stream {name}: {e}"))?)
+        }
+    };
+    pump_stream(state, name, resume, source.as_mut())
+}
+
+// ---------------------------------------------------------------------
+// Spool streams
+// ---------------------------------------------------------------------
+
+/// Analyzes one spooled trace file as a stream named after its stem.
+/// The file is renamed `.done` on success, `.failed` on error, so the
+/// watcher never reprocesses it.
+fn process_spool_file(state: &ServeState, path: &Path) {
+    let Some(name) = path.file_stem().map(|s| s.to_string_lossy().into_owned()) else {
+        return;
+    };
+    let resume = match register_stream(state, &name, "spool") {
+        Admit::Admitted(resume) => resume.map(|doc| *doc),
+        // Busy/done/gave-up: leave the file; a busy stream's file is
+        // retried on a later scan, the rest are renamed below only
+        // after this server actually processed them.
+        Admit::Rejected(_) => return,
+    };
+    let trace = path.to_string_lossy().into_owned();
+    let outcome = (|| -> Result<StreamRun, String> {
+        let options = SourceOptions {
+            read: read_options(&state.cfg),
+            format: None,
+            resume: resume.as_ref().map(|doc| SourcePos {
+                format: doc.format,
+                state: doc.cursor.clone(),
+            }),
+            wrap: None,
+            decode_jobs: 1,
+        };
+        let mut source = open_source(&trace, options).map_err(|e| format!("{trace}: {e}"))?;
+        pump_stream(state, &name, resume.clone(), source.as_mut())
+    })();
+    let suffix = if outcome.is_ok() { "done" } else { "failed" };
+    match outcome {
+        Ok(run) => complete_stream(state, &name, run),
+        Err(e) => fail_stream(state, &name, e),
+    }
+    let renamed = path.with_extension(format!(
+        "{}.{suffix}",
+        path.extension().unwrap_or_default().to_string_lossy()
+    ));
+    let _ = fs::rename(path, renamed);
+}
+
+fn spool_candidate(path: &Path) -> bool {
+    matches!(
+        path.extension().and_then(|e| e.to_str()),
+        Some("jsonl" | "iotb")
+    )
+}
+
+/// Watches the spool directory. A file is picked up once its size is
+/// stable across two consecutive scans, so half-copied traces are not
+/// analyzed mid-write.
+fn spool_loop(state: &ServeState, dir: &Path) {
+    let mut sizes: BTreeMap<PathBuf, u64> = BTreeMap::new();
+    while !state.stopping() {
+        let mut seen = Vec::new();
+        if let Ok(entries) = fs::read_dir(dir) {
+            for entry in entries.flatten() {
+                let path = entry.path();
+                if !spool_candidate(&path) {
+                    continue;
+                }
+                let Ok(meta) = entry.metadata() else { continue };
+                if !meta.is_file() {
+                    continue;
+                }
+                seen.push(path.clone());
+                match sizes.get(&path) {
+                    Some(&prev) if prev == meta.len() => {
+                        process_spool_file(state, &path);
+                        sizes.remove(&path);
+                    }
+                    _ => {
+                        sizes.insert(path, meta.len());
+                    }
+                }
+            }
+        }
+        sizes.retain(|path, _| seen.contains(path));
+        thread::sleep(POLL_INTERVAL);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Server entry point
+// ---------------------------------------------------------------------
+
+/// Runs the server: accept loop, spool watcher, and drain monitor.
+/// Blocks until the drain condition is met (forever without one).
+///
+/// # Errors
+///
+/// Setup failures only (state dir, socket bind, invalid mount
+/// pattern); per-stream failures degrade into the status manifest
+/// instead of tearing the server down.
+pub fn run_serve(cfg: ServeConfig) -> io::Result<ServeSummary> {
+    fs::create_dir_all(&cfg.state_dir)?;
+    if let Some(spool) = &cfg.spool {
+        fs::create_dir_all(spool)?;
+    }
+    make_filter(cfg.mount.as_deref()).map_err(io::Error::other)?;
+    let listener = match &cfg.socket {
+        Some(path) => {
+            // A stale socket file from a previous server refuses binds.
+            let _ = fs::remove_file(path);
+            let listener = UnixListener::bind(path)?;
+            listener.set_nonblocking(true)?;
+            Some(listener)
+        }
+        None => None,
+    };
+    let state = ServeState {
+        cfg,
+        streams: Mutex::new(BTreeMap::new()),
+        shutdown: AtomicBool::new(false),
+    };
+    write_outputs(&state)?;
+    let state = &state;
+    thread::scope(|scope| {
+        if let Some(listener) = &listener {
+            scope.spawn(move || {
+                while !state.stopping() {
+                    match listener.accept() {
+                        Ok((conn, _)) => {
+                            // Blocking per-connection I/O from here on.
+                            let _ = conn.set_nonblocking(false);
+                            scope.spawn(move || handle_connection(state, conn));
+                        }
+                        Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                            thread::sleep(POLL_INTERVAL);
+                        }
+                        Err(_) => thread::sleep(POLL_INTERVAL),
+                    }
+                }
+            });
+        }
+        if let Some(dir) = state.cfg.spool.clone() {
+            scope.spawn(move || spool_loop(state, &dir));
+        }
+        // Drain monitor, on the scope's own thread.
+        while !state.stopping() {
+            if let Some(target) = state.cfg.drain {
+                let streams = state.streams.lock().unwrap();
+                let completed = streams.values().filter(|e| e.done || e.gave_up).count();
+                let running = streams.values().any(|e| e.running);
+                if completed >= target && !running {
+                    drop(streams);
+                    state.shutdown.store(true, Ordering::Relaxed);
+                    break;
+                }
+            }
+            thread::sleep(POLL_INTERVAL);
+        }
+    });
+    if let Some(path) = &state.cfg.socket {
+        let _ = fs::remove_file(path);
+    }
+    let streams = state.streams.lock().unwrap();
+    Ok(ServeSummary {
+        streams: status_rows(&streams),
+        report: merged_report(&streams),
+    })
+}
+
+// ---------------------------------------------------------------------
+// Feed client
+// ---------------------------------------------------------------------
+
+/// Fault hook for feed drills: called with cumulative payload bytes
+/// sent before each DATA frame; returning `true` drops the connection
+/// without a DONE frame (a simulated feeder crash).
+pub type FeedAbortHook = Arc<dyn Fn(u64) -> bool + Send + Sync>;
+
+/// Stall hook: called with the DATA frame ordinal before each send;
+/// sleeps (or not) at the schedule's discretion.
+pub type FeedStallHook = Arc<dyn Fn(u64) + Send + Sync>;
+
+/// `iocov feed` configuration: ship one local trace file to a serve
+/// socket as one named stream.
+pub struct FeedConfig {
+    /// The server's unix socket.
+    pub socket: PathBuf,
+    /// Stream name to feed.
+    pub stream: String,
+    /// Local trace file to ship.
+    pub trace: String,
+    /// Container format of `trace`.
+    pub format: SourceFormat,
+    /// DATA frame payload size in bytes.
+    pub chunk: usize,
+    /// Abort drill, if any.
+    pub abort: Option<FeedAbortHook>,
+    /// Stall drill, if any.
+    pub stall: Option<FeedStallHook>,
+}
+
+/// What a feed attempt did.
+#[derive(Debug, Clone, Default)]
+pub struct FeedOutcome {
+    /// Byte offset the server's checkpoint resumed the file from.
+    pub resumed_from: u64,
+    /// Whether the server held a checkpoint for this stream.
+    pub resumed: bool,
+    /// Payload bytes shipped.
+    pub sent_bytes: u64,
+    /// DATA frames shipped.
+    pub frames: u64,
+    /// Whether the abort drill fired.
+    pub aborted: bool,
+    /// The server's rejection reason, when it refused the stream.
+    pub rejected: Option<String>,
+}
+
+/// Feeds one trace file to a running server.
+///
+/// Retries the handshake while the server reports the stream busy (a
+/// prior connection for the same name still tearing down), so
+/// kill-then-recover drills don't race the server's cleanup.
+///
+/// # Errors
+///
+/// Connection, I/O, and protocol failures. A *rejection* (stream
+/// complete or given up) is not an error; see [`FeedOutcome::rejected`].
+pub fn run_feed(cfg: &FeedConfig) -> io::Result<FeedOutcome> {
+    let hello = serde_json::to_string(&StreamHello {
+        stream: cfg.stream.clone(),
+        format: cfg.format,
+    })
+    .map_err(|e| io::Error::other(format!("serialize hello: {e}")))?
+    .into_bytes();
+    let mut attempt = 0u32;
+    let (mut conn, reply) = loop {
+        let mut conn = UnixStream::connect(&cfg.socket)?;
+        write_frame(&mut conn, FRAME_HELLO, &hello)?;
+        let frame = read_frame(&mut conn)
+            .map_err(|e| io::Error::other(format!("handshake: {e}")))?
+            .ok_or_else(|| io::Error::other("server closed the connection during handshake"))?;
+        match frame.kind {
+            FRAME_CHECKPOINT => break (conn, frame.payload),
+            FRAME_DONE => {
+                let reason = String::from_utf8_lossy(&frame.payload).into_owned();
+                if reason.contains("busy") && attempt < FEED_BUSY_RETRIES {
+                    attempt += 1;
+                    thread::sleep(POLL_INTERVAL);
+                    continue;
+                }
+                return Ok(FeedOutcome {
+                    rejected: Some(reason),
+                    ..FeedOutcome::default()
+                });
+            }
+            kind => {
+                return Err(io::Error::other(format!(
+                    "expected checkpoint frame in handshake, got {kind:#04x}"
+                )))
+            }
+        }
+    };
+    let mut offset = 0u64;
+    let mut resumed = false;
+    if !reply.is_empty() {
+        let doc = parse_checkpoint(&reply)
+            .map_err(|e| io::Error::other(format!("server resume document: {e}")))?;
+        if doc.format != cfg.format {
+            return Err(io::Error::other(format!(
+                "server checkpoint is {} but {} is {}",
+                doc.format, cfg.trace, cfg.format
+            )));
+        }
+        resumed = true;
+        // JSONL resumes mid-file at the checkpointed byte offset; the
+        // iotb cursor re-reads the container from the start and skips
+        // already-counted events, so the whole file is re-sent.
+        if doc.format == SourceFormat::Jsonl {
+            offset = doc.cursor.byte_offset;
+        }
+    }
+    let mut file = File::open(&cfg.trace)?;
+    if offset > 0 {
+        file.seek(SeekFrom::Start(offset))?;
+    }
+    let mut buf = vec![0u8; cfg.chunk.max(1)];
+    let mut sent = 0u64;
+    let mut frames = 0u64;
+    loop {
+        let n = file.read(&mut buf)?;
+        if n == 0 {
+            break;
+        }
+        if let Some(abort) = &cfg.abort {
+            if abort(sent) {
+                // Vanish without DONE: the server records a failed
+                // stream and keeps its checkpoint for recovery.
+                drop(conn);
+                return Ok(FeedOutcome {
+                    resumed_from: offset,
+                    resumed,
+                    sent_bytes: sent,
+                    frames,
+                    aborted: true,
+                    rejected: None,
+                });
+            }
+        }
+        if let Some(stall) = &cfg.stall {
+            stall(frames);
+        }
+        write_frame(&mut conn, FRAME_DATA, &buf[..n])?;
+        sent += n as u64;
+        frames += 1;
+    }
+    write_frame(&mut conn, FRAME_DONE, &[])?;
+    Ok(FeedOutcome {
+        resumed_from: offset,
+        resumed,
+        sent_bytes: sent,
+        frames,
+        aborted: false,
+        rejected: None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iocov_trace::{write_jsonl, ArgValue, Trace, TraceEvent};
+    use std::io::Write as _;
+
+    fn ev(pid: u32, name: &str, path: &str, ret: i64) -> TraceEvent {
+        let mut event = TraceEvent::build(
+            name,
+            2,
+            vec![
+                ArgValue::Path(path.into()),
+                ArgValue::Flags(0o101),
+                ArgValue::Mode(0o644),
+            ],
+            ret,
+        );
+        event.pid = pid;
+        event
+    }
+
+    fn sample_trace(pid: u32, n: usize) -> Trace {
+        let mut trace = Trace::new();
+        for i in 0..n {
+            trace.push(ev(pid, "open", &format!("/mnt/test/f{i}"), i as i64 + 3));
+        }
+        trace
+    }
+
+    fn write_trace(dir: &Path, name: &str, trace: &Trace) -> String {
+        let path = dir.join(name);
+        let mut buf = Vec::new();
+        write_jsonl(&mut buf, trace).unwrap();
+        let mut file = File::create(&path).unwrap();
+        file.write_all(&buf).unwrap();
+        path.to_string_lossy().into_owned()
+    }
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("iocov-serve-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn batch_report(traces: &[&Trace], mount: &str) -> AnalysisReport {
+        let mut all = Trace::new();
+        for t in traces {
+            all.extend((*t).clone());
+        }
+        let filter = TraceFilter::mount_point(mount).unwrap();
+        let mut session = PipelineBuilder::new(filter)
+            .mount(Some(mount.to_owned()))
+            .build_session();
+        session.feed_owned(all.into_events());
+        session.finish().0
+    }
+
+    fn serve_config(dir: &Path, drain: usize) -> ServeConfig {
+        ServeConfig {
+            socket: Some(dir.join("iocov.sock")),
+            spool: Some(dir.join("spool")),
+            state_dir: dir.join("state"),
+            mount: Some("/mnt/test".to_owned()),
+            lossy: false,
+            max_errors: None,
+            checkpoint_every: 64,
+            policy: SupervisorPolicy::default(),
+            drain: Some(drain),
+        }
+    }
+
+    #[test]
+    fn socket_and_spool_streams_merge_to_batch_identical_snapshot() {
+        let dir = tmp_dir("merge");
+        fs::create_dir_all(dir.join("spool")).unwrap();
+        let a = sample_trace(1, 150);
+        let b = sample_trace(2, 90);
+        let a_path = write_trace(&dir, "a.jsonl", &a);
+        write_trace(&dir.join("spool"), "b.jsonl", &b);
+        let cfg = serve_config(&dir, 2);
+        let socket = cfg.socket.clone().unwrap();
+        let state_dir = cfg.state_dir.clone();
+        let server = thread::spawn(move || run_serve(cfg).unwrap());
+        // Wait for the socket, then feed stream a over it.
+        while !socket.exists() {
+            thread::sleep(Duration::from_millis(5));
+        }
+        let outcome = run_feed(&FeedConfig {
+            socket,
+            stream: "a".into(),
+            trace: a_path,
+            format: SourceFormat::Jsonl,
+            chunk: 512,
+            abort: None,
+            stall: None,
+        })
+        .unwrap();
+        assert!(!outcome.aborted);
+        assert!(outcome.rejected.is_none());
+        let summary = server.join().unwrap();
+        assert_eq!(summary.streams.len(), 2);
+        assert!(summary.streams.iter().all(|s| s.state == "done"));
+        let expected = batch_report(&[&a, &b], "/mnt/test");
+        assert_eq!(
+            serde_json::to_string(&summary.report).unwrap(),
+            serde_json::to_string(&expected).unwrap()
+        );
+        let snapshot = fs::read_to_string(state_dir.join("snapshot.json")).unwrap();
+        let mut want = serde_json::to_string_pretty(&expected).unwrap();
+        want.push('\n');
+        assert_eq!(
+            snapshot, want,
+            "snapshot.json must match analyze --json bytes"
+        );
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn killed_stream_recovers_from_checkpoint_and_manifests_the_failure() {
+        let dir = tmp_dir("recover");
+        let a = sample_trace(7, 300);
+        let a_path = write_trace(&dir, "a.jsonl", &a);
+        let mut cfg = serve_config(&dir, 1);
+        cfg.spool = None;
+        let socket = cfg.socket.clone().unwrap();
+        let state_dir = cfg.state_dir.clone();
+        let server = thread::spawn(move || run_serve(cfg).unwrap());
+        while !socket.exists() {
+            thread::sleep(Duration::from_millis(5));
+        }
+        // First attempt dies after ~half the bytes, without DONE.
+        let half = {
+            let len = fs::metadata(dir.join("a.jsonl")).unwrap().len();
+            len / 2
+        };
+        let outcome = run_feed(&FeedConfig {
+            socket: socket.clone(),
+            stream: "a".into(),
+            trace: a_path.clone(),
+            format: SourceFormat::Jsonl,
+            chunk: 256,
+            abort: Some(Arc::new(move |sent| sent >= half)),
+            stall: None,
+        })
+        .unwrap();
+        assert!(outcome.aborted);
+        // Wait until the server has manifested the failure.
+        loop {
+            let status = fs::read_to_string(state_dir.join("status.json")).unwrap_or_default();
+            if status.contains("\"failed\"") {
+                break;
+            }
+            thread::sleep(Duration::from_millis(5));
+        }
+        // Second attempt resumes from the checkpoint and completes.
+        let outcome = run_feed(&FeedConfig {
+            socket,
+            stream: "a".into(),
+            trace: a_path,
+            format: SourceFormat::Jsonl,
+            chunk: 256,
+            abort: None,
+            stall: None,
+        })
+        .unwrap();
+        assert!(outcome.resumed, "recovery must resume from the checkpoint");
+        assert!(outcome.resumed_from > 0);
+        let summary = server.join().unwrap();
+        let stream = &summary.streams[0];
+        assert_eq!(stream.state, "done");
+        assert_eq!(stream.restarts, 1, "the kill must be manifested");
+        assert_eq!(stream.events, 300);
+        let expected = batch_report(&[&a], "/mnt/test");
+        assert_eq!(
+            serde_json::to_string(&summary.report).unwrap(),
+            serde_json::to_string(&expected).unwrap()
+        );
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn second_connection_for_a_complete_stream_is_rejected() {
+        let dir = tmp_dir("reject");
+        let a = sample_trace(3, 20);
+        let a_path = write_trace(&dir, "a.jsonl", &a);
+        let mut cfg = serve_config(&dir, 1);
+        cfg.spool = None;
+        cfg.drain = Some(2); // hold the server open past the first stream
+        let socket = cfg.socket.clone().unwrap();
+        let server = thread::spawn(move || run_serve(cfg).unwrap());
+        while !socket.exists() {
+            thread::sleep(Duration::from_millis(5));
+        }
+        let feed = |abort: Option<FeedAbortHook>| {
+            run_feed(&FeedConfig {
+                socket: socket.clone(),
+                stream: "a".into(),
+                trace: a_path.clone(),
+                format: SourceFormat::Jsonl,
+                chunk: 4096,
+                abort,
+                stall: None,
+            })
+            .unwrap()
+        };
+        assert!(feed(None).rejected.is_none());
+        // Wait for completion, then expect the rejection.
+        let rejected = loop {
+            let outcome = feed(None);
+            match outcome.rejected {
+                Some(reason) => break reason,
+                None => thread::sleep(Duration::from_millis(5)),
+            }
+        };
+        assert!(
+            rejected.contains("already complete"),
+            "unexpected rejection: {rejected}"
+        );
+        // Unblock the drain=2 server with a second stream.
+        let b_path = write_trace(&dir, "b.jsonl", &sample_trace(4, 10));
+        run_feed(&FeedConfig {
+            socket: socket.clone(),
+            stream: "b".into(),
+            trace: b_path,
+            format: SourceFormat::Jsonl,
+            chunk: 4096,
+            abort: None,
+            stall: None,
+        })
+        .unwrap();
+        let summary = server.join().unwrap();
+        assert_eq!(summary.streams.len(), 2);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn stream_names_that_escape_the_state_dir_are_rejected() {
+        for bad in ["", "../escape", "a/b", "a\0b"] {
+            assert!(!valid_stream_name(bad), "{bad:?} must be rejected");
+        }
+        for good in ["a", "fsx-run.7", "A_b-c.d"] {
+            assert!(valid_stream_name(good), "{good:?} must be accepted");
+        }
+    }
+}

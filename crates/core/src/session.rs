@@ -1,0 +1,355 @@
+//! Resident analysis sessions and the batch driver that feeds them.
+//!
+//! [`Pipeline`](crate::pipeline::Pipeline) used to own its event loop:
+//! `run` pulled batches from an [`EventSource`] until end-of-input, so
+//! nothing could feed an analysis incrementally — a resident coverage
+//! oracle (many generators querying one long-lived analysis, `iocov
+//! serve`'s concurrent trace streams) had no seam to plug into. This
+//! module inverts that control:
+//!
+//! * [`AnalysisSession`] is the resident half — executor, filter state,
+//!   metrics, and checkpoint cursor, with no opinion about where events
+//!   come from. Callers [`feed`](AnalysisSession::feed) it batches at
+//!   their own pace, take merged [`snapshot`](AnalysisSession::snapshot)s
+//!   mid-stream, [`checkpoint`](AnalysisSession::checkpoint) it at a
+//!   source position, and [`finish`](AnalysisSession::finish) it for the
+//!   final report plus failure manifest.
+//! * [`Driver`] is the thin batch half — the exact pull loop `run` used
+//!   to own (chunking, checkpoint-boundary capping, stop-after, lossy
+//!   skip accounting), reproduced verbatim over any session. Every
+//!   pre-existing batch path routes through it and stays byte-identical.
+//!
+//! The executor behind a session is whatever
+//! [`PipelineBuilder`](crate::pipeline::PipelineBuilder) routes to —
+//! supervised serial or the pid-sharded pool — or the deliberately
+//! *unsupervised* [`DirectExecutor`] used by distributed worker
+//! processes, where a panic must tear the process down so the
+//! coordinator's process-level supervision stays honest.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use iocov_trace::{EventBatch, EventSource, SourcePos, TraceEvent};
+
+use crate::checkpoint::{write_checkpoint, CheckpointDoc, PidStateSnapshot};
+use crate::coverage::AnalysisReport;
+use crate::filter::TraceFilter;
+use crate::metrics::{PipelineMetrics, ShardFailureRecord};
+use crate::pipeline::{CheckpointPolicy, Executor, PipelineError, PipelineRun};
+use crate::streaming::StreamingAnalyzer;
+
+/// A resident analysis: accepts event batches incrementally and yields
+/// cumulative reports on demand. Holds the executor, the shared
+/// metrics, the checkpoint policy, and the session's event cursor; the
+/// caller owns pacing and event provenance.
+pub struct AnalysisSession {
+    executor: Box<dyn Executor>,
+    mount: Option<String>,
+    metrics: Option<Arc<PipelineMetrics>>,
+    checkpoint: Option<CheckpointPolicy>,
+    /// Events fed so far, counted from the start of the trace (a
+    /// resumed session starts at the checkpoint's count).
+    events: u64,
+}
+
+impl AnalysisSession {
+    /// A session over an already-routed executor. Callers normally go
+    /// through [`PipelineBuilder::build_session`]
+    /// (crate::pipeline::PipelineBuilder::build_session) or
+    /// [`AnalysisSession::direct`] instead.
+    #[must_use]
+    pub fn new(
+        executor: Box<dyn Executor>,
+        mount: Option<String>,
+        metrics: Option<Arc<PipelineMetrics>>,
+        checkpoint: Option<CheckpointPolicy>,
+        events: u64,
+    ) -> Self {
+        AnalysisSession {
+            executor,
+            mount,
+            metrics,
+            checkpoint,
+            events,
+        }
+    }
+
+    /// An *unsupervised* session: one [`StreamingAnalyzer`], panics
+    /// propagate. This is the distributed-worker executor — the process
+    /// supervisor upstairs owns recovery, so the session must not
+    /// self-heal. `resume` seeds the cumulative report, pid states, and
+    /// (when `metrics` is given) the checkpointed counters.
+    #[must_use]
+    pub fn direct(
+        filter: TraceFilter,
+        metrics: Option<Arc<PipelineMetrics>>,
+        mount: Option<String>,
+        checkpoint: Option<CheckpointPolicy>,
+        resume: Option<&CheckpointDoc>,
+    ) -> Self {
+        if let (Some(m), Some(doc)) = (&metrics, resume) {
+            // The checkpointed snapshot carries the counters for
+            // everything before the cursor; live metrics continue from
+            // there (absorb-then-snapshot equals snapshot-merge: every
+            // counter is a commutative sum).
+            m.absorb(&doc.metrics);
+        }
+        let executor = DirectExecutor::new(filter, metrics.clone(), resume);
+        let events = resume.map_or(0, |doc| doc.cursor.events);
+        AnalysisSession::new(Box::new(executor), mount, metrics, checkpoint, events)
+    }
+
+    /// Feeds one columnar batch. Batch-shape counters are recorded here
+    /// — once, on the single entry point every feed path funnels
+    /// through, executor-independently — so serial and pooled snapshots
+    /// stay byte-identical.
+    pub fn feed(&mut self, batch: EventBatch) {
+        if let Some(m) = &self.metrics {
+            m.record_batch(batch.len() as u64, batch.estimated_owned_allocs());
+        }
+        self.events += batch.len() as u64;
+        self.executor.push(batch);
+    }
+
+    /// Feeds one owned chunk of in-memory events, packing it into a
+    /// columnar batch.
+    pub fn feed_owned(&mut self, events: Vec<TraceEvent>) {
+        self.feed(EventBatch::from_events(&events));
+    }
+
+    /// Events fed so far (from the start of the trace for a resumed
+    /// session).
+    #[must_use]
+    pub fn events(&self) -> u64 {
+        self.events
+    }
+
+    /// Re-bases the event cursor (the driver syncs it to the source's
+    /// position before pulling).
+    pub(crate) fn set_events(&mut self, events: u64) {
+        self.events = events;
+    }
+
+    /// The cumulative report over everything fed so far. The session
+    /// stays live; subsequent feeds continue seamlessly.
+    #[must_use]
+    pub fn snapshot(&mut self) -> AnalysisReport {
+        self.cut().0
+    }
+
+    /// A checkpoint cut: the cumulative report and per-pid relevance
+    /// states over everything fed so far.
+    #[must_use]
+    pub fn cut(&mut self) -> (AnalysisReport, BTreeMap<u32, PidStateSnapshot>) {
+        self.executor.cut()
+    }
+
+    /// Assembles a complete checkpoint document for the session's state
+    /// at source position `pos`.
+    #[must_use]
+    pub fn checkpoint_doc(&mut self, pos: &SourcePos) -> CheckpointDoc {
+        let (report, pid_states) = self.cut();
+        CheckpointDoc {
+            mount: self.mount.clone(),
+            cursor: pos.state.clone(),
+            pid_states,
+            report,
+            metrics: self
+                .metrics
+                .as_ref()
+                .map(|m| m.snapshot())
+                .unwrap_or_default(),
+            format: pos.format,
+        }
+    }
+
+    /// Cuts the session and persists a checkpoint at `pos` to the
+    /// configured policy path. No-op without a checkpoint policy.
+    ///
+    /// # Errors
+    ///
+    /// [`PipelineError::Checkpoint`] when the write fails.
+    pub fn checkpoint(&mut self, pos: &SourcePos) -> Result<(), PipelineError> {
+        let Some(path) = self.checkpoint.as_ref().map(|ck| ck.path.clone()) else {
+            return Ok(());
+        };
+        let doc = self.checkpoint_doc(pos);
+        write_checkpoint(&path, &doc).map_err(|error| PipelineError::Checkpoint { path, error })
+    }
+
+    /// The checkpoint cadence policy, if any.
+    #[must_use]
+    pub fn checkpoint_policy(&self) -> Option<&CheckpointPolicy> {
+        self.checkpoint.as_ref()
+    }
+
+    /// Accounts lossy parse skips to the shared metrics (the source
+    /// driver observes ledger growth; the session owns the counters).
+    pub fn add_parse_skipped(&self, n: u64) {
+        if let Some(m) = &self.metrics {
+            m.add_parse_skipped(n);
+        }
+    }
+
+    /// Drains the session: the final report and the shard-failure
+    /// manifest (empty on a fault-free run).
+    #[must_use]
+    pub fn finish(self) -> (AnalysisReport, Vec<ShardFailureRecord>) {
+        self.executor.finish()
+    }
+}
+
+/// The unsupervised executor behind [`AnalysisSession::direct`]: a bare
+/// [`StreamingAnalyzer`] scan with no `catch_unwind`, no replay log,
+/// and no restart budget — an internal panic propagates to the caller
+/// (and, in a worker process, tears the process down for the
+/// coordinator to observe).
+pub struct DirectExecutor {
+    analyzer: StreamingAnalyzer,
+    /// Report merged out of a resumed checkpoint.
+    base_report: AnalysisReport,
+}
+
+impl DirectExecutor {
+    /// A direct executor; `resume` seeds the cumulative report and pid
+    /// states from a checkpoint.
+    #[must_use]
+    pub fn new(
+        filter: TraceFilter,
+        metrics: Option<Arc<PipelineMetrics>>,
+        resume: Option<&CheckpointDoc>,
+    ) -> Self {
+        let mut analyzer = StreamingAnalyzer::new(filter);
+        if let Some(m) = metrics {
+            analyzer = analyzer.with_metrics(m);
+        }
+        let mut base_report = AnalysisReport::default();
+        if let Some(doc) = resume {
+            base_report = doc.report.clone();
+            analyzer.restore_pid_states(&doc.pid_states);
+        }
+        DirectExecutor {
+            analyzer,
+            base_report,
+        }
+    }
+}
+
+impl Executor for DirectExecutor {
+    fn push(&mut self, batch: EventBatch) {
+        for event in batch.iter() {
+            self.analyzer.push(&event);
+        }
+    }
+
+    fn cut(&mut self) -> (AnalysisReport, BTreeMap<u32, PidStateSnapshot>) {
+        let mut report = self.base_report.clone();
+        report.merge(&self.analyzer.report());
+        (report, self.analyzer.pid_states())
+    }
+
+    fn finish(self: Box<Self>) -> (AnalysisReport, Vec<ShardFailureRecord>) {
+        let mut report = self.base_report;
+        report.merge(&self.analyzer.finish());
+        (report, Vec::new())
+    }
+}
+
+/// The thin batch half: pulls a source to end-of-input (or a stop
+/// boundary), feeding the session — the event loop
+/// `Pipeline::run` used to own, verbatim.
+pub struct Driver {
+    session: AnalysisSession,
+    chunk: usize,
+    stop_after: Option<u64>,
+}
+
+impl Driver {
+    /// A driver over `session` with the given pull chunk size and
+    /// optional stop-after-events boundary.
+    #[must_use]
+    pub fn new(session: AnalysisSession, chunk: usize, stop_after: Option<u64>) -> Self {
+        Driver {
+            session,
+            chunk: chunk.max(1),
+            stop_after,
+        }
+    }
+
+    /// Pulls the source to end-of-input (or `stop_after`), feeding
+    /// batches into the session, cutting checkpoints at every
+    /// `checkpoint.every` boundary, and accounting lossy parse skips to
+    /// the metrics.
+    ///
+    /// # Errors
+    ///
+    /// [`PipelineError::Source`] on a read/decode failure,
+    /// [`PipelineError::Checkpoint`] when a checkpoint cannot be
+    /// persisted.
+    pub fn run(mut self, source: &mut dyn EventSource) -> Result<PipelineRun, PipelineError> {
+        // The session's cursor follows the source: a resumed source
+        // starts at the checkpoint's event count.
+        self.session.set_events(source.position().state.events);
+        let mut skips_seen = source.skip_ledger().len();
+        let mut stopped = false;
+        loop {
+            let events = self.session.events();
+            // Cap the batch so it never crosses a checkpoint or stop
+            // boundary — cuts land on exact event counts, like the
+            // per-event loop this replaces.
+            let mut want = self.chunk;
+            if let Some(ck) = self.session.checkpoint_policy() {
+                let until = ck.every - (events % ck.every);
+                want = want.min(usize::try_from(until).unwrap_or(usize::MAX));
+            }
+            if let Some(stop) = self.stop_after {
+                let until = stop.saturating_sub(events).max(1);
+                want = want.min(usize::try_from(until).unwrap_or(usize::MAX));
+            }
+            let batch = source.next_batch(want).map_err(PipelineError::Source)?;
+            // Count lossy skips before the EOF check: trailing garbage
+            // after the last event surfaces as ledger growth on the
+            // final (possibly empty) pull.
+            let skips = source.skip_ledger().len();
+            if skips > skips_seen {
+                self.session.add_parse_skipped((skips - skips_seen) as u64);
+                skips_seen = skips;
+            }
+            if batch.is_empty() {
+                break;
+            }
+            self.session.feed(batch);
+            let events = self.session.events();
+            if let Some(every) = self.session.checkpoint_policy().map(|ck| ck.every) {
+                if events.is_multiple_of(every) {
+                    self.session.checkpoint(&source.position())?;
+                }
+            }
+            if self.stop_after.is_some_and(|k| events >= k) {
+                stopped = true;
+                break;
+            }
+        }
+        let skipped = source.skip_ledger().to_vec();
+        let events = self.session.events();
+        if stopped {
+            // Simulated kill: no report, no checkpoint beyond the last
+            // periodic one — exactly what a real kill leaves behind.
+            return Ok(PipelineRun {
+                report: AnalysisReport::default(),
+                failures: Vec::new(),
+                skipped,
+                events,
+                stopped,
+            });
+        }
+        let (report, failures) = self.session.finish();
+        Ok(PipelineRun {
+            report,
+            failures,
+            skipped,
+            events,
+            stopped,
+        })
+    }
+}

@@ -26,10 +26,12 @@ mod dataset;
 mod inject;
 pub mod io;
 pub mod proc;
+pub mod stream;
 mod study;
 
 pub use dataset::{dataset, BugKind, BugRecord, Filesystem};
 pub use inject::{demo_bugs, BugSet, BugTrigger, InjectedBug};
 pub use io::{FaultPlan, FaultyRead, FaultyWrite, PanicSchedule, StallSchedule, WorkerHook};
 pub use proc::{FrameCorruptSchedule, WorkerKillSchedule, WorkerSignal, WorkerStallSchedule};
+pub use stream::{FeedAbortHook, FeedAbortSchedule, FeedStallHook, FeedStallSchedule};
 pub use study::StudyStats;

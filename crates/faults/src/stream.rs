@@ -1,0 +1,146 @@
+//! Deterministic stream-level fault drills for `iocov serve` feeders.
+//!
+//! The serve protocol's failure mode is a feeder that vanishes
+//! mid-stream: the server must manifest the failure, keep the stream's
+//! checkpoint, and resume a reconnecting feeder from it. These
+//! schedules arm a feed client to fail *deterministically* — drop the
+//! connection once a byte threshold is crossed, or freeze before a
+//! chosen frame — so recovery tests replay the exact same crash every
+//! run. Same fire-then-disarm discipline as the shard/worker schedules:
+//! an atomic charge counter, decremented only when the trigger
+//! condition holds, so a schedule never fires more times than armed.
+
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Abort-hook shape the feed client accepts: cumulative payload bytes
+/// sent → drop the connection now?
+pub type FeedAbortHook = Arc<dyn Fn(u64) -> bool + Send + Sync>;
+
+/// Stall-hook shape the feed client accepts: DATA frame ordinal,
+/// called before each send.
+pub type FeedStallHook = Arc<dyn Fn(u64) + Send + Sync>;
+
+/// Drops a feed connection (no DONE frame — a feeder crash, not a
+/// finished stream) once the client has sent at least `after_bytes` of
+/// payload.
+#[derive(Debug)]
+pub struct FeedAbortSchedule {
+    after_bytes: u64,
+    remaining: AtomicU32,
+}
+
+impl FeedAbortSchedule {
+    /// Fires on the first frame boundary at or past `after_bytes`.
+    #[must_use]
+    pub fn once(after_bytes: u64) -> Arc<Self> {
+        Arc::new(FeedAbortSchedule {
+            after_bytes,
+            remaining: AtomicU32::new(1),
+        })
+    }
+
+    /// Called with cumulative bytes sent before each frame; `true`
+    /// exactly once, when the threshold is first crossed.
+    pub fn check(&self, sent: u64) -> bool {
+        sent >= self.after_bytes
+            && self
+                .remaining
+                .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |n| n.checked_sub(1))
+                .is_ok()
+    }
+
+    /// This schedule as a [`FeedAbortHook`] closure.
+    #[must_use]
+    pub fn hook(self: &Arc<Self>) -> FeedAbortHook {
+        let plan = Arc::clone(self);
+        Arc::new(move |sent| plan.check(sent))
+    }
+}
+
+/// Freezes a feeder for `pause` before sending DATA frame `frame`,
+/// exercising the server's bounded-channel backpressure and idle
+/// handling without killing the stream.
+#[derive(Debug)]
+pub struct FeedStallSchedule {
+    frame: u64,
+    pause: Duration,
+    remaining: AtomicU32,
+}
+
+impl FeedStallSchedule {
+    /// Sleeps for `pause` the first time frame ordinal `frame` is
+    /// reached.
+    #[must_use]
+    pub fn once(frame: u64, pause: Duration) -> Arc<Self> {
+        Arc::new(FeedStallSchedule {
+            frame,
+            pause,
+            remaining: AtomicU32::new(1),
+        })
+    }
+
+    /// Called with the frame ordinal before each send; sleeps if armed
+    /// for this frame.
+    pub fn check(&self, frame: u64) {
+        if frame != self.frame {
+            return;
+        }
+        let fired = self
+            .remaining
+            .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |n| n.checked_sub(1))
+            .is_ok();
+        if fired {
+            std::thread::sleep(self.pause);
+        }
+    }
+
+    /// This schedule as a [`FeedStallHook`] closure.
+    #[must_use]
+    pub fn hook(self: &Arc<Self>) -> FeedStallHook {
+        let plan = Arc::clone(self);
+        Arc::new(move |frame| plan.check(frame))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Instant;
+
+    #[test]
+    fn abort_fires_once_at_the_threshold() {
+        let plan = FeedAbortSchedule::once(100);
+        let hook = plan.hook();
+        assert!(!hook(0));
+        assert!(!hook(99));
+        assert!(hook(100), "must fire at the threshold");
+        assert!(!hook(200), "one charge only");
+    }
+
+    #[test]
+    fn abort_fires_past_the_threshold_when_frames_straddle_it() {
+        let plan = FeedAbortSchedule::once(100);
+        assert!(!plan.check(64));
+        assert!(plan.check(128));
+    }
+
+    #[test]
+    fn stall_sleeps_only_on_its_frame_and_only_once() {
+        let plan = FeedStallSchedule::once(2, Duration::from_millis(30));
+        let hook = plan.hook();
+        let start = Instant::now();
+        hook(0);
+        hook(1);
+        assert!(start.elapsed() < Duration::from_millis(25));
+        hook(2);
+        assert!(start.elapsed() >= Duration::from_millis(30));
+        let again = Instant::now();
+        hook(2);
+        assert!(
+            again.elapsed() < Duration::from_millis(25),
+            "one charge only"
+        );
+    }
+}

@@ -412,6 +412,24 @@ pub fn open_source(
     }
 }
 
+/// Classifies a path that cannot support seek-based replay: returns the
+/// human-readable file-type name ("pipe (FIFO)", "socket", …) when
+/// `path` exists and is not a regular file, `None` when it is one (or
+/// does not exist — the open path will surface that error itself).
+///
+/// Checkpoint/resume configs need this up front: a checkpoint cursor
+/// records a byte offset that resume must seek back to, so offering to
+/// checkpoint a FIFO or socket stream writes state no run can ever use.
+#[must_use]
+pub fn unseekable_kind(path: &str) -> Option<&'static str> {
+    let meta = std::fs::metadata(path).ok()?;
+    if meta.is_file() {
+        None
+    } else {
+        Some(file_type_name(&meta.file_type()))
+    }
+}
+
 /// Human-readable name of a non-regular file type, for
 /// [`SourceError::Unseekable`].
 fn file_type_name(file_type: &std::fs::FileType) -> &'static str {
@@ -737,5 +755,34 @@ mod tests {
         let msg = err.to_string();
         assert!(msg.contains("cannot resume from a pipe (FIFO)"), "{msg}");
         assert!(msg.contains("save the stream to a file"), "{msg}");
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn unseekable_kind_classifies_fifos_and_clears_regular_files() {
+        let dir = std::env::temp_dir();
+        let fifo = dir
+            .join(format!("iocov-source-{}-kind.fifo", std::process::id()))
+            .to_string_lossy()
+            .into_owned();
+        let _ = std::fs::remove_file(&fifo);
+        let status = std::process::Command::new("mkfifo")
+            .arg(&fifo)
+            .status()
+            .expect("mkfifo");
+        assert!(status.success());
+        assert_eq!(unseekable_kind(&fifo), Some("pipe (FIFO)"));
+        let _ = std::fs::remove_file(&fifo);
+
+        let file = dir
+            .join(format!("iocov-source-{}-kind.jsonl", std::process::id()))
+            .to_string_lossy()
+            .into_owned();
+        std::fs::write(&file, b"").unwrap();
+        assert_eq!(unseekable_kind(&file), None);
+        let _ = std::fs::remove_file(&file);
+
+        // A missing path is not classified: the open will report it.
+        assert_eq!(unseekable_kind("/no/such/iocov/path"), None);
     }
 }

@@ -114,6 +114,8 @@ pub struct RoundStats {
     pub cold_inputs: usize,
     /// Cold output partitions (errnos) the round was steered toward.
     pub cold_errnos: usize,
+    /// Cold return-value buckets the round was steered toward.
+    pub cold_outputs: usize,
     /// Errno probes successfully staged this round.
     pub probes_staged: usize,
     /// Staged probes that elicited exactly their target errno.
@@ -183,9 +185,10 @@ impl FeedbackCampaign {
             let cold = extract_cold(&cumulative, target);
             let _ = writeln!(
                 log,
-                "# round {round} tcd {tcd_before:.4} cold_inputs {} cold_errnos {}",
+                "# round {round} tcd {tcd_before:.4} cold_inputs {} cold_errnos {} cold_outputs {}",
                 cold.input_count(),
                 cold.errnos.len(),
+                cold.outputs.len(),
             );
             let mut rng = StdRng::seed_from_u64(mix(self.config.seed, round as u64));
             let mut kernel = env.fresh_kernel();
@@ -203,6 +206,7 @@ impl FeedbackCampaign {
                 tcd_after,
                 cold_inputs: cold.input_count(),
                 cold_errnos: cold.errnos.len(),
+                cold_outputs: cold.outputs.len(),
                 probes_staged,
                 probes_hit,
             });
@@ -656,12 +660,27 @@ impl Bias {
             flag_weights: Cow::Owned(optional),
         };
 
-        let size_profile = |arg: ArgName, max_log2: u32| -> SizeProfile {
-            let zero = deficit_of(arg, &InputPartition::Numeric(NumericPartition::Zero)) + EPS;
+        // A cold *return-value* bucket also raises the matching request
+        // size: writes return their count, and reads/getxattrs return
+        // sizes correlated with the staged content the biased writes
+        // produced — so steering the input bucket is how the generator
+        // elicits the cold output bucket.
+        let out_bucket = |base: BaseSyscall, part: NumericPartition| -> f64 {
+            cold.outputs
+                .iter()
+                .find(|c| c.base == base && c.partition == part)
+                .map_or(0.0, |c| c.deficit)
+        };
+        let size_profile = |arg: ArgName, out: Option<BaseSyscall>, max_log2: u32| -> SizeProfile {
+            let out_deficit =
+                |part: NumericPartition| -> f64 { out.map_or(0.0, |base| out_bucket(base, part)) };
+            let zero = deficit_of(arg, &InputPartition::Numeric(NumericPartition::Zero))
+                + out_deficit(NumericPartition::Zero)
+                + EPS;
             let buckets: Vec<(u32, f64)> = (0..=max_log2)
                 .map(|k| {
                     let d = deficit_of(arg, &InputPartition::Numeric(NumericPartition::Log2(k)));
-                    (k, d + EPS)
+                    (k, d + out_deficit(NumericPartition::Log2(k)) + EPS)
                 })
                 .collect();
             SizeProfile {
@@ -735,17 +754,30 @@ impl Bias {
                         arg_sum(&[ArgName::OpenFlags, ArgName::OpenMode])
                             + cold.base_deficit(BaseSyscall::Open)
                     }
-                    CallKind::Read => arg_sum(&[ArgName::ReadCount]),
-                    CallKind::PRead => arg_sum(&[ArgName::ReadCount, ArgName::ReadOffset]),
-                    CallKind::Write => arg_sum(&[ArgName::WriteCount]),
-                    CallKind::PWrite => arg_sum(&[ArgName::WriteCount, ArgName::WriteOffset]),
+                    CallKind::Read => {
+                        arg_sum(&[ArgName::ReadCount]) + cold.bucket_deficit(BaseSyscall::Read)
+                    }
+                    CallKind::PRead => {
+                        arg_sum(&[ArgName::ReadCount, ArgName::ReadOffset])
+                            + cold.bucket_deficit(BaseSyscall::Read)
+                    }
+                    CallKind::Write => {
+                        arg_sum(&[ArgName::WriteCount]) + cold.bucket_deficit(BaseSyscall::Write)
+                    }
+                    CallKind::PWrite => {
+                        arg_sum(&[ArgName::WriteCount, ArgName::WriteOffset])
+                            + cold.bucket_deficit(BaseSyscall::Write)
+                    }
                     CallKind::Lseek => arg_sum(&[ArgName::LseekOffset, ArgName::LseekWhence]),
                     CallKind::Truncate => arg_sum(&[ArgName::TruncateLength]),
                     CallKind::Mkdir => arg_sum(&[ArgName::MkdirMode]),
                     CallKind::Chmod => arg_sum(&[ArgName::ChmodMode]),
                     CallKind::Chdir => cold.base_deficit(BaseSyscall::Chdir),
                     CallKind::Setxattr => arg_sum(&[ArgName::SetxattrSize, ArgName::SetxattrFlags]),
-                    CallKind::Getxattr => arg_sum(&[ArgName::GetxattrSize]),
+                    CallKind::Getxattr => {
+                        arg_sum(&[ArgName::GetxattrSize])
+                            + cold.bucket_deficit(BaseSyscall::Getxattr)
+                    }
                     CallKind::Close => cold.base_deficit(BaseSyscall::Close),
                 }
             })
@@ -753,9 +785,9 @@ impl Bias {
 
         Bias {
             open,
-            write_size: size_profile(ArgName::WriteCount, 32),
-            read_size: size_profile(ArgName::ReadCount, 32),
-            xattr_size: size_profile(ArgName::SetxattrSize, 17),
+            write_size: size_profile(ArgName::WriteCount, Some(BaseSyscall::Write), 32),
+            read_size: size_profile(ArgName::ReadCount, Some(BaseSyscall::Read), 32),
+            xattr_size: size_profile(ArgName::SetxattrSize, Some(BaseSyscall::Getxattr), 17),
             open_mode_cold: mode_cold(ArgName::OpenMode),
             mkdir_mode_cold: mode_cold(ArgName::MkdirMode),
             chmod_mode_cold: mode_cold(ArgName::ChmodMode),
@@ -997,6 +1029,48 @@ mod tests {
         let hit: usize = outcome.rounds.iter().map(|r| r.probes_hit).sum();
         assert!(staged >= 10, "{staged} probes staged");
         assert!(hit * 10 >= staged * 8, "{hit}/{staged} probes hit");
+    }
+
+    #[test]
+    fn cold_return_buckets_raise_matching_request_sizes() {
+        use iocov_trace::{ArgValue, Trace, TraceEvent};
+        // Ten failed 5-byte writes: the WriteCount *input* bucket
+        // Log2(2) is warm at target 10, but no successful return ever
+        // landed — the Log2(2) *output* bucket is stone cold. Only the
+        // output-bucket blend can lift that request size above the
+        // exploration floor.
+        let events: Vec<TraceEvent> = (0..10)
+            .map(|_| {
+                TraceEvent::build(
+                    "write",
+                    1,
+                    vec![ArgValue::Fd(3), ArgValue::Ptr(1), ArgValue::UInt(5)],
+                    -28, // ENOSPC
+                )
+            })
+            .collect();
+        let report = Iocov::new().analyze(&Trace::from_events(events));
+        let cold = extract_cold(&report, 10);
+        assert!(!cold.inputs.get(&ArgName::WriteCount).is_some_and(|v| v
+            .iter()
+            .any(|c| c.partition == InputPartition::Numeric(NumericPartition::Log2(2)))));
+        let bias = Bias::derive(&cold, &xfstests_profile());
+        let weight_of = |k: u32| -> f64 {
+            bias.write_size
+                .bucket_weights
+                .iter()
+                .find(|(b, _)| *b == k)
+                .map(|(_, w)| *w)
+                .unwrap()
+        };
+        assert!(
+            weight_of(2) > EPS + 0.5,
+            "cold return bucket must outweigh the floor: {}",
+            weight_of(2)
+        );
+        // The menu also leans toward the size-returning calls.
+        assert!(cold.bucket_deficit(BaseSyscall::Write) > 0.0);
+        assert!(cold.bucket_deficit(BaseSyscall::Open) == 0.0);
     }
 
     #[test]
